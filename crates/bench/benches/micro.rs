@@ -1,0 +1,178 @@
+//! Criterion micro-benchmarks for the mechanisms the paper's design
+//! argues about: Algorithm-1 growth vs pooled acquisition, the Hadoop
+//! vint codec, Writable round-trips, verbs vs socket one-way messaging,
+//! and the shadow-pool hit path.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use bufpool::{HeapMem, NativePool, ShadowPool, SizeClasses};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simnet::{model, Fabric, SimAddr, SimListener, SimStream};
+use wire::varint::{read_vlong, write_vlong};
+use wire::{from_bytes, to_bytes, DataOutput, DataOutputBuffer, LongWritable, Text};
+
+fn bench_algorithm1_vs_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialization_buffer");
+    for &size in &[128usize, 1024, 16 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        // Baseline: fresh 32-byte DataOutputBuffer per call, Algorithm 1
+        // growth, field-by-field writes.
+        group.bench_with_input(BenchmarkId::new("algorithm1", size), &size, |b, &size| {
+            b.iter(|| {
+                let mut buf = DataOutputBuffer::new();
+                for i in 0..(size / 8) as i64 {
+                    buf.write_i64(i).unwrap();
+                }
+                std::hint::black_box(buf.len())
+            })
+        });
+        // RPCoIB: warm shadow pool, history hit, direct write.
+        let pool = ShadowPool::new(
+            NativePool::new(SizeClasses::up_to(1 << 20), HeapMem::new),
+            true,
+        );
+        pool.record("bench", "call", size);
+        group.bench_with_input(BenchmarkId::new("pooled", size), &size, |b, &size| {
+            b.iter(|| {
+                let mut buf = pool.acquire("bench", "call");
+                let mut staged = [0u8; 512];
+                let mut pos = 0usize;
+                let mut total = 0usize;
+                for i in 0..(size / 8) as i64 {
+                    staged[pos..pos + 8].copy_from_slice(&i.to_be_bytes());
+                    pos += 8;
+                    if pos == staged.len() {
+                        bufpool::PoolMem::put(buf.mem_mut(), total, &staged);
+                        total += pos;
+                        pos = 0;
+                    }
+                }
+                if pos > 0 {
+                    bufpool::PoolMem::put(buf.mem_mut(), total, &staged[..pos]);
+                    total += pos;
+                }
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vint_codec(c: &mut Criterion) {
+    let values: Vec<i64> =
+        vec![0, 127, -112, 128, 300, 65535, -65536, 1 << 30, -(1 << 40), i64::MAX];
+    c.bench_function("vint/encode_decode_10", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(100);
+            for &v in &values {
+                write_vlong(&mut buf, v).unwrap();
+            }
+            let mut cursor = buf.as_slice();
+            let mut sum = 0i64;
+            for _ in 0..values.len() {
+                sum = sum.wrapping_add(read_vlong(&mut cursor).unwrap());
+            }
+            std::hint::black_box(sum)
+        })
+    });
+}
+
+fn bench_writable_roundtrip(c: &mut Criterion) {
+    c.bench_function("writable/text_roundtrip", |b| {
+        let text = Text::from("hdfs.ClientProtocol/getFileInfo:/user/data/part-00042");
+        b.iter(|| {
+            let bytes = to_bytes(&text).unwrap();
+            let back: Text = from_bytes(&bytes).unwrap();
+            std::hint::black_box(back.0.len())
+        })
+    });
+    c.bench_function("writable/vec_long_64", |b| {
+        let vec: Vec<LongWritable> = (0..64).map(LongWritable).collect();
+        b.iter(|| {
+            let bytes = to_bytes(&vec).unwrap();
+            let back: Vec<LongWritable> = from_bytes(&bytes).unwrap();
+            std::hint::black_box(back.len())
+        })
+    });
+}
+
+fn bench_transport_oneway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_oneway_4k");
+    group.measurement_time(Duration::from_secs(10));
+    // Socket (IPoIB model).
+    group.bench_function("socket_ipoib", |b| {
+        let fabric = Fabric::new(model::IPOIB_QDR);
+        let server = fabric.add_node();
+        let client = fabric.add_node();
+        let addr = SimAddr::new(server, 1000);
+        let listener = SimListener::bind(&fabric, addr).unwrap();
+        let f2 = fabric.clone();
+        let h = thread::spawn(move || SimStream::connect(&f2, client, addr).unwrap());
+        let (srv, _) = listener.accept().unwrap();
+        let mut cli = h.join().unwrap();
+        let reader = thread::spawn(move || {
+            let mut buf = vec![0u8; 4096];
+            while srv.read_exact_at(&mut buf).is_ok() {}
+        });
+        let payload = vec![7u8; 4096];
+        b.iter(|| cli.write_all(&payload).unwrap());
+        drop(cli);
+        let _ = reader.join();
+    });
+    // Verbs send/recv.
+    group.bench_function("verbs_qdr", |b| {
+        let fabric = Fabric::new(model::IB_QDR_VERBS);
+        let a = fabric.add_node();
+        let bn = fabric.add_node();
+        let dev_a = simnet::RdmaDevice::open(&fabric, a).unwrap();
+        let dev_b = simnet::RdmaDevice::open(&fabric, bn).unwrap();
+        let qa = dev_a.create_qp();
+        let qb = Arc::new(dev_b.create_qp());
+        qa.connect(qb.endpoint());
+        qb.connect(qa.endpoint());
+        let src = dev_a.register(4096);
+        // Pre-registered receive ring (the pool's job in the real engine).
+        let ring: Vec<simnet::MemoryRegion> = (0..64).map(|_| dev_b.register(4096)).collect();
+        for (i, mr) in ring.iter().enumerate() {
+            qb.post_recv(i as u64, mr.clone());
+        }
+        let qb2 = Arc::clone(&qb);
+        let drainer = thread::spawn(move || {
+            let mut wr = 64u64;
+            while let Ok(_c) = qb2.poll_recv(Duration::from_millis(500)) {
+                qb2.post_recv(wr, ring[(wr % 64) as usize].clone());
+                wr += 1;
+            }
+        });
+        b.iter(|| qa.post_send(&src, 0, 4096, 1).unwrap());
+        drop(qa);
+        let _ = drainer.join();
+    });
+    group.finish();
+}
+
+fn bench_shadow_pool_hit(c: &mut Criterion) {
+    let pool =
+        ShadowPool::new(NativePool::new(SizeClasses::up_to(1 << 20), HeapMem::new), true);
+    pool.native().prefill(4);
+    pool.record("mapred.TaskUmbilicalProtocol", "statusUpdate", 700);
+    c.bench_function("shadow_pool/acquire_release_hit", |b| {
+        b.iter(|| {
+            let buf = pool.acquire("mapred.TaskUmbilicalProtocol", "statusUpdate");
+            std::hint::black_box(buf.capacity())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm1_vs_pool,
+    bench_vint_codec,
+    bench_writable_roundtrip,
+    bench_transport_oneway,
+    bench_shadow_pool_hit
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 5(a): ping-pong latency, single server (8 handlers) / single
+//! client, payload 1 B … 4 KB, for RPC-10GigE, RPC-IPoIB and RPCoIB.
+//! Also prints the §IV-B headline reductions (paper: 42–49% vs 10GigE,
+//! 46–50% vs IPoIB) and the 1GigE speedup (paper: 1.42–2.48x).
+
+use rpcoib_bench::harness::{improvement_pct, median_us, print_table, BenchScale};
+use rpcoib_bench::pingpong::{latency_samples, setup_pingpong, BenchConfig};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let iters = scale.pick(50, 300, 2000);
+    let warmup = scale.pick(10, 50, 200);
+    let payloads: &[usize] = &[1, 4, 16, 64, 256, 1024, 4096];
+
+    let configs =
+        [BenchConfig::rpc_1gige(), BenchConfig::rpc_10gige(), BenchConfig::rpc_ipoib(), BenchConfig::rpcoib()];
+
+    // medians[config][payload]
+    let mut medians = vec![vec![0.0f64; payloads.len()]; configs.len()];
+    for (ci, cfg) in configs.iter().enumerate() {
+        let env = setup_pingpong(cfg);
+        for (pi, &payload) in payloads.iter().enumerate() {
+            let mut samples = latency_samples(&env, cfg, payload, warmup, iters);
+            medians[ci][pi] = median_us(&mut samples);
+        }
+        env.server.stop();
+    }
+
+    let mut rows = Vec::new();
+    for (pi, payload) in payloads.iter().enumerate() {
+        let mut row = vec![format!("{payload}")];
+        for median in &medians {
+            row.push(format!("{:.1}", median[pi]));
+        }
+        row.push(format!("{:.0}%", improvement_pct(medians[1][pi], medians[3][pi])));
+        row.push(format!("{:.0}%", improvement_pct(medians[2][pi], medians[3][pi])));
+        row.push(format!("{:.2}x", medians[0][pi] / medians[3][pi]));
+        rows.push(row);
+    }
+    print_table(
+        "Figure 5(a): RPC ping-pong latency (us, median)",
+        &[
+            "Payload (B)",
+            "RPC-1GigE",
+            "RPC-10GigE",
+            "RPC-IPoIB",
+            "RPCoIB",
+            "vs 10GigE",
+            "vs IPoIB",
+            "vs 1GigE",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper: RPCoIB cuts latency 42-49% vs 10GigE and 46-50% vs IPoIB \
+         (1-byte 39us, 4KB 52us); speedup over 1GigE 1.42-2.48x"
+    );
+}

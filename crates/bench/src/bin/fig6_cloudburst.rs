@@ -1,0 +1,119 @@
+//! Figure 6(b): CloudBurst application time (Alignment job, Filtering
+//! job, Total) under default Hadoop RPC over IPoIB vs RPCoIB, on the
+//! paper's 1 master + 8 slaves.
+//!
+//! The paper's run: Alignment with 240 maps / 48 reduces, Filtering with
+//! 24 / 24; RPCoIB improves Alignment by 10.7% and the total by ~10%.
+//! The 10:1 job-size ratio is kept; absolute sizes are scaled.
+
+use std::time::{Duration, Instant};
+
+use mini_mapred::jobs::cloudburst;
+use mini_mapred::{JobConf, JobKind, MiniMr, MrConfig};
+use rpcoib_bench::harness::{improvement_pct, print_table, BenchScale};
+use simnet::model;
+
+struct CbTimes {
+    align: f64,
+    filter: f64,
+}
+
+fn run_cloudburst(cfg: MrConfig, scale: BenchScale) -> CbTimes {
+    let workers = 8;
+    let mr = MiniMr::start(model::IPOIB_QDR, workers, cfg).expect("cluster");
+    let jobs = mr.job_client().expect("job client");
+    let dfs = mr.dfs_client().expect("dfs client");
+
+    let (genome, read_files, reads_per_file) = match scale {
+        BenchScale::Quick => (20_000, 6, 60),
+        BenchScale::Normal => (60_000, 12, 120),
+        BenchScale::Full => (400_000, 48, 500),
+    };
+    let (ref_files, reads, ref_path) = cloudburst::generate_input(
+        &dfs,
+        "/cb",
+        genome,
+        genome / 8, // 8 reference chunks
+        read_files,
+        reads_per_file,
+        36,
+        1234,
+    )
+    .expect("generate input");
+    let mut align_input = ref_files;
+    align_input.extend(reads);
+
+    // Alignment: the big job (10x the reduce width of Filtering).
+    let align = JobConf {
+        name: "cb-align".into(),
+        kind: JobKind::CloudburstAlign,
+        input: align_input,
+        output: "/cb-align".into(),
+        n_reduces: (workers * 2) as u32,
+        n_maps: 0,
+        params: vec![
+            (cloudburst::KMER.into(), "12".into()),
+            (cloudburst::MAX_MISMATCHES.into(), "2".into()),
+            (cloudburst::REF_PATH.into(), ref_path),
+        ],
+    };
+    let start = Instant::now();
+    jobs.run(&align, Duration::from_secs(1800)).expect("alignment");
+    let align_secs = start.elapsed().as_secs_f64();
+
+    let filter_input: Vec<String> =
+        dfs.list("/cb-align").expect("list").iter().map(|s| s.path.clone()).collect();
+    let filter = JobConf {
+        name: "cb-filter".into(),
+        kind: JobKind::CloudburstFilter,
+        input: filter_input,
+        output: "/cb-best".into(),
+        n_reduces: 2,
+        n_maps: 0,
+        params: Vec::new(),
+    };
+    let start = Instant::now();
+    jobs.run(&filter, Duration::from_secs(1800)).expect("filtering");
+    let filter_secs = start.elapsed().as_secs_f64();
+
+    mr.stop();
+    CbTimes { align: align_secs, filter: filter_secs }
+}
+
+fn main() {
+    let scale = BenchScale::from_args();
+    println!("CloudBurst over IPoIB (default RPC)...");
+    let ipoib = run_cloudburst(MrConfig::socket(), scale);
+    println!("CloudBurst over RPCoIB...");
+    let rpcoib = run_cloudburst(MrConfig::rpc_ib(), scale);
+
+    let rows = vec![
+        vec![
+            "Alignment".into(),
+            format!("{:.2}", ipoib.align),
+            format!("{:.2}", rpcoib.align),
+            format!("{:.1}%", improvement_pct(ipoib.align, rpcoib.align)),
+        ],
+        vec![
+            "Filtering".into(),
+            format!("{:.2}", ipoib.filter),
+            format!("{:.2}", rpcoib.filter),
+            format!("{:.1}%", improvement_pct(ipoib.filter, rpcoib.filter)),
+        ],
+        vec![
+            "Total".into(),
+            format!("{:.2}", ipoib.align + ipoib.filter),
+            format!("{:.2}", rpcoib.align + rpcoib.filter),
+            format!(
+                "{:.1}%",
+                improvement_pct(ipoib.align + ipoib.filter, rpcoib.align + rpcoib.filter)
+            ),
+        ],
+    ];
+    print_table(
+        "Figure 6(b): CloudBurst on 1 master + 8 slaves (seconds)",
+        &["Phase", "Hadoop (IPoIB)", "Hadoop (RPCoIB)", "gain"],
+        &rows,
+    );
+    println!("\npaper: Alignment gains 10.7%, overall ~10%; the bigger job gains more");
+}

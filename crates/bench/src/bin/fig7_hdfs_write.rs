@@ -1,0 +1,93 @@
+//! Figure 7: HDFS write latency vs file size under the paper's seven
+//! transport configurations, crossing the HDFS data plane (1GigE /
+//! IPoIB / RDMA "HDFSoIB") with the RPC plane (1GigE / IPoIB / RPCoIB).
+//!
+//! Paper setup: 32 DataNodes (one disk each), replication 3, NameNode
+//! and client on separate nodes, files 1–5 GB. Here DataNode count and
+//! file sizes scale down ("GB*" below); the ordering — HDFSoIB-RPCoIB
+//! fastest, ~10% ahead of HDFSoIB-RPC(IPoIB) — is the reproduced result.
+
+use std::time::Instant;
+
+use mini_hdfs::{HdfsConfig, MiniDfs};
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+use rpcoib::RpcConfig;
+use rpcoib_bench::harness::{print_table, BenchScale};
+use simnet::{model, NetworkModel};
+
+struct Config7 {
+    name: &'static str,
+    eth: NetworkModel,
+    hdfs: HdfsConfig,
+}
+
+fn configs() -> Vec<Config7> {
+    let base = |rpc_ib: bool, data_ib: bool| -> HdfsConfig {
+        HdfsConfig {
+            rpc: if rpc_ib { RpcConfig::rpcoib() } else { RpcConfig::socket() },
+            data_rdma: data_ib,
+            block_size: 1 << 20,
+            ..HdfsConfig::default()
+        }
+    };
+    vec![
+        Config7 { name: "HDFS(1GigE)-RPC(1GigE)", eth: model::GIG_E, hdfs: base(false, false) },
+        Config7 { name: "HDFS(1GigE)-RPCoIB", eth: model::GIG_E, hdfs: base(true, false) },
+        Config7 { name: "HDFS(IPoIB)-RPC(IPoIB)", eth: model::IPOIB_QDR, hdfs: base(false, false) },
+        Config7 { name: "HDFS(IPoIB)-RPCoIB", eth: model::IPOIB_QDR, hdfs: base(true, false) },
+        Config7 { name: "HDFSoIB-RPC(1GigE)", eth: model::GIG_E, hdfs: base(false, true) },
+        Config7 { name: "HDFSoIB-RPC(IPoIB)", eth: model::IPOIB_QDR, hdfs: base(false, true) },
+        Config7 { name: "HDFSoIB-RPCoIB", eth: model::IPOIB_QDR, hdfs: base(true, true) },
+    ]
+}
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let datanodes = scale.pick(4, 8, 32);
+    let gb_unit: usize = scale.pick(2 << 20, 4 << 20, 64 << 20); // bytes per "GB*"
+    let sizes: Vec<usize> = (1..=5).collect();
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut payload = vec![0u8; 5 * gb_unit];
+    rng.fill_bytes(&mut payload);
+
+    let mut rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|s| vec![format!("{s} GB*")])
+        .collect();
+
+    let reps = scale.pick(2, 3, 5);
+    let mut header: Vec<String> = vec!["File size".into()];
+    for cfg in configs() {
+        header.push(cfg.name.into());
+        println!("measuring {} ...", cfg.name);
+        let dfs = MiniDfs::start(cfg.eth, datanodes, cfg.hdfs.clone()).expect("cluster");
+        let client = dfs.client().expect("client");
+        // Warm the data-plane connection pools before timing.
+        client.write_file("/warmup", &payload[..gb_unit / 4]).expect("warmup write");
+        for (i, s) in sizes.iter().enumerate() {
+            let data = &payload[..s * gb_unit];
+            let mut samples: Vec<f64> = (0..reps)
+                .map(|r| {
+                    let start = Instant::now();
+                    client.write_file(&format!("/bench-{s}-{r}"), data).expect("write");
+                    start.elapsed().as_secs_f64()
+                })
+                .collect();
+            samples.sort_by(|a, b| a.total_cmp(b));
+            rows[i].push(format!("{:.2}", samples[samples.len() / 2]));
+        }
+        dfs.stop();
+    }
+
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(
+        &format!("Figure 7: HDFS write time (seconds), {datanodes} DataNodes, replication 3"),
+        &header_refs,
+        &rows,
+    );
+    println!(
+        "\npaper: HDFSoIB-RPCoIB fastest; ~10% faster than HDFSoIB-RPC(IPoIB); \
+         socket-HDFS configurations ordered 1GigE slowest, then IPoIB"
+    );
+}

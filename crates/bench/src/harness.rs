@@ -1,0 +1,119 @@
+//! Output formatting and run-scale handling.
+
+use std::time::Duration;
+
+/// How big a run the harness performs. The paper's absolute sizes (128 GB
+/// sorts, 640 K YCSB operations, 64 slave nodes) are scaled down so every
+/// figure regenerates on a laptop; `Full` uses larger sizes (and the
+/// paper's node counts where feasible) for overnight runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// CI-sized: seconds per experiment.
+    Quick,
+    /// Default: a few minutes per experiment.
+    Normal,
+    /// Paper-shaped node counts; long.
+    Full,
+}
+
+impl BenchScale {
+    /// Parse from argv: `--quick` / `--full` (default `Normal`).
+    pub fn from_args() -> BenchScale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            BenchScale::Quick
+        } else if args.iter().any(|a| a == "--full") {
+            BenchScale::Full
+        } else {
+            BenchScale::Normal
+        }
+    }
+
+    /// Pick one of three values by scale.
+    pub fn pick<T: Copy>(self, quick: T, normal: T, full: T) -> T {
+        match self {
+            BenchScale::Quick => quick,
+            BenchScale::Normal => normal,
+            BenchScale::Full => full,
+        }
+    }
+}
+
+/// Print an aligned ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Percentile over an unsorted slice of durations.
+pub fn percentile(samples: &mut [Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[idx]
+}
+
+/// Median microseconds.
+pub fn median_us(samples: &mut [Duration]) -> f64 {
+    percentile(samples, 0.5).as_secs_f64() * 1e6
+}
+
+/// Percent improvement of `new` relative to `base` (positive = faster).
+pub fn improvement_pct(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        return 0.0;
+    }
+    (base - new) / base * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(BenchScale::Quick.pick(1, 2, 3), 1);
+        assert_eq!(BenchScale::Normal.pick(1, 2, 3), 2);
+        assert_eq!(BenchScale::Full.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let mut v = vec![
+            Duration::from_micros(30),
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+        ];
+        assert_eq!(percentile(&mut v, 0.0), Duration::from_micros(10));
+        assert_eq!(percentile(&mut v, 1.0), Duration::from_micros(30));
+        assert_eq!(median_us(&mut v), 20.0);
+        assert_eq!(percentile(&mut [], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn improvement_sign() {
+        assert!((improvement_pct(100.0, 50.0) - 50.0).abs() < 1e-9);
+        assert!(improvement_pct(100.0, 120.0) < 0.0);
+    }
+}

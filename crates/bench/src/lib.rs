@@ -1,0 +1,14 @@
+//! # rpcoib-bench — harness shared by the table/figure binaries
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's per-experiment index and
+//! EXPERIMENTS.md for paper-vs-measured records). This library holds the
+//! pieces they share: the ping-pong microbenchmark service (the paper's
+//! Hadoop RPC micro-benchmark suite, WBDB'13), table printing, and scale
+//! handling (`--quick` / `--full`).
+
+pub mod harness;
+pub mod pingpong;
+
+pub use harness::{percentile, print_table, BenchScale};
+pub use pingpong::{setup_pingpong, EchoService, PingPongEnv};

@@ -1,0 +1,104 @@
+//! Size-class arithmetic.
+//!
+//! Classes are powers of two starting at 128 bytes — the ladder shown on
+//! the y-axis of the paper's Figure 3 (128 B, 256 B, 512 B, 1 KB, 2 KB,
+//! 4 KB, …). A request maps to the smallest class that fits it.
+
+/// Smallest buffer class, bytes.
+pub const MIN_CLASS_BYTES: usize = 128;
+
+/// Default largest buffer class, bytes (16 MiB ⇒ 18 classes).
+pub const DEFAULT_MAX_CLASS_BYTES: usize = 16 * 1024 * 1024;
+
+/// The class ladder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeClasses {
+    /// Number of classes; class `i` holds buffers of `MIN << i` bytes.
+    pub count: usize,
+}
+
+impl SizeClasses {
+    /// Ladder from 128 B up to (at least) `max_bytes`.
+    pub fn up_to(max_bytes: usize) -> SizeClasses {
+        SizeClasses { count: class_for(max_bytes) + 1 }
+    }
+
+    /// Capacity of class `idx`.
+    pub fn capacity(&self, idx: usize) -> usize {
+        assert!(idx < self.count, "class {idx} out of range ({} classes)", self.count);
+        class_capacity(idx)
+    }
+
+    /// Largest capacity in the ladder.
+    pub fn max_capacity(&self) -> usize {
+        class_capacity(self.count - 1)
+    }
+
+    /// The class a request of `size` bytes maps to, or `None` if it exceeds
+    /// the ladder (callers fall back to a one-off allocation).
+    pub fn class_of(&self, size: usize) -> Option<usize> {
+        let idx = class_for(size);
+        (idx < self.count).then_some(idx)
+    }
+}
+
+impl Default for SizeClasses {
+    fn default() -> Self {
+        SizeClasses::up_to(DEFAULT_MAX_CLASS_BYTES)
+    }
+}
+
+/// Index of the smallest class holding `size` bytes (unbounded ladder).
+pub fn class_for(size: usize) -> usize {
+    let size = size.max(1);
+    let needed = size.div_ceil(MIN_CLASS_BYTES).next_power_of_two();
+    needed.trailing_zeros() as usize
+}
+
+/// Capacity in bytes of class `idx`.
+pub fn class_capacity(idx: usize) -> usize {
+    MIN_CLASS_BYTES << idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_boundaries() {
+        assert_eq!(class_for(0), 0);
+        assert_eq!(class_for(1), 0);
+        assert_eq!(class_for(128), 0);
+        assert_eq!(class_for(129), 1);
+        assert_eq!(class_for(256), 1);
+        assert_eq!(class_for(257), 2);
+        assert_eq!(class_for(1024), 3);
+        assert_eq!(class_for(4096), 5);
+    }
+
+    #[test]
+    fn capacity_is_inverse_of_class() {
+        for idx in 0..20 {
+            let cap = class_capacity(idx);
+            assert_eq!(class_for(cap), idx);
+            assert_eq!(class_for(cap + 1), idx + 1);
+        }
+    }
+
+    #[test]
+    fn ladder_configuration() {
+        let ladder = SizeClasses::default();
+        assert_eq!(ladder.max_capacity(), DEFAULT_MAX_CLASS_BYTES);
+        assert_eq!(ladder.class_of(130), Some(1));
+        assert_eq!(ladder.class_of(DEFAULT_MAX_CLASS_BYTES), Some(ladder.count - 1));
+        assert_eq!(ladder.class_of(DEFAULT_MAX_CLASS_BYTES + 1), None);
+        let small = SizeClasses::up_to(1024);
+        assert_eq!(small.count, 4); // 128, 256, 512, 1024
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn capacity_of_missing_class_panics() {
+        SizeClasses::up_to(256).capacity(9);
+    }
+}

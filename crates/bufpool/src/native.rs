@@ -1,0 +1,300 @@
+//! The native pool: level two of the paper's buffer management.
+//!
+//! Buffers are pre-allocated (and, with an RDMA factory, pre-registered)
+//! per size class; acquisition is a freelist pop and release is a push.
+//! Requests larger than the ladder fall back to a one-off allocation that
+//! is *not* pooled — mirroring how slab-style allocators (TCMalloc, UCR)
+//! treat jumbo objects, which the paper cites as prior art for this layout.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::classes::SizeClasses;
+use crate::mem::PoolMem;
+
+/// Counters describing pool behaviour (used by the ablation benches).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Acquisitions served from a freelist.
+    pub hits: AtomicU64,
+    /// Acquisitions that had to call the factory.
+    pub misses: AtomicU64,
+    /// Buffers returned to a freelist.
+    pub returns: AtomicU64,
+    /// One-off allocations beyond the class ladder.
+    pub oversize: AtomicU64,
+}
+
+impl PoolStats {
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.returns.load(Ordering::Relaxed),
+            self.oversize.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct PoolInner<M: PoolMem> {
+    classes: SizeClasses,
+    shelves: Vec<Mutex<Vec<M>>>,
+    factory: Box<dyn Fn(usize) -> M + Send + Sync>,
+    stats: PoolStats,
+}
+
+/// A size-classed pool of reusable buffers.
+pub struct NativePool<M: PoolMem> {
+    inner: Arc<PoolInner<M>>,
+}
+
+impl<M: PoolMem> Clone for NativePool<M> {
+    fn clone(&self) -> Self {
+        NativePool { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<M: PoolMem> NativePool<M> {
+    /// Create a pool over the given class ladder. `factory` produces a
+    /// buffer of (at least) the requested capacity; for RDMA pools it
+    /// performs the HCA registration.
+    pub fn new(
+        classes: SizeClasses,
+        factory: impl Fn(usize) -> M + Send + Sync + 'static,
+    ) -> NativePool<M> {
+        let shelves = (0..classes.count).map(|_| Mutex::new(Vec::new())).collect();
+        NativePool {
+            inner: Arc::new(PoolInner {
+                classes,
+                shelves,
+                factory: Box::new(factory),
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// The class ladder this pool serves.
+    pub fn classes(&self) -> SizeClasses {
+        self.inner.classes
+    }
+
+    /// Pre-allocate `per_class` buffers in every class — this is where an
+    /// RDMA-backed pool pays all its registration cost, up front.
+    pub fn prefill(&self, per_class: usize) {
+        for idx in 0..self.inner.classes.count {
+            self.prefill_class(idx, per_class);
+        }
+    }
+
+    /// Pre-allocate `n` buffers in one class.
+    pub fn prefill_class(&self, idx: usize, n: usize) {
+        let cap = self.inner.classes.capacity(idx);
+        let mut shelf = self.inner.shelves[idx].lock();
+        for _ in 0..n {
+            shelf.push((self.inner.factory)(cap));
+        }
+    }
+
+    /// Buffers currently idle in class `idx`.
+    pub fn idle_in_class(&self, idx: usize) -> usize {
+        self.inner.shelves[idx].lock().len()
+    }
+
+    /// Acquire a buffer of class `idx` (freelist pop, or factory call on a
+    /// cold shelf).
+    pub fn acquire_class(&self, idx: usize) -> PooledBuf<M> {
+        let cap = self.inner.classes.capacity(idx);
+        let reused = self.inner.shelves[idx].lock().pop();
+        let mem = match reused {
+            Some(mem) => {
+                self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
+                mem
+            }
+            None => {
+                self.inner.stats.misses.fetch_add(1, Ordering::Relaxed);
+                (self.inner.factory)(cap)
+            }
+        };
+        PooledBuf { mem: Some(mem), class: Some(idx), pool: Arc::clone(&self.inner) }
+    }
+
+    /// Acquire a buffer of at least `size` bytes: via the ladder when it
+    /// fits, otherwise a non-pooled one-off allocation.
+    pub fn acquire_size(&self, size: usize) -> PooledBuf<M> {
+        match self.inner.classes.class_of(size) {
+            Some(idx) => self.acquire_class(idx),
+            None => {
+                self.inner.stats.oversize.fetch_add(1, Ordering::Relaxed);
+                PooledBuf {
+                    mem: Some((self.inner.factory)(size)),
+                    class: None,
+                    pool: Arc::clone(&self.inner),
+                }
+            }
+        }
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.inner.stats
+    }
+}
+
+impl<M: PoolMem> std::fmt::Debug for NativePool<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativePool").field("classes", &self.inner.classes.count).finish()
+    }
+}
+
+/// A buffer checked out of a [`NativePool`]; returns itself on drop.
+pub struct PooledBuf<M: PoolMem> {
+    mem: Option<M>,
+    class: Option<usize>,
+    pool: Arc<PoolInner<M>>,
+}
+
+impl<M: PoolMem> PooledBuf<M> {
+    /// The backing memory.
+    pub fn mem(&self) -> &M {
+        self.mem.as_ref().expect("pooled buffer accessed after drop")
+    }
+
+    /// Mutable access to the backing memory.
+    pub fn mem_mut(&mut self) -> &mut M {
+        self.mem.as_mut().expect("pooled buffer accessed after drop")
+    }
+
+    /// Capacity of the checked-out buffer.
+    pub fn capacity(&self) -> usize {
+        self.mem().capacity()
+    }
+
+    /// Which class this buffer came from (`None` for oversize one-offs).
+    pub fn class(&self) -> Option<usize> {
+        self.class
+    }
+}
+
+impl<M: PoolMem> Drop for PooledBuf<M> {
+    fn drop(&mut self) {
+        if let (Some(mem), Some(class)) = (self.mem.take(), self.class) {
+            self.pool.stats.returns.fetch_add(1, Ordering::Relaxed);
+            self.pool.shelves[class].lock().push(mem);
+        }
+        // Oversize buffers simply deallocate.
+    }
+}
+
+impl<M: PoolMem> std::fmt::Debug for PooledBuf<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("class", &self.class)
+            .field("capacity", &self.mem.as_ref().map(|m| m.capacity()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::class_capacity;
+    use crate::mem::HeapMem;
+
+    fn heap_pool() -> NativePool<HeapMem> {
+        NativePool::new(SizeClasses::up_to(4096), HeapMem::new)
+    }
+
+    #[test]
+    fn acquire_gets_class_capacity() {
+        let pool = heap_pool();
+        let buf = pool.acquire_size(200);
+        assert_eq!(buf.class(), Some(1));
+        assert_eq!(buf.capacity(), 256);
+    }
+
+    #[test]
+    fn release_and_reuse() {
+        let pool = heap_pool();
+        {
+            let _buf = pool.acquire_class(2);
+        } // returned on drop
+        assert_eq!(pool.idle_in_class(2), 1);
+        let _again = pool.acquire_class(2);
+        assert_eq!(pool.idle_in_class(2), 0);
+        let (hits, misses, returns, _) = pool.stats().snapshot();
+        assert_eq!((hits, misses, returns), (1, 1, 1));
+    }
+
+    #[test]
+    fn prefill_makes_first_acquire_a_hit() {
+        let pool = heap_pool();
+        pool.prefill(2);
+        for idx in 0..pool.classes().count {
+            assert_eq!(pool.idle_in_class(idx), 2);
+        }
+        let _b = pool.acquire_class(0);
+        let (hits, misses, _, _) = pool.stats().snapshot();
+        assert_eq!((hits, misses), (1, 0));
+    }
+
+    #[test]
+    fn oversize_requests_are_one_off() {
+        let pool = heap_pool();
+        let huge = pool.acquire_size(100_000);
+        assert_eq!(huge.class(), None);
+        assert!(huge.capacity() >= 100_000);
+        drop(huge);
+        // Not returned to any shelf.
+        for idx in 0..pool.classes().count {
+            assert_eq!(pool.idle_in_class(idx), 0);
+        }
+        let (_, _, _, oversize) = pool.stats().snapshot();
+        assert_eq!(oversize, 1);
+    }
+
+    #[test]
+    fn buffers_keep_contents_across_pool_trips() {
+        let pool = heap_pool();
+        {
+            let mut b = pool.acquire_class(0);
+            b.mem_mut().put(0, b"sticky");
+        }
+        let b = pool.acquire_class(0);
+        let mut out = [0u8; 6];
+        b.mem().get(0, &mut out);
+        // Pool reuse does not zero memory (like real registered buffers).
+        assert_eq!(&out, b"sticky");
+    }
+
+    #[test]
+    fn concurrent_acquire_release() {
+        let pool = heap_pool();
+        pool.prefill(4);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let mut b = pool.acquire_size(1 + (i * 37) % 4000);
+                        b.mem_mut().put(0, &[i as u8]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let (hits, misses, returns, _) = pool.stats().snapshot();
+        assert_eq!(hits + misses, 8 * 200);
+        assert_eq!(returns, 8 * 200);
+    }
+
+    #[test]
+    fn class_capacities_are_powers_of_two_from_128() {
+        for idx in 0..6 {
+            assert_eq!(class_capacity(idx), 128 << idx);
+        }
+    }
+}

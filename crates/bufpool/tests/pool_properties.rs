@@ -1,0 +1,62 @@
+//! Property tests: pool invariants under arbitrary call-size sequences.
+
+use bufpool::{class_capacity, class_for, HeapMem, NativePool, PoolMem, ShadowPool, SizeClasses};
+use proptest::prelude::*;
+
+proptest! {
+    /// The pool always returns a buffer at least as large as requested,
+    /// and ladder-sized requests come back with the exact class capacity.
+    #[test]
+    fn acquired_buffers_fit_requests(sizes in proptest::collection::vec(1usize..100_000, 1..100)) {
+        let pool = NativePool::new(SizeClasses::up_to(16 * 1024), HeapMem::new);
+        for size in sizes {
+            let buf = pool.acquire_size(size);
+            prop_assert!(buf.capacity() >= size);
+            if let Some(class) = buf.class() {
+                prop_assert_eq!(buf.capacity(), class_capacity(class));
+                prop_assert_eq!(class, class_for(size));
+            } else {
+                prop_assert!(size > 16 * 1024, "only jumbo requests go oversize");
+            }
+        }
+    }
+
+    /// Whatever sequence of sizes a call kind produces, the history always
+    /// predicts the class of the *previous* size — message size locality
+    /// turns that into a hit when sizes repeat.
+    #[test]
+    fn history_tracks_last_size(sizes in proptest::collection::vec(1usize..20_000, 1..50)) {
+        let shadow = ShadowPool::new(
+            NativePool::new(SizeClasses::up_to(32 * 1024), HeapMem::new),
+            true,
+        );
+        for &size in &sizes {
+            shadow.record("proto", "method", size);
+            let expect = class_for(size).min(shadow.native().classes().count - 1);
+            prop_assert_eq!(shadow.recorded_class("proto", "method"), Some(expect));
+            let buf = shadow.acquire("proto", "method");
+            prop_assert_eq!(buf.class(), Some(expect));
+        }
+    }
+
+    /// Growing a buffer repeatedly preserves the prefix that was in use.
+    #[test]
+    fn repeated_grow_preserves_prefix(data in proptest::collection::vec(any::<u8>(), 1..4000)) {
+        let shadow = ShadowPool::new(
+            NativePool::new(SizeClasses::up_to(64 * 1024), HeapMem::new),
+            true,
+        );
+        let mut buf = shadow.acquire("p", "m");
+        let mut written = 0usize;
+        for chunk in data.chunks(97) {
+            while written + chunk.len() > buf.capacity() {
+                buf = shadow.grow(buf, written);
+            }
+            buf.mem_mut().put(written, chunk);
+            written += chunk.len();
+        }
+        let mut out = vec![0u8; written];
+        buf.mem().get(0, &mut out);
+        prop_assert_eq!(out, data);
+    }
+}

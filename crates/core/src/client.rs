@@ -1,0 +1,340 @@
+//! The RPC client: caller threads plus one Connection thread per server
+//! (Section III-D keeps Hadoop's two-thread client design).
+//!
+//! Callers serialize and transmit on their own thread (so per-call
+//! serialization cost lands on the caller, as in Hadoop), register the
+//! call id in the pending table, and park until the Connection thread —
+//! which owns the receive side — routes the response back.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use simnet::{Fabric, NodeId, SimAddr, SimStream};
+use wire::Writable;
+
+use crate::config::RpcConfig;
+use crate::error::{RpcError, RpcResult};
+use crate::frame::{read_response_header, write_request, Payload};
+use crate::metrics::{CallProfile, MetricsRegistry, RecvProfile as MetricsRecv};
+use crate::transport::rdma::{IbContext, RdmaConn};
+use crate::transport::socket::SocketConn;
+use crate::transport::Conn;
+
+const IDLE_SLICE: Duration = Duration::from_millis(100);
+
+struct PendingCall {
+    tx: Sender<RpcResult<Payload>>,
+    protocol: String,
+    method: String,
+}
+
+struct ClientConnection {
+    conn: Arc<dyn Conn>,
+    pending: Mutex<HashMap<i32, PendingCall>>,
+    broken: AtomicBool,
+}
+
+impl ClientConnection {
+    fn fail_all(&self, err: RpcError) {
+        self.broken.store(true, Ordering::Release);
+        for (_, call) in self.pending.lock().drain() {
+            let _ = call.tx.send(Err(err.clone()));
+        }
+    }
+}
+
+struct ClientInner {
+    fabric: Fabric,
+    node: NodeId,
+    cfg: RpcConfig,
+    ib: Option<IbContext>,
+    conns: Mutex<HashMap<SimAddr, Arc<ClientConnection>>>,
+    /// Serializes connection establishment: concurrent first callers must
+    /// not each bootstrap a connection (an RPCoIB bootstrap registers a
+    /// receive ring and a large region on *both* sides — losers of a
+    /// connect race would leak all of it as zombies).
+    connect_lock: Mutex<()>,
+    next_call: AtomicI32,
+    metrics: MetricsRegistry,
+    stopped: AtomicBool,
+}
+
+impl Drop for ClientInner {
+    fn drop(&mut self) {
+        // Last user-held handle gone: close every connection so the
+        // per-connection threads exit and release their buffers. The
+        // threads only hold `Weak` references, so this does run.
+        self.stopped.store(true, Ordering::Release);
+        for (_, conn) in self.conns.lock().drain() {
+            conn.conn.close();
+            conn.fail_all(RpcError::ConnectionClosed);
+        }
+    }
+}
+
+/// An RPC client anchored on one simulated node.
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<ClientInner>,
+}
+
+impl Client {
+    /// Create a client on `node`. In RPCoIB mode this opens the HCA and
+    /// pre-registers the buffer pool.
+    pub fn new(fabric: &Fabric, node: NodeId, cfg: RpcConfig) -> RpcResult<Client> {
+        cfg.validate().map_err(RpcError::Config)?;
+        let ib = if cfg.ib_enabled { Some(IbContext::new(fabric, node, &cfg)?) } else { None };
+        let trace = cfg.trace_sizes;
+        Ok(Client {
+            inner: Arc::new(ClientInner {
+                fabric: fabric.clone(),
+                node,
+                cfg,
+                ib,
+                conns: Mutex::new(HashMap::new()),
+                connect_lock: Mutex::new(()),
+                next_call: AtomicI32::new(1),
+                metrics: MetricsRegistry::new(trace),
+                stopped: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Client-side metrics (Table I and Figure 3 read these).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// RPCoIB buffer-pool counters (hits, misses, returns, oversize);
+    /// `None` on the socket transport.
+    pub fn pool_stats(&self) -> Option<(u64, u64, u64, u64)> {
+        self.inner.ib.as_ref().map(|ib| ib.pool_stats())
+    }
+
+    /// Number of cached (possibly broken) server connections.
+    pub fn connection_count(&self) -> usize {
+        self.inner.conns.lock().len()
+    }
+
+    /// Invoke `protocol.method(request)` on the server at `server` and
+    /// deserialize the response into `Resp`.
+    pub fn call<Req, Resp>(
+        &self,
+        server: SimAddr,
+        protocol: &str,
+        method: &str,
+        request: &Req,
+    ) -> RpcResult<Resp>
+    where
+        Req: Writable,
+        Resp: Writable + Default,
+    {
+        let payload = self.call_raw(server, protocol, method, request)?;
+        let mut reader = payload.reader();
+        let header =
+            read_response_header(&mut reader).map_err(|e| RpcError::Protocol(e.to_string()))?;
+        if header.ok {
+            let mut resp = Resp::default();
+            resp.read_fields(&mut reader).map_err(|e| RpcError::Protocol(e.to_string()))?;
+            Ok(resp)
+        } else {
+            let mut message = String::new();
+            message.read_fields(&mut reader).map_err(|e| RpcError::Protocol(e.to_string()))?;
+            Err(RpcError::Remote(message))
+        }
+    }
+
+    /// Like [`Client::call`] but returns the raw response payload
+    /// (header included), for callers that parse responses themselves.
+    pub fn call_raw<Req>(
+        &self,
+        server: SimAddr,
+        protocol: &str,
+        method: &str,
+        request: &Req,
+    ) -> RpcResult<Payload>
+    where
+        Req: Writable,
+    {
+        // One transparent retry on a stale cached connection (the server
+        // may have restarted since we last talked to it).
+        match self.try_call(server, protocol, method, request) {
+            Err(RpcError::ConnectionClosed) => {
+                self.inner.conns.lock().remove(&server);
+                self.try_call(server, protocol, method, request)
+            }
+            other => other,
+        }
+    }
+
+    fn try_call<Req>(
+        &self,
+        server: SimAddr,
+        protocol: &str,
+        method: &str,
+        request: &Req,
+    ) -> RpcResult<Payload>
+    where
+        Req: Writable,
+    {
+        if self.inner.stopped.load(Ordering::Acquire) {
+            return Err(RpcError::ConnectionClosed);
+        }
+        let connection = self.get_connection(server)?;
+        let call_id = self.inner.next_call.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        connection.pending.lock().insert(
+            call_id,
+            PendingCall { tx, protocol: protocol.to_owned(), method: method.to_owned() },
+        );
+
+        let profile = match connection.conn.send_msg(protocol, method, &mut |out| {
+            write_request(out, call_id, protocol, method, request)
+        }) {
+            Ok(p) => p,
+            Err(e) => {
+                connection.pending.lock().remove(&call_id);
+                if matches!(e, RpcError::ConnectionClosed) {
+                    connection.fail_all(RpcError::ConnectionClosed);
+                }
+                return Err(e);
+            }
+        };
+        self.inner.metrics.record_call(
+            protocol,
+            method,
+            CallProfile {
+                serialize_ns: profile.serialize_ns,
+                send_ns: profile.send_ns,
+                adjustments: profile.adjustments,
+                size: profile.size,
+            },
+        );
+
+        match rx.recv_timeout(self.inner.cfg.call_timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                connection.pending.lock().remove(&call_id);
+                Err(RpcError::Timeout)
+            }
+        }
+    }
+
+    fn get_connection(&self, server: SimAddr) -> RpcResult<Arc<ClientConnection>> {
+        {
+            let conns = self.inner.conns.lock();
+            if let Some(conn) = conns.get(&server) {
+                if !conn.broken.load(Ordering::Acquire) {
+                    return Ok(Arc::clone(conn));
+                }
+            }
+        }
+        // Establish under the connect lock; a caller that raced in behind
+        // the winner finds the fresh connection on the re-check and never
+        // bootstraps a duplicate.
+        let _guard = self.inner.connect_lock.lock();
+        {
+            let conns = self.inner.conns.lock();
+            if let Some(conn) = conns.get(&server) {
+                if !conn.broken.load(Ordering::Acquire) {
+                    return Ok(Arc::clone(conn));
+                }
+            }
+        }
+        let stream = SimStream::connect(&self.inner.fabric, self.inner.node, server)?;
+        let conn: Arc<dyn Conn> = match &self.inner.ib {
+            Some(ctx) => Arc::new(RdmaConn::bootstrap(&stream, ctx, &self.inner.cfg)?),
+            None => Arc::new(SocketConn::new(stream, wire::buffer::INITIAL_CAPACITY)),
+        };
+        let connection = Arc::new(ClientConnection {
+            conn,
+            pending: Mutex::new(HashMap::new()),
+            broken: AtomicBool::new(false),
+        });
+        self.inner.conns.lock().insert(server, Arc::clone(&connection));
+
+        // The Connection thread: owns the receive side for this server.
+        // It holds only a Weak reference to the client, so dropping the
+        // last Client handle tears the thread (and the connection's
+        // buffers) down.
+        let inner = Arc::downgrade(&self.inner);
+        let connection2 = Arc::clone(&connection);
+        std::thread::Builder::new()
+            .name(format!("rpc-connection-{server}"))
+            .spawn(move || connection_loop(inner, connection2))
+            .expect("spawn connection thread");
+        Ok(connection)
+    }
+
+    /// Close all connections; subsequent calls fail.
+    pub fn shutdown(&self) {
+        if self.inner.stopped.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for (_, conn) in self.inner.conns.lock().drain() {
+            conn.conn.close();
+            conn.fail_all(RpcError::ConnectionClosed);
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("node", &self.inner.node)
+            .field("ib", &self.inner.ib.is_some())
+            .finish()
+    }
+}
+
+fn connection_loop(inner: std::sync::Weak<ClientInner>, connection: Arc<ClientConnection>) {
+    loop {
+        // Upgrade per iteration: if every user-facing Client handle is
+        // gone, stop polling and let the connection (and its registered
+        // buffers) drop.
+        let Some(inner) = inner.upgrade() else {
+            connection.fail_all(RpcError::ConnectionClosed);
+            return;
+        };
+        if inner.stopped.load(Ordering::Acquire)
+            || connection.broken.load(Ordering::Acquire)
+        {
+            connection.fail_all(RpcError::ConnectionClosed);
+            return;
+        }
+        let (payload, recv) = match connection.conn.recv_msg(IDLE_SLICE) {
+            Ok(v) => v,
+            Err(RpcError::Timeout) => continue,
+            Err(e) => {
+                connection.fail_all(e);
+                return;
+            }
+        };
+        let header = match read_response_header(&mut payload.reader()) {
+            Ok(h) => h,
+            Err(_) => {
+                connection.fail_all(RpcError::Protocol("corrupt response frame".into()));
+                return;
+            }
+        };
+        let pending = connection.pending.lock().remove(&header.call_id);
+        if let Some(call) = pending {
+            inner.metrics.record_recv(
+                &call.protocol,
+                &call.method,
+                MetricsRecv { alloc_ns: recv.alloc_ns, total_ns: recv.total_ns, size: recv.size },
+            );
+            let _ = call.tx.send(Ok(payload));
+        }
+        // else: the caller timed out and went away; drop the response.
+    }
+}

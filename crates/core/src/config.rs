@@ -1,0 +1,125 @@
+//! RPC engine configuration.
+//!
+//! The paper exposes a single switch, `rpc.ib.enabled`, plus a tunable
+//! small-message threshold that routes tiny payloads through send/recv and
+//! larger ones through RDMA. [`RpcConfig`] carries those and the knobs the
+//! ablation benchmarks sweep.
+
+use std::time::Duration;
+
+/// Configuration shared by [`crate::Client`] and [`crate::Server`].
+#[derive(Debug, Clone)]
+pub struct RpcConfig {
+    /// The paper's `rpc.ib.enabled`: `false` = default socket-based Hadoop
+    /// RPC; `true` = RPCoIB over verbs.
+    pub ib_enabled: bool,
+    /// Messages at or below this size go through send/recv; larger ones
+    /// through one-sided RDMA write (Section III-D's tunable threshold).
+    pub rdma_threshold: usize,
+    /// Server handler thread count (the paper's microbenchmarks fix 8).
+    pub handlers: usize,
+    /// Bound of the server call queue between Readers and Handlers.
+    pub call_queue_len: usize,
+    /// Client-side wait for a response before failing the call.
+    pub call_timeout: Duration,
+    /// Whether the shadow pool uses `<protocol, method>` size history
+    /// (disabled only by the ablation).
+    pub use_size_history: bool,
+    /// Buffers pre-allocated (and pre-registered) per size class at
+    /// startup.
+    pub prefill_per_class: usize,
+    /// Capacity of each pre-posted receive buffer on RDMA connections.
+    /// Must be ≥ `rdma_threshold`.
+    pub recv_buf_bytes: usize,
+    /// Number of receive buffers kept posted per RDMA connection.
+    pub posted_recvs: usize,
+    /// Size of the per-connection region that large frames are
+    /// RDMA-written into.
+    pub large_region_bytes: usize,
+    /// Record every call's serialized size in the metrics registry
+    /// (needed by the Figure 3 harness; off by default — it allocates).
+    pub trace_sizes: bool,
+    /// Server-side initial serialization buffer for the socket baseline
+    /// (Hadoop uses 10 KB on the server, 32 B on the client).
+    pub server_buffer_init: usize,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            ib_enabled: false,
+            rdma_threshold: 16 * 1024,
+            handlers: 8,
+            call_queue_len: 4096,
+            call_timeout: Duration::from_secs(30),
+            use_size_history: true,
+            prefill_per_class: 4,
+            recv_buf_bytes: 64 * 1024,
+            posted_recvs: 32,
+            large_region_bytes: 4 * 1024 * 1024,
+            trace_sizes: false,
+            server_buffer_init: 10 * 1024,
+        }
+    }
+}
+
+impl RpcConfig {
+    /// Default socket-based configuration (runs on any fabric model).
+    pub fn socket() -> Self {
+        RpcConfig::default()
+    }
+
+    /// RPCoIB configuration (requires an RDMA-capable fabric model).
+    pub fn rpcoib() -> Self {
+        RpcConfig { ib_enabled: true, ..RpcConfig::default() }
+    }
+
+    /// Validate internal consistency; called by client/server construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.handlers == 0 {
+            return Err("handlers must be >= 1".into());
+        }
+        if self.ib_enabled {
+            if self.rdma_threshold > self.recv_buf_bytes {
+                return Err(format!(
+                    "rdma_threshold ({}) exceeds recv_buf_bytes ({}): small frames would not \
+                     fit in posted receive buffers",
+                    self.rdma_threshold, self.recv_buf_bytes
+                ));
+            }
+            if self.posted_recvs == 0 {
+                return Err("posted_recvs must be >= 1".into());
+            }
+            if self.large_region_bytes < self.recv_buf_bytes {
+                return Err("large_region_bytes must be >= recv_buf_bytes".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        RpcConfig::socket().validate().unwrap();
+        RpcConfig::rpcoib().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_threshold_is_rejected() {
+        let cfg = RpcConfig { rdma_threshold: 1 << 20, ..RpcConfig::rpcoib() };
+        assert!(cfg.validate().is_err());
+        // Irrelevant for socket mode.
+        let cfg = RpcConfig { rdma_threshold: 1 << 20, ..RpcConfig::socket() };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_handlers_rejected() {
+        let cfg = RpcConfig { handlers: 0, ..RpcConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+}

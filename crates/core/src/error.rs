@@ -1,0 +1,56 @@
+//! RPC error type.
+
+use simnet::VerbsError;
+
+/// Everything that can go wrong with an RPC call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// Transport-level I/O failure (socket path).
+    Io(String),
+    /// Verbs-level failure (RPCoIB path).
+    Verbs(VerbsError),
+    /// The server reported an application error (remote exception).
+    Remote(String),
+    /// No response within the configured call timeout.
+    Timeout,
+    /// The connection closed while the call was pending.
+    ConnectionClosed,
+    /// The server has no service registered for the protocol.
+    UnknownProtocol(String),
+    /// Malformed frame or failed deserialization.
+    Protocol(String),
+    /// Client/server misconfiguration (e.g. RPCoIB on a non-RDMA fabric).
+    Config(String),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Io(m) => write!(f, "io error: {m}"),
+            RpcError::Verbs(e) => write!(f, "verbs error: {e}"),
+            RpcError::Remote(m) => write!(f, "remote exception: {m}"),
+            RpcError::Timeout => write!(f, "rpc timeout"),
+            RpcError::ConnectionClosed => write!(f, "connection closed"),
+            RpcError::UnknownProtocol(p) => write!(f, "unknown protocol: {p}"),
+            RpcError::Protocol(m) => write!(f, "protocol error: {m}"),
+            RpcError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> Self {
+        RpcError::Io(e.to_string())
+    }
+}
+
+impl From<VerbsError> for RpcError {
+    fn from(e: VerbsError) -> Self {
+        RpcError::Verbs(e)
+    }
+}
+
+/// Result alias used across the crate.
+pub type RpcResult<T> = Result<T, RpcError>;

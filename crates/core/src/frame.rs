@@ -1,0 +1,271 @@
+//! Frame layout shared by both transports.
+//!
+//! Request payload: `[i32 call_id][Text protocol][Text method][param …]`
+//! Response payload: `[i32 call_id][u8 status][value … | Text error]`
+//!
+//! On the socket transport each payload is preceded by a 4-byte big-endian
+//! length (Hadoop's `out.writeInt(dataLength)`); on the RDMA transport the
+//! length travels in the completion, so no prefix is needed.
+
+use std::io::{self, Read};
+
+use bufpool::{PoolMem, PooledBuf};
+use simnet::MemoryRegion;
+use wire::{DataInput, DataOutput, Writable};
+
+/// Response status byte: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status byte: the server reports an error string.
+pub const STATUS_ERROR: u8 = 1;
+
+/// Parsed request header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHeader {
+    pub call_id: i32,
+    pub protocol: String,
+    pub method: String,
+}
+
+/// Serialize a request frame body (everything after the length prefix).
+pub fn write_request(
+    out: &mut dyn DataOutput,
+    call_id: i32,
+    protocol: &str,
+    method: &str,
+    param: &dyn Writable,
+) -> io::Result<()> {
+    out.write_i32(call_id)?;
+    out.write_string(protocol)?;
+    out.write_string(method)?;
+    param.write(out)
+}
+
+/// Parse the header of a request frame; the param bytes follow in `input`.
+pub fn read_request_header(input: &mut dyn DataInput) -> io::Result<RequestHeader> {
+    Ok(RequestHeader {
+        call_id: input.read_i32()?,
+        protocol: input.read_string()?,
+        method: input.read_string()?,
+    })
+}
+
+/// Serialize a response frame body.
+pub fn write_response(
+    out: &mut dyn DataOutput,
+    call_id: i32,
+    result: Result<&dyn Writable, &str>,
+) -> io::Result<()> {
+    out.write_i32(call_id)?;
+    match result {
+        Ok(value) => {
+            out.write_u8(STATUS_OK)?;
+            value.write(out)
+        }
+        Err(message) => {
+            out.write_u8(STATUS_ERROR)?;
+            out.write_string(message)
+        }
+    }
+}
+
+/// Parsed response header; the value (or error string) follows in `input`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseHeader {
+    pub call_id: i32,
+    pub ok: bool,
+}
+
+/// Parse a response frame header.
+pub fn read_response_header(input: &mut dyn DataInput) -> io::Result<ResponseHeader> {
+    let call_id = input.read_i32()?;
+    let status = input.read_u8()?;
+    match status {
+        STATUS_OK => Ok(ResponseHeader { call_id, ok: true }),
+        STATUS_ERROR => Ok(ResponseHeader { call_id, ok: false }),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown response status {other}"),
+        )),
+    }
+}
+
+/// A received frame payload: heap bytes on the socket path (Listing 2
+/// allocates per call), pooled registered memory on the RPCoIB path (zero
+/// extra copies).
+pub enum Payload {
+    /// Freshly allocated heap buffer (socket baseline).
+    Owned(Vec<u8>),
+    /// A pooled registered buffer holding `len` valid bytes.
+    Pooled { buf: PooledBuf<MemoryRegion>, len: usize },
+}
+
+impl Payload {
+    /// Valid byte count.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Owned(v) => v.len(),
+            Payload::Pooled { len, .. } => *len,
+        }
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A positioned reader over the payload bytes.
+    pub fn reader(&self) -> PayloadReader<'_> {
+        PayloadReader {
+            payload: self,
+            pos: 0,
+            stage: [0u8; READ_STAGE],
+            stage_start: 0,
+            stage_len: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Payload::Owned(v) => write!(f, "Payload::Owned({} bytes)", v.len()),
+            Payload::Pooled { len, .. } => write!(f, "Payload::Pooled({len} bytes)"),
+        }
+    }
+}
+
+/// Read-side staging size (mirrors the write-combining stage in
+/// `RdmaOutputStream`): pooled payloads live behind a lock, so per-field
+/// reads fetch through a small local window.
+const READ_STAGE: usize = 512;
+
+/// Reader over a [`Payload`]; implements `Read`, hence `DataInput`.
+pub struct PayloadReader<'a> {
+    payload: &'a Payload,
+    pos: usize,
+    stage: [u8; READ_STAGE],
+    stage_start: usize,
+    stage_len: usize,
+}
+
+impl PayloadReader<'_> {
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.payload.len() - self.pos
+    }
+
+    /// Current read position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Advance the position by `n` bytes (e.g. past an already-parsed
+    /// header) without copying.
+    pub fn skip(&mut self, n: usize) {
+        self.pos = (self.pos + n).min(self.payload.len());
+    }
+}
+
+impl Read for PayloadReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let n = self.remaining().min(out.len());
+        if n == 0 {
+            return Ok(0);
+        }
+        match self.payload {
+            Payload::Owned(v) => {
+                out[..n].copy_from_slice(&v[self.pos..self.pos + n]);
+                self.pos += n;
+            }
+            Payload::Pooled { buf, .. } => {
+                if n >= READ_STAGE {
+                    // Bulk read: bypass the stage.
+                    buf.mem().get(self.pos, &mut out[..n]);
+                    self.pos += n;
+                } else {
+                    // Serve from the staged window, refilling as needed.
+                    let in_stage = self.pos >= self.stage_start
+                        && self.pos < self.stage_start + self.stage_len;
+                    if !in_stage {
+                        let fill = self.remaining().min(READ_STAGE);
+                        buf.mem().get(self.pos, &mut self.stage[..fill]);
+                        self.stage_start = self.pos;
+                        self.stage_len = fill;
+                    }
+                    let off = self.pos - self.stage_start;
+                    let n = n.min(self.stage_len - off);
+                    out[..n].copy_from_slice(&self.stage[off..off + n]);
+                    self.pos += n;
+                    return Ok(n);
+                }
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::{IntWritable, Text};
+
+    #[test]
+    fn request_roundtrip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_request(&mut buf, 17, "hdfs.ClientProtocol", "getFileInfo", &Text::from("/a/b"))
+            .unwrap();
+        let mut input = buf.as_slice();
+        let header = read_request_header(&mut input).unwrap();
+        assert_eq!(header.call_id, 17);
+        assert_eq!(header.protocol, "hdfs.ClientProtocol");
+        assert_eq!(header.method, "getFileInfo");
+        let mut param = Text::default();
+        param.read_fields(&mut input).unwrap();
+        assert_eq!(param.0, "/a/b");
+    }
+
+    #[test]
+    fn ok_response_roundtrip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_response(&mut buf, 5, Ok(&IntWritable(99))).unwrap();
+        let mut input = buf.as_slice();
+        let header = read_response_header(&mut input).unwrap();
+        assert!(header.ok);
+        assert_eq!(header.call_id, 5);
+        let mut v = IntWritable::default();
+        v.read_fields(&mut input).unwrap();
+        assert_eq!(v.0, 99);
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_response(&mut buf, 6, Err("file not found")).unwrap();
+        let mut input = buf.as_slice();
+        let header = read_response_header(&mut input).unwrap();
+        assert!(!header.ok);
+        let mut msg = String::new();
+        msg.read_fields(&mut input).unwrap();
+        assert_eq!(msg, "file not found");
+    }
+
+    #[test]
+    fn bad_status_is_invalid_data() {
+        let buf = [0, 0, 0, 1, 9];
+        let mut input = buf.as_slice();
+        assert!(read_response_header(&mut input).is_err());
+    }
+
+    #[test]
+    fn owned_payload_reader() {
+        let payload = Payload::Owned(vec![1, 2, 3, 4, 5]);
+        let mut reader = payload.reader();
+        let mut buf = [0u8; 2];
+        reader.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2]);
+        assert_eq!(reader.remaining(), 3);
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, vec![3, 4, 5]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-call instrumentation.
+//!
+//! Table I of the paper reports, per `<protocol, method>`: average memory
+//! adjustment count, average serialization time, and average send time.
+//! Figure 1 reports the ratio of receive-side buffer-allocation time to
+//! total call-receive time. Figure 3 needs the serialized size of every
+//! call in sequence. This module collects all of those.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// One client-side call observation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CallProfile {
+    /// Time spent serializing the request (buffer writes + adjustments).
+    pub serialize_ns: u64,
+    /// Time spent handing the serialized frame to the transport.
+    pub send_ns: u64,
+    /// Memory adjustments performed while serializing (Algorithm 1 count;
+    /// always 0 on the RPCoIB path unless the pool had to grow).
+    pub adjustments: u64,
+    /// Serialized request size in bytes.
+    pub size: usize,
+}
+
+/// One receive-side observation (server reading a request, or client
+/// reading a response).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecvProfile {
+    /// Time spent allocating the receive buffer (Listing 2's
+    /// `ByteBuffer.allocate(len)`; ~0 on the pooled RPCoIB path).
+    pub alloc_ns: u64,
+    /// Total time from frame-length availability to payload in hand.
+    pub total_ns: u64,
+    /// Received payload size in bytes.
+    pub size: usize,
+}
+
+/// Aggregated statistics for one `<protocol, method>` key.
+#[derive(Debug, Clone, Default)]
+pub struct MethodStats {
+    pub calls: u64,
+    pub serialize_ns: u64,
+    pub send_ns: u64,
+    pub adjustments: u64,
+    pub recvs: u64,
+    pub recv_alloc_ns: u64,
+    pub recv_total_ns: u64,
+    /// Serialized sizes in call order (only kept when tracing is enabled).
+    pub sizes: Vec<u32>,
+}
+
+impl MethodStats {
+    pub fn avg_adjustments(&self) -> f64 {
+        if self.calls == 0 { 0.0 } else { self.adjustments as f64 / self.calls as f64 }
+    }
+    pub fn avg_serialize_us(&self) -> f64 {
+        if self.calls == 0 { 0.0 } else { self.serialize_ns as f64 / self.calls as f64 / 1e3 }
+    }
+    pub fn avg_send_us(&self) -> f64 {
+        if self.calls == 0 { 0.0 } else { self.send_ns as f64 / self.calls as f64 / 1e3 }
+    }
+    pub fn avg_recv_alloc_us(&self) -> f64 {
+        if self.recvs == 0 { 0.0 } else { self.recv_alloc_ns as f64 / self.recvs as f64 / 1e3 }
+    }
+    pub fn avg_recv_total_us(&self) -> f64 {
+        if self.recvs == 0 { 0.0 } else { self.recv_total_ns as f64 / self.recvs as f64 / 1e3 }
+    }
+    /// Figure 1's y-axis: allocation time / total receive time.
+    pub fn alloc_ratio(&self) -> f64 {
+        if self.recv_total_ns == 0 {
+            0.0
+        } else {
+            self.recv_alloc_ns as f64 / self.recv_total_ns as f64
+        }
+    }
+}
+
+/// Registry of per-call-kind statistics. Cheap to clone and share.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<MetricsInner>,
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    stats: Mutex<HashMap<(String, String), MethodStats>>,
+    trace_sizes: Mutex<bool>,
+}
+
+impl MetricsRegistry {
+    pub fn new(trace_sizes: bool) -> Self {
+        let reg = MetricsRegistry::default();
+        *reg.inner.trace_sizes.lock() = trace_sizes;
+        reg
+    }
+
+    /// Record a client-side send profile.
+    pub fn record_call(&self, protocol: &str, method: &str, profile: CallProfile) {
+        let trace = *self.inner.trace_sizes.lock();
+        let mut stats = self.inner.stats.lock();
+        let entry = stats.entry((protocol.to_owned(), method.to_owned())).or_default();
+        entry.calls += 1;
+        entry.serialize_ns += profile.serialize_ns;
+        entry.send_ns += profile.send_ns;
+        entry.adjustments += profile.adjustments;
+        if trace {
+            entry.sizes.push(profile.size as u32);
+        }
+    }
+
+    /// Record a receive-side profile.
+    pub fn record_recv(&self, protocol: &str, method: &str, profile: RecvProfile) {
+        let mut stats = self.inner.stats.lock();
+        let entry = stats.entry((protocol.to_owned(), method.to_owned())).or_default();
+        entry.recvs += 1;
+        entry.recv_alloc_ns += profile.alloc_ns;
+        entry.recv_total_ns += profile.total_ns;
+    }
+
+    /// Snapshot of every tracked key, sorted by (protocol, method).
+    pub fn snapshot(&self) -> Vec<((String, String), MethodStats)> {
+        let stats = self.inner.stats.lock();
+        let mut out: Vec<_> = stats.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Statistics for a single key, if present.
+    pub fn get(&self, protocol: &str, method: &str) -> Option<MethodStats> {
+        self.inner
+            .stats
+            .lock()
+            .get(&(protocol.to_owned(), method.to_owned()))
+            .cloned()
+    }
+
+    /// Drop all recorded data (between benchmark phases).
+    pub fn reset(&self) {
+        self.inner.stats.lock().clear();
+    }
+}
+
+/// Convenience: time a closure, returning (result, elapsed).
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = std::time::Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_are_per_call() {
+        let reg = MetricsRegistry::new(false);
+        for i in 0..4 {
+            reg.record_call(
+                "p",
+                "m",
+                CallProfile { serialize_ns: 1000, send_ns: 500, adjustments: i % 2, size: 64 },
+            );
+        }
+        let stats = reg.get("p", "m").unwrap();
+        assert_eq!(stats.calls, 4);
+        assert_eq!(stats.avg_serialize_us(), 1.0);
+        assert_eq!(stats.avg_send_us(), 0.5);
+        assert_eq!(stats.avg_adjustments(), 0.5);
+        assert!(stats.sizes.is_empty(), "tracing disabled");
+    }
+
+    #[test]
+    fn size_tracing_keeps_order() {
+        let reg = MetricsRegistry::new(true);
+        for size in [100usize, 430, 431, 90] {
+            reg.record_call("p", "m", CallProfile { size, ..Default::default() });
+        }
+        assert_eq!(reg.get("p", "m").unwrap().sizes, vec![100, 430, 431, 90]);
+    }
+
+    #[test]
+    fn alloc_ratio_matches_fig1_definition() {
+        let reg = MetricsRegistry::new(false);
+        reg.record_recv("p", "m", RecvProfile { alloc_ns: 30, total_ns: 100, size: 10 });
+        reg.record_recv("p", "m", RecvProfile { alloc_ns: 10, total_ns: 100, size: 10 });
+        let stats = reg.get("p", "m").unwrap();
+        assert!((stats.alloc_ratio() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keys_are_protocol_and_method() {
+        let reg = MetricsRegistry::new(false);
+        reg.record_call("a", "m", CallProfile::default());
+        reg.record_call("b", "m", CallProfile::default());
+        assert_eq!(reg.snapshot().len(), 2);
+        reg.reset();
+        assert!(reg.snapshot().is_empty());
+    }
+}

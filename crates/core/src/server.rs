@@ -1,0 +1,306 @@
+//! The RPC server, with Hadoop's thread architecture (Section III-D):
+//!
+//! * a **Listener** thread accepts connections (and, in RPCoIB mode, runs
+//!   the end-point exchange on each);
+//! * one **Reader** thread per connection receives frames and pushes
+//!   decoded calls onto the bounded call queue;
+//! * a pool of **Handler** threads pops calls, dispatches into the
+//!   registered services, and hands results to the responder;
+//! * a single **Responder** thread serializes and transmits responses.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use simnet::{Fabric, NodeId, SimAddr, SimListener};
+use wire::Writable;
+
+use crate::config::RpcConfig;
+use crate::error::{RpcError, RpcResult};
+use crate::frame::{read_request_header, write_response, Payload, RequestHeader};
+use crate::metrics::{MetricsRegistry, RecvProfile as MetricsRecv};
+use crate::service::ServiceRegistry;
+use crate::transport::rdma::{IbContext, RdmaConn};
+use crate::transport::socket::SocketConn;
+use crate::transport::Conn;
+
+/// How long blocking queue pops wait before re-checking for shutdown.
+const IDLE_SLICE: Duration = Duration::from_millis(100);
+
+struct RawCall {
+    conn: Arc<dyn Conn>,
+    header: RequestHeader,
+    payload: Payload,
+    /// Offset of the parameter bytes within the payload.
+    body_offset: usize,
+}
+
+struct OutboundResponse {
+    conn: Arc<dyn Conn>,
+    protocol: String,
+    method: String,
+    call_id: i32,
+    result: Result<Box<dyn Writable + Send>, RpcError>,
+}
+
+struct ServerInner {
+    cfg: RpcConfig,
+    registry: ServiceRegistry,
+    addr: SimAddr,
+    stop: AtomicBool,
+    metrics: MetricsRegistry,
+    call_tx: Sender<RawCall>,
+    call_rx: Receiver<RawCall>,
+    resp_tx: Sender<OutboundResponse>,
+    resp_rx: Receiver<OutboundResponse>,
+    conns: Mutex<Vec<Arc<dyn Conn>>>,
+    dynamic_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A running RPC server.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind and start a server on `(node, port)` of `fabric`, hosting the
+    /// services in `registry`. Transport is chosen by `cfg.ib_enabled`.
+    pub fn start(
+        fabric: &Fabric,
+        node: NodeId,
+        port: u16,
+        cfg: RpcConfig,
+        registry: ServiceRegistry,
+    ) -> RpcResult<Server> {
+        cfg.validate().map_err(RpcError::Config)?;
+        let addr = SimAddr::new(node, port);
+        let listener = SimListener::bind(fabric, addr)?;
+        let ib = if cfg.ib_enabled { Some(IbContext::new(fabric, node, &cfg)?) } else { None };
+
+        let (call_tx, call_rx) = bounded(cfg.call_queue_len);
+        let (resp_tx, resp_rx) = bounded(cfg.call_queue_len);
+        let inner = Arc::new(ServerInner {
+            cfg,
+            registry,
+            addr,
+            stop: AtomicBool::new(false),
+            metrics: MetricsRegistry::new(false),
+            call_tx,
+            call_rx,
+            resp_tx,
+            resp_rx,
+            conns: Mutex::new(Vec::new()),
+            dynamic_threads: Mutex::new(Vec::new()),
+        });
+
+        let mut threads = Vec::new();
+
+        // Listener thread.
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rpc-listener-{addr}"))
+                    .spawn(move || listener_loop(inner, listener, ib))
+                    .expect("spawn listener"),
+            );
+        }
+        // Handler pool.
+        for h in 0..inner.cfg.handlers {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rpc-handler-{h}"))
+                    .spawn(move || handler_loop(inner))
+                    .expect("spawn handler"),
+            );
+        }
+        // Responder thread.
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("rpc-responder".into())
+                    .spawn(move || responder_loop(inner))
+                    .expect("spawn responder"),
+            );
+        }
+
+        Ok(Server { inner, threads: Mutex::new(threads) })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SimAddr {
+        self.inner.addr
+    }
+
+    /// Server-side metrics (receive profiles feed the Figure 1 harness).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// Number of connections accepted over this server's lifetime.
+    pub fn connection_count(&self) -> usize {
+        self.inner.conns.lock().len()
+    }
+
+    /// Stop all threads and close all connections. Idempotent.
+    pub fn stop(&self) {
+        if self.inner.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for conn in self.inner.conns.lock().iter() {
+            conn.close();
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        for t in self.inner.dynamic_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.inner.addr)
+            .field("protocols", &self.inner.registry.protocols())
+            .finish()
+    }
+}
+
+fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbContext>) {
+    while !inner.stop.load(Ordering::Acquire) {
+        match listener.try_accept() {
+            Ok(Some((stream, _peer))) => {
+                let inner2 = Arc::clone(&inner);
+                let ib2 = ib.clone();
+                // Connection setup (which may block on the RDMA endpoint
+                // exchange) and the per-connection Reader run on their own
+                // thread, keeping the accept loop responsive.
+                let handle = std::thread::Builder::new()
+                    .name("rpc-reader".into())
+                    .spawn(move || {
+                        let conn: Arc<dyn Conn> = match &ib2 {
+                            Some(ctx) => {
+                                match RdmaConn::bootstrap(&stream, ctx, &inner2.cfg) {
+                                    Ok(c) => Arc::new(c),
+                                    Err(_) => return, // peer vanished mid-handshake
+                                }
+                            }
+                            None => Arc::new(SocketConn::new(
+                                stream,
+                                inner2.cfg.server_buffer_init,
+                            )),
+                        };
+                        inner2.conns.lock().push(Arc::clone(&conn));
+                        reader_loop(inner2, conn);
+                    })
+                    .expect("spawn reader");
+                inner.dynamic_threads.lock().push(handle);
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(1)),
+            Err(_) => break, // listener evicted (node killed)
+        }
+    }
+}
+
+fn reader_loop(inner: Arc<ServerInner>, conn: Arc<dyn Conn>) {
+    while !inner.stop.load(Ordering::Acquire) {
+        let (payload, recv) = match conn.recv_msg(IDLE_SLICE) {
+            Ok(v) => v,
+            Err(RpcError::Timeout) => continue,
+            Err(_) => break,
+        };
+        let mut reader = payload.reader();
+        let header = match read_request_header(&mut reader) {
+            Ok(h) => h,
+            Err(_) => break, // corrupt frame: drop the connection
+        };
+        let body_offset = reader.position();
+        inner.metrics.record_recv(
+            &header.protocol,
+            &header.method,
+            MetricsRecv { alloc_ns: recv.alloc_ns, total_ns: recv.total_ns, size: recv.size },
+        );
+        let call = RawCall { conn: Arc::clone(&conn), header, payload, body_offset };
+        if inner.call_tx.send(call).is_err() {
+            break;
+        }
+    }
+}
+
+fn handler_loop(inner: Arc<ServerInner>) {
+    loop {
+        match inner.call_rx.recv_timeout(IDLE_SLICE) {
+            Ok(call) => {
+                let mut reader = call.payload.reader();
+                reader.skip(call.body_offset);
+                let result =
+                    inner.registry.dispatch(&call.header.protocol, &call.header.method, &mut reader);
+                let out = OutboundResponse {
+                    conn: call.conn,
+                    protocol: call.header.protocol,
+                    method: call.header.method,
+                    call_id: call.header.call_id,
+                    result,
+                };
+                if inner.resp_tx.send(out).is_err() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if inner.stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn responder_loop(inner: Arc<ServerInner>) {
+    loop {
+        match inner.resp_rx.recv_timeout(IDLE_SLICE) {
+            Ok(out) => {
+                // The response's buffer-size history is keyed separately
+                // from the request's (responses of a method have their own
+                // stable size).
+                let resp_key = format!("{}#resp", out.method);
+                let error_text;
+                let result: Result<&dyn Writable, &str> = match &out.result {
+                    Ok(value) => Ok(value.as_ref()),
+                    Err(e) => {
+                        // Application errors travel as their bare message;
+                        // engine errors keep their category prefix.
+                        error_text = match e {
+                            RpcError::Remote(m) => m.clone(),
+                            other => other.to_string(),
+                        };
+                        Err(&error_text)
+                    }
+                };
+                // A failed send only affects that one connection.
+                let _ = out.conn.send_msg(&out.protocol, &resp_key, &mut |o| {
+                    write_response(o, out.call_id, result)
+                });
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if inner.stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

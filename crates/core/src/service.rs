@@ -1,0 +1,167 @@
+//! Server-side service dispatch.
+//!
+//! In Hadoop, an RPC server hosts one or more *protocols* (Java
+//! interfaces); a call names its protocol and method, and the server
+//! reflects into the registered instance. Here a protocol is an
+//! [`RpcService`] implementation dispatching on the method name, and a
+//! [`ServiceRegistry`] maps protocol names to services.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use wire::{DataInput, Writable};
+
+use crate::error::{RpcError, RpcResult};
+
+/// A protocol implementation hosted by a server.
+pub trait RpcService: Send + Sync {
+    /// The protocol name clients address this service by
+    /// (e.g. `"hdfs.ClientProtocol"`).
+    fn protocol(&self) -> &'static str;
+
+    /// Invoke `method`, deserializing its parameter from `param`.
+    /// Returns the response value, or an error string that the client will
+    /// surface as [`RpcError::Remote`].
+    fn call(
+        &self,
+        method: &str,
+        param: &mut dyn DataInput,
+    ) -> Result<Box<dyn Writable + Send>, String>;
+}
+
+/// Immutable-after-build set of services, shared across handler threads.
+#[derive(Clone, Default)]
+pub struct ServiceRegistry {
+    services: HashMap<&'static str, Arc<dyn RpcService>>,
+}
+
+impl ServiceRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a service under its protocol name. Panics on duplicates —
+    /// that is always a wiring bug.
+    pub fn register(&mut self, service: Arc<dyn RpcService>) {
+        let name = service.protocol();
+        let previous = self.services.insert(name, service);
+        assert!(previous.is_none(), "duplicate protocol registration: {name}");
+    }
+
+    /// Dispatch a call.
+    pub fn dispatch(
+        &self,
+        protocol: &str,
+        method: &str,
+        param: &mut dyn DataInput,
+    ) -> RpcResult<Box<dyn Writable + Send>> {
+        let service = self
+            .services
+            .get(protocol)
+            .ok_or_else(|| RpcError::UnknownProtocol(protocol.to_owned()))?;
+        service.call(method, param).map_err(RpcError::Remote)
+    }
+
+    /// Registered protocol names (diagnostics).
+    pub fn protocols(&self) -> Vec<&'static str> {
+        let mut names: Vec<_> = self.services.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl std::fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceRegistry").field("protocols", &self.protocols()).finish()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use wire::{BytesWritable, DataInput, IntWritable, NullWritable};
+
+    /// The paper's microbenchmark service: `pingpong` echoes a
+    /// `BytesWritable` payload.
+    pub struct EchoService;
+
+    impl RpcService for EchoService {
+        fn protocol(&self) -> &'static str {
+            "test.EchoProtocol"
+        }
+
+        fn call(
+            &self,
+            method: &str,
+            param: &mut dyn DataInput,
+        ) -> Result<Box<dyn Writable + Send>, String> {
+            match method {
+                "pingpong" => {
+                    let mut payload = BytesWritable::default();
+                    payload.read_fields(param).map_err(|e| e.to_string())?;
+                    Ok(Box::new(payload))
+                }
+                "add" => {
+                    let mut a = IntWritable::default();
+                    let mut b = IntWritable::default();
+                    a.read_fields(param).map_err(|e| e.to_string())?;
+                    b.read_fields(param).map_err(|e| e.to_string())?;
+                    Ok(Box::new(IntWritable(a.0 + b.0)))
+                }
+                "boom" => Err("deliberate failure".to_owned()),
+                "nothing" => {
+                    let mut n = NullWritable;
+                    n.read_fields(param).map_err(|e| e.to_string())?;
+                    Ok(Box::new(NullWritable))
+                }
+                other => Err(format!("no such method: {other}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::EchoService;
+    use super::*;
+    use wire::{to_bytes, IntWritable};
+
+    #[test]
+    fn dispatch_routes_by_protocol_and_method() {
+        let mut registry = ServiceRegistry::new();
+        registry.register(Arc::new(EchoService));
+        let mut param = Vec::new();
+        param.extend(to_bytes(&IntWritable(2)).unwrap());
+        param.extend(to_bytes(&IntWritable(40)).unwrap());
+        let result = registry
+            .dispatch("test.EchoProtocol", "add", &mut param.as_slice())
+            .unwrap();
+        assert_eq!(to_bytes(result.as_ref()).unwrap(), to_bytes(&IntWritable(42)).unwrap());
+    }
+
+    #[test]
+    fn unknown_protocol_is_an_error() {
+        let registry = ServiceRegistry::new();
+        let err = registry.dispatch("nope", "m", &mut [].as_slice()).err().unwrap();
+        assert!(matches!(err, RpcError::UnknownProtocol(_)));
+    }
+
+    #[test]
+    fn app_errors_become_remote() {
+        let mut registry = ServiceRegistry::new();
+        registry.register(Arc::new(EchoService));
+        let err = registry
+            .dispatch("test.EchoProtocol", "boom", &mut [].as_slice())
+            .err()
+            .unwrap();
+        assert_eq!(err, RpcError::Remote("deliberate failure".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate protocol")]
+    fn duplicate_registration_panics() {
+        let mut registry = ServiceRegistry::new();
+        registry.register(Arc::new(EchoService));
+        registry.register(Arc::new(EchoService));
+    }
+}

@@ -1,0 +1,61 @@
+//! Transport abstraction: the socket baseline and the RPCoIB verbs path
+//! implement the same [`Conn`] interface, so the client and server engines
+//! above are transport-agnostic — exactly the compatibility argument of
+//! Section III-A.
+
+pub mod rdma;
+pub mod socket;
+
+use std::io;
+use std::time::Duration;
+
+use wire::DataOutput;
+
+use crate::error::RpcResult;
+use crate::frame::Payload;
+
+/// Profile of one outgoing message (feeds Table I columns).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SendProfile {
+    pub serialize_ns: u64,
+    pub send_ns: u64,
+    /// Algorithm-1 adjustments (socket) or pool re-acquisitions (RPCoIB).
+    pub adjustments: u64,
+    pub size: usize,
+}
+
+/// Profile of one incoming message (feeds Figure 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecvProfile {
+    pub alloc_ns: u64,
+    pub total_ns: u64,
+    pub size: usize,
+}
+
+/// A bidirectional, message-oriented RPC connection.
+///
+/// `send_msg` may be called from any thread (internally serialized);
+/// `recv_msg` must be driven by a single reader thread per connection —
+/// the client's Connection thread or the server's Reader thread.
+pub trait Conn: Send + Sync {
+    /// Serialize one message via `write` (which receives this transport's
+    /// preferred `DataOutput`) and transmit it. `protocol`/`method` key
+    /// the RPCoIB buffer-size history; the socket path ignores them.
+    fn send_msg(
+        &self,
+        protocol: &str,
+        method: &str,
+        write: &mut dyn FnMut(&mut dyn DataOutput) -> io::Result<()>,
+    ) -> RpcResult<SendProfile>;
+
+    /// Receive the next message. Returns [`crate::RpcError::Timeout`] if
+    /// nothing arrives within `timeout` (the caller decides whether to
+    /// retry), [`crate::RpcError::ConnectionClosed`] on orderly EOF.
+    fn recv_msg(&self, timeout: Duration) -> RpcResult<(Payload, RecvProfile)>;
+
+    /// Tear down the connection; pending and future operations fail.
+    fn close(&self);
+
+    /// Human-readable peer description for diagnostics.
+    fn peer(&self) -> String;
+}

@@ -1,0 +1,545 @@
+//! The RPCoIB transport: native verbs, JVM-bypass buffers, send/recv for
+//! small messages and one-sided RDMA writes for large ones.
+//!
+//! Connection establishment follows Section III-D: the client connects to
+//! the server's ordinary socket address and the two sides exchange
+//! end-point information (queue-pair endpoint, large-region rkey and size)
+//! over that stream; all subsequent communication is native IB.
+//!
+//! Message paths:
+//!
+//! * **small** (≤ `rdma_threshold`): serialized directly into a pooled
+//!   registered buffer and `post_send`-ed from it; the receiver has a ring
+//!   of pre-posted pooled buffers, and deserialization reads straight out
+//!   of the one the message landed in. Zero copies beyond the (simulated)
+//!   DMA itself.
+//! * **large**: RDMA-written into the peer's pre-registered large region,
+//!   announced with an immediate. A one-deep credit protocol prevents the
+//!   writer from overwriting the region before the receiver has drained
+//!   it; the receiver copies the frame out into a pooled buffer and
+//!   returns the credit immediately.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bufpool::{NativePool, PoolMem, PooledBuf, RdmaMemFactory, ShadowPool, SizeClasses};
+use parking_lot::{Condvar, Mutex};
+use simnet::{
+    CompletionKind, Fabric, MemoryRegion, NodeId, QpEndpoint, QueuePair, RdmaDevice, RemoteKey,
+    SimStream, VerbsError,
+};
+use wire::DataOutput;
+
+use crate::config::RpcConfig;
+use crate::error::{RpcError, RpcResult};
+use crate::frame::Payload;
+use crate::stream::RdmaOutputStream;
+use crate::transport::{Conn, RecvProfile, SendProfile};
+
+/// Immediate tag: payload is a complete frame in the posted recv buffer.
+const IMM_SMALL: u32 = 1;
+/// Immediate tag: a frame was RDMA-written into the receiver's large region.
+const IMM_LARGE: u32 = 2;
+/// Immediate tag: the receiver drained its large region (flow control).
+const IMM_CREDIT: u32 = 3;
+
+/// How finely blocked polls slice their waits to notice closure.
+const POLL_SLICE: Duration = Duration::from_millis(50);
+
+fn verbs_err(e: VerbsError) -> RpcError {
+    match e {
+        VerbsError::PeerDown => RpcError::ConnectionClosed,
+        other => RpcError::Verbs(other),
+    }
+}
+
+/// Per-endpoint verbs state: the opened device and the two-level buffer
+/// pool (pre-registered at startup). Shared by every connection of one
+/// client or server.
+#[derive(Clone)]
+pub struct IbContext {
+    device: RdmaDevice,
+    pool: ShadowPool<MemoryRegion>,
+}
+
+impl std::fmt::Debug for IbContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IbContext").field("node", &self.device.node()).finish()
+    }
+}
+
+impl IbContext {
+    /// Open the HCA on `node` and build the pre-registered pool.
+    pub fn new(fabric: &Fabric, node: NodeId, cfg: &RpcConfig) -> RpcResult<IbContext> {
+        let device = RdmaDevice::open(fabric, node).map_err(|_| {
+            RpcError::Config(format!(
+                "RPCoIB requires an RDMA-capable fabric model, got '{}'",
+                fabric.model().name
+            ))
+        })?;
+        let factory = RdmaMemFactory::new(device.clone());
+        let ladder = SizeClasses::up_to(cfg.large_region_bytes);
+        let pool = ShadowPool::new(
+            NativePool::new(ladder, move |len| factory.allocate(len)),
+            cfg.use_size_history,
+        );
+        // Pre-register the small classes (the ones per-call traffic uses);
+        // jumbo classes are registered lazily on first use.
+        for idx in 0..ladder.count {
+            if ladder.capacity(idx) <= cfg.recv_buf_bytes {
+                pool.native().prefill_class(idx, cfg.prefill_per_class);
+            }
+        }
+        // The receive-ring class gets a full ring plus slack up front, so
+        // connection bring-up and the first calls never register inline —
+        // "pre-allocated and pre-registered when the RPCoIB library
+        // loads" (Section III-B).
+        if let Some(ring_class) = ladder.class_of(cfg.recv_buf_bytes) {
+            pool.native().prefill_class(ring_class, cfg.posted_recvs + 8);
+        }
+        Ok(IbContext { device, pool })
+    }
+
+    /// The shared two-level pool.
+    pub fn pool(&self) -> &ShadowPool<MemoryRegion> {
+        &self.pool
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &RdmaDevice {
+        &self.device
+    }
+
+    /// (hits, misses, returns, oversize) of the native pool.
+    pub fn pool_stats(&self) -> (u64, u64, u64, u64) {
+        self.pool.native().stats().snapshot()
+    }
+}
+
+/// One-deep credit gate for the large-frame region.
+struct CreditGate {
+    credits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl CreditGate {
+    fn new(n: usize) -> CreditGate {
+        CreditGate { credits: Mutex::new(n), cv: Condvar::new() }
+    }
+
+    fn take(&self, timeout: Duration) -> bool {
+        let mut credits = self.credits.lock();
+        let deadline = Instant::now() + timeout;
+        while *credits == 0 {
+            if self.cv.wait_until(&mut credits, deadline).timed_out() {
+                return false;
+            }
+        }
+        *credits -= 1;
+        true
+    }
+
+    fn put(&self) {
+        *self.credits.lock() += 1;
+        self.cv.notify_one();
+    }
+}
+
+struct SendState {
+    /// Tiny dedicated region for credit messages.
+    credit_mr: MemoryRegion,
+}
+
+/// An established RPCoIB connection.
+pub struct RdmaConn {
+    ctx: IbContext,
+    cfg: RpcConfig,
+    qp: QueuePair,
+    /// Region the *peer* RDMA-writes large frames into.
+    my_large: MemoryRegion,
+    peer_rkey: RemoteKey,
+    peer_large_size: usize,
+    /// Receive buffers currently posted, by work-request id.
+    posted: Mutex<HashMap<u64, PooledBuf<MemoryRegion>>>,
+    next_wr: AtomicU64,
+    send: Mutex<SendState>,
+    large_credits: CreditGate,
+    closed: AtomicBool,
+    peer_desc: String,
+}
+
+impl RdmaConn {
+    /// Run the end-point exchange over an established bootstrap stream and
+    /// bring up the verbs connection. Symmetric: both the client and the
+    /// server side call this on their end of the stream.
+    pub fn bootstrap(stream: &SimStream, ctx: &IbContext, cfg: &RpcConfig) -> RpcResult<RdmaConn> {
+        let qp = ctx.device.create_qp();
+        let my_large = ctx.device.register(cfg.large_region_bytes);
+
+        // Send our endpoint info: QP endpoint + large-region rkey + size.
+        let mut hello = Vec::with_capacity(32);
+        hello.extend_from_slice(&qp.endpoint().to_bytes());
+        hello.extend_from_slice(&my_large.remote_key().to_bytes());
+        hello.extend_from_slice(&(cfg.large_region_bytes as u64).to_be_bytes());
+        (&*stream).write_all(&hello).map_err(|e| RpcError::Io(e.to_string()))?;
+
+        // Receive theirs.
+        let mut peer = [0u8; 32];
+        stream.read_exact_at(&mut peer).map_err(|e| RpcError::Io(e.to_string()))?;
+        let peer_ep = QpEndpoint::from_bytes(peer[0..12].try_into().unwrap());
+        let peer_rkey = RemoteKey::from_bytes(peer[12..24].try_into().unwrap());
+        let peer_large_size = u64::from_be_bytes(peer[24..32].try_into().unwrap()) as usize;
+
+        qp.connect(peer_ep);
+
+        let conn = RdmaConn {
+            ctx: ctx.clone(),
+            cfg: cfg.clone(),
+            qp,
+            my_large,
+            peer_rkey,
+            peer_large_size,
+            posted: Mutex::new(HashMap::new()),
+            next_wr: AtomicU64::new(1),
+            send: Mutex::new(SendState { credit_mr: ctx.device.register(128) }),
+            large_credits: CreditGate::new(1),
+            closed: AtomicBool::new(false),
+            peer_desc: format!("rdma:{}", peer_ep.node),
+        };
+        // Pre-post the receive ring before the peer can possibly send.
+        for _ in 0..cfg.posted_recvs {
+            conn.post_one_recv();
+        }
+        Ok(conn)
+    }
+
+    fn post_one_recv(&self) {
+        let wr = self.next_wr.fetch_add(1, Ordering::Relaxed);
+        let buf = self.ctx.pool.acquire_size(self.cfg.recv_buf_bytes);
+        self.qp.post_recv(wr, buf.mem().clone());
+        self.posted.lock().insert(wr, buf);
+    }
+
+    fn take_posted(&self, wr_id: u64) -> PooledBuf<MemoryRegion> {
+        self.posted
+            .lock()
+            .remove(&wr_id)
+            .expect("completion for a receive buffer we never posted")
+    }
+
+    fn send_credit(&self) -> RpcResult<()> {
+        let state = self.send.lock();
+        state
+            .credit_mr
+            .write_at(0, &[0])
+            .map_err(verbs_err)?;
+        self.qp.post_send(&state.credit_mr, 0, 1, IMM_CREDIT).map_err(verbs_err)
+    }
+}
+
+impl Conn for RdmaConn {
+    fn send_msg(
+        &self,
+        protocol: &str,
+        method: &str,
+        write: &mut dyn FnMut(&mut dyn DataOutput) -> io::Result<()>,
+    ) -> RpcResult<SendProfile> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(RpcError::ConnectionClosed);
+        }
+
+        // --- Serialization: straight into pooled registered memory. ---
+        let ser_start = Instant::now();
+        let mut out = RdmaOutputStream::new(&self.ctx.pool, protocol, method);
+        write(&mut out)?;
+        let (buf, len, grows) = out.finish();
+        let serialize_ns = ser_start.elapsed().as_nanos() as u64;
+
+        // --- Transmission. ---
+        let send_start = Instant::now();
+        if len <= self.cfg.rdma_threshold {
+            let state = self.send.lock();
+            self.qp.post_send(buf.mem(), 0, len, IMM_SMALL).map_err(verbs_err)?;
+            drop(state);
+        } else {
+            if len > self.peer_large_size {
+                return Err(RpcError::Protocol(format!(
+                    "frame of {len} bytes exceeds the peer's {}-byte large region",
+                    self.peer_large_size
+                )));
+            }
+            if !self.large_credits.take(self.cfg.call_timeout) {
+                return Err(RpcError::Timeout);
+            }
+            let state = self.send.lock();
+            let result = self
+                .qp
+                .rdma_write(buf.mem(), 0, len, self.peer_rkey, 0, Some(IMM_LARGE));
+            drop(state);
+            if let Err(e) = result {
+                // The write never happened; the region is still ours.
+                self.large_credits.put();
+                return Err(verbs_err(e));
+            }
+        }
+        let send_ns = send_start.elapsed().as_nanos() as u64;
+
+        Ok(SendProfile { serialize_ns, send_ns, adjustments: grows, size: len })
+    }
+
+    fn recv_msg(&self, timeout: Duration) -> RpcResult<(Payload, RecvProfile)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(RpcError::ConnectionClosed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RpcError::Timeout);
+            }
+            let completion = match self.qp.poll_recv(POLL_SLICE.min(deadline - now)) {
+                Ok(c) => c,
+                Err(VerbsError::Timeout) => continue,
+                Err(e) => return Err(verbs_err(e)),
+            };
+            let total_start = Instant::now();
+            match (completion.kind, completion.imm) {
+                (CompletionKind::Recv, IMM_SMALL) => {
+                    let buf = self.take_posted(completion.wr_id);
+                    // Replenish the ring; with a warm pool this is a
+                    // freelist pop — the "allocation" cost RPCoIB removes.
+                    let alloc_start = Instant::now();
+                    self.post_one_recv();
+                    let alloc_ns = alloc_start.elapsed().as_nanos() as u64;
+                    let total_ns = total_start.elapsed().as_nanos() as u64 + 1;
+                    return Ok((
+                        Payload::Pooled { buf, len: completion.len },
+                        RecvProfile { alloc_ns, total_ns, size: completion.len },
+                    ));
+                }
+                (CompletionKind::Recv, IMM_CREDIT) => {
+                    // Flow-control credit: recycle the consumed recv buffer
+                    // and wake a sender blocked on the large region.
+                    drop(self.take_posted(completion.wr_id));
+                    self.post_one_recv();
+                    self.large_credits.put();
+                    continue;
+                }
+                (CompletionKind::RecvRdmaWithImm, IMM_LARGE) => {
+                    drop(self.take_posted(completion.wr_id));
+                    self.post_one_recv();
+                    let len = completion.len;
+                    // Drain the region into a pooled buffer so the credit
+                    // can be returned immediately.
+                    let alloc_start = Instant::now();
+                    let mut buf = self.ctx.pool.acquire_size(len);
+                    let alloc_ns = alloc_start.elapsed().as_nanos() as u64;
+                    self.my_large.with(|region| buf.mem_mut().put(0, &region[..len]));
+                    // Best-effort: if the peer has already gone away the
+                    // credit is moot, but the payload in hand is still good.
+                    let _ = self.send_credit();
+                    let total_ns = total_start.elapsed().as_nanos() as u64 + 1;
+                    return Ok((
+                        Payload::Pooled { buf, len },
+                        RecvProfile { alloc_ns, total_ns, size: len },
+                    ));
+                }
+                (kind, imm) => {
+                    return Err(RpcError::Protocol(format!(
+                        "unexpected completion {kind:?} imm={imm}"
+                    )));
+                }
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    fn peer(&self) -> String {
+        self.peer_desc.clone()
+    }
+}
+
+impl std::fmt::Debug for RdmaConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RdmaConn").field("peer", &self.peer_desc).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{model, SimAddr, SimListener};
+    use std::sync::Arc;
+    use std::thread;
+    use wire::DataInput;
+
+    fn conn_pair(cfg: &RpcConfig) -> (Arc<RdmaConn>, Arc<RdmaConn>) {
+        let fabric = Fabric::new(model::IB_QDR_VERBS);
+        let server = fabric.add_node();
+        let client = fabric.add_node();
+        let server_ctx = IbContext::new(&fabric, server, cfg).unwrap();
+        let client_ctx = IbContext::new(&fabric, client, cfg).unwrap();
+        let addr = SimAddr::new(server, 9000);
+        let listener = SimListener::bind(&fabric, addr).unwrap();
+        let f2 = fabric.clone();
+        let cfg2 = cfg.clone();
+        let h = thread::spawn(move || {
+            let stream = SimStream::connect(&f2, client, addr).unwrap();
+            RdmaConn::bootstrap(&stream, &client_ctx, &cfg2).unwrap()
+        });
+        let (srv_stream, _) = listener.accept().unwrap();
+        let srv_conn = RdmaConn::bootstrap(&srv_stream, &server_ctx, cfg).unwrap();
+        let cli_conn = h.join().unwrap();
+        (Arc::new(cli_conn), Arc::new(srv_conn))
+    }
+
+    #[test]
+    fn small_message_roundtrip_zero_adjustments_after_warmup() {
+        let cfg = RpcConfig::rpcoib();
+        let (cli, srv) = conn_pair(&cfg);
+        for round in 0..3 {
+            let profile = cli
+                .send_msg("p", "m", &mut |out| {
+                    out.write_string("rpcoib")?;
+                    out.write_bytes(&[9u8; 400])
+                })
+                .unwrap();
+            if round > 0 {
+                assert_eq!(profile.adjustments, 0, "history must predict after round 0");
+            }
+            let (payload, recv) = srv.recv_msg(Duration::from_secs(1)).unwrap();
+            assert_eq!(recv.size, profile.size);
+            let mut reader = payload.reader();
+            assert_eq!(reader.read_string().unwrap(), "rpcoib");
+        }
+    }
+
+    #[test]
+    fn large_message_goes_through_rdma_write() {
+        let cfg = RpcConfig::rpcoib();
+        let (cli, srv) = conn_pair(&cfg);
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let p2 = payload.clone();
+        let h = thread::spawn(move || {
+            cli.send_msg("p", "big", &mut |out| out.write_bytes(&p2)).unwrap()
+        });
+        let (got, _) = srv.recv_msg(Duration::from_secs(5)).unwrap();
+        let profile = h.join().unwrap();
+        assert!(profile.size > cfg.rdma_threshold);
+        assert_eq!(got.len(), payload.len());
+        let mut reader = got.reader();
+        let mut out = vec![0u8; payload.len()];
+        std::io::Read::read_exact(&mut reader, &mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn back_to_back_large_messages_respect_credits() {
+        let cfg = RpcConfig::rpcoib();
+        let (cli, srv) = conn_pair(&cfg);
+        // Credits come back through the client's receive path; in the real
+        // engine the Connection thread polls it continuously — emulate it.
+        let cli_progress = Arc::clone(&cli);
+        let progress = thread::spawn(move || loop {
+            match cli_progress.recv_msg(Duration::from_millis(100)) {
+                Err(RpcError::Timeout) => continue,
+                _ => return,
+            }
+        });
+        let srv2 = Arc::clone(&srv);
+        let reader = thread::spawn(move || {
+            let mut sizes = Vec::new();
+            for _ in 0..4 {
+                let (payload, _) = srv2.recv_msg(Duration::from_secs(10)).unwrap();
+                let mut r = payload.reader();
+                let body = r.read_len_bytes().unwrap();
+                sizes.push(body.len());
+                assert!(body.iter().enumerate().all(|(i, &b)| b == (i % 256) as u8));
+            }
+            sizes
+        });
+        for k in 1..=4usize {
+            let body: Vec<u8> = (0..k * 50_000).map(|i| (i % 256) as u8).collect();
+            cli.send_msg("p", "big", &mut |out| out.write_len_bytes(&body)).unwrap();
+        }
+        let sizes = reader.join().unwrap();
+        assert_eq!(sizes, vec![50_000, 100_000, 150_000, 200_000]);
+        cli.close();
+        progress.join().unwrap();
+    }
+
+    #[test]
+    fn bidirectional_large_traffic_does_not_deadlock() {
+        let cfg = RpcConfig::rpcoib();
+        let (cli, srv) = conn_pair(&cfg);
+        let body: Vec<u8> = vec![7u8; 100_000];
+        let b2 = body.clone();
+        let cli2 = Arc::clone(&cli);
+        let srv2 = Arc::clone(&srv);
+        let t1 = thread::spawn(move || {
+            for _ in 0..3 {
+                cli2.send_msg("p", "up", &mut |out| out.write_len_bytes(&b2)).unwrap();
+                let (payload, _) = cli2.recv_msg(Duration::from_secs(10)).unwrap();
+                assert_eq!(payload.reader().read_len_bytes().unwrap().len(), 100_000);
+            }
+        });
+        let b3 = body.clone();
+        let t2 = thread::spawn(move || {
+            for _ in 0..3 {
+                let (payload, _) = srv2.recv_msg(Duration::from_secs(10)).unwrap();
+                assert_eq!(payload.reader().read_len_bytes().unwrap().len(), 100_000);
+                srv2.send_msg("p", "down", &mut |out| out.write_len_bytes(&b3)).unwrap();
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let cfg = RpcConfig { large_region_bytes: 128 * 1024, ..RpcConfig::rpcoib() };
+        let (cli, _srv) = conn_pair(&cfg);
+        let body = vec![0u8; 256 * 1024];
+        let err = cli
+            .send_msg("p", "m", &mut |out| out.write_bytes(&body))
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn recv_timeout_when_idle() {
+        let cfg = RpcConfig::rpcoib();
+        let (_cli, srv) = conn_pair(&cfg);
+        assert_eq!(srv.recv_msg(Duration::from_millis(30)).unwrap_err(), RpcError::Timeout);
+    }
+
+    #[test]
+    fn ib_context_requires_rdma_fabric() {
+        let fabric = Fabric::new(model::IPOIB_QDR);
+        let node = fabric.add_node();
+        let err = IbContext::new(&fabric, node, &RpcConfig::rpcoib()).unwrap_err();
+        assert!(matches!(err, RpcError::Config(_)));
+    }
+
+    #[test]
+    fn pool_is_prefilled_and_reused() {
+        let cfg = RpcConfig::rpcoib();
+        let (cli, srv) = conn_pair(&cfg);
+        // Warm the path.
+        for _ in 0..10 {
+            cli.send_msg("p", "m", &mut |out| out.write_bytes(&[1u8; 200])).unwrap();
+            let _ = srv.recv_msg(Duration::from_secs(1)).unwrap();
+        }
+        let (_hits, misses, _ret, _over) = cli.ctx.pool.native().stats().snapshot();
+        // After warmup the send path should not allocate fresh regions for
+        // every call (some misses during warmup are expected).
+        let (hits2, _m2, _r2, _o2) = cli.ctx.pool.native().stats().snapshot();
+        assert!(hits2 > 0, "pool must be serving from freelists");
+        assert!(misses < 50, "unbounded registration leak");
+    }
+}

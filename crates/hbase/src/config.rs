@@ -1,0 +1,77 @@
+//! HBase deployment configuration: the two transport planes of Figure 8.
+
+use mini_hdfs::HdfsConfig;
+use rpcoib::RpcConfig;
+
+/// Configuration for a mini-HBase deployment.
+#[derive(Debug, Clone)]
+pub struct HBaseConfig {
+    /// RPC plane (HMaster protocol + the HDFS control plane): socket
+    /// Hadoop RPC or RPCoIB.
+    pub rpc: RpcConfig,
+    /// Operation plane (client ↔ region server Get/Put): `true` is the
+    /// paper's "HBaseoIB".
+    pub ops_rdma: bool,
+    /// HDFS settings for WAL segments and memstore flushes.
+    pub hdfs: HdfsConfig,
+    /// Regions hosted per region server.
+    pub regions_per_server: usize,
+    /// Memstore size that triggers a flush to HDFS.
+    pub memstore_flush_bytes: usize,
+    /// WAL bytes accumulated before a segment is written to HDFS.
+    pub wal_roll_bytes: usize,
+}
+
+impl Default for HBaseConfig {
+    fn default() -> Self {
+        HBaseConfig {
+            rpc: RpcConfig::socket(),
+            ops_rdma: false,
+            hdfs: HdfsConfig::default(),
+            regions_per_server: 1,
+            memstore_flush_bytes: 256 * 1024,
+            wal_roll_bytes: 128 * 1024,
+        }
+    }
+}
+
+impl HBaseConfig {
+    /// `HBase(x)-RPC(x)`: everything over sockets.
+    pub fn socket() -> Self {
+        HBaseConfig::default()
+    }
+
+    /// `HBaseoIB-RPC(x)`: RDMA operations, socket Hadoop RPC.
+    pub fn ops_ib() -> Self {
+        HBaseConfig { ops_rdma: true, ..HBaseConfig::default() }
+    }
+
+    /// `HBaseoIB-RPCoIB`: the paper's fully-RDMA configuration.
+    pub fn all_ib() -> Self {
+        let mut cfg = HBaseConfig { ops_rdma: true, ..HBaseConfig::default() };
+        cfg.rpc = RpcConfig::rpcoib();
+        cfg.hdfs.rpc = RpcConfig::rpcoib();
+        cfg
+    }
+
+    /// Transport configuration of the operation plane.
+    pub fn ops_rpc_config(&self) -> RpcConfig {
+        RpcConfig { ib_enabled: self.ops_rdma, ..RpcConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_figure8_axes() {
+        let s = HBaseConfig::socket();
+        assert!(!s.ops_rdma && !s.rpc.ib_enabled);
+        let o = HBaseConfig::ops_ib();
+        assert!(o.ops_rdma && !o.rpc.ib_enabled);
+        let a = HBaseConfig::all_ib();
+        assert!(a.ops_rdma && a.rpc.ib_enabled && a.hdfs.rpc.ib_enabled);
+        a.ops_rpc_config().validate().unwrap();
+    }
+}

@@ -1,0 +1,518 @@
+//! The HRegionServer: memstores, write-ahead log, flushes to HDFS, and
+//! the operation-plane RPC service.
+//!
+//! Puts append to the WAL buffer and the region's memstore; when the WAL
+//! buffer reaches `wal_roll_bytes` a segment file is written to HDFS, and
+//! when a memstore reaches `memstore_flush_bytes` it is flushed to an
+//! HDFS store file. Both generate the NameNode RPC traffic (`create`,
+//! `addBlock`, `complete`, `blockReceived`) that makes Put-heavy YCSB
+//! workloads RPC-bound — the effect Figure 8(b)/(c) measures.
+//! Flushed data stays readable through an in-memory store-file cache
+//! (HBase's block cache equivalent), so Gets hit memory.
+//!
+//! Region hosting is **dynamic**: the server heartbeats the HMaster and
+//! receives its current bucket assignment; buckets gained after another
+//! server's death are *recovered* from HDFS — store files are reloaded
+//! and the dead servers' WAL segments are replayed — so rows survive a
+//! region-server crash.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mini_hdfs::{DfsClient, HostNet};
+use parking_lot::Mutex;
+use rpcoib::{Client, RpcResult, RpcService, Server, ServiceRegistry};
+use simnet::{Cluster, Host, SimAddr};
+use wire::{BooleanWritable, DataInput, IntWritable, Writable};
+
+use crate::config::HBaseConfig;
+use crate::types::{region_of, PutArgs, Row, ScanArgs};
+use crate::RS_PORT;
+
+/// WAL / store-file entry opcodes.
+const ENTRY_PUT: u8 = 1;
+const ENTRY_DELETE: u8 = 2;
+
+/// Error message prefix a client interprets as "refresh your region map".
+pub const NOT_SERVING: &str = "NotServingRegion";
+
+struct Region {
+    /// In-memory, not yet persisted.
+    memstore: BTreeMap<Vec<u8>, Vec<u8>>,
+    memstore_bytes: usize,
+    /// Block-cache stand-in: flushed rows, kept queryable.
+    flushed: BTreeMap<Vec<u8>, Vec<u8>>,
+    flush_seq: u64,
+}
+
+impl Region {
+    fn new() -> Region {
+        Region {
+            memstore: BTreeMap::new(),
+            memstore_bytes: 0,
+            flushed: BTreeMap::new(),
+            flush_seq: 0,
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<&Vec<u8>> {
+        self.memstore.get(key).or_else(|| self.flushed.get(key))
+    }
+}
+
+/// Serialize entries in the WAL / store-file format.
+fn append_entry(buf: &mut Vec<u8>, op: u8, key: &[u8], value: &[u8]) {
+    buf.push(op);
+    buf.extend_from_slice(&(key.len() as u32).to_be_bytes());
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(&(value.len() as u32).to_be_bytes());
+    buf.extend_from_slice(value);
+}
+
+/// Parse entries written by [`append_entry`].
+fn parse_entries(data: &[u8]) -> Vec<(u8, Vec<u8>, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 9 <= data.len() {
+        let op = data[pos];
+        pos += 1;
+        let klen = u32::from_be_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if pos + klen + 4 > data.len() {
+            break; // truncated tail (partial roll) — ignore, like HBase
+        }
+        let key = data[pos..pos + klen].to_vec();
+        pos += klen;
+        let vlen = u32::from_be_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if pos + vlen > data.len() {
+            break;
+        }
+        let value = data[pos..pos + vlen].to_vec();
+        pos += vlen;
+        out.push((op, key, value));
+    }
+    out
+}
+
+struct RsState {
+    cfg: HBaseConfig,
+    rs_id: u32,
+    n_regions: u32,
+    /// Dynamically hosted buckets.
+    regions: Mutex<HashMap<u32, Region>>,
+    dfs: DfsClient,
+    wal: Mutex<Vec<u8>>,
+    wal_seq: AtomicU64,
+    puts: AtomicU64,
+    gets: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl RsState {
+    fn wal_path(&self, seq: u64) -> String {
+        format!("/hbase/wal/rs{}-{seq:08}", self.rs_id)
+    }
+
+    fn append_wal(&self, op: u8, key: &[u8], value: &[u8]) -> RpcResult<()> {
+        let segment = {
+            let mut wal = self.wal.lock();
+            append_entry(&mut wal, op, key, value);
+            if wal.len() >= self.cfg.wal_roll_bytes {
+                Some(std::mem::take(&mut *wal))
+            } else {
+                None
+            }
+        };
+        if let Some(segment) = segment {
+            let seq = self.wal_seq.fetch_add(1, Ordering::Relaxed);
+            self.dfs.write_file(&self.wal_path(seq), &segment)?;
+        }
+        Ok(())
+    }
+
+    fn put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), String> {
+        let bucket = region_of(&key, self.n_regions);
+        self.append_wal(ENTRY_PUT, &key, &value).map_err(|e| e.to_string())?;
+        let flush = {
+            let mut regions = self.regions.lock();
+            let region = regions
+                .get_mut(&bucket)
+                .ok_or_else(|| format!("{NOT_SERVING}: bucket {bucket}"))?;
+            region.memstore_bytes += key.len() + value.len();
+            region.memstore.insert(key, value);
+            if region.memstore_bytes >= self.cfg.memstore_flush_bytes {
+                let snapshot = std::mem::take(&mut region.memstore);
+                region.memstore_bytes = 0;
+                region.flush_seq += 1;
+                Some((snapshot, region.flush_seq))
+            } else {
+                None
+            }
+        };
+        if let Some((snapshot, seq)) = flush {
+            // Persist the store file under the *region's* directory so any
+            // future host of this bucket can recover it.
+            let mut buf = Vec::new();
+            for (k, v) in &snapshot {
+                append_entry(&mut buf, ENTRY_PUT, k, v);
+            }
+            let path = format!("/hbase/region{bucket}/hfile-rs{}-{seq:06}", self.rs_id);
+            self.dfs.write_file(&path, &buf).map_err(|e| e.to_string())?;
+            let mut regions = self.regions.lock();
+            if let Some(region) = regions.get_mut(&bucket) {
+                for (k, v) in snapshot {
+                    region.flushed.insert(k, v);
+                }
+            }
+        }
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<bool, String> {
+        let bucket = region_of(key, self.n_regions);
+        self.append_wal(ENTRY_DELETE, key, &[]).map_err(|e| e.to_string())?;
+        let mut regions = self.regions.lock();
+        let region = regions
+            .get_mut(&bucket)
+            .ok_or_else(|| format!("{NOT_SERVING}: bucket {bucket}"))?;
+        let in_mem = region.memstore.remove(key).is_some();
+        let in_flushed = region.flushed.remove(key).is_some();
+        Ok(in_mem || in_flushed)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, String> {
+        let bucket = region_of(key, self.n_regions);
+        let regions = self.regions.lock();
+        let region = regions
+            .get(&bucket)
+            .ok_or_else(|| format!("{NOT_SERVING}: bucket {bucket}"))?;
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        Ok(region.get(key).cloned())
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Vec<Row> {
+        // Scan across all hosted regions, merged by key.
+        let mut rows = Vec::new();
+        let regions = self.regions.lock();
+        for region in regions.values() {
+            for (k, v) in region.memstore.range(start.to_vec()..) {
+                rows.push(Row { key: k.clone(), value: v.clone() });
+            }
+            for (k, v) in region.flushed.range(start.to_vec()..) {
+                if !region.memstore.contains_key(k) {
+                    rows.push(Row { key: k.clone(), value: v.clone() });
+                }
+            }
+        }
+        rows.sort_by(|a, b| a.key.cmp(&b.key));
+        rows.truncate(limit);
+        rows
+    }
+
+    /// Bring a newly assigned bucket online: reload its store files from
+    /// HDFS, then replay every WAL segment (any writer), applying only
+    /// this bucket's entries — crash recovery, HBase-style.
+    fn recover_bucket(&self, bucket: u32) -> RpcResult<Region> {
+        let mut region = Region::new();
+        // 1. Store files, in (writer, seq) path order.
+        let dir = format!("/hbase/region{bucket}");
+        let mut hfiles = self.dfs.list(&dir).unwrap_or_default();
+        hfiles.sort_by(|a, b| a.path.cmp(&b.path));
+        for file in hfiles {
+            let data = self.dfs.read_file(&file.path)?;
+            for (op, k, v) in parse_entries(&data) {
+                match op {
+                    ENTRY_PUT => {
+                        region.flushed.insert(k, v);
+                    }
+                    ENTRY_DELETE => {
+                        region.flushed.remove(&k);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // 2. WAL segments (every server's — entries for other buckets are
+        // skipped). Unflushed rows live only here.
+        let mut wals = self.dfs.list("/hbase/wal").unwrap_or_default();
+        wals.sort_by(|a, b| a.path.cmp(&b.path));
+        for file in wals {
+            let data = self.dfs.read_file(&file.path)?;
+            for (op, k, v) in parse_entries(&data) {
+                if region_of(&k, self.n_regions) != bucket {
+                    continue;
+                }
+                match op {
+                    ENTRY_PUT => {
+                        region.flushed.insert(k, v);
+                    }
+                    ENTRY_DELETE => {
+                        region.flushed.remove(&k);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(region)
+    }
+
+    /// Reconcile the hosted bucket set with the master's assignment.
+    fn apply_assignment(self: &Arc<Self>, assigned: &[u32]) {
+        let current: Vec<u32> = self.regions.lock().keys().copied().collect();
+        for bucket in assigned {
+            if !current.contains(bucket) {
+                let _ = self.dfs.mkdirs(&format!("/hbase/region{bucket}"));
+                match self.recover_bucket(*bucket) {
+                    Ok(region) => {
+                        self.regions.lock().insert(*bucket, region);
+                    }
+                    Err(_) => { /* retried on the next heartbeat */ }
+                }
+            }
+        }
+        // Hand off buckets moved away (the master's map is
+        // authoritative). A *graceful* shed first rolls the WAL buffer
+        // and flushes the bucket's memstore to HDFS, so nothing is lost
+        // when another server recovers the bucket.
+        let shed: Vec<(u32, Region)> = {
+            let mut regions = self.regions.lock();
+            let doomed: Vec<u32> = regions
+                .keys()
+                .copied()
+                .filter(|bucket| !assigned.contains(bucket))
+                .collect();
+            doomed
+                .into_iter()
+                .filter_map(|bucket| regions.remove(&bucket).map(|r| (bucket, r)))
+                .collect()
+        };
+        if !shed.is_empty() {
+            // Roll the whole WAL buffer (covers every shed bucket's
+            // unflushed puts and deletes).
+            let segment = std::mem::take(&mut *self.wal.lock());
+            if !segment.is_empty() {
+                let seq = self.wal_seq.fetch_add(1, Ordering::Relaxed);
+                let _ = self.dfs.write_file(&self.wal_path(seq), &segment);
+            }
+            for (bucket, mut region) in shed {
+                if region.memstore.is_empty() {
+                    continue;
+                }
+                let mut buf = Vec::new();
+                for (k, v) in std::mem::take(&mut region.memstore) {
+                    append_entry(&mut buf, ENTRY_PUT, &k, &v);
+                }
+                region.flush_seq += 1;
+                let path = format!(
+                    "/hbase/region{bucket}/hfile-rs{}-{:06}",
+                    self.rs_id, region.flush_seq
+                );
+                let _ = self.dfs.write_file(&path, &buf);
+            }
+        }
+    }
+}
+
+/// `hbase.RegionServerProtocol` — the operation plane.
+struct RegionServerProtocol {
+    state: Arc<RsState>,
+}
+
+impl RpcService for RegionServerProtocol {
+    fn protocol(&self) -> &'static str {
+        "hbase.RegionServerProtocol"
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        param: &mut dyn DataInput,
+    ) -> Result<Box<dyn Writable + Send>, String> {
+        match method {
+            "put" => {
+                let mut args = PutArgs::default();
+                args.read_fields(param).map_err(|e| e.to_string())?;
+                self.state.put(args.key, args.value)?;
+                Ok(Box::new(BooleanWritable(true)))
+            }
+            "get" => {
+                let mut key = Vec::new();
+                key.read_fields(param).map_err(|e| e.to_string())?;
+                Ok(Box::new(self.state.get(&key)?))
+            }
+            "delete" => {
+                let mut key = Vec::new();
+                key.read_fields(param).map_err(|e| e.to_string())?;
+                Ok(Box::new(BooleanWritable(self.state.delete(&key)?)))
+            }
+            "scan" => {
+                let mut args = ScanArgs::default();
+                args.read_fields(param).map_err(|e| e.to_string())?;
+                Ok(Box::new(self.state.scan(&args.start, args.limit as usize)))
+            }
+            other => Err(format!("RegionServerProtocol has no method {other}")),
+        }
+    }
+}
+
+/// A running region server.
+pub struct HRegionServer {
+    server: Server,
+    state: Arc<RsState>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl HRegionServer {
+    /// Register with the master and start serving. The initial bucket
+    /// assignment (and every later one) arrives via master heartbeats.
+    pub fn start(
+        cluster: &Cluster,
+        host: Host,
+        master: SimAddr,
+        nn: SimAddr,
+        cfg: HBaseConfig,
+        total_servers: usize,
+    ) -> RpcResult<HRegionServer> {
+        // Operation plane rail.
+        let (ops_fabric, ops_node) = if cfg.ops_rdma {
+            (cluster.ib().clone(), cluster.ib_node(host))
+        } else {
+            (cluster.eth().clone(), cluster.eth_node(host))
+        };
+        // RPC plane rail (master + HDFS).
+        let (rpc_fabric, rpc_node) = if cfg.rpc.ib_enabled {
+            (cluster.ib().clone(), cluster.ib_node(host))
+        } else {
+            (cluster.eth().clone(), cluster.eth_node(host))
+        };
+
+        let master_client = Client::new(&rpc_fabric, rpc_node, cfg.rpc.clone())?;
+        let rs_id: IntWritable = master_client.call(
+            master,
+            "hbase.MasterProtocol",
+            "registerRegionServer",
+            &(IntWritable(ops_node.0 as i32), IntWritable(RS_PORT as i32)),
+        )?;
+        let rs_id = rs_id.0 as u32;
+
+        let hdfs_net = HostNet::of(cluster, host, &cfg.hdfs);
+        let dfs = DfsClient::new(&hdfs_net, nn, cfg.hdfs.clone())?;
+        dfs.mkdirs("/hbase/wal")?;
+
+        let n_regions = (total_servers * cfg.regions_per_server) as u32;
+        let state = Arc::new(RsState {
+            cfg: cfg.clone(),
+            rs_id,
+            n_regions,
+            regions: Mutex::new(HashMap::new()),
+            dfs,
+            wal: Mutex::new(Vec::new()),
+            wal_seq: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+
+        // First heartbeat synchronously, so the server comes up already
+        // hosting its buckets.
+        let assigned: Vec<IntWritable> = master_client.call(
+            master,
+            "hbase.MasterProtocol",
+            "rsHeartbeat",
+            &IntWritable(rs_id as i32),
+        )?;
+        state.apply_assignment(&assigned.iter().map(|b| b.0 as u32).collect::<Vec<_>>());
+
+        let mut registry = ServiceRegistry::new();
+        registry.register(Arc::new(RegionServerProtocol { state: Arc::clone(&state) }));
+        let server =
+            Server::start(&ops_fabric, ops_node, RS_PORT, cfg.ops_rpc_config(), registry)?;
+
+        // Heartbeat loop: liveness + assignment reconciliation.
+        let state2 = Arc::clone(&state);
+        let heartbeat = std::thread::Builder::new()
+            .name(format!("rs{rs_id}-heartbeat"))
+            .spawn(move || {
+                while !state2.stop.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(150));
+                    if let Ok(assigned) = master_client.call::<IntWritable, Vec<IntWritable>>(
+                        master,
+                        "hbase.MasterProtocol",
+                        "rsHeartbeat",
+                        &IntWritable(state2.rs_id as i32),
+                    ) {
+                        state2.apply_assignment(
+                            &assigned.iter().map(|b| b.0 as u32).collect::<Vec<_>>(),
+                        );
+                    }
+                }
+                master_client.shutdown();
+            })
+            .expect("spawn rs heartbeat");
+
+        Ok(HRegionServer { server, state, threads: Mutex::new(vec![heartbeat]) })
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> u32 {
+        self.state.rs_id
+    }
+
+    /// Buckets currently hosted.
+    pub fn hosted_buckets(&self) -> Vec<u32> {
+        let mut buckets: Vec<u32> = self.state.regions.lock().keys().copied().collect();
+        buckets.sort_unstable();
+        buckets
+    }
+
+    /// (puts served, gets served).
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.state.puts.load(Ordering::Relaxed), self.state.gets.load(Ordering::Relaxed))
+    }
+
+    /// Stop serving. Idempotent.
+    pub fn stop(&self) {
+        if self.state.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.server.stop();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        self.state.dfs.shutdown();
+    }
+}
+
+impl std::fmt::Debug for HRegionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HRegionServer")
+            .field("id", &self.state.rs_id)
+            .field("buckets", &self.hosted_buckets())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_format_roundtrips_and_tolerates_truncation() {
+        let mut buf = Vec::new();
+        append_entry(&mut buf, ENTRY_PUT, b"k1", b"v1");
+        append_entry(&mut buf, ENTRY_DELETE, b"k2", b"");
+        append_entry(&mut buf, ENTRY_PUT, b"k3", &[7u8; 100]);
+        let entries = parse_entries(&buf);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0], (ENTRY_PUT, b"k1".to_vec(), b"v1".to_vec()));
+        assert_eq!(entries[1], (ENTRY_DELETE, b"k2".to_vec(), Vec::new()));
+        // A torn tail drops only the incomplete entry.
+        let torn = &buf[..buf.len() - 30];
+        let entries = parse_entries(torn);
+        assert_eq!(entries.len(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Protocol types for `hbase.MasterProtocol` and
+//! `hbase.RegionServerProtocol`.
+
+use std::io;
+
+use simnet::{NodeId, SimAddr};
+use wire::{DataInput, DataOutput, Writable};
+
+/// One region: a hash bucket served by a region server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Region index in `0..n_regions` (hash bucket id).
+    pub region: u32,
+    /// Total bucket count.
+    pub n_regions: u32,
+    /// Operation-plane address of the hosting region server.
+    pub rs_node: u32,
+    pub rs_port: u16,
+}
+
+impl RegionInfo {
+    pub fn rs_addr(&self) -> SimAddr {
+        SimAddr::new(NodeId(self.rs_node), self.rs_port)
+    }
+}
+
+impl Writable for RegionInfo {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        out.write_vint(self.region as i32)?;
+        out.write_vint(self.n_regions as i32)?;
+        out.write_i32(self.rs_node as i32)?;
+        out.write_u16(self.rs_port)
+    }
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.region = input.read_vint()? as u32;
+        self.n_regions = input.read_vint()? as u32;
+        self.rs_node = input.read_i32()? as u32;
+        self.rs_port = input.read_u16()?;
+        Ok(())
+    }
+}
+
+/// Route a row key to its region bucket (FNV hash, like the client and
+/// the servers must agree on).
+pub fn region_of(key: &[u8], n_regions: u32) -> u32 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % n_regions as u64) as u32
+}
+
+/// A Put request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PutArgs {
+    pub key: Vec<u8>,
+    pub value: Vec<u8>,
+}
+
+impl Writable for PutArgs {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        out.write_len_bytes(&self.key)?;
+        out.write_len_bytes(&self.value)
+    }
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.key = input.read_len_bytes()?;
+        self.value = input.read_len_bytes()?;
+        Ok(())
+    }
+}
+
+/// A scan request: up to `limit` rows with keys ≥ `start`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanArgs {
+    pub start: Vec<u8>,
+    pub limit: u32,
+}
+
+impl Writable for ScanArgs {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        out.write_len_bytes(&self.start)?;
+        out.write_vint(self.limit as i32)
+    }
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.start = input.read_len_bytes()?;
+        self.limit = input.read_vint()? as u32;
+        Ok(())
+    }
+}
+
+/// A key/value row (scan results).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Row {
+    pub key: Vec<u8>,
+    pub value: Vec<u8>,
+}
+
+impl Writable for Row {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        out.write_len_bytes(&self.key)?;
+        out.write_len_bytes(&self.value)
+    }
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.key = input.read_len_bytes()?;
+        self.value = input.read_len_bytes()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::{from_bytes, to_bytes};
+
+    #[test]
+    fn types_roundtrip() {
+        let r = RegionInfo { region: 3, n_regions: 16, rs_node: 7, rs_port: 60020 };
+        assert_eq!(from_bytes::<RegionInfo>(&to_bytes(&r).unwrap()).unwrap(), r);
+        let p = PutArgs { key: b"user1".to_vec(), value: vec![0u8; 64] };
+        assert_eq!(from_bytes::<PutArgs>(&to_bytes(&p).unwrap()).unwrap(), p);
+        let s = ScanArgs { start: b"user5".to_vec(), limit: 10 };
+        assert_eq!(from_bytes::<ScanArgs>(&to_bytes(&s).unwrap()).unwrap(), s);
+    }
+
+    #[test]
+    fn region_routing_is_deterministic_and_bounded() {
+        for n in [1u32, 4, 16] {
+            for k in 0..200u32 {
+                let key = format!("user{k:010}");
+                let r = region_of(key.as_bytes(), n);
+                assert!(r < n);
+                assert_eq!(r, region_of(key.as_bytes(), n));
+            }
+        }
+    }
+
+    #[test]
+    fn region_routing_spreads_keys() {
+        let n = 8;
+        let mut counts = vec![0u32; n as usize];
+        for k in 0..8000u32 {
+            counts[region_of(format!("user{k:010}").as_bytes(), n) as usize] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(*c > 500, "region {i} underloaded: {c}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # mini-hdfs — a miniature HDFS whose control plane is `rpcoib`
+//!
+//! The paper's Table I and Figure 7 depend on the real RPC call mix of
+//! HDFS: `create`, `addBlock`, `complete`, `blockReceived`, heartbeats and
+//! block reports, all riding the Hadoop RPC engine. This crate implements
+//! enough of HDFS (0.20.x shape) to generate that mix honestly:
+//!
+//! * [`NameNode`] — in-memory namespace + block map, hosting
+//!   `hdfs.ClientProtocol` and `hdfs.DatanodeProtocol` on an
+//!   [`rpcoib::Server`] (socket or RPCoIB, per configuration);
+//! * [`DataNode`] — in-memory block store with a streaming data-transfer
+//!   service and a 3-replica write pipeline, over sockets or RDMA
+//!   (the "HDFSoIB" configuration of the paper's Figure 7);
+//! * [`DfsClient`] — create/write/read/delete plus the metadata
+//!   operations Table I profiles;
+//! * [`MiniDfs`] — convenience harness that boots a NameNode and N
+//!   DataNodes on a [`simnet::Cluster`].
+//!
+//! Block size, replication and chunk size are scaled down (defaults:
+//! 2 MiB blocks, 3 replicas, 64 KiB chunks) so cluster-scale experiments
+//! fit in one process; ratios between configurations are what the
+//! benchmarks report.
+//!
+//! ```
+//! use mini_hdfs::{HdfsConfig, MiniDfs};
+//!
+//! let dfs = MiniDfs::start(simnet::model::TEN_GIG_E, 3, HdfsConfig::socket()).unwrap();
+//! let client = dfs.client().unwrap();
+//! client.write_file("/hello", b"replicated three ways").unwrap();
+//! assert_eq!(client.read_file("/hello").unwrap(), b"replicated three ways");
+//! assert_eq!(dfs.namenode().fsck().missing, 0);
+//! dfs.stop();
+//! ```
+
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod datanode;
+pub mod dataxfer;
+pub mod namenode;
+pub mod types;
+
+pub use client::DfsClient;
+pub use cluster::MiniDfs;
+pub use config::{HdfsConfig, HostNet};
+pub use datanode::DataNode;
+pub use namenode::{FsckReport, NameNode};
+pub use types::{DatanodeInfo, FileStatus, LocatedBlock};
+
+/// Default NameNode RPC port.
+pub const NN_PORT: u16 = 8020;
+/// Default DataNode data-transfer port.
+pub const DATA_PORT: u16 = 50010;

@@ -1,0 +1,474 @@
+//! Mini-HDFS integration tests: the four Figure-7 transport
+//! configurations, metadata semantics, replication, and failure recovery.
+
+use mini_hdfs::{HdfsConfig, MiniDfs};
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+use simnet::model;
+
+fn random_bytes(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0u8; n];
+    rng.fill_bytes(&mut data);
+    data
+}
+
+fn small_cfg(base: HdfsConfig) -> HdfsConfig {
+    HdfsConfig { block_size: 64 * 1024, chunk: 16 * 1024, ..base }
+}
+
+fn write_read_roundtrip(cfg: HdfsConfig) {
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 4, small_cfg(cfg)).unwrap();
+    let client = dfs.client().unwrap();
+    // Spans multiple blocks (64 KiB blocks, 200 KiB file).
+    let data = random_bytes(200 * 1024, 42);
+    client.mkdirs("/user").unwrap();
+    client.write_file("/user/blob", &data).unwrap();
+    let back = client.read_file("/user/blob").unwrap();
+    assert_eq!(back.len(), data.len());
+    assert_eq!(back, data);
+    let info = client.get_file_info("/user/blob").unwrap().unwrap();
+    assert!(!info.is_dir);
+    assert_eq!(info.len, data.len() as u64);
+    dfs.stop();
+}
+
+#[test]
+fn roundtrip_all_sockets() {
+    write_read_roundtrip(HdfsConfig::socket());
+}
+
+#[test]
+fn roundtrip_rpcoib_control_plane() {
+    write_read_roundtrip(HdfsConfig::rpc_ib());
+}
+
+#[test]
+fn roundtrip_hdfsoib_data_plane() {
+    write_read_roundtrip(HdfsConfig::data_ib());
+}
+
+#[test]
+fn roundtrip_fully_rdma() {
+    write_read_roundtrip(HdfsConfig::all_ib());
+}
+
+#[test]
+fn empty_file_roundtrip() {
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 3, small_cfg(HdfsConfig::socket())).unwrap();
+    let client = dfs.client().unwrap();
+    client.write_file("/empty", &[]).unwrap();
+    assert_eq!(client.read_file("/empty").unwrap(), Vec::<u8>::new());
+    let info = client.get_file_info("/empty").unwrap().unwrap();
+    assert_eq!(info.len, 0);
+    dfs.stop();
+}
+
+#[test]
+fn exact_block_boundary_file() {
+    let cfg = small_cfg(HdfsConfig::socket());
+    let block = cfg.block_size;
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 3, cfg).unwrap();
+    let client = dfs.client().unwrap();
+    let data = random_bytes(2 * block, 7);
+    client.write_file("/two-blocks", &data).unwrap();
+    assert_eq!(client.read_file("/two-blocks").unwrap(), data);
+    let located = client.get_block_locations("/two-blocks").unwrap();
+    assert_eq!(located.len(), 2, "exactly two blocks, no empty tail block");
+    dfs.stop();
+}
+
+#[test]
+fn blocks_are_replicated_three_ways() {
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 4, small_cfg(HdfsConfig::socket())).unwrap();
+    let client = dfs.client().unwrap();
+    let data = random_bytes(50 * 1024, 9);
+    client.write_file("/replicated", &data).unwrap();
+    let located = client.get_block_locations("/replicated").unwrap();
+    assert_eq!(located.len(), 1);
+    assert_eq!(located[0].targets.len(), 3, "replication factor 3");
+    // Three distinct datanodes hold the bytes.
+    let total_copies: usize = dfs.datanodes().iter().map(|dn| dn.block_count()).sum();
+    assert_eq!(total_copies, 3);
+    dfs.stop();
+}
+
+#[test]
+fn metadata_operations() {
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 3, small_cfg(HdfsConfig::socket())).unwrap();
+    let client = dfs.client().unwrap();
+
+    assert!(client.mkdirs("/a/b/c").unwrap());
+    let info = client.get_file_info("/a/b").unwrap().unwrap();
+    assert!(info.is_dir);
+
+    client.write_file("/a/b/c/one", b"1").unwrap();
+    client.write_file("/a/b/c/two", b"22").unwrap();
+    let listing = client.list("/a/b/c").unwrap();
+    assert_eq!(listing.len(), 2);
+    assert_eq!(listing[0].path, "/a/b/c/one");
+    assert_eq!(listing[1].path, "/a/b/c/two");
+
+    assert!(client.rename("/a/b/c/one", "/a/b/c/uno").unwrap());
+    assert!(client.get_file_info("/a/b/c/one").unwrap().is_none());
+    assert_eq!(client.read_file("/a/b/c/uno").unwrap(), b"1");
+
+    assert!(client.delete("/a/b/c/uno").unwrap());
+    assert!(client.get_file_info("/a/b/c/uno").unwrap().is_none());
+    assert!(!client.delete("/nonexistent").unwrap());
+
+    // Directory rename carries children.
+    assert!(client.rename("/a/b", "/moved").unwrap());
+    assert_eq!(client.read_file("/moved/c/two").unwrap(), b"22");
+
+    client.renew_lease("client").unwrap();
+    dfs.stop();
+}
+
+#[test]
+fn create_existing_file_fails() {
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 3, small_cfg(HdfsConfig::socket())).unwrap();
+    let client = dfs.client().unwrap();
+    client.write_file("/dup", b"x").unwrap();
+    let err = client.write_file("/dup", b"y").err().unwrap();
+    assert!(matches!(err, rpcoib::RpcError::Remote(ref m) if m.contains("exists")), "{err}");
+    dfs.stop();
+}
+
+#[test]
+fn read_of_missing_file_fails() {
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 3, small_cfg(HdfsConfig::socket())).unwrap();
+    let client = dfs.client().unwrap();
+    assert!(client.read_file("/ghost").is_err());
+    dfs.stop();
+}
+
+#[test]
+fn write_survives_datanode_failure() {
+    let cfg = small_cfg(HdfsConfig::socket());
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 5, cfg.clone()).unwrap();
+    let client = dfs.client().unwrap();
+
+    // Warm write.
+    client.write_file("/before", &random_bytes(cfg.block_size, 1)).unwrap();
+
+    // Kill one datanode's host outright.
+    dfs.cluster().kill_host(dfs.datanode_host(0));
+    // Give the NameNode a chance to notice via missed heartbeats.
+    std::thread::sleep(cfg.dn_timeout + cfg.heartbeat);
+
+    let data = random_bytes(3 * cfg.block_size, 2);
+    client.write_file("/after-failure", &data).unwrap();
+    assert_eq!(client.read_file("/after-failure").unwrap(), data);
+    dfs.stop();
+}
+
+#[test]
+fn read_falls_back_to_surviving_replicas() {
+    let cfg = small_cfg(HdfsConfig::socket());
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 4, cfg.clone()).unwrap();
+    let client = dfs.client().unwrap();
+    let data = random_bytes(cfg.block_size, 3);
+    client.write_file("/durable", &data).unwrap();
+
+    // Kill the first replica holder of the block.
+    let located = client.get_block_locations("/durable").unwrap();
+    let first_dn = located[0].targets[0].id;
+    let idx = dfs
+        .datanodes()
+        .iter()
+        .position(|dn| dn.id() == first_dn)
+        .expect("replica datanode present");
+    dfs.cluster().kill_host(dfs.datanode_host(idx));
+
+    assert_eq!(client.read_file("/durable").unwrap(), data, "must read from replica 2 or 3");
+    dfs.stop();
+}
+
+#[test]
+fn rpcoib_hdfs_records_table1_call_mix() {
+    // The RPC call mix of a write (create, addBlock, complete,
+    // blockReceived, heartbeats) is the input to the Table I harness.
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 3, small_cfg(HdfsConfig::socket())).unwrap();
+    let client = dfs.client().unwrap();
+    client.write_file("/mix", &random_bytes(150 * 1024, 5)).unwrap();
+    let metrics = client.rpc().metrics().snapshot();
+    let methods: Vec<&str> = metrics
+        .iter()
+        .filter(|((p, _), _)| p == "hdfs.ClientProtocol")
+        .map(|((_, m), _)| m.as_str())
+        .collect();
+    for expected in ["create", "addBlock", "complete"] {
+        assert!(methods.contains(&expected), "missing {expected} in {methods:?}");
+    }
+    // The server observed DatanodeProtocol traffic too.
+    let nn_metrics = dfs.namenode().metrics().snapshot();
+    assert!(nn_metrics
+        .iter()
+        .any(|((p, m), _)| p == "hdfs.DatanodeProtocol" && m == "blockReceived"));
+    dfs.stop();
+}
+
+#[test]
+fn range_reads_cross_block_boundaries() {
+    let cfg = small_cfg(HdfsConfig::socket());
+    let block = cfg.block_size as u64;
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 3, cfg).unwrap();
+    let client = dfs.client().unwrap();
+    let data = random_bytes(3 * block as usize + 500, 21);
+    client.write_file("/ranged", &data).unwrap();
+
+    // Within one block.
+    assert_eq!(client.read_range("/ranged", 10, 100).unwrap(), &data[10..110]);
+    // Spanning a block boundary.
+    let span = client.read_range("/ranged", block - 50, 200).unwrap();
+    assert_eq!(span, &data[(block - 50) as usize..(block + 150) as usize]);
+    // Tail read past EOF is truncated, not an error.
+    let tail = client.read_range("/ranged", data.len() as u64 - 10, 1000).unwrap();
+    assert_eq!(tail, &data[data.len() - 10..]);
+    // Fully past EOF is empty.
+    assert!(client.read_range("/ranged", data.len() as u64 + 5, 10).unwrap().is_empty());
+    dfs.stop();
+}
+
+#[test]
+fn streaming_reader_matches_bulk_read() {
+    use std::io::Read;
+    let cfg = small_cfg(HdfsConfig::socket());
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 3, cfg).unwrap();
+    let client = dfs.client().unwrap();
+    let data = random_bytes(150 * 1024, 33);
+    client.write_file("/streamed", &data).unwrap();
+
+    let mut reader = client.open("/streamed").unwrap();
+    assert_eq!(reader.len(), data.len() as u64);
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 1000];
+    loop {
+        let n = reader.read(&mut chunk).unwrap();
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&chunk[..n]);
+    }
+    assert_eq!(out, data);
+    assert!(client.open("/no-such-file").is_err());
+    dfs.stop();
+}
+
+#[test]
+fn write_survives_network_partition_to_datanode() {
+    let cfg = small_cfg(HdfsConfig::socket());
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 5, cfg.clone()).unwrap();
+    let client = dfs.client().unwrap();
+    client.write_file("/pre", &random_bytes(cfg.block_size, 1)).unwrap();
+
+    // Cut the client host <-> first datanode host link only. The datanode
+    // keeps heartbeating (NameNode link intact), so only the client's
+    // pipeline exclusion can route around it.
+    let cluster = dfs.cluster();
+    let client_node = cluster.eth_node(simnet::Host(1));
+    let dn_node = cluster.eth_node(dfs.datanode_host(0));
+    cluster.eth().partition(client_node, dn_node);
+
+    let data = random_bytes(2 * cfg.block_size, 2);
+    client.write_file("/partitioned", &data).unwrap();
+    assert_eq!(client.read_file("/partitioned").unwrap(), data);
+
+    cluster.eth().heal(client_node, dn_node);
+    dfs.stop();
+}
+
+#[test]
+fn under_replicated_blocks_are_re_replicated() {
+    let mut cfg = small_cfg(HdfsConfig::socket());
+    cfg.dn_timeout = std::time::Duration::from_millis(900);
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 5, cfg.clone()).unwrap();
+    let client = dfs.client().unwrap();
+    let data = random_bytes(2 * cfg.block_size, 77);
+    client.write_file("/precious", &data).unwrap();
+    assert_eq!(dfs.namenode().under_replicated_count(), 0);
+
+    // Kill one replica holder.
+    let located = client.get_block_locations("/precious").unwrap();
+    let victim = located[0].targets[0].id;
+    let idx = dfs.datanodes().iter().position(|dn| dn.id() == victim).unwrap();
+    dfs.cluster().kill_host(dfs.datanode_host(idx));
+
+    // The NameNode must notice (heartbeat timeout), hand replication
+    // commands to surviving holders, and the copies must land.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        // The dead node must be counted as under-replication first.
+        if dfs.namenode().under_replicated_count() == 0
+            && dfs.namenode().live_datanode_count() == 4
+        {
+            // Verify the new replicas are real: every block has 3 *live*
+            // holders and the data reads back.
+            let located = client.get_block_locations("/precious").unwrap();
+            let all_healthy = located
+                .iter()
+                .all(|lb| lb.targets.iter().filter(|t| t.id != victim).count() >= 3);
+            if all_healthy {
+                break;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "re-replication did not complete: {} under-replicated",
+            dfs.namenode().under_replicated_count()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    assert_eq!(client.read_file("/precious").unwrap(), data);
+    dfs.stop();
+}
+
+#[test]
+fn fsck_reports_health() {
+    let cfg = small_cfg(HdfsConfig::socket());
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 4, cfg.clone()).unwrap();
+    let client = dfs.client().unwrap();
+    client.mkdirs("/a/b").unwrap();
+    client.write_file("/a/b/one", &random_bytes(cfg.block_size + 10, 1)).unwrap();
+    client.write_file("/a/b/two", &random_bytes(100, 2)).unwrap();
+
+    let report = dfs.namenode().fsck();
+    assert_eq!(report.files, 2);
+    assert_eq!(report.directories, 2);
+    assert_eq!(report.blocks, 3, "2 blocks + 1 block");
+    assert_eq!(report.total_bytes, (cfg.block_size + 10 + 100) as u64);
+    assert_eq!(report.live_datanodes, 4);
+    assert_eq!(report.under_replicated, 0);
+    assert_eq!(report.missing, 0);
+    dfs.stop();
+}
+
+#[test]
+fn expired_leases_are_recovered() {
+    let cfg = HdfsConfig {
+        lease_timeout: std::time::Duration::from_millis(400),
+        ..small_cfg(HdfsConfig::socket())
+    };
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 3, cfg.clone()).unwrap();
+    let client = dfs.client().unwrap();
+
+    // Open a file and "crash" without completing it.
+    {
+        use std::io::Write;
+        let mut writer = client.create("/abandoned").unwrap();
+        writer.write_all(&random_bytes(cfg.block_size, 8)).unwrap();
+        std::mem::forget(writer); // never close()
+    }
+    assert_eq!(dfs.namenode().lease_count(), 1);
+
+    // Heartbeats drive lease recovery once the lease expires.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while dfs.namenode().lease_count() > 0 {
+        assert!(std::time::Instant::now() < deadline, "lease never recovered");
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    // The file was force-completed with whatever blocks had been written.
+    let info = client.get_file_info("/abandoned").unwrap().unwrap();
+    assert_eq!(info.len, cfg.block_size as u64);
+    assert_eq!(client.read_file("/abandoned").unwrap().len(), cfg.block_size);
+    // A renewed lease, by contrast, stays alive: create and keep renewing.
+    let _writer = client.create("/active").unwrap();
+    for _ in 0..4 {
+        client.renew_lease("client").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(150));
+    }
+    assert_eq!(dfs.namenode().lease_count(), 1, "renewed lease must survive");
+    dfs.stop();
+}
+
+#[test]
+fn read_fails_over_from_corrupt_replica() {
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 4, small_cfg(HdfsConfig::socket())).unwrap();
+    let client = dfs.client().unwrap();
+    let data = random_bytes(48 * 1024, 77); // single block, 3 replicas
+    client.write_file("/checked", &data).unwrap();
+
+    let lb = &client.get_block_locations("/checked").unwrap()[0];
+    assert!(lb.targets.len() >= 2, "need replicas to fail over between");
+
+    // Corrupt the replica on the FIRST target — the one the client tries
+    // first — so the read must detect the mismatch and fail over.
+    let first_dn = dfs
+        .datanodes()
+        .iter()
+        .find(|dn| dn.id() == lb.targets[0].id)
+        .expect("first target datanode");
+    assert!(first_dn.corrupt_block(lb.block));
+
+    let back = client.read_file("/checked").unwrap();
+    assert_eq!(back, data, "failover read must return the intact bytes");
+    dfs.stop();
+}
+
+#[test]
+fn read_fails_when_every_replica_is_corrupt() {
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 4, small_cfg(HdfsConfig::socket())).unwrap();
+    let client = dfs.client().unwrap();
+    let data = random_bytes(32 * 1024, 78);
+    client.write_file("/doomed", &data).unwrap();
+
+    let lb = &client.get_block_locations("/doomed").unwrap()[0];
+    for target in &lb.targets {
+        let dn = dfs
+            .datanodes()
+            .iter()
+            .find(|dn| dn.id() == target.id)
+            .expect("target datanode");
+        assert!(dn.corrupt_block(lb.block));
+    }
+
+    let err = client.read_file("/doomed").unwrap_err();
+    assert!(
+        err.to_string().contains("checksum"),
+        "expected a checksum failure, got: {err}"
+    );
+    dfs.stop();
+}
+
+#[test]
+fn corrupt_replica_is_re_replicated_from_an_intact_copy() {
+    let mut cfg = small_cfg(HdfsConfig::socket());
+    cfg.heartbeat = std::time::Duration::from_millis(50);
+    let dfs = MiniDfs::start(model::IPOIB_QDR, 4, cfg).unwrap();
+    let client = dfs.client().unwrap();
+    let data = random_bytes(32 * 1024, 79);
+    client.write_file("/healing", &data).unwrap();
+
+    let lb = &client.get_block_locations("/healing").unwrap()[0];
+    let replicas_before = lb.targets.len();
+    let victim = dfs
+        .datanodes()
+        .iter()
+        .find(|dn| dn.id() == lb.targets[0].id)
+        .expect("target datanode");
+    assert!(victim.corrupt_block(lb.block));
+
+    // The victim's next block report omits the corrupt replica (reports
+    // are authoritative), the NameNode sees the block under-replicated,
+    // and an intact holder pushes a fresh copy — possibly back onto the
+    // victim, overwriting the bad bytes. Wait for the end state: full
+    // replication with every listed replica passing verification.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let lb = &client.get_block_locations("/healing").unwrap()[0];
+        let healed = lb.targets.len() >= replicas_before
+            && lb.targets.iter().all(|t| {
+                dfs.datanodes()
+                    .iter()
+                    .find(|dn| dn.id() == t.id)
+                    .is_some_and(|dn| dn.block_is_intact(lb.block) == Some(true))
+            });
+        if healed {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "block never healed");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert_eq!(client.read_file("/healing").unwrap(), data);
+    dfs.stop();
+}

@@ -1,0 +1,71 @@
+//! Property tests: files of arbitrary sizes (straddling every block
+//! boundary case) round-trip through mini-HDFS, and range reads agree
+//! with slices of the whole file.
+
+use std::sync::OnceLock;
+
+use mini_hdfs::{HdfsConfig, MiniDfs};
+use proptest::prelude::*;
+
+const BLOCK: usize = 32 * 1024;
+
+fn dfs() -> &'static MiniDfs {
+    static DFS: OnceLock<MiniDfs> = OnceLock::new();
+    DFS.get_or_init(|| {
+        let cfg = HdfsConfig {
+            block_size: BLOCK,
+            chunk: 8 * 1024,
+            ..HdfsConfig::socket()
+        };
+        MiniDfs::start(simnet::model::TEN_GIG_E, 3, cfg).expect("cluster")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any file size — empty, sub-block, exact multiples, off-by-one —
+    /// reads back byte-identical.
+    #[test]
+    fn files_roundtrip(
+        // Bias sizes toward block boundaries.
+        base in 0usize..3,
+        delta in -1isize..2,
+        fill in any::<u8>(),
+        tag in 0u32..1_000_000,
+    ) {
+        let size = (base * BLOCK).saturating_add_signed(delta);
+        let data = vec![fill; size];
+        let path = format!("/prop/file-{tag}-{size}");
+        let client = dfs().client().unwrap();
+        client.mkdirs("/prop").unwrap();
+        client.write_file(&path, &data).unwrap();
+        let back = client.read_file(&path).unwrap();
+        prop_assert_eq!(back, data);
+        let info = client.get_file_info(&path).unwrap().unwrap();
+        prop_assert_eq!(info.len, size as u64);
+        client.delete(&path).unwrap();
+    }
+
+    /// read_range(offset, len) == whole[offset..offset+len] for arbitrary
+    /// in- and out-of-bounds ranges.
+    #[test]
+    fn range_reads_agree_with_slices(
+        offset in 0u64..(3 * BLOCK as u64 + 100),
+        len in 0u64..(2 * BLOCK as u64),
+        tag in 0u32..1_000_000,
+    ) {
+        let size = 2 * BLOCK + 777;
+        let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        let path = format!("/prop/ranged-{tag}");
+        let client = dfs().client().unwrap();
+        client.mkdirs("/prop").unwrap();
+        client.write_file(&path, &data).unwrap();
+
+        let got = client.read_range(&path, offset, len).unwrap();
+        let start = (offset as usize).min(size);
+        let end = (offset as usize).saturating_add(len as usize).min(size);
+        prop_assert_eq!(got, data[start..end].to_vec());
+        client.delete(&path).unwrap();
+    }
+}

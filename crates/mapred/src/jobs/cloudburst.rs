@@ -1,0 +1,229 @@
+//! CloudBurst-style short-read mapping (Figure 6(b)).
+//!
+//! CloudBurst (Schatz, 2009) maps reads to a reference with MapReduce in
+//! two chained jobs. This is a faithful-in-structure, simplified-in-
+//! genomics reimplementation:
+//!
+//! * **Alignment** (the big job — 240 maps / 48 reduces in the paper's
+//!   run): the map phase emits k-mer seeds from both the reference and
+//!   the reads; the reduce phase joins seeds, then *extends* each
+//!   candidate by comparing the full read against the reference
+//!   (mismatch-counting, ≤ `cloudburst.max.mismatches`), emitting
+//!   `(read_id, (position, mismatches))` alignments.
+//! * **Filtering** (the small job — 24/24): picks the best alignment per
+//!   read.
+//!
+//! Input records: key `[b'R'][u32 chunk_id]` with value
+//! `[u32 offset][bases…]` for reference chunks, or key `[b'Q'][u32
+//! read_id]` with value `[bases…]` for reads. [`generate_input`] writes a
+//! synthetic genome, sampled reads (with injected mutations), and the
+//! plain reference file the reducers load for extension.
+
+use std::io;
+
+use mini_hdfs::DfsClient;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use super::{JobLogic, MapContext, ReduceContext};
+use crate::record::write_record;
+
+/// Parameter: seed (k-mer) length. Default 12.
+pub const KMER: &str = "cloudburst.kmer";
+/// Parameter: maximum mismatches for a valid alignment. Default 2.
+pub const MAX_MISMATCHES: &str = "cloudburst.max.mismatches";
+/// Parameter: HDFS path of the plain reference bases.
+pub const REF_PATH: &str = "cloudburst.ref.path";
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// The Alignment job.
+pub struct Align;
+
+impl JobLogic for Align {
+    fn map(&self, ctx: &mut MapContext, key: &[u8], value: &[u8]) -> io::Result<()> {
+        let k = ctx.conf.param_u64(KMER, 12) as usize;
+        match key.first() {
+            Some(b'R') => {
+                // Reference chunk: emit every k-mer with its global position.
+                let offset = read_u32(&value[..4])?;
+                let bases = &value[4..];
+                for (i, window) in bases.windows(k).enumerate() {
+                    let mut v = Vec::with_capacity(5);
+                    v.push(0u8); // tag: reference
+                    v.extend_from_slice(&(offset + i as u32).to_be_bytes());
+                    ctx.emit(window, &v);
+                }
+            }
+            Some(b'Q') => {
+                // Read: emit its leading k-mer seed, carrying id + bases.
+                let read_id = read_u32(&key[1..5])?;
+                if value.len() >= k {
+                    let mut v = Vec::with_capacity(5 + value.len());
+                    v.push(1u8); // tag: read
+                    v.extend_from_slice(&read_id.to_be_bytes());
+                    v.extend_from_slice(value);
+                    ctx.emit(&value[..k], &v);
+                }
+            }
+            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad cloudburst key")),
+        }
+        Ok(())
+    }
+
+    fn reduce_setup(&self, ctx: &mut ReduceContext) -> io::Result<()> {
+        let path = ctx
+            .conf
+            .param(REF_PATH)
+            .ok_or_else(|| io::Error::other("missing cloudburst.ref.path"))?
+            .to_owned();
+        ctx.scratch = ctx
+            .dfs
+            .read_file(&path)
+            .map_err(|e| io::Error::other(format!("loading reference: {e}")))?;
+        Ok(())
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext, _seed: &[u8], values: &[Vec<u8>]) -> io::Result<()> {
+        let max_mm = ctx.conf.param_u64(MAX_MISMATCHES, 2) as u32;
+        let mut ref_positions = Vec::new();
+        let mut reads: Vec<(u32, &[u8])> = Vec::new();
+        for v in values {
+            match v.first() {
+                Some(0) => ref_positions.push(read_u32(&v[1..5])?),
+                Some(1) => reads.push((read_u32(&v[1..5])?, &v[5..])),
+                _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad seed value")),
+            }
+        }
+        if ref_positions.is_empty() || reads.is_empty() {
+            return Ok(());
+        }
+        let reference = std::mem::take(&mut ctx.scratch);
+        for &pos in &ref_positions {
+            for &(read_id, bases) in &reads {
+                // Extension: the seed matched at `pos`; compare the whole
+                // read against reference[pos..pos+len].
+                let end = pos as usize + bases.len();
+                if end > reference.len() {
+                    continue;
+                }
+                let window = &reference[pos as usize..end];
+                let mismatches =
+                    window.iter().zip(bases).filter(|(a, b)| a != b).count() as u32;
+                if mismatches <= max_mm {
+                    let mut key = [0u8; 4];
+                    key.copy_from_slice(&read_id.to_be_bytes());
+                    let mut value = Vec::with_capacity(8);
+                    value.extend_from_slice(&pos.to_be_bytes());
+                    value.extend_from_slice(&mismatches.to_be_bytes());
+                    ctx.emit(&key, &value);
+                }
+            }
+        }
+        ctx.scratch = reference;
+        Ok(())
+    }
+}
+
+/// The Filtering job: best alignment per read.
+pub struct Filter;
+
+impl JobLogic for Filter {
+    fn map(&self, ctx: &mut MapContext, key: &[u8], value: &[u8]) -> io::Result<()> {
+        // Alignment output is already keyed by read id.
+        ctx.emit(key, value);
+        Ok(())
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext, key: &[u8], values: &[Vec<u8>]) -> io::Result<()> {
+        let best = values
+            .iter()
+            .min_by_key(|v| v.get(4..8).map(|mm| read_u32(mm).unwrap_or(u32::MAX)))
+            .ok_or_else(|| io::Error::other("empty group"))?;
+        ctx.emit(key, best);
+        Ok(())
+    }
+}
+
+fn read_u32(bytes: &[u8]) -> io::Result<u32> {
+    bytes
+        .get(..4)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_be_bytes)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "short u32"))
+}
+
+/// Synthetic CloudBurst input: a random genome, reference seed files, and
+/// read files sampled from the genome with up to `max_mm` injected
+/// mutations per read. Returns (reference-record files, read files).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_input(
+    dfs: &DfsClient,
+    dir: &str,
+    genome_len: usize,
+    ref_chunk: usize,
+    n_read_files: usize,
+    reads_per_file: usize,
+    read_len: usize,
+    seed: u64,
+) -> rpcoib::RpcResult<(Vec<String>, Vec<String>, String)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let genome: Vec<u8> = (0..genome_len).map(|_| BASES[rng.gen_range(0..4)]).collect();
+    dfs.mkdirs(dir)?;
+
+    // Plain reference (loaded by reducers for extension).
+    let ref_path = format!("{dir}/reference.bases");
+    dfs.write_file(&ref_path, &genome)?;
+
+    // Reference seed records, chunked.
+    let mut ref_files = Vec::new();
+    for (chunk_id, chunk_start) in (0..genome_len).step_by(ref_chunk).enumerate() {
+        let end = (chunk_start + ref_chunk).min(genome_len);
+        let mut buf = Vec::new();
+        let mut key = vec![b'R'];
+        key.extend_from_slice(&(chunk_id as u32).to_be_bytes());
+        let mut value = Vec::with_capacity(4 + end - chunk_start);
+        value.extend_from_slice(&(chunk_start as u32).to_be_bytes());
+        value.extend_from_slice(&genome[chunk_start..end]);
+        write_record(&mut buf, &key, &value);
+        let path = format!("{dir}/ref-{chunk_id:04}");
+        dfs.write_file(&path, &buf)?;
+        ref_files.push(path);
+    }
+
+    // Read files.
+    let mut read_files = Vec::new();
+    let mut read_id = 0u32;
+    for f in 0..n_read_files {
+        let mut buf = Vec::new();
+        for _ in 0..reads_per_file {
+            let start = rng.gen_range(0..genome_len.saturating_sub(read_len).max(1));
+            let mut bases = genome[start..(start + read_len).min(genome_len)].to_vec();
+            // Inject 0..=2 mutations after the seed region.
+            for _ in 0..rng.gen_range(0..3usize) {
+                if bases.len() > 16 {
+                    let p = rng.gen_range(16..bases.len());
+                    bases[p] = BASES[rng.gen_range(0..4)];
+                }
+            }
+            let mut key = vec![b'Q'];
+            key.extend_from_slice(&read_id.to_be_bytes());
+            write_record(&mut buf, &key, &bases);
+            read_id += 1;
+        }
+        let path = format!("{dir}/reads-{f:04}");
+        dfs.write_file(&path, &buf)?;
+        read_files.push(path);
+    }
+    Ok((ref_files, read_files, ref_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_parsing() {
+        assert_eq!(read_u32(&[0, 0, 1, 2]).unwrap(), 258);
+        assert!(read_u32(&[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Grep: emit records whose value contains a literal pattern; the reduce
+//! side is identity (collecting matches per key).
+
+use std::io;
+
+use super::{JobLogic, MapContext, ReduceContext};
+
+/// Parameter: the literal pattern to search for.
+pub const PATTERN: &str = "grep.pattern";
+
+pub struct Grep;
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+impl JobLogic for Grep {
+    fn map(&self, ctx: &mut MapContext, key: &[u8], value: &[u8]) -> io::Result<()> {
+        let pattern = ctx.conf.param(PATTERN).unwrap_or("").as_bytes().to_vec();
+        if contains(value, &pattern) {
+            ctx.emit(key, value);
+        }
+        Ok(())
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext, key: &[u8], values: &[Vec<u8>]) -> io::Result<()> {
+        for v in values {
+            ctx.emit(key, v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substring_matcher() {
+        assert!(contains(b"hello world", b"lo wo"));
+        assert!(contains(b"abc", b""));
+        assert!(!contains(b"abc", b"abcd"));
+        assert!(contains(b"abc", b"abc"));
+        assert!(!contains(b"", b"x"));
+    }
+}

@@ -1,0 +1,270 @@
+//! K-means clustering: the canonical *iterative* MapReduce workload
+//! (listed by the paper's citations as the class of application whose
+//! per-iteration job overhead Hadoop RPC dominates).
+//!
+//! One job = one Lloyd iteration: the map phase assigns each point to
+//! its nearest centroid (centroids are side data, loaded from HDFS in
+//! `map_setup`), the combiner pre-aggregates partial sums, and the
+//! reduce phase emits the new centroids. [`drive`] chains jobs until the
+//! centroids converge.
+
+use std::io;
+use std::time::Duration;
+
+use mini_hdfs::DfsClient;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use super::{JobLogic, MapContext, ReduceContext};
+use crate::client::JobClient;
+use crate::record::{read_all, write_record, RecordReader};
+use crate::types::{JobConf, JobKind};
+
+/// Parameter: number of clusters.
+pub const K: &str = "kmeans.k";
+/// Parameter: point dimensionality.
+pub const DIM: &str = "kmeans.dim";
+/// Parameter: HDFS path of the current centroids file.
+pub const CENTROIDS: &str = "kmeans.centroids.path";
+
+/// Serialize a point (or centroid) as little-endian f64s.
+pub fn encode_point(coords: &[f64]) -> Vec<u8> {
+    coords.iter().flat_map(|c| c.to_le_bytes()).collect()
+}
+
+/// Parse a point serialized by [`encode_point`].
+pub fn decode_point(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Partial aggregate carried through shuffle: `[count f64][sum coords…]`.
+fn encode_partial(count: f64, sums: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 * (sums.len() + 1));
+    out.extend_from_slice(&count.to_le_bytes());
+    out.extend(sums.iter().flat_map(|c| c.to_le_bytes()));
+    out
+}
+
+fn decode_partial(bytes: &[u8]) -> (f64, Vec<f64>) {
+    let values = decode_point(bytes);
+    (values[0], values[1..].to_vec())
+}
+
+pub struct KMeans;
+
+impl KMeans {
+    fn centroids_of(ctx_scratch: &[u8]) -> io::Result<Vec<Vec<f64>>> {
+        read_all(ctx_scratch)
+            .map(|records| records.into_iter().map(|(_, v)| decode_point(&v)).collect())
+    }
+
+    fn fold(values: &[Vec<u8>]) -> (f64, Vec<f64>) {
+        let mut total = 0.0;
+        let mut sums: Vec<f64> = Vec::new();
+        for v in values {
+            let (count, partial) = decode_partial(v);
+            total += count;
+            if sums.is_empty() {
+                sums = partial;
+            } else {
+                for (s, p) in sums.iter_mut().zip(&partial) {
+                    *s += p;
+                }
+            }
+        }
+        (total, sums)
+    }
+}
+
+impl JobLogic for KMeans {
+    fn map_setup(&self, ctx: &mut MapContext) -> io::Result<()> {
+        let path = ctx
+            .conf
+            .param(CENTROIDS)
+            .ok_or_else(|| io::Error::other("missing kmeans.centroids.path"))?
+            .to_owned();
+        ctx.scratch = ctx
+            .dfs
+            .read_file(&path)
+            .map_err(|e| io::Error::other(format!("loading centroids: {e}")))?;
+        Ok(())
+    }
+
+    fn map(&self, ctx: &mut MapContext, _key: &[u8], value: &[u8]) -> io::Result<()> {
+        let centroids = Self::centroids_of(&ctx.scratch)?;
+        let point = decode_point(value);
+        let nearest = centroids
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                squared_distance(a, &point).total_cmp(&squared_distance(b, &point))
+            })
+            .map(|(i, _)| i as u32)
+            .ok_or_else(|| io::Error::other("no centroids"))?;
+        ctx.emit(&nearest.to_be_bytes(), &encode_partial(1.0, &point));
+        Ok(())
+    }
+
+    /// Partial sums are associative — fold them map-side.
+    fn combine(&self, _key: &[u8], values: &[Vec<u8>]) -> io::Result<Option<Vec<Vec<u8>>>> {
+        let (count, sums) = Self::fold(values);
+        Ok(Some(vec![encode_partial(count, &sums)]))
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext, key: &[u8], values: &[Vec<u8>]) -> io::Result<()> {
+        let (count, sums) = Self::fold(values);
+        if count == 0.0 {
+            return Ok(());
+        }
+        let centroid: Vec<f64> = sums.iter().map(|s| s / count).collect();
+        ctx.emit(key, &encode_point(&centroid));
+        Ok(())
+    }
+}
+
+/// Result of an iterative k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    pub centroids: Vec<Vec<f64>>,
+    pub iterations: usize,
+    pub converged: bool,
+}
+
+/// Drive k-means to convergence: one MapReduce job per iteration, reading
+/// the new centroids back from HDFS between jobs.
+#[allow(clippy::too_many_arguments)] // a driver invocation, not an API surface
+pub fn drive(
+    jobs: &JobClient,
+    dfs: &DfsClient,
+    input: Vec<String>,
+    work_dir: &str,
+    k: usize,
+    dim: usize,
+    max_iterations: usize,
+    epsilon: f64,
+    seed: u64,
+) -> io::Result<KMeansResult> {
+    let err = |e: rpcoib::RpcError| io::Error::other(e.to_string());
+    dfs.mkdirs(work_dir).map_err(err)?;
+
+    // Seed centroids: random points in the unit cube.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids: Vec<Vec<f64>> =
+        (0..k).map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect()).collect();
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iterations && !converged {
+        // Publish current centroids for the mappers.
+        let centroid_path = format!("{work_dir}/centroids-{iterations:03}");
+        let mut buf = Vec::new();
+        for (i, c) in centroids.iter().enumerate() {
+            write_record(&mut buf, &(i as u32).to_be_bytes(), &encode_point(c));
+        }
+        dfs.write_file(&centroid_path, &buf).map_err(err)?;
+
+        let output = format!("{work_dir}/iter-{iterations:03}");
+        let conf = JobConf {
+            name: format!("kmeans-{iterations}"),
+            kind: JobKind::KMeans,
+            input: input.clone(),
+            output: output.clone(),
+            n_reduces: (k as u32).min(4),
+            n_maps: 0,
+            params: vec![
+                (K.into(), k.to_string()),
+                (DIM.into(), dim.to_string()),
+                (CENTROIDS.into(), centroid_path),
+            ],
+        };
+        jobs.run(&conf, Duration::from_secs(300)).map_err(err)?;
+
+        // Collect the new centroids (clusters that lost every point keep
+        // their previous position).
+        let mut next = centroids.clone();
+        for part in dfs.list(&output).map_err(err)? {
+            let data = dfs.read_file(&part.path).map_err(err)?;
+            let mut reader = RecordReader::new(&data);
+            while let Some((key, value)) = reader.next()? {
+                let idx = u32::from_be_bytes(key.try_into().expect("u32 key")) as usize;
+                next[idx] = decode_point(value);
+            }
+        }
+
+        let movement: f64 = centroids
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| squared_distance(a, b).sqrt())
+            .fold(0.0f64, f64::max);
+        centroids = next;
+        iterations += 1;
+        converged = movement < epsilon;
+    }
+    Ok(KMeansResult { centroids, iterations, converged })
+}
+
+/// Generate clustered input: `points_per_file` points per file, drawn
+/// around `k` well-separated true centers in `dim` dimensions.
+pub fn generate_input(
+    dfs: &DfsClient,
+    dir: &str,
+    n_files: usize,
+    points_per_file: usize,
+    k: usize,
+    dim: usize,
+    seed: u64,
+) -> rpcoib::RpcResult<(Vec<String>, Vec<Vec<f64>>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // True centers spread on the unit cube diagonal-ish, well separated.
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|i| (0..dim).map(|d| (i + 1) as f64 / (k + 1) as f64 + 0.01 * d as f64).collect())
+        .collect();
+    dfs.mkdirs(dir)?;
+    let mut files = Vec::new();
+    let mut point_id = 0u32;
+    for f in 0..n_files {
+        let mut buf = Vec::new();
+        for _ in 0..points_per_file {
+            let center = &centers[rng.gen_range(0..k)];
+            let point: Vec<f64> =
+                center.iter().map(|c| c + rng.gen_range(-0.02..0.02)).collect();
+            write_record(&mut buf, &point_id.to_be_bytes(), &encode_point(&point));
+            point_id += 1;
+        }
+        let path = format!("{dir}/points-{f:04}");
+        dfs.write_file(&path, &buf)?;
+        files.push(path);
+    }
+    Ok((files, centers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_codec_roundtrips() {
+        let p = vec![1.5, -2.25, 0.0, 1e9];
+        assert_eq!(decode_point(&encode_point(&p)), p);
+    }
+
+    #[test]
+    fn partial_codec_and_fold() {
+        let a = encode_partial(2.0, &[1.0, 2.0]);
+        let b = encode_partial(3.0, &[10.0, 20.0]);
+        let (count, sums) = KMeans::fold(&[a, b]);
+        assert_eq!(count, 5.0);
+        assert_eq!(sums, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn distance_is_euclidean_squared() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

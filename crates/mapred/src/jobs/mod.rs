@@ -1,0 +1,376 @@
+//! Job logic: the map/reduce functions of the built-in jobs, plus the
+//! task-side execution framework (contexts, partitioning, sort & group).
+//!
+//! Built-ins mirror the paper's workloads: RandomWriter and Sort
+//! (Figure 6(a)), CloudBurst alignment + filtering (Figure 6(b)), and
+//! WordCount / Grep as additional example workloads.
+
+pub mod cloudburst;
+pub mod kmeans;
+pub mod terasort;
+pub mod grep;
+pub mod randomwriter;
+pub mod sort;
+pub mod wordcount;
+
+use std::io;
+use std::sync::Arc;
+
+use mini_hdfs::DfsClient;
+
+use crate::record::{write_record, RecordReader};
+use crate::types::{JobConf, JobKind};
+
+/// Routes a key to its reduce partition.
+type Partitioner<'a> = Box<dyn Fn(&[u8]) -> u32 + Send + 'a>;
+/// Invoked with the running record/group count for progress reporting.
+type ProgressCallback<'a> = Box<dyn FnMut(u64) + Send + 'a>;
+
+/// Per-map-task context handed to job logic.
+pub struct MapContext<'a> {
+    pub conf: &'a JobConf,
+    pub map_idx: u32,
+    pub split: &'a str,
+    pub dfs: &'a DfsClient,
+    /// Free space for `map_setup` (e.g. k-means centroids).
+    pub scratch: Vec<u8>,
+    n_reduces: u32,
+    /// One record buffer per reduce partition (single buffer when the job
+    /// is map-only).
+    partitions: Vec<Vec<u8>>,
+    partition_of: Partitioner<'a>,
+    /// Called periodically so the runner can send `statusUpdate`s.
+    progress_cb: ProgressCallback<'a>,
+    records: u64,
+}
+
+impl<'a> MapContext<'a> {
+    /// Emit one intermediate (or final, for map-only jobs) record.
+    pub fn emit(&mut self, key: &[u8], value: &[u8]) {
+        let p = if self.n_reduces == 0 { 0 } else { (self.partition_of)(key) as usize };
+        write_record(&mut self.partitions[p], key, value);
+    }
+
+    /// Report one processed input record (drives umbilical traffic).
+    pub fn progress(&mut self) {
+        self.records += 1;
+        (self.progress_cb)(self.records);
+    }
+
+    /// Records processed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+/// Per-reduce-task context handed to job logic.
+pub struct ReduceContext<'a> {
+    pub conf: &'a JobConf,
+    pub reduce_idx: u32,
+    pub dfs: &'a DfsClient,
+    /// Output record buffer (written to HDFS by the framework on commit).
+    out: Vec<u8>,
+    /// Free space for `reduce_setup` (e.g. CloudBurst's reference bases).
+    pub scratch: Vec<u8>,
+    progress_cb: ProgressCallback<'a>,
+    groups: u64,
+}
+
+impl ReduceContext<'_> {
+    /// Emit one output record.
+    pub fn emit(&mut self, key: &[u8], value: &[u8]) {
+        write_record(&mut self.out, key, value);
+    }
+
+    /// Report one processed key group.
+    pub fn progress(&mut self) {
+        self.groups += 1;
+        (self.progress_cb)(self.groups);
+    }
+}
+
+/// The map/reduce functions of one job kind.
+pub trait JobLogic: Send + Sync {
+    /// Map one input record.
+    fn map(&self, ctx: &mut MapContext, key: &[u8], value: &[u8]) -> io::Result<()>;
+
+    /// One-time setup before mapping (e.g. load side data into
+    /// [`MapContext::scratch`]).
+    fn map_setup(&self, _ctx: &mut MapContext) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Run a whole map task. The default reads the split file from HDFS
+    /// and feeds its records through [`JobLogic::map`]; synthetic jobs
+    /// (RandomWriter) override this.
+    fn run_map(&self, ctx: &mut MapContext) -> io::Result<()> {
+        let data = ctx
+            .dfs
+            .read_file(ctx.split)
+            .map_err(|e| io::Error::other(format!("reading split {}: {e}", ctx.split)))?;
+        let mut reader = RecordReader::new(&data);
+        while let Some((k, v)) = reader.next()? {
+            self.map(ctx, k, v)?;
+            ctx.progress();
+        }
+        Ok(())
+    }
+
+    /// One-time setup before reducing (e.g. load side data).
+    fn reduce_setup(&self, _ctx: &mut ReduceContext) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Reduce one key group.
+    fn reduce(&self, ctx: &mut ReduceContext, key: &[u8], values: &[Vec<u8>]) -> io::Result<()>;
+
+    /// Map-side combiner: fold a key group's values locally before the
+    /// shuffle (Hadoop's combiner). Return `None` (the default) to pass
+    /// values through untouched.
+    fn combine(&self, _key: &[u8], _values: &[Vec<u8>]) -> io::Result<Option<Vec<Vec<u8>>>> {
+        Ok(None)
+    }
+
+    /// Route a key to a reduce partition. Default: FNV-style hash, like
+    /// Hadoop's HashPartitioner. `conf` carries job parameters for
+    /// configured partitioners (e.g. TeraSort's sampled boundaries).
+    fn partition(&self, _conf: &JobConf, key: &[u8], n_reduces: u32) -> u32 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % n_reduces as u64) as u32
+    }
+}
+
+/// Resolve the logic for a job kind (the "job jar" lookup).
+pub fn logic_for(kind: JobKind) -> Arc<dyn JobLogic> {
+    match kind {
+        JobKind::RandomWriter => Arc::new(randomwriter::RandomWriter),
+        JobKind::Sort => Arc::new(sort::Sort),
+        JobKind::WordCount => Arc::new(wordcount::WordCount),
+        JobKind::Grep => Arc::new(grep::Grep),
+        JobKind::CloudburstAlign => Arc::new(cloudburst::Align),
+        JobKind::CloudburstFilter => Arc::new(cloudburst::Filter),
+        JobKind::KMeans => Arc::new(kmeans::KMeans),
+        JobKind::TeraSort => Arc::new(terasort::TeraSort),
+    }
+}
+
+/// Execute a map task end to end; returns the per-partition sorted runs
+/// (for shuffle) or, for map-only jobs, the final output bytes.
+pub fn run_map_task(
+    logic: &dyn JobLogic,
+    conf: &JobConf,
+    map_idx: u32,
+    split: &str,
+    dfs: &DfsClient,
+    progress_cb: impl FnMut(u64) + Send,
+) -> io::Result<Vec<Vec<u8>>> {
+    let n_reduces = conf.n_reduces;
+    let n_parts = n_reduces.max(1) as usize;
+    let logic_ref: &dyn JobLogic = logic;
+    let mut ctx = MapContext {
+        conf,
+        map_idx,
+        split,
+        dfs,
+        scratch: Vec::new(),
+        n_reduces,
+        partitions: vec![Vec::new(); n_parts],
+        partition_of: Box::new(move |key| logic_ref.partition(conf, key, n_reduces.max(1))),
+        progress_cb: Box::new(progress_cb),
+        records: 0,
+    };
+    logic.map_setup(&mut ctx)?;
+    logic.run_map(&mut ctx)?;
+    let partitions = std::mem::take(&mut ctx.partitions);
+    drop(ctx);
+    // Sort each partition by key (Hadoop's map-side sort), then run the
+    // combiner over each key group. Map-only jobs keep emission order.
+    if n_reduces == 0 {
+        return Ok(partitions);
+    }
+    partitions
+        .into_iter()
+        .map(|run| {
+            let sorted = sort_run(run)?;
+            apply_combiner(logic, sorted)
+        })
+        .collect()
+}
+
+/// Run the job's combiner over a sorted run; a pass-through when the job
+/// has no combiner.
+fn apply_combiner(logic: &dyn JobLogic, run: Vec<u8>) -> io::Result<Vec<u8>> {
+    let mut records = Vec::new();
+    {
+        let mut reader = RecordReader::new(&run);
+        while let Some((k, v)) = reader.next()? {
+            records.push((k.to_vec(), v.to_vec()));
+        }
+    }
+    let mut out = Vec::with_capacity(run.len());
+    let mut combined_any = false;
+    let mut i = 0;
+    while i < records.len() {
+        let mut j = i + 1;
+        while j < records.len() && records[j].0 == records[i].0 {
+            j += 1;
+        }
+        let key = &records[i].0;
+        let values: Vec<Vec<u8>> = records[i..j].iter().map(|(_, v)| v.clone()).collect();
+        match logic.combine(key, &values)? {
+            Some(folded) => {
+                combined_any = true;
+                for v in folded {
+                    write_record(&mut out, key, &v);
+                }
+            }
+            None => {
+                for v in &values {
+                    write_record(&mut out, key, v);
+                }
+            }
+        }
+        i = j;
+    }
+    // Without a combiner the rewrite is byte-identical; return the
+    // original to skip the copy.
+    Ok(if combined_any { out } else { run })
+}
+
+/// Sort a record run by key (stable, preserving value order per key).
+pub fn sort_run(run: Vec<u8>) -> io::Result<Vec<u8>> {
+    let mut records = Vec::new();
+    let mut reader = RecordReader::new(&run);
+    while let Some((k, v)) = reader.next()? {
+        records.push((k.to_vec(), v.to_vec()));
+    }
+    records.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::with_capacity(run.len());
+    for (k, v) in records {
+        write_record(&mut out, &k, &v);
+    }
+    Ok(out)
+}
+
+/// Execute a reduce task over the fetched (sorted) runs; returns the
+/// output file bytes.
+pub fn run_reduce_task(
+    logic: &dyn JobLogic,
+    conf: &JobConf,
+    reduce_idx: u32,
+    runs: Vec<Vec<u8>>,
+    dfs: &DfsClient,
+    progress_cb: impl FnMut(u64) + Send,
+) -> io::Result<Vec<u8>> {
+    // Merge: collect and sort (runs are individually sorted; a k-way
+    // merge would also work, but collect-and-sort is simpler and the
+    // volumes are scaled down).
+    let mut records = Vec::new();
+    for run in &runs {
+        let mut reader = RecordReader::new(run);
+        while let Some((k, v)) = reader.next()? {
+            records.push((k.to_vec(), v.to_vec()));
+        }
+    }
+    records.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut ctx = ReduceContext {
+        conf,
+        reduce_idx,
+        dfs,
+        out: Vec::new(),
+        scratch: Vec::new(),
+        progress_cb: Box::new(progress_cb),
+        groups: 0,
+    };
+    logic.reduce_setup(&mut ctx)?;
+
+    let mut i = 0;
+    while i < records.len() {
+        let mut j = i + 1;
+        while j < records.len() && records[j].0 == records[i].0 {
+            j += 1;
+        }
+        let key = records[i].0.clone();
+        let values: Vec<Vec<u8>> = records[i..j].iter().map(|(_, v)| v.clone()).collect();
+        logic.reduce(&mut ctx, &key, &values)?;
+        ctx.progress();
+        i = j;
+    }
+    Ok(ctx.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::read_all;
+
+    struct Identity;
+    impl JobLogic for Identity {
+        fn map(&self, ctx: &mut MapContext, key: &[u8], value: &[u8]) -> io::Result<()> {
+            ctx.emit(key, value);
+            Ok(())
+        }
+        fn reduce(
+            &self,
+            ctx: &mut ReduceContext,
+            key: &[u8],
+            values: &[Vec<u8>],
+        ) -> io::Result<()> {
+            for v in values {
+                ctx.emit(key, v);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sort_run_orders_by_key() {
+        let mut run = Vec::new();
+        write_record(&mut run, b"zebra", b"1");
+        write_record(&mut run, b"apple", b"2");
+        write_record(&mut run, b"mango", b"3");
+        let sorted = sort_run(run).unwrap();
+        let records = read_all(&sorted).unwrap();
+        let keys: Vec<&[u8]> = records.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"apple".as_slice(), b"mango", b"zebra"]);
+    }
+
+    #[test]
+    fn default_partition_is_stable_and_in_range() {
+        let logic = Identity;
+        let conf = JobConf::default();
+        for key in [b"a".as_slice(), b"bb", b"ccc", b""] {
+            let p = logic.partition(&conf, key, 7);
+            assert!(p < 7);
+            assert_eq!(p, logic.partition(&conf, key, 7), "deterministic");
+        }
+    }
+
+    #[test]
+    fn reduce_groups_equal_keys() {
+        let mut run1 = Vec::new();
+        write_record(&mut run1, b"k1", b"a");
+        write_record(&mut run1, b"k2", b"b");
+        let mut run2 = Vec::new();
+        write_record(&mut run2, b"k1", b"c");
+        // A throwaway DfsClient is hard to build here; reduce only touches
+        // dfs when the logic asks for it, and Identity does not. Use a
+        // null pointer trick via Option? Instead, spin a tiny MiniDfs-free
+        // context by constructing ReduceContext through run_reduce_task's
+        // internals — covered by the integration tests. Here we exercise
+        // grouping via a local reimplementation guard.
+        let mut records = Vec::new();
+        for run in [&run1, &run2] {
+            records.extend(read_all(run).unwrap());
+        }
+        records.sort();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].0, b"k1");
+        assert_eq!(records[1].0, b"k1");
+    }
+}

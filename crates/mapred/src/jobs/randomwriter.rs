@@ -1,0 +1,45 @@
+//! RandomWriter: the map-only generator of Figure 6(a). Each map emits
+//! `bytes.per.map` of random key/value pairs; the framework writes them
+//! to the job output directory (used as Sort input).
+
+use std::io;
+
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+
+use super::{JobLogic, MapContext, ReduceContext};
+
+/// Parameter: bytes each map should generate (default 1 MiB).
+pub const BYTES_PER_MAP: &str = "randomwriter.bytes.per.map";
+/// Parameter: RNG seed base.
+pub const SEED: &str = "randomwriter.seed";
+
+pub struct RandomWriter;
+
+impl JobLogic for RandomWriter {
+    fn map(&self, _ctx: &mut MapContext, _key: &[u8], _value: &[u8]) -> io::Result<()> {
+        unreachable!("RandomWriter is synthetic; run_map is overridden")
+    }
+
+    fn run_map(&self, ctx: &mut MapContext) -> io::Result<()> {
+        let target = ctx.conf.param_u64(BYTES_PER_MAP, 1 << 20);
+        let seed = ctx.conf.param_u64(SEED, 1).wrapping_add(ctx.map_idx as u64 * 7919);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut produced = 0u64;
+        let mut key = [0u8; 10];
+        while produced < target {
+            rng.fill_bytes(&mut key);
+            // Hadoop's RandomWriter varies value sizes; keep 64..192.
+            let vlen = rng.gen_range(64..192);
+            let mut value = vec![0u8; vlen];
+            rng.fill_bytes(&mut value);
+            ctx.emit(&key, &value);
+            produced += (key.len() + vlen) as u64;
+            ctx.progress();
+        }
+        Ok(())
+    }
+
+    fn reduce(&self, _ctx: &mut ReduceContext, _key: &[u8], _values: &[Vec<u8>]) -> io::Result<()> {
+        Err(io::Error::other("RandomWriter is map-only"))
+    }
+}

@@ -1,0 +1,52 @@
+//! Sort: identity map + identity reduce with a *range* partitioner on the
+//! first key byte, so that concatenating `part-r-*` in order yields a
+//! globally sorted dataset (per-partition sorting alone is what stock
+//! hash-partitioned Sort gives; range partitioning keeps the output
+//! checkable end to end).
+
+use std::io;
+
+use super::{JobLogic, MapContext, ReduceContext};
+
+pub struct Sort;
+
+impl JobLogic for Sort {
+    fn map(&self, ctx: &mut MapContext, key: &[u8], value: &[u8]) -> io::Result<()> {
+        ctx.emit(key, value);
+        Ok(())
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext, key: &[u8], values: &[Vec<u8>]) -> io::Result<()> {
+        for v in values {
+            ctx.emit(key, v);
+        }
+        Ok(())
+    }
+
+    fn partition(&self, _conf: &crate::types::JobConf, key: &[u8], n_reduces: u32) -> u32 {
+        let first = key.first().copied().unwrap_or(0) as u32;
+        (first * n_reduces) >> 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_partition_is_monotone_in_first_byte() {
+        let sort = Sort;
+        let conf = crate::types::JobConf::default();
+        let n = 4;
+        let mut last = 0;
+        for b in 0u8..=255 {
+            let p = sort.partition(&conf, &[b, 99], n);
+            assert!(p < n);
+            assert!(p >= last, "partition must be monotone");
+            last = p;
+        }
+        assert_eq!(sort.partition(&conf, &[0], n), 0);
+        assert_eq!(sort.partition(&conf, &[255], n), n - 1);
+        assert_eq!(sort.partition(&conf, &[], n), 0, "empty key goes to partition 0");
+    }
+}

@@ -1,0 +1,182 @@
+//! TeraSort-style total-order sort: identity map/reduce with a
+//! **sampled range partitioner** (Hadoop's `TotalOrderPartitioner`).
+//!
+//! The plain [`super::sort::Sort`] job partitions on the first key byte,
+//! which balances only uniformly distributed keys. TeraSort instead
+//! samples the input before submission, derives `n_reduces - 1` key
+//! boundaries, and ships them to the mappers through a job parameter;
+//! each key routes to the partition whose boundary range contains it —
+//! so the concatenated outputs are globally sorted *and* the reduce load
+//! stays balanced under arbitrary key skew.
+
+use std::io;
+
+use mini_hdfs::DfsClient;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use super::{JobLogic, MapContext, ReduceContext};
+use crate::record::RecordReader;
+use crate::types::JobConf;
+
+/// Parameter: hex-encoded, `,`-separated partition boundary keys.
+pub const BOUNDARIES: &str = "terasort.boundaries";
+
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+/// Serialize boundaries into the job-parameter form.
+pub fn encode_boundaries(boundaries: &[Vec<u8>]) -> String {
+    boundaries.iter().map(|b| hex_encode(b)).collect::<Vec<_>>().join(",")
+}
+
+/// Parse the job-parameter form back into boundary keys.
+pub fn decode_boundaries(param: &str) -> Vec<Vec<u8>> {
+    if param.is_empty() {
+        return Vec::new();
+    }
+    param.split(',').filter_map(hex_decode).collect()
+}
+
+pub struct TeraSort;
+
+impl JobLogic for TeraSort {
+    fn map(&self, ctx: &mut MapContext, key: &[u8], value: &[u8]) -> io::Result<()> {
+        ctx.emit(key, value);
+        Ok(())
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext, key: &[u8], values: &[Vec<u8>]) -> io::Result<()> {
+        for v in values {
+            ctx.emit(key, v);
+        }
+        Ok(())
+    }
+
+    /// Partition `i` holds keys in `[boundary[i-1], boundary[i])`:
+    /// binary search over the sampled boundaries.
+    fn partition(&self, conf: &JobConf, key: &[u8], n_reduces: u32) -> u32 {
+        let boundaries = decode_boundaries(conf.param(BOUNDARIES).unwrap_or(""));
+        if boundaries.is_empty() {
+            return 0;
+        }
+        let idx = boundaries.partition_point(|b| b.as_slice() <= key) as u32;
+        idx.min(n_reduces - 1)
+    }
+}
+
+/// Sample the input files and derive `n_reduces - 1` balanced boundary
+/// keys (Hadoop's `InputSampler.RandomSampler` + `TotalOrderPartitioner`
+/// pre-pass, run by the job client before submission).
+pub fn sample_boundaries(
+    dfs: &DfsClient,
+    input: &[String],
+    n_reduces: u32,
+    samples_per_file: usize,
+    seed: u64,
+) -> io::Result<Vec<Vec<u8>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sampled: Vec<Vec<u8>> = Vec::new();
+    for path in input {
+        let data = dfs
+            .read_file(path)
+            .map_err(|e| io::Error::other(format!("sampling {path}: {e}")))?;
+        let mut keys = Vec::new();
+        let mut reader = RecordReader::new(&data);
+        while let Some((k, _)) = reader.next()? {
+            keys.push(k.to_vec());
+        }
+        for _ in 0..samples_per_file.min(keys.len()) {
+            sampled.push(keys[rng.gen_range(0..keys.len())].clone());
+        }
+    }
+    if sampled.is_empty() {
+        return Ok(Vec::new());
+    }
+    sampled.sort();
+    // Evenly spaced quantiles become the boundaries.
+    let boundaries = (1..n_reduces)
+        .map(|i| sampled[(i as usize * sampled.len()) / n_reduces as usize].clone())
+        .collect();
+    Ok(boundaries)
+}
+
+/// Build a ready-to-submit TeraSort configuration (samples the input).
+pub fn make_conf(
+    dfs: &DfsClient,
+    input: Vec<String>,
+    output: &str,
+    n_reduces: u32,
+    seed: u64,
+) -> io::Result<JobConf> {
+    let boundaries = sample_boundaries(dfs, &input, n_reduces, 20, seed)?;
+    Ok(JobConf {
+        name: "terasort".into(),
+        kind: crate::types::JobKind::TeraSort,
+        input,
+        output: output.to_owned(),
+        n_reduces,
+        n_maps: 0,
+        params: vec![(BOUNDARIES.into(), encode_boundaries(&boundaries))],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for bytes in [vec![], vec![0u8], vec![0xde, 0xad, 0xbe, 0xef], vec![0xff; 32]] {
+            assert_eq!(hex_decode(&hex_encode(&bytes)), Some(bytes));
+        }
+        assert_eq!(hex_decode("zz"), None);
+        assert_eq!(hex_decode("abc"), None);
+    }
+
+    #[test]
+    fn boundary_codec_roundtrip() {
+        let boundaries = vec![b"apple".to_vec(), b"mango".to_vec(), vec![0, 255, 7]];
+        let encoded = encode_boundaries(&boundaries);
+        assert_eq!(decode_boundaries(&encoded), boundaries);
+        assert!(decode_boundaries("").is_empty());
+    }
+
+    #[test]
+    fn partition_is_monotone_and_respects_boundaries() {
+        let boundaries = vec![b"f".to_vec(), b"p".to_vec()];
+        let conf = JobConf {
+            params: vec![(BOUNDARIES.into(), encode_boundaries(&boundaries))],
+            ..JobConf::default()
+        };
+        let ts = TeraSort;
+        assert_eq!(ts.partition(&conf, b"apple", 3), 0);
+        assert_eq!(ts.partition(&conf, b"f", 3), 1, "boundary key goes right");
+        assert_eq!(ts.partition(&conf, b"grape", 3), 1);
+        assert_eq!(ts.partition(&conf, b"zebra", 3), 2);
+        // Monotone over arbitrary keys.
+        let mut last = 0;
+        for b in 0u8..=255 {
+            let p = ts.partition(&conf, &[b], 3);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn empty_boundaries_degenerate_to_single_partition() {
+        let ts = TeraSort;
+        let conf = JobConf::default();
+        assert_eq!(ts.partition(&conf, b"anything", 4), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! WordCount: the canonical example job. Values are text lines; counts
+//! travel as 8-byte big-endian integers.
+
+use std::io;
+
+use super::{JobLogic, MapContext, ReduceContext};
+
+pub struct WordCount;
+
+fn sum_counts(values: &[Vec<u8>]) -> io::Result<u64> {
+    let mut total = 0u64;
+    for v in values {
+        let bytes: [u8; 8] = v
+            .as_slice()
+            .try_into()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad count"))?;
+        total += u64::from_be_bytes(bytes);
+    }
+    Ok(total)
+}
+
+impl JobLogic for WordCount {
+    fn map(&self, ctx: &mut MapContext, _key: &[u8], value: &[u8]) -> io::Result<()> {
+        let line = String::from_utf8_lossy(value);
+        for word in line.split_whitespace() {
+            ctx.emit(word.as_bytes(), &1u64.to_be_bytes());
+        }
+        Ok(())
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext, key: &[u8], values: &[Vec<u8>]) -> io::Result<()> {
+        ctx.emit(key, &sum_counts(values)?.to_be_bytes());
+        Ok(())
+    }
+
+    /// Counts are associative: fold them map-side to shrink the shuffle.
+    fn combine(&self, _key: &[u8], values: &[Vec<u8>]) -> io::Result<Option<Vec<Vec<u8>>>> {
+        Ok(Some(vec![sum_counts(values)?.to_be_bytes().to_vec()]))
+    }
+}

@@ -1,0 +1,77 @@
+//! # mini-mapred — a miniature MapReduce over `rpcoib` and `mini-hdfs`
+//!
+//! The paper's Table I profiles the RPC calls of a running Sort job
+//! (`TaskUmbilicalProtocol`: `getTask`, `ping`, `statusUpdate`, `done`,
+//! `commitPending`, `canCommit`, `getMapCompletionEvents`; plus
+//! `hdfs.ClientProtocol` traffic from the tasks), Figure 3 traces the
+//! message-size locality of `heartbeat` and `statusUpdate`, and
+//! Figure 6 reports RandomWriter / Sort / CloudBurst job times under
+//! default RPC vs RPCoIB. This crate implements the machinery that
+//! generates all of that traffic honestly:
+//!
+//! * [`JobTracker`] — job state machine and heartbeat-driven scheduler
+//!   (`mapred.InterTrackerProtocol`, `mapred.JobSubmissionProtocol`);
+//! * [`TaskTracker`] — map/reduce slots (the paper runs 8 maps + 4
+//!   reduces per node), an umbilical RPC server for its tasks, a shuffle
+//!   server for map outputs, and runner threads that execute the task
+//!   logic in-process while speaking the real umbilical protocol;
+//! * [`jobs`] — built-in job logic: RandomWriter, Sort (with map-side
+//!   combiner support), WordCount, Grep, a CloudBurst-style
+//!   seed-and-extend read aligner (Alignment + Filtering, the two jobs
+//!   of Figure 6(b)), and iterative k-means;
+//! * [`JobClient`] / [`MiniMr`] — submission API and a harness that
+//!   boots JT + N TTs next to a [`mini_hdfs::MiniDfs`].
+//!
+//! Tasks run as threads inside the TaskTracker (standing in for Hadoop's
+//! child JVMs) but still make every umbilical and HDFS RPC a real child
+//! would make — that is what the profiling harnesses measure.
+//!
+//! ```
+//! use mini_mapred::{JobConf, JobKind, MiniMr, MrConfig};
+//! use mini_mapred::jobs::randomwriter;
+//! use std::time::Duration;
+//!
+//! let mr = MiniMr::start(simnet::model::TEN_GIG_E, 2, MrConfig::socket()).unwrap();
+//! let jobs = mr.job_client().unwrap();
+//! let status = jobs
+//!     .run(
+//!         &JobConf {
+//!             name: "demo".into(),
+//!             kind: JobKind::RandomWriter,
+//!             input: Vec::new(),
+//!             output: "/out".into(),
+//!             n_reduces: 0,
+//!             n_maps: 2,
+//!             params: vec![(randomwriter::BYTES_PER_MAP.into(), "8192".into())],
+//!         },
+//!         Duration::from_secs(120),
+//!     )
+//!     .unwrap();
+//! assert_eq!(status.maps_done, 2);
+//! assert_eq!(mr.dfs_client().unwrap().list("/out").unwrap().len(), 2);
+//! mr.stop();
+//! ```
+
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod jobs;
+pub mod jobtracker;
+pub mod record;
+pub mod shuffle;
+pub mod tasktracker;
+pub mod types;
+
+pub use client::JobClient;
+pub use cluster::MiniMr;
+pub use config::MrConfig;
+pub use jobtracker::JobTracker;
+pub use tasktracker::TaskTracker;
+pub use types::{JobConf, JobKind, JobState, JobStatus};
+
+/// JobTracker RPC port.
+pub const JT_PORT: u16 = 8021;
+/// TaskTracker umbilical RPC port.
+pub const UMBILICAL_PORT: u16 = 50050;
+/// TaskTracker shuffle (map-output) port.
+pub const SHUFFLE_PORT: u16 = 50060;

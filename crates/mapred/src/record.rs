@@ -1,0 +1,111 @@
+//! Record framing for job data: a flat sequence of
+//! `[vint klen][key][vint vlen][value]` entries — a SequenceFile-lite.
+
+use std::io;
+
+use wire::varint;
+
+/// Append one record to a byte buffer.
+pub fn write_record(out: &mut Vec<u8>, key: &[u8], value: &[u8]) {
+    varint::write_vint(out, key.len() as i32).expect("vec write");
+    out.extend_from_slice(key);
+    varint::write_vint(out, value.len() as i32).expect("vec write");
+    out.extend_from_slice(value);
+}
+
+/// Iterator over records in a buffer.
+pub struct RecordReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RecordReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        RecordReader { buf, pos: 0 }
+    }
+
+    fn read_len(&mut self) -> io::Result<usize> {
+        let mut cursor = &self.buf[self.pos..];
+        let before = cursor.len();
+        let len = varint::read_vint(&mut cursor)?;
+        self.pos += before - cursor.len();
+        if len < 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "negative record length"));
+        }
+        Ok(len as usize)
+    }
+
+    /// Next `(key, value)`, or `None` at end of buffer.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> io::Result<Option<(&'a [u8], &'a [u8])>> {
+        if self.pos >= self.buf.len() {
+            return Ok(None);
+        }
+        let klen = self.read_len()?;
+        let key = self
+            .buf
+            .get(self.pos..self.pos + klen)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated key"))?;
+        self.pos += klen;
+        let vlen = self.read_len()?;
+        let value = self
+            .buf
+            .get(self.pos..self.pos + vlen)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated value"))?;
+        self.pos += vlen;
+        Ok(Some((key, value)))
+    }
+}
+
+/// Collect every record in a buffer (test / small-data convenience).
+pub fn read_all(buf: &[u8]) -> io::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    let mut reader = RecordReader::new(buf);
+    let mut out = Vec::new();
+    while let Some((k, v)) = reader.next()? {
+        out.push((k.to_vec(), v.to_vec()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"alpha", b"1");
+        write_record(&mut buf, b"", b"empty-key");
+        write_record(&mut buf, b"beta", b"");
+        let records = read_all(&buf).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                (b"alpha".to_vec(), b"1".to_vec()),
+                (b"".to_vec(), b"empty-key".to_vec()),
+                (b"beta".to_vec(), b"".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_buffer_is_an_error() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"key", b"value");
+        for cut in 1..buf.len() {
+            let res = read_all(&buf[..cut]);
+            assert!(res.is_err(), "cut {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn large_records() {
+        let key = vec![0xaa; 300];
+        let value = vec![0xbb; 70_000];
+        let mut buf = Vec::new();
+        write_record(&mut buf, &key, &value);
+        let records = read_all(&buf).unwrap();
+        assert_eq!(records[0].0, key);
+        assert_eq!(records[0].1, value);
+    }
+}

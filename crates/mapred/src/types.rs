@@ -1,0 +1,511 @@
+//! Protocol data types for `mapred.InterTrackerProtocol`,
+//! `mapred.JobSubmissionProtocol` and `mapred.TaskUmbilicalProtocol`.
+
+use std::io;
+
+use simnet::{NodeId, SimAddr};
+use wire::{DataInput, DataOutput, Writable};
+
+/// The built-in job logics (standing in for Hadoop's shipped jar).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum JobKind {
+    #[default]
+    RandomWriter,
+    Sort,
+    WordCount,
+    Grep,
+    CloudburstAlign,
+    CloudburstFilter,
+    KMeans,
+    TeraSort,
+}
+
+impl JobKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            JobKind::RandomWriter => 0,
+            JobKind::Sort => 1,
+            JobKind::WordCount => 2,
+            JobKind::Grep => 3,
+            JobKind::CloudburstAlign => 4,
+            JobKind::CloudburstFilter => 5,
+            JobKind::KMeans => 6,
+            JobKind::TeraSort => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> io::Result<JobKind> {
+        Ok(match v {
+            0 => JobKind::RandomWriter,
+            1 => JobKind::Sort,
+            2 => JobKind::WordCount,
+            3 => JobKind::Grep,
+            4 => JobKind::CloudburstAlign,
+            5 => JobKind::CloudburstFilter,
+            6 => JobKind::KMeans,
+            7 => JobKind::TeraSort,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown job kind {other}"),
+                ))
+            }
+        })
+    }
+}
+
+/// A job description, as submitted by the client. Input paths are the
+/// already-expanded split list (one map per entry); synthetic jobs
+/// (RandomWriter) use `n_maps` instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobConf {
+    pub name: String,
+    pub kind: JobKind,
+    pub input: Vec<String>,
+    pub output: String,
+    pub n_reduces: u32,
+    /// Map count for synthetic (inputless) jobs.
+    pub n_maps: u32,
+    /// Free-form job parameters (sizes, seeds, patterns, …).
+    pub params: Vec<(String, String)>,
+}
+
+impl JobConf {
+    /// Number of map tasks this job will run.
+    pub fn map_count(&self) -> u32 {
+        if self.input.is_empty() { self.n_maps } else { self.input.len() as u32 }
+    }
+
+    /// Look up a parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Parameter parsed as u64, with a default.
+    pub fn param_u64(&self, key: &str, default: u64) -> u64 {
+        self.param(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+impl Writable for JobConf {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        out.write_string(&self.name)?;
+        out.write_u8(self.kind.to_u8())?;
+        out.write_vint(self.input.len() as i32)?;
+        for p in &self.input {
+            out.write_string(p)?;
+        }
+        out.write_string(&self.output)?;
+        out.write_vint(self.n_reduces as i32)?;
+        out.write_vint(self.n_maps as i32)?;
+        out.write_vint(self.params.len() as i32)?;
+        for (k, v) in &self.params {
+            out.write_string(k)?;
+            out.write_string(v)?;
+        }
+        Ok(())
+    }
+
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.name = input.read_string()?;
+        self.kind = JobKind::from_u8(input.read_u8()?)?;
+        let n = input.read_vint()?;
+        self.input = (0..n).map(|_| input.read_string()).collect::<Result<_, _>>()?;
+        self.output = input.read_string()?;
+        self.n_reduces = input.read_vint()? as u32;
+        self.n_maps = input.read_vint()? as u32;
+        let n = input.read_vint()?;
+        self.params = (0..n)
+            .map(|_| Ok((input.read_string()?, input.read_string()?)))
+            .collect::<io::Result<_>>()?;
+        Ok(())
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum JobState {
+    #[default]
+    Running,
+    Succeeded,
+    Failed,
+}
+
+/// Snapshot returned by `getJobStatus`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobStatus {
+    pub job: u32,
+    pub state: JobState,
+    pub maps_total: u32,
+    pub maps_done: u32,
+    pub reduces_total: u32,
+    pub reduces_done: u32,
+}
+
+impl Writable for JobStatus {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        out.write_vint(self.job as i32)?;
+        out.write_u8(match self.state {
+            JobState::Running => 0,
+            JobState::Succeeded => 1,
+            JobState::Failed => 2,
+        })?;
+        out.write_vint(self.maps_total as i32)?;
+        out.write_vint(self.maps_done as i32)?;
+        out.write_vint(self.reduces_total as i32)?;
+        out.write_vint(self.reduces_done as i32)
+    }
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.job = input.read_vint()? as u32;
+        self.state = match input.read_u8()? {
+            0 => JobState::Running,
+            1 => JobState::Succeeded,
+            2 => JobState::Failed,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad job state {other}"),
+                ))
+            }
+        };
+        self.maps_total = input.read_vint()? as u32;
+        self.maps_done = input.read_vint()? as u32;
+        self.reduces_total = input.read_vint()? as u32;
+        self.reduces_done = input.read_vint()? as u32;
+        Ok(())
+    }
+}
+
+/// What a task attempt does.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum TaskSpec {
+    #[default]
+    None,
+    Map {
+        map_idx: u32,
+        split: String,
+    },
+    Reduce {
+        reduce_idx: u32,
+        n_maps: u32,
+    },
+}
+
+/// A task assignment shipped in a heartbeat response.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskAssignment {
+    pub job: u32,
+    /// Globally unique attempt id.
+    pub attempt: u64,
+    pub spec: TaskSpec,
+    pub conf: JobConf,
+}
+
+impl Writable for TaskAssignment {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        out.write_vint(self.job as i32)?;
+        out.write_vlong(self.attempt as i64)?;
+        match &self.spec {
+            TaskSpec::None => out.write_u8(0)?,
+            TaskSpec::Map { map_idx, split } => {
+                out.write_u8(1)?;
+                out.write_vint(*map_idx as i32)?;
+                out.write_string(split)?;
+            }
+            TaskSpec::Reduce { reduce_idx, n_maps } => {
+                out.write_u8(2)?;
+                out.write_vint(*reduce_idx as i32)?;
+                out.write_vint(*n_maps as i32)?;
+            }
+        }
+        self.conf.write(out)
+    }
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.job = input.read_vint()? as u32;
+        self.attempt = input.read_vlong()? as u64;
+        self.spec = match input.read_u8()? {
+            0 => TaskSpec::None,
+            1 => TaskSpec::Map {
+                map_idx: input.read_vint()? as u32,
+                split: input.read_string()?,
+            },
+            2 => TaskSpec::Reduce {
+                reduce_idx: input.read_vint()? as u32,
+                n_maps: input.read_vint()? as u32,
+            },
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad task spec tag {other}"),
+                ))
+            }
+        };
+        self.conf.read_fields(input)
+    }
+}
+
+/// Heartbeat request: slot availability + task status deltas.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HeartbeatArgs {
+    pub tt_id: u32,
+    pub free_map_slots: u32,
+    pub free_reduce_slots: u32,
+    pub completed: Vec<u64>,
+    pub failed: Vec<u64>,
+    /// Full status reports of the running attempts — Hadoop heartbeats
+    /// carry the TaskStatus list, which is what makes the heartbeat
+    /// payload vary in size the way the paper's Figure 3 `JT_heartbeat`
+    /// trace shows.
+    pub running: Vec<TaskReport>,
+}
+
+impl Writable for HeartbeatArgs {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        out.write_vint(self.tt_id as i32)?;
+        out.write_vint(self.free_map_slots as i32)?;
+        out.write_vint(self.free_reduce_slots as i32)?;
+        out.write_vint(self.completed.len() as i32)?;
+        for a in &self.completed {
+            out.write_vlong(*a as i64)?;
+        }
+        out.write_vint(self.failed.len() as i32)?;
+        for a in &self.failed {
+            out.write_vlong(*a as i64)?;
+        }
+        self.running.write(out)?;
+        Ok(())
+    }
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.tt_id = input.read_vint()? as u32;
+        self.free_map_slots = input.read_vint()? as u32;
+        self.free_reduce_slots = input.read_vint()? as u32;
+        let n = input.read_vint()?;
+        self.completed = (0..n)
+            .map(|_| input.read_vlong().map(|v| v as u64))
+            .collect::<Result<_, _>>()?;
+        let n = input.read_vint()?;
+        self.failed = (0..n)
+            .map(|_| input.read_vlong().map(|v| v as u64))
+            .collect::<Result<_, _>>()?;
+        self.running.read_fields(input)?;
+        Ok(())
+    }
+}
+
+/// Heartbeat response: new assignments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeartbeatResponse {
+    pub actions: Vec<TaskAssignment>,
+}
+
+impl Writable for HeartbeatResponse {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        self.actions.write(out)
+    }
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.actions.read_fields(input)
+    }
+}
+
+/// The task status shipped with `statusUpdate` and `commitPending` —
+/// Hadoop's `TaskStatus`: state, phase, progress, and a counter set. The
+/// counters are what make these the largest, most adjustment-heavy calls
+/// in the paper's Table I.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskReport {
+    pub attempt: u64,
+    pub progress: f32,
+    pub state: String,
+    pub phase: String,
+    pub counters: Vec<(String, i64)>,
+}
+
+impl Writable for TaskReport {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        out.write_vlong(self.attempt as i64)?;
+        out.write_f32(self.progress)?;
+        out.write_string(&self.state)?;
+        out.write_string(&self.phase)?;
+        out.write_vint(self.counters.len() as i32)?;
+        for (name, value) in &self.counters {
+            out.write_string(name)?;
+            out.write_vlong(*value)?;
+        }
+        Ok(())
+    }
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.attempt = input.read_vlong()? as u64;
+        self.progress = input.read_f32()?;
+        self.state = input.read_string()?;
+        self.phase = input.read_string()?;
+        let n = input.read_vint()?;
+        self.counters = (0..n)
+            .map(|_| Ok((input.read_string()?, input.read_vlong()?)))
+            .collect::<io::Result<_>>()?;
+        Ok(())
+    }
+}
+
+/// Registration of a TaskTracker with the JobTracker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrackerInfo {
+    pub tt_id: u32,
+    /// Shuffle service location (eth rail).
+    pub shuffle_node: u32,
+    pub shuffle_port: u16,
+}
+
+impl TrackerInfo {
+    pub fn shuffle_addr(&self) -> SimAddr {
+        SimAddr::new(NodeId(self.shuffle_node), self.shuffle_port)
+    }
+}
+
+impl Writable for TrackerInfo {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        out.write_vint(self.tt_id as i32)?;
+        out.write_i32(self.shuffle_node as i32)?;
+        out.write_u16(self.shuffle_port)
+    }
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.tt_id = input.read_vint()? as u32;
+        self.shuffle_node = input.read_i32()? as u32;
+        self.shuffle_port = input.read_u16()?;
+        Ok(())
+    }
+}
+
+/// Where a completed map's output can be fetched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapCompletionEvent {
+    pub map_idx: u32,
+    pub shuffle_node: u32,
+    pub shuffle_port: u16,
+}
+
+impl MapCompletionEvent {
+    pub fn shuffle_addr(&self) -> SimAddr {
+        SimAddr::new(NodeId(self.shuffle_node), self.shuffle_port)
+    }
+}
+
+impl Writable for MapCompletionEvent {
+    fn write(&self, out: &mut dyn DataOutput) -> io::Result<()> {
+        out.write_vint(self.map_idx as i32)?;
+        out.write_i32(self.shuffle_node as i32)?;
+        out.write_u16(self.shuffle_port)
+    }
+    fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
+        self.map_idx = input.read_vint()? as u32;
+        self.shuffle_node = input.read_i32()? as u32;
+        self.shuffle_port = input.read_u16()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::{from_bytes, to_bytes};
+
+    fn roundtrip<W: Writable + Default + PartialEq + std::fmt::Debug>(v: W) {
+        let back: W = from_bytes(&to_bytes(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    fn sample_conf() -> JobConf {
+        JobConf {
+            name: "sort".into(),
+            kind: JobKind::Sort,
+            input: vec!["/in/part-0".into(), "/in/part-1".into()],
+            output: "/out".into(),
+            n_reduces: 4,
+            n_maps: 0,
+            params: vec![("seed".into(), "42".into())],
+        }
+    }
+
+    #[test]
+    fn protocol_types_roundtrip() {
+        roundtrip(sample_conf());
+        roundtrip(JobStatus {
+            job: 3,
+            state: JobState::Succeeded,
+            maps_total: 10,
+            maps_done: 10,
+            reduces_total: 4,
+            reduces_done: 4,
+        });
+        roundtrip(TaskAssignment {
+            job: 1,
+            attempt: 99,
+            spec: TaskSpec::Map { map_idx: 2, split: "/in/part-2".into() },
+            conf: sample_conf(),
+        });
+        roundtrip(TaskAssignment {
+            job: 1,
+            attempt: 100,
+            spec: TaskSpec::Reduce { reduce_idx: 1, n_maps: 10 },
+            conf: sample_conf(),
+        });
+        roundtrip(HeartbeatArgs {
+            tt_id: 7,
+            free_map_slots: 8,
+            free_reduce_slots: 4,
+            completed: vec![1, 2],
+            failed: vec![3],
+            running: vec![
+                TaskReport {
+                    attempt: 4,
+                    progress: 0.5,
+                    state: "RUNNING".into(),
+                    phase: "MAP".into(),
+                    counters: vec![("MAP_INPUT_RECORDS".into(), 100)],
+                },
+            ],
+        });
+        roundtrip(TaskReport::default());
+        roundtrip(HeartbeatResponse { actions: vec![TaskAssignment::default()] });
+        roundtrip(TrackerInfo { tt_id: 1, shuffle_node: 9, shuffle_port: 50060 });
+        roundtrip(MapCompletionEvent { map_idx: 5, shuffle_node: 9, shuffle_port: 50060 });
+    }
+
+    #[test]
+    fn heartbeat_size_grows_with_running_tasks() {
+        // Figure 3's JT_heartbeat size variation comes from the varying
+        // task-report payload.
+        let small = to_bytes(&HeartbeatArgs { tt_id: 1, ..Default::default() }).unwrap();
+        let big = to_bytes(&HeartbeatArgs {
+            tt_id: 1,
+            running: (0..12)
+                .map(|i| TaskReport {
+                    attempt: i,
+                    progress: 0.5,
+                    state: "RUNNING".into(),
+                    phase: "MAP".into(),
+                    counters: vec![("MAP_INPUT_RECORDS".into(), 100); 8],
+                })
+                .collect(),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(big.len() > small.len() + 1000);
+    }
+
+    #[test]
+    fn map_count_prefers_input_splits() {
+        let mut conf = sample_conf();
+        assert_eq!(conf.map_count(), 2);
+        conf.input.clear();
+        conf.n_maps = 7;
+        assert_eq!(conf.map_count(), 7);
+    }
+
+    #[test]
+    fn params_lookup() {
+        let conf = sample_conf();
+        assert_eq!(conf.param("seed"), Some("42"));
+        assert_eq!(conf.param_u64("seed", 0), 42);
+        assert_eq!(conf.param_u64("missing", 9), 9);
+    }
+}

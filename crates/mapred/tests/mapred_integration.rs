@@ -1,0 +1,510 @@
+//! End-to-end MapReduce tests: RandomWriter → Sort chains, WordCount,
+//! Grep, CloudBurst, failure recovery — under both RPC transports.
+
+use std::time::Duration;
+
+use mini_mapred::jobs::{cloudburst, grep, randomwriter};
+use mini_mapred::record::read_all;
+use mini_mapred::{JobConf, JobKind, MiniMr, MrConfig};
+use simnet::model;
+
+const JOB_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn shrink(mut cfg: MrConfig) -> MrConfig {
+    // Small blocks + fast heartbeats keep test jobs quick.
+    cfg.hdfs.block_size = 256 * 1024;
+    cfg.heartbeat = Duration::from_millis(80);
+    cfg.status_interval = Duration::from_millis(80);
+    cfg
+}
+
+fn randomwriter_conf(out: &str, maps: u32, bytes_per_map: u64) -> JobConf {
+    JobConf {
+        name: "randomwriter".into(),
+        kind: JobKind::RandomWriter,
+        input: Vec::new(),
+        output: out.into(),
+        n_reduces: 0,
+        n_maps: maps,
+        params: vec![
+            (randomwriter::BYTES_PER_MAP.into(), bytes_per_map.to_string()),
+            (randomwriter::SEED.into(), "11".into()),
+        ],
+    }
+}
+
+fn run_randomwriter_sort(cfg: MrConfig) {
+    let mr = MiniMr::start(model::IPOIB_QDR, 3, shrink(cfg)).unwrap();
+    let jobs = mr.job_client().unwrap();
+    let dfs = mr.dfs_client().unwrap();
+
+    // Phase 1: RandomWriter (map-only).
+    let status = jobs.run(&randomwriter_conf("/rw", 4, 64 * 1024), JOB_TIMEOUT).unwrap();
+    assert_eq!(status.maps_done, 4);
+    let parts = dfs.list("/rw").unwrap();
+    assert_eq!(parts.len(), 4);
+    let input: Vec<String> = parts.iter().map(|s| s.path.clone()).collect();
+
+    // Phase 2: Sort.
+    let sort = JobConf {
+        name: "sort".into(),
+        kind: JobKind::Sort,
+        input,
+        output: "/sorted".into(),
+        n_reduces: 3,
+        n_maps: 0,
+        params: Vec::new(),
+    };
+    let status = jobs.run(&sort, JOB_TIMEOUT).unwrap();
+    assert_eq!(status.reduces_done, 3);
+
+    // Validate: concatenated reduce outputs are a globally sorted
+    // permutation of the RandomWriter output.
+    let mut input_records = Vec::new();
+    for part in dfs.list("/rw").unwrap() {
+        input_records.extend(read_all(&dfs.read_file(&part.path).unwrap()).unwrap());
+    }
+    let mut output_records = Vec::new();
+    for part in dfs.list("/sorted").unwrap() {
+        let records = read_all(&dfs.read_file(&part.path).unwrap()).unwrap();
+        // Each part is internally sorted.
+        assert!(records.windows(2).all(|w| w[0].0 <= w[1].0), "{} unsorted", part.path);
+        output_records.extend(records);
+    }
+    // Range partitioning on the first byte makes the concatenation
+    // globally sorted.
+    assert!(output_records.windows(2).all(|w| w[0].0 <= w[1].0), "global order violated");
+    assert_eq!(output_records.len(), input_records.len());
+    let mut a = input_records.clone();
+    let mut b = output_records.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "sort output must be a permutation of its input");
+
+    mr.stop();
+}
+
+#[test]
+fn randomwriter_then_sort_over_sockets() {
+    run_randomwriter_sort(MrConfig::socket());
+}
+
+#[test]
+fn randomwriter_then_sort_over_rpcoib() {
+    run_randomwriter_sort(MrConfig::rpc_ib());
+}
+
+#[test]
+fn wordcount_counts_words() {
+    let mr = MiniMr::start(model::IPOIB_QDR, 2, shrink(MrConfig::socket())).unwrap();
+    let jobs = mr.job_client().unwrap();
+    let dfs = mr.dfs_client().unwrap();
+
+    let mut file_a = Vec::new();
+    mini_mapred::record::write_record(&mut file_a, b"0", b"the quick brown fox");
+    mini_mapred::record::write_record(&mut file_a, b"1", b"the lazy dog");
+    let mut file_b = Vec::new();
+    mini_mapred::record::write_record(&mut file_b, b"0", b"the dog barks");
+    dfs.mkdirs("/text").unwrap();
+    dfs.write_file("/text/a", &file_a).unwrap();
+    dfs.write_file("/text/b", &file_b).unwrap();
+
+    let conf = JobConf {
+        name: "wordcount".into(),
+        kind: JobKind::WordCount,
+        input: vec!["/text/a".into(), "/text/b".into()],
+        output: "/counts".into(),
+        n_reduces: 2,
+        n_maps: 0,
+        params: Vec::new(),
+    };
+    jobs.run(&conf, JOB_TIMEOUT).unwrap();
+
+    let mut counts = std::collections::HashMap::new();
+    for part in dfs.list("/counts").unwrap() {
+        for (k, v) in read_all(&dfs.read_file(&part.path).unwrap()).unwrap() {
+            let n = u64::from_be_bytes(v.as_slice().try_into().unwrap());
+            counts.insert(String::from_utf8(k).unwrap(), n);
+        }
+    }
+    assert_eq!(counts["the"], 3);
+    assert_eq!(counts["dog"], 2);
+    assert_eq!(counts["fox"], 1);
+    assert_eq!(counts.len(), 7, "the quick brown fox lazy dog barks");
+    mr.stop();
+}
+
+#[test]
+fn grep_filters_records() {
+    let mr = MiniMr::start(model::IPOIB_QDR, 2, shrink(MrConfig::socket())).unwrap();
+    let jobs = mr.job_client().unwrap();
+    let dfs = mr.dfs_client().unwrap();
+
+    let mut file = Vec::new();
+    mini_mapred::record::write_record(&mut file, b"r1", b"error: disk on fire");
+    mini_mapred::record::write_record(&mut file, b"r2", b"info: all well");
+    mini_mapred::record::write_record(&mut file, b"r3", b"error: more fire");
+    dfs.write_file("/log", &file).unwrap();
+
+    let conf = JobConf {
+        name: "grep".into(),
+        kind: JobKind::Grep,
+        input: vec!["/log".into()],
+        output: "/matches".into(),
+        n_reduces: 1,
+        n_maps: 0,
+        params: vec![(grep::PATTERN.into(), "error".into())],
+    };
+    jobs.run(&conf, JOB_TIMEOUT).unwrap();
+
+    let mut matched = Vec::new();
+    for part in dfs.list("/matches").unwrap() {
+        matched.extend(read_all(&dfs.read_file(&part.path).unwrap()).unwrap());
+    }
+    assert_eq!(matched.len(), 2);
+    assert!(matched.iter().all(|(_, v)| v.starts_with(b"error")));
+    mr.stop();
+}
+
+#[test]
+fn cloudburst_alignment_and_filtering() {
+    let mr = MiniMr::start(model::IPOIB_QDR, 3, shrink(MrConfig::socket())).unwrap();
+    let jobs = mr.job_client().unwrap();
+    let dfs = mr.dfs_client().unwrap();
+
+    let (ref_files, read_files, ref_path) = cloudburst::generate_input(
+        &dfs, "/cb", 4000, 1000, 3, 30, 36, 99,
+    )
+    .unwrap();
+    let mut input = ref_files;
+    let n_reads = 3 * 30;
+    input.extend(read_files);
+
+    let align = JobConf {
+        name: "cb-align".into(),
+        kind: JobKind::CloudburstAlign,
+        input,
+        output: "/cb-align".into(),
+        n_reduces: 4,
+        n_maps: 0,
+        params: vec![
+            (cloudburst::KMER.into(), "12".into()),
+            (cloudburst::MAX_MISMATCHES.into(), "2".into()),
+            (cloudburst::REF_PATH.into(), ref_path),
+        ],
+    };
+    jobs.run(&align, JOB_TIMEOUT).unwrap();
+
+    let align_parts: Vec<String> =
+        dfs.list("/cb-align").unwrap().iter().map(|s| s.path.clone()).collect();
+    let mut alignments = Vec::new();
+    for p in &align_parts {
+        alignments.extend(read_all(&dfs.read_file(p).unwrap()).unwrap());
+    }
+    assert!(!alignments.is_empty(), "reads sampled from the genome must align");
+
+    let filter = JobConf {
+        name: "cb-filter".into(),
+        kind: JobKind::CloudburstFilter,
+        input: align_parts,
+        output: "/cb-best".into(),
+        n_reduces: 2,
+        n_maps: 0,
+        params: Vec::new(),
+    };
+    jobs.run(&filter, JOB_TIMEOUT).unwrap();
+
+    let mut best = std::collections::HashMap::new();
+    for part in dfs.list("/cb-best").unwrap() {
+        for (k, v) in read_all(&dfs.read_file(&part.path).unwrap()).unwrap() {
+            let read_id = u32::from_be_bytes(k.as_slice().try_into().unwrap());
+            let mm = u32::from_be_bytes(v[4..8].try_into().unwrap());
+            assert!(mm <= 2);
+            assert!(best.insert(read_id, mm).is_none(), "one best alignment per read");
+        }
+    }
+    // Most reads (sampled with <=2 mutations) should align somewhere.
+    assert!(best.len() * 2 >= n_reads, "{} of {} reads aligned", best.len(), n_reads);
+    mr.stop();
+}
+
+#[test]
+fn job_with_failing_logic_reports_failure() {
+    let mr = MiniMr::start(model::IPOIB_QDR, 2, shrink(MrConfig::socket())).unwrap();
+    let jobs = mr.job_client().unwrap();
+    // Sort over a nonexistent input file: every map attempt fails, and
+    // after max attempts the job must be declared Failed (not hang).
+    let conf = JobConf {
+        name: "doomed".into(),
+        kind: JobKind::Sort,
+        input: vec!["/does/not/exist".into()],
+        output: "/never".into(),
+        n_reduces: 1,
+        n_maps: 0,
+        params: Vec::new(),
+    };
+    let err = jobs.run(&conf, JOB_TIMEOUT).err().unwrap();
+    assert!(matches!(err, rpcoib::RpcError::Remote(ref m) if m.contains("failed")), "{err}");
+    mr.stop();
+}
+
+#[test]
+fn sort_survives_tasktracker_loss() {
+    let mut cfg = shrink(MrConfig::socket());
+    cfg.tt_timeout = Duration::from_millis(1200);
+    let mr = MiniMr::start(model::IPOIB_QDR, 4, cfg).unwrap();
+    let jobs = mr.job_client().unwrap();
+    let dfs = mr.dfs_client().unwrap();
+
+    jobs.run(&randomwriter_conf("/rw", 6, 48 * 1024), JOB_TIMEOUT).unwrap();
+    let input: Vec<String> =
+        dfs.list("/rw").unwrap().iter().map(|s| s.path.clone()).collect();
+
+    let sort = JobConf {
+        name: "sort-with-failure".into(),
+        kind: JobKind::Sort,
+        input,
+        output: "/sorted".into(),
+        n_reduces: 2,
+        n_maps: 0,
+        params: Vec::new(),
+    };
+    let job = jobs.submit(&sort).unwrap();
+    // Kill one TaskTracker shortly after submission. Note: its host also
+    // runs a DataNode, but replication covers the data.
+    std::thread::sleep(Duration::from_millis(150));
+    mr.tasktrackers()[3].stop();
+
+    let status = jobs.wait(job, JOB_TIMEOUT).unwrap();
+    assert_eq!(status.state, mini_mapred::JobState::Succeeded);
+
+    let mut total = 0usize;
+    for part in dfs.list("/sorted").unwrap() {
+        let records = read_all(&dfs.read_file(&part.path).unwrap()).unwrap();
+        assert!(records.windows(2).all(|w| w[0].0 <= w[1].0));
+        total += records.len();
+    }
+    assert!(total > 0);
+    mr.stop();
+}
+
+#[test]
+fn umbilical_traffic_matches_table1_rows() {
+    let mr = MiniMr::start(model::IPOIB_QDR, 2, shrink(MrConfig::socket())).unwrap();
+    let jobs = mr.job_client().unwrap();
+    let dfs = mr.dfs_client().unwrap();
+    jobs.run(&randomwriter_conf("/rw", 2, 32 * 1024), JOB_TIMEOUT).unwrap();
+    let input: Vec<String> =
+        dfs.list("/rw").unwrap().iter().map(|s| s.path.clone()).collect();
+    let sort = JobConf {
+        name: "sort".into(),
+        kind: JobKind::Sort,
+        input,
+        output: "/s".into(),
+        n_reduces: 1,
+        n_maps: 0,
+        params: Vec::new(),
+    };
+    jobs.run(&sort, JOB_TIMEOUT).unwrap();
+
+    let mut methods = std::collections::HashSet::new();
+    for tt in mr.tasktrackers() {
+        for ((proto, method), _) in tt.umbilical_metrics().snapshot() {
+            if proto == "mapred.TaskUmbilicalProtocol" {
+                methods.insert(method);
+            }
+        }
+    }
+    for expected in ["getTask", "done", "getMapCompletionEvents", "commitPending", "canCommit"] {
+        assert!(methods.contains(expected), "missing umbilical call {expected}: {methods:?}");
+    }
+    mr.stop();
+}
+
+#[test]
+fn wordcount_combiner_shrinks_the_shuffle() {
+    // Same input both ways; WordCount's combiner folds map-side counts,
+    // so per-map shuffle volume must shrink while results stay identical.
+    use mini_mapred::jobs::{logic_for, run_map_task, JobLogic};
+
+    struct NoCombine;
+    impl JobLogic for NoCombine {
+        fn map(
+            &self,
+            ctx: &mut mini_mapred::jobs::MapContext,
+            key: &[u8],
+            value: &[u8],
+        ) -> std::io::Result<()> {
+            logic_for(JobKind::WordCount).map(ctx, key, value)
+        }
+        fn reduce(
+            &self,
+            _ctx: &mut mini_mapred::jobs::ReduceContext,
+            _key: &[u8],
+            _values: &[Vec<u8>],
+        ) -> std::io::Result<()> {
+            unreachable!()
+        }
+    }
+
+    let mr = MiniMr::start(model::IPOIB_QDR, 1, shrink(MrConfig::socket())).unwrap();
+    let dfs = mr.dfs_client().unwrap();
+    let mut file = Vec::new();
+    for _ in 0..200 {
+        mini_mapred::record::write_record(&mut file, b"0", b"alpha beta alpha");
+    }
+    dfs.write_file("/wc-in", &file).unwrap();
+
+    let conf = JobConf {
+        name: "wc".into(),
+        kind: JobKind::WordCount,
+        input: vec!["/wc-in".into()],
+        output: "/wc-out".into(),
+        n_reduces: 1,
+        n_maps: 0,
+        params: Vec::new(),
+    };
+    let combined = run_map_task(
+        logic_for(JobKind::WordCount).as_ref(),
+        &conf,
+        0,
+        "/wc-in",
+        &dfs,
+        |_| {},
+    )
+    .unwrap();
+    let raw = run_map_task(&NoCombine, &conf, 0, "/wc-in", &dfs, |_| {}).unwrap();
+    let combined_bytes: usize = combined.iter().map(Vec::len).sum();
+    let raw_bytes: usize = raw.iter().map(Vec::len).sum();
+    assert!(
+        combined_bytes * 10 < raw_bytes,
+        "combiner must fold 600 records into 2: {combined_bytes} vs {raw_bytes}"
+    );
+    // And the records are the correct folded counts.
+    let records = mini_mapred::record::read_all(&combined[0]).unwrap();
+    assert_eq!(records.len(), 2);
+    for (k, v) in records {
+        let count = u64::from_be_bytes(v.as_slice().try_into().unwrap());
+        match k.as_slice() {
+            b"alpha" => assert_eq!(count, 400),
+            b"beta" => assert_eq!(count, 200),
+            other => panic!("unexpected word {other:?}"),
+        }
+    }
+    mr.stop();
+}
+
+#[test]
+fn kmeans_converges_to_true_centers() {
+    use mini_mapred::jobs::kmeans;
+
+    let mr = MiniMr::start(model::IPOIB_QDR, 3, shrink(MrConfig::socket())).unwrap();
+    let jobs = mr.job_client().unwrap();
+    let dfs = mr.dfs_client().unwrap();
+
+    let k = 3;
+    let dim = 2;
+    let (input, true_centers) =
+        kmeans::generate_input(&dfs, "/km", 3, 80, k, dim, 2024).unwrap();
+
+    let result =
+        kmeans::drive(&jobs, &dfs, input, "/km-work", k, dim, 12, 1e-4, 7).unwrap();
+    assert!(result.converged, "did not converge in {} iterations", result.iterations);
+    assert!(result.iterations >= 2, "iterative job must actually iterate");
+
+    // Every true center must have a found centroid nearby (clusters are
+    // separated by ~0.33 with noise 0.02, so 0.1 is a generous match).
+    for center in &true_centers {
+        let best = result
+            .centroids
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .zip(center)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 0.1, "no centroid near {center:?} (closest {best})");
+    }
+    mr.stop();
+}
+
+#[test]
+fn terasort_balances_skewed_keys() {
+    use mini_mapred::jobs::terasort;
+
+    let mr = MiniMr::start(model::IPOIB_QDR, 3, shrink(MrConfig::socket())).unwrap();
+    let jobs = mr.job_client().unwrap();
+    let dfs = mr.dfs_client().unwrap();
+
+    // Heavily skewed keys: every key starts with the same byte, which
+    // collapses the plain Sort job's first-byte partitioner onto one
+    // reduce. TeraSort's sampled boundaries must still spread the load.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut files = Vec::new();
+    for f in 0..3 {
+        let mut buf = Vec::new();
+        for _ in 0..200 {
+            let key = format!("user{:08}", rng.gen_range(0..100_000u32));
+            mini_mapred::record::write_record(&mut buf, key.as_bytes(), b"v");
+        }
+        let path = format!("/ts-in/part-{f}");
+        dfs.mkdirs("/ts-in").unwrap();
+        dfs.write_file(&path, &buf).unwrap();
+        files.push(path);
+    }
+
+    let conf = terasort::make_conf(&dfs, files.clone(), "/ts-out", 4, 7).unwrap();
+    jobs.run(&conf, JOB_TIMEOUT).unwrap();
+
+    // Validate: global order, permutation, and balanced partitions.
+    let mut input_records = Vec::new();
+    for f in &files {
+        input_records.extend(read_all(&dfs.read_file(f).unwrap()).unwrap());
+    }
+    let mut all = Vec::new();
+    let mut part_sizes = Vec::new();
+    for part in dfs.list("/ts-out").unwrap() {
+        let records = read_all(&dfs.read_file(&part.path).unwrap()).unwrap();
+        assert!(records.windows(2).all(|w| w[0].0 <= w[1].0), "{} unsorted", part.path);
+        part_sizes.push(records.len());
+        all.extend(records);
+    }
+    assert!(all.windows(2).all(|w| w[0].0 <= w[1].0), "global order violated");
+    assert_eq!(all.len(), input_records.len());
+    let mut a = input_records;
+    let mut b = all;
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "terasort output must be a permutation of its input");
+    // Balance: with 600 skewed records over 4 sampled partitions, no
+    // partition should hold more than half the data (the first-byte
+    // partitioner would put 100% in one).
+    let max = *part_sizes.iter().max().unwrap();
+    assert!(
+        part_sizes.len() >= 3 && max <= 300,
+        "sampled partitioner failed to balance: {part_sizes:?}"
+    );
+    mr.stop();
+}
+
+#[test]
+fn kill_job_stops_a_running_job() {
+    let mr = MiniMr::start(model::IPOIB_QDR, 2, shrink(MrConfig::socket())).unwrap();
+    let jobs = mr.job_client().unwrap();
+    // A job big enough to still be running when the kill lands.
+    let job = jobs.submit(&randomwriter_conf("/big", 8, 4 << 20)).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    let status = jobs.kill(job).unwrap();
+    assert_eq!(status.state, mini_mapred::JobState::Failed);
+    // wait() observes the terminal state promptly instead of hanging.
+    let terminal = jobs.wait(job, Duration::from_secs(5)).unwrap();
+    assert_eq!(terminal.state, mini_mapred::JobState::Failed);
+    // Killing an already-dead job is idempotent.
+    let again = jobs.kill(job).unwrap();
+    assert_eq!(again.state, mini_mapred::JobState::Failed);
+    mr.stop();
+}

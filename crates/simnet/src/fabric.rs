@@ -1,0 +1,290 @@
+//! The fabric: a registry of simulated nodes, their NIC link clocks, bound
+//! listeners, and verbs objects (queue pairs, memory regions).
+//!
+//! A [`Fabric`] is cheap to clone (it is an `Arc` handle); every daemon of a
+//! simulated cluster holds one. Nodes are purely logical — creating one
+//! allocates a pair of link clocks that model its NIC's egress and ingress
+//! bandwidth, so that concurrent flows through the same node contend the way
+//! they would on real hardware.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Sender;
+use parking_lot::{Mutex, RwLock};
+
+use crate::model::NetworkModel;
+use crate::stream::PendingConn;
+use crate::verbs::{MrInner, QpMessage};
+
+/// Identifier of a simulated cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A (node, port) pair — the simulated equivalent of a socket address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimAddr {
+    pub node: NodeId,
+    pub port: u16,
+}
+
+impl SimAddr {
+    pub const fn new(node: NodeId, port: u16) -> Self {
+        SimAddr { node, port }
+    }
+}
+
+impl std::fmt::Display for SimAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// A NIC direction's bandwidth clock. Transfers reserve contiguous windows
+/// of link time; overlapping transfers queue behind each other, which is how
+/// shared-NIC contention emerges without a global scheduler.
+pub(crate) struct LinkClock {
+    next_free: Mutex<Instant>,
+}
+
+impl LinkClock {
+    fn new() -> Self {
+        LinkClock { next_free: Mutex::new(Instant::now()) }
+    }
+
+    /// Reserve `dur` of link time starting no earlier than `earliest`.
+    /// Returns the instant at which the reserved window ends.
+    pub(crate) fn reserve_from(&self, earliest: Instant, dur: Duration) -> Instant {
+        let mut next = self.next_free.lock();
+        let start = if *next > earliest { *next } else { earliest };
+        let end = start + dur;
+        *next = end;
+        end
+    }
+}
+
+/// Per-node NIC state.
+pub(crate) struct NodeLinks {
+    pub(crate) egress: LinkClock,
+    pub(crate) ingress: LinkClock,
+}
+
+/// Aggregate transfer counters, exposed for benchmark sanity checks.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    pub messages: AtomicU64,
+    pub bytes: AtomicU64,
+    pub rdma_writes: AtomicU64,
+    pub registrations: AtomicU64,
+}
+
+impl FabricStats {
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.messages.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+            self.rdma_writes.load(Ordering::Relaxed),
+            self.registrations.load(Ordering::Relaxed),
+        )
+    }
+}
+
+pub(crate) struct FabricInner {
+    pub(crate) model: NetworkModel,
+    pub(crate) nodes: RwLock<HashMap<NodeId, Arc<NodeLinks>>>,
+    pub(crate) dead: RwLock<HashSet<NodeId>>,
+    /// Normalized (min, max) node pairs that cannot reach each other.
+    pub(crate) partitions: RwLock<HashSet<(NodeId, NodeId)>>,
+    pub(crate) listeners: Mutex<HashMap<SimAddr, Sender<PendingConn>>>,
+    pub(crate) qps: Mutex<HashMap<u64, Sender<QpMessage>>>,
+    pub(crate) mrs: Mutex<HashMap<u64, Weak<MrInner>>>,
+    next_node: AtomicU32,
+    pub(crate) next_id: AtomicU64,
+    pub(crate) stats: FabricStats,
+}
+
+/// Handle to a simulated fabric. Clones share the same underlying network.
+#[derive(Clone)]
+pub struct Fabric {
+    pub(crate) inner: Arc<FabricInner>,
+}
+
+impl Fabric {
+    /// Create a fabric governed by the given cost model.
+    pub fn new(model: NetworkModel) -> Self {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                model,
+                nodes: RwLock::new(HashMap::new()),
+                dead: RwLock::new(HashSet::new()),
+                partitions: RwLock::new(HashSet::new()),
+                listeners: Mutex::new(HashMap::new()),
+                qps: Mutex::new(HashMap::new()),
+                mrs: Mutex::new(HashMap::new()),
+                next_node: AtomicU32::new(0),
+                next_id: AtomicU64::new(1),
+                stats: FabricStats::default(),
+            }),
+        }
+    }
+
+    /// The cost model this fabric runs under.
+    pub fn model(&self) -> &NetworkModel {
+        &self.inner.model
+    }
+
+    /// Allocate a new simulated node (with its own NIC link clocks).
+    pub fn add_node(&self) -> NodeId {
+        let id = NodeId(self.inner.next_node.fetch_add(1, Ordering::Relaxed));
+        self.inner.nodes.write().insert(
+            id,
+            Arc::new(NodeLinks { egress: LinkClock::new(), ingress: LinkClock::new() }),
+        );
+        id
+    }
+
+    /// Allocate `n` nodes at once; convenience for cluster setup.
+    pub fn add_nodes(&self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    pub(crate) fn links(&self, node: NodeId) -> Option<Arc<NodeLinks>> {
+        self.inner.nodes.read().get(&node).cloned()
+    }
+
+    /// Mark a node as failed: its listeners stop accepting, in-flight and
+    /// future transfers to or from it fail.
+    pub fn kill_node(&self, node: NodeId) {
+        self.inner.dead.write().insert(node);
+        // Evict the dead node's listeners so connects fail fast.
+        self.inner.listeners.lock().retain(|addr, _| addr.node != node);
+    }
+
+    /// Bring a previously killed node back (it must re-bind its listeners).
+    pub fn revive_node(&self, node: NodeId) {
+        self.inner.dead.write().remove(&node);
+    }
+
+    /// Whether the node is currently marked failed.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.inner.dead.read().contains(&node)
+    }
+
+    /// Cut the link between two nodes (both directions). Established
+    /// streams and queue pairs between them fail, as do new connects.
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        self.inner.partitions.write().insert(pair_key(a, b));
+    }
+
+    /// Restore the link between two nodes.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        self.inner.partitions.write().remove(&pair_key(a, b));
+    }
+
+    /// Whether traffic between `a` and `b` is currently cut.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.inner.partitions.read().contains(&pair_key(a, b))
+    }
+
+    /// Whether `a` can currently reach `b` (both alive, link intact).
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        !self.is_dead(a) && !self.is_dead(b) && !self.is_partitioned(a, b)
+    }
+
+    /// Aggregate transfer counters.
+    pub fn stats(&self) -> &FabricStats {
+        &self.inner.stats
+    }
+
+    pub(crate) fn fresh_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("model", &self.inner.model.name)
+            .field("nodes", &self.inner.nodes.read().len())
+            .finish()
+    }
+}
+
+fn pair_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b { (a, b) } else { (b, a) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::IPOIB_QDR;
+
+    #[test]
+    fn nodes_get_distinct_ids() {
+        let f = Fabric::new(IPOIB_QDR);
+        let a = f.add_node();
+        let b = f.add_node();
+        assert_ne!(a, b);
+        assert!(f.links(a).is_some());
+        assert!(f.links(NodeId(999)).is_none());
+    }
+
+    #[test]
+    fn kill_and_revive() {
+        let f = Fabric::new(IPOIB_QDR);
+        let n = f.add_node();
+        assert!(!f.is_dead(n));
+        f.kill_node(n);
+        assert!(f.is_dead(n));
+        f.revive_node(n);
+        assert!(!f.is_dead(n));
+    }
+
+    #[test]
+    fn link_clock_serializes_overlapping_reservations() {
+        let clock = LinkClock::new();
+        let t0 = Instant::now();
+        let d = Duration::from_millis(10);
+        let end1 = clock.reserve_from(t0, d);
+        let end2 = clock.reserve_from(t0, d);
+        assert_eq!(end1, t0 + d);
+        assert_eq!(end2, t0 + 2 * d, "second transfer must queue behind the first");
+        // A reservation starting later than the clock's frontier begins at
+        // its own earliest time.
+        let late = t0 + Duration::from_secs(1);
+        let end3 = clock.reserve_from(late, d);
+        assert_eq!(end3, late + d);
+    }
+
+    #[test]
+    fn partitions_are_symmetric_and_healable() {
+        let f = Fabric::new(IPOIB_QDR);
+        let a = f.add_node();
+        let b = f.add_node();
+        let c = f.add_node();
+        assert!(f.reachable(a, b));
+        f.partition(b, a); // either order
+        assert!(f.is_partitioned(a, b));
+        assert!(f.is_partitioned(b, a));
+        assert!(!f.reachable(a, b));
+        assert!(f.reachable(a, c), "unrelated links unaffected");
+        f.heal(a, b);
+        assert!(f.reachable(a, b));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let f = Fabric::new(IPOIB_QDR);
+        let g = f.clone();
+        let n = f.add_node();
+        assert!(g.links(n).is_some());
+    }
+}

@@ -1,0 +1,585 @@
+//! Socket emulation: connection-oriented byte streams over the fabric.
+//!
+//! [`SimStream`] mimics the behaviour of a TCP socket as seen by the Hadoop
+//! RPC baseline:
+//!
+//! * every `write` performs a **real staging copy** of the payload (the
+//!   user-space → kernel socket-buffer copy the paper charges the default
+//!   design for),
+//! * every `write` pays the model's per-operation stack overhead and the
+//!   message's wire time against the sender node's egress link clock,
+//! * delivery happens one `base_latency` later, gated by the receiver
+//!   node's ingress link clock (so many flows into one node contend),
+//! * every `read` copies out of the staged segment (kernel → user copy).
+//!
+//! Streams are full-duplex and sharable across threads (`Read`/`Write` are
+//! implemented for `&SimStream`), matching how Hadoop's `Connection` thread
+//! and caller threads share one socket.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::fabric::{Fabric, NodeId, SimAddr};
+use crate::time::spin_until;
+
+/// How often blocked reads/accepts re-check for node failure.
+const FAILURE_POLL: Duration = Duration::from_millis(10);
+
+/// Large writes are cut into wire segments of this size, each with its
+/// own delivery window — like TCP segmentation. Without this, a reader
+/// would absorb the whole message's wire time on its *first* byte and
+/// then copy the rest "for free", which distorts receive-time accounting
+/// (Figure 1 measures exactly that breakdown).
+const WIRE_SEGMENT: usize = 16 * 1024;
+
+/// A chunk of bytes in flight, stamped with its delivery window.
+pub(crate) struct Segment {
+    /// Instant at which the first byte reaches the receiver's NIC.
+    arrive_start: Instant,
+    /// Wire serialization time of this segment.
+    wire: Duration,
+    data: Bytes,
+}
+
+/// A connection handed to a listener by a connecting peer.
+pub(crate) struct PendingConn {
+    peer_addr: SimAddr,
+    to_peer: Sender<Segment>,
+    from_peer: Receiver<Segment>,
+}
+
+struct RxState {
+    rx: Receiver<Segment>,
+    /// Bytes from a previously delivered segment not yet read out.
+    leftover: VecDeque<Bytes>,
+}
+
+struct StreamInner {
+    fabric: Fabric,
+    local: SimAddr,
+    peer: SimAddr,
+    /// `None` after an explicit shutdown of the write half.
+    tx: Mutex<Option<Sender<Segment>>>,
+    rx: Mutex<RxState>,
+    read_timeout: Mutex<Option<Duration>>,
+}
+
+/// A simulated full-duplex byte stream.
+#[derive(Clone)]
+pub struct SimStream {
+    inner: Arc<StreamInner>,
+}
+
+impl SimStream {
+    /// Connect from `local_node` to a listener at `remote`. Pays one round
+    /// trip of handshake latency, like TCP's SYN/SYN-ACK.
+    pub fn connect(fabric: &Fabric, local_node: NodeId, remote: SimAddr) -> io::Result<SimStream> {
+        if fabric.is_dead(local_node) {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "local node is down"));
+        }
+        if fabric.is_dead(remote.node) {
+            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "remote node is down"));
+        }
+        if fabric.is_partitioned(local_node, remote.node) {
+            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "network partition"));
+        }
+        let accept_tx = fabric
+            .inner
+            .listeners
+            .lock()
+            .get(&remote)
+            .cloned()
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::ConnectionRefused, format!("nothing bound at {remote}"))
+            })?;
+
+        let model = *fabric.model();
+        // Handshake: one round trip plus a stack operation on each side.
+        crate::time::spin_ns(2 * model.base_latency_ns + 2 * model.stack_overhead_ns);
+
+        let local = SimAddr::new(local_node, ephemeral_port(fabric));
+        let (c2s_tx, c2s_rx) = unbounded();
+        let (s2c_tx, s2c_rx) = unbounded();
+        accept_tx
+            .send(PendingConn { peer_addr: local, to_peer: s2c_tx, from_peer: c2s_rx })
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "listener closed"))?;
+
+        Ok(SimStream {
+            inner: Arc::new(StreamInner {
+                fabric: fabric.clone(),
+                local,
+                peer: remote,
+                tx: Mutex::new(Some(c2s_tx)),
+                rx: Mutex::new(RxState { rx: s2c_rx, leftover: VecDeque::new() }),
+                read_timeout: Mutex::new(None),
+            }),
+        })
+    }
+
+    /// The local (node, port) of this end of the stream.
+    pub fn local_addr(&self) -> SimAddr {
+        self.inner.local
+    }
+
+    /// The remote (node, port) this stream is connected to.
+    pub fn peer_addr(&self) -> SimAddr {
+        self.inner.peer
+    }
+
+    /// Set or clear the timeout applied to blocking reads.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) {
+        *self.inner.read_timeout.lock() = timeout;
+    }
+
+    /// Close the write half; the peer will observe EOF after draining.
+    pub fn shutdown_write(&self) {
+        self.inner.tx.lock().take();
+    }
+
+    fn write_impl(&self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let inner = &self.inner;
+        let fabric = &inner.fabric;
+        if fabric.is_dead(inner.local.node) {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "local node is down"));
+        }
+        if fabric.is_dead(inner.peer.node) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer node is down"));
+        }
+        if fabric.is_partitioned(inner.local.node, inner.peer.node) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "network partition"));
+        }
+        let model = *fabric.model();
+
+        // Protocol stack processing on the sender (one syscall's worth,
+        // plus the per-KB skb cost of the whole buffer).
+        crate::time::spin_ns(model.stack_ns(buf.len()));
+
+        let tx = inner
+            .tx
+            .lock()
+            .clone()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "write half shut down"))?;
+
+        // Segment like TCP: each wire segment pays its own bandwidth and
+        // gets its own delivery window, so a receiver drains a large
+        // message at wire pace instead of all at once.
+        for chunk in buf.chunks(WIRE_SEGMENT) {
+            // Real staging copy: user buffer -> "kernel" segment.
+            let data = Bytes::copy_from_slice(chunk);
+            let wire = Duration::from_nanos(model.wire_ns(chunk.len()));
+            let egress_end = match fabric.links(inner.local.node) {
+                Some(links) => links.egress.reserve_from(Instant::now(), wire),
+                None => Instant::now() + wire,
+            };
+            spin_until(egress_end);
+            let arrive_start = egress_end - wire + Duration::from_nanos(model.base_latency_ns);
+            tx.send(Segment { arrive_start, wire, data })
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
+        }
+        let stats = fabric.stats();
+        stats.messages.fetch_add(1, Ordering::Relaxed);
+        stats.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(buf.len())
+    }
+
+    fn read_impl(&self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let inner = &self.inner;
+        let mut rx = inner.rx.lock();
+
+        // Serve buffered bytes first (kernel -> user copy).
+        if let Some(front) = rx.leftover.front_mut() {
+            let n = front.len().min(buf.len());
+            buf[..n].copy_from_slice(&front[..n]);
+            let _ = front.split_to(n);
+            if front.is_empty() {
+                rx.leftover.pop_front();
+            }
+            return Ok(n);
+        }
+
+        let deadline = inner.read_timeout.lock().map(|t| Instant::now() + t);
+        let seg = loop {
+            if inner.fabric.is_dead(inner.local.node) {
+                return Err(io::Error::new(io::ErrorKind::ConnectionReset, "local node is down"));
+            }
+            let wait = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(io::Error::new(io::ErrorKind::TimedOut, "read timeout"));
+                    }
+                    FAILURE_POLL.min(d - now)
+                }
+                None => FAILURE_POLL,
+            };
+            match rx.rx.recv_timeout(wait) {
+                Ok(seg) => break seg,
+                Err(RecvTimeoutError::Timeout) => {
+                    if inner.fabric.is_dead(inner.peer.node) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionReset,
+                            "peer node is down",
+                        ));
+                    }
+                }
+                // All senders gone: orderly EOF.
+                Err(RecvTimeoutError::Disconnected) => return Ok(0),
+            }
+        };
+
+        // Wait for the bytes to finish arriving, gated by our ingress link.
+        let ingress_end = match inner.fabric.links(inner.local.node) {
+            Some(links) => links.ingress.reserve_from(seg.arrive_start, seg.wire),
+            None => seg.arrive_start + seg.wire,
+        };
+        spin_until(ingress_end);
+
+        let mut data = seg.data;
+        let n = data.len().min(buf.len());
+        buf[..n].copy_from_slice(&data[..n]);
+        let rest = data.split_off(n);
+        if !rest.is_empty() {
+            rx.leftover.push_back(rest);
+        }
+        Ok(n)
+    }
+
+    /// Read exactly `buf.len()` bytes or fail (like `Read::read_exact`, but
+    /// usable on `&self`).
+    pub fn read_exact_at(&self, buf: &mut [u8]) -> io::Result<()> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.read_impl(&mut buf[filled..])?;
+            if n == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "stream closed"));
+            }
+            filled += n;
+        }
+        Ok(())
+    }
+}
+
+impl Read for SimStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.read_impl(buf)
+    }
+}
+
+impl Write for SimStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.write_impl(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Read for &SimStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.read_impl(buf)
+    }
+}
+
+impl Write for &SimStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.write_impl(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for SimStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimStream({} -> {})", self.inner.local, self.inner.peer)
+    }
+}
+
+fn ephemeral_port(fabric: &Fabric) -> u16 {
+    49152u16.wrapping_add((fabric.fresh_id() % 16000) as u16)
+}
+
+/// A bound, listening endpoint.
+#[derive(Debug)]
+pub struct SimListener {
+    fabric: Fabric,
+    addr: SimAddr,
+    incoming: Receiver<PendingConn>,
+}
+
+impl SimListener {
+    /// Bind to `addr`. Fails with `AddrInUse` if something is already bound.
+    pub fn bind(fabric: &Fabric, addr: SimAddr) -> io::Result<SimListener> {
+        if fabric.is_dead(addr.node) {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "node is down"));
+        }
+        let (tx, rx) = unbounded();
+        let mut listeners = fabric.inner.listeners.lock();
+        if listeners.contains_key(&addr) {
+            return Err(io::Error::new(io::ErrorKind::AddrInUse, format!("{addr} already bound")));
+        }
+        listeners.insert(addr, tx);
+        drop(listeners);
+        Ok(SimListener { fabric: fabric.clone(), addr, incoming: rx })
+    }
+
+    /// The address this listener is bound to.
+    pub fn local_addr(&self) -> SimAddr {
+        self.addr
+    }
+
+    /// Block until a peer connects; returns the stream and the peer address.
+    pub fn accept(&self) -> io::Result<(SimStream, SimAddr)> {
+        loop {
+            if self.fabric.is_dead(self.addr.node) {
+                return Err(io::Error::new(io::ErrorKind::NotConnected, "node is down"));
+            }
+            match self.incoming.recv_timeout(FAILURE_POLL) {
+                Ok(pending) => {
+                    let peer = pending.peer_addr;
+                    let stream = SimStream {
+                        inner: Arc::new(StreamInner {
+                            fabric: self.fabric.clone(),
+                            local: self.addr,
+                            peer,
+                            tx: Mutex::new(Some(pending.to_peer)),
+                            rx: Mutex::new(RxState {
+                                rx: pending.from_peer,
+                                leftover: VecDeque::new(),
+                            }),
+                            read_timeout: Mutex::new(None),
+                        }),
+                    };
+                    return Ok((stream, peer));
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(io::Error::new(io::ErrorKind::NotConnected, "listener evicted"))
+                }
+            }
+        }
+    }
+
+    /// Non-blocking accept: `Ok(None)` when no connection is pending.
+    pub fn try_accept(&self) -> io::Result<Option<(SimStream, SimAddr)>> {
+        match self.incoming.try_recv() {
+            Ok(pending) => {
+                let peer = pending.peer_addr;
+                let stream = SimStream {
+                    inner: Arc::new(StreamInner {
+                        fabric: self.fabric.clone(),
+                        local: self.addr,
+                        peer,
+                        tx: Mutex::new(Some(pending.to_peer)),
+                        rx: Mutex::new(RxState { rx: pending.from_peer, leftover: VecDeque::new() }),
+                        read_timeout: Mutex::new(None),
+                    }),
+                };
+                Ok(Some((stream, peer)))
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(io::Error::new(io::ErrorKind::NotConnected, "listener evicted"))
+            }
+        }
+    }
+}
+
+impl Drop for SimListener {
+    fn drop(&mut self) {
+        self.fabric.inner.listeners.lock().remove(&self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GIG_E, IPOIB_QDR};
+    use std::thread;
+
+    fn pair(model: crate::NetworkModel) -> (Fabric, SimStream, SimStream) {
+        let fabric = Fabric::new(model);
+        let server = fabric.add_node();
+        let client = fabric.add_node();
+        let addr = SimAddr::new(server, 9000);
+        let listener = SimListener::bind(&fabric, addr).unwrap();
+        let f2 = fabric.clone();
+        let h = thread::spawn(move || SimStream::connect(&f2, client, addr).unwrap());
+        let (srv_stream, _) = listener.accept().unwrap();
+        let cli_stream = h.join().unwrap();
+        (fabric, cli_stream, srv_stream)
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let (_f, mut cli, mut srv) = pair(IPOIB_QDR);
+        cli.write_all(b"hello fabric").unwrap();
+        let mut buf = [0u8; 12];
+        srv.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello fabric");
+        // And the other direction.
+        srv.write_all(b"pong").unwrap();
+        let mut buf = [0u8; 4];
+        cli.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn partial_reads_preserve_order() {
+        let (_f, mut cli, mut srv) = pair(IPOIB_QDR);
+        cli.write_all(&(0u8..100).collect::<Vec<_>>()).unwrap();
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 7];
+        while out.len() < 100 {
+            let n = srv.read(&mut chunk).unwrap();
+            out.extend_from_slice(&chunk[..n]);
+        }
+        assert_eq!(out, (0u8..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn eof_on_peer_drop() {
+        let (_f, cli, mut srv) = pair(IPOIB_QDR);
+        drop(cli);
+        let mut buf = [0u8; 8];
+        assert_eq!(srv.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn shutdown_write_gives_peer_eof_but_keeps_reading() {
+        let (_f, cli, mut srv) = pair(IPOIB_QDR);
+        cli.write_impl(b"last words").unwrap();
+        cli.shutdown_write();
+        let mut buf = [0u8; 10];
+        srv.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"last words");
+        assert_eq!(srv.read(&mut buf).unwrap(), 0, "EOF after shutdown");
+        // Reverse direction still works.
+        srv.write_impl(b"reply").unwrap();
+        let mut buf = [0u8; 5];
+        (&cli).read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"reply");
+    }
+
+    #[test]
+    fn connect_to_unbound_address_is_refused() {
+        let fabric = Fabric::new(IPOIB_QDR);
+        let n = fabric.add_node();
+        let err = SimStream::connect(&fabric, n, SimAddr::new(NodeId(42), 1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn double_bind_is_addr_in_use() {
+        let fabric = Fabric::new(IPOIB_QDR);
+        let n = fabric.add_node();
+        let addr = SimAddr::new(n, 80);
+        let _l1 = SimListener::bind(&fabric, addr).unwrap();
+        let err = SimListener::bind(&fabric, addr).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+    }
+
+    #[test]
+    fn rebind_after_drop() {
+        let fabric = Fabric::new(IPOIB_QDR);
+        let n = fabric.add_node();
+        let addr = SimAddr::new(n, 80);
+        drop(SimListener::bind(&fabric, addr).unwrap());
+        SimListener::bind(&fabric, addr).unwrap();
+    }
+
+    #[test]
+    fn killed_peer_fails_writes() {
+        let (f, cli, _srv) = pair(IPOIB_QDR);
+        f.kill_node(cli.peer_addr().node);
+        let err = cli.write_impl(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn killed_peer_fails_blocked_reads() {
+        let (f, mut cli, _srv) = pair(IPOIB_QDR);
+        let node = cli.peer_addr().node;
+        let h = thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            cli.read(&mut buf)
+        });
+        thread::sleep(Duration::from_millis(30));
+        f.kill_node(node);
+        let res = h.join().unwrap();
+        assert_eq!(res.unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn read_timeout_fires() {
+        let (_f, cli, _srv) = pair(IPOIB_QDR);
+        cli.set_read_timeout(Some(Duration::from_millis(25)));
+        let mut buf = [0u8; 1];
+        let start = Instant::now();
+        let err = (&cli).read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn latency_is_charged_per_fabric() {
+        // 1GigE model has ~35us one-way latency; a 1-byte ping-pong should
+        // therefore take at least 2 * (latency + stack) = ~86us.
+        let (_f, mut cli, mut srv) = pair(GIG_E);
+        let h = thread::spawn(move || {
+            let mut b = [0u8; 1];
+            srv.read_exact(&mut b).unwrap();
+            srv.write_all(&b).unwrap();
+        });
+        let start = Instant::now();
+        cli.write_all(&[7]).unwrap();
+        let mut b = [0u8; 1];
+        cli.read_exact(&mut b).unwrap();
+        let rtt = start.elapsed();
+        h.join().unwrap();
+        assert_eq!(b[0], 7);
+        assert!(rtt >= Duration::from_micros(80), "rtt too small: {rtt:?}");
+    }
+
+    #[test]
+    fn bandwidth_is_charged_for_large_messages() {
+        // 1 MB over ~117 MB/s is ~8.5ms of wire time each way.
+        let (_f, mut cli, mut srv) = pair(GIG_E);
+        let payload = vec![0xabu8; 1 << 20];
+        let h = thread::spawn(move || {
+            let mut buf = vec![0u8; 1 << 20];
+            srv.read_exact(&mut buf).unwrap();
+            buf
+        });
+        let start = Instant::now();
+        cli.write_all(&payload).unwrap();
+        let got = h.join().unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(got, payload);
+        assert!(elapsed >= Duration::from_millis(7), "too fast for 1GigE: {elapsed:?}");
+    }
+
+    #[test]
+    fn fabric_stats_count_traffic() {
+        let (f, cli, mut srv) = pair(IPOIB_QDR);
+        cli.write_impl(&[0u8; 256]).unwrap();
+        let mut buf = [0u8; 256];
+        srv.read_exact(&mut buf).unwrap();
+        let (msgs, bytes, _, _) = f.stats().snapshot();
+        assert!(msgs >= 1);
+        assert!(bytes >= 256);
+    }
+}

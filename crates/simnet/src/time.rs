@@ -1,0 +1,106 @@
+//! Precise delay injection.
+//!
+//! The paper's microbenchmarks live in the 30–100 µs range; `thread::sleep`
+//! on Linux routinely overshoots by 50+ µs, which would drown the effects we
+//! are trying to reproduce. We therefore busy-wait on [`Instant`] for short
+//! delays and fall back to a sleep-then-spin strategy for long ones so the
+//! job-scale benchmarks do not burn whole cores while "transferring" large
+//! blocks.
+
+use std::time::{Duration, Instant};
+
+/// Above this threshold we coarse-sleep most of the delay before spinning
+/// out the remainder. 200 µs keeps the spin portion (and thus CPU waste)
+/// bounded while staying precise.
+const SLEEP_THRESHOLD: Duration = Duration::from_micros(200);
+
+/// Margin left for the final spin when coarse-sleeping.
+const SLEEP_SLACK: Duration = Duration::from_micros(150);
+
+/// Above this remaining time, waiting threads yield between time checks
+/// instead of pure-spinning. This matters when the simulation is CPU-
+/// oversubscribed (many simulated nodes on few cores): yielding lets the
+/// peer threads that would make the deadline meaningful actually run.
+/// The threshold trades precision against scheduling behaviour: below
+/// it, waits pure-spin (tight, but holds the core); above it, waits
+/// yield between checks (frees the core, but under a long run queue one
+/// yield can cost milliseconds). 10 µs keeps verbs-scale waits tight
+/// while socket-stack-scale waits cede the core.
+const YIELD_THRESHOLD: Duration = Duration::from_micros(10);
+
+/// Busy-wait until the given deadline with sub-microsecond precision.
+///
+/// Returns immediately if the deadline has already passed.
+pub fn spin_until(deadline: Instant) {
+    let now = Instant::now();
+    if now >= deadline {
+        return;
+    }
+    let remaining = deadline - now;
+    if remaining > SLEEP_THRESHOLD {
+        // Sleep off the bulk, leaving slack for the OS to overshoot into.
+        std::thread::sleep(remaining - SLEEP_SLACK);
+    }
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        if deadline - now > YIELD_THRESHOLD {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Busy-wait for the given duration. See [`spin_until`].
+pub fn spin_sleep(dur: Duration) {
+    if dur.is_zero() {
+        return;
+    }
+    spin_until(Instant::now() + dur);
+}
+
+/// Busy-wait for `ns` nanoseconds.
+pub fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    spin_sleep(Duration::from_nanos(ns));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_sleep_is_at_least_requested() {
+        for &us in &[1u64, 10, 50, 300] {
+            let dur = Duration::from_micros(us);
+            let start = Instant::now();
+            spin_sleep(dur);
+            assert!(Instant::now() - start >= dur, "undershot {us}us");
+        }
+    }
+
+    #[test]
+    fn spin_sleep_is_reasonably_tight_for_short_delays() {
+        // Warm up.
+        spin_sleep(Duration::from_micros(5));
+        let dur = Duration::from_micros(50);
+        let start = Instant::now();
+        spin_sleep(dur);
+        let elapsed = Instant::now() - start;
+        // Allow generous scheduling noise, but the point of spinning is to
+        // stay within the same order of magnitude.
+        assert!(elapsed < dur * 20, "overshot: {elapsed:?}");
+    }
+
+    #[test]
+    fn zero_and_past_deadlines_return_immediately() {
+        spin_sleep(Duration::ZERO);
+        spin_ns(0);
+        spin_until(Instant::now() - Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,266 @@
+//! `DataOutput` / `DataInput`: Java-style primitive encodings (big endian)
+//! plus Hadoop's vint and length-prefixed UTF-8 strings.
+//!
+//! Both traits are blanket-implemented for every `std::io::Write` /
+//! `std::io::Read`, so the same `Writable` code serializes into a plain
+//! `Vec<u8>`, the Algorithm-1 [`crate::DataOutputBuffer`], a socket stream,
+//! or the RPCoIB `RdmaOutputStream` — exactly the interface-compatibility
+//! trick the paper uses to slide RDMA streams under unmodified RPC code.
+
+use std::io::{self, Read, Write};
+
+use crate::varint;
+
+/// Java `DataOutput` + Hadoop `WritableUtils` write-side operations.
+pub trait DataOutput {
+    /// Write raw bytes.
+    fn write_bytes(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    fn write_u8(&mut self, v: u8) -> io::Result<()> {
+        self.write_bytes(&[v])
+    }
+
+    fn write_i8(&mut self, v: i8) -> io::Result<()> {
+        self.write_u8(v as u8)
+    }
+
+    fn write_bool(&mut self, v: bool) -> io::Result<()> {
+        self.write_u8(v as u8)
+    }
+
+    fn write_i16(&mut self, v: i16) -> io::Result<()> {
+        self.write_bytes(&v.to_be_bytes())
+    }
+
+    fn write_u16(&mut self, v: u16) -> io::Result<()> {
+        self.write_bytes(&v.to_be_bytes())
+    }
+
+    fn write_i32(&mut self, v: i32) -> io::Result<()> {
+        self.write_bytes(&v.to_be_bytes())
+    }
+
+    fn write_i64(&mut self, v: i64) -> io::Result<()> {
+        self.write_bytes(&v.to_be_bytes())
+    }
+
+    fn write_f32(&mut self, v: f32) -> io::Result<()> {
+        self.write_bytes(&v.to_bits().to_be_bytes())
+    }
+
+    fn write_f64(&mut self, v: f64) -> io::Result<()> {
+        self.write_bytes(&v.to_bits().to_be_bytes())
+    }
+
+    /// Hadoop `WritableUtils.writeVInt`.
+    fn write_vint(&mut self, v: i32) -> io::Result<()> {
+        let mut tmp = [0u8; 5];
+        let mut cursor = &mut tmp[..];
+        varint::write_vint(&mut cursor, v)?;
+        let n = 5 - cursor.len();
+        self.write_bytes(&tmp[..n])
+    }
+
+    /// Hadoop `WritableUtils.writeVLong`.
+    fn write_vlong(&mut self, v: i64) -> io::Result<()> {
+        let mut tmp = [0u8; 9];
+        let mut cursor = &mut tmp[..];
+        varint::write_vlong(&mut cursor, v)?;
+        let n = 9 - cursor.len();
+        self.write_bytes(&tmp[..n])
+    }
+
+    /// Hadoop `Text::writeString`: vint byte-length + UTF-8 bytes.
+    fn write_string(&mut self, s: &str) -> io::Result<()> {
+        self.write_vint(s.len() as i32)?;
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// `BytesWritable`-style buffer: 4-byte big-endian length + bytes.
+    fn write_len_bytes(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.write_i32(buf.len() as i32)?;
+        self.write_bytes(buf)
+    }
+}
+
+impl<W: Write + ?Sized> DataOutput for W {
+    fn write_bytes(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.write_all(buf)
+    }
+}
+
+/// Java `DataInput` + Hadoop `WritableUtils` read-side operations.
+pub trait DataInput {
+    /// Fill `buf` completely or fail.
+    fn read_bytes(&mut self, buf: &mut [u8]) -> io::Result<()>;
+
+    fn read_u8(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.read_bytes(&mut b)?;
+        Ok(b[0])
+    }
+
+    fn read_i8(&mut self) -> io::Result<i8> {
+        Ok(self.read_u8()? as i8)
+    }
+
+    fn read_bool(&mut self) -> io::Result<bool> {
+        Ok(self.read_u8()? != 0)
+    }
+
+    fn read_i16(&mut self) -> io::Result<i16> {
+        let mut b = [0u8; 2];
+        self.read_bytes(&mut b)?;
+        Ok(i16::from_be_bytes(b))
+    }
+
+    fn read_u16(&mut self) -> io::Result<u16> {
+        let mut b = [0u8; 2];
+        self.read_bytes(&mut b)?;
+        Ok(u16::from_be_bytes(b))
+    }
+
+    fn read_i32(&mut self) -> io::Result<i32> {
+        let mut b = [0u8; 4];
+        self.read_bytes(&mut b)?;
+        Ok(i32::from_be_bytes(b))
+    }
+
+    fn read_i64(&mut self) -> io::Result<i64> {
+        let mut b = [0u8; 8];
+        self.read_bytes(&mut b)?;
+        Ok(i64::from_be_bytes(b))
+    }
+
+    fn read_f32(&mut self) -> io::Result<f32> {
+        let mut b = [0u8; 4];
+        self.read_bytes(&mut b)?;
+        Ok(f32::from_bits(u32::from_be_bytes(b)))
+    }
+
+    fn read_f64(&mut self) -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        self.read_bytes(&mut b)?;
+        Ok(f64::from_bits(u64::from_be_bytes(b)))
+    }
+
+    fn read_vint(&mut self) -> io::Result<i32> {
+        let v = self.read_vlong()?;
+        i32::try_from(v).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("vint out of range: {v}"))
+        })
+    }
+
+    fn read_vlong(&mut self) -> io::Result<i64> {
+        let first = self.read_u8()?;
+        let len = varint::decode_vint_size(first);
+        if len == 1 {
+            return Ok(first as i8 as i64);
+        }
+        let mut value: i64 = 0;
+        for _ in 0..len - 1 {
+            value = (value << 8) | self.read_u8()? as i64;
+        }
+        Ok(if varint::is_negative_vint(first) { !value } else { value })
+    }
+
+    /// Hadoop `Text::readString`.
+    fn read_string(&mut self) -> io::Result<String> {
+        let len = self.read_vint()?;
+        if len < 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "negative string length"));
+        }
+        let mut buf = vec![0u8; len as usize];
+        self.read_bytes(&mut buf)?;
+        String::from_utf8(buf)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad utf8: {e}")))
+    }
+
+    /// Counterpart of [`DataOutput::write_len_bytes`].
+    fn read_len_bytes(&mut self) -> io::Result<Vec<u8>> {
+        let len = self.read_i32()?;
+        if len < 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "negative buffer length"));
+        }
+        let mut buf = vec![0u8; len as usize];
+        self.read_bytes(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+impl<R: Read + ?Sized> DataInput for R {
+    fn read_bytes(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.read_exact(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_big_endian() {
+        let mut out: Vec<u8> = Vec::new();
+        out.write_i32(0x01020304).unwrap();
+        assert_eq!(out, [1, 2, 3, 4], "Java big-endian layout");
+        out.write_i64(-2).unwrap();
+        out.write_bool(true).unwrap();
+        out.write_f64(std::f64::consts::PI).unwrap();
+        out.write_u16(0xbeef).unwrap();
+        out.write_i8(-5).unwrap();
+
+        let mut input = out.as_slice();
+        assert_eq!(input.read_i32().unwrap(), 0x01020304);
+        assert_eq!(input.read_i64().unwrap(), -2);
+        assert!(input.read_bool().unwrap());
+        assert_eq!(input.read_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(input.read_u16().unwrap(), 0xbeef);
+        assert_eq!(input.read_i8().unwrap(), -5);
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn strings_are_vint_prefixed_utf8() {
+        let mut out: Vec<u8> = Vec::new();
+        out.write_string("héllo").unwrap();
+        // "héllo" is 6 UTF-8 bytes; 6 encodes as a single vint byte.
+        assert_eq!(out[0], 6);
+        assert_eq!(&out[1..], "héllo".as_bytes());
+        let mut input = out.as_slice();
+        assert_eq!(input.read_string().unwrap(), "héllo");
+    }
+
+    #[test]
+    fn empty_string_roundtrip() {
+        let mut out: Vec<u8> = Vec::new();
+        out.write_string("").unwrap();
+        assert_eq!(out, [0]);
+        assert_eq!(out.as_slice().read_string().unwrap(), "");
+    }
+
+    #[test]
+    fn len_bytes_roundtrip() {
+        let mut out: Vec<u8> = Vec::new();
+        out.write_len_bytes(&[9, 8, 7]).unwrap();
+        assert_eq!(out, [0, 0, 0, 3, 9, 8, 7]);
+        assert_eq!(out.as_slice().read_len_bytes().unwrap(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn vint_through_the_trait_matches_module() {
+        for v in [-1_000_000i64, -113, 0, 127, 128, 1 << 40] {
+            let mut a: Vec<u8> = Vec::new();
+            a.write_vlong(v).unwrap();
+            let mut b = Vec::new();
+            crate::varint::write_vlong(&mut b, v).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a.as_slice().read_vlong().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let bytes = [2u8, 0xff, 0xfe];
+        assert!(bytes.as_slice().read_string().is_err());
+    }
+}

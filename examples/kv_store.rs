@@ -1,0 +1,53 @@
+//! HBase example: a key-value store with YCSB-style load + mixed
+//! workload, showing where Put throughput comes from (WAL + memstore
+//! flushes into HDFS) and what the RDMA operation plane changes.
+//!
+//! ```sh
+//! cargo run --release --example kv_store
+//! ```
+
+use rpcoib_suite::mini_hbase::ycsb::{self, key_of, Workload};
+use rpcoib_suite::mini_hbase::{HBaseConfig, MiniHbase};
+use rpcoib_suite::simnet::model;
+
+fn run(name: &str, cfg: HBaseConfig) {
+    let cfg = HBaseConfig {
+        memstore_flush_bytes: 32 * 1024,
+        wal_roll_bytes: 16 * 1024,
+        ..cfg
+    };
+    let hbase = MiniHbase::start(model::IPOIB_QDR, 3, cfg).unwrap();
+    let client = hbase.client().unwrap();
+
+    let workload = Workload { value_size: 512, ..Workload::mixed(400, 600) };
+    ycsb::load(&client, &workload).unwrap();
+    let report = ycsb::run(&client, &workload).unwrap();
+
+    // Region servers persisted WAL segments + store files into HDFS.
+    let dfs = hbase.dfs().client().unwrap();
+    let mut hdfs_files = dfs.list("/hbase/wal").unwrap().len();
+    for bucket in 0..hbase.regionservers().len() {
+        hdfs_files += dfs.list(&format!("/hbase/region{bucket}")).unwrap_or_default().len();
+    }
+
+    println!(
+        "{name:<24} {:.2} Kops/s   p50 {:?}   p99 {:?}   ({} gets / {} puts, {hdfs_files} HDFS files)",
+        report.kops_per_sec(),
+        report.latency_at(0.5),
+        report.latency_at(0.99),
+        report.gets,
+        report.puts,
+    );
+
+    // Point reads still come back correctly after all the flushing.
+    assert!(client.get(&key_of(0)).unwrap().is_some());
+    client.shutdown();
+    hbase.stop();
+}
+
+fn main() {
+    println!("mini-HBase YCSB 50/50 mix on 3 region servers:\n");
+    run("sockets everywhere", HBaseConfig::socket());
+    run("HBaseoIB (RDMA ops)", HBaseConfig::ops_ib());
+    run("HBaseoIB + RPCoIB", HBaseConfig::all_ib());
+}

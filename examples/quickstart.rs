@@ -1,0 +1,91 @@
+//! Quickstart: define an RPC service, host it over both transports, and
+//! compare a call's latency and buffer behaviour.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rpcoib_suite::rpcoib::{Client, RpcConfig, RpcService, Server, ServiceRegistry};
+use rpcoib_suite::simnet::{model, Fabric, NetworkModel};
+use rpcoib_suite::wire::{DataInput, IntWritable, Text, Writable};
+
+/// A toy metadata service, Hadoop-style: methods dispatched by name,
+/// parameters and results are `Writable`s.
+struct DirectoryService;
+
+impl RpcService for DirectoryService {
+    fn protocol(&self) -> &'static str {
+        "demo.DirectoryProtocol"
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        param: &mut dyn DataInput,
+    ) -> Result<Box<dyn Writable + Send>, String> {
+        match method {
+            // lookup(path) -> uppercased path (stand-in for an inode).
+            "lookup" => {
+                let mut path = Text::default();
+                path.read_fields(param).map_err(|e| e.to_string())?;
+                Ok(Box::new(Text(path.0.to_uppercase())))
+            }
+            // count(parts...) -> number of path components.
+            "count" => {
+                let mut path = Text::default();
+                path.read_fields(param).map_err(|e| e.to_string())?;
+                Ok(Box::new(IntWritable(path.0.split('/').filter(|p| !p.is_empty()).count()
+                    as i32)))
+            }
+            other => Err(format!("unknown method {other}")),
+        }
+    }
+}
+
+fn demo(name: &str, net: NetworkModel, cfg: RpcConfig) {
+    let fabric = Fabric::new(net);
+    let server_node = fabric.add_node();
+    let client_node = fabric.add_node();
+
+    let mut registry = ServiceRegistry::new();
+    registry.register(Arc::new(DirectoryService));
+    let server = Server::start(&fabric, server_node, 8020, cfg.clone(), registry).unwrap();
+    let client = Client::new(&fabric, client_node, cfg).unwrap();
+
+    // Warm up (connection setup + buffer-size history learning).
+    for _ in 0..20 {
+        let _: Text = client
+            .call(server.addr(), "demo.DirectoryProtocol", "lookup", &Text::from("/user/demo"))
+            .unwrap();
+    }
+    let start = Instant::now();
+    let n = 200;
+    for i in 0..n {
+        let path = Text(format!("/user/demo/file-{i}"));
+        let upper: Text =
+            client.call(server.addr(), "demo.DirectoryProtocol", "lookup", &path).unwrap();
+        assert_eq!(upper.0, path.0.to_uppercase());
+    }
+    let per_call = start.elapsed() / n;
+    let stats = client.metrics().get("demo.DirectoryProtocol", "lookup").unwrap();
+    println!(
+        "{name:<22} {per_call:>9.1?}/call   serialize {:.1}us   send {:.1}us   adjustments/call {:.2}",
+        stats.avg_serialize_us(),
+        stats.avg_send_us(),
+        stats.avg_adjustments(),
+    );
+    client.shutdown();
+    server.stop();
+}
+
+fn main() {
+    println!("same service, two transports:\n");
+    demo("Hadoop RPC / IPoIB", model::IPOIB_QDR, RpcConfig::socket());
+    demo("RPCoIB / IB verbs", model::IB_QDR_VERBS, RpcConfig::rpcoib());
+    println!("\nRPCoIB serializes into pooled registered buffers (no per-call");
+    println!("adjustments once the <protocol,method> size history is warm) and");
+    println!("ships frames over verbs instead of the socket stack.");
+}

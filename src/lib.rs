@@ -1,0 +1,25 @@
+//! # rpcoib-suite — umbrella crate for the ICPP'13 RPCoIB reproduction
+//!
+//! Re-exports the workspace crates so examples and downstream users can
+//! depend on one crate:
+//!
+//! * [`simnet`] — the simulated fabrics (socket + verbs) and dual-rail
+//!   cluster topology;
+//! * [`wire`] — Hadoop `Writable` serialization with the instrumented
+//!   Algorithm-1 buffer;
+//! * [`bufpool`] — the history-based two-level buffer pool;
+//! * [`rpcoib`] — the RPC engine: socket baseline and the RPCoIB RDMA
+//!   transport (the paper's contribution);
+//! * [`mini_hdfs`], [`mini_mapred`], [`mini_hbase`] — the mini-Hadoop
+//!   substrates the evaluation runs on.
+//!
+//! Start with `examples/quickstart.rs`, then DESIGN.md for the system
+//! inventory and EXPERIMENTS.md for the reproduced tables and figures.
+
+pub use bufpool;
+pub use mini_hbase;
+pub use mini_hdfs;
+pub use mini_mapred;
+pub use rpcoib;
+pub use simnet;
+pub use wire;

@@ -1,0 +1,152 @@
+//! Suite-level integration tests: whole-stack flows spanning the RPC
+//! engine and all three mini-Hadoop components, on both transports.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpcoib_suite::mini_hbase::ycsb::{self, key_of, Workload};
+use rpcoib_suite::mini_hbase::{HBaseConfig, MiniHbase};
+use rpcoib_suite::mini_mapred::record::{read_all, write_record};
+use rpcoib_suite::mini_mapred::{JobConf, JobKind, MiniMr, MrConfig};
+use rpcoib_suite::rpcoib::{Client, RpcConfig, RpcService, Server, ServiceRegistry};
+use rpcoib_suite::simnet::{model, Fabric};
+use rpcoib_suite::wire::{BytesWritable, DataInput, Writable};
+
+/// WordCount end-to-end with the *entire* control plane (JobTracker,
+/// umbilical, NameNode, DataNode reports) on RPCoIB.
+#[test]
+fn wordcount_full_stack_over_rpcoib() {
+    let mut cfg = MrConfig::rpc_ib();
+    cfg.hdfs.block_size = 128 * 1024;
+    cfg.heartbeat = Duration::from_millis(80);
+    let mr = MiniMr::start(model::IPOIB_QDR, 2, cfg).unwrap();
+    let jobs = mr.job_client().unwrap();
+    let dfs = mr.dfs_client().unwrap();
+
+    let mut file = Vec::new();
+    for i in 0..50 {
+        write_record(&mut file, format!("{i}").as_bytes(), b"rdma rdma sockets");
+    }
+    dfs.write_file("/text", &file).unwrap();
+
+    jobs.run(
+        &JobConf {
+            name: "wc".into(),
+            kind: JobKind::WordCount,
+            input: vec!["/text".into()],
+            output: "/counts".into(),
+            n_reduces: 2,
+            n_maps: 0,
+            params: Vec::new(),
+        },
+        Duration::from_secs(120),
+    )
+    .unwrap();
+
+    let mut counts = std::collections::HashMap::new();
+    for part in dfs.list("/counts").unwrap() {
+        for (k, v) in read_all(&dfs.read_file(&part.path).unwrap()).unwrap() {
+            counts.insert(
+                String::from_utf8(k).unwrap(),
+                u64::from_be_bytes(v.as_slice().try_into().unwrap()),
+            );
+        }
+    }
+    assert_eq!(counts["rdma"], 100);
+    assert_eq!(counts["sockets"], 50);
+
+    // Every control-plane conversation really went over verbs: the eth
+    // rail saw only shuffle + HDFS data traffic, the ib rail carried RPC.
+    let (ib_msgs, _, _, _) = mr.cluster().ib().stats().snapshot();
+    assert!(ib_msgs > 100, "RPCoIB control plane unused? {ib_msgs} messages on ib rail");
+    mr.stop();
+}
+
+/// HBase with RDMA operations *and* RPCoIB underneath (the paper's best
+/// configuration) serves a YCSB mix correctly.
+#[test]
+fn hbase_best_configuration_serves_ycsb() {
+    let cfg = HBaseConfig {
+        memstore_flush_bytes: 16 * 1024,
+        wal_roll_bytes: 8 * 1024,
+        ..HBaseConfig::all_ib()
+    };
+    let hbase = MiniHbase::start(model::IPOIB_QDR, 2, cfg).unwrap();
+    let client = hbase.client().unwrap();
+    let workload = Workload { value_size: 256, ..Workload::mixed(150, 200) };
+    ycsb::load(&client, &workload).unwrap();
+    let report = ycsb::run(&client, &workload).unwrap();
+    assert_eq!(report.operations, 200);
+    assert!(client.get(&key_of(0)).unwrap().is_some());
+    client.shutdown();
+    hbase.stop();
+}
+
+/// The headline direction of the paper, asserted as a test: the same
+/// ping-pong is faster over RPCoIB than over socket RPC on IPoIB.
+#[test]
+fn rpcoib_beats_ipoib_sockets() {
+    struct Echo;
+    impl RpcService for Echo {
+        fn protocol(&self) -> &'static str {
+            "suite.Echo"
+        }
+        fn call(
+            &self,
+            _method: &str,
+            param: &mut dyn DataInput,
+        ) -> Result<Box<dyn Writable + Send>, String> {
+            let mut b = BytesWritable::default();
+            b.read_fields(param).map_err(|e| e.to_string())?;
+            Ok(Box::new(b))
+        }
+    }
+
+    struct Env {
+        server: Server,
+        client: Client,
+    }
+    let setup = |net, rpc: RpcConfig| -> Env {
+        let fabric = Fabric::new(net);
+        let sn = fabric.add_node();
+        let cn = fabric.add_node();
+        let mut registry = ServiceRegistry::new();
+        registry.register(Arc::new(Echo));
+        let server = Server::start(&fabric, sn, 1, rpc.clone(), registry).unwrap();
+        let client = Client::new(&fabric, cn, rpc).unwrap();
+        Env { server, client }
+    };
+    let one_call = |env: &Env, body: &BytesWritable| -> Duration {
+        let t = std::time::Instant::now();
+        let _: BytesWritable =
+            env.client.call(env.server.addr(), "suite.Echo", "x", body).unwrap();
+        t.elapsed()
+    };
+
+    let ipoib_env = setup(model::IPOIB_QDR, RpcConfig::socket());
+    let rpcoib_env = setup(model::IB_QDR_VERBS, RpcConfig::rpcoib());
+    let body = BytesWritable(vec![1u8; 512]);
+    for _ in 0..10 {
+        one_call(&ipoib_env, &body);
+        one_call(&rpcoib_env, &body);
+    }
+    // Interleave the measured samples so ambient CPU load (other tests in
+    // this binary, parallel jobs) biases both configurations equally.
+    let mut ipoib_samples = Vec::new();
+    let mut rpcoib_samples = Vec::new();
+    for _ in 0..60 {
+        ipoib_samples.push(one_call(&ipoib_env, &body));
+        rpcoib_samples.push(one_call(&rpcoib_env, &body));
+    }
+    ipoib_samples.sort();
+    rpcoib_samples.sort();
+    let (ipoib, rpcoib) = (ipoib_samples[30], rpcoib_samples[30]);
+    ipoib_env.client.shutdown();
+    ipoib_env.server.stop();
+    rpcoib_env.client.shutdown();
+    rpcoib_env.server.stop();
+    assert!(
+        rpcoib < ipoib,
+        "paper's headline violated: rpcoib {rpcoib:?} vs ipoib {ipoib:?}"
+    );
+}
