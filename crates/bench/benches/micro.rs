@@ -62,8 +62,18 @@ fn bench_algorithm1_vs_pool(c: &mut Criterion) {
 }
 
 fn bench_vint_codec(c: &mut Criterion) {
-    let values: Vec<i64> =
-        vec![0, 127, -112, 128, 300, 65535, -65536, 1 << 30, -(1 << 40), i64::MAX];
+    let values: Vec<i64> = vec![
+        0,
+        127,
+        -112,
+        128,
+        300,
+        65535,
+        -65536,
+        1 << 30,
+        -(1 << 40),
+        i64::MAX,
+    ];
     c.bench_function("vint/encode_decode_10", |b| {
         b.iter(|| {
             let mut buf = Vec::with_capacity(100);
@@ -155,8 +165,10 @@ fn bench_transport_oneway(c: &mut Criterion) {
 }
 
 fn bench_shadow_pool_hit(c: &mut Criterion) {
-    let pool =
-        ShadowPool::new(NativePool::new(SizeClasses::up_to(1 << 20), HeapMem::new), true);
+    let pool = ShadowPool::new(
+        NativePool::new(SizeClasses::up_to(1 << 20), HeapMem::new),
+        true,
+    );
     pool.native().prefill(4);
     pool.record("mapred.TaskUmbilicalProtocol", "statusUpdate", 700);
     c.bench_function("shadow_pool/acquire_release_hit", |b| {

@@ -58,12 +58,18 @@ fn main() {
 
     let mut rows = Vec::new();
     for &payload in payloads {
-        let socket_cfg =
-            BenchConfig { name: "socket", model: model::IPOIB_QDR, rpc: RpcConfig::socket() };
+        let socket_cfg = BenchConfig {
+            name: "socket",
+            model: model::IPOIB_QDR,
+            rpc: RpcConfig::socket(),
+        };
         let (socket_copied, socket_stats) = drive(&socket_cfg, payload, 5, iters);
 
-        let rpcoib_cfg =
-            BenchConfig { name: "rpcoib", model: model::IB_QDR_VERBS, rpc: RpcConfig::rpcoib() };
+        let rpcoib_cfg = BenchConfig {
+            name: "rpcoib",
+            model: model::IB_QDR_VERBS,
+            rpc: RpcConfig::rpcoib(),
+        };
         let (_, rpcoib_stats) = drive(&rpcoib_cfg, payload, 5, iters);
 
         rows.push(vec![

@@ -30,7 +30,10 @@ fn main() {
             let cfg = BenchConfig {
                 name: if use_history { "history" } else { "no-history" },
                 model: model::IB_QDR_VERBS,
-                rpc: RpcConfig { use_size_history: use_history, ..RpcConfig::rpcoib() },
+                rpc: RpcConfig {
+                    use_size_history: use_history,
+                    ..RpcConfig::rpcoib()
+                },
             };
             let env = setup_pingpong(&cfg);
             let fabric = env.fabric.clone();
@@ -95,7 +98,11 @@ fn main() {
         };
         let env = setup_pingpong(&cfg);
         let mut samples = latency_samples(&env, &cfg, payload, warmup, iters);
-        let path = if payload + 32 <= threshold { "send/recv" } else { "RDMA write" };
+        let path = if payload + 32 <= threshold {
+            "send/recv"
+        } else {
+            "RDMA write"
+        };
         rows.push(vec![
             format!("{}K", threshold / 1024),
             path.into(),

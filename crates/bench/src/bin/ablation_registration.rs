@@ -25,7 +25,10 @@ fn main() {
         let cfg = BenchConfig {
             name: "prefill",
             model: model::IB_QDR_VERBS,
-            rpc: RpcConfig { prefill_per_class: prefill, ..RpcConfig::rpcoib() },
+            rpc: RpcConfig {
+                prefill_per_class: prefill,
+                ..RpcConfig::rpcoib()
+            },
         };
         let env = setup_pingpong(&cfg);
         let node = env.fabric.add_node();

@@ -14,8 +14,15 @@ use rpcoib_bench::pingpong::{latency_samples, setup_pingpong, BenchConfig};
 fn main() {
     let scale = BenchScale::from_args();
     let iters = scale.pick(5, 20, 60);
-    let payloads: &[usize] =
-        &[1 << 10, 8 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20, 4 << 20];
+    let payloads: &[usize] = &[
+        1 << 10,
+        8 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+    ];
 
     let configs = [BenchConfig::rpc_1gige(), BenchConfig::rpc_ipoib()];
     let mut ratios = vec![vec![0.0f64; payloads.len()]; configs.len()];

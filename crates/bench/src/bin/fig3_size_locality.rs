@@ -39,8 +39,12 @@ fn main() {
         Duration::from_secs(600),
     )
     .expect("randomwriter");
-    let input: Vec<String> =
-        dfs.list("/rw").expect("list").iter().map(|s| s.path.clone()).collect();
+    let input: Vec<String> = dfs
+        .list("/rw")
+        .expect("list")
+        .iter()
+        .map(|s| s.path.clone())
+        .collect();
     jobs.run(
         &JobConf {
             name: "sort".into(),
@@ -60,19 +64,32 @@ fn main() {
     let mut status_sizes = Vec::new();
     let mut getfileinfo_sizes = Vec::new();
     for tt in mr.tasktrackers() {
-        if let Some(stats) = tt.jt_metrics().get("mapred.InterTrackerProtocol", "heartbeat") {
+        if let Some(stats) = tt
+            .jt_metrics()
+            .get("mapred.InterTrackerProtocol", "heartbeat")
+        {
             heartbeat_sizes.extend(stats.sizes);
         }
-        if let Some(stats) =
-            tt.umbilical_metrics().get("mapred.TaskUmbilicalProtocol", "statusUpdate")
+        if let Some(stats) = tt
+            .umbilical_metrics()
+            .get("mapred.TaskUmbilicalProtocol", "statusUpdate")
         {
             status_sizes.extend(stats.sizes);
         }
-        if let Some(stats) = tt.dfs().rpc().metrics().get("hdfs.ClientProtocol", "getFileInfo") {
+        if let Some(stats) = tt
+            .dfs()
+            .rpc()
+            .metrics()
+            .get("hdfs.ClientProtocol", "getFileInfo")
+        {
             getfileinfo_sizes.extend(stats.sizes);
         }
     }
-    if let Some(stats) = dfs.rpc().metrics().get("hdfs.ClientProtocol", "getFileInfo") {
+    if let Some(stats) = dfs
+        .rpc()
+        .metrics()
+        .get("hdfs.ClientProtocol", "getFileInfo")
+    {
         getfileinfo_sizes.extend(stats.sizes);
     }
 
@@ -99,10 +116,17 @@ fn main() {
         let rows = vec![
             vec!["calls traced".into(), format!("{n}")],
             vec!["size range".into(), format!("{min}B - {max}B")],
-            vec!["same-class consecutive pairs".into(), format!("{locality:.1}%")],
+            vec![
+                "same-class consecutive pairs".into(),
+                format!("{locality:.1}%"),
+            ],
             vec!["first calls (size(class))".into(), sample.join(" ")],
         ];
-        print_table(&format!("Figure 3 trace: {name}"), &["metric", "value"], &rows);
+        print_table(
+            &format!("Figure 3 trace: {name}"),
+            &["metric", "value"],
+            &rows,
+        );
     };
     show("JT_heartbeat", &heartbeat_sizes);
     show("TT_statusUpdate", &status_sizes);

@@ -12,8 +12,12 @@ fn main() {
     let warmup = scale.pick(10, 50, 200);
     let payloads: &[usize] = &[1, 4, 16, 64, 256, 1024, 4096];
 
-    let configs =
-        [BenchConfig::rpc_1gige(), BenchConfig::rpc_10gige(), BenchConfig::rpc_ipoib(), BenchConfig::rpcoib()];
+    let configs = [
+        BenchConfig::rpc_1gige(),
+        BenchConfig::rpc_10gige(),
+        BenchConfig::rpc_ipoib(),
+        BenchConfig::rpcoib(),
+    ];
 
     // medians[config][payload]
     let mut medians = vec![vec![0.0f64; payloads.len()]; configs.len()];
@@ -32,8 +36,14 @@ fn main() {
         for median in &medians {
             row.push(format!("{:.1}", median[pi]));
         }
-        row.push(format!("{:.0}%", improvement_pct(medians[1][pi], medians[3][pi])));
-        row.push(format!("{:.0}%", improvement_pct(medians[2][pi], medians[3][pi])));
+        row.push(format!(
+            "{:.0}%",
+            improvement_pct(medians[1][pi], medians[3][pi])
+        ));
+        row.push(format!(
+            "{:.0}%",
+            improvement_pct(medians[2][pi], medians[3][pi])
+        ));
         row.push(format!("{:.2}x", medians[0][pi] / medians[3][pi]));
         rows.push(row);
     }

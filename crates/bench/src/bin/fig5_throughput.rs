@@ -20,7 +20,11 @@ fn main() {
         _ => vec![1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64],
     };
 
-    let configs = [BenchConfig::rpc_10gige(), BenchConfig::rpc_ipoib(), BenchConfig::rpcoib()];
+    let configs = [
+        BenchConfig::rpc_10gige(),
+        BenchConfig::rpc_ipoib(),
+        BenchConfig::rpcoib(),
+    ];
     let mut results = vec![vec![0.0f64; client_counts.len()]; configs.len()];
     for (ci, cfg) in configs.iter().enumerate() {
         for (ni, &n) in client_counts.iter().enumerate() {

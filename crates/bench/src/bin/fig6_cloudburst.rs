@@ -58,11 +58,16 @@ fn run_cloudburst(cfg: MrConfig, scale: BenchScale) -> CbTimes {
         ],
     };
     let start = Instant::now();
-    jobs.run(&align, Duration::from_secs(1800)).expect("alignment");
+    jobs.run(&align, Duration::from_secs(1800))
+        .expect("alignment");
     let align_secs = start.elapsed().as_secs_f64();
 
-    let filter_input: Vec<String> =
-        dfs.list("/cb-align").expect("list").iter().map(|s| s.path.clone()).collect();
+    let filter_input: Vec<String> = dfs
+        .list("/cb-align")
+        .expect("list")
+        .iter()
+        .map(|s| s.path.clone())
+        .collect();
     let filter = JobConf {
         name: "cb-filter".into(),
         kind: JobKind::CloudburstFilter,
@@ -73,11 +78,15 @@ fn run_cloudburst(cfg: MrConfig, scale: BenchScale) -> CbTimes {
         params: Vec::new(),
     };
     let start = Instant::now();
-    jobs.run(&filter, Duration::from_secs(1800)).expect("filtering");
+    jobs.run(&filter, Duration::from_secs(1800))
+        .expect("filtering");
     let filter_secs = start.elapsed().as_secs_f64();
 
     mr.stop();
-    CbTimes { align: align_secs, filter: filter_secs }
+    CbTimes {
+        align: align_secs,
+        filter: filter_secs,
+    }
 }
 
 fn main() {

@@ -32,16 +32,24 @@ fn run_jobs(cfg: MrConfig, workers: usize, maps: u32, bytes_per_map: u64) -> Run
         n_reduces: 0,
         n_maps: maps,
         params: vec![
-            (randomwriter::BYTES_PER_MAP.into(), bytes_per_map.to_string()),
+            (
+                randomwriter::BYTES_PER_MAP.into(),
+                bytes_per_map.to_string(),
+            ),
             (randomwriter::SEED.into(), "7".into()),
         ],
     };
     let start = Instant::now();
-    jobs.run(&rw, Duration::from_secs(1800)).expect("randomwriter");
+    jobs.run(&rw, Duration::from_secs(1800))
+        .expect("randomwriter");
     let rw_secs = start.elapsed().as_secs_f64();
 
-    let input: Vec<String> =
-        dfs.list("/rw").expect("list").iter().map(|s| s.path.clone()).collect();
+    let input: Vec<String> = dfs
+        .list("/rw")
+        .expect("list")
+        .iter()
+        .map(|s| s.path.clone())
+        .collect();
     let sort = JobConf {
         name: "sort".into(),
         kind: JobKind::Sort,
@@ -66,7 +74,11 @@ fn main() {
     let data_sizes: Vec<(&str, u64)> = match scale {
         BenchScale::Quick => vec![("32GB*", 2 << 20), ("64GB*", 4 << 20)],
         BenchScale::Normal => vec![("32GB*", 4 << 20), ("64GB*", 8 << 20), ("128GB*", 16 << 20)],
-        BenchScale::Full => vec![("32GB*", 64 << 20), ("64GB*", 128 << 20), ("128GB*", 256 << 20)],
+        BenchScale::Full => vec![
+            ("32GB*", 64 << 20),
+            ("64GB*", 128 << 20),
+            ("128GB*", 256 << 20),
+        ],
     };
 
     let mut cfg_ipoib = MrConfig::socket();

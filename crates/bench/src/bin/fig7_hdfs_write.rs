@@ -24,20 +24,52 @@ struct Config7 {
 fn configs() -> Vec<Config7> {
     let base = |rpc_ib: bool, data_ib: bool| -> HdfsConfig {
         HdfsConfig {
-            rpc: if rpc_ib { RpcConfig::rpcoib() } else { RpcConfig::socket() },
+            rpc: if rpc_ib {
+                RpcConfig::rpcoib()
+            } else {
+                RpcConfig::socket()
+            },
             data_rdma: data_ib,
             block_size: 1 << 20,
             ..HdfsConfig::default()
         }
     };
     vec![
-        Config7 { name: "HDFS(1GigE)-RPC(1GigE)", eth: model::GIG_E, hdfs: base(false, false) },
-        Config7 { name: "HDFS(1GigE)-RPCoIB", eth: model::GIG_E, hdfs: base(true, false) },
-        Config7 { name: "HDFS(IPoIB)-RPC(IPoIB)", eth: model::IPOIB_QDR, hdfs: base(false, false) },
-        Config7 { name: "HDFS(IPoIB)-RPCoIB", eth: model::IPOIB_QDR, hdfs: base(true, false) },
-        Config7 { name: "HDFSoIB-RPC(1GigE)", eth: model::GIG_E, hdfs: base(false, true) },
-        Config7 { name: "HDFSoIB-RPC(IPoIB)", eth: model::IPOIB_QDR, hdfs: base(false, true) },
-        Config7 { name: "HDFSoIB-RPCoIB", eth: model::IPOIB_QDR, hdfs: base(true, true) },
+        Config7 {
+            name: "HDFS(1GigE)-RPC(1GigE)",
+            eth: model::GIG_E,
+            hdfs: base(false, false),
+        },
+        Config7 {
+            name: "HDFS(1GigE)-RPCoIB",
+            eth: model::GIG_E,
+            hdfs: base(true, false),
+        },
+        Config7 {
+            name: "HDFS(IPoIB)-RPC(IPoIB)",
+            eth: model::IPOIB_QDR,
+            hdfs: base(false, false),
+        },
+        Config7 {
+            name: "HDFS(IPoIB)-RPCoIB",
+            eth: model::IPOIB_QDR,
+            hdfs: base(true, false),
+        },
+        Config7 {
+            name: "HDFSoIB-RPC(1GigE)",
+            eth: model::GIG_E,
+            hdfs: base(false, true),
+        },
+        Config7 {
+            name: "HDFSoIB-RPC(IPoIB)",
+            eth: model::IPOIB_QDR,
+            hdfs: base(false, true),
+        },
+        Config7 {
+            name: "HDFSoIB-RPCoIB",
+            eth: model::IPOIB_QDR,
+            hdfs: base(true, true),
+        },
     ]
 }
 
@@ -51,10 +83,7 @@ fn main() {
     let mut payload = vec![0u8; 5 * gb_unit];
     rng.fill_bytes(&mut payload);
 
-    let mut rows: Vec<Vec<String>> = sizes
-        .iter()
-        .map(|s| vec![format!("{s} GB*")])
-        .collect();
+    let mut rows: Vec<Vec<String>> = sizes.iter().map(|s| vec![format!("{s} GB*")]).collect();
 
     let reps = scale.pick(2, 3, 5);
     let mut header: Vec<String> = vec!["File size".into()];
@@ -64,13 +93,17 @@ fn main() {
         let dfs = MiniDfs::start(cfg.eth, datanodes, cfg.hdfs.clone()).expect("cluster");
         let client = dfs.client().expect("client");
         // Warm the data-plane connection pools before timing.
-        client.write_file("/warmup", &payload[..gb_unit / 4]).expect("warmup write");
+        client
+            .write_file("/warmup", &payload[..gb_unit / 4])
+            .expect("warmup write");
         for (i, s) in sizes.iter().enumerate() {
             let data = &payload[..s * gb_unit];
             let mut samples: Vec<f64> = (0..reps)
                 .map(|r| {
                     let start = Instant::now();
-                    client.write_file(&format!("/bench-{s}-{r}"), data).expect("write");
+                    client
+                        .write_file(&format!("/bench-{s}-{r}"), data)
+                        .expect("write");
                     start.elapsed().as_secs_f64()
                 })
                 .collect();

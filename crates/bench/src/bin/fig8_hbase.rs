@@ -27,7 +27,11 @@ fn configs() -> Vec<Config8> {
     let base = |ops_ib: bool, rpc_ib: bool| -> HBaseConfig {
         let mut cfg = HBaseConfig {
             ops_rdma: ops_ib,
-            rpc: if rpc_ib { RpcConfig::rpcoib() } else { RpcConfig::socket() },
+            rpc: if rpc_ib {
+                RpcConfig::rpcoib()
+            } else {
+                RpcConfig::socket()
+            },
             memstore_flush_bytes: 64 * 1024,
             wal_roll_bytes: 32 * 1024,
             ..HBaseConfig::default()
@@ -36,11 +40,31 @@ fn configs() -> Vec<Config8> {
         cfg
     };
     vec![
-        Config8 { name: "HBase(1GigE)-RPC(1GigE)", eth: model::GIG_E, hbase: base(false, false) },
-        Config8 { name: "HBaseoIB-RPC(1GigE)", eth: model::GIG_E, hbase: base(true, false) },
-        Config8 { name: "HBase(IPoIB)-RPC(IPoIB)", eth: model::IPOIB_QDR, hbase: base(false, false) },
-        Config8 { name: "HBaseoIB-RPC(IPoIB)", eth: model::IPOIB_QDR, hbase: base(true, false) },
-        Config8 { name: "HBaseoIB-RPCoIB", eth: model::IPOIB_QDR, hbase: base(true, true) },
+        Config8 {
+            name: "HBase(1GigE)-RPC(1GigE)",
+            eth: model::GIG_E,
+            hbase: base(false, false),
+        },
+        Config8 {
+            name: "HBaseoIB-RPC(1GigE)",
+            eth: model::GIG_E,
+            hbase: base(true, false),
+        },
+        Config8 {
+            name: "HBase(IPoIB)-RPC(IPoIB)",
+            eth: model::IPOIB_QDR,
+            hbase: base(false, false),
+        },
+        Config8 {
+            name: "HBaseoIB-RPC(IPoIB)",
+            eth: model::IPOIB_QDR,
+            hbase: base(true, false),
+        },
+        Config8 {
+            name: "HBaseoIB-RPCoIB",
+            eth: model::IPOIB_QDR,
+            hbase: base(true, true),
+        },
     ]
 }
 
@@ -62,14 +86,19 @@ fn run_one(cfg: &Config8, servers: usize, clients: usize, workload: &Workload) -
             wl.operation_count = ops_per_client;
             wl.seed = workload.seed.wrapping_add(c as u64 * 31);
             std::thread::spawn(move || {
-                let client = hbase.client_on(Host(2 + c % (hbase.regionservers().len()))).expect("client");
+                let client = hbase
+                    .client_on(Host(2 + c % (hbase.regionservers().len())))
+                    .expect("client");
                 let report = ycsb::run(&client, &wl).expect("run");
                 client.shutdown();
                 report
             })
         })
         .collect();
-    let reports: Vec<_> = threads.into_iter().map(|t| t.join().expect("client thread")).collect();
+    let reports: Vec<_> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
     // Aggregate throughput: total ops / wall time of the slowest client.
     let total_ops: usize = reports.iter().map(|r| r.operations).sum();
     let wall = reports.iter().map(|r| r.elapsed).max().unwrap();

@@ -37,13 +37,20 @@ fn main() {
             output: "/rw".into(),
             n_reduces: 0,
             n_maps: maps,
-            params: vec![(randomwriter::BYTES_PER_MAP.into(), bytes_per_map.to_string())],
+            params: vec![(
+                randomwriter::BYTES_PER_MAP.into(),
+                bytes_per_map.to_string(),
+            )],
         },
         Duration::from_secs(600),
     )
     .expect("randomwriter");
-    let input: Vec<String> =
-        dfs.list("/rw").expect("list").iter().map(|s| s.path.clone()).collect();
+    let input: Vec<String> = dfs
+        .list("/rw")
+        .expect("list")
+        .iter()
+        .map(|s| s.path.clone())
+        .collect();
     jobs.run(
         &JobConf {
             name: "sort".into(),

@@ -55,22 +55,38 @@ pub struct BenchConfig {
 impl BenchConfig {
     /// Default Hadoop RPC over 10GigE.
     pub fn rpc_10gige() -> Self {
-        BenchConfig { name: "RPC-10GigE", model: model::TEN_GIG_E, rpc: RpcConfig::socket() }
+        BenchConfig {
+            name: "RPC-10GigE",
+            model: model::TEN_GIG_E,
+            rpc: RpcConfig::socket(),
+        }
     }
 
     /// Default Hadoop RPC over IPoIB QDR.
     pub fn rpc_ipoib() -> Self {
-        BenchConfig { name: "RPC-IPoIB (32Gbps)", model: model::IPOIB_QDR, rpc: RpcConfig::socket() }
+        BenchConfig {
+            name: "RPC-IPoIB (32Gbps)",
+            model: model::IPOIB_QDR,
+            rpc: RpcConfig::socket(),
+        }
     }
 
     /// Default Hadoop RPC over 1GigE (the slow-network reference).
     pub fn rpc_1gige() -> Self {
-        BenchConfig { name: "RPC-1GigE", model: model::GIG_E, rpc: RpcConfig::socket() }
+        BenchConfig {
+            name: "RPC-1GigE",
+            model: model::GIG_E,
+            rpc: RpcConfig::socket(),
+        }
     }
 
     /// RPCoIB over QDR verbs.
     pub fn rpcoib() -> Self {
-        BenchConfig { name: "RPCoIB (32Gbps)", model: model::IB_QDR_VERBS, rpc: RpcConfig::rpcoib() }
+        BenchConfig {
+            name: "RPCoIB (32Gbps)",
+            model: model::IB_QDR_VERBS,
+            rpc: RpcConfig::rpcoib(),
+        }
     }
 }
 
@@ -90,7 +106,11 @@ pub fn setup_pingpong(cfg: &BenchConfig) -> PingPongEnv {
     let server = Server::start(&fabric, node, 9999, cfg.rpc.clone(), registry)
         .expect("start pingpong server");
     let addr = server.addr();
-    PingPongEnv { fabric, server, addr }
+    PingPongEnv {
+        fabric,
+        server,
+        addr,
+    }
 }
 
 /// One latency client issuing `iters` ping-pongs of `payload` bytes after

@@ -20,12 +20,18 @@ pub struct SizeClasses {
 impl SizeClasses {
     /// Ladder from 128 B up to (at least) `max_bytes`.
     pub fn up_to(max_bytes: usize) -> SizeClasses {
-        SizeClasses { count: class_for(max_bytes) + 1 }
+        SizeClasses {
+            count: class_for(max_bytes) + 1,
+        }
     }
 
     /// Capacity of class `idx`.
     pub fn capacity(&self, idx: usize) -> usize {
-        assert!(idx < self.count, "class {idx} out of range ({} classes)", self.count);
+        assert!(
+            idx < self.count,
+            "class {idx} out of range ({} classes)",
+            self.count
+        );
         class_capacity(idx)
     }
 
@@ -90,7 +96,10 @@ mod tests {
         let ladder = SizeClasses::default();
         assert_eq!(ladder.max_capacity(), DEFAULT_MAX_CLASS_BYTES);
         assert_eq!(ladder.class_of(130), Some(1));
-        assert_eq!(ladder.class_of(DEFAULT_MAX_CLASS_BYTES), Some(ladder.count - 1));
+        assert_eq!(
+            ladder.class_of(DEFAULT_MAX_CLASS_BYTES),
+            Some(ladder.count - 1)
+        );
         assert_eq!(ladder.class_of(DEFAULT_MAX_CLASS_BYTES + 1), None);
         let small = SizeClasses::up_to(1024);
         assert_eq!(small.count, 4); // 128, 256, 512, 1024

@@ -52,7 +52,9 @@ pub struct NativePool<M: PoolMem> {
 
 impl<M: PoolMem> Clone for NativePool<M> {
     fn clone(&self) -> Self {
-        NativePool { inner: Arc::clone(&self.inner) }
+        NativePool {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -117,7 +119,11 @@ impl<M: PoolMem> NativePool<M> {
                 (self.inner.factory)(cap)
             }
         };
-        PooledBuf { mem: Some(mem), class: Some(idx), pool: Arc::clone(&self.inner) }
+        PooledBuf {
+            mem: Some(mem),
+            class: Some(idx),
+            pool: Arc::clone(&self.inner),
+        }
     }
 
     /// Acquire a buffer of at least `size` bytes: via the ladder when it
@@ -144,7 +150,9 @@ impl<M: PoolMem> NativePool<M> {
 
 impl<M: PoolMem> std::fmt::Debug for NativePool<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NativePool").field("classes", &self.inner.classes.count).finish()
+        f.debug_struct("NativePool")
+            .field("classes", &self.inner.classes.count)
+            .finish()
     }
 }
 
@@ -158,12 +166,16 @@ pub struct PooledBuf<M: PoolMem> {
 impl<M: PoolMem> PooledBuf<M> {
     /// The backing memory.
     pub fn mem(&self) -> &M {
-        self.mem.as_ref().expect("pooled buffer accessed after drop")
+        self.mem
+            .as_ref()
+            .expect("pooled buffer accessed after drop")
     }
 
     /// Mutable access to the backing memory.
     pub fn mem_mut(&mut self) -> &mut M {
-        self.mem.as_mut().expect("pooled buffer accessed after drop")
+        self.mem
+            .as_mut()
+            .expect("pooled buffer accessed after drop")
     }
 
     /// Capacity of the checked-out buffer.

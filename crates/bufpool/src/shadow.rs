@@ -58,7 +58,9 @@ pub struct ShadowPool<M: PoolMem> {
 
 impl<M: PoolMem> Clone for ShadowPool<M> {
     fn clone(&self) -> Self {
-        ShadowPool { inner: Arc::clone(&self.inner) }
+        ShadowPool {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -87,7 +89,10 @@ impl<M: PoolMem> ShadowPool<M> {
     pub fn acquire(&self, protocol: &str, method: &str) -> PooledBuf<M> {
         let class = if self.inner.use_history {
             let history = self.inner.history.lock();
-            history.get(protocol).and_then(|methods| methods.get(method)).copied()
+            history
+                .get(protocol)
+                .and_then(|methods| methods.get(method))
+                .copied()
         } else {
             None
         };
@@ -135,7 +140,10 @@ impl<M: PoolMem> ShadowPool<M> {
             Some(existing) => {
                 match class.cmp(existing) {
                     std::cmp::Ordering::Equal => {
-                        self.inner.stats.history_hits.fetch_add(1, Ordering::Relaxed);
+                        self.inner
+                            .stats
+                            .history_hits
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                     std::cmp::Ordering::Less => {
                         self.inner.stats.shrinks.fetch_add(1, Ordering::Relaxed);
@@ -152,7 +160,12 @@ impl<M: PoolMem> ShadowPool<M> {
 
     /// The class currently recorded for a call kind.
     pub fn recorded_class(&self, protocol: &str, method: &str) -> Option<usize> {
-        self.inner.history.lock().get(protocol).and_then(|m| m.get(method)).copied()
+        self.inner
+            .history
+            .lock()
+            .get(protocol)
+            .and_then(|m| m.get(method))
+            .copied()
     }
 
     /// History effectiveness counters.
@@ -177,7 +190,10 @@ mod tests {
     use crate::mem::HeapMem;
 
     fn pool(use_history: bool) -> ShadowPool<HeapMem> {
-        ShadowPool::new(NativePool::new(SizeClasses::up_to(8192), HeapMem::new), use_history)
+        ShadowPool::new(
+            NativePool::new(SizeClasses::up_to(8192), HeapMem::new),
+            use_history,
+        )
     }
 
     #[test]
@@ -255,7 +271,10 @@ mod tests {
         p.record("TaskUmbilicalProtocol", "ping", 100);
         p.record("TaskUmbilicalProtocol", "statusUpdate", 2000);
         assert_eq!(p.recorded_class("TaskUmbilicalProtocol", "ping"), Some(0));
-        assert_eq!(p.recorded_class("TaskUmbilicalProtocol", "statusUpdate"), Some(4));
+        assert_eq!(
+            p.recorded_class("TaskUmbilicalProtocol", "statusUpdate"),
+            Some(4)
+        );
         assert_eq!(p.recorded_class("OtherProtocol", "ping"), None);
     }
 }

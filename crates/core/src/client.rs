@@ -6,10 +6,10 @@
 //! call id in the pending table, and park until the Connection thread —
 //! which owns the receive side — routes the response back.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
@@ -34,6 +34,7 @@ struct PendingCall {
 
 struct ClientConnection {
     conn: Arc<dyn Conn>,
+    server: SimAddr,
     pending: Mutex<HashMap<i32, PendingCall>>,
     broken: AtomicBool,
 }
@@ -61,6 +62,29 @@ struct ClientInner {
     next_call: AtomicI32,
     metrics: MetricsRegistry,
     stopped: AtomicBool,
+    /// Servers this client has connected to at least once; a later
+    /// establishment to one of them is a *re*connect (counted).
+    ever_connected: Mutex<HashSet<SimAddr>>,
+}
+
+impl ClientInner {
+    /// Drop `connection` from the cache — but only if it is still the
+    /// cached entry. A concurrent caller may already have replaced it
+    /// with a fresh, healthy connection that must not be torn down.
+    fn forget_connection(&self, connection: &Arc<ClientConnection>) {
+        let mut conns = self.conns.lock();
+        if let Some(current) = conns.get(&connection.server) {
+            if Arc::ptr_eq(current, connection) {
+                conns.remove(&connection.server);
+            }
+        }
+    }
+
+    /// Mark `connection` unusable and evict it from the cache.
+    fn invalidate(&self, connection: &Arc<ClientConnection>) {
+        connection.broken.store(true, Ordering::Release);
+        self.forget_connection(connection);
+    }
 }
 
 impl Drop for ClientInner {
@@ -87,7 +111,11 @@ impl Client {
     /// pre-registers the buffer pool.
     pub fn new(fabric: &Fabric, node: NodeId, cfg: RpcConfig) -> RpcResult<Client> {
         cfg.validate().map_err(RpcError::Config)?;
-        let ib = if cfg.ib_enabled { Some(IbContext::new(fabric, node, &cfg)?) } else { None };
+        let ib = if cfg.ib_enabled {
+            Some(IbContext::new(fabric, node, &cfg)?)
+        } else {
+            None
+        };
         let trace = cfg.trace_sizes;
         Ok(Client {
             inner: Arc::new(ClientInner {
@@ -100,6 +128,7 @@ impl Client {
                 next_call: AtomicI32::new(1),
                 metrics: MetricsRegistry::new(trace),
                 stopped: AtomicBool::new(false),
+                ever_connected: Mutex::new(HashSet::new()),
             }),
         })
     }
@@ -139,22 +168,41 @@ impl Client {
         Resp: Writable + Default,
     {
         let payload = self.call_raw(server, protocol, method, request)?;
-        let mut reader = payload.reader();
-        let header =
-            read_response_header(&mut reader).map_err(|e| RpcError::Protocol(e.to_string()))?;
-        if header.ok {
-            let mut resp = Resp::default();
-            resp.read_fields(&mut reader).map_err(|e| RpcError::Protocol(e.to_string()))?;
-            Ok(resp)
-        } else {
-            let mut message = String::new();
-            message.read_fields(&mut reader).map_err(|e| RpcError::Protocol(e.to_string()))?;
-            Err(RpcError::Remote(message))
+        let result = (|| {
+            let mut reader = payload.reader();
+            let header =
+                read_response_header(&mut reader).map_err(|e| RpcError::Protocol(e.to_string()))?;
+            if header.ok {
+                let mut resp = Resp::default();
+                resp.read_fields(&mut reader)
+                    .map_err(|e| RpcError::Protocol(e.to_string()))?;
+                Ok(resp)
+            } else {
+                let mut message = String::new();
+                message
+                    .read_fields(&mut reader)
+                    .map_err(|e| RpcError::Protocol(e.to_string()))?;
+                Err(RpcError::Remote(message))
+            }
+        })();
+        if result.is_err() {
+            // A remote exception (or unparseable response) is as
+            // definitive a failure as exhausted retries: count it.
+            self.inner.metrics.inc_failed_calls();
         }
+        result
     }
 
     /// Like [`Client::call`] but returns the raw response payload
     /// (header included), for callers that parse responses themselves.
+    ///
+    /// Drives the configured [`crate::RetryPolicy`]: each attempt gets at
+    /// most `call_timeout` (capped by the remaining overall deadline, if
+    /// one is set); retryable failures re-attempt after a jittered
+    /// backoff, re-establishing the connection when the previous attempt
+    /// broke it. Non-retryable errors, exhausted attempts, and an
+    /// exhausted deadline fail the call (counted in
+    /// [`MetricsRegistry::counters`]).
     pub fn call_raw<Req>(
         &self,
         server: SimAddr,
@@ -165,15 +213,46 @@ impl Client {
     where
         Req: Writable,
     {
-        // One transparent retry on a stale cached connection (the server
-        // may have restarted since we last talked to it).
-        match self.try_call(server, protocol, method, request) {
-            Err(RpcError::ConnectionClosed) => {
-                self.inner.conns.lock().remove(&server);
-                self.try_call(server, protocol, method, request)
+        let policy = self.inner.cfg.retry.clone();
+        let start = Instant::now();
+        // Decorrelates this call's backoff jitter from concurrent calls'.
+        let entropy = self.inner.next_call.load(Ordering::Relaxed) as u64;
+        let mut attempt = 0u32;
+        let err = loop {
+            attempt += 1;
+            let mut attempt_timeout = self.inner.cfg.call_timeout;
+            if let Some(deadline) = policy.deadline {
+                let remaining = deadline.saturating_sub(start.elapsed());
+                if remaining.is_zero() {
+                    break RpcError::Timeout;
+                }
+                attempt_timeout = attempt_timeout.min(remaining);
             }
-            other => other,
-        }
+            match self.try_call(server, protocol, method, request, attempt_timeout) {
+                Ok(payload) => return Ok(payload),
+                Err(e) => {
+                    let exhausted = attempt >= policy.max_attempts
+                        || self.inner.stopped.load(Ordering::Acquire);
+                    if !e.is_retryable() || exhausted {
+                        break e;
+                    }
+                    let mut pause = policy.backoff(attempt, entropy);
+                    if let Some(deadline) = policy.deadline {
+                        let remaining = deadline.saturating_sub(start.elapsed());
+                        if remaining.is_zero() {
+                            break e;
+                        }
+                        pause = pause.min(remaining);
+                    }
+                    self.inner.metrics.inc_retries();
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            }
+        };
+        self.inner.metrics.inc_failed_calls();
+        Err(err)
     }
 
     fn try_call<Req>(
@@ -182,6 +261,7 @@ impl Client {
         protocol: &str,
         method: &str,
         request: &Req,
+        attempt_timeout: Duration,
     ) -> RpcResult<Payload>
     where
         Req: Writable,
@@ -194,7 +274,11 @@ impl Client {
         let (tx, rx) = bounded(1);
         connection.pending.lock().insert(
             call_id,
-            PendingCall { tx, protocol: protocol.to_owned(), method: method.to_owned() },
+            PendingCall {
+                tx,
+                protocol: protocol.to_owned(),
+                method: method.to_owned(),
+            },
         );
 
         let profile = match connection.conn.send_msg(protocol, method, &mut |out| {
@@ -203,8 +287,9 @@ impl Client {
             Ok(p) => p,
             Err(e) => {
                 connection.pending.lock().remove(&call_id);
-                if matches!(e, RpcError::ConnectionClosed) {
-                    connection.fail_all(RpcError::ConnectionClosed);
+                if e.invalidates_connection() {
+                    self.inner.invalidate(&connection);
+                    connection.fail_all(e.clone());
                 }
                 return Err(e);
             }
@@ -220,9 +305,20 @@ impl Client {
             },
         );
 
-        match rx.recv_timeout(self.inner.cfg.call_timeout) {
-            Ok(result) => result,
+        match rx.recv_timeout(attempt_timeout) {
+            Ok(Ok(payload)) => Ok(payload),
+            Ok(Err(e)) => {
+                // Delivered by the Connection thread's fail_all: the
+                // connection itself is gone; make sure it is also evicted
+                // before a retry reconnects.
+                if e.invalidates_connection() {
+                    self.inner.invalidate(&connection);
+                }
+                Err(e)
+            }
             Err(_) => {
+                // No response in time. The connection may be fine (slow
+                // server), so it stays cached; only this call gives up.
                 connection.pending.lock().remove(&call_id);
                 Err(RpcError::Timeout)
             }
@@ -257,10 +353,18 @@ impl Client {
         };
         let connection = Arc::new(ClientConnection {
             conn,
+            server,
             pending: Mutex::new(HashMap::new()),
             broken: AtomicBool::new(false),
         });
-        self.inner.conns.lock().insert(server, Arc::clone(&connection));
+        if !self.inner.ever_connected.lock().insert(server) {
+            // Not this client's first connection to `server`: a recovery.
+            self.inner.metrics.inc_reconnects();
+        }
+        self.inner
+            .conns
+            .lock()
+            .insert(server, Arc::clone(&connection));
 
         // The Connection thread: owns the receive side for this server.
         // It holds only a Weak reference to the client, so dropping the
@@ -305,9 +409,8 @@ fn connection_loop(inner: std::sync::Weak<ClientInner>, connection: Arc<ClientCo
             connection.fail_all(RpcError::ConnectionClosed);
             return;
         };
-        if inner.stopped.load(Ordering::Acquire)
-            || connection.broken.load(Ordering::Acquire)
-        {
+        if inner.stopped.load(Ordering::Acquire) || connection.broken.load(Ordering::Acquire) {
+            inner.forget_connection(&connection);
             connection.fail_all(RpcError::ConnectionClosed);
             return;
         }
@@ -315,6 +418,10 @@ fn connection_loop(inner: std::sync::Weak<ClientInner>, connection: Arc<ClientCo
             Ok(v) => v,
             Err(RpcError::Timeout) => continue,
             Err(e) => {
+                // Evict before failing the waiters, so a retrying caller
+                // that wakes on fail_all finds the cache already clean
+                // and reconnects instead of reusing this dead entry.
+                inner.invalidate(&connection);
                 connection.fail_all(e);
                 return;
             }
@@ -322,6 +429,8 @@ fn connection_loop(inner: std::sync::Weak<ClientInner>, connection: Arc<ClientCo
         let header = match read_response_header(&mut payload.reader()) {
             Ok(h) => h,
             Err(_) => {
+                inner.invalidate(&connection);
+                connection.conn.close();
                 connection.fail_all(RpcError::Protocol("corrupt response frame".into()));
                 return;
             }
@@ -331,7 +440,11 @@ fn connection_loop(inner: std::sync::Weak<ClientInner>, connection: Arc<ClientCo
             inner.metrics.record_recv(
                 &call.protocol,
                 &call.method,
-                MetricsRecv { alloc_ns: recv.alloc_ns, total_ns: recv.total_ns, size: recv.size },
+                MetricsRecv {
+                    alloc_ns: recv.alloc_ns,
+                    total_ns: recv.total_ns,
+                    size: recv.size,
+                },
             );
             let _ = call.tx.send(Ok(payload));
         }

@@ -7,6 +7,8 @@
 
 use std::time::Duration;
 
+use crate::retry::RetryPolicy;
+
 /// Configuration shared by [`crate::Client`] and [`crate::Server`].
 #[derive(Debug, Clone)]
 pub struct RpcConfig {
@@ -20,8 +22,14 @@ pub struct RpcConfig {
     pub handlers: usize,
     /// Bound of the server call queue between Readers and Handlers.
     pub call_queue_len: usize,
-    /// Client-side wait for a response before failing the call.
+    /// Client-side wait for a response before failing one attempt. When
+    /// `retry.deadline` is set, each attempt waits at most the remaining
+    /// deadline budget, whichever is smaller.
     pub call_timeout: Duration,
+    /// Client-side retry schedule (attempts, backoff, overall deadline).
+    /// The default performs one transparent immediate retry — enough to
+    /// heal a cached connection to a restarted server.
+    pub retry: RetryPolicy,
     /// Whether the shadow pool uses `<protocol, method>` size history
     /// (disabled only by the ablation).
     pub use_size_history: bool,
@@ -52,6 +60,7 @@ impl Default for RpcConfig {
             handlers: 8,
             call_queue_len: 4096,
             call_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
             use_size_history: true,
             prefill_per_class: 4,
             recv_buf_bytes: 64 * 1024,
@@ -71,7 +80,10 @@ impl RpcConfig {
 
     /// RPCoIB configuration (requires an RDMA-capable fabric model).
     pub fn rpcoib() -> Self {
-        RpcConfig { ib_enabled: true, ..RpcConfig::default() }
+        RpcConfig {
+            ib_enabled: true,
+            ..RpcConfig::default()
+        }
     }
 
     /// Validate internal consistency; called by client/server construction.
@@ -79,6 +91,7 @@ impl RpcConfig {
         if self.handlers == 0 {
             return Err("handlers must be >= 1".into());
         }
+        self.retry.validate()?;
         if self.ib_enabled {
             if self.rdma_threshold > self.recv_buf_bytes {
                 return Err(format!(
@@ -110,16 +123,37 @@ mod tests {
 
     #[test]
     fn bad_threshold_is_rejected() {
-        let cfg = RpcConfig { rdma_threshold: 1 << 20, ..RpcConfig::rpcoib() };
+        let cfg = RpcConfig {
+            rdma_threshold: 1 << 20,
+            ..RpcConfig::rpcoib()
+        };
         assert!(cfg.validate().is_err());
         // Irrelevant for socket mode.
-        let cfg = RpcConfig { rdma_threshold: 1 << 20, ..RpcConfig::socket() };
+        let cfg = RpcConfig {
+            rdma_threshold: 1 << 20,
+            ..RpcConfig::socket()
+        };
         assert!(cfg.validate().is_ok());
     }
 
     #[test]
     fn zero_handlers_rejected() {
-        let cfg = RpcConfig { handlers: 0, ..RpcConfig::default() };
+        let cfg = RpcConfig {
+            handlers: 0,
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn bad_retry_policy_rejected() {
+        let cfg = RpcConfig {
+            retry: RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            ..RpcConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

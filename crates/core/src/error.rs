@@ -23,6 +23,48 @@ pub enum RpcError {
     Config(String),
 }
 
+impl RpcError {
+    /// Whether a fresh attempt of the same call could plausibly succeed.
+    ///
+    /// Drives the client's [`crate::RetryPolicy`] loop. Retryable errors
+    /// are transient transport conditions — the peer may come back, a
+    /// reconnect may land on a healthy server. Non-retryable errors are
+    /// deterministic: the server answered (and said no), the request
+    /// itself is malformed, or the setup is wrong; repeating those only
+    /// burns the deadline.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            RpcError::Timeout | RpcError::ConnectionClosed | RpcError::Io(_) => true,
+            RpcError::Verbs(e) => match e {
+                // Transient fabric states.
+                VerbsError::PeerDown
+                | VerbsError::NotConnected
+                | VerbsError::ReceiverNotReady
+                | VerbsError::Timeout => true,
+                // Deterministic local/remote misconfiguration.
+                VerbsError::RecvBufferTooSmall { .. }
+                | VerbsError::OutOfBounds { .. }
+                | VerbsError::BadRemoteKey => false,
+            },
+            RpcError::Remote(_)
+            | RpcError::UnknownProtocol(_)
+            | RpcError::Protocol(_)
+            | RpcError::Config(_) => false,
+        }
+    }
+
+    /// Whether this error means the connection it traveled on is unusable
+    /// and must be dropped from the client's cache before a retry.
+    /// `Timeout` notably does NOT: the server may simply be slow, and
+    /// tearing down an RPCoIB connection discards its registered buffers.
+    pub fn invalidates_connection(&self) -> bool {
+        matches!(
+            self,
+            RpcError::ConnectionClosed | RpcError::Io(_) | RpcError::Verbs(_)
+        )
+    }
+}
+
 impl std::fmt::Display for RpcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -96,7 +96,10 @@ pub enum Payload {
     /// Freshly allocated heap buffer (socket baseline).
     Owned(Vec<u8>),
     /// A pooled registered buffer holding `len` valid bytes.
-    Pooled { buf: PooledBuf<MemoryRegion>, len: usize },
+    Pooled {
+        buf: PooledBuf<MemoryRegion>,
+        len: usize,
+    },
 }
 
 impl Payload {
@@ -212,8 +215,14 @@ mod tests {
     #[test]
     fn request_roundtrip() {
         let mut buf: Vec<u8> = Vec::new();
-        write_request(&mut buf, 17, "hdfs.ClientProtocol", "getFileInfo", &Text::from("/a/b"))
-            .unwrap();
+        write_request(
+            &mut buf,
+            17,
+            "hdfs.ClientProtocol",
+            "getFileInfo",
+            &Text::from("/a/b"),
+        )
+        .unwrap();
         let mut input = buf.as_slice();
         let header = read_request_header(&mut input).unwrap();
         assert_eq!(header.call_id, 17);

@@ -65,6 +65,7 @@ pub mod config;
 pub mod error;
 pub mod frame;
 pub mod metrics;
+pub mod retry;
 pub mod server;
 pub mod service;
 pub mod stream;
@@ -74,7 +75,8 @@ pub use client::Client;
 pub use config::RpcConfig;
 pub use error::{RpcError, RpcResult};
 pub use frame::Payload;
-pub use metrics::{CallProfile, MethodStats, MetricsRegistry, RecvProfile};
+pub use metrics::{CallProfile, EngineCounters, MethodStats, MetricsRegistry, RecvProfile};
+pub use retry::RetryPolicy;
 pub use server::Server;
 pub use service::{RpcService, ServiceRegistry};
 pub use stream::{RdmaInputStream, RdmaOutputStream, RegionReader};

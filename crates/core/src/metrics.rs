@@ -7,6 +7,7 @@
 //! call in sequence. This module collects all of those.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -55,19 +56,39 @@ pub struct MethodStats {
 
 impl MethodStats {
     pub fn avg_adjustments(&self) -> f64 {
-        if self.calls == 0 { 0.0 } else { self.adjustments as f64 / self.calls as f64 }
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.adjustments as f64 / self.calls as f64
+        }
     }
     pub fn avg_serialize_us(&self) -> f64 {
-        if self.calls == 0 { 0.0 } else { self.serialize_ns as f64 / self.calls as f64 / 1e3 }
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.serialize_ns as f64 / self.calls as f64 / 1e3
+        }
     }
     pub fn avg_send_us(&self) -> f64 {
-        if self.calls == 0 { 0.0 } else { self.send_ns as f64 / self.calls as f64 / 1e3 }
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.send_ns as f64 / self.calls as f64 / 1e3
+        }
     }
     pub fn avg_recv_alloc_us(&self) -> f64 {
-        if self.recvs == 0 { 0.0 } else { self.recv_alloc_ns as f64 / self.recvs as f64 / 1e3 }
+        if self.recvs == 0 {
+            0.0
+        } else {
+            self.recv_alloc_ns as f64 / self.recvs as f64 / 1e3
+        }
     }
     pub fn avg_recv_total_us(&self) -> f64 {
-        if self.recvs == 0 { 0.0 } else { self.recv_total_ns as f64 / self.recvs as f64 / 1e3 }
+        if self.recvs == 0 {
+            0.0
+        } else {
+            self.recv_total_ns as f64 / self.recvs as f64 / 1e3
+        }
     }
     /// Figure 1's y-axis: allocation time / total receive time.
     pub fn alloc_ratio(&self) -> f64 {
@@ -77,6 +98,29 @@ impl MethodStats {
             self.recv_alloc_ns as f64 / self.recv_total_ns as f64
         }
     }
+}
+
+/// Resilience-event totals for one engine instance (client or server).
+///
+/// Clients count `retries`, `reconnects`, and `failed_calls`; servers
+/// count `frame_errors` and `broken_sends`. The counters live in one
+/// struct because both sides share [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Call attempts re-issued after a retryable failure.
+    pub retries: u64,
+    /// Connections re-established to a server this client had already
+    /// connected to (i.e. recoveries, not first contacts).
+    pub reconnects: u64,
+    /// Calls that failed definitively (non-retryable error, attempts
+    /// exhausted, or deadline exceeded).
+    pub failed_calls: u64,
+    /// Inbound frames dropped as corrupt; each one also costs the
+    /// connection it arrived on.
+    pub frame_errors: u64,
+    /// Responses the server could not transmit because the connection
+    /// broke; the connection is closed in response.
+    pub broken_sends: u64,
 }
 
 /// Registry of per-call-kind statistics. Cheap to clone and share.
@@ -89,6 +133,11 @@ pub struct MetricsRegistry {
 struct MetricsInner {
     stats: Mutex<HashMap<(String, String), MethodStats>>,
     trace_sizes: Mutex<bool>,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    failed_calls: AtomicU64,
+    frame_errors: AtomicU64,
+    broken_sends: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -102,7 +151,9 @@ impl MetricsRegistry {
     pub fn record_call(&self, protocol: &str, method: &str, profile: CallProfile) {
         let trace = *self.inner.trace_sizes.lock();
         let mut stats = self.inner.stats.lock();
-        let entry = stats.entry((protocol.to_owned(), method.to_owned())).or_default();
+        let entry = stats
+            .entry((protocol.to_owned(), method.to_owned()))
+            .or_default();
         entry.calls += 1;
         entry.serialize_ns += profile.serialize_ns;
         entry.send_ns += profile.send_ns;
@@ -115,7 +166,9 @@ impl MetricsRegistry {
     /// Record a receive-side profile.
     pub fn record_recv(&self, protocol: &str, method: &str, profile: RecvProfile) {
         let mut stats = self.inner.stats.lock();
-        let entry = stats.entry((protocol.to_owned(), method.to_owned())).or_default();
+        let entry = stats
+            .entry((protocol.to_owned(), method.to_owned()))
+            .or_default();
         entry.recvs += 1;
         entry.recv_alloc_ns += profile.alloc_ns;
         entry.recv_total_ns += profile.total_ns;
@@ -138,9 +191,45 @@ impl MetricsRegistry {
             .cloned()
     }
 
+    pub fn inc_retries(&self) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_reconnects(&self) {
+        self.inner.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_failed_calls(&self) {
+        self.inner.failed_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_frame_errors(&self) {
+        self.inner.frame_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_broken_sends(&self) {
+        self.inner.broken_sends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the resilience counters.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            retries: self.inner.retries.load(Ordering::Relaxed),
+            reconnects: self.inner.reconnects.load(Ordering::Relaxed),
+            failed_calls: self.inner.failed_calls.load(Ordering::Relaxed),
+            frame_errors: self.inner.frame_errors.load(Ordering::Relaxed),
+            broken_sends: self.inner.broken_sends.load(Ordering::Relaxed),
+        }
+    }
+
     /// Drop all recorded data (between benchmark phases).
     pub fn reset(&self) {
         self.inner.stats.lock().clear();
+        self.inner.retries.store(0, Ordering::Relaxed);
+        self.inner.reconnects.store(0, Ordering::Relaxed);
+        self.inner.failed_calls.store(0, Ordering::Relaxed);
+        self.inner.frame_errors.store(0, Ordering::Relaxed);
+        self.inner.broken_sends.store(0, Ordering::Relaxed);
     }
 }
 
@@ -162,7 +251,12 @@ mod tests {
             reg.record_call(
                 "p",
                 "m",
-                CallProfile { serialize_ns: 1000, send_ns: 500, adjustments: i % 2, size: 64 },
+                CallProfile {
+                    serialize_ns: 1000,
+                    send_ns: 500,
+                    adjustments: i % 2,
+                    size: 64,
+                },
             );
         }
         let stats = reg.get("p", "m").unwrap();
@@ -177,7 +271,14 @@ mod tests {
     fn size_tracing_keeps_order() {
         let reg = MetricsRegistry::new(true);
         for size in [100usize, 430, 431, 90] {
-            reg.record_call("p", "m", CallProfile { size, ..Default::default() });
+            reg.record_call(
+                "p",
+                "m",
+                CallProfile {
+                    size,
+                    ..Default::default()
+                },
+            );
         }
         assert_eq!(reg.get("p", "m").unwrap().sizes, vec![100, 430, 431, 90]);
     }
@@ -185,8 +286,24 @@ mod tests {
     #[test]
     fn alloc_ratio_matches_fig1_definition() {
         let reg = MetricsRegistry::new(false);
-        reg.record_recv("p", "m", RecvProfile { alloc_ns: 30, total_ns: 100, size: 10 });
-        reg.record_recv("p", "m", RecvProfile { alloc_ns: 10, total_ns: 100, size: 10 });
+        reg.record_recv(
+            "p",
+            "m",
+            RecvProfile {
+                alloc_ns: 30,
+                total_ns: 100,
+                size: 10,
+            },
+        );
+        reg.record_recv(
+            "p",
+            "m",
+            RecvProfile {
+                alloc_ns: 10,
+                total_ns: 100,
+                size: 10,
+            },
+        );
         let stats = reg.get("p", "m").unwrap();
         assert!((stats.alloc_ratio() - 0.2).abs() < 1e-9);
     }
@@ -199,5 +316,24 @@ mod tests {
         assert_eq!(reg.snapshot().len(), 2);
         reg.reset();
         assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn engine_counters_accumulate_and_reset() {
+        let reg = MetricsRegistry::new(false);
+        reg.inc_retries();
+        reg.inc_retries();
+        reg.inc_reconnects();
+        reg.inc_failed_calls();
+        reg.inc_frame_errors();
+        reg.inc_broken_sends();
+        let c = reg.counters();
+        assert_eq!(c.retries, 2);
+        assert_eq!(c.reconnects, 1);
+        assert_eq!(c.failed_calls, 1);
+        assert_eq!(c.frame_errors, 1);
+        assert_eq!(c.broken_sends, 1);
+        reg.reset();
+        assert_eq!(reg.counters(), EngineCounters::default());
     }
 }

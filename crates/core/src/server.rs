@@ -8,7 +8,8 @@
 //!   registered services, and hands results to the responder;
 //! * a single **Responder** thread serializes and transmits responses.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -55,8 +56,17 @@ struct ServerInner {
     call_rx: Receiver<RawCall>,
     resp_tx: Sender<OutboundResponse>,
     resp_rx: Receiver<OutboundResponse>,
-    conns: Mutex<Vec<Arc<dyn Conn>>>,
-    dynamic_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Live connections, keyed by accept order. Entries are removed by
+    /// the owning Reader thread on its way out, so connection churn does
+    /// not accumulate dead `Arc<dyn Conn>`s (and, in RPCoIB mode, their
+    /// registered buffers) for the life of the server.
+    conns: Mutex<HashMap<u64, Arc<dyn Conn>>>,
+    next_conn_id: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    accepted: AtomicU64,
+    /// Reader thread handles awaiting reaping. Finished ones are joined
+    /// by the Listener on every accept-loop pass; the rest at `stop()`.
+    reader_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 /// A running RPC server.
@@ -78,7 +88,11 @@ impl Server {
         cfg.validate().map_err(RpcError::Config)?;
         let addr = SimAddr::new(node, port);
         let listener = SimListener::bind(fabric, addr)?;
-        let ib = if cfg.ib_enabled { Some(IbContext::new(fabric, node, &cfg)?) } else { None };
+        let ib = if cfg.ib_enabled {
+            Some(IbContext::new(fabric, node, &cfg)?)
+        } else {
+            None
+        };
 
         let (call_tx, call_rx) = bounded(cfg.call_queue_len);
         let (resp_tx, resp_rx) = bounded(cfg.call_queue_len);
@@ -92,8 +106,10 @@ impl Server {
             call_rx,
             resp_tx,
             resp_rx,
-            conns: Mutex::new(Vec::new()),
-            dynamic_threads: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            reader_threads: Mutex::new(Vec::new()),
         });
 
         let mut threads = Vec::new();
@@ -129,7 +145,10 @@ impl Server {
             );
         }
 
-        Ok(Server { inner, threads: Mutex::new(threads) })
+        Ok(Server {
+            inner,
+            threads: Mutex::new(threads),
+        })
     }
 
     /// The address clients connect to.
@@ -142,9 +161,16 @@ impl Server {
         &self.inner.metrics
     }
 
-    /// Number of connections accepted over this server's lifetime.
+    /// Number of connections currently alive (accepted and not yet torn
+    /// down). Under churn this returns to zero once departed clients'
+    /// Readers notice the close.
     pub fn connection_count(&self) -> usize {
         self.inner.conns.lock().len()
+    }
+
+    /// Number of connections accepted over this server's lifetime.
+    pub fn lifetime_connection_count(&self) -> u64 {
+        self.inner.accepted.load(Ordering::Relaxed)
     }
 
     /// Stop all threads and close all connections. Idempotent.
@@ -152,13 +178,13 @@ impl Server {
         if self.inner.stop.swap(true, Ordering::AcqRel) {
             return;
         }
-        for conn in self.inner.conns.lock().iter() {
+        for conn in self.inner.conns.lock().values() {
             conn.close();
         }
         for t in self.threads.lock().drain(..) {
             let _ = t.join();
         }
-        for t in self.inner.dynamic_threads.lock().drain(..) {
+        for t in self.inner.reader_threads.lock().drain(..) {
             let _ = t.join();
         }
     }
@@ -181,8 +207,26 @@ impl std::fmt::Debug for Server {
 
 fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbContext>) {
     while !inner.stop.load(Ordering::Acquire) {
+        // Reap Readers whose connections have since died. Without this,
+        // a server that lives through N transient clients holds N parked
+        // JoinHandles (and their stacks) forever.
+        {
+            let mut threads = inner.reader_threads.lock();
+            if threads.iter().any(|t| t.is_finished()) {
+                let mut live = Vec::with_capacity(threads.len());
+                for t in threads.drain(..) {
+                    if t.is_finished() {
+                        let _ = t.join();
+                    } else {
+                        live.push(t);
+                    }
+                }
+                *threads = live;
+            }
+        }
         match listener.try_accept() {
             Ok(Some((stream, _peer))) => {
+                inner.accepted.fetch_add(1, Ordering::Relaxed);
                 let inner2 = Arc::clone(&inner);
                 let ib2 = ib.clone();
                 // Connection setup (which may block on the RDMA endpoint
@@ -198,16 +242,21 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbCo
                                     Err(_) => return, // peer vanished mid-handshake
                                 }
                             }
-                            None => Arc::new(SocketConn::new(
-                                stream,
-                                inner2.cfg.server_buffer_init,
-                            )),
+                            None => {
+                                Arc::new(SocketConn::new(stream, inner2.cfg.server_buffer_init))
+                            }
                         };
-                        inner2.conns.lock().push(Arc::clone(&conn));
-                        reader_loop(inner2, conn);
+                        let conn_id = inner2.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                        inner2.conns.lock().insert(conn_id, Arc::clone(&conn));
+                        reader_loop(&inner2, &conn);
+                        // The Reader owns the connection's lifetime: on any
+                        // exit (peer gone, corrupt frame, server stop) the
+                        // transport is closed and the table entry freed.
+                        conn.close();
+                        inner2.conns.lock().remove(&conn_id);
                     })
                     .expect("spawn reader");
-                inner.dynamic_threads.lock().push(handle);
+                inner.reader_threads.lock().push(handle);
             }
             Ok(None) => std::thread::sleep(Duration::from_millis(1)),
             Err(_) => break, // listener evicted (node killed)
@@ -215,7 +264,7 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbCo
     }
 }
 
-fn reader_loop(inner: Arc<ServerInner>, conn: Arc<dyn Conn>) {
+fn reader_loop(inner: &Arc<ServerInner>, conn: &Arc<dyn Conn>) {
     while !inner.stop.load(Ordering::Acquire) {
         let (payload, recv) = match conn.recv_msg(IDLE_SLICE) {
             Ok(v) => v,
@@ -225,15 +274,30 @@ fn reader_loop(inner: Arc<ServerInner>, conn: Arc<dyn Conn>) {
         let mut reader = payload.reader();
         let header = match read_request_header(&mut reader) {
             Ok(h) => h,
-            Err(_) => break, // corrupt frame: drop the connection
+            Err(_) => {
+                // Corrupt frame: past this point the stream cannot be
+                // re-synchronized, so the whole connection is forfeit
+                // (closed by the caller). Counted for observability.
+                inner.metrics.inc_frame_errors();
+                break;
+            }
         };
         let body_offset = reader.position();
         inner.metrics.record_recv(
             &header.protocol,
             &header.method,
-            MetricsRecv { alloc_ns: recv.alloc_ns, total_ns: recv.total_ns, size: recv.size },
+            MetricsRecv {
+                alloc_ns: recv.alloc_ns,
+                total_ns: recv.total_ns,
+                size: recv.size,
+            },
         );
-        let call = RawCall { conn: Arc::clone(&conn), header, payload, body_offset };
+        let call = RawCall {
+            conn: Arc::clone(conn),
+            header,
+            payload,
+            body_offset,
+        };
         if inner.call_tx.send(call).is_err() {
             break;
         }
@@ -246,8 +310,11 @@ fn handler_loop(inner: Arc<ServerInner>) {
             Ok(call) => {
                 let mut reader = call.payload.reader();
                 reader.skip(call.body_offset);
-                let result =
-                    inner.registry.dispatch(&call.header.protocol, &call.header.method, &mut reader);
+                let result = inner.registry.dispatch(
+                    &call.header.protocol,
+                    &call.header.method,
+                    &mut reader,
+                );
                 let out = OutboundResponse {
                     conn: call.conn,
                     protocol: call.header.protocol,
@@ -290,10 +357,17 @@ fn responder_loop(inner: Arc<ServerInner>) {
                         Err(&error_text)
                     }
                 };
-                // A failed send only affects that one connection.
-                let _ = out.conn.send_msg(&out.protocol, &resp_key, &mut |o| {
+                // A failed send only affects that one connection — but it
+                // does mean the connection is broken: close it so its
+                // Reader stops pulling requests whose responses could
+                // never be delivered, and count the event.
+                let send_result = out.conn.send_msg(&out.protocol, &resp_key, &mut |o| {
                     write_response(o, out.call_id, result)
                 });
+                if send_result.is_err() {
+                    inner.metrics.inc_broken_sends();
+                    out.conn.close();
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
                 if inner.stop.load(Ordering::Acquire) {

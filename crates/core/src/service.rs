@@ -45,7 +45,10 @@ impl ServiceRegistry {
     pub fn register(&mut self, service: Arc<dyn RpcService>) {
         let name = service.protocol();
         let previous = self.services.insert(name, service);
-        assert!(previous.is_none(), "duplicate protocol registration: {name}");
+        assert!(
+            previous.is_none(),
+            "duplicate protocol registration: {name}"
+        );
     }
 
     /// Dispatch a call.
@@ -72,7 +75,9 @@ impl ServiceRegistry {
 
 impl std::fmt::Debug for ServiceRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServiceRegistry").field("protocols", &self.protocols()).finish()
+        f.debug_struct("ServiceRegistry")
+            .field("protocols", &self.protocols())
+            .finish()
     }
 }
 
@@ -136,13 +141,19 @@ mod tests {
         let result = registry
             .dispatch("test.EchoProtocol", "add", &mut param.as_slice())
             .unwrap();
-        assert_eq!(to_bytes(result.as_ref()).unwrap(), to_bytes(&IntWritable(42)).unwrap());
+        assert_eq!(
+            to_bytes(result.as_ref()).unwrap(),
+            to_bytes(&IntWritable(42)).unwrap()
+        );
     }
 
     #[test]
     fn unknown_protocol_is_an_error() {
         let registry = ServiceRegistry::new();
-        let err = registry.dispatch("nope", "m", &mut [].as_slice()).err().unwrap();
+        let err = registry
+            .dispatch("nope", "m", &mut [].as_slice())
+            .err()
+            .unwrap();
         assert!(matches!(err, RpcError::UnknownProtocol(_)));
     }
 

@@ -99,8 +99,13 @@ impl RdmaOutputStream {
     /// hand the buffer (plus valid length) to the transport.
     pub fn finish(mut self) -> (PooledBuf<MemoryRegion>, usize, u64) {
         self.flush_stage();
-        self.pool.record(&self.protocol, &self.method, self.pos.max(1));
-        (self.buf.take().expect("stream already finished"), self.pos, self.grows)
+        self.pool
+            .record(&self.protocol, &self.method, self.pos.max(1));
+        (
+            self.buf.take().expect("stream already finished"),
+            self.pos,
+            self.grows,
+        )
     }
 }
 
@@ -187,7 +192,11 @@ pub struct RegionReader<'a> {
 impl<'a> RegionReader<'a> {
     /// Read `[0, len)` of `region`.
     pub fn new(region: &'a MemoryRegion, len: usize) -> Self {
-        RegionReader { region, pos: 0, end: len }
+        RegionReader {
+            region,
+            pos: 0,
+            end: len,
+        }
     }
 
     /// Bytes not yet consumed.
@@ -223,7 +232,9 @@ mod tests {
         let dev = RdmaDevice::open(&fabric, node).unwrap();
         let factory = RdmaMemFactory::new(dev);
         ShadowPool::new(
-            NativePool::new(SizeClasses::up_to(1 << 20), move |len| factory.allocate(len)),
+            NativePool::new(SizeClasses::up_to(1 << 20), move |len| {
+                factory.allocate(len)
+            }),
             true,
         )
     }

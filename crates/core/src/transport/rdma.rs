@@ -66,7 +66,9 @@ pub struct IbContext {
 
 impl std::fmt::Debug for IbContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("IbContext").field("node", &self.device.node()).finish()
+        f.debug_struct("IbContext")
+            .field("node", &self.device.node())
+            .finish()
     }
 }
 
@@ -97,7 +99,8 @@ impl IbContext {
         // "pre-allocated and pre-registered when the RPCoIB library
         // loads" (Section III-B).
         if let Some(ring_class) = ladder.class_of(cfg.recv_buf_bytes) {
-            pool.native().prefill_class(ring_class, cfg.posted_recvs + 8);
+            pool.native()
+                .prefill_class(ring_class, cfg.posted_recvs + 8);
         }
         Ok(IbContext { device, pool })
     }
@@ -126,7 +129,10 @@ struct CreditGate {
 
 impl CreditGate {
     fn new(n: usize) -> CreditGate {
-        CreditGate { credits: Mutex::new(n), cv: Condvar::new() }
+        CreditGate {
+            credits: Mutex::new(n),
+            cv: Condvar::new(),
+        }
     }
 
     fn take(&self, timeout: Duration) -> bool {
@@ -183,11 +189,15 @@ impl RdmaConn {
         hello.extend_from_slice(&qp.endpoint().to_bytes());
         hello.extend_from_slice(&my_large.remote_key().to_bytes());
         hello.extend_from_slice(&(cfg.large_region_bytes as u64).to_be_bytes());
-        (&*stream).write_all(&hello).map_err(|e| RpcError::Io(e.to_string()))?;
+        (&*stream)
+            .write_all(&hello)
+            .map_err(|e| RpcError::Io(e.to_string()))?;
 
         // Receive theirs.
         let mut peer = [0u8; 32];
-        stream.read_exact_at(&mut peer).map_err(|e| RpcError::Io(e.to_string()))?;
+        stream
+            .read_exact_at(&mut peer)
+            .map_err(|e| RpcError::Io(e.to_string()))?;
         let peer_ep = QpEndpoint::from_bytes(peer[0..12].try_into().unwrap());
         let peer_rkey = RemoteKey::from_bytes(peer[12..24].try_into().unwrap());
         let peer_large_size = u64::from_be_bytes(peer[24..32].try_into().unwrap()) as usize;
@@ -203,7 +213,9 @@ impl RdmaConn {
             peer_large_size,
             posted: Mutex::new(HashMap::new()),
             next_wr: AtomicU64::new(1),
-            send: Mutex::new(SendState { credit_mr: ctx.device.register(128) }),
+            send: Mutex::new(SendState {
+                credit_mr: ctx.device.register(128),
+            }),
             large_credits: CreditGate::new(1),
             closed: AtomicBool::new(false),
             peer_desc: format!("rdma:{}", peer_ep.node),
@@ -231,11 +243,10 @@ impl RdmaConn {
 
     fn send_credit(&self) -> RpcResult<()> {
         let state = self.send.lock();
-        state
-            .credit_mr
-            .write_at(0, &[0])
-            .map_err(verbs_err)?;
-        self.qp.post_send(&state.credit_mr, 0, 1, IMM_CREDIT).map_err(verbs_err)
+        state.credit_mr.write_at(0, &[0]).map_err(verbs_err)?;
+        self.qp
+            .post_send(&state.credit_mr, 0, 1, IMM_CREDIT)
+            .map_err(verbs_err)
     }
 }
 
@@ -261,7 +272,9 @@ impl Conn for RdmaConn {
         let send_start = Instant::now();
         if len <= self.cfg.rdma_threshold {
             let state = self.send.lock();
-            self.qp.post_send(buf.mem(), 0, len, IMM_SMALL).map_err(verbs_err)?;
+            self.qp
+                .post_send(buf.mem(), 0, len, IMM_SMALL)
+                .map_err(verbs_err)?;
             drop(state);
         } else {
             if len > self.peer_large_size {
@@ -286,7 +299,12 @@ impl Conn for RdmaConn {
         }
         let send_ns = send_start.elapsed().as_nanos() as u64;
 
-        Ok(SendProfile { serialize_ns, send_ns, adjustments: grows, size: len })
+        Ok(SendProfile {
+            serialize_ns,
+            send_ns,
+            adjustments: grows,
+            size: len,
+        })
     }
 
     fn recv_msg(&self, timeout: Duration) -> RpcResult<(Payload, RecvProfile)> {
@@ -315,8 +333,15 @@ impl Conn for RdmaConn {
                     let alloc_ns = alloc_start.elapsed().as_nanos() as u64;
                     let total_ns = total_start.elapsed().as_nanos() as u64 + 1;
                     return Ok((
-                        Payload::Pooled { buf, len: completion.len },
-                        RecvProfile { alloc_ns, total_ns, size: completion.len },
+                        Payload::Pooled {
+                            buf,
+                            len: completion.len,
+                        },
+                        RecvProfile {
+                            alloc_ns,
+                            total_ns,
+                            size: completion.len,
+                        },
                     ));
                 }
                 (CompletionKind::Recv, IMM_CREDIT) => {
@@ -336,14 +361,19 @@ impl Conn for RdmaConn {
                     let alloc_start = Instant::now();
                     let mut buf = self.ctx.pool.acquire_size(len);
                     let alloc_ns = alloc_start.elapsed().as_nanos() as u64;
-                    self.my_large.with(|region| buf.mem_mut().put(0, &region[..len]));
+                    self.my_large
+                        .with(|region| buf.mem_mut().put(0, &region[..len]));
                     // Best-effort: if the peer has already gone away the
                     // credit is moot, but the payload in hand is still good.
                     let _ = self.send_credit();
                     let total_ns = total_start.elapsed().as_nanos() as u64 + 1;
                     return Ok((
                         Payload::Pooled { buf, len },
-                        RecvProfile { alloc_ns, total_ns, size: len },
+                        RecvProfile {
+                            alloc_ns,
+                            total_ns,
+                            size: len,
+                        },
                     ));
                 }
                 (kind, imm) => {
@@ -366,7 +396,9 @@ impl Conn for RdmaConn {
 
 impl std::fmt::Debug for RdmaConn {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RdmaConn").field("peer", &self.peer_desc).finish()
+        f.debug_struct("RdmaConn")
+            .field("peer", &self.peer_desc)
+            .finish()
     }
 }
 
@@ -426,7 +458,8 @@ mod tests {
         let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
         let p2 = payload.clone();
         let h = thread::spawn(move || {
-            cli.send_msg("p", "big", &mut |out| out.write_bytes(&p2)).unwrap()
+            cli.send_msg("p", "big", &mut |out| out.write_bytes(&p2))
+                .unwrap()
         });
         let (got, _) = srv.recv_msg(Duration::from_secs(5)).unwrap();
         let profile = h.join().unwrap();
@@ -465,7 +498,8 @@ mod tests {
         });
         for k in 1..=4usize {
             let body: Vec<u8> = (0..k * 50_000).map(|i| (i % 256) as u8).collect();
-            cli.send_msg("p", "big", &mut |out| out.write_len_bytes(&body)).unwrap();
+            cli.send_msg("p", "big", &mut |out| out.write_len_bytes(&body))
+                .unwrap();
         }
         let sizes = reader.join().unwrap();
         assert_eq!(sizes, vec![50_000, 100_000, 150_000, 200_000]);
@@ -483,7 +517,8 @@ mod tests {
         let srv2 = Arc::clone(&srv);
         let t1 = thread::spawn(move || {
             for _ in 0..3 {
-                cli2.send_msg("p", "up", &mut |out| out.write_len_bytes(&b2)).unwrap();
+                cli2.send_msg("p", "up", &mut |out| out.write_len_bytes(&b2))
+                    .unwrap();
                 let (payload, _) = cli2.recv_msg(Duration::from_secs(10)).unwrap();
                 assert_eq!(payload.reader().read_len_bytes().unwrap().len(), 100_000);
             }
@@ -493,7 +528,8 @@ mod tests {
             for _ in 0..3 {
                 let (payload, _) = srv2.recv_msg(Duration::from_secs(10)).unwrap();
                 assert_eq!(payload.reader().read_len_bytes().unwrap().len(), 100_000);
-                srv2.send_msg("p", "down", &mut |out| out.write_len_bytes(&b3)).unwrap();
+                srv2.send_msg("p", "down", &mut |out| out.write_len_bytes(&b3))
+                    .unwrap();
             }
         });
         t1.join().unwrap();
@@ -502,7 +538,10 @@ mod tests {
 
     #[test]
     fn oversized_frame_is_rejected() {
-        let cfg = RpcConfig { large_region_bytes: 128 * 1024, ..RpcConfig::rpcoib() };
+        let cfg = RpcConfig {
+            large_region_bytes: 128 * 1024,
+            ..RpcConfig::rpcoib()
+        };
         let (cli, _srv) = conn_pair(&cfg);
         let body = vec![0u8; 256 * 1024];
         let err = cli
@@ -515,7 +554,10 @@ mod tests {
     fn recv_timeout_when_idle() {
         let cfg = RpcConfig::rpcoib();
         let (_cli, srv) = conn_pair(&cfg);
-        assert_eq!(srv.recv_msg(Duration::from_millis(30)).unwrap_err(), RpcError::Timeout);
+        assert_eq!(
+            srv.recv_msg(Duration::from_millis(30)).unwrap_err(),
+            RpcError::Timeout
+        );
     }
 
     #[test]
@@ -532,7 +574,8 @@ mod tests {
         let (cli, srv) = conn_pair(&cfg);
         // Warm the path.
         for _ in 0..10 {
-            cli.send_msg("p", "m", &mut |out| out.write_bytes(&[1u8; 200])).unwrap();
+            cli.send_msg("p", "m", &mut |out| out.write_bytes(&[1u8; 200]))
+                .unwrap();
             let _ = srv.recv_msg(Duration::from_secs(1)).unwrap();
         }
         let (_hits, misses, _ret, _over) = cli.ctx.pool.native().stats().snapshot();

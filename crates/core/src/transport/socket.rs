@@ -61,8 +61,12 @@ impl SocketConn {
     pub fn new(stream: SimStream, init_buf: usize) -> Self {
         SocketConn {
             stream,
-            send: Mutex::new(SendState { staging: Vec::new() }),
-            recv: Mutex::new(RecvState { temp: vec![0u8; TEMP_CHUNK].into_boxed_slice() }),
+            send: Mutex::new(SendState {
+                staging: Vec::new(),
+            }),
+            recv: Mutex::new(RecvState {
+                temp: vec![0u8; TEMP_CHUNK].into_boxed_slice(),
+            }),
             closed: AtomicBool::new(false),
             init_buf,
         }
@@ -82,7 +86,8 @@ impl SocketConn {
     fn read_exact_deadline(&self, buf: &mut [u8], deadline: Option<Instant>) -> RpcResult<usize> {
         use std::io::Read;
         let mut filled = 0usize;
-        self.stream.set_read_timeout(Some(Duration::from_millis(50)));
+        self.stream
+            .set_read_timeout(Some(Duration::from_millis(50)));
         loop {
             if self.closed.load(Ordering::Acquire) {
                 return Err(RpcError::ConnectionClosed);
@@ -134,7 +139,9 @@ impl Conn for SocketConn {
         // BufferedOutputStream copy: frame length + data into the stream's
         // internal buffer.
         state.staging.clear();
-        state.staging.extend_from_slice(&(size as i32).to_be_bytes());
+        state
+            .staging
+            .extend_from_slice(&(size as i32).to_be_bytes());
         state.staging.extend_from_slice(d.data());
         // flush(): one socket write (which itself performs the
         // user→kernel staging copy and pays the stack + wire costs).
@@ -149,7 +156,12 @@ impl Conn for SocketConn {
         drop(state);
         let send_ns = send_start.elapsed().as_nanos() as u64;
 
-        Ok(SendProfile { serialize_ns, send_ns, adjustments, size })
+        Ok(SendProfile {
+            serialize_ns,
+            send_ns,
+            adjustments,
+            size,
+        })
     }
 
     fn recv_msg(&self, timeout: Duration) -> RpcResult<(Payload, RecvProfile)> {
@@ -191,7 +203,14 @@ impl Conn for SocketConn {
         }
         let total_ns = total_start.elapsed().as_nanos() as u64 + 1;
 
-        Ok((Payload::Owned(heap), RecvProfile { alloc_ns, total_ns, size: len }))
+        Ok((
+            Payload::Owned(heap),
+            RecvProfile {
+                alloc_ns,
+                total_ns,
+                size: len,
+            },
+        ))
     }
 
     fn close(&self) {
@@ -222,7 +241,10 @@ mod tests {
         let h = thread::spawn(move || SimStream::connect(&f2, client, addr).unwrap());
         let (srv_stream, _) = listener.accept().unwrap();
         let cli_stream = h.join().unwrap();
-        (Arc::new(SocketConn::new(cli_stream, 32)), Arc::new(SocketConn::new(srv_stream, 10240)))
+        (
+            Arc::new(SocketConn::new(cli_stream, 32)),
+            Arc::new(SocketConn::new(srv_stream, 10240)),
+        )
     }
 
     #[test]
@@ -252,7 +274,10 @@ mod tests {
         let profile = cli
             .send_msg("p", "m", &mut |out| out.write_bytes(&[7u8; 1000]))
             .unwrap();
-        assert!(profile.adjustments >= 1, "32-byte buffer must adjust for 1000 bytes");
+        assert!(
+            profile.adjustments >= 1,
+            "32-byte buffer must adjust for 1000 bytes"
+        );
         let (payload, recv) = srv.recv_msg(Duration::from_secs(1)).unwrap();
         assert_eq!(payload.len(), 1000);
         assert!(recv.alloc_ns > 0, "per-call allocation is timed");
@@ -288,7 +313,9 @@ mod tests {
     fn close_fails_future_operations() {
         let (cli, _srv) = conn_pair();
         cli.close();
-        let err = cli.send_msg("p", "m", &mut |out| out.write_u8(1)).unwrap_err();
+        let err = cli
+            .send_msg("p", "m", &mut |out| out.write_u8(1))
+            .unwrap_err();
         assert_eq!(err, RpcError::ConnectionClosed);
     }
 
@@ -298,7 +325,8 @@ mod tests {
         let payload: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
         let p2 = payload.clone();
         let h = thread::spawn(move || {
-            cli.send_msg("p", "m", &mut |out| out.write_bytes(&p2)).unwrap();
+            cli.send_msg("p", "m", &mut |out| out.write_bytes(&p2))
+                .unwrap();
         });
         let (got, _) = srv.recv_msg(Duration::from_secs(5)).unwrap();
         h.join().unwrap();
@@ -331,7 +359,10 @@ mod tests {
             let tag = reader.read_u8().unwrap();
             let mut body = vec![0u8; 499];
             std::io::Read::read_exact(&mut reader, &mut body).unwrap();
-            assert!(body.iter().all(|&b| b == tag), "frame interleaving detected");
+            assert!(
+                body.iter().all(|&b| b == tag),
+                "frame interleaving detected"
+            );
         }
         for h in handles {
             h.join().unwrap();

@@ -51,7 +51,12 @@ fn echo_roundtrip(cfg: RpcConfig, model: simnet::NetworkModel) {
     for size in [1usize, 100, 4096, 100_000] {
         let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
         let resp: BytesWritable = client
-            .call(server.addr(), "test.EchoProtocol", "pingpong", &BytesWritable(payload.clone()))
+            .call(
+                server.addr(),
+                "test.EchoProtocol",
+                "pingpong",
+                &BytesWritable(payload.clone()),
+            )
             .unwrap();
         assert_eq!(resp.0, payload, "size {size}");
     }
@@ -83,7 +88,9 @@ fn echo_over_rpcoib() {
 fn rpcoib_refuses_non_rdma_fabric() {
     let fabric = Fabric::new(model::IPOIB_QDR);
     let node = fabric.add_node();
-    let err = Client::new(&fabric, node, RpcConfig::rpcoib()).err().unwrap();
+    let err = Client::new(&fabric, node, RpcConfig::rpcoib())
+        .err()
+        .unwrap();
     assert!(matches!(err, RpcError::Config(_)));
 }
 
@@ -91,13 +98,23 @@ fn rpcoib_refuses_non_rdma_fabric() {
 fn remote_errors_propagate() {
     let (_fabric, server, client, _) = setup(model::IB_QDR_VERBS, RpcConfig::rpcoib());
     let err = client
-        .call::<NullWritable, NullWritable>(server.addr(), "test.EchoProtocol", "fail", &NullWritable)
+        .call::<NullWritable, NullWritable>(
+            server.addr(),
+            "test.EchoProtocol",
+            "fail",
+            &NullWritable,
+        )
         .err()
         .unwrap();
     assert_eq!(err, RpcError::Remote("requested failure".into()));
     // The connection survives an application error.
     let resp: Text = client
-        .call(server.addr(), "test.EchoProtocol", "upper", &Text::from("still alive"))
+        .call(
+            server.addr(),
+            "test.EchoProtocol",
+            "upper",
+            &Text::from("still alive"),
+        )
         .unwrap();
     assert_eq!(resp.0, "STILL ALIVE");
 }
@@ -109,7 +126,10 @@ fn unknown_protocol_is_remote_error() {
         .call::<NullWritable, NullWritable>(server.addr(), "no.SuchProtocol", "x", &NullWritable)
         .err()
         .unwrap();
-    assert!(matches!(err, RpcError::Remote(ref m) if m.contains("unknown protocol")), "{err:?}");
+    assert!(
+        matches!(err, RpcError::Remote(ref m) if m.contains("unknown protocol")),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -141,8 +161,7 @@ fn many_clients_one_server() {
     let server_node = fabric.add_node();
     let mut registry = ServiceRegistry::new();
     registry.register(Arc::new(EchoService));
-    let server =
-        Server::start(&fabric, server_node, 8020, RpcConfig::rpcoib(), registry).unwrap();
+    let server = Server::start(&fabric, server_node, 8020, RpcConfig::rpcoib(), registry).unwrap();
     let addr = server.addr();
     let threads: Vec<_> = (0..6)
         .map(|c| {
@@ -153,7 +172,12 @@ fn many_clients_one_server() {
                 for i in 0..20 {
                     let payload = vec![c as u8; 64 + i];
                     let resp: BytesWritable = client
-                        .call(addr, "test.EchoProtocol", "pingpong", &BytesWritable(payload.clone()))
+                        .call(
+                            addr,
+                            "test.EchoProtocol",
+                            "pingpong",
+                            &BytesWritable(payload.clone()),
+                        )
                         .unwrap();
                     assert_eq!(resp.0, payload);
                 }
@@ -169,8 +193,9 @@ fn many_clients_one_server() {
 fn stopped_server_fails_calls() {
     let (_fabric, server, client, _) = setup(model::IPOIB_QDR, RpcConfig::socket());
     let addr = server.addr();
-    let resp: Text =
-        client.call(addr, "test.EchoProtocol", "upper", &Text::from("x")).unwrap();
+    let resp: Text = client
+        .call(addr, "test.EchoProtocol", "upper", &Text::from("x"))
+        .unwrap();
     assert_eq!(resp.0, "X");
     server.stop();
     let err = client
@@ -178,7 +203,10 @@ fn stopped_server_fails_calls() {
         .err()
         .unwrap();
     assert!(
-        matches!(err, RpcError::ConnectionClosed | RpcError::Io(_) | RpcError::Timeout),
+        matches!(
+            err,
+            RpcError::ConnectionClosed | RpcError::Io(_) | RpcError::Timeout
+        ),
         "{err:?}"
     );
 }
@@ -193,27 +221,48 @@ fn client_reconnects_to_restarted_server() {
         r.register(Arc::new(EchoService));
         r
     };
-    let server =
-        Server::start(&fabric, server_node, 8020, RpcConfig::socket(), mk_registry()).unwrap();
+    let server = Server::start(
+        &fabric,
+        server_node,
+        8020,
+        RpcConfig::socket(),
+        mk_registry(),
+    )
+    .unwrap();
     let addr = server.addr();
     let client = Client::new(&fabric, client_node, RpcConfig::socket()).unwrap();
-    let _: Text = client.call(addr, "test.EchoProtocol", "upper", &Text::from("a")).unwrap();
+    let _: Text = client
+        .call(addr, "test.EchoProtocol", "upper", &Text::from("a"))
+        .unwrap();
     server.stop();
     drop(server);
-    let _server2 =
-        Server::start(&fabric, server_node, 8020, RpcConfig::socket(), mk_registry()).unwrap();
+    let _server2 = Server::start(
+        &fabric,
+        server_node,
+        8020,
+        RpcConfig::socket(),
+        mk_registry(),
+    )
+    .unwrap();
     // One call may fail while the stale connection is discovered; the
     // built-in retry should hide it.
-    let resp: Text = client.call(addr, "test.EchoProtocol", "upper", &Text::from("b")).unwrap();
+    let resp: Text = client
+        .call(addr, "test.EchoProtocol", "upper", &Text::from("b"))
+        .unwrap();
     assert_eq!(resp.0, "B");
 }
 
 #[test]
 fn call_timeout_fires_when_server_node_hangs() {
-    let cfg = RpcConfig { call_timeout: Duration::from_millis(300), ..RpcConfig::socket() };
+    let cfg = RpcConfig {
+        call_timeout: Duration::from_millis(300),
+        ..RpcConfig::socket()
+    };
     let (fabric, server, client, _) = setup(model::IPOIB_QDR, cfg);
     let addr = server.addr();
-    let _: Text = client.call(addr, "test.EchoProtocol", "upper", &Text::from("warm")).unwrap();
+    let _: Text = client
+        .call(addr, "test.EchoProtocol", "upper", &Text::from("warm"))
+        .unwrap();
     // Kill the server node abruptly: requests go nowhere.
     fabric.kill_node(addr.node);
     let err = client
@@ -221,7 +270,10 @@ fn call_timeout_fires_when_server_node_hangs() {
         .err()
         .unwrap();
     assert!(
-        matches!(err, RpcError::Timeout | RpcError::ConnectionClosed | RpcError::Io(_)),
+        matches!(
+            err,
+            RpcError::Timeout | RpcError::ConnectionClosed | RpcError::Io(_)
+        ),
         "{err:?}"
     );
 }
@@ -232,22 +284,42 @@ fn rpcoib_metrics_show_no_adjustments_after_warmup() {
     let addr = server.addr();
     for _ in 0..5 {
         let _: BytesWritable = client
-            .call(addr, "test.EchoProtocol", "pingpong", &BytesWritable(vec![0u8; 700]))
+            .call(
+                addr,
+                "test.EchoProtocol",
+                "pingpong",
+                &BytesWritable(vec![0u8; 700]),
+            )
             .unwrap();
     }
-    let stats = client.metrics().get("test.EchoProtocol", "pingpong").unwrap();
+    let stats = client
+        .metrics()
+        .get("test.EchoProtocol", "pingpong")
+        .unwrap();
     assert_eq!(stats.calls, 5);
     // Only the first call may grow; history serves the rest.
-    assert!(stats.adjustments <= 3, "adjustments = {}", stats.adjustments);
+    assert!(
+        stats.adjustments <= 3,
+        "adjustments = {}",
+        stats.adjustments
+    );
 
     // The socket baseline on the same payload always adjusts (32B start).
     let (_f2, server2, client2, _) = setup(model::IPOIB_QDR, RpcConfig::socket());
     for _ in 0..5 {
         let _: BytesWritable = client2
-            .call(server2.addr(), "test.EchoProtocol", "pingpong", &BytesWritable(vec![0u8; 700]))
+            .call(
+                server2.addr(),
+                "test.EchoProtocol",
+                "pingpong",
+                &BytesWritable(vec![0u8; 700]),
+            )
             .unwrap();
     }
-    let stats2 = client2.metrics().get("test.EchoProtocol", "pingpong").unwrap();
+    let stats2 = client2
+        .metrics()
+        .get("test.EchoProtocol", "pingpong")
+        .unwrap();
     assert!(
         stats2.avg_adjustments() >= 1.0,
         "baseline must adjust every call, got {}",
@@ -265,14 +337,16 @@ fn rpcoib_latency_beats_socket_baseline() {
         let payload = BytesWritable(vec![7u8; 512]);
         // Warmup.
         for _ in 0..10 {
-            let _: BytesWritable =
-                client.call(addr, "test.EchoProtocol", "pingpong", &payload).unwrap();
+            let _: BytesWritable = client
+                .call(addr, "test.EchoProtocol", "pingpong", &payload)
+                .unwrap();
         }
         let mut samples: Vec<Duration> = (0..50)
             .map(|_| {
                 let start = std::time::Instant::now();
-                let _: BytesWritable =
-                    client.call(addr, "test.EchoProtocol", "pingpong", &payload).unwrap();
+                let _: BytesWritable = client
+                    .call(addr, "test.EchoProtocol", "pingpong", &payload)
+                    .unwrap();
                 start.elapsed()
             })
             .collect();

@@ -1,0 +1,396 @@
+//! Resilience tests: retry/backoff/deadline behavior under injected
+//! faults, server tolerance of connection churn, and clean failure modes
+//! when a server dies mid-call.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rpcoib::{Client, RetryPolicy, RpcConfig, RpcError, RpcService, Server, ServiceRegistry};
+use simnet::{model, Fabric, FaultSpec, NodeId};
+use wire::{BytesWritable, DataInput, Text, Writable};
+
+struct EchoService;
+
+impl RpcService for EchoService {
+    fn protocol(&self) -> &'static str {
+        "test.EchoProtocol"
+    }
+    fn call(
+        &self,
+        method: &str,
+        param: &mut dyn DataInput,
+    ) -> Result<Box<dyn Writable + Send>, String> {
+        match method {
+            "pingpong" => {
+                let mut payload = BytesWritable::default();
+                payload.read_fields(param).map_err(|e| e.to_string())?;
+                Ok(Box::new(payload))
+            }
+            "fail" => Err("requested failure".into()),
+            other => Err(format!("no such method {other}")),
+        }
+    }
+}
+
+fn start_server(fabric: &Fabric, node: NodeId, cfg: &RpcConfig) -> Server {
+    let mut registry = ServiceRegistry::new();
+    registry.register(Arc::new(EchoService));
+    Server::start(fabric, node, 8020, cfg.clone(), registry).unwrap()
+}
+
+fn ping(client: &Client, server: &Server) -> Result<BytesWritable, RpcError> {
+    client.call(
+        server.addr(),
+        "test.EchoProtocol",
+        "pingpong",
+        &BytesWritable(vec![1, 2, 3]),
+    )
+}
+
+/// The acceptance scenario: a transient fault that outlives
+/// `RetryPolicy::none()` but not a 3-attempt backoff policy.
+///
+/// `fail_next_connects(n)` refuses the next `n` connection attempts.
+/// Connect failures surface as retryable `Io` errors, so the first call
+/// of a fresh client exercises the policy directly:
+/// * 1 attempt  → a single refusal is fatal;
+/// * 3 attempts → refused, refused, connected → succeeds.
+#[test]
+fn transient_fault_needs_retries_to_clear() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig::socket();
+    let server = start_server(&fabric, server_node, &cfg);
+
+    // Without retries the injected failure is fatal. (Refusals are
+    // cumulative and consumed one per attempt, so inject exactly as many
+    // as this phase will use up.)
+    let none_cfg = RpcConfig {
+        retry: RetryPolicy::none(),
+        ..cfg.clone()
+    };
+    let client = Client::new(&fabric, fabric.add_node(), none_cfg).unwrap();
+    fabric.fail_next_connects(server.addr(), 1);
+    let err = ping(&client, &server).unwrap_err();
+    assert!(
+        matches!(err, RpcError::Io(_)),
+        "expected connect refusal, got {err:?}"
+    );
+    assert!(
+        err.is_retryable(),
+        "a refused connect must be classified retryable"
+    );
+    let counters = client.metrics().counters();
+    assert_eq!(counters.retries, 0, "RetryPolicy::none must not retry");
+    assert_eq!(counters.failed_calls, 1);
+    assert_eq!(fabric.pending_connect_failures(server.addr()), 0);
+    client.shutdown();
+
+    // With three attempts and backoff, the same fault heals in-flight.
+    let retry_cfg = RpcConfig {
+        retry: RetryPolicy::exponential(3, Duration::from_millis(5)),
+        ..cfg.clone()
+    };
+    let client = Client::new(&fabric, fabric.add_node(), retry_cfg).unwrap();
+    fabric.fail_next_connects(server.addr(), 2);
+    let resp = ping(&client, &server).expect("third attempt should connect and succeed");
+    assert_eq!(resp.0, vec![1, 2, 3]);
+    let counters = client.metrics().counters();
+    assert_eq!(counters.retries, 2, "both refusals should be retried");
+    assert_eq!(counters.failed_calls, 0);
+    client.shutdown();
+    server.stop();
+}
+
+/// 100 connect → call → disconnect cycles: the server's live-connection
+/// table must drain back to zero (no leaked conns or Reader threads),
+/// while the lifetime counter records every visit.
+#[test]
+fn server_survives_connection_churn_without_leaking() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server_node = fabric.add_node();
+    let client_node = fabric.add_node();
+    let cfg = RpcConfig::socket();
+    let server = start_server(&fabric, server_node, &cfg);
+
+    for i in 0..100 {
+        let client = Client::new(&fabric, client_node, cfg.clone()).unwrap();
+        let resp = ping(&client, &server).unwrap();
+        assert_eq!(resp.0, vec![1, 2, 3], "cycle {i}");
+        client.shutdown();
+    }
+
+    assert_eq!(server.lifetime_connection_count(), 100);
+    // Readers notice the closed transports within their idle slice.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.connection_count() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        server.connection_count(),
+        0,
+        "live connections must drain after clients disconnect"
+    );
+    server.stop();
+}
+
+/// `Server::stop` is idempotent and safe to race with in-flight calls.
+#[test]
+fn server_stop_is_idempotent_with_inflight_calls() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig {
+        call_timeout: Duration::from_secs(2),
+        retry: RetryPolicy::none(),
+        ..RpcConfig::socket()
+    };
+    let server = start_server(&fabric, server_node, &cfg);
+    let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+    ping(&client, &server).unwrap();
+
+    // Callers hammering the server while it stops must get clean errors
+    // (or late successes), never panics or hangs.
+    let callers: Vec<_> = (0..4)
+        .map(|_| {
+            let client = client.clone();
+            let addr = server.addr();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _ = client.call::<_, BytesWritable>(
+                        addr,
+                        "test.EchoProtocol",
+                        "pingpong",
+                        &BytesWritable(vec![9; 64]),
+                    );
+                }
+            })
+        })
+        .collect();
+
+    server.stop();
+    server.stop(); // second stop must be a no-op
+    for t in callers {
+        t.join().expect("caller panicked during server stop");
+    }
+    server.stop(); // and after the dust settles, still a no-op
+    client.shutdown();
+}
+
+/// Killing the server's node mid-call yields Timeout/ConnectionClosed/Io
+/// promptly — never a hang past the call timeout — and a later call after
+/// reviving the address keeps working via reconnect.
+#[test]
+fn killed_server_fails_calls_promptly() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig {
+        call_timeout: Duration::from_millis(500),
+        retry: RetryPolicy::none(),
+        ..RpcConfig::socket()
+    };
+    let server = start_server(&fabric, server_node, &cfg);
+    let client = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+    ping(&client, &server).unwrap();
+
+    fabric.kill_node(server_node);
+    let start = Instant::now();
+    let err = ping(&client, &server).unwrap_err();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "call against a dead server must fail promptly, took {:?}",
+        start.elapsed()
+    );
+    assert!(
+        matches!(
+            err,
+            RpcError::Timeout | RpcError::ConnectionClosed | RpcError::Io(_)
+        ),
+        "expected a transport-death error, got {err:?}"
+    );
+    client.shutdown();
+    drop(server); // the dead node's server: stop() must not hang either
+}
+
+/// A partition heals between attempts: the retry policy carries the call
+/// across the outage, reconnecting and counting the recovery.
+#[test]
+fn retry_reconnects_across_partition() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server_node = fabric.add_node();
+    let client_node = fabric.add_node();
+    // Partition failures are immediate (BrokenPipe), so attempt N lands
+    // at roughly the sum of the first N-1 backoffs: ~0, 100, 300, 700 ms
+    // (±20% jitter). Healing at 400 ms guarantees some attempt ≥ 4 runs
+    // after the heal while the six-attempt budget is far from exhausted.
+    let cfg = RpcConfig {
+        call_timeout: Duration::from_millis(300),
+        retry: RetryPolicy::exponential(6, Duration::from_millis(100)),
+        ..RpcConfig::socket()
+    };
+    let server = start_server(&fabric, server_node, &cfg);
+    let client = Client::new(&fabric, client_node, cfg).unwrap();
+    ping(&client, &server).unwrap();
+
+    fabric.partition(client_node, server_node);
+    let healer = {
+        let fabric = fabric.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(400));
+            fabric.heal(client_node, server_node);
+        })
+    };
+    let resp = ping(&client, &server).expect("call should survive a healed partition");
+    assert_eq!(resp.0, vec![1, 2, 3]);
+    healer.join().unwrap();
+
+    let counters = client.metrics().counters();
+    assert!(
+        counters.retries >= 1,
+        "outage should have cost at least one retry"
+    );
+    assert!(
+        counters.reconnects >= 1,
+        "recovery should re-establish the connection"
+    );
+    assert_eq!(counters.failed_calls, 0);
+    client.shutdown();
+    server.stop();
+}
+
+/// The per-call deadline bounds total time across attempts: with an
+/// unreachable server and a generous attempt budget, the call returns
+/// once the deadline is spent — not after `max_attempts × call_timeout`.
+#[test]
+fn deadline_caps_total_time_across_attempts() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig {
+        call_timeout: Duration::from_secs(10),
+        retry: RetryPolicy::exponential(50, Duration::from_millis(10))
+            .with_deadline(Duration::from_millis(700)),
+        ..RpcConfig::socket()
+    };
+    let server = start_server(&fabric, server_node, &cfg);
+    let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+    ping(&client, &server).unwrap();
+
+    // Black-hole the link: sends vanish silently, so every attempt rides
+    // its receive wait — which the deadline must cap.
+    fabric.set_link_fault(client.node(), server_node, FaultSpec::drop_all());
+    let start = Instant::now();
+    let err = ping(&client, &server).unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(
+        err.is_retryable(),
+        "expected a transport error, got {err:?}"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(600),
+        "deadline budget should be substantially used, only took {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "deadline must cap the call well under call_timeout, took {elapsed:?}"
+    );
+    assert_eq!(client.metrics().counters().failed_calls, 1);
+    client.shutdown();
+    server.stop();
+}
+
+/// A corrupt frame (garbage bytes on the raw stream) costs the client
+/// that sent it its connection — counted in `frame_errors` — while other
+/// clients keep working. Direct stream access sidesteps the RPC client,
+/// so this drives the server's Reader exactly like a misbehaving peer.
+#[test]
+fn corrupt_frame_drops_connection_and_counts() {
+    use std::io::Write;
+
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig::socket();
+    let server = start_server(&fabric, server_node, &cfg);
+    let good_client = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+    ping(&good_client, &server).unwrap();
+
+    // A raw connection that speaks garbage: a plausible length prefix
+    // followed by bytes that cannot parse as a request header.
+    let rogue_node = fabric.add_node();
+    let rogue = simnet::SimStream::connect(&fabric, rogue_node, server.addr()).unwrap();
+    let mut frame = 64u32.to_be_bytes().to_vec();
+    frame.extend_from_slice(&[0xff; 64]);
+    (&rogue).write_all(&frame).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics().counters().frame_errors == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(server.metrics().counters().frame_errors, 1);
+
+    // The rogue connection dies; the well-behaved client is unaffected.
+    let gone = Instant::now() + Duration::from_secs(5);
+    while server.connection_count() > 1 && Instant::now() < gone {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        server.connection_count(),
+        1,
+        "only the rogue connection may be dropped"
+    );
+    ping(&good_client, &server).unwrap();
+    good_client.shutdown();
+    server.stop();
+}
+
+/// Echo also works under RPCoIB with a retry policy configured, and a
+/// server restart heals transparently through the default policy.
+#[test]
+fn rpcoib_client_survives_server_restart() {
+    let fabric = Fabric::new(model::IB_QDR_VERBS);
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig::rpcoib();
+    let server = start_server(&fabric, server_node, &cfg);
+    let client = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+    ping(&client, &server).unwrap();
+    server.stop();
+
+    let server = start_server(&fabric, server_node, &cfg);
+    let resp = ping(&client, &server).expect("default policy should heal a stale connection");
+    assert_eq!(resp.0, vec![1, 2, 3]);
+    assert!(client.metrics().counters().reconnects >= 1);
+    client.shutdown();
+    server.stop();
+}
+
+/// Non-retryable errors must not consume retry budget: a remote
+/// exception fails immediately even under an aggressive policy.
+#[test]
+fn remote_errors_are_not_retried() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig {
+        retry: RetryPolicy::exponential(5, Duration::from_millis(100)),
+        ..RpcConfig::socket()
+    };
+    let server = start_server(&fabric, server_node, &cfg);
+    let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+
+    let start = Instant::now();
+    let err = client
+        .call::<_, Text>(
+            server.addr(),
+            "test.EchoProtocol",
+            "fail",
+            &Text("x".into()),
+        )
+        .unwrap_err();
+    assert!(matches!(err, RpcError::Remote(_)), "got {err:?}");
+    assert!(
+        start.elapsed() < Duration::from_millis(100),
+        "remote exceptions must fail without backoff sleeps"
+    );
+    let counters = client.metrics().counters();
+    assert_eq!(counters.retries, 0);
+    assert_eq!(counters.failed_calls, 1);
+    client.shutdown();
+    server.stop();
+}

@@ -57,7 +57,11 @@ fn env(rdma: bool) -> &'static Env {
         let server = Server::start(&fabric, sn, 7, cfg.clone(), registry).unwrap();
         let addr = server.addr();
         let client = Client::new(&fabric, cn, cfg).unwrap();
-        Env { _server: server, client, addr }
+        Env {
+            _server: server,
+            client,
+            addr,
+        }
     })
 }
 

@@ -40,15 +40,24 @@ impl HBaseClient {
         };
         let master_rpc = Client::new(&rpc_fabric, rpc_node, cfg.rpc.clone())?;
         let ops_rpc = Client::new(&ops_fabric, ops_node, cfg.ops_rpc_config())?;
-        let client = HBaseClient { master_rpc, ops_rpc, master, regions: RwLock::new(Vec::new()) };
+        let client = HBaseClient {
+            master_rpc,
+            ops_rpc,
+            master,
+            regions: RwLock::new(Vec::new()),
+        };
         client.refresh_regions()?;
         Ok(client)
     }
 
     /// Re-fetch the region map from the master.
     pub fn refresh_regions(&self) -> RpcResult<()> {
-        let map: Vec<RegionInfo> =
-            self.master_rpc.call(self.master, MASTER_PROTOCOL, "getRegions", &wire::NullWritable)?;
+        let map: Vec<RegionInfo> = self.master_rpc.call(
+            self.master,
+            MASTER_PROTOCOL,
+            "getRegions",
+            &wire::NullWritable,
+        )?;
         if map.is_empty() {
             return Err(RpcError::Protocol("empty region map".into()));
         }
@@ -80,11 +89,7 @@ impl HBaseClient {
     /// Route an operation to `key`'s region server, refreshing the region
     /// map and retrying when the assignment moved (e.g. after a region
     /// server crash — the master reassigns within its liveness timeout).
-    fn with_region<T>(
-        &self,
-        key: &[u8],
-        op: impl Fn(&RegionInfo) -> RpcResult<T>,
-    ) -> RpcResult<T> {
+    fn with_region<T>(&self, key: &[u8], op: impl Fn(&RegionInfo) -> RpcResult<T>) -> RpcResult<T> {
         let mut last_err = RpcError::Protocol("no region attempt made".into());
         for attempt in 0..12 {
             let region = self.locate(key)?;
@@ -110,7 +115,10 @@ impl HBaseClient {
                 region.rs_addr(),
                 RS_PROTOCOL,
                 "put",
-                &PutArgs { key: key.to_vec(), value: value.to_vec() },
+                &PutArgs {
+                    key: key.to_vec(),
+                    value: value.to_vec(),
+                },
             )?;
             Ok(())
         })
@@ -120,7 +128,8 @@ impl HBaseClient {
     pub fn delete(&self, key: &[u8]) -> RpcResult<bool> {
         self.with_region(key, |region| {
             let existed: BooleanWritable =
-                self.ops_rpc.call(region.rs_addr(), RS_PROTOCOL, "delete", &key.to_vec())?;
+                self.ops_rpc
+                    .call(region.rs_addr(), RS_PROTOCOL, "delete", &key.to_vec())?;
             Ok(existed.0)
         })
     }
@@ -128,7 +137,8 @@ impl HBaseClient {
     /// Fetch a row.
     pub fn get(&self, key: &[u8]) -> RpcResult<Option<Vec<u8>>> {
         self.with_region(key, |region| {
-            self.ops_rpc.call(region.rs_addr(), RS_PROTOCOL, "get", &key.to_vec())
+            self.ops_rpc
+                .call(region.rs_addr(), RS_PROTOCOL, "get", &key.to_vec())
         })
     }
 
@@ -146,7 +156,10 @@ impl HBaseClient {
                 region.rs_addr(),
                 RS_PROTOCOL,
                 "scan",
-                &ScanArgs { start: start.to_vec(), limit },
+                &ScanArgs {
+                    start: start.to_vec(),
+                    limit,
+                },
             )
         })
     }

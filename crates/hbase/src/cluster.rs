@@ -25,7 +25,11 @@ pub struct MiniHbase {
 
 impl MiniHbase {
     /// Start `n_servers` region servers (with co-located DataNodes).
-    pub fn start(eth_model: NetworkModel, n_servers: usize, cfg: HBaseConfig) -> RpcResult<MiniHbase> {
+    pub fn start(
+        eth_model: NetworkModel,
+        n_servers: usize,
+        cfg: HBaseConfig,
+    ) -> RpcResult<MiniHbase> {
         let cluster = Arc::new(Cluster::new(eth_model, n_servers + 2));
         let dfs = MiniDfs::start_on(Arc::clone(&cluster), n_servers, cfg.hdfs.clone())?;
 
@@ -54,7 +58,12 @@ impl MiniHbase {
             )?);
         }
 
-        let hbase = MiniHbase { dfs, master, regionservers, cfg };
+        let hbase = MiniHbase {
+            dfs,
+            master,
+            regionservers,
+            cfg,
+        };
         hbase.await_servers(n_servers, Duration::from_secs(10))?;
         Ok(hbase)
     }

@@ -43,12 +43,18 @@ impl HBaseConfig {
 
     /// `HBaseoIB-RPC(x)`: RDMA operations, socket Hadoop RPC.
     pub fn ops_ib() -> Self {
-        HBaseConfig { ops_rdma: true, ..HBaseConfig::default() }
+        HBaseConfig {
+            ops_rdma: true,
+            ..HBaseConfig::default()
+        }
     }
 
     /// `HBaseoIB-RPCoIB`: the paper's fully-RDMA configuration.
     pub fn all_ib() -> Self {
-        let mut cfg = HBaseConfig { ops_rdma: true, ..HBaseConfig::default() };
+        let mut cfg = HBaseConfig {
+            ops_rdma: true,
+            ..HBaseConfig::default()
+        };
         cfg.rpc = RpcConfig::rpcoib();
         cfg.hdfs.rpc = RpcConfig::rpcoib();
         cfg
@@ -56,7 +62,10 @@ impl HBaseConfig {
 
     /// Transport configuration of the operation plane.
     pub fn ops_rpc_config(&self) -> RpcConfig {
-        RpcConfig { ib_enabled: self.ops_rdma, ..RpcConfig::default() }
+        RpcConfig {
+            ib_enabled: self.ops_rdma,
+            ..RpcConfig::default()
+        }
     }
 }
 

@@ -97,7 +97,9 @@ impl MasterState {
                 let rs = assignment
                     .get(&region)
                     .ok_or_else(|| "regions not yet assigned".to_string())?;
-                let reg = servers.get(rs).ok_or_else(|| "owner vanished".to_string())?;
+                let reg = servers
+                    .get(rs)
+                    .ok_or_else(|| "owner vanished".to_string())?;
                 Ok(RegionInfo {
                     region,
                     n_regions: self.n_regions,
@@ -201,7 +203,9 @@ impl HMaster {
             next_rs: AtomicU32::new(0),
         });
         let mut registry = ServiceRegistry::new();
-        registry.register(Arc::new(MasterProtocol { state: Arc::clone(&state) }));
+        registry.register(Arc::new(MasterProtocol {
+            state: Arc::clone(&state),
+        }));
         let server = Server::start(fabric, node, MASTER_PORT, rpc, registry)?;
         Ok(HMaster { server, state })
     }
@@ -235,6 +239,8 @@ impl HMaster {
 
 impl std::fmt::Debug for HMaster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HMaster").field("addr", &self.server.addr()).finish()
+        f.debug_struct("HMaster")
+            .field("addr", &self.server.addr())
+            .finish()
     }
 }

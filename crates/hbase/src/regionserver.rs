@@ -135,7 +135,8 @@ impl RsState {
 
     fn put(&self, key: Vec<u8>, value: Vec<u8>) -> Result<(), String> {
         let bucket = region_of(&key, self.n_regions);
-        self.append_wal(ENTRY_PUT, &key, &value).map_err(|e| e.to_string())?;
+        self.append_wal(ENTRY_PUT, &key, &value)
+            .map_err(|e| e.to_string())?;
         let flush = {
             let mut regions = self.regions.lock();
             let region = regions
@@ -160,7 +161,9 @@ impl RsState {
                 append_entry(&mut buf, ENTRY_PUT, k, v);
             }
             let path = format!("/hbase/region{bucket}/hfile-rs{}-{seq:06}", self.rs_id);
-            self.dfs.write_file(&path, &buf).map_err(|e| e.to_string())?;
+            self.dfs
+                .write_file(&path, &buf)
+                .map_err(|e| e.to_string())?;
             let mut regions = self.regions.lock();
             if let Some(region) = regions.get_mut(&bucket) {
                 for (k, v) in snapshot {
@@ -174,7 +177,8 @@ impl RsState {
 
     fn delete(&self, key: &[u8]) -> Result<bool, String> {
         let bucket = region_of(key, self.n_regions);
-        self.append_wal(ENTRY_DELETE, key, &[]).map_err(|e| e.to_string())?;
+        self.append_wal(ENTRY_DELETE, key, &[])
+            .map_err(|e| e.to_string())?;
         let mut regions = self.regions.lock();
         let region = regions
             .get_mut(&bucket)
@@ -200,11 +204,17 @@ impl RsState {
         let regions = self.regions.lock();
         for region in regions.values() {
             for (k, v) in region.memstore.range(start.to_vec()..) {
-                rows.push(Row { key: k.clone(), value: v.clone() });
+                rows.push(Row {
+                    key: k.clone(),
+                    value: v.clone(),
+                });
             }
             for (k, v) in region.flushed.range(start.to_vec()..) {
                 if !region.memstore.contains_key(k) {
-                    rows.push(Row { key: k.clone(), value: v.clone() });
+                    rows.push(Row {
+                        key: k.clone(),
+                        value: v.clone(),
+                    });
                 }
             }
         }
@@ -428,9 +438,16 @@ impl HRegionServer {
         state.apply_assignment(&assigned.iter().map(|b| b.0 as u32).collect::<Vec<_>>());
 
         let mut registry = ServiceRegistry::new();
-        registry.register(Arc::new(RegionServerProtocol { state: Arc::clone(&state) }));
-        let server =
-            Server::start(&ops_fabric, ops_node, RS_PORT, cfg.ops_rpc_config(), registry)?;
+        registry.register(Arc::new(RegionServerProtocol {
+            state: Arc::clone(&state),
+        }));
+        let server = Server::start(
+            &ops_fabric,
+            ops_node,
+            RS_PORT,
+            cfg.ops_rpc_config(),
+            registry,
+        )?;
 
         // Heartbeat loop: liveness + assignment reconciliation.
         let state2 = Arc::clone(&state);
@@ -454,7 +471,11 @@ impl HRegionServer {
             })
             .expect("spawn rs heartbeat");
 
-        Ok(HRegionServer { server, state, threads: Mutex::new(vec![heartbeat]) })
+        Ok(HRegionServer {
+            server,
+            state,
+            threads: Mutex::new(vec![heartbeat]),
+        })
     }
 
     /// This server's id.
@@ -471,7 +492,10 @@ impl HRegionServer {
 
     /// (puts served, gets served).
     pub fn op_counts(&self) -> (u64, u64) {
-        (self.state.puts.load(Ordering::Relaxed), self.state.gets.load(Ordering::Relaxed))
+        (
+            self.state.puts.load(Ordering::Relaxed),
+            self.state.gets.load(Ordering::Relaxed),
+        )
     }
 
     /// Stop serving. Idempotent.

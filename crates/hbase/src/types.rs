@@ -115,11 +115,22 @@ mod tests {
 
     #[test]
     fn types_roundtrip() {
-        let r = RegionInfo { region: 3, n_regions: 16, rs_node: 7, rs_port: 60020 };
+        let r = RegionInfo {
+            region: 3,
+            n_regions: 16,
+            rs_node: 7,
+            rs_port: 60020,
+        };
         assert_eq!(from_bytes::<RegionInfo>(&to_bytes(&r).unwrap()).unwrap(), r);
-        let p = PutArgs { key: b"user1".to_vec(), value: vec![0u8; 64] };
+        let p = PutArgs {
+            key: b"user1".to_vec(),
+            value: vec![0u8; 64],
+        };
         assert_eq!(from_bytes::<PutArgs>(&to_bytes(&p).unwrap()).unwrap(), p);
-        let s = ScanArgs { start: b"user5".to_vec(), limit: 10 };
+        let s = ScanArgs {
+            start: b"user5".to_vec(),
+            limit: 10,
+        };
         assert_eq!(from_bytes::<ScanArgs>(&to_bytes(&s).unwrap()).unwrap(), s);
     }
 

@@ -63,12 +63,18 @@ impl Workload {
 
     /// 100% Put (Figure 8(b)).
     pub fn put_only(records: usize, ops: usize) -> Workload {
-        Workload { read_proportion: 0.0, ..Workload::get_only(records, ops) }
+        Workload {
+            read_proportion: 0.0,
+            ..Workload::get_only(records, ops)
+        }
     }
 
     /// 50% Get / 50% Put (Figure 8(c)).
     pub fn mixed(records: usize, ops: usize) -> Workload {
-        Workload { read_proportion: 0.5, ..Workload::get_only(records, ops) }
+        Workload {
+            read_proportion: 0.5,
+            ..Workload::get_only(records, ops)
+        }
     }
 }
 
@@ -192,7 +198,14 @@ pub fn run(client: &HBaseClient, workload: &Workload) -> RpcResult<Report> {
     }
     let elapsed = start.elapsed();
     latencies.sort_unstable();
-    Ok(Report { operations: gets + puts + scans, gets, puts, scans, elapsed, latencies })
+    Ok(Report {
+        operations: gets + puts + scans,
+        gets,
+        puts,
+        scans,
+        elapsed,
+        latencies,
+    })
 }
 
 #[cfg(test)]
@@ -213,7 +226,10 @@ mod tests {
         }
         // With theta=0.99 the lowest 10% of ids should absorb well over
         // half the draws.
-        assert!(low > 5_000, "zipfian not skewed: {low}/10000 in lowest decile");
+        assert!(
+            low > 5_000,
+            "zipfian not skewed: {low}/10000 in lowest decile"
+        );
     }
 
     #[test]
@@ -227,7 +243,11 @@ mod tests {
         assert_eq!(Workload::get_only(100, 10).read_proportion, 1.0);
         assert_eq!(Workload::put_only(100, 10).read_proportion, 0.0);
         assert_eq!(Workload::mixed(100, 10).read_proportion, 0.5);
-        assert_eq!(Workload::get_only(100, 10).value_size, 1024, "1 KB records per the paper");
+        assert_eq!(
+            Workload::get_only(100, 10).value_size,
+            1024,
+            "1 KB records per the paper"
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ fn flushes_write_to_hdfs_and_data_stays_readable() {
     let wal_segments = dfs.list("/hbase/wal").unwrap().len();
     let mut store_files = 0;
     for bucket in 0..hbase.regionservers().len() {
-        store_files += dfs.list(&format!("/hbase/region{bucket}")).unwrap_or_default().len();
+        store_files += dfs
+            .list(&format!("/hbase/region{bucket}"))
+            .unwrap_or_default()
+            .len();
     }
     assert!(wal_segments > 0, "WAL rolls must hit HDFS");
     assert!(store_files > 0, "memstore flushes must hit HDFS");
@@ -86,11 +89,16 @@ fn scan_returns_sorted_rows() {
     let hbase = MiniHbase::start(model::IPOIB_QDR, 2, small(HBaseConfig::socket())).unwrap();
     let client = hbase.client().unwrap();
     for id in 0..30usize {
-        client.put(&key_of(id), format!("v{id}").as_bytes()).unwrap();
+        client
+            .put(&key_of(id), format!("v{id}").as_bytes())
+            .unwrap();
     }
     let rows = client.scan(&key_of(0), 10).unwrap();
     assert!(!rows.is_empty());
-    assert!(rows.windows(2).all(|w| w[0].key <= w[1].key), "scan must be key-ordered");
+    assert!(
+        rows.windows(2).all(|w| w[0].key <= w[1].key),
+        "scan must be key-ordered"
+    );
     client.shutdown();
     hbase.stop();
 }
@@ -99,11 +107,17 @@ fn scan_returns_sorted_rows() {
 fn ycsb_load_and_mixed_run() {
     let hbase = MiniHbase::start(model::IPOIB_QDR, 3, small(HBaseConfig::socket())).unwrap();
     let client = hbase.client().unwrap();
-    let workload = Workload { value_size: 256, ..Workload::mixed(300, 400) };
+    let workload = Workload {
+        value_size: 256,
+        ..Workload::mixed(300, 400)
+    };
     ycsb::load(&client, &workload).unwrap();
     let report = ycsb::run(&client, &workload).unwrap();
     assert_eq!(report.operations, 400);
-    assert!(report.gets > 100 && report.puts > 100, "mix must be near 50/50: {report:?}");
+    assert!(
+        report.gets > 100 && report.puts > 100,
+        "mix must be near 50/50: {report:?}"
+    );
     assert!(report.kops_per_sec() > 0.0);
     assert!(report.latency_at(0.5) > std::time::Duration::ZERO);
     // Loaded rows exist.
@@ -117,7 +131,10 @@ fn ycsb_load_and_mixed_run() {
 fn ops_are_spread_across_region_servers() {
     let hbase = MiniHbase::start(model::IPOIB_QDR, 3, small(HBaseConfig::socket())).unwrap();
     let client = hbase.client().unwrap();
-    let workload = Workload { value_size: 128, ..Workload::put_only(240, 240) };
+    let workload = Workload {
+        value_size: 128,
+        ..Workload::put_only(240, 240)
+    };
     ycsb::load(&client, &workload).unwrap();
     for rs in hbase.regionservers() {
         let (puts, _gets) = rs.op_counts();
@@ -133,10 +150,8 @@ fn rdma_ops_plane_beats_socket_plane_on_get_latency() {
     // socket gets over IPoIB. Both clusters run simultaneously and the
     // measured gets are interleaved, so ambient CPU load (other tests in
     // this binary run in parallel) biases both sides equally.
-    let socket_hbase =
-        MiniHbase::start(model::IPOIB_QDR, 2, small(HBaseConfig::socket())).unwrap();
-    let rdma_hbase =
-        MiniHbase::start(model::IPOIB_QDR, 2, small(HBaseConfig::ops_ib())).unwrap();
+    let socket_hbase = MiniHbase::start(model::IPOIB_QDR, 2, small(HBaseConfig::socket())).unwrap();
+    let rdma_hbase = MiniHbase::start(model::IPOIB_QDR, 2, small(HBaseConfig::ops_ib())).unwrap();
     let socket_client = socket_hbase.client().unwrap();
     let rdma_client = rdma_hbase.client().unwrap();
     let value = vec![9u8; 1024];
@@ -162,7 +177,10 @@ fn rdma_ops_plane_beats_socket_plane_on_get_latency() {
     rdma_client.shutdown();
     socket_hbase.stop();
     rdma_hbase.stop();
-    assert!(rdma < socket, "HBaseoIB median get ({rdma:?}) must beat sockets ({socket:?})");
+    assert!(
+        rdma < socket,
+        "HBaseoIB median get ({rdma:?}) must beat sockets ({socket:?})"
+    );
 }
 
 #[test]
@@ -212,7 +230,9 @@ fn rows_survive_region_server_crash() {
     let client = hbase.client().unwrap();
     let n_rows = 120usize;
     for id in 0..n_rows {
-        client.put(&key_of(id), format!("value-{id}").as_bytes()).unwrap();
+        client
+            .put(&key_of(id), format!("value-{id}").as_bytes())
+            .unwrap();
     }
     // Force the tail of the WAL out by writing filler (the final partial
     // WAL buffer of a crashed server is lost, as in real HBase).
@@ -243,7 +263,10 @@ fn rows_survive_region_server_crash() {
         .flat_map(|rs| rs.hosted_buckets())
         .collect();
     for bucket in victim_buckets {
-        assert!(survivors.contains(&bucket), "bucket {bucket} not reassigned");
+        assert!(
+            survivors.contains(&bucket),
+            "bucket {bucket} not reassigned"
+        );
     }
     client.shutdown();
     hbase.stop();

@@ -49,16 +49,19 @@ impl DfsClient {
 
     pub fn mkdirs(&self, path: &str) -> RpcResult<bool> {
         let ok: BooleanWritable =
-            self.rpc.call(self.nn, CLIENT_PROTOCOL, "mkdirs", &Text::from(path))?;
+            self.rpc
+                .call(self.nn, CLIENT_PROTOCOL, "mkdirs", &Text::from(path))?;
         Ok(ok.0)
     }
 
     pub fn get_file_info(&self, path: &str) -> RpcResult<Option<FileStatus>> {
-        self.rpc.call(self.nn, CLIENT_PROTOCOL, "getFileInfo", &Text::from(path))
+        self.rpc
+            .call(self.nn, CLIENT_PROTOCOL, "getFileInfo", &Text::from(path))
     }
 
     pub fn list(&self, path: &str) -> RpcResult<Vec<FileStatus>> {
-        self.rpc.call(self.nn, CLIENT_PROTOCOL, "getListing", &Text::from(path))
+        self.rpc
+            .call(self.nn, CLIENT_PROTOCOL, "getListing", &Text::from(path))
     }
 
     pub fn rename(&self, src: &str, dst: &str) -> RpcResult<bool> {
@@ -73,18 +76,28 @@ impl DfsClient {
 
     pub fn delete(&self, path: &str) -> RpcResult<bool> {
         let ok: BooleanWritable =
-            self.rpc.call(self.nn, CLIENT_PROTOCOL, "delete", &Text::from(path))?;
+            self.rpc
+                .call(self.nn, CLIENT_PROTOCOL, "delete", &Text::from(path))?;
         Ok(ok.0)
     }
 
     pub fn renew_lease(&self, client_name: &str) -> RpcResult<()> {
-        let _: NullWritable =
-            self.rpc.call(self.nn, CLIENT_PROTOCOL, "renewLease", &Text::from(client_name))?;
+        let _: NullWritable = self.rpc.call(
+            self.nn,
+            CLIENT_PROTOCOL,
+            "renewLease",
+            &Text::from(client_name),
+        )?;
         Ok(())
     }
 
     pub fn get_block_locations(&self, path: &str) -> RpcResult<Vec<LocatedBlock>> {
-        self.rpc.call(self.nn, CLIENT_PROTOCOL, "getBlockLocations", &Text::from(path))
+        self.rpc.call(
+            self.nn,
+            CLIENT_PROTOCOL,
+            "getBlockLocations",
+            &Text::from(path),
+        )
     }
 
     // --- Write path. ---
@@ -108,7 +121,9 @@ impl DfsClient {
     /// Convenience: create + write + close.
     pub fn write_file(&self, path: &str, data: &[u8]) -> RpcResult<()> {
         let mut writer = self.create(path)?;
-        writer.write_all(data).map_err(|e| RpcError::Io(e.to_string()))?;
+        writer
+            .write_all(data)
+            .map_err(|e| RpcError::Io(e.to_string()))?;
         writer.close()
     }
 
@@ -224,7 +239,13 @@ impl DfsClient {
             None => return Err(RpcError::Remote(format!("no such file: {path}"))),
         }
         let blocks = self.get_block_locations(path)?;
-        Ok(DfsReader { client: self, blocks, block_idx: 0, buf: Vec::new(), buf_pos: 0 })
+        Ok(DfsReader {
+            client: self,
+            blocks,
+            block_idx: 0,
+            buf: Vec::new(),
+            buf_pos: 0,
+        })
     }
 
     /// Write one block's worth of data through a fresh pipeline, retrying
@@ -236,7 +257,10 @@ impl DfsClient {
                 self.nn,
                 CLIENT_PROTOCOL,
                 "addBlock",
-                &AddBlockArgs { path: path.to_owned(), exclude: exclude.clone() },
+                &AddBlockArgs {
+                    path: path.to_owned(),
+                    exclude: exclude.clone(),
+                },
             )?;
             match self.try_pipeline(&lb, data) {
                 Ok(()) => return Ok(()),
@@ -289,7 +313,8 @@ impl DfsClient {
 
     fn complete(&self, path: &str) -> RpcResult<()> {
         let _: BooleanWritable =
-            self.rpc.call(self.nn, CLIENT_PROTOCOL, "complete", &Text::from(path))?;
+            self.rpc
+                .call(self.nn, CLIENT_PROTOCOL, "complete", &Text::from(path))?;
         Ok(())
     }
 }
@@ -345,7 +370,10 @@ impl Write for DfsWriter<'_> {
 
 impl Drop for DfsWriter<'_> {
     fn drop(&mut self) {
-        debug_assert!(self.closed || self.buf.is_empty(), "DfsWriter dropped without close()");
+        debug_assert!(
+            self.closed || self.buf.is_empty(),
+            "DfsWriter dropped without close()"
+        );
     }
 }
 

@@ -24,7 +24,11 @@ pub struct MiniDfs {
 
 impl MiniDfs {
     /// Start with `n_datanodes` DataNodes; Ethernet rail runs `eth_model`.
-    pub fn start(eth_model: NetworkModel, n_datanodes: usize, cfg: HdfsConfig) -> RpcResult<MiniDfs> {
+    pub fn start(
+        eth_model: NetworkModel,
+        n_datanodes: usize,
+        cfg: HdfsConfig,
+    ) -> RpcResult<MiniDfs> {
         let cluster = Arc::new(Cluster::new(eth_model, n_datanodes + 2));
         Self::start_on(cluster, n_datanodes, cfg)
     }
@@ -35,7 +39,10 @@ impl MiniDfs {
         n_datanodes: usize,
         cfg: HdfsConfig,
     ) -> RpcResult<MiniDfs> {
-        assert!(cluster.len() >= n_datanodes + 2, "need n_datanodes + 2 hosts");
+        assert!(
+            cluster.len() >= n_datanodes + 2,
+            "need n_datanodes + 2 hosts"
+        );
         let nn_net = HostNet::of(&cluster, Host(0), &cfg);
         let namenode = NameNode::start(&nn_net.rpc_fabric, nn_net.rpc_node, cfg.clone())?;
         let nn_addr = namenode.addr();
@@ -46,7 +53,12 @@ impl MiniDfs {
             datanodes.push(DataNode::start(&net, nn_addr, cfg.clone())?);
         }
 
-        let dfs = MiniDfs { cluster, cfg, namenode, datanodes };
+        let dfs = MiniDfs {
+            cluster,
+            cfg,
+            namenode,
+            datanodes,
+        };
         dfs.await_datanodes(n_datanodes, Duration::from_secs(10))?;
         Ok(dfs)
     }

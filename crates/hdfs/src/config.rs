@@ -51,17 +51,27 @@ impl HdfsConfig {
 
     /// RPCoIB control plane, socket data path ("HDFS(x)-RPCoIB").
     pub fn rpc_ib() -> Self {
-        HdfsConfig { rpc: RpcConfig::rpcoib(), ..HdfsConfig::default() }
+        HdfsConfig {
+            rpc: RpcConfig::rpcoib(),
+            ..HdfsConfig::default()
+        }
     }
 
     /// RDMA data path, socket RPC ("HDFSoIB-RPC(x)").
     pub fn data_ib() -> Self {
-        HdfsConfig { data_rdma: true, ..HdfsConfig::default() }
+        HdfsConfig {
+            data_rdma: true,
+            ..HdfsConfig::default()
+        }
     }
 
     /// Fully RDMA: HDFSoIB + RPCoIB — the paper's best configuration.
     pub fn all_ib() -> Self {
-        HdfsConfig { rpc: RpcConfig::rpcoib(), data_rdma: true, ..HdfsConfig::default() }
+        HdfsConfig {
+            rpc: RpcConfig::rpcoib(),
+            data_rdma: true,
+            ..HdfsConfig::default()
+        }
     }
 
     /// The transport configuration used by data-transfer connections:
@@ -73,8 +83,7 @@ impl HdfsConfig {
             rdma_threshold: self.chunk + 256,
             recv_buf_bytes: (self.chunk + 256).next_power_of_two(),
             posted_recvs: 32,
-            large_region_bytes: ((self.chunk + 256).next_power_of_two() * 4)
-                .max(1024 * 1024),
+            large_region_bytes: ((self.chunk + 256).next_power_of_two() * 4).max(1024 * 1024),
             prefill_per_class: 2,
             ..RpcConfig::default()
         }
@@ -105,7 +114,12 @@ impl HostNet {
         } else {
             (cluster.eth().clone(), cluster.eth_node(host))
         };
-        HostNet { rpc_fabric, rpc_node, data_fabric, data_node }
+        HostNet {
+            rpc_fabric,
+            rpc_node,
+            data_fabric,
+            data_node,
+        }
     }
 }
 

@@ -37,7 +37,10 @@ struct StoredBlock {
 impl StoredBlock {
     fn new(data: Vec<u8>) -> StoredBlock {
         let crc = wire::crc32(&data);
-        StoredBlock { data: Arc::new(data), crc }
+        StoredBlock {
+            data: Arc::new(data),
+            crc,
+        }
     }
 
     fn is_intact(&self) -> bool {
@@ -66,7 +69,11 @@ impl DataNode {
     /// `(data_node, DATA_PORT)`.
     pub fn start(net: &HostNet, nn: SimAddr, cfg: HdfsConfig) -> RpcResult<DataNode> {
         let rpc = Client::new(&net.rpc_fabric, net.rpc_node, cfg.rpc.clone())?;
-        let me = DatanodeInfo { id: 0, xfer_node: net.data_node.0, xfer_port: DATA_PORT };
+        let me = DatanodeInfo {
+            id: 0,
+            xfer_node: net.data_node.0,
+            xfer_port: DATA_PORT,
+        };
         let id: IntWritable = rpc.call(nn, "hdfs.DatanodeProtocol", "registerDatanode", &me)?;
         let pool = DataConnPool::new(&net.data_fabric, net.data_node, cfg.data_rpc_config())?;
         let listener = SimListener::bind(&net.data_fabric, SimAddr::new(net.data_node, DATA_PORT))?;
@@ -100,7 +107,10 @@ impl DataNode {
                     .expect("spawn dn heartbeat"),
             );
         }
-        Ok(DataNode { state, threads: Mutex::new(threads) })
+        Ok(DataNode {
+            state,
+            threads: Mutex::new(threads),
+        })
     }
 
     /// The NameNode-assigned id of this DataNode.
@@ -115,14 +125,23 @@ impl DataNode {
 
     /// Total bytes stored locally.
     pub fn used_bytes(&self) -> usize {
-        self.state.blocks.lock().values().map(|b| b.data.len()).sum()
+        self.state
+            .blocks
+            .lock()
+            .values()
+            .map(|b| b.data.len())
+            .sum()
     }
 
     /// Whether the local replica of `block` still matches its stored
     /// checksum (`None` if the block is not here) — what HDFS's block
     /// scanner reports per replica.
     pub fn block_is_intact(&self, block: u64) -> Option<bool> {
-        self.state.blocks.lock().get(&block).map(StoredBlock::is_intact)
+        self.state
+            .blocks
+            .lock()
+            .get(&block)
+            .map(StoredBlock::is_intact)
     }
 
     /// Failure injection: flip one byte of a stored replica without
@@ -206,7 +225,10 @@ fn heartbeat_loop(state: Arc<DnState>) {
                 state.nn,
                 "hdfs.DatanodeProtocol",
                 "blockReport",
-                &BlockReportArgs { dn_id: state.id, blocks },
+                &BlockReportArgs {
+                    dn_id: state.id,
+                    blocks,
+                },
             );
         }
     }
@@ -249,7 +271,11 @@ impl DnState {
             .pool
             .ib_context()
             .ok_or_else(|| RpcError::Config("data_rdma set but pool has no IB context".into()))?;
-        Ok(Arc::new(RdmaConn::bootstrap(stream, ctx, &self.cfg.data_rpc_config())?))
+        Ok(Arc::new(RdmaConn::bootstrap(
+            stream,
+            ctx,
+            &self.cfg.data_rpc_config(),
+        )?))
     }
 }
 
@@ -318,7 +344,11 @@ fn handle_write(
             state.nn,
             "hdfs.DatanodeProtocol",
             "blockReceived",
-            &BlockReceivedArgs { dn_id: state.id, block, size: size as u64 },
+            &BlockReceivedArgs {
+                dn_id: state.id,
+                block,
+                size: size as u64,
+            },
         )?;
         // Wait for the downstream ack before acking upstream.
         if let Some(d) = &downstream {
@@ -352,13 +382,15 @@ fn handle_write(
 fn replicate_block(state: &Arc<DnState>, block: u64, targets: &[DatanodeInfo]) -> RpcResult<()> {
     let data = {
         let blocks = state.blocks.lock();
-        let stored = blocks
-            .get(&block)
-            .ok_or_else(|| RpcError::Protocol(format!("asked to replicate unknown block {block}")))?;
+        let stored = blocks.get(&block).ok_or_else(|| {
+            RpcError::Protocol(format!("asked to replicate unknown block {block}"))
+        })?;
         // Never propagate a corrupt replica; the NameNode will retry the
         // replication from another source once its pending entry expires.
         if !stored.is_intact() {
-            return Err(RpcError::Protocol(format!("local replica of block {block} is corrupt")));
+            return Err(RpcError::Protocol(format!(
+                "local replica of block {block} is corrupt"
+            )));
         }
         Arc::clone(&stored.data)
     };

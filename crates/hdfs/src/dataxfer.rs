@@ -67,7 +67,11 @@ impl DataConnPool {
     /// Build a pool for one endpoint of the data plane. Opens the HCA when
     /// the data path is RDMA.
     pub fn new(fabric: &Fabric, local: NodeId, cfg: RpcConfig) -> RpcResult<DataConnPool> {
-        let ib = if cfg.ib_enabled { Some(IbContext::new(fabric, local, &cfg)?) } else { None };
+        let ib = if cfg.ib_enabled {
+            Some(IbContext::new(fabric, local, &cfg)?)
+        } else {
+            None
+        };
         Ok(DataConnPool {
             fabric: fabric.clone(),
             local,
@@ -80,14 +84,24 @@ impl DataConnPool {
     /// Check out a connection to `addr`, reusing an idle one when possible.
     pub fn checkout(&self, addr: SimAddr) -> RpcResult<PooledConn<'_>> {
         if let Some(conn) = self.idle.lock().get_mut(&addr).and_then(Vec::pop) {
-            return Ok(PooledConn { conn: Some(conn), addr, pool: self, reusable: true });
+            return Ok(PooledConn {
+                conn: Some(conn),
+                addr,
+                pool: self,
+                reusable: true,
+            });
         }
         let stream = SimStream::connect(&self.fabric, self.local, addr)?;
         let conn: Arc<dyn Conn> = match &self.ib {
             Some(ctx) => Arc::new(RdmaConn::bootstrap(&stream, ctx, &self.cfg)?),
             None => Arc::new(SocketConn::new(stream, 4096)),
         };
-        Ok(PooledConn { conn: Some(conn), addr, pool: self, reusable: true })
+        Ok(PooledConn {
+            conn: Some(conn),
+            addr,
+            pool: self,
+            reusable: true,
+        })
     }
 
     /// The IB context backing RDMA data connections (None on sockets).
@@ -148,7 +162,11 @@ impl Drop for PooledConn<'_> {
 // ---------------------------------------------------------------------------
 
 /// Send a `WRITE` header opening a pipeline for `block` to `targets`.
-pub fn send_write_header(conn: &Arc<dyn Conn>, block: u64, targets: &[DatanodeInfo]) -> RpcResult<()> {
+pub fn send_write_header(
+    conn: &Arc<dyn Conn>,
+    block: u64,
+    targets: &[DatanodeInfo],
+) -> RpcResult<()> {
     conn.send_msg("hdfs.data", "write", &mut |out| {
         out.write_u8(OP_WRITE)?;
         out.write_i64(block as i64)?;
@@ -174,7 +192,8 @@ pub fn send_chunk(conn: &Arc<dyn Conn>, chunk: &[u8]) -> RpcResult<()> {
 
 /// Send the end-of-block marker.
 pub fn send_end(conn: &Arc<dyn Conn>) -> RpcResult<()> {
-    conn.send_msg("hdfs.data", "end", &mut |out| out.write_u8(OP_END)).map(|_| ())
+    conn.send_msg("hdfs.data", "end", &mut |out| out.write_u8(OP_END))
+        .map(|_| ())
 }
 
 /// Send an `ACK` with `status`.
@@ -210,11 +229,18 @@ pub fn send_size(conn: &Arc<dyn Conn>, size: u64) -> RpcResult<()> {
 /// A parsed data-plane frame.
 #[derive(Debug)]
 pub enum DataFrame {
-    Write { block: u64, targets: Vec<DatanodeInfo> },
+    Write {
+        block: u64,
+        targets: Vec<DatanodeInfo>,
+    },
     Data(Vec<u8>),
     End,
     Ack(u8),
-    Read { block: u64, offset: u64, len: u64 },
+    Read {
+        block: u64,
+        offset: u64,
+        len: u64,
+    },
     Size(u64),
 }
 
@@ -246,7 +272,9 @@ fn parse_frame(reader: &mut dyn DataInput) -> io::Result<DataFrame> {
             if actual != expected {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("chunk checksum mismatch: expected {expected:#010x}, got {actual:#010x}"),
+                    format!(
+                        "chunk checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                    ),
                 ));
             }
             DataFrame::Data(chunk)
@@ -356,7 +384,11 @@ mod tests {
         });
         let pool = DataConnPool::new(&fabric, client, RpcConfig::socket()).unwrap();
         let c = pool.checkout(addr).unwrap();
-        let targets = vec![DatanodeInfo { id: 1, xfer_node: 3, xfer_port: 50010 }];
+        let targets = vec![DatanodeInfo {
+            id: 1,
+            xfer_node: 3,
+            xfer_port: 50010,
+        }];
         send_write_header(c.conn(), 42, &targets).unwrap();
         send_chunk(c.conn(), &[1, 2, 3]).unwrap();
         send_end(c.conn()).unwrap();

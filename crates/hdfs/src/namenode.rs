@@ -23,7 +23,11 @@ use crate::NN_PORT;
 #[derive(Debug, Clone)]
 enum INode {
     Dir,
-    File { blocks: Vec<u64>, replication: u32, complete: bool },
+    File {
+        blocks: Vec<u64>,
+        replication: u32,
+        complete: bool,
+    },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -79,7 +83,10 @@ impl NnState {
 
     fn file_len(&self, blocks: &[u64]) -> u64 {
         let map = self.blocks.lock();
-        blocks.iter().map(|b| map.get(b).map_or(0, |m| m.size)).sum()
+        blocks
+            .iter()
+            .map(|b| map.get(b).map_or(0, |m| m.size))
+            .sum()
     }
 
     fn status_of(&self, path: &str, node: &INode) -> FileStatus {
@@ -91,7 +98,11 @@ impl NnState {
                 replication: 0,
                 block_size: self.cfg.block_size as u64,
             },
-            INode::File { blocks, replication, .. } => FileStatus {
+            INode::File {
+                blocks,
+                replication,
+                ..
+            } => FileStatus {
                 path: path.to_owned(),
                 is_dir: false,
                 len: self.file_len(blocks),
@@ -158,8 +169,12 @@ impl NnState {
             if pending.contains_key(block) {
                 continue;
             }
-            let live_holders: Vec<u32> =
-                meta.locations.iter().copied().filter(|id| live.contains(id)).collect();
+            let live_holders: Vec<u32> = meta
+                .locations
+                .iter()
+                .copied()
+                .filter(|id| live.contains(id))
+                .collect();
             let missing = self.cfg.replication.saturating_sub(live_holders.len());
             if missing == 0 {
                 continue;
@@ -173,7 +188,10 @@ impl NnState {
                 continue;
             }
             pending.insert(*block, now + self.cfg.dn_timeout * 4);
-            commands.push(DnCommand::Replicate { block: *block, targets });
+            commands.push(DnCommand::Replicate {
+                block: *block,
+                targets,
+            });
         }
         commands
     }
@@ -264,13 +282,21 @@ impl RpcService for ClientProtocol {
                 let block = state.next_block.fetch_add(1, Ordering::Relaxed);
                 let mut ns = state.namespace.lock();
                 match ns.get_mut(&args.path) {
-                    Some(INode::File { blocks, complete: false, .. }) => blocks.push(block),
+                    Some(INode::File {
+                        blocks,
+                        complete: false,
+                        ..
+                    }) => blocks.push(block),
                     Some(_) => return Err(format!("not an open file: {}", args.path)),
                     None => return Err(format!("no such file: {}", args.path)),
                 }
                 drop(ns);
                 state.blocks.lock().insert(block, BlockMeta::default());
-                Ok(Box::new(LocatedBlock { block, size: 0, targets }))
+                Ok(Box::new(LocatedBlock {
+                    block,
+                    size: 0,
+                    targets,
+                }))
             }
             "abandonBlock" => {
                 let mut path = Text::default();
@@ -334,14 +360,15 @@ impl RpcService for ClientProtocol {
             "getListing" => {
                 let mut path = Text::default();
                 path.read_fields(param).map_err(ioerr)?;
-                let prefix =
-                    if path.0.ends_with('/') { path.0.clone() } else { format!("{}/", path.0) };
+                let prefix = if path.0.ends_with('/') {
+                    path.0.clone()
+                } else {
+                    format!("{}/", path.0)
+                };
                 let ns = state.namespace.lock();
                 let mut listing: Vec<FileStatus> = ns
                     .iter()
-                    .filter(|(p, _)| {
-                        p.starts_with(&prefix) && !p[prefix.len()..].contains('/')
-                    })
+                    .filter(|(p, _)| p.starts_with(&prefix) && !p[prefix.len()..].contains('/'))
                     .map(|(p, node)| state.status_of(p, node))
                     .collect();
                 listing.sort_by(|a, b| a.path.cmp(&b.path));
@@ -359,9 +386,7 @@ impl RpcService for ClientProtocol {
                 // Move the node and any children (directory rename).
                 let moved: Vec<(String, INode)> = ns
                     .iter()
-                    .filter(|(p, _)| {
-                        **p == src.0 || p.starts_with(&format!("{}/", src.0))
-                    })
+                    .filter(|(p, _)| **p == src.0 || p.starts_with(&format!("{}/", src.0)))
                     .map(|(p, n)| (p.clone(), n.clone()))
                     .collect();
                 for (p, node) in moved {
@@ -431,10 +456,13 @@ impl RpcService for DatanodeProtocol {
                 info.read_fields(param).map_err(ioerr)?;
                 let id = state.next_dn.fetch_add(1, Ordering::Relaxed);
                 info.id = id;
-                state
-                    .datanodes
-                    .lock()
-                    .insert(id, DnReg { info, last_heartbeat: Instant::now() });
+                state.datanodes.lock().insert(
+                    id,
+                    DnReg {
+                        info,
+                        last_heartbeat: Instant::now(),
+                    },
+                );
                 Ok(Box::new(IntWritable(id as i32)))
             }
             "sendHeartbeat" => {
@@ -523,8 +551,12 @@ impl NameNode {
             placement_cursor: AtomicUsize::new(0),
         });
         let mut registry = ServiceRegistry::new();
-        registry.register(Arc::new(ClientProtocol { state: Arc::clone(&state) }));
-        registry.register(Arc::new(DatanodeProtocol { state: Arc::clone(&state) }));
+        registry.register(Arc::new(ClientProtocol {
+            state: Arc::clone(&state),
+        }));
+        registry.register(Arc::new(DatanodeProtocol {
+            state: Arc::clone(&state),
+        }));
         let server = Server::start(fabric, node, NN_PORT, cfg.rpc, registry)?;
         Ok(NameNode { server, state })
     }
@@ -557,8 +589,16 @@ impl NameNode {
 
     /// Full filesystem health report (the `hdfs fsck` essentials).
     pub fn fsck(&self) -> FsckReport {
-        let live: Vec<u32> = self.state.live_datanodes(&[]).iter().map(|dn| dn.id).collect();
-        let mut report = FsckReport { live_datanodes: live.len(), ..FsckReport::default() };
+        let live: Vec<u32> = self
+            .state
+            .live_datanodes(&[])
+            .iter()
+            .map(|dn| dn.id)
+            .collect();
+        let mut report = FsckReport {
+            live_datanodes: live.len(),
+            ..FsckReport::default()
+        };
         {
             let ns = self.state.namespace.lock();
             for node in ns.values() {
@@ -594,6 +634,8 @@ impl NameNode {
 
 impl std::fmt::Debug for NameNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NameNode").field("addr", &self.server.addr()).finish()
+        f.debug_struct("NameNode")
+            .field("addr", &self.server.addr())
+            .finish()
     }
 }

@@ -107,7 +107,9 @@ impl Writable for AddBlockArgs {
     fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
         self.path = input.read_string()?;
         let n = input.read_vint()?;
-        self.exclude = (0..n).map(|_| input.read_vint().map(|v| v as u32)).collect::<Result<_, _>>()?;
+        self.exclude = (0..n)
+            .map(|_| input.read_vint().map(|v| v as u32))
+            .collect::<Result<_, _>>()?;
         Ok(())
     }
 }
@@ -153,7 +155,9 @@ impl Writable for BlockReportArgs {
     fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
         self.dn_id = input.read_vint()? as u32;
         let n = input.read_vint()?;
-        self.blocks = (0..n).map(|_| input.read_i64().map(|v| v as u64)).collect::<Result<_, _>>()?;
+        self.blocks = (0..n)
+            .map(|_| input.read_i64().map(|v| v as u64))
+            .collect::<Result<_, _>>()?;
         Ok(())
     }
 }
@@ -167,7 +171,10 @@ pub enum DnCommand {
     #[default]
     None,
     /// Copy a locally held block to `targets` via a write pipeline.
-    Replicate { block: u64, targets: Vec<DatanodeInfo> },
+    Replicate {
+        block: u64,
+        targets: Vec<DatanodeInfo>,
+    },
 }
 
 impl Writable for DnCommand {
@@ -213,13 +220,25 @@ mod tests {
 
     #[test]
     fn protocol_types_roundtrip() {
-        roundtrip(DatanodeInfo { id: 3, xfer_node: 17, xfer_port: 50010 });
+        roundtrip(DatanodeInfo {
+            id: 3,
+            xfer_node: 17,
+            xfer_port: 50010,
+        });
         roundtrip(LocatedBlock {
             block: 42,
             size: 1 << 21,
             targets: vec![
-                DatanodeInfo { id: 1, xfer_node: 5, xfer_port: 50010 },
-                DatanodeInfo { id: 2, xfer_node: 6, xfer_port: 50010 },
+                DatanodeInfo {
+                    id: 1,
+                    xfer_node: 5,
+                    xfer_port: 50010,
+                },
+                DatanodeInfo {
+                    id: 2,
+                    xfer_node: 6,
+                    xfer_port: 50010,
+                },
             ],
         });
         roundtrip(FileStatus {
@@ -229,19 +248,37 @@ mod tests {
             replication: 3,
             block_size: 2 << 20,
         });
-        roundtrip(AddBlockArgs { path: "/f".into(), exclude: vec![7, 9] });
-        roundtrip(BlockReceivedArgs { dn_id: 2, block: 99, size: 4096 });
-        roundtrip(BlockReportArgs { dn_id: 1, blocks: vec![1, 2, 3] });
+        roundtrip(AddBlockArgs {
+            path: "/f".into(),
+            exclude: vec![7, 9],
+        });
+        roundtrip(BlockReceivedArgs {
+            dn_id: 2,
+            block: 99,
+            size: 4096,
+        });
+        roundtrip(BlockReportArgs {
+            dn_id: 1,
+            blocks: vec![1, 2, 3],
+        });
         roundtrip(DnCommand::None);
         roundtrip(DnCommand::Replicate {
             block: 7,
-            targets: vec![DatanodeInfo { id: 4, xfer_node: 8, xfer_port: 50010 }],
+            targets: vec![DatanodeInfo {
+                id: 4,
+                xfer_node: 8,
+                xfer_port: 50010,
+            }],
         });
     }
 
     #[test]
     fn xfer_addr_is_derived() {
-        let dn = DatanodeInfo { id: 0, xfer_node: 9, xfer_port: 50010 };
+        let dn = DatanodeInfo {
+            id: 0,
+            xfer_node: 9,
+            xfer_port: 50010,
+        };
         assert_eq!(dn.xfer_addr(), SimAddr::new(NodeId(9), 50010));
     }
 
@@ -250,7 +287,15 @@ mod tests {
         // Sanity for the paper's §III-C observation: blockReceived frames
         // are small and steady. Ours is smaller than Java's (no class
         // names on the wire) but must stay well under one size class.
-        let bytes = to_bytes(&BlockReceivedArgs { dn_id: 3, block: 1 << 40, size: 1 << 21 }).unwrap();
-        assert!(bytes.len() < 128, "blockReceived fits in the smallest class");
+        let bytes = to_bytes(&BlockReceivedArgs {
+            dn_id: 3,
+            block: 1 << 40,
+            size: 1 << 21,
+        })
+        .unwrap();
+        assert!(
+            bytes.len() < 128,
+            "blockReceived fits in the smallest class"
+        );
     }
 }

@@ -13,7 +13,11 @@ fn random_bytes(n: usize, seed: u64) -> Vec<u8> {
 }
 
 fn small_cfg(base: HdfsConfig) -> HdfsConfig {
-    HdfsConfig { block_size: 64 * 1024, chunk: 16 * 1024, ..base }
+    HdfsConfig {
+        block_size: 64 * 1024,
+        chunk: 16 * 1024,
+        ..base
+    }
 }
 
 fn write_read_roundtrip(cfg: HdfsConfig) {
@@ -130,7 +134,10 @@ fn create_existing_file_fails() {
     let client = dfs.client().unwrap();
     client.write_file("/dup", b"x").unwrap();
     let err = client.write_file("/dup", b"y").err().unwrap();
-    assert!(matches!(err, rpcoib::RpcError::Remote(ref m) if m.contains("exists")), "{err}");
+    assert!(
+        matches!(err, rpcoib::RpcError::Remote(ref m) if m.contains("exists")),
+        "{err}"
+    );
     dfs.stop();
 }
 
@@ -149,7 +156,9 @@ fn write_survives_datanode_failure() {
     let client = dfs.client().unwrap();
 
     // Warm write.
-    client.write_file("/before", &random_bytes(cfg.block_size, 1)).unwrap();
+    client
+        .write_file("/before", &random_bytes(cfg.block_size, 1))
+        .unwrap();
 
     // Kill one datanode's host outright.
     dfs.cluster().kill_host(dfs.datanode_host(0));
@@ -180,7 +189,11 @@ fn read_falls_back_to_surviving_replicas() {
         .expect("replica datanode present");
     dfs.cluster().kill_host(dfs.datanode_host(idx));
 
-    assert_eq!(client.read_file("/durable").unwrap(), data, "must read from replica 2 or 3");
+    assert_eq!(
+        client.read_file("/durable").unwrap(),
+        data,
+        "must read from replica 2 or 3"
+    );
     dfs.stop();
 }
 
@@ -190,7 +203,9 @@ fn rpcoib_hdfs_records_table1_call_mix() {
     // blockReceived, heartbeats) is the input to the Table I harness.
     let dfs = MiniDfs::start(model::IPOIB_QDR, 3, small_cfg(HdfsConfig::socket())).unwrap();
     let client = dfs.client().unwrap();
-    client.write_file("/mix", &random_bytes(150 * 1024, 5)).unwrap();
+    client
+        .write_file("/mix", &random_bytes(150 * 1024, 5))
+        .unwrap();
     let metrics = client.rpc().metrics().snapshot();
     let methods: Vec<&str> = metrics
         .iter()
@@ -198,7 +213,10 @@ fn rpcoib_hdfs_records_table1_call_mix() {
         .map(|((_, m), _)| m.as_str())
         .collect();
     for expected in ["create", "addBlock", "complete"] {
-        assert!(methods.contains(&expected), "missing {expected} in {methods:?}");
+        assert!(
+            methods.contains(&expected),
+            "missing {expected} in {methods:?}"
+        );
     }
     // The server observed DatanodeProtocol traffic too.
     let nn_metrics = dfs.namenode().metrics().snapshot();
@@ -218,15 +236,23 @@ fn range_reads_cross_block_boundaries() {
     client.write_file("/ranged", &data).unwrap();
 
     // Within one block.
-    assert_eq!(client.read_range("/ranged", 10, 100).unwrap(), &data[10..110]);
+    assert_eq!(
+        client.read_range("/ranged", 10, 100).unwrap(),
+        &data[10..110]
+    );
     // Spanning a block boundary.
     let span = client.read_range("/ranged", block - 50, 200).unwrap();
     assert_eq!(span, &data[(block - 50) as usize..(block + 150) as usize]);
     // Tail read past EOF is truncated, not an error.
-    let tail = client.read_range("/ranged", data.len() as u64 - 10, 1000).unwrap();
+    let tail = client
+        .read_range("/ranged", data.len() as u64 - 10, 1000)
+        .unwrap();
     assert_eq!(tail, &data[data.len() - 10..]);
     // Fully past EOF is empty.
-    assert!(client.read_range("/ranged", data.len() as u64 + 5, 10).unwrap().is_empty());
+    assert!(client
+        .read_range("/ranged", data.len() as u64 + 5, 10)
+        .unwrap()
+        .is_empty());
     dfs.stop();
 }
 
@@ -260,7 +286,9 @@ fn write_survives_network_partition_to_datanode() {
     let cfg = small_cfg(HdfsConfig::socket());
     let dfs = MiniDfs::start(model::IPOIB_QDR, 5, cfg.clone()).unwrap();
     let client = dfs.client().unwrap();
-    client.write_file("/pre", &random_bytes(cfg.block_size, 1)).unwrap();
+    client
+        .write_file("/pre", &random_bytes(cfg.block_size, 1))
+        .unwrap();
 
     // Cut the client host <-> first datanode host link only. The datanode
     // keeps heartbeating (NameNode link intact), so only the client's
@@ -291,7 +319,11 @@ fn under_replicated_blocks_are_re_replicated() {
     // Kill one replica holder.
     let located = client.get_block_locations("/precious").unwrap();
     let victim = located[0].targets[0].id;
-    let idx = dfs.datanodes().iter().position(|dn| dn.id() == victim).unwrap();
+    let idx = dfs
+        .datanodes()
+        .iter()
+        .position(|dn| dn.id() == victim)
+        .unwrap();
     dfs.cluster().kill_host(dfs.datanode_host(idx));
 
     // The NameNode must notice (heartbeat timeout), hand replication
@@ -299,8 +331,7 @@ fn under_replicated_blocks_are_re_replicated() {
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
     loop {
         // The dead node must be counted as under-replication first.
-        if dfs.namenode().under_replicated_count() == 0
-            && dfs.namenode().live_datanode_count() == 4
+        if dfs.namenode().under_replicated_count() == 0 && dfs.namenode().live_datanode_count() == 4
         {
             // Verify the new replicas are real: every block has 3 *live*
             // holders and the data reads back.
@@ -329,8 +360,12 @@ fn fsck_reports_health() {
     let dfs = MiniDfs::start(model::IPOIB_QDR, 4, cfg.clone()).unwrap();
     let client = dfs.client().unwrap();
     client.mkdirs("/a/b").unwrap();
-    client.write_file("/a/b/one", &random_bytes(cfg.block_size + 10, 1)).unwrap();
-    client.write_file("/a/b/two", &random_bytes(100, 2)).unwrap();
+    client
+        .write_file("/a/b/one", &random_bytes(cfg.block_size + 10, 1))
+        .unwrap();
+    client
+        .write_file("/a/b/two", &random_bytes(100, 2))
+        .unwrap();
 
     let report = dfs.namenode().fsck();
     assert_eq!(report.files, 2);
@@ -364,20 +399,30 @@ fn expired_leases_are_recovered() {
     // Heartbeats drive lease recovery once the lease expires.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
     while dfs.namenode().lease_count() > 0 {
-        assert!(std::time::Instant::now() < deadline, "lease never recovered");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "lease never recovered"
+        );
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     // The file was force-completed with whatever blocks had been written.
     let info = client.get_file_info("/abandoned").unwrap().unwrap();
     assert_eq!(info.len, cfg.block_size as u64);
-    assert_eq!(client.read_file("/abandoned").unwrap().len(), cfg.block_size);
+    assert_eq!(
+        client.read_file("/abandoned").unwrap().len(),
+        cfg.block_size
+    );
     // A renewed lease, by contrast, stays alive: create and keep renewing.
     let _writer = client.create("/active").unwrap();
     for _ in 0..4 {
         client.renew_lease("client").unwrap();
         std::thread::sleep(std::time::Duration::from_millis(150));
     }
-    assert_eq!(dfs.namenode().lease_count(), 1, "renewed lease must survive");
+    assert_eq!(
+        dfs.namenode().lease_count(),
+        1,
+        "renewed lease must survive"
+    );
     dfs.stop();
 }
 

@@ -29,13 +29,20 @@ impl JobClient {
 
     /// Submit a job; returns its id.
     pub fn submit(&self, conf: &JobConf) -> RpcResult<u32> {
-        let status: JobStatus = self.rpc.call(self.jt, SUBMISSION_PROTOCOL, "submitJob", conf)?;
+        let status: JobStatus = self
+            .rpc
+            .call(self.jt, SUBMISSION_PROTOCOL, "submitJob", conf)?;
         Ok(status.job)
     }
 
     /// Current status of a job.
     pub fn status(&self, job: u32) -> RpcResult<JobStatus> {
-        self.rpc.call(self.jt, SUBMISSION_PROTOCOL, "getJobStatus", &IntWritable(job as i32))
+        self.rpc.call(
+            self.jt,
+            SUBMISSION_PROTOCOL,
+            "getJobStatus",
+            &IntWritable(job as i32),
+        )
     }
 
     /// Poll until the job leaves the `Running` state (or `timeout`).
@@ -56,7 +63,12 @@ impl JobClient {
     /// Kill a running job: it transitions to `Failed`, scheduling stops,
     /// and in-flight attempts are disowned.
     pub fn kill(&self, job: u32) -> RpcResult<JobStatus> {
-        self.rpc.call(self.jt, SUBMISSION_PROTOCOL, "killJob", &IntWritable(job as i32))
+        self.rpc.call(
+            self.jt,
+            SUBMISSION_PROTOCOL,
+            "killJob",
+            &IntWritable(job as i32),
+        )
     }
 
     /// Submit and wait; errors unless the job succeeds.

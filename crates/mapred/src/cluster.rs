@@ -47,7 +47,12 @@ impl MiniMr {
             )?);
         }
 
-        let mr = MiniMr { dfs, jobtracker, tasktrackers, cfg };
+        let mr = MiniMr {
+            dfs,
+            jobtracker,
+            tasktrackers,
+            cfg,
+        };
         mr.await_trackers(n_workers, Duration::from_secs(10))?;
         Ok(mr)
     }

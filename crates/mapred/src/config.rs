@@ -72,7 +72,10 @@ impl MrConfig {
     /// RPCoIB for all MapReduce + HDFS control-plane RPC, data paths
     /// unchanged — configuration (b) of Figure 6.
     pub fn rpc_ib() -> Self {
-        let mut cfg = MrConfig { rpc: RpcConfig::rpcoib(), ..MrConfig::default() };
+        let mut cfg = MrConfig {
+            rpc: RpcConfig::rpcoib(),
+            ..MrConfig::default()
+        };
         cfg.hdfs.rpc = RpcConfig::rpcoib();
         cfg
     }

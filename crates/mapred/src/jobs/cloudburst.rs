@@ -65,7 +65,12 @@ impl JobLogic for Align {
                     ctx.emit(&value[..k], &v);
                 }
             }
-            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad cloudburst key")),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad cloudburst key",
+                ))
+            }
         }
         Ok(())
     }
@@ -107,8 +112,7 @@ impl JobLogic for Align {
                     continue;
                 }
                 let window = &reference[pos as usize..end];
-                let mismatches =
-                    window.iter().zip(bases).filter(|(a, b)| a != b).count() as u32;
+                let mismatches = window.iter().zip(bases).filter(|(a, b)| a != b).count() as u32;
                 if mismatches <= max_mm {
                     let mut key = [0u8; 4];
                     key.copy_from_slice(&read_id.to_be_bytes());
@@ -167,7 +171,9 @@ pub fn generate_input(
     seed: u64,
 ) -> rpcoib::RpcResult<(Vec<String>, Vec<String>, String)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let genome: Vec<u8> = (0..genome_len).map(|_| BASES[rng.gen_range(0..4)]).collect();
+    let genome: Vec<u8> = (0..genome_len)
+        .map(|_| BASES[rng.gen_range(0..4usize)])
+        .collect();
     dfs.mkdirs(dir)?;
 
     // Plain reference (loaded by reducers for extension).
@@ -202,7 +208,7 @@ pub fn generate_input(
             for _ in 0..rng.gen_range(0..3usize) {
                 if bases.len() > 16 {
                     let p = rng.gen_range(16..bases.len());
-                    bases[p] = BASES[rng.gen_range(0..4)];
+                    bases[p] = BASES[rng.gen_range(0..4usize)];
                 }
             }
             let mut key = vec![b'Q'];

@@ -155,8 +155,9 @@ pub fn drive(
 
     // Seed centroids: random points in the unit cube.
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut centroids: Vec<Vec<f64>> =
-        (0..k).map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect()).collect();
+    let mut centroids: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+        .collect();
 
     let mut iterations = 0;
     let mut converged = false;
@@ -206,7 +207,11 @@ pub fn drive(
         iterations += 1;
         converged = movement < epsilon;
     }
-    Ok(KMeansResult { centroids, iterations, converged })
+    Ok(KMeansResult {
+        centroids,
+        iterations,
+        converged,
+    })
 }
 
 /// Generate clustered input: `points_per_file` points per file, drawn
@@ -223,7 +228,11 @@ pub fn generate_input(
     let mut rng = StdRng::seed_from_u64(seed);
     // True centers spread on the unit cube diagonal-ish, well separated.
     let centers: Vec<Vec<f64>> = (0..k)
-        .map(|i| (0..dim).map(|d| (i + 1) as f64 / (k + 1) as f64 + 0.01 * d as f64).collect())
+        .map(|i| {
+            (0..dim)
+                .map(|d| (i + 1) as f64 / (k + 1) as f64 + 0.01 * d as f64)
+                .collect()
+        })
         .collect();
     dfs.mkdirs(dir)?;
     let mut files = Vec::new();
@@ -232,8 +241,10 @@ pub fn generate_input(
         let mut buf = Vec::new();
         for _ in 0..points_per_file {
             let center = &centers[rng.gen_range(0..k)];
-            let point: Vec<f64> =
-                center.iter().map(|c| c + rng.gen_range(-0.02..0.02)).collect();
+            let point: Vec<f64> = center
+                .iter()
+                .map(|c| c + rng.gen_range(-0.02..0.02))
+                .collect();
             write_record(&mut buf, &point_id.to_be_bytes(), &encode_point(&point));
             point_id += 1;
         }

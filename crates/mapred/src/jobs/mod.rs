@@ -6,11 +6,11 @@
 //! WordCount / Grep as additional example workloads.
 
 pub mod cloudburst;
-pub mod kmeans;
-pub mod terasort;
 pub mod grep;
+pub mod kmeans;
 pub mod randomwriter;
 pub mod sort;
+pub mod terasort;
 pub mod wordcount;
 
 use std::io;
@@ -47,7 +47,11 @@ pub struct MapContext<'a> {
 impl<'a> MapContext<'a> {
     /// Emit one intermediate (or final, for map-only jobs) record.
     pub fn emit(&mut self, key: &[u8], value: &[u8]) {
-        let p = if self.n_reduces == 0 { 0 } else { (self.partition_of)(key) as usize };
+        let p = if self.n_reduces == 0 {
+            0
+        } else {
+            (self.partition_of)(key) as usize
+        };
         write_record(&mut self.partitions[p], key, value);
     }
 

@@ -22,7 +22,10 @@ impl JobLogic for RandomWriter {
 
     fn run_map(&self, ctx: &mut MapContext) -> io::Result<()> {
         let target = ctx.conf.param_u64(BYTES_PER_MAP, 1 << 20);
-        let seed = ctx.conf.param_u64(SEED, 1).wrapping_add(ctx.map_idx as u64 * 7919);
+        let seed = ctx
+            .conf
+            .param_u64(SEED, 1)
+            .wrapping_add(ctx.map_idx as u64 * 7919);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut produced = 0u64;
         let mut key = [0u8; 10];

@@ -47,6 +47,10 @@ mod tests {
         }
         assert_eq!(sort.partition(&conf, &[0], n), 0);
         assert_eq!(sort.partition(&conf, &[255], n), n - 1);
-        assert_eq!(sort.partition(&conf, &[], n), 0, "empty key goes to partition 0");
+        assert_eq!(
+            sort.partition(&conf, &[], n),
+            0,
+            "empty key goes to partition 0"
+        );
     }
 }

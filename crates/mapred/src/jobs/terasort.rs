@@ -37,7 +37,11 @@ fn hex_decode(s: &str) -> Option<Vec<u8>> {
 
 /// Serialize boundaries into the job-parameter form.
 pub fn encode_boundaries(boundaries: &[Vec<u8>]) -> String {
-    boundaries.iter().map(|b| hex_encode(b)).collect::<Vec<_>>().join(",")
+    boundaries
+        .iter()
+        .map(|b| hex_encode(b))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Parse the job-parameter form back into boundary keys.
@@ -137,7 +141,12 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for bytes in [vec![], vec![0u8], vec![0xde, 0xad, 0xbe, 0xef], vec![0xff; 32]] {
+        for bytes in [
+            vec![],
+            vec![0u8],
+            vec![0xde, 0xad, 0xbe, 0xef],
+            vec![0xff; 32],
+        ] {
             assert_eq!(hex_decode(&hex_encode(&bytes)), Some(bytes));
         }
         assert_eq!(hex_decode("zz"), None);

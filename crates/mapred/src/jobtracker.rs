@@ -24,7 +24,9 @@ enum TaskStatus {
     Pending,
     /// One or more concurrent attempts (duplicates come from speculative
     /// execution); completion of any one finishes the task.
-    Running { attempts: Vec<RunningAttempt> },
+    Running {
+        attempts: Vec<RunningAttempt>,
+    },
     Done,
 }
 
@@ -46,7 +48,12 @@ struct Task {
 
 impl Task {
     fn new() -> Task {
-        Task { status: TaskStatus::Pending, attempts_used: 0, committed: None, ran_on: None }
+        Task {
+            status: TaskStatus::Pending,
+            attempts_used: 0,
+            committed: None,
+            ran_on: None,
+        }
     }
 
     fn is_running_attempt(&self, attempt: u64) -> bool {
@@ -55,10 +62,18 @@ impl Task {
     }
 
     fn start_attempt(&mut self, attempt: u64, tt: u32) {
-        let running = RunningAttempt { attempt, tt, started: Instant::now() };
+        let running = RunningAttempt {
+            attempt,
+            tt,
+            started: Instant::now(),
+        };
         match &mut self.status {
             TaskStatus::Running { attempts } => attempts.push(running),
-            _ => self.status = TaskStatus::Running { attempts: vec![running] },
+            _ => {
+                self.status = TaskStatus::Running {
+                    attempts: vec![running],
+                }
+            }
         }
         self.attempts_used += 1;
     }
@@ -86,10 +101,16 @@ struct Job {
 
 impl Job {
     fn maps_done(&self) -> u32 {
-        self.maps.iter().filter(|t| t.status == TaskStatus::Done).count() as u32
+        self.maps
+            .iter()
+            .filter(|t| t.status == TaskStatus::Done)
+            .count() as u32
     }
     fn reduces_done(&self) -> u32 {
-        self.reduces.iter().filter(|t| t.status == TaskStatus::Done).count() as u32
+        self.reduces
+            .iter()
+            .filter(|t| t.status == TaskStatus::Done)
+            .count() as u32
     }
     fn all_maps_done(&self) -> bool {
         self.maps.iter().all(|t| t.status == TaskStatus::Done)
@@ -148,9 +169,7 @@ impl JtState {
     fn task_mut<'a>(&self, jobs: &'a mut HashMap<u32, Job>, r: TaskRef) -> Option<&'a mut Task> {
         match r {
             TaskRef::Map { job, idx } => jobs.get_mut(&job).and_then(|j| j.maps.get_mut(idx)),
-            TaskRef::Reduce { job, idx } => {
-                jobs.get_mut(&job).and_then(|j| j.reduces.get_mut(idx))
-            }
+            TaskRef::Reduce { job, idx } => jobs.get_mut(&job).and_then(|j| j.reduces.get_mut(idx)),
         }
     }
 
@@ -189,8 +208,7 @@ impl JtState {
                         }
                     }
                     TaskStatus::Done
-                        if reduces_remain
-                            && task.ran_on.is_some_and(|tt| lost.contains(&tt)) =>
+                        if reduces_remain && task.ran_on.is_some_and(|tt| lost.contains(&tt)) =>
                     {
                         task.status = TaskStatus::Pending;
                         task.ran_on = None;
@@ -231,12 +249,17 @@ impl JtState {
                 if task.status == TaskStatus::Pending {
                     let attempt = self.next_attempt.fetch_add(1, Ordering::Relaxed);
                     task.start_attempt(attempt, tt.tt_id);
-                    self.attempts.lock().insert(attempt, TaskRef::Map { job: id, idx });
+                    self.attempts
+                        .lock()
+                        .insert(attempt, TaskRef::Map { job: id, idx });
                     let split = job.conf.input.get(idx).cloned().unwrap_or_default();
                     actions.push(TaskAssignment {
                         job: id,
                         attempt,
-                        spec: TaskSpec::Map { map_idx: idx as u32, split },
+                        spec: TaskSpec::Map {
+                            map_idx: idx as u32,
+                            split,
+                        },
                         conf: job.conf.clone(),
                     });
                     maps_left -= 1;
@@ -252,11 +275,16 @@ impl JtState {
                     if task.status == TaskStatus::Pending {
                         let attempt = self.next_attempt.fetch_add(1, Ordering::Relaxed);
                         task.start_attempt(attempt, tt.tt_id);
-                        self.attempts.lock().insert(attempt, TaskRef::Reduce { job: id, idx });
+                        self.attempts
+                            .lock()
+                            .insert(attempt, TaskRef::Reduce { job: id, idx });
                         actions.push(TaskAssignment {
                             job: id,
                             attempt,
-                            spec: TaskSpec::Reduce { reduce_idx: idx as u32, n_maps },
+                            spec: TaskSpec::Reduce {
+                                reduce_idx: idx as u32,
+                                n_maps,
+                            },
                             conf: job.conf.clone(),
                         });
                         reduces_left -= 1;
@@ -274,61 +302,67 @@ impl JtState {
                     continue;
                 }
                 let completed_durations = job.completed_durations.clone();
-                let speculate = |tasks: &mut Vec<Task>,
-                                     is_map: bool,
-                                     budget: &mut u32,
-                                     attempts_table: &Mutex<HashMap<u64, TaskRef>>,
-                                     next_attempt: &AtomicU64,
-                                     conf: &JobConf,
-                                     actions: &mut Vec<TaskAssignment>| {
-                    // A straggler has run far longer than the median of
-                    // the job's completed attempts; with no completions
-                    // yet there is no baseline, so nothing speculates
-                    // (Hadoop's "wait for enough data" behaviour).
-                    let Some(median) = median_duration(&completed_durations) else {
-                        return;
+                let speculate =
+                    |tasks: &mut Vec<Task>,
+                     is_map: bool,
+                     budget: &mut u32,
+                     attempts_table: &Mutex<HashMap<u64, TaskRef>>,
+                     next_attempt: &AtomicU64,
+                     conf: &JobConf,
+                     actions: &mut Vec<TaskAssignment>| {
+                        // A straggler has run far longer than the median of
+                        // the job's completed attempts; with no completions
+                        // yet there is no baseline, so nothing speculates
+                        // (Hadoop's "wait for enough data" behaviour).
+                        let Some(median) = median_duration(&completed_durations) else {
+                            return;
+                        };
+                        let threshold = self
+                            .cfg
+                            .speculative_floor
+                            .max(median.mul_f64(self.cfg.speculative_slowdown));
+                        for (idx, task) in tasks.iter_mut().enumerate() {
+                            if *budget == 0 {
+                                break;
+                            }
+                            let TaskStatus::Running { attempts } = &task.status else {
+                                continue;
+                            };
+                            if attempts.len() != 1 {
+                                continue; // already speculated
+                            }
+                            let only = &attempts[0];
+                            if only.tt == tt.tt_id || only.started.elapsed() < threshold {
+                                continue; // same tracker, or not a straggler
+                            }
+                            let attempt = next_attempt.fetch_add(1, Ordering::Relaxed);
+                            task.start_attempt(attempt, tt.tt_id);
+                            let task_ref = if is_map {
+                                TaskRef::Map { job: id, idx }
+                            } else {
+                                TaskRef::Reduce { job: id, idx }
+                            };
+                            attempts_table.lock().insert(attempt, task_ref);
+                            let spec = if is_map {
+                                TaskSpec::Map {
+                                    map_idx: idx as u32,
+                                    split: conf.input.get(idx).cloned().unwrap_or_default(),
+                                }
+                            } else {
+                                TaskSpec::Reduce {
+                                    reduce_idx: idx as u32,
+                                    n_maps: conf.map_count(),
+                                }
+                            };
+                            actions.push(TaskAssignment {
+                                job: id,
+                                attempt,
+                                spec,
+                                conf: conf.clone(),
+                            });
+                            *budget -= 1;
+                        }
                     };
-                    let threshold = self
-                        .cfg
-                        .speculative_floor
-                        .max(median.mul_f64(self.cfg.speculative_slowdown));
-                    for (idx, task) in tasks.iter_mut().enumerate() {
-                        if *budget == 0 {
-                            break;
-                        }
-                        let TaskStatus::Running { attempts } = &task.status else {
-                            continue;
-                        };
-                        if attempts.len() != 1 {
-                            continue; // already speculated
-                        }
-                        let only = &attempts[0];
-                        if only.tt == tt.tt_id || only.started.elapsed() < threshold {
-                            continue; // same tracker, or not a straggler
-                        }
-                        let attempt = next_attempt.fetch_add(1, Ordering::Relaxed);
-                        task.start_attempt(attempt, tt.tt_id);
-                        let task_ref = if is_map {
-                            TaskRef::Map { job: id, idx }
-                        } else {
-                            TaskRef::Reduce { job: id, idx }
-                        };
-                        attempts_table.lock().insert(attempt, task_ref);
-                        let spec = if is_map {
-                            TaskSpec::Map {
-                                map_idx: idx as u32,
-                                split: conf.input.get(idx).cloned().unwrap_or_default(),
-                            }
-                        } else {
-                            TaskSpec::Reduce {
-                                reduce_idx: idx as u32,
-                                n_maps: conf.map_count(),
-                            }
-                        };
-                        actions.push(TaskAssignment { job: id, attempt, spec, conf: conf.clone() });
-                        *budget -= 1;
-                    }
-                };
                 let conf = job.conf.clone();
                 speculate(
                     &mut job.maps,
@@ -383,8 +417,10 @@ impl JtState {
                             };
                             task.status = TaskStatus::Done;
                             task.ran_on = Some(args.tt_id);
-                            if let (Some(d), TaskRef::Map { job, .. } | TaskRef::Reduce { job, .. }) =
-                                (duration, r)
+                            if let (
+                                Some(d),
+                                TaskRef::Map { job, .. } | TaskRef::Reduce { job, .. },
+                            ) = (duration, r)
                             {
                                 if let Some(j) = jobs.get_mut(&job) {
                                     j.completed_durations.push(d);
@@ -476,7 +512,9 @@ impl RpcService for JobSubmission {
                 let mut id = IntWritable::default();
                 id.read_fields(param).map_err(|e| e.to_string())?;
                 let mut jobs = self.state.jobs.lock();
-                let job = jobs.get_mut(&(id.0 as u32)).ok_or_else(|| format!("no job {}", id.0))?;
+                let job = jobs
+                    .get_mut(&(id.0 as u32))
+                    .ok_or_else(|| format!("no job {}", id.0))?;
                 if job.state == JobState::Running {
                     job.state = JobState::Failed;
                     // Forget every in-flight attempt: completions that
@@ -493,7 +531,9 @@ impl RpcService for JobSubmission {
                 let mut id = IntWritable::default();
                 id.read_fields(param).map_err(|e| e.to_string())?;
                 let jobs = self.state.jobs.lock();
-                let job = jobs.get(&(id.0 as u32)).ok_or_else(|| format!("no job {}", id.0))?;
+                let job = jobs
+                    .get(&(id.0 as u32))
+                    .ok_or_else(|| format!("no job {}", id.0))?;
                 Ok(Box::new(job.status(id.0 as u32)))
             }
             other => Err(format!("JobSubmissionProtocol has no method {other}")),
@@ -522,10 +562,13 @@ impl RpcService for InterTracker {
                 info.read_fields(param).map_err(|e| e.to_string())?;
                 let id = self.state.next_tt.fetch_add(1, Ordering::Relaxed);
                 info.tt_id = id;
-                self.state
-                    .trackers
-                    .lock()
-                    .insert(id, TrackerReg { info, last_heartbeat: Instant::now() });
+                self.state.trackers.lock().insert(
+                    id,
+                    TrackerReg {
+                        info,
+                        last_heartbeat: Instant::now(),
+                    },
+                );
                 Ok(Box::new(IntWritable(id as i32)))
             }
             "heartbeat" => {
@@ -537,10 +580,13 @@ impl RpcService for InterTracker {
             "getMapCompletionEvents" => {
                 let mut job = IntWritable::default();
                 let mut from = IntWritable::default();
-                job.read_fields(param).map_err(|e: io::Error| e.to_string())?;
+                job.read_fields(param)
+                    .map_err(|e: io::Error| e.to_string())?;
                 from.read_fields(param).map_err(|e| e.to_string())?;
                 let jobs = self.state.jobs.lock();
-                let j = jobs.get(&(job.0 as u32)).ok_or_else(|| format!("no job {}", job.0))?;
+                let j = jobs
+                    .get(&(job.0 as u32))
+                    .ok_or_else(|| format!("no job {}", job.0))?;
                 let events: Vec<MapCompletionEvent> =
                     j.events.iter().skip(from.0 as usize).copied().collect();
                 Ok(Box::new(events))
@@ -594,8 +640,12 @@ impl JobTracker {
             next_attempt: AtomicU64::new(1),
         });
         let mut registry = ServiceRegistry::new();
-        registry.register(Arc::new(JobSubmission { state: Arc::clone(&state) }));
-        registry.register(Arc::new(InterTracker { state: Arc::clone(&state) }));
+        registry.register(Arc::new(JobSubmission {
+            state: Arc::clone(&state),
+        }));
+        registry.register(Arc::new(InterTracker {
+            state: Arc::clone(&state),
+        }));
         let server = Server::start(fabric, node, JT_PORT, cfg.rpc, registry)?;
         Ok(JobTracker { server, state })
     }
@@ -623,7 +673,9 @@ impl JobTracker {
 
 impl std::fmt::Debug for JobTracker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JobTracker").field("addr", &self.server.addr()).finish()
+        f.debug_struct("JobTracker")
+            .field("addr", &self.server.addr())
+            .finish()
     }
 }
 
@@ -668,7 +720,11 @@ mod tests {
         state.trackers.lock().insert(
             0,
             TrackerReg {
-                info: TrackerInfo { tt_id: 0, shuffle_node: 9, shuffle_port: 50060 },
+                info: TrackerInfo {
+                    tt_id: 0,
+                    shuffle_node: 9,
+                    shuffle_port: 50060,
+                },
                 last_heartbeat: Instant::now(),
             },
         );
@@ -699,7 +755,11 @@ mod tests {
         state.trackers.lock().insert(
             tt_id,
             TrackerReg {
-                info: TrackerInfo { tt_id, shuffle_node: 100 + tt_id, shuffle_port: 50060 },
+                info: TrackerInfo {
+                    tt_id,
+                    shuffle_node: 100 + tt_id,
+                    shuffle_port: 50060,
+                },
                 last_heartbeat: Instant::now(),
             },
         );
@@ -719,7 +779,11 @@ mod tests {
     fn maps_assigned_up_to_free_slots() {
         let state = state_with_job(5, 2);
         let resp = beat(&state, 3, 4);
-        assert_eq!(resp.actions.len(), 3, "3 free map slots -> 3 maps, no reduces yet");
+        assert_eq!(
+            resp.actions.len(),
+            3,
+            "3 free map slots -> 3 maps, no reduces yet"
+        );
         assert!(resp
             .actions
             .iter()
@@ -814,7 +878,10 @@ mod tests {
             .unwrap();
         let mut jobs = state.jobs.lock();
         let task = state.task_mut(&mut jobs, task_ref).unwrap();
-        assert_eq!(task.committed, None, "failed committer must release the grant");
+        assert_eq!(
+            task.committed, None,
+            "failed committer must release the grant"
+        );
     }
 
     #[test]
@@ -1004,5 +1071,4 @@ mod tests {
         assert!(task.is_running_attempt(original));
         assert!(!task.is_running_attempt(dup));
     }
-
 }

@@ -30,7 +30,10 @@ impl<'a> RecordReader<'a> {
         let len = varint::read_vint(&mut cursor)?;
         self.pos += before - cursor.len();
         if len < 0 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "negative record length"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "negative record length",
+            ));
         }
         Ok(len as usize)
     }

@@ -46,7 +46,9 @@ impl MapOutputStore {
 
     /// Store one partition of one map's output.
     pub fn insert(&self, job: u32, map_idx: u32, reduce: u32, data: Vec<u8>) {
-        self.outputs.lock().insert((job, map_idx, reduce), Arc::new(data));
+        self.outputs
+            .lock()
+            .insert((job, map_idx, reduce), Arc::new(data));
     }
 
     /// Fetch a partition, if present.
@@ -96,7 +98,9 @@ pub fn serve_connection(conn: &Arc<dyn Conn>, store: &MapOutputStore, stop: impl
         let result = match store.get(job, map_idx, reduce) {
             Some(data) => send_found(conn, &data),
             None => conn
-                .send_msg("mapred.shuffle", "missing", &mut |out| out.write_u8(OP_MISSING))
+                .send_msg("mapred.shuffle", "missing", &mut |out| {
+                    out.write_u8(OP_MISSING)
+                })
                 .map(|_| ()),
         };
         if result.is_err() {
@@ -131,25 +135,32 @@ pub fn fetch(
 ) -> RpcResult<Option<Vec<u8>>> {
     let mut conn = pool.checkout(addr)?;
     let run = (|| -> RpcResult<Option<Vec<u8>>> {
-        conn.conn().send_msg("mapred.shuffle", "fetch", &mut |out| {
-            out.write_u8(OP_FETCH)?;
-            out.write_vint(job as i32)?;
-            out.write_vint(map_idx as i32)?;
-            out.write_vint(reduce as i32)
-        })?;
+        conn.conn()
+            .send_msg("mapred.shuffle", "fetch", &mut |out| {
+                out.write_u8(OP_FETCH)?;
+                out.write_vint(job as i32)?;
+                out.write_vint(map_idx as i32)?;
+                out.write_vint(reduce as i32)
+            })?;
         let (payload, _) = conn.conn().recv_msg(FETCH_TIMEOUT)?;
         let mut reader = payload.reader();
-        let op = reader.read_u8().map_err(|e| RpcError::Protocol(e.to_string()))?;
+        let op = reader
+            .read_u8()
+            .map_err(|e| RpcError::Protocol(e.to_string()))?;
         match op {
             OP_MISSING => Ok(None),
             OP_FOUND => {
-                let total =
-                    reader.read_vlong().map_err(|e| RpcError::Protocol(e.to_string()))? as usize;
+                let total = reader
+                    .read_vlong()
+                    .map_err(|e| RpcError::Protocol(e.to_string()))?
+                    as usize;
                 let mut data = Vec::with_capacity(total);
                 loop {
                     let (payload, _) = conn.conn().recv_msg(FETCH_TIMEOUT)?;
                     let mut reader = payload.reader();
-                    let op = reader.read_u8().map_err(|e| RpcError::Protocol(e.to_string()))?;
+                    let op = reader
+                        .read_u8()
+                        .map_err(|e| RpcError::Protocol(e.to_string()))?;
                     match op {
                         OP_CHUNK => {
                             let chunk = reader
@@ -173,7 +184,9 @@ pub fn fetch(
                 }
                 Ok(Some(data))
             }
-            other => Err(RpcError::Protocol(format!("unexpected shuffle opcode {other}"))),
+            other => Err(RpcError::Protocol(format!(
+                "unexpected shuffle opcode {other}"
+            ))),
         }
     })();
     if run.is_err() {
@@ -216,8 +229,14 @@ mod tests {
         assert_eq!(data.len(), 200_000);
         assert!(data.iter().enumerate().all(|(i, &b)| b == i as u8));
 
-        assert!(fetch(&pool, addr, 1, 0, 3).unwrap().is_none(), "missing partition");
-        assert!(fetch(&pool, addr, 9, 9, 9).unwrap().is_none(), "missing job");
+        assert!(
+            fetch(&pool, addr, 1, 0, 3).unwrap().is_none(),
+            "missing partition"
+        );
+        assert!(
+            fetch(&pool, addr, 9, 9, 9).unwrap().is_none(),
+            "missing job"
+        );
 
         stop.store(true, Ordering::Relaxed);
         drop(pool);

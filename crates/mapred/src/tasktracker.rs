@@ -118,7 +118,12 @@ impl RpcService for Umbilical {
                 from.read_fields(param).map_err(|e| e.to_string())?;
                 let events: Vec<MapCompletionEvent> = state
                     .jt_client
-                    .call(state.jt, INTERTRACKER_PROTOCOL, "getMapCompletionEvents", &(job, from))
+                    .call(
+                        state.jt,
+                        INTERTRACKER_PROTOCOL,
+                        "getMapCompletionEvents",
+                        &(job, from),
+                    )
                     .map_err(|e| e.to_string())?;
                 Ok(Box::new(events))
             }
@@ -159,7 +164,11 @@ impl TaskTracker {
         let shuffle_node = cluster.eth_node(host);
 
         let jt_client = Client::new(&rpc_fabric, rpc_node, cfg.rpc.clone())?;
-        let me = TrackerInfo { tt_id: 0, shuffle_node: shuffle_node.0, shuffle_port: SHUFFLE_PORT };
+        let me = TrackerInfo {
+            tt_id: 0,
+            shuffle_node: shuffle_node.0,
+            shuffle_port: SHUFFLE_PORT,
+        };
         let id: IntWritable = jt_client.call(jt, INTERTRACKER_PROTOCOL, "registerTracker", &me)?;
         let id = id.0 as u32;
 
@@ -168,8 +177,7 @@ impl TaskTracker {
 
         let umb_addr = SimAddr::new(rpc_node, UMBILICAL_PORT);
         let umb_client = Client::new(&rpc_fabric, rpc_node, cfg.rpc.clone())?;
-        let shuffle_pool =
-            DataConnPool::new(cluster.eth(), shuffle_node, RpcConfig::socket())?;
+        let shuffle_pool = DataConnPool::new(cluster.eth(), shuffle_node, RpcConfig::socket())?;
         let shuffle_listener =
             SimListener::bind(cluster.eth(), SimAddr::new(shuffle_node, SHUFFLE_PORT))?;
 
@@ -196,9 +204,14 @@ impl TaskTracker {
 
         // Umbilical RPC server (a couple of handlers is plenty: its only
         // clients are this node's tasks).
-        let umb_cfg = RpcConfig { handlers: 2, ..cfg.rpc.clone() };
+        let umb_cfg = RpcConfig {
+            handlers: 2,
+            ..cfg.rpc.clone()
+        };
         let mut registry = ServiceRegistry::new();
-        registry.register(Arc::new(Umbilical { state: Arc::clone(&state) }));
+        registry.register(Arc::new(Umbilical {
+            state: Arc::clone(&state),
+        }));
         let umbilical_server =
             Server::start(&rpc_fabric, rpc_node, UMBILICAL_PORT, umb_cfg, registry)?;
 
@@ -240,7 +253,11 @@ impl TaskTracker {
             );
         }
 
-        Ok(TaskTracker { state, umbilical_server, threads: Mutex::new(threads) })
+        Ok(TaskTracker {
+            state,
+            umbilical_server,
+            threads: Mutex::new(threads),
+        })
     }
 
     /// The tracker's JobTracker-assigned id.
@@ -286,7 +303,9 @@ impl Drop for TaskTracker {
 
 impl std::fmt::Debug for TaskTracker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TaskTracker").field("id", &self.state.id).finish()
+        f.debug_struct("TaskTracker")
+            .field("id", &self.state.id)
+            .finish()
     }
 }
 
@@ -306,15 +325,14 @@ fn heartbeat_loop(state: Arc<TtState>) {
             failed: failed.clone(),
             running,
         };
-        let response: HeartbeatResponse = match state.jt_client.call(
-            state.jt,
-            INTERTRACKER_PROTOCOL,
-            "heartbeat",
-            &args,
-        ) {
-            Ok(r) => r,
-            Err(_) => continue, // keep the deltas; retry next beat
-        };
+        let response: HeartbeatResponse =
+            match state
+                .jt_client
+                .call(state.jt, INTERTRACKER_PROTOCOL, "heartbeat", &args)
+            {
+                Ok(r) => r,
+                Err(_) => continue, // keep the deltas; retry next beat
+            };
         // The JobTracker has acknowledged these deltas.
         state.completed.lock().retain(|a| !completed.contains(a));
         state.failed.lock().retain(|a| !failed.contains(a));
@@ -341,7 +359,11 @@ fn heartbeat_loop(state: Arc<TtState>) {
 }
 
 fn runner_loop(state: Arc<TtState>, is_map: bool) {
-    let rx = if is_map { state.map_q.1.clone() } else { state.reduce_q.1.clone() };
+    let rx = if is_map {
+        state.map_q.1.clone()
+    } else {
+        state.reduce_q.1.clone()
+    };
     loop {
         match rx.recv_timeout(IDLE_SLICE) {
             Ok(attempt) => {
@@ -416,12 +438,13 @@ fn umb_call<Req: Writable, Resp: Writable + Default>(
     method: &str,
     req: &Req,
 ) -> RpcResult<Resp> {
-    state.umb_client.call(state.umb_addr, UMBILICAL_PROTOCOL, method, req)
+    state
+        .umb_client
+        .call(state.umb_addr, UMBILICAL_PROTOCOL, method, req)
 }
 
 fn run_map_attempt(state: &Arc<TtState>, attempt: u64) -> RpcResult<()> {
-    let assignment: TaskAssignment =
-        umb_call(state, "getTask", &VLongWritable(attempt as i64))?;
+    let assignment: TaskAssignment = umb_call(state, "getTask", &VLongWritable(attempt as i64))?;
     let (map_idx, split) = match &assignment.spec {
         TaskSpec::Map { map_idx, split } => (*map_idx, split.clone()),
         _ => return Err(RpcError::Protocol("map runner got non-map task".into())),
@@ -444,9 +467,15 @@ fn run_map_attempt(state: &Arc<TtState>, attempt: u64) -> RpcResult<()> {
         }
     };
 
-    let partitions =
-        run_map_task(logic.as_ref(), &conf, map_idx, &split, &state.dfs, progress_cb)
-            .map_err(|e| RpcError::Remote(e.to_string()))?;
+    let partitions = run_map_task(
+        logic.as_ref(),
+        &conf,
+        map_idx,
+        &split,
+        &state.dfs,
+        progress_cb,
+    )
+    .map_err(|e| RpcError::Remote(e.to_string()))?;
 
     if conf.n_reduces == 0 {
         // Map-only job: the map writes its output file directly (creating
@@ -472,11 +501,14 @@ fn run_map_attempt(state: &Arc<TtState>, attempt: u64) -> RpcResult<()> {
 }
 
 fn run_reduce_attempt(state: &Arc<TtState>, attempt: u64) -> RpcResult<()> {
-    let assignment: TaskAssignment =
-        umb_call(state, "getTask", &VLongWritable(attempt as i64))?;
+    let assignment: TaskAssignment = umb_call(state, "getTask", &VLongWritable(attempt as i64))?;
     let (reduce_idx, n_maps) = match assignment.spec {
         TaskSpec::Reduce { reduce_idx, n_maps } => (reduce_idx, n_maps),
-        _ => return Err(RpcError::Protocol("reduce runner got non-reduce task".into())),
+        _ => {
+            return Err(RpcError::Protocol(
+                "reduce runner got non-reduce task".into(),
+            ))
+        }
     };
     let conf = assignment.conf;
     let job = assignment.job;
@@ -512,8 +544,13 @@ fn run_reduce_attempt(state: &Arc<TtState>, attempt: u64) -> RpcResult<()> {
         let mut fetched = None;
         for _ in 0..100 {
             let event = events[&map_idx];
-            match shuffle::fetch(&state.shuffle_pool, event.shuffle_addr(), job, map_idx, reduce_idx)
-            {
+            match shuffle::fetch(
+                &state.shuffle_pool,
+                event.shuffle_addr(),
+                job,
+                map_idx,
+                reduce_idx,
+            ) {
                 Ok(Some(data)) => {
                     fetched = Some(data);
                     break;
@@ -533,7 +570,9 @@ fn run_reduce_attempt(state: &Arc<TtState>, attempt: u64) -> RpcResult<()> {
             }
         }
         let data = fetched.ok_or_else(|| {
-            RpcError::Protocol(format!("could not fetch map {map_idx} partition {reduce_idx}"))
+            RpcError::Protocol(format!(
+                "could not fetch map {map_idx} partition {reduce_idx}"
+            ))
         })?;
         runs.push(data);
         let _: BooleanWritable = umb_call(
@@ -555,9 +594,15 @@ fn run_reduce_attempt(state: &Arc<TtState>, attempt: u64) -> RpcResult<()> {
             );
         }
     };
-    let output =
-        run_reduce_task(logic.as_ref(), &conf, reduce_idx, runs, &state.dfs, progress_cb)
-            .map_err(|e| RpcError::Remote(e.to_string()))?;
+    let output = run_reduce_task(
+        logic.as_ref(),
+        &conf,
+        reduce_idx,
+        runs,
+        &state.dfs,
+        progress_cb,
+    )
+    .map_err(|e| RpcError::Remote(e.to_string()))?;
 
     // Commit dance: commitPending (with a full status, as Hadoop sends),
     // then canCommit arbitration at the JT.

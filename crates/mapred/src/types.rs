@@ -73,17 +73,26 @@ pub struct JobConf {
 impl JobConf {
     /// Number of map tasks this job will run.
     pub fn map_count(&self) -> u32 {
-        if self.input.is_empty() { self.n_maps } else { self.input.len() as u32 }
+        if self.input.is_empty() {
+            self.n_maps
+        } else {
+            self.input.len() as u32
+        }
     }
 
     /// Look up a parameter.
     pub fn param(&self, key: &str) -> Option<&str> {
-        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Parameter parsed as u64, with a default.
     pub fn param_u64(&self, key: &str, default: u64) -> u64 {
-        self.param(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.param(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -110,7 +119,9 @@ impl Writable for JobConf {
         self.name = input.read_string()?;
         self.kind = JobKind::from_u8(input.read_u8()?)?;
         let n = input.read_vint()?;
-        self.input = (0..n).map(|_| input.read_string()).collect::<Result<_, _>>()?;
+        self.input = (0..n)
+            .map(|_| input.read_string())
+            .collect::<Result<_, _>>()?;
         self.output = input.read_string()?;
         self.n_reduces = input.read_vint()? as u32;
         self.n_maps = input.read_vint()? as u32;
@@ -439,13 +450,19 @@ mod tests {
         roundtrip(TaskAssignment {
             job: 1,
             attempt: 99,
-            spec: TaskSpec::Map { map_idx: 2, split: "/in/part-2".into() },
+            spec: TaskSpec::Map {
+                map_idx: 2,
+                split: "/in/part-2".into(),
+            },
             conf: sample_conf(),
         });
         roundtrip(TaskAssignment {
             job: 1,
             attempt: 100,
-            spec: TaskSpec::Reduce { reduce_idx: 1, n_maps: 10 },
+            spec: TaskSpec::Reduce {
+                reduce_idx: 1,
+                n_maps: 10,
+            },
             conf: sample_conf(),
         });
         roundtrip(HeartbeatArgs {
@@ -454,27 +471,39 @@ mod tests {
             free_reduce_slots: 4,
             completed: vec![1, 2],
             failed: vec![3],
-            running: vec![
-                TaskReport {
-                    attempt: 4,
-                    progress: 0.5,
-                    state: "RUNNING".into(),
-                    phase: "MAP".into(),
-                    counters: vec![("MAP_INPUT_RECORDS".into(), 100)],
-                },
-            ],
+            running: vec![TaskReport {
+                attempt: 4,
+                progress: 0.5,
+                state: "RUNNING".into(),
+                phase: "MAP".into(),
+                counters: vec![("MAP_INPUT_RECORDS".into(), 100)],
+            }],
         });
         roundtrip(TaskReport::default());
-        roundtrip(HeartbeatResponse { actions: vec![TaskAssignment::default()] });
-        roundtrip(TrackerInfo { tt_id: 1, shuffle_node: 9, shuffle_port: 50060 });
-        roundtrip(MapCompletionEvent { map_idx: 5, shuffle_node: 9, shuffle_port: 50060 });
+        roundtrip(HeartbeatResponse {
+            actions: vec![TaskAssignment::default()],
+        });
+        roundtrip(TrackerInfo {
+            tt_id: 1,
+            shuffle_node: 9,
+            shuffle_port: 50060,
+        });
+        roundtrip(MapCompletionEvent {
+            map_idx: 5,
+            shuffle_node: 9,
+            shuffle_port: 50060,
+        });
     }
 
     #[test]
     fn heartbeat_size_grows_with_running_tasks() {
         // Figure 3's JT_heartbeat size variation comes from the varying
         // task-report payload.
-        let small = to_bytes(&HeartbeatArgs { tt_id: 1, ..Default::default() }).unwrap();
+        let small = to_bytes(&HeartbeatArgs {
+            tt_id: 1,
+            ..Default::default()
+        })
+        .unwrap();
         let big = to_bytes(&HeartbeatArgs {
             tt_id: 1,
             running: (0..12)

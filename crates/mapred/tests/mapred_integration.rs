@@ -27,7 +27,10 @@ fn randomwriter_conf(out: &str, maps: u32, bytes_per_map: u64) -> JobConf {
         n_reduces: 0,
         n_maps: maps,
         params: vec![
-            (randomwriter::BYTES_PER_MAP.into(), bytes_per_map.to_string()),
+            (
+                randomwriter::BYTES_PER_MAP.into(),
+                bytes_per_map.to_string(),
+            ),
             (randomwriter::SEED.into(), "11".into()),
         ],
     }
@@ -39,7 +42,9 @@ fn run_randomwriter_sort(cfg: MrConfig) {
     let dfs = mr.dfs_client().unwrap();
 
     // Phase 1: RandomWriter (map-only).
-    let status = jobs.run(&randomwriter_conf("/rw", 4, 64 * 1024), JOB_TIMEOUT).unwrap();
+    let status = jobs
+        .run(&randomwriter_conf("/rw", 4, 64 * 1024), JOB_TIMEOUT)
+        .unwrap();
     assert_eq!(status.maps_done, 4);
     let parts = dfs.list("/rw").unwrap();
     assert_eq!(parts.len(), 4);
@@ -68,12 +73,19 @@ fn run_randomwriter_sort(cfg: MrConfig) {
     for part in dfs.list("/sorted").unwrap() {
         let records = read_all(&dfs.read_file(&part.path).unwrap()).unwrap();
         // Each part is internally sorted.
-        assert!(records.windows(2).all(|w| w[0].0 <= w[1].0), "{} unsorted", part.path);
+        assert!(
+            records.windows(2).all(|w| w[0].0 <= w[1].0),
+            "{} unsorted",
+            part.path
+        );
         output_records.extend(records);
     }
     // Range partitioning on the first byte makes the concatenation
     // globally sorted.
-    assert!(output_records.windows(2).all(|w| w[0].0 <= w[1].0), "global order violated");
+    assert!(
+        output_records.windows(2).all(|w| w[0].0 <= w[1].0),
+        "global order violated"
+    );
     assert_eq!(output_records.len(), input_records.len());
     let mut a = input_records.clone();
     let mut b = output_records.clone();
@@ -172,10 +184,8 @@ fn cloudburst_alignment_and_filtering() {
     let jobs = mr.job_client().unwrap();
     let dfs = mr.dfs_client().unwrap();
 
-    let (ref_files, read_files, ref_path) = cloudburst::generate_input(
-        &dfs, "/cb", 4000, 1000, 3, 30, 36, 99,
-    )
-    .unwrap();
+    let (ref_files, read_files, ref_path) =
+        cloudburst::generate_input(&dfs, "/cb", 4000, 1000, 3, 30, 36, 99).unwrap();
     let mut input = ref_files;
     let n_reads = 3 * 30;
     input.extend(read_files);
@@ -195,13 +205,20 @@ fn cloudburst_alignment_and_filtering() {
     };
     jobs.run(&align, JOB_TIMEOUT).unwrap();
 
-    let align_parts: Vec<String> =
-        dfs.list("/cb-align").unwrap().iter().map(|s| s.path.clone()).collect();
+    let align_parts: Vec<String> = dfs
+        .list("/cb-align")
+        .unwrap()
+        .iter()
+        .map(|s| s.path.clone())
+        .collect();
     let mut alignments = Vec::new();
     for p in &align_parts {
         alignments.extend(read_all(&dfs.read_file(p).unwrap()).unwrap());
     }
-    assert!(!alignments.is_empty(), "reads sampled from the genome must align");
+    assert!(
+        !alignments.is_empty(),
+        "reads sampled from the genome must align"
+    );
 
     let filter = JobConf {
         name: "cb-filter".into(),
@@ -220,11 +237,19 @@ fn cloudburst_alignment_and_filtering() {
             let read_id = u32::from_be_bytes(k.as_slice().try_into().unwrap());
             let mm = u32::from_be_bytes(v[4..8].try_into().unwrap());
             assert!(mm <= 2);
-            assert!(best.insert(read_id, mm).is_none(), "one best alignment per read");
+            assert!(
+                best.insert(read_id, mm).is_none(),
+                "one best alignment per read"
+            );
         }
     }
     // Most reads (sampled with <=2 mutations) should align somewhere.
-    assert!(best.len() * 2 >= n_reads, "{} of {} reads aligned", best.len(), n_reads);
+    assert!(
+        best.len() * 2 >= n_reads,
+        "{} of {} reads aligned",
+        best.len(),
+        n_reads
+    );
     mr.stop();
 }
 
@@ -244,7 +269,10 @@ fn job_with_failing_logic_reports_failure() {
         params: Vec::new(),
     };
     let err = jobs.run(&conf, JOB_TIMEOUT).err().unwrap();
-    assert!(matches!(err, rpcoib::RpcError::Remote(ref m) if m.contains("failed")), "{err}");
+    assert!(
+        matches!(err, rpcoib::RpcError::Remote(ref m) if m.contains("failed")),
+        "{err}"
+    );
     mr.stop();
 }
 
@@ -256,9 +284,14 @@ fn sort_survives_tasktracker_loss() {
     let jobs = mr.job_client().unwrap();
     let dfs = mr.dfs_client().unwrap();
 
-    jobs.run(&randomwriter_conf("/rw", 6, 48 * 1024), JOB_TIMEOUT).unwrap();
-    let input: Vec<String> =
-        dfs.list("/rw").unwrap().iter().map(|s| s.path.clone()).collect();
+    jobs.run(&randomwriter_conf("/rw", 6, 48 * 1024), JOB_TIMEOUT)
+        .unwrap();
+    let input: Vec<String> = dfs
+        .list("/rw")
+        .unwrap()
+        .iter()
+        .map(|s| s.path.clone())
+        .collect();
 
     let sort = JobConf {
         name: "sort-with-failure".into(),
@@ -293,9 +326,14 @@ fn umbilical_traffic_matches_table1_rows() {
     let mr = MiniMr::start(model::IPOIB_QDR, 2, shrink(MrConfig::socket())).unwrap();
     let jobs = mr.job_client().unwrap();
     let dfs = mr.dfs_client().unwrap();
-    jobs.run(&randomwriter_conf("/rw", 2, 32 * 1024), JOB_TIMEOUT).unwrap();
-    let input: Vec<String> =
-        dfs.list("/rw").unwrap().iter().map(|s| s.path.clone()).collect();
+    jobs.run(&randomwriter_conf("/rw", 2, 32 * 1024), JOB_TIMEOUT)
+        .unwrap();
+    let input: Vec<String> = dfs
+        .list("/rw")
+        .unwrap()
+        .iter()
+        .map(|s| s.path.clone())
+        .collect();
     let sort = JobConf {
         name: "sort".into(),
         kind: JobKind::Sort,
@@ -315,8 +353,17 @@ fn umbilical_traffic_matches_table1_rows() {
             }
         }
     }
-    for expected in ["getTask", "done", "getMapCompletionEvents", "commitPending", "canCommit"] {
-        assert!(methods.contains(expected), "missing umbilical call {expected}: {methods:?}");
+    for expected in [
+        "getTask",
+        "done",
+        "getMapCompletionEvents",
+        "commitPending",
+        "canCommit",
+    ] {
+        assert!(
+            methods.contains(expected),
+            "missing umbilical call {expected}: {methods:?}"
+        );
     }
     mr.stop();
 }
@@ -404,13 +451,18 @@ fn kmeans_converges_to_true_centers() {
 
     let k = 3;
     let dim = 2;
-    let (input, true_centers) =
-        kmeans::generate_input(&dfs, "/km", 3, 80, k, dim, 2024).unwrap();
+    let (input, true_centers) = kmeans::generate_input(&dfs, "/km", 3, 80, k, dim, 2024).unwrap();
 
-    let result =
-        kmeans::drive(&jobs, &dfs, input, "/km-work", k, dim, 12, 1e-4, 7).unwrap();
-    assert!(result.converged, "did not converge in {} iterations", result.iterations);
-    assert!(result.iterations >= 2, "iterative job must actually iterate");
+    let result = kmeans::drive(&jobs, &dfs, input, "/km-work", k, dim, 12, 1e-4, 7).unwrap();
+    assert!(
+        result.converged,
+        "did not converge in {} iterations",
+        result.iterations
+    );
+    assert!(
+        result.iterations >= 2,
+        "iterative job must actually iterate"
+    );
 
     // Every true center must have a found centroid nearby (clusters are
     // separated by ~0.33 with noise 0.02, so 0.1 is a generous match).
@@ -469,11 +521,18 @@ fn terasort_balances_skewed_keys() {
     let mut part_sizes = Vec::new();
     for part in dfs.list("/ts-out").unwrap() {
         let records = read_all(&dfs.read_file(&part.path).unwrap()).unwrap();
-        assert!(records.windows(2).all(|w| w[0].0 <= w[1].0), "{} unsorted", part.path);
+        assert!(
+            records.windows(2).all(|w| w[0].0 <= w[1].0),
+            "{} unsorted",
+            part.path
+        );
         part_sizes.push(records.len());
         all.extend(records);
     }
-    assert!(all.windows(2).all(|w| w[0].0 <= w[1].0), "global order violated");
+    assert!(
+        all.windows(2).all(|w| w[0].0 <= w[1].0),
+        "global order violated"
+    );
     assert_eq!(all.len(), input_records.len());
     let mut a = input_records;
     let mut b = all;

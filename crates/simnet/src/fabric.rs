@@ -8,13 +8,14 @@
 //! they would on real hardware.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
 
+use crate::faults::{next_unit, FaultSpec};
 use crate::model::NetworkModel;
 use crate::stream::PendingConn;
 use crate::verbs::{MrInner, QpMessage};
@@ -57,7 +58,9 @@ pub(crate) struct LinkClock {
 
 impl LinkClock {
     fn new() -> Self {
-        LinkClock { next_free: Mutex::new(Instant::now()) }
+        LinkClock {
+            next_free: Mutex::new(Instant::now()),
+        }
     }
 
     /// Reserve `dur` of link time starting no earlier than `earliest`.
@@ -103,6 +106,16 @@ pub(crate) struct FabricInner {
     pub(crate) dead: RwLock<HashSet<NodeId>>,
     /// Normalized (min, max) node pairs that cannot reach each other.
     pub(crate) partitions: RwLock<HashSet<(NodeId, NodeId)>>,
+    /// Impairments per normalized node pair. `faults_active` mirrors
+    /// whether this map is non-empty so the data path can skip the lock.
+    pub(crate) link_faults: RwLock<HashMap<(NodeId, NodeId), FaultSpec>>,
+    pub(crate) faults_active: AtomicBool,
+    /// Remaining injected connect refusals per listening address.
+    pub(crate) connect_failures: Mutex<HashMap<SimAddr, u32>>,
+    /// Remaining injected accept drops per listening address.
+    pub(crate) accept_failures: Mutex<HashMap<SimAddr, u32>>,
+    /// State of the deterministic fault RNG (drop coins, jitter samples).
+    pub(crate) fault_rng: Mutex<u64>,
     pub(crate) listeners: Mutex<HashMap<SimAddr, Sender<PendingConn>>>,
     pub(crate) qps: Mutex<HashMap<u64, Sender<QpMessage>>>,
     pub(crate) mrs: Mutex<HashMap<u64, Weak<MrInner>>>,
@@ -126,6 +139,11 @@ impl Fabric {
                 nodes: RwLock::new(HashMap::new()),
                 dead: RwLock::new(HashSet::new()),
                 partitions: RwLock::new(HashSet::new()),
+                link_faults: RwLock::new(HashMap::new()),
+                faults_active: AtomicBool::new(false),
+                connect_failures: Mutex::new(HashMap::new()),
+                accept_failures: Mutex::new(HashMap::new()),
+                fault_rng: Mutex::new(0x9e37_79b9_7f4a_7c15),
                 listeners: Mutex::new(HashMap::new()),
                 qps: Mutex::new(HashMap::new()),
                 mrs: Mutex::new(HashMap::new()),
@@ -146,7 +164,10 @@ impl Fabric {
         let id = NodeId(self.inner.next_node.fetch_add(1, Ordering::Relaxed));
         self.inner.nodes.write().insert(
             id,
-            Arc::new(NodeLinks { egress: LinkClock::new(), ingress: LinkClock::new() }),
+            Arc::new(NodeLinks {
+                egress: LinkClock::new(),
+                ingress: LinkClock::new(),
+            }),
         );
         id
     }
@@ -165,7 +186,10 @@ impl Fabric {
     pub fn kill_node(&self, node: NodeId) {
         self.inner.dead.write().insert(node);
         // Evict the dead node's listeners so connects fail fast.
-        self.inner.listeners.lock().retain(|addr, _| addr.node != node);
+        self.inner
+            .listeners
+            .lock()
+            .retain(|addr, _| addr.node != node);
     }
 
     /// Bring a previously killed node back (it must re-bind its listeners).
@@ -199,6 +223,114 @@ impl Fabric {
         !self.is_dead(a) && !self.is_dead(b) && !self.is_partitioned(a, b)
     }
 
+    /// Attach an impairment spec (extra delay, jitter, drop rate) to the
+    /// link between `a` and `b`, both directions. Replaces any previous
+    /// spec on that pair.
+    pub fn set_link_fault(&self, a: NodeId, b: NodeId, spec: FaultSpec) {
+        self.inner.link_faults.write().insert(pair_key(a, b), spec);
+        self.inner.faults_active.store(true, Ordering::Release);
+    }
+
+    /// Remove the impairment spec on the `a`–`b` link, if any.
+    pub fn clear_link_fault(&self, a: NodeId, b: NodeId) {
+        let mut faults = self.inner.link_faults.write();
+        faults.remove(&pair_key(a, b));
+        self.inner
+            .faults_active
+            .store(!faults.is_empty(), Ordering::Release);
+    }
+
+    /// The impairment spec currently attached to the `a`–`b` link.
+    pub fn link_fault(&self, a: NodeId, b: NodeId) -> Option<FaultSpec> {
+        if !self.inner.faults_active.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner.link_faults.read().get(&pair_key(a, b)).copied()
+    }
+
+    /// Seed the deterministic RNG behind drop coins and jitter samples, so
+    /// a probabilistic fault schedule replays exactly. Seed 0 is remapped
+    /// (xorshift state must be non-zero).
+    pub fn set_fault_seed(&self, seed: u64) {
+        *self.inner.fault_rng.lock() = if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        };
+    }
+
+    /// Refuse the next `n` connection attempts to `addr` (the connector
+    /// sees `ConnectionRefused` before any handshake traffic flows).
+    /// Cumulative with previously injected refusals.
+    pub fn fail_next_connects(&self, addr: SimAddr, n: u32) {
+        *self.inner.connect_failures.lock().entry(addr).or_insert(0) += n;
+    }
+
+    /// Drop the next `n` connections accepted at `addr` *after* the
+    /// connector's handshake succeeds — the peer only discovers the
+    /// failure when its first I/O on the new connection dies, which is
+    /// exactly the mid-handshake window RDMA endpoint exchanges sit in.
+    /// Cumulative with previously injected drops.
+    pub fn fail_next_accepts(&self, addr: SimAddr, n: u32) {
+        *self.inner.accept_failures.lock().entry(addr).or_insert(0) += n;
+    }
+
+    /// Injected connect refusals not yet consumed for `addr`.
+    pub fn pending_connect_failures(&self, addr: SimAddr) -> u32 {
+        self.inner
+            .connect_failures
+            .lock()
+            .get(&addr)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Injected accept drops not yet consumed for `addr`.
+    pub fn pending_accept_failures(&self, addr: SimAddr) -> u32 {
+        self.inner
+            .accept_failures
+            .lock()
+            .get(&addr)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Consume one injected connect refusal for `addr`, if any remain.
+    pub(crate) fn take_connect_failure(&self, addr: SimAddr) -> bool {
+        take_failure(&mut self.inner.connect_failures.lock(), addr)
+    }
+
+    /// Consume one injected accept drop for `addr`, if any remain.
+    pub(crate) fn take_accept_failure(&self, addr: SimAddr) -> bool {
+        take_failure(&mut self.inner.accept_failures.lock(), addr)
+    }
+
+    /// Whether a message crossing the `a`–`b` link right now is dropped.
+    pub(crate) fn fault_drops(&self, a: NodeId, b: NodeId) -> bool {
+        match self.link_fault(a, b) {
+            Some(f) if f.drop_rate > 0.0 => {
+                next_unit(&mut self.inner.fault_rng.lock()) < f.drop_rate
+            }
+            _ => false,
+        }
+    }
+
+    /// Sampled extra one-way latency for a message on the `a`–`b` link.
+    pub(crate) fn fault_delay(&self, a: NodeId, b: NodeId) -> Duration {
+        match self.link_fault(a, b) {
+            Some(f) if f.delays() => {
+                let jitter = if f.jitter.is_zero() {
+                    Duration::ZERO
+                } else {
+                    f.jitter
+                        .mul_f64(next_unit(&mut self.inner.fault_rng.lock()))
+                };
+                f.extra_delay + jitter
+            }
+            _ => Duration::ZERO,
+        }
+    }
+
     /// Aggregate transfer counters.
     pub fn stats(&self) -> &FabricStats {
         &self.inner.stats
@@ -219,7 +351,24 @@ impl std::fmt::Debug for Fabric {
 }
 
 fn pair_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
-    if a <= b { (a, b) } else { (b, a) }
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn take_failure(map: &mut HashMap<SimAddr, u32>, addr: SimAddr) -> bool {
+    match map.get_mut(&addr) {
+        Some(n) if *n > 0 => {
+            *n -= 1;
+            if *n == 0 {
+                map.remove(&addr);
+            }
+            true
+        }
+        _ => false,
+    }
 }
 
 #[cfg(test)]
@@ -256,7 +405,11 @@ mod tests {
         let end1 = clock.reserve_from(t0, d);
         let end2 = clock.reserve_from(t0, d);
         assert_eq!(end1, t0 + d);
-        assert_eq!(end2, t0 + 2 * d, "second transfer must queue behind the first");
+        assert_eq!(
+            end2,
+            t0 + 2 * d,
+            "second transfer must queue behind the first"
+        );
         // A reservation starting later than the clock's frontier begins at
         // its own earliest time.
         let late = t0 + Duration::from_secs(1);
@@ -278,6 +431,56 @@ mod tests {
         assert!(f.reachable(a, c), "unrelated links unaffected");
         f.heal(a, b);
         assert!(f.reachable(a, b));
+    }
+
+    #[test]
+    fn link_faults_are_symmetric_and_clearable() {
+        let f = Fabric::new(IPOIB_QDR);
+        let a = f.add_node();
+        let b = f.add_node();
+        let c = f.add_node();
+        assert!(f.link_fault(a, b).is_none());
+        f.set_link_fault(b, a, FaultSpec::delay(Duration::from_millis(3)));
+        assert_eq!(
+            f.link_fault(a, b).unwrap().extra_delay,
+            Duration::from_millis(3)
+        );
+        assert!(f.link_fault(a, c).is_none(), "unrelated links unaffected");
+        assert!(f.fault_delay(a, b) >= Duration::from_millis(3));
+        assert_eq!(f.fault_delay(a, c), Duration::ZERO);
+        f.clear_link_fault(a, b);
+        assert!(f.link_fault(a, b).is_none());
+        assert!(!f.inner.faults_active.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn drop_coin_respects_rate_extremes() {
+        let f = Fabric::new(IPOIB_QDR);
+        let a = f.add_node();
+        let b = f.add_node();
+        f.set_link_fault(a, b, FaultSpec::drop_all());
+        assert!((0..100).all(|_| f.fault_drops(a, b)));
+        f.set_link_fault(a, b, FaultSpec::lossy(0.0));
+        assert!((0..100).all(|_| !f.fault_drops(a, b)));
+    }
+
+    #[test]
+    fn injected_failures_are_counted_down() {
+        let f = Fabric::new(IPOIB_QDR);
+        let addr = SimAddr::new(f.add_node(), 80);
+        f.fail_next_accepts(addr, 2);
+        f.fail_next_accepts(addr, 1);
+        assert_eq!(f.pending_accept_failures(addr), 3);
+        assert!(f.take_accept_failure(addr));
+        assert!(f.take_accept_failure(addr));
+        assert!(f.take_accept_failure(addr));
+        assert!(
+            !f.take_accept_failure(addr),
+            "injected budget must be finite"
+        );
+        f.fail_next_connects(addr, 1);
+        assert!(f.take_connect_failure(addr));
+        assert!(!f.take_connect_failure(addr));
     }
 
     #[test]

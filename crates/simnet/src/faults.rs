@@ -1,0 +1,122 @@
+//! Fault injection: per-link impairments and accept/handshake failures.
+//!
+//! A healthy fabric only exercises the fast paths; the RPC engine's retry,
+//! deadline, and reconnect machinery needs links that misbehave *on
+//! purpose*. This module defines the impairment spec a test attaches to a
+//! link ([`FaultSpec`]) and the deterministic random source every
+//! probabilistic decision draws from, so a seeded run replays exactly.
+//!
+//! Semantics per substrate:
+//!
+//! * **Streams** (`SimStream`): a dropped write fails with `BrokenPipe`,
+//!   the way a TCP sender eventually surfaces a reset once retransmits are
+//!   exhausted — a byte stream cannot silently lose a middle segment.
+//! * **Verbs** (`QueuePair`): a dropped message is lost silently — the
+//!   post completes but nothing ever arrives, so the receiver only notices
+//!   via its own poll timeout (the "completion never came" failure mode).
+//! * Both substrates add `extra_delay` plus a uniform `[0, jitter]` sample
+//!   to each message's arrival time.
+//!
+//! Whole-link and whole-node failures are separate, non-probabilistic
+//! switches: [`crate::Fabric::partition`] (link cut) and
+//! [`crate::Fabric::kill_node`]. Listener-side failures are injected with
+//! [`crate::Fabric::fail_next_connects`] (connect refused before the
+//! handshake) and [`crate::Fabric::fail_next_accepts`] (connection dropped
+//! by the acceptor mid-handshake).
+
+use std::time::Duration;
+
+/// Impairments applied to all traffic crossing one node pair (both
+/// directions). Attach with [`crate::Fabric::set_link_fault`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Fixed additional one-way latency per message.
+    pub extra_delay: Duration,
+    /// Upper bound of a uniform random additional latency per message.
+    pub jitter: Duration,
+    /// Probability in `[0, 1]` that a message (stream write / verbs post)
+    /// is dropped.
+    pub drop_rate: f64,
+}
+
+impl FaultSpec {
+    /// A slow link: fixed extra delay, no jitter, no loss.
+    pub fn delay(extra: Duration) -> Self {
+        FaultSpec {
+            extra_delay: extra,
+            ..Default::default()
+        }
+    }
+
+    /// A lossy link dropping messages with probability `rate`.
+    pub fn lossy(rate: f64) -> Self {
+        FaultSpec {
+            drop_rate: rate,
+            ..Default::default()
+        }
+    }
+
+    /// A black-hole link: every message is dropped.
+    pub fn drop_all() -> Self {
+        FaultSpec::lossy(1.0)
+    }
+
+    /// Add uniform random jitter in `[0, jitter]` per message.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Add a drop probability to this spec.
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Whether this spec perturbs timing at all.
+    pub fn delays(&self) -> bool {
+        !self.extra_delay.is_zero() || !self.jitter.is_zero()
+    }
+}
+
+/// xorshift64* step: updates `state` in place, returns a sample in
+/// `[0, 1)`. Deterministic given the seed, dependency-free, and good
+/// enough for drop coins and jitter — this is not cryptography.
+pub(crate) fn next_unit(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    // Top 53 bits -> uniform double in [0, 1).
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_unit_is_deterministic_and_in_range() {
+        let mut a = 0x1234_5678_9abc_def0u64;
+        let mut b = 0x1234_5678_9abc_def0u64;
+        for _ in 0..1000 {
+            let x = next_unit(&mut a);
+            assert_eq!(x, next_unit(&mut b), "same seed must replay");
+            assert!((0.0..1.0).contains(&x));
+        }
+        assert_ne!(a, 0, "state must never collapse to zero");
+    }
+
+    #[test]
+    fn spec_builders_compose() {
+        let spec = FaultSpec::delay(Duration::from_millis(2))
+            .with_jitter(Duration::from_millis(1))
+            .with_drop_rate(0.5);
+        assert_eq!(spec.extra_delay, Duration::from_millis(2));
+        assert_eq!(spec.jitter, Duration::from_millis(1));
+        assert_eq!(spec.drop_rate, 0.5);
+        assert!(spec.delays());
+        assert!(!FaultSpec::drop_all().delays());
+    }
+}

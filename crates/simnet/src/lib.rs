@@ -23,9 +23,14 @@
 //! Delays are injected as precise busy-waits ([`time::spin_until`]) because
 //! OS sleep is far too coarse at the microsecond scale the paper measures.
 //!
-//! The simulator also supports failure injection ([`Fabric::kill_node`],
-//! [`Fabric::partition`]) so the upper layers (HDFS pipeline recovery,
-//! RPC error paths) can be tested.
+//! The simulator also supports failure injection so the upper layers
+//! (HDFS pipeline recovery, RPC retry/reconnect paths) can be tested:
+//! whole-node and whole-link failures ([`Fabric::kill_node`],
+//! [`Fabric::partition`]), per-link delay/jitter/loss impairments
+//! ([`Fabric::set_link_fault`] with a [`FaultSpec`]), and listener-side
+//! connect refusals and mid-handshake drops
+//! ([`Fabric::fail_next_connects`], [`Fabric::fail_next_accepts`]); see
+//! [`faults`] for the semantics on each substrate.
 //!
 //! ```
 //! use simnet::{model, Fabric, RdmaDevice};
@@ -54,6 +59,7 @@
 //! ```
 
 pub mod fabric;
+pub mod faults;
 pub mod model;
 pub mod stream;
 pub mod time;
@@ -61,9 +67,10 @@ pub mod topology;
 pub mod verbs;
 
 pub use fabric::{Fabric, FabricStats, NodeId, SimAddr};
-pub use topology::{Cluster, Host};
+pub use faults::FaultSpec;
 pub use model::NetworkModel;
 pub use stream::{SimListener, SimStream};
+pub use topology::{Cluster, Host};
 pub use verbs::{
     Completion, CompletionKind, MemoryRegion, QpEndpoint, QueuePair, RdmaDevice, RemoteKey,
 };
@@ -84,7 +91,11 @@ pub enum VerbsError {
     /// A posted receive buffer was too small for the incoming message.
     RecvBufferTooSmall { needed: usize, posted: usize },
     /// Access outside the bounds of a registered memory region.
-    OutOfBounds { offset: usize, len: usize, region: usize },
+    OutOfBounds {
+        offset: usize,
+        len: usize,
+        region: usize,
+    },
     /// The referenced remote memory region does not exist (bad rkey).
     BadRemoteKey,
     /// Polled past the configured timeout with no completion.
@@ -98,10 +109,20 @@ impl std::fmt::Display for VerbsError {
             VerbsError::NotConnected => write!(f, "queue pair not connected"),
             VerbsError::ReceiverNotReady => write!(f, "no posted receive buffer (RNR)"),
             VerbsError::RecvBufferTooSmall { needed, posted } => {
-                write!(f, "posted recv buffer too small: need {needed}, have {posted}")
+                write!(
+                    f,
+                    "posted recv buffer too small: need {needed}, have {posted}"
+                )
             }
-            VerbsError::OutOfBounds { offset, len, region } => {
-                write!(f, "MR access out of bounds: [{offset}, +{len}) in region of {region}")
+            VerbsError::OutOfBounds {
+                offset,
+                len,
+                region,
+            } => {
+                write!(
+                    f,
+                    "MR access out of bounds: [{offset}, +{len}) in region of {region}"
+                )
             }
             VerbsError::BadRemoteKey => write!(f, "unknown remote memory region (bad rkey)"),
             VerbsError::Timeout => write!(f, "verbs poll timeout"),

@@ -107,8 +107,8 @@ pub const IB_QDR_VERBS: NetworkModel = NetworkModel {
     name: "IB-QDR verbs (32Gbps)",
     base_latency_ns: 1_700,
     bandwidth_bps: 3_200_000_000, // ~26 Gbps effective QDR data rate
-    stack_overhead_ns: 600, // WQE posting + doorbell
-    per_kb_stack_ns: 300, // PCIe/DMA per-byte cost at the HCA
+    stack_overhead_ns: 600,       // WQE posting + doorbell
+    per_kb_stack_ns: 300,         // PCIe/DMA per-byte cost at the HCA
     rdma_capable: true,
     reg_ns_per_page: 2_000,
     reg_base_ns: 30_000,
@@ -147,7 +147,10 @@ mod tests {
     fn stack_cost_is_per_operation_plus_per_kb() {
         let m = IPOIB_QDR;
         assert_eq!(m.stack_ns(1), m.stack_overhead_ns + m.per_kb_stack_ns);
-        assert_eq!(m.stack_ns(2048), m.stack_overhead_ns + 2 * m.per_kb_stack_ns);
+        assert_eq!(
+            m.stack_ns(2048),
+            m.stack_overhead_ns + 2 * m.per_kb_stack_ns
+        );
         // Verbs pays per-KB DMA cost but far less than the kernel stacks.
         assert!(IB_QDR_VERBS.per_kb_stack_ns < GIG_E.per_kb_stack_ns * 4);
         assert_eq!(

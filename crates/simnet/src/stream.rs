@@ -82,13 +82,22 @@ impl SimStream {
     /// trip of handshake latency, like TCP's SYN/SYN-ACK.
     pub fn connect(fabric: &Fabric, local_node: NodeId, remote: SimAddr) -> io::Result<SimStream> {
         if fabric.is_dead(local_node) {
-            return Err(io::Error::new(io::ErrorKind::NotConnected, "local node is down"));
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "local node is down",
+            ));
         }
         if fabric.is_dead(remote.node) {
-            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "remote node is down"));
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "remote node is down",
+            ));
         }
         if fabric.is_partitioned(local_node, remote.node) {
-            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "network partition"));
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "network partition",
+            ));
         }
         let accept_tx = fabric
             .inner
@@ -97,8 +106,17 @@ impl SimStream {
             .get(&remote)
             .cloned()
             .ok_or_else(|| {
-                io::Error::new(io::ErrorKind::ConnectionRefused, format!("nothing bound at {remote}"))
+                io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("nothing bound at {remote}"),
+                )
             })?;
+        if fabric.take_connect_failure(remote) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("injected connect failure to {remote}"),
+            ));
+        }
 
         let model = *fabric.model();
         // Handshake: one round trip plus a stack operation on each side.
@@ -108,7 +126,11 @@ impl SimStream {
         let (c2s_tx, c2s_rx) = unbounded();
         let (s2c_tx, s2c_rx) = unbounded();
         accept_tx
-            .send(PendingConn { peer_addr: local, to_peer: s2c_tx, from_peer: c2s_rx })
+            .send(PendingConn {
+                peer_addr: local,
+                to_peer: s2c_tx,
+                from_peer: c2s_rx,
+            })
             .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "listener closed"))?;
 
         Ok(SimStream {
@@ -117,7 +139,10 @@ impl SimStream {
                 local,
                 peer: remote,
                 tx: Mutex::new(Some(c2s_tx)),
-                rx: Mutex::new(RxState { rx: s2c_rx, leftover: VecDeque::new() }),
+                rx: Mutex::new(RxState {
+                    rx: s2c_rx,
+                    leftover: VecDeque::new(),
+                }),
                 read_timeout: Mutex::new(None),
             }),
         })
@@ -150,14 +175,33 @@ impl SimStream {
         let inner = &self.inner;
         let fabric = &inner.fabric;
         if fabric.is_dead(inner.local.node) {
-            return Err(io::Error::new(io::ErrorKind::NotConnected, "local node is down"));
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "local node is down",
+            ));
         }
         if fabric.is_dead(inner.peer.node) {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer node is down"));
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer node is down",
+            ));
         }
         if fabric.is_partitioned(inner.local.node, inner.peer.node) {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "network partition"));
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "network partition",
+            ));
         }
+        // Injected loss: a reliable stream cannot lose a middle segment, so
+        // a drop surfaces as the reset TCP would deliver once retransmits
+        // run out.
+        if fabric.fault_drops(inner.local.node, inner.peer.node) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected packet loss",
+            ));
+        }
+        let fault_delay = fabric.fault_delay(inner.local.node, inner.peer.node);
         let model = *fabric.model();
 
         // Protocol stack processing on the sender (one syscall's worth,
@@ -182,9 +226,14 @@ impl SimStream {
                 None => Instant::now() + wire,
             };
             spin_until(egress_end);
-            let arrive_start = egress_end - wire + Duration::from_nanos(model.base_latency_ns);
-            tx.send(Segment { arrive_start, wire, data })
-                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
+            let arrive_start =
+                egress_end - wire + Duration::from_nanos(model.base_latency_ns) + fault_delay;
+            tx.send(Segment {
+                arrive_start,
+                wire,
+                data,
+            })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
         }
         let stats = fabric.stats();
         stats.messages.fetch_add(1, Ordering::Relaxed);
@@ -213,7 +262,10 @@ impl SimStream {
         let deadline = inner.read_timeout.lock().map(|t| Instant::now() + t);
         let seg = loop {
             if inner.fabric.is_dead(inner.local.node) {
-                return Err(io::Error::new(io::ErrorKind::ConnectionReset, "local node is down"));
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "local node is down",
+                ));
             }
             let wait = match deadline {
                 Some(d) => {
@@ -264,7 +316,10 @@ impl SimStream {
         while filled < buf.len() {
             let n = self.read_impl(&mut buf[filled..])?;
             if n == 0 {
-                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "stream closed"));
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed",
+                ));
             }
             filled += n;
         }
@@ -329,11 +384,18 @@ impl SimListener {
         let (tx, rx) = unbounded();
         let mut listeners = fabric.inner.listeners.lock();
         if listeners.contains_key(&addr) {
-            return Err(io::Error::new(io::ErrorKind::AddrInUse, format!("{addr} already bound")));
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                format!("{addr} already bound"),
+            ));
         }
         listeners.insert(addr, tx);
         drop(listeners);
-        Ok(SimListener { fabric: fabric.clone(), addr, incoming: rx })
+        Ok(SimListener {
+            fabric: fabric.clone(),
+            addr,
+            incoming: rx,
+        })
     }
 
     /// The address this listener is bound to.
@@ -349,6 +411,12 @@ impl SimListener {
             }
             match self.incoming.recv_timeout(FAILURE_POLL) {
                 Ok(pending) => {
+                    // Injected accept failure: drop the connection on the
+                    // floor — the peer's connect already succeeded, so it
+                    // discovers the breakage only on its first I/O.
+                    if self.fabric.take_accept_failure(self.addr) {
+                        continue;
+                    }
                     let peer = pending.peer_addr;
                     let stream = SimStream {
                         inner: Arc::new(StreamInner {
@@ -367,7 +435,10 @@ impl SimListener {
                 }
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(io::Error::new(io::ErrorKind::NotConnected, "listener evicted"))
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotConnected,
+                        "listener evicted",
+                    ))
                 }
             }
         }
@@ -377,6 +448,10 @@ impl SimListener {
     pub fn try_accept(&self) -> io::Result<Option<(SimStream, SimAddr)>> {
         match self.incoming.try_recv() {
             Ok(pending) => {
+                if self.fabric.take_accept_failure(self.addr) {
+                    drop(pending);
+                    return Ok(None);
+                }
                 let peer = pending.peer_addr;
                 let stream = SimStream {
                     inner: Arc::new(StreamInner {
@@ -384,16 +459,20 @@ impl SimListener {
                         local: self.addr,
                         peer,
                         tx: Mutex::new(Some(pending.to_peer)),
-                        rx: Mutex::new(RxState { rx: pending.from_peer, leftover: VecDeque::new() }),
+                        rx: Mutex::new(RxState {
+                            rx: pending.from_peer,
+                            leftover: VecDeque::new(),
+                        }),
                         read_timeout: Mutex::new(None),
                     }),
                 };
                 Ok(Some((stream, peer)))
             }
             Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                Err(io::Error::new(io::ErrorKind::NotConnected, "listener evicted"))
-            }
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "listener evicted",
+            )),
         }
     }
 }
@@ -569,7 +648,10 @@ mod tests {
         let got = h.join().unwrap();
         let elapsed = start.elapsed();
         assert_eq!(got, payload);
-        assert!(elapsed >= Duration::from_millis(7), "too fast for 1GigE: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(7),
+            "too fast for 1GigE: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl Cluster {
 
     /// Add one host (both NICs) and return its index.
     pub fn add_host(&mut self) -> Host {
-        let nics = HostNics { eth: self.eth.add_node(), ib: self.ib.add_node() };
+        let nics = HostNics {
+            eth: self.eth.add_node(),
+            ib: self.ib.add_node(),
+        };
         self.hosts.push(nics);
         Host(self.hosts.len() - 1)
     }

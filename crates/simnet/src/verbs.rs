@@ -48,7 +48,10 @@ impl RdmaDevice {
         if !fabric.model().rdma_capable {
             return Err(VerbsError::NotConnected);
         }
-        Ok(RdmaDevice { fabric: fabric.clone(), node })
+        Ok(RdmaDevice {
+            fabric: fabric.clone(),
+            node,
+        })
     }
 
     /// The node this device lives on.
@@ -62,15 +65,25 @@ impl RdmaDevice {
     /// pre-registered pool amortizes away from the per-call path.
     pub fn register(&self, len: usize) -> MemoryRegion {
         spin_ns(self.fabric.model().registration_ns(len));
-        self.fabric.stats().registrations.fetch_add(1, Ordering::Relaxed);
+        self.fabric
+            .stats()
+            .registrations
+            .fetch_add(1, Ordering::Relaxed);
         let id = self.fabric.fresh_id();
         let inner = Arc::new(MrInner {
             id,
             node: self.node,
             buf: Mutex::new(vec![0u8; len].into_boxed_slice()),
         });
-        self.fabric.inner.mrs.lock().insert(id, Arc::downgrade(&inner));
-        MemoryRegion { fabric: self.fabric.clone(), inner }
+        self.fabric
+            .inner
+            .mrs
+            .lock()
+            .insert(id, Arc::downgrade(&inner));
+        MemoryRegion {
+            fabric: self.fabric.clone(),
+            inner,
+        }
     }
 
     /// Create a queue pair (with its completion channel) on this device.
@@ -143,7 +156,10 @@ impl MemoryRegion {
 
     /// The key a remote peer needs to RDMA-write into this region.
     pub fn remote_key(&self) -> RemoteKey {
-        RemoteKey { node: self.inner.node, mr_id: self.inner.id }
+        RemoteKey {
+            node: self.inner.node,
+            mr_id: self.inner.id,
+        }
     }
 }
 
@@ -158,13 +174,23 @@ impl Drop for MemoryRegion {
 
 impl std::fmt::Debug for MemoryRegion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MemoryRegion(id={}, node={}, len={})", self.inner.id, self.inner.node, self.len())
+        write!(
+            f,
+            "MemoryRegion(id={}, node={}, len={})",
+            self.inner.id,
+            self.inner.node,
+            self.len()
+        )
     }
 }
 
 fn bounds_check(offset: usize, len: usize, region: usize) -> Result<(), VerbsError> {
     if offset.checked_add(len).is_none_or(|end| end > region) {
-        Err(VerbsError::OutOfBounds { offset, len, region })
+        Err(VerbsError::OutOfBounds {
+            offset,
+            len,
+            region,
+        })
     } else {
         Ok(())
     }
@@ -219,8 +245,18 @@ impl QpEndpoint {
 }
 
 pub(crate) enum QpMessage {
-    Send { arrive_start: Instant, wire: Duration, data: Bytes, imm: u32 },
-    WriteImm { arrive_start: Instant, wire: Duration, len: usize, imm: u32 },
+    Send {
+        arrive_start: Instant,
+        wire: Duration,
+        data: Bytes,
+        imm: u32,
+    },
+    WriteImm {
+        arrive_start: Instant,
+        wire: Duration,
+        len: usize,
+        imm: u32,
+    },
 }
 
 /// What a polled receive completion describes.
@@ -259,7 +295,10 @@ pub struct QueuePair {
 impl QueuePair {
     /// This QP's endpoint, to be shipped to the peer out of band.
     pub fn endpoint(&self) -> QpEndpoint {
-        QpEndpoint { node: self.node, qp_id: self.id }
+        QpEndpoint {
+            node: self.node,
+            qp_id: self.id,
+        }
     }
 
     /// Transition to connected: all sends now target `remote`.
@@ -284,9 +323,7 @@ impl QueuePair {
     }
 
     fn peer_inbox(&self, remote: QpEndpoint) -> Result<Sender<QpMessage>, VerbsError> {
-        if self.fabric.is_dead(remote.node)
-            || self.fabric.is_partitioned(self.node, remote.node)
-        {
+        if self.fabric.is_dead(remote.node) || self.fabric.is_partitioned(self.node, remote.node) {
             return Err(VerbsError::PeerDown);
         }
         self.fabric
@@ -298,7 +335,7 @@ impl QueuePair {
             .ok_or(VerbsError::PeerDown)
     }
 
-    fn charge_send(&self, len: usize) -> (Instant, Duration) {
+    fn charge_send(&self, remote: NodeId, len: usize) -> (Instant, Duration) {
         let model = *self.fabric.model();
         spin_ns(model.stack_ns(len));
         let wire = Duration::from_nanos(model.wire_ns(len));
@@ -307,7 +344,9 @@ impl QueuePair {
             None => Instant::now() + wire,
         };
         spin_until(egress_end);
-        let arrive_start = egress_end - wire + Duration::from_nanos(model.base_latency_ns);
+        let arrive_start = egress_end - wire
+            + Duration::from_nanos(model.base_latency_ns)
+            + self.fabric.fault_delay(self.node, remote);
         (arrive_start, wire)
     }
 
@@ -331,9 +370,19 @@ impl QueuePair {
             bounds_check(offset, len, buf.len())?;
             Bytes::copy_from_slice(&buf[offset..offset + len])
         };
-        let (arrive_start, wire) = self.charge_send(len);
+        let (arrive_start, wire) = self.charge_send(remote.node, len);
+        // Injected loss: the post "completed" at the sender but the message
+        // never arrives — the receiver only notices via its poll timeout.
+        if self.fabric.fault_drops(self.node, remote.node) {
+            return Ok(());
+        }
         inbox
-            .send(QpMessage::Send { arrive_start, wire, data, imm })
+            .send(QpMessage::Send {
+                arrive_start,
+                wire,
+                data,
+                imm,
+            })
             .map_err(|_| VerbsError::PeerDown)?;
         let stats = self.fabric.stats();
         stats.messages.fetch_add(1, Ordering::Relaxed);
@@ -378,8 +427,13 @@ impl QueuePair {
                 // Charge before copying into the remote region so the
                 // remote never observes bytes "before" they arrived.
                 drop(src);
-                self.charge_send(len)
+                self.charge_send(rkey.node, len)
             };
+            // Injected loss: the write is charged at the sender but never
+            // lands remotely, and no completion is delivered.
+            if self.fabric.fault_drops(self.node, rkey.node) {
+                return Ok(());
+            }
             let src = mr.inner.buf.lock();
             let mut dst = target.buf.lock();
             bounds_check(remote_offset, len, dst.len())?;
@@ -394,7 +448,12 @@ impl QueuePair {
         if let Some(imm) = imm {
             let inbox = self.peer_inbox(remote)?;
             inbox
-                .send(QpMessage::WriteImm { arrive_start, wire, len, imm })
+                .send(QpMessage::WriteImm {
+                    arrive_start,
+                    wire,
+                    len,
+                    imm,
+                })
                 .map_err(|_| VerbsError::PeerDown)?;
         }
         Ok(())
@@ -422,8 +481,12 @@ impl QueuePair {
             }
         };
         let (arrive_start, wire) = match &msg {
-            QpMessage::Send { arrive_start, wire, .. } => (*arrive_start, *wire),
-            QpMessage::WriteImm { arrive_start, wire, .. } => (*arrive_start, *wire),
+            QpMessage::Send {
+                arrive_start, wire, ..
+            } => (*arrive_start, *wire),
+            QpMessage::WriteImm {
+                arrive_start, wire, ..
+            } => (*arrive_start, *wire),
         };
         let ingress_end = match self.fabric.links(self.node) {
             Some(links) => links.ingress.reserve_from(arrive_start, wire),
@@ -447,7 +510,12 @@ impl QueuePair {
                 }
                 buf[..data.len()].copy_from_slice(&data);
                 drop(buf);
-                Ok(Completion { kind: CompletionKind::Recv, wr_id, len: data.len(), imm })
+                Ok(Completion {
+                    kind: CompletionKind::Recv,
+                    wr_id,
+                    len: data.len(),
+                    imm,
+                })
             }
             QpMessage::WriteImm { len, imm, .. } => {
                 let (wr_id, _mr) = self
@@ -455,7 +523,12 @@ impl QueuePair {
                     .lock()
                     .pop_front()
                     .ok_or(VerbsError::ReceiverNotReady)?;
-                Ok(Completion { kind: CompletionKind::RecvRdmaWithImm, wr_id, len, imm })
+                Ok(Completion {
+                    kind: CompletionKind::RecvRdmaWithImm,
+                    wr_id,
+                    len,
+                    imm,
+                })
             }
         }
     }
@@ -535,7 +608,10 @@ mod tests {
         let dev = RdmaDevice::open(&fabric, n).unwrap();
         let qp = dev.create_qp();
         let mr = dev.register(16);
-        assert_eq!(qp.post_send(&mr, 0, 4, 0).unwrap_err(), VerbsError::NotConnected);
+        assert_eq!(
+            qp.post_send(&mr, 0, 4, 0).unwrap_err(),
+            VerbsError::NotConnected
+        );
     }
 
     #[test]
@@ -548,7 +624,8 @@ mod tests {
         src.write_at(0, &payload).unwrap();
         // Imm consumes a posted recv.
         qb.post_recv(42, dst.clone());
-        qa.rdma_write(&src, 0, 4000, dst.remote_key(), 96, Some(0xabcd)).unwrap();
+        qa.rdma_write(&src, 0, 4000, dst.remote_key(), 96, Some(0xabcd))
+            .unwrap();
         let c = qb.poll_recv(Duration::from_secs(1)).unwrap();
         assert_eq!(c.kind, CompletionKind::RecvRdmaWithImm);
         assert_eq!(c.wr_id, 42);
@@ -566,7 +643,8 @@ mod tests {
         let src = dev_a.register(64);
         let dst = dev_b.register(64);
         src.write_at(0, b"quiet").unwrap();
-        qa.rdma_write(&src, 0, 5, dst.remote_key(), 0, None).unwrap();
+        qa.rdma_write(&src, 0, 5, dst.remote_key(), 0, None)
+            .unwrap();
         assert_eq!(
             qb.poll_recv(Duration::from_millis(40)).unwrap_err(),
             VerbsError::Timeout
@@ -596,8 +674,14 @@ mod tests {
         let n = fabric.add_node();
         let dev = RdmaDevice::open(&fabric, n).unwrap();
         let mr = dev.register(32);
-        assert!(matches!(mr.write_at(30, &[0; 4]), Err(VerbsError::OutOfBounds { .. })));
-        assert!(matches!(mr.read_at(33, &mut [0; 1]), Err(VerbsError::OutOfBounds { .. })));
+        assert!(matches!(
+            mr.write_at(30, &[0; 4]),
+            Err(VerbsError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            mr.read_at(33, &mut [0; 1]),
+            Err(VerbsError::OutOfBounds { .. })
+        ));
         assert!(mr.write_at(28, &[0; 4]).is_ok());
     }
 
@@ -611,7 +695,10 @@ mod tests {
         qa.post_send(&src, 0, 128, 0).unwrap();
         assert!(matches!(
             qb.poll_recv(Duration::from_secs(1)).unwrap_err(),
-            VerbsError::RecvBufferTooSmall { needed: 128, posted: 16 }
+            VerbsError::RecvBufferTooSmall {
+                needed: 128,
+                posted: 16
+            }
         ));
     }
 
@@ -623,16 +710,28 @@ mod tests {
         let dst = dev_b.register(64);
         qb.post_recv(1, dst);
         fabric.kill_node(dev_b.node());
-        assert_eq!(qa.post_send(&src, 0, 4, 0).unwrap_err(), VerbsError::PeerDown);
-        assert_eq!(qb.poll_recv(Duration::from_millis(50)).unwrap_err(), VerbsError::PeerDown);
+        assert_eq!(
+            qa.post_send(&src, 0, 4, 0).unwrap_err(),
+            VerbsError::PeerDown
+        );
+        assert_eq!(
+            qb.poll_recv(Duration::from_millis(50)).unwrap_err(),
+            VerbsError::PeerDown
+        );
         fabric.revive_node(dev_b.node());
     }
 
     #[test]
     fn endpoint_and_rkey_byte_roundtrip() {
-        let ep = QpEndpoint { node: NodeId(0xdead), qp_id: 0x1122334455667788 };
+        let ep = QpEndpoint {
+            node: NodeId(0xdead),
+            qp_id: 0x1122334455667788,
+        };
         assert_eq!(QpEndpoint::from_bytes(ep.to_bytes()), ep);
-        let rk = RemoteKey { node: NodeId(7), mr_id: 99 };
+        let rk = RemoteKey {
+            node: NodeId(7),
+            mr_id: 99,
+        };
         assert_eq!(RemoteKey::from_bytes(rk.to_bytes()), rk);
     }
 
@@ -649,7 +748,10 @@ mod tests {
         let oneway = start.elapsed();
         // Model says ~1.7us one-way + 0.6us post; allow slack for the
         // channel hop, but it must be far below socket-stack territory.
-        assert!(oneway < Duration::from_micros(200), "verbs too slow: {oneway:?}");
+        assert!(
+            oneway < Duration::from_micros(200),
+            "verbs too slow: {oneway:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Fault-injection behavior: per-link impairments, injected connect and
+//! accept failures, on both the stream and verbs substrates.
+
+use std::io::{Read, Write};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use simnet::{model, Fabric, FaultSpec, RdmaDevice, SimAddr, SimListener, SimStream, VerbsError};
+
+fn stream_pair(fabric: &Fabric) -> (SimStream, SimStream) {
+    let server = fabric.add_node();
+    let client = fabric.add_node();
+    let addr = SimAddr::new(server, 9000);
+    let listener = SimListener::bind(fabric, addr).unwrap();
+    let f2 = fabric.clone();
+    let h = thread::spawn(move || SimStream::connect(&f2, client, addr).unwrap());
+    let (srv, _) = listener.accept().unwrap();
+    let cli = h.join().unwrap();
+    (cli, srv)
+}
+
+#[test]
+fn link_delay_slows_stream_delivery() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let (cli, mut srv) = stream_pair(&fabric);
+    let (a, b) = (cli.local_addr().node, cli.peer_addr().node);
+
+    // Baseline ping is far under a millisecond on this model.
+    fabric.set_link_fault(a, b, FaultSpec::delay(Duration::from_millis(5)));
+    let start = Instant::now();
+    (&cli).write_all(b"x").unwrap();
+    let mut buf = [0u8; 1];
+    srv.read_exact(&mut buf).unwrap();
+    assert!(
+        start.elapsed() >= Duration::from_millis(5),
+        "injected delay not observed: {:?}",
+        start.elapsed()
+    );
+
+    // Clearing the fault restores baseline latency.
+    fabric.clear_link_fault(a, b);
+    let start = Instant::now();
+    (&cli).write_all(b"y").unwrap();
+    srv.read_exact(&mut buf).unwrap();
+    assert!(start.elapsed() < Duration::from_millis(5));
+}
+
+#[test]
+fn jitter_stays_within_bounds() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    fabric.set_fault_seed(42);
+    let (cli, mut srv) = stream_pair(&fabric);
+    let (a, b) = (cli.local_addr().node, cli.peer_addr().node);
+    fabric.set_link_fault(
+        a,
+        b,
+        FaultSpec::delay(Duration::from_millis(2)).with_jitter(Duration::from_millis(4)),
+    );
+    let mut buf = [0u8; 1];
+    for _ in 0..5 {
+        let start = Instant::now();
+        (&cli).write_all(b"j").unwrap();
+        srv.read_exact(&mut buf).unwrap();
+        let rtt = start.elapsed();
+        assert!(
+            rtt >= Duration::from_millis(2),
+            "below delay floor: {rtt:?}"
+        );
+        assert!(
+            rtt < Duration::from_millis(20),
+            "beyond delay + jitter: {rtt:?}"
+        );
+    }
+}
+
+#[test]
+fn stream_drop_surfaces_as_broken_pipe() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let (cli, _srv) = stream_pair(&fabric);
+    let (a, b) = (cli.local_addr().node, cli.peer_addr().node);
+    fabric.set_link_fault(a, b, FaultSpec::drop_all());
+    let err = (&cli).write_all(b"lost").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+}
+
+#[test]
+fn verbs_drop_is_silent_loss() {
+    let fabric = Fabric::new(model::IB_QDR_VERBS);
+    let a = fabric.add_node();
+    let b = fabric.add_node();
+    let dev_a = RdmaDevice::open(&fabric, a).unwrap();
+    let dev_b = RdmaDevice::open(&fabric, b).unwrap();
+    let qa = dev_a.create_qp();
+    let qb = dev_b.create_qp();
+    qa.connect(qb.endpoint());
+    qb.connect(qa.endpoint());
+    let src = dev_a.register(64);
+    let dst = dev_b.register(64);
+    qb.post_recv(1, dst.clone());
+
+    fabric.set_link_fault(a, b, FaultSpec::drop_all());
+    // The post itself succeeds — the wire ate the message.
+    qa.post_send(&src, 0, 8, 0).unwrap();
+    assert_eq!(
+        qb.poll_recv(Duration::from_millis(50)).unwrap_err(),
+        VerbsError::Timeout
+    );
+    assert_eq!(
+        qb.posted_recvs(),
+        1,
+        "lost send must not consume the posted recv"
+    );
+
+    // RDMA writes are likewise lost without landing remotely.
+    src.write_at(0, b"payload!").unwrap();
+    qa.rdma_write(&src, 0, 8, dst.remote_key(), 0, Some(9))
+        .unwrap();
+    let mut out = [0u8; 8];
+    dst.read_at(0, &mut out).unwrap();
+    assert_eq!(
+        out, [0u8; 8],
+        "dropped write must not mutate the remote region"
+    );
+
+    // Healing the link restores delivery.
+    fabric.clear_link_fault(a, b);
+    qa.post_send(&src, 0, 8, 5).unwrap();
+    let c = qb.poll_recv(Duration::from_secs(1)).unwrap();
+    assert_eq!(c.imm, 5);
+}
+
+#[test]
+fn injected_connect_failures_refuse_then_recover() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server = fabric.add_node();
+    let client = fabric.add_node();
+    let addr = SimAddr::new(server, 7000);
+    let _listener = SimListener::bind(&fabric, addr).unwrap();
+
+    fabric.fail_next_connects(addr, 2);
+    for _ in 0..2 {
+        let err = SimStream::connect(&fabric, client, addr).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    }
+    assert_eq!(fabric.pending_connect_failures(addr), 0);
+    // Budget exhausted: the next connect goes through.
+    SimStream::connect(&fabric, client, addr).unwrap();
+}
+
+#[test]
+fn injected_accept_failure_drops_connection_mid_handshake() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server = fabric.add_node();
+    let client = fabric.add_node();
+    let addr = SimAddr::new(server, 7001);
+    let listener = SimListener::bind(&fabric, addr).unwrap();
+
+    fabric.fail_next_accepts(addr, 1);
+    // The connect itself succeeds — the failure is on the acceptor side.
+    let doomed = SimStream::connect(&fabric, client, addr).unwrap();
+    assert!(
+        listener.try_accept().unwrap().is_none(),
+        "first accept is swallowed"
+    );
+    // The abandoned peer discovers the breakage on its first I/O.
+    let err = (&doomed).write_all(b"hello?").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+
+    // The next connection is accepted normally.
+    let f2 = fabric.clone();
+    let h = thread::spawn(move || SimStream::connect(&f2, client, addr).unwrap());
+    let (mut srv, _) = listener.accept().unwrap();
+    let cli = h.join().unwrap();
+    (&cli).write_all(b"ok").unwrap();
+    let mut buf = [0u8; 2];
+    srv.read_exact(&mut buf).unwrap();
+    assert_eq!(&buf, b"ok");
+}
+
+#[test]
+fn seeded_drop_schedule_replays_exactly() {
+    let observe = |seed: u64| -> Vec<bool> {
+        let fabric = Fabric::new(model::IPOIB_QDR);
+        fabric.set_fault_seed(seed);
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        fabric.set_link_fault(a, b, FaultSpec::lossy(0.5));
+        let addr = SimAddr::new(b, 7002);
+        let _listener = SimListener::bind(&fabric, addr).unwrap();
+        let cli = SimStream::connect(&fabric, a, addr).unwrap();
+        (0..32).map(|_| (&cli).write_all(&[0]).is_err()).collect()
+    };
+    let run1 = observe(7);
+    let run2 = observe(7);
+    assert_eq!(run1, run2, "same seed must replay the same loss pattern");
+    assert!(
+        run1.iter().any(|&d| d),
+        "p=0.5 over 32 trials should drop something"
+    );
+    assert!(
+        run1.iter().any(|&d| !d),
+        "p=0.5 over 32 trials should deliver something"
+    );
+}

@@ -107,7 +107,9 @@ impl DataOutputBuffer {
         self.adjustments += 1;
         self.bytes_copied += self.count as u64;
         GLOBAL.adjustments.fetch_add(1, Ordering::Relaxed);
-        GLOBAL.bytes_copied.fetch_add(self.count as u64, Ordering::Relaxed);
+        GLOBAL
+            .bytes_copied
+            .fetch_add(self.count as u64, Ordering::Relaxed);
         GLOBAL.allocations.fetch_add(1, Ordering::Relaxed);
     }
 

@@ -147,7 +147,10 @@ pub trait DataInput {
     fn read_vint(&mut self) -> io::Result<i32> {
         let v = self.read_vlong()?;
         i32::try_from(v).map_err(|_| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("vint out of range: {v}"))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("vint out of range: {v}"),
+            )
         })
     }
 
@@ -161,14 +164,21 @@ pub trait DataInput {
         for _ in 0..len - 1 {
             value = (value << 8) | self.read_u8()? as i64;
         }
-        Ok(if varint::is_negative_vint(first) { !value } else { value })
+        Ok(if varint::is_negative_vint(first) {
+            !value
+        } else {
+            value
+        })
     }
 
     /// Hadoop `Text::readString`.
     fn read_string(&mut self) -> io::Result<String> {
         let len = self.read_vint()?;
         if len < 0 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "negative string length"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "negative string length",
+            ));
         }
         let mut buf = vec![0u8; len as usize];
         self.read_bytes(&mut buf)?;
@@ -180,7 +190,10 @@ pub trait DataInput {
     fn read_len_bytes(&mut self) -> io::Result<Vec<u8>> {
         let len = self.read_i32()?;
         if len < 0 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "negative buffer length"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "negative buffer length",
+            ));
         }
         let mut buf = vec![0u8; len as usize];
         self.read_bytes(&mut buf)?;

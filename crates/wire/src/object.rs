@@ -88,9 +88,7 @@ impl Writable for ObjectWritable {
             "float" => ObjectWritable::Float(input.read_f32()?),
             "double" => ObjectWritable::Double(input.read_f64()?),
             "org.apache.hadoop.io.Text" => ObjectWritable::Text(input.read_string()?),
-            "org.apache.hadoop.io.BytesWritable" => {
-                ObjectWritable::Bytes(input.read_len_bytes()?)
-            }
+            "org.apache.hadoop.io.BytesWritable" => ObjectWritable::Bytes(input.read_len_bytes()?),
             "array" => {
                 let n = input.read_vint()?;
                 if n < 0 {

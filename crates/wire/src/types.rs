@@ -232,7 +232,10 @@ impl<T: Writable + Default> Writable for Vec<T> {
     fn read_fields(&mut self, input: &mut dyn DataInput) -> io::Result<()> {
         let n = input.read_vint()?;
         if n < 0 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "negative element count"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "negative element count",
+            ));
         }
         self.clear();
         self.reserve(n as usize);
@@ -314,7 +317,10 @@ mod tests {
     #[test]
     fn int_writable_layout_matches_java() {
         assert_eq!(to_bytes(&IntWritable(1)).unwrap(), [0, 0, 0, 1]);
-        assert_eq!(to_bytes(&IntWritable(-1)).unwrap(), [0xff, 0xff, 0xff, 0xff]);
+        assert_eq!(
+            to_bytes(&IntWritable(-1)).unwrap(),
+            [0xff, 0xff, 0xff, 0xff]
+        );
     }
 
     #[test]

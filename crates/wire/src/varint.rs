@@ -35,7 +35,11 @@ pub fn write_vlong<W: Write + ?Sized>(out: &mut W, value: i64) -> io::Result<()>
     }
     let mut buf = [0u8; 9];
     buf[0] = len as u8;
-    let n = if len < -120 { (-(len + 120)) as usize } else { (-(len + 112)) as usize };
+    let n = if len < -120 {
+        (-(len + 120)) as usize
+    } else {
+        (-(len + 112)) as usize
+    };
     for idx in (1..=n).rev() {
         let shift = (idx - 1) * 8;
         buf[n - idx + 1] = ((v >> shift) & 0xff) as u8;
@@ -79,14 +83,22 @@ pub fn read_vlong<R: Read + ?Sized>(input: &mut R) -> io::Result<i64> {
         input.read_exact(&mut byte)?;
         value = (value << 8) | byte[0] as i64;
     }
-    Ok(if is_negative_vint(first[0]) { !value } else { value })
+    Ok(if is_negative_vint(first[0]) {
+        !value
+    } else {
+        value
+    })
 }
 
 /// Read an `int` in Hadoop vint format, failing on overflow.
 pub fn read_vint<R: Read + ?Sized>(input: &mut R) -> io::Result<i32> {
     let v = read_vlong(input)?;
-    i32::try_from(v)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("vint out of range: {v}")))
+    i32::try_from(v).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("vint out of range: {v}"),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -150,7 +162,11 @@ mod tests {
         ] {
             let bytes = enc(v);
             assert_eq!(bytes.len(), vlong_size(v), "size mismatch for {v}");
-            assert_eq!(read_vlong(&mut bytes.as_slice()).unwrap(), v, "roundtrip {v}");
+            assert_eq!(
+                read_vlong(&mut bytes.as_slice()).unwrap(),
+                v,
+                "roundtrip {v}"
+            );
         }
     }
 

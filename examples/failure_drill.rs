@@ -26,11 +26,19 @@ fn hdfs_drill() {
     let data: Vec<u8> = (0..300 * 1024u32).map(|i| (i % 251) as u8).collect();
     client.mkdirs("/drill").unwrap();
     client.write_file("/drill/blob", &data).unwrap();
-    println!("  wrote {} KB across {} blocks, replication 3", data.len() / 1024, 3);
+    println!(
+        "  wrote {} KB across {} blocks, replication 3",
+        data.len() / 1024,
+        3
+    );
 
     // 1. Kill a replica holder: reads fail over, NameNode re-replicates.
     let victim = client.get_block_locations("/drill/blob").unwrap()[0].targets[0].id;
-    let idx = dfs.datanodes().iter().position(|dn| dn.id() == victim).unwrap();
+    let idx = dfs
+        .datanodes()
+        .iter()
+        .position(|dn| dn.id() == victim)
+        .unwrap();
     dfs.cluster().kill_host(dfs.datanode_host(idx));
     println!("  killed datanode {victim} (host of first replica)");
     assert_eq!(client.read_file("/drill/blob").unwrap(), data);
@@ -39,13 +47,19 @@ fn hdfs_drill() {
     // Wait for the NameNode to detect the death (heartbeat timeout)...
     let start = Instant::now();
     while dfs.namenode().live_datanode_count() != 4 {
-        assert!(start.elapsed() < Duration::from_secs(10), "death not detected");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "death not detected"
+        );
         std::thread::sleep(Duration::from_millis(50));
     }
     let detected = start.elapsed();
     // ...then for re-replication to restore full redundancy.
     while dfs.namenode().under_replicated_count() > 0 {
-        assert!(start.elapsed() < Duration::from_secs(20), "re-replication stuck");
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "re-replication stuck"
+        );
         std::thread::sleep(Duration::from_millis(100));
     }
     println!(
@@ -57,8 +71,13 @@ fn hdfs_drill() {
     let dn_node = dfs.cluster().eth_node(dfs.datanode_host(1));
     let client_node = dfs.cluster().eth_node(Host(1));
     dfs.cluster().eth().partition(client_node, dn_node);
-    println!("  partitioned client <-> datanode {}", dfs.datanodes()[1].id());
-    client.write_file("/drill/through-partition", &data).unwrap();
+    println!(
+        "  partitioned client <-> datanode {}",
+        dfs.datanodes()[1].id()
+    );
+    client
+        .write_file("/drill/through-partition", &data)
+        .unwrap();
     assert_eq!(client.read_file("/drill/through-partition").unwrap(), data);
     println!("  write + read OK through pipeline exclusion");
     dfs.cluster().eth().heal(client_node, dn_node);
@@ -75,7 +94,9 @@ fn hbase_drill() {
     let hbase = MiniHbase::start(model::IPOIB_QDR, 3, cfg).unwrap();
     let client = hbase.client().unwrap();
     for id in 0..150usize {
-        client.put(&key_of(id), format!("row-{id}").as_bytes()).unwrap();
+        client
+            .put(&key_of(id), format!("row-{id}").as_bytes())
+            .unwrap();
     }
     // Durability covers what reached HDFS: force the WAL tails out with
     // filler traffic (a crash loses only the unrolled in-memory tail,
@@ -88,12 +109,19 @@ fn hbase_drill() {
     let victim = &hbase.regionservers()[0];
     let buckets = victim.hosted_buckets();
     victim.stop();
-    println!("  crashed region server {} (buckets {buckets:?})", victim.id());
+    println!(
+        "  crashed region server {} (buckets {buckets:?})",
+        victim.id()
+    );
 
     let start = Instant::now();
     for id in 0..150usize {
         let got = client.get(&key_of(id)).unwrap();
-        assert_eq!(got.as_deref(), Some(format!("row-{id}").as_bytes()), "row {id}");
+        assert_eq!(
+            got.as_deref(),
+            Some(format!("row-{id}").as_bytes()),
+            "row {id}"
+        );
     }
     println!(
         "  all 150 rows served after WAL replay + store-file reload ({:?} incl. reassignment)",

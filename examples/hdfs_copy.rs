@@ -12,7 +12,10 @@ use rpcoib_suite::mini_hdfs::{HdfsConfig, MiniDfs};
 use rpcoib_suite::simnet::model;
 
 fn run(name: &str, cfg: HdfsConfig) {
-    let cfg = HdfsConfig { block_size: 512 * 1024, ..cfg };
+    let cfg = HdfsConfig {
+        block_size: 512 * 1024,
+        ..cfg
+    };
     let dfs = MiniDfs::start(model::IPOIB_QDR, 4, cfg).unwrap();
     let client = dfs.client().unwrap();
 
@@ -38,7 +41,11 @@ fn run(name: &str, cfg: HdfsConfig) {
 
     // Kill the first replica holder; the read must fall back.
     let victim = located[0].targets[0].id;
-    let idx = dfs.datanodes().iter().position(|dn| dn.id() == victim).unwrap();
+    let idx = dfs
+        .datanodes()
+        .iter()
+        .position(|dn| dn.id() == victim)
+        .unwrap();
     dfs.cluster().kill_host(dfs.datanode_host(idx));
     let survived = client.read_file("/demo/blob").unwrap();
     assert_eq!(survived, data);

@@ -19,7 +19,10 @@ fn run(name: &str, cfg: HBaseConfig) {
     let hbase = MiniHbase::start(model::IPOIB_QDR, 3, cfg).unwrap();
     let client = hbase.client().unwrap();
 
-    let workload = Workload { value_size: 512, ..Workload::mixed(400, 600) };
+    let workload = Workload {
+        value_size: 512,
+        ..Workload::mixed(400, 600)
+    };
     ycsb::load(&client, &workload).unwrap();
     let report = ycsb::run(&client, &workload).unwrap();
 
@@ -27,7 +30,10 @@ fn run(name: &str, cfg: HBaseConfig) {
     let dfs = hbase.dfs().client().unwrap();
     let mut hdfs_files = dfs.list("/hbase/wal").unwrap().len();
     for bucket in 0..hbase.regionservers().len() {
-        hdfs_files += dfs.list(&format!("/hbase/region{bucket}")).unwrap_or_default().len();
+        hdfs_files += dfs
+            .list(&format!("/hbase/region{bucket}"))
+            .unwrap_or_default()
+            .len();
     }
 
     println!(

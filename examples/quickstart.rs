@@ -37,8 +37,9 @@ impl RpcService for DirectoryService {
             "count" => {
                 let mut path = Text::default();
                 path.read_fields(param).map_err(|e| e.to_string())?;
-                Ok(Box::new(IntWritable(path.0.split('/').filter(|p| !p.is_empty()).count()
-                    as i32)))
+                Ok(Box::new(IntWritable(
+                    path.0.split('/').filter(|p| !p.is_empty()).count() as i32,
+                )))
             }
             other => Err(format!("unknown method {other}")),
         }
@@ -58,19 +59,28 @@ fn demo(name: &str, net: NetworkModel, cfg: RpcConfig) {
     // Warm up (connection setup + buffer-size history learning).
     for _ in 0..20 {
         let _: Text = client
-            .call(server.addr(), "demo.DirectoryProtocol", "lookup", &Text::from("/user/demo"))
+            .call(
+                server.addr(),
+                "demo.DirectoryProtocol",
+                "lookup",
+                &Text::from("/user/demo"),
+            )
             .unwrap();
     }
     let start = Instant::now();
     let n = 200;
     for i in 0..n {
         let path = Text(format!("/user/demo/file-{i}"));
-        let upper: Text =
-            client.call(server.addr(), "demo.DirectoryProtocol", "lookup", &path).unwrap();
+        let upper: Text = client
+            .call(server.addr(), "demo.DirectoryProtocol", "lookup", &path)
+            .unwrap();
         assert_eq!(upper.0, path.0.to_uppercase());
     }
     let per_call = start.elapsed() / n;
-    let stats = client.metrics().get("demo.DirectoryProtocol", "lookup").unwrap();
+    let stats = client
+        .metrics()
+        .get("demo.DirectoryProtocol", "lookup")
+        .unwrap();
     println!(
         "{name:<22} {per_call:>9.1?}/call   serialize {:.1}us   send {:.1}us   adjustments/call {:.2}",
         stats.avg_serialize_us(),
@@ -84,7 +94,11 @@ fn demo(name: &str, net: NetworkModel, cfg: RpcConfig) {
 fn main() {
     println!("same service, two transports:\n");
     demo("Hadoop RPC / IPoIB", model::IPOIB_QDR, RpcConfig::socket());
-    demo("RPCoIB / IB verbs", model::IB_QDR_VERBS, RpcConfig::rpcoib());
+    demo(
+        "RPCoIB / IB verbs",
+        model::IB_QDR_VERBS,
+        RpcConfig::rpcoib(),
+    );
     println!("\nRPCoIB serializes into pooled registered buffers (no per-call");
     println!("adjustments once the <protocol,method> size history is warm) and");
     println!("ships frames over verbs instead of the socket stack.");

@@ -1,0 +1,142 @@
+//! Retry drill: drive the fault-injection + client-resilience surface —
+//! injected connect refusals survived by backoff, a black-holed link
+//! bounded by the per-call deadline, connection churn draining on the
+//! server, and the resilience counters that make it all observable.
+//!
+//! ```sh
+//! cargo run --release --example retry_drill
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rpcoib_suite::rpcoib::{Client, RetryPolicy, RpcConfig, RpcService, Server, ServiceRegistry};
+use rpcoib_suite::simnet::{model, Fabric, FaultSpec};
+use rpcoib_suite::wire::{BytesWritable, DataInput, Writable};
+
+struct Echo;
+
+impl RpcService for Echo {
+    fn protocol(&self) -> &'static str {
+        "drill.Echo"
+    }
+    fn call(
+        &self,
+        _method: &str,
+        param: &mut dyn DataInput,
+    ) -> Result<Box<dyn Writable + Send>, String> {
+        let mut b = BytesWritable::default();
+        b.read_fields(param).map_err(|e| e.to_string())?;
+        Ok(Box::new(b))
+    }
+}
+
+fn main() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig::socket();
+    let mut registry = ServiceRegistry::new();
+    registry.register(Arc::new(Echo));
+    let server = Server::start(&fabric, server_node, 8020, cfg.clone(), registry).unwrap();
+    let ping = |client: &Client| {
+        client.call::<_, BytesWritable>(
+            server.addr(),
+            "drill.Echo",
+            "echo",
+            &BytesWritable(vec![7; 32]),
+        )
+    };
+
+    println!("== injected connect refusals ==");
+    let none = Client::new(
+        &fabric,
+        fabric.add_node(),
+        RpcConfig {
+            retry: RetryPolicy::none(),
+            ..cfg.clone()
+        },
+    )
+    .unwrap();
+    fabric.fail_next_connects(server.addr(), 1);
+    println!(
+        "  RetryPolicy::none  -> {:?}",
+        ping(&none).map(|b| b.0.len())
+    );
+    println!("  counters: {:?}", none.metrics().counters());
+    none.shutdown();
+
+    let retrying = Client::new(
+        &fabric,
+        fabric.add_node(),
+        RpcConfig {
+            retry: RetryPolicy::exponential(3, Duration::from_millis(5)),
+            ..cfg.clone()
+        },
+    )
+    .unwrap();
+    fabric.fail_next_connects(server.addr(), 2);
+    println!(
+        "  exponential(3,5ms) -> {:?}",
+        ping(&retrying).map(|b| b.0.len())
+    );
+    println!("  counters: {:?}", retrying.metrics().counters());
+
+    println!("== deadline on a black-holed link ==");
+    let deadlined = Client::new(
+        &fabric,
+        fabric.add_node(),
+        RpcConfig {
+            call_timeout: Duration::from_secs(10),
+            retry: RetryPolicy::exponential(50, Duration::from_millis(10))
+                .with_deadline(Duration::from_millis(400)),
+            ..cfg.clone()
+        },
+    )
+    .unwrap();
+    ping(&deadlined).unwrap();
+    fabric.set_link_fault(deadlined.node(), server_node, FaultSpec::drop_all());
+    let start = Instant::now();
+    let err = ping(&deadlined).unwrap_err();
+    println!(
+        "  call_timeout=10s, deadline=400ms -> {err} after {:?}",
+        start.elapsed()
+    );
+    println!("  counters: {:?}", deadlined.metrics().counters());
+    fabric.clear_link_fault(deadlined.node(), server_node);
+    deadlined.shutdown();
+
+    println!("== connection churn ==");
+    let churn_node = fabric.add_node();
+    for _ in 0..25 {
+        let c = Client::new(&fabric, churn_node, cfg.clone()).unwrap();
+        ping(&c).unwrap();
+        c.shutdown();
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.connection_count() > 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!(
+        "  after 25 cycles: live={} lifetime={}",
+        server.connection_count(),
+        server.lifetime_connection_count()
+    );
+
+    println!("== misconfiguration is rejected up front ==");
+    let bad = Client::new(
+        &fabric,
+        fabric.add_node(),
+        RpcConfig {
+            retry: RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            ..cfg.clone()
+        },
+    );
+    println!("  max_attempts=0 -> {:?}", bad.err().map(|e| e.to_string()));
+
+    retrying.shutdown();
+    server.stop();
+    println!("\nretry drill complete");
+}

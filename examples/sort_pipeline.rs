@@ -38,7 +38,12 @@ fn run(name: &str, cfg: MrConfig) {
     let rw = start.elapsed();
 
     // Sort them with 4 reduces (range-partitioned -> globally sorted).
-    let input: Vec<String> = dfs.list("/rw").unwrap().iter().map(|s| s.path.clone()).collect();
+    let input: Vec<String> = dfs
+        .list("/rw")
+        .unwrap()
+        .iter()
+        .map(|s| s.path.clone())
+        .collect();
     let start = Instant::now();
     jobs.run(
         &JobConf {
@@ -60,8 +65,14 @@ fn run(name: &str, cfg: MrConfig) {
     for part in dfs.list("/sorted").unwrap() {
         all.extend(read_all(&dfs.read_file(&part.path).unwrap()).unwrap());
     }
-    assert!(all.windows(2).all(|w| w[0].0 <= w[1].0), "output must be globally sorted");
-    println!("{name:<22} randomwriter {rw:>7.2?}   sort {sort:>7.2?}   records {}", all.len());
+    assert!(
+        all.windows(2).all(|w| w[0].0 <= w[1].0),
+        "output must be globally sorted"
+    );
+    println!(
+        "{name:<22} randomwriter {rw:>7.2?}   sort {sort:>7.2?}   records {}",
+        all.len()
+    );
     mr.stop();
 }
 

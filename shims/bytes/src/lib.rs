@@ -1,0 +1,201 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides `Bytes`: an immutable, cheaply-cloneable, sliceable byte
+//! buffer backed by `Arc<Vec<u8>>` with a `[start, end)` window. Clones
+//! and splits share the allocation and only move the window — the
+//! property simnet relies on when it fans one segment out to delivery
+//! and accounting paths.
+
+use std::fmt;
+use std::sync::Arc;
+
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer; does not allocate a backing vector per call
+    /// beyond the `Arc` bookkeeping.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copy `data` into a fresh owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    /// Both halves share the original allocation.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(
+            at <= self.len(),
+            "split_to out of bounds: {} > {}",
+            at,
+            self.len()
+        );
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Split off and return everything from `at` on; `self` keeps the
+    /// first `at` bytes. Both halves share the original allocation.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(
+            at <= self.len(),
+            "split_off out of bounds: {} > {}",
+            at,
+            self.len()
+        );
+        let tail = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        tail
+    }
+
+    /// Narrow to a sub-range of the current window.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_to_shares_allocation() {
+        let mut b = Bytes::copy_from_slice(b"hello world");
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&b[..], b" world");
+        assert!(Arc::ptr_eq(&head.data, &b.data));
+    }
+
+    #[test]
+    fn split_off_keeps_head() {
+        let mut b = Bytes::copy_from_slice(b"abcdef");
+        let tail = b.split_off(2);
+        assert_eq!(&b[..], b"ab");
+        assert_eq!(&tail[..], b"cdef");
+    }
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let a = Bytes::copy_from_slice(b"xyz");
+        let c = a.clone();
+        assert_eq!(a, c);
+        assert!(Arc::ptr_eq(&a.data, &c.data));
+    }
+
+    #[test]
+    fn empty_and_slice() {
+        let b = Bytes::new();
+        assert!(b.is_empty());
+        let s = Bytes::copy_from_slice(b"0123456789").slice(2..5);
+        assert_eq!(&s[..], b"234");
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_to_past_end_panics() {
+        Bytes::copy_from_slice(b"ab").split_to(3);
+    }
+}

@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset `benches/micro.rs` uses — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock timer instead of criterion's statistical machinery.
+//!
+//! Each benchmark warms up briefly, then runs timed batches for a small
+//! fixed budget (bounded so `cargo bench` stays fast offline) and prints
+//! mean time per iteration plus derived throughput when one was declared.
+//! Numbers are indicative, not rigorous: no outlier rejection, no
+//! regression analysis, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Declared per-iteration work, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier for one parameterized benchmark instance.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Passed to the closure under test; `iter` runs and times the payload.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn run(budget: Duration, mut f: impl FnMut(&mut Bencher)) -> (u64, Duration) {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget,
+        };
+        f(&mut b);
+        (b.iters_done.max(1), b.elapsed)
+    }
+
+    /// Time `routine` repeatedly until the budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: a few unmeasured runs to fault in caches/allocs.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            // Check wall clock in batches so the timer itself doesn't
+            // dominate nanosecond-scale routines.
+            if iters.is_multiple_of(64) && start.elapsed() >= self.budget {
+                break;
+            }
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        self.iters_done = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn report(name: &str, iters: u64, elapsed: Duration, throughput: Option<Throughput>) {
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let time_str = if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else if per_iter >= 1e-6 {
+        format!("{:.3} us", per_iter * 1e6)
+    } else {
+        format!("{:.1} ns", per_iter * 1e9)
+    };
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MiB/s)", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter)
+        }
+        None => String::new(),
+    };
+    println!("bench: {name:<45} {time_str:>12}/iter{extra}  [{iters} iters]");
+}
+
+/// Entry point handed to each `criterion_group!` function.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Small fixed budget per benchmark: indicative numbers, fast runs.
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (iters, elapsed) = Bencher::run(self.budget, f);
+        report(name, iters, elapsed, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            budget: self.budget,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Applies to benchmarks registered after this call.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the fixed offline budget wins.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is not configurable.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let (iters, elapsed) = Bencher::run(self.budget, f);
+        report(
+            &format!("{}/{}", self.name, id.full),
+            iters,
+            elapsed,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let (iters, elapsed) = Bencher::run(self.budget, |b| f(b, input));
+        report(
+            &format!("{}/{}", self.name, id.full),
+            iters,
+            elapsed,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// `criterion_group!(name, fn1, fn2, ...)` — simple form only.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bench_function_counts_iterations() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.measurement_time(Duration::from_secs(10));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_function("plain", |b| b.iter(|| ()));
+        g.finish();
+    }
+
+    criterion_group!(test_group, trivial_bench);
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.budget = Duration::from_millis(2);
+        c.bench_function("trivial", |b| b.iter(|| 0));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        test_group();
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro (with an optional `#![proptest_config(...)]` inner
+//! attribute), `any::<T>()` for primitives, integer/float range
+//! strategies, `proptest::collection::vec`, string-literal strategies,
+//! and `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - No shrinking: a failing case reports its inputs (via the panic from
+//!   the assert) but is not minimized.
+//! - String-literal strategies ignore the regex and generate arbitrary
+//!   printable Unicode; the one pattern used here (`"\PC*"`) means
+//!   exactly that.
+//! - Generation is deterministic per test name, so failures reproduce
+//!   across runs without a persistence file.
+//!
+//! Integer generation is edge-biased (zero, ±1, MIN, MAX show up far
+//! more often than uniform sampling would give) because codec round-trip
+//! properties live or die on those values.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner {
+    /// Per-`proptest!` block configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Matches real proptest's default case count.
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic xorshift64* source seeded from the test name, so
+    /// every run of a given test replays the same case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(tag: &str) -> Self {
+            // FNV-1a over the test name spreads similar names apart.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in tag.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: if h == 0 { 0x9e37_79b9_7f4a_7c15 } else { h },
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform in [0, 1).
+        pub fn next_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+}
+
+use strategy::Strategy;
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()` — arbitrary values of a primitive type.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // 1-in-8 draws hit the edge set; codecs break there first.
+                if rng.next_u64() % 8 == 0 {
+                    const EDGES: [$t; 5] =
+                        [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX.wrapping_add(<$t>::MIN)];
+                    EDGES[(rng.next_u64() % 5) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = rng.next_u64() as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.next_unit()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_unit() * (self.end - self.start)
+    }
+}
+
+/// String literals act as strategies. The regex itself is NOT
+/// interpreted: any printable-Unicode string of length 0..64 is
+/// produced, which satisfies the `"\PC*"` pattern this workspace uses.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = (rng.next_u64() % 64) as usize;
+        (0..len)
+            .map(|_| loop {
+                // Mix of ASCII (common case) and wider planes to
+                // exercise multi-byte UTF-8 encodings.
+                let c = match rng.next_u64() % 4 {
+                    0..=1 => (0x20 + rng.next_u64() % 0x5f) as u32,
+                    2 => 0xa0 + (rng.next_u64() % 0x700) as u32,
+                    _ => 0x1_f300 + (rng.next_u64() % 0x100) as u32,
+                };
+                if let Some(c) = char::from_u32(c) {
+                    if !c.is_control() {
+                        break c;
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Concrete length specification. Taking `impl Into<SizeRange>`
+    /// (rather than a generic strategy) is what lets unsuffixed literals
+    /// like `1..100_000` infer as `usize` — the same trick the real
+    /// crate uses.
+    pub struct SizeRange(std::ops::Range<usize>);
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange(r)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// `proptest::collection::vec(elem, len)` — a vector whose length is
+    /// drawn from `len` and whose elements are drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.0.end - self.len.0.start) as u64;
+            let n = self.len.0.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any};
+}
+
+/// Without shrinking these are plain asserts: the panic message carries
+/// the (deterministically reproducible) failing inputs' assertion text.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..config.cases {
+                $( let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng); )+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let v = (10usize..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let i = (-1isize..2).generate(&mut rng);
+            assert!((-1..2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn any_int_hits_edges() {
+        let mut rng = crate::test_runner::TestRng::deterministic("edges");
+        let vals: Vec<i64> = (0..2000).map(|_| any::<i64>().generate(&mut rng)).collect();
+        assert!(vals.contains(&i64::MIN));
+        assert!(vals.contains(&i64::MAX));
+        assert!(vals.contains(&0));
+    }
+
+    #[test]
+    fn vec_strategy_nests() {
+        let mut rng = crate::test_runner::TestRng::deterministic("vecs");
+        let s = crate::collection::vec(crate::collection::vec(any::<u8>(), 0..5), 1..10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..10).contains(&v.len()));
+            assert!(v.iter().all(|inner| inner.len() < 5));
+        }
+    }
+
+    #[test]
+    fn string_strategy_is_printable_utf8() {
+        let mut rng = crate::test_runner::TestRng::deterministic("strings");
+        for _ in 0..100 {
+            let s = "\\PC*".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: multiple args, trailing comma, config.
+        #[test]
+        fn macro_generates_and_runs(
+            a in 1usize..100,
+            b in any::<bool>(),
+            s in proptest::collection::vec(any::<u8>(), 0..10),
+        ) {
+            prop_assert!((1..100).contains(&a));
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(s.len(), 10);
+        }
+    }
+
+    // `proptest` must resolve inside the macro body above even though this
+    // IS the proptest crate.
+    use crate as proptest;
+}

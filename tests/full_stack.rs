@@ -58,7 +58,10 @@ fn wordcount_full_stack_over_rpcoib() {
     // Every control-plane conversation really went over verbs: the eth
     // rail saw only shuffle + HDFS data traffic, the ib rail carried RPC.
     let (ib_msgs, _, _, _) = mr.cluster().ib().stats().snapshot();
-    assert!(ib_msgs > 100, "RPCoIB control plane unused? {ib_msgs} messages on ib rail");
+    assert!(
+        ib_msgs > 100,
+        "RPCoIB control plane unused? {ib_msgs} messages on ib rail"
+    );
     mr.stop();
 }
 
@@ -73,7 +76,10 @@ fn hbase_best_configuration_serves_ycsb() {
     };
     let hbase = MiniHbase::start(model::IPOIB_QDR, 2, cfg).unwrap();
     let client = hbase.client().unwrap();
-    let workload = Workload { value_size: 256, ..Workload::mixed(150, 200) };
+    let workload = Workload {
+        value_size: 256,
+        ..Workload::mixed(150, 200)
+    };
     ycsb::load(&client, &workload).unwrap();
     let report = ycsb::run(&client, &workload).unwrap();
     assert_eq!(report.operations, 200);
@@ -118,8 +124,10 @@ fn rpcoib_beats_ipoib_sockets() {
     };
     let one_call = |env: &Env, body: &BytesWritable| -> Duration {
         let t = std::time::Instant::now();
-        let _: BytesWritable =
-            env.client.call(env.server.addr(), "suite.Echo", "x", body).unwrap();
+        let _: BytesWritable = env
+            .client
+            .call(env.server.addr(), "suite.Echo", "x", body)
+            .unwrap();
         t.elapsed()
     };
 
