@@ -3,11 +3,19 @@
 //!
 //! Callers serialize and transmit on their own thread (so per-call
 //! serialization cost lands on the caller, as in Hadoop), register the
-//! call id in the pending table, and park until the Connection thread —
-//! which owns the receive side — routes the response back.
+//! call's sequence number in the pending table, and park until the
+//! Connection thread — which owns the receive side — routes the response
+//! back.
+//!
+//! At-most-once plumbing: every client mints a stable random `client_id`
+//! at construction and presents it in the connect handshake; every
+//! logical call draws one wrap-safe `i64` sequence number, and *all*
+//! retry attempts of that call re-send the same `(client_id, seq)` pair
+//! (with an incrementing `retry_attempt`), so the server's retry cache
+//! can deduplicate re-executions.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -18,7 +26,8 @@ use wire::Writable;
 
 use crate::config::RpcConfig;
 use crate::error::{RpcError, RpcResult};
-use crate::frame::{read_response_header, write_request, Payload};
+use crate::frame::{read_response_header, write_request, Payload, ResponseStatus};
+use crate::handshake;
 use crate::metrics::{CallProfile, MetricsRegistry, RecvProfile as MetricsRecv};
 use crate::transport::rdma::{IbContext, RdmaConn};
 use crate::transport::socket::SocketConn;
@@ -35,7 +44,7 @@ struct PendingCall {
 struct ClientConnection {
     conn: Arc<dyn Conn>,
     server: SimAddr,
-    pending: Mutex<HashMap<i32, PendingCall>>,
+    pending: Mutex<HashMap<i64, PendingCall>>,
     broken: AtomicBool,
 }
 
@@ -53,13 +62,18 @@ struct ClientInner {
     node: NodeId,
     cfg: RpcConfig,
     ib: Option<IbContext>,
+    /// Stable identity presented in every connect handshake; keys the
+    /// server's retry cache together with the per-call sequence number.
+    client_id: u64,
     conns: Mutex<HashMap<SimAddr, Arc<ClientConnection>>>,
     /// Serializes connection establishment: concurrent first callers must
     /// not each bootstrap a connection (an RPCoIB bootstrap registers a
     /// receive ring and a large region on *both* sides — losers of a
     /// connect race would leak all of it as zombies).
     connect_lock: Mutex<()>,
-    next_call: AtomicI32,
+    /// Next call sequence number. `i64` so it cannot realistically wrap
+    /// (the old `i32` call id went negative after 2³¹ calls).
+    next_seq: AtomicI64,
     metrics: MetricsRegistry,
     stopped: AtomicBool,
     /// Servers this client has connected to at least once; a later
@@ -123,9 +137,10 @@ impl Client {
                 node,
                 cfg,
                 ib,
+                client_id: handshake::mint_client_id(u64::from(node.0)),
                 conns: Mutex::new(HashMap::new()),
                 connect_lock: Mutex::new(()),
-                next_call: AtomicI32::new(1),
+                next_seq: AtomicI64::new(1),
                 metrics: MetricsRegistry::new(trace),
                 stopped: AtomicBool::new(false),
                 ever_connected: Mutex::new(HashSet::new()),
@@ -136,6 +151,12 @@ impl Client {
     /// The node this client runs on.
     pub fn node(&self) -> NodeId {
         self.inner.node
+    }
+
+    /// The stable identity this client presents at every connect
+    /// handshake (and in every V2 request frame).
+    pub fn client_id(&self) -> u64 {
+        self.inner.client_id
     }
 
     /// Client-side metrics (Table I and Figure 3 read these).
@@ -152,6 +173,12 @@ impl Client {
     /// Number of cached (possibly broken) server connections.
     pub fn connection_count(&self) -> usize {
         self.inner.conns.lock().len()
+    }
+
+    /// Jump the sequence counter (regression-testing wraparound paths).
+    #[doc(hidden)]
+    pub fn force_next_seq(&self, seq: i64) {
+        self.inner.next_seq.store(seq, Ordering::Relaxed);
     }
 
     /// Invoke `protocol.method(request)` on the server at `server` and
@@ -172,17 +199,23 @@ impl Client {
             let mut reader = payload.reader();
             let header =
                 read_response_header(&mut reader).map_err(|e| RpcError::Protocol(e.to_string()))?;
-            if header.ok {
-                let mut resp = Resp::default();
-                resp.read_fields(&mut reader)
-                    .map_err(|e| RpcError::Protocol(e.to_string()))?;
-                Ok(resp)
-            } else {
-                let mut message = String::new();
-                message
-                    .read_fields(&mut reader)
-                    .map_err(|e| RpcError::Protocol(e.to_string()))?;
-                Err(RpcError::Remote(message))
+            match header.status {
+                ResponseStatus::Ok => {
+                    let mut resp = Resp::default();
+                    resp.read_fields(&mut reader)
+                        .map_err(|e| RpcError::Protocol(e.to_string()))?;
+                    Ok(resp)
+                }
+                ResponseStatus::Error => {
+                    let mut message = String::new();
+                    message
+                        .read_fields(&mut reader)
+                        .map_err(|e| RpcError::Protocol(e.to_string()))?;
+                    Err(RpcError::Remote(message))
+                }
+                // try_call surfaces busy rejections as errors before the
+                // payload ever reaches here; kept for raw-payload safety.
+                ResponseStatus::Busy => Err(RpcError::ServerBusy),
             }
         })();
         if result.is_err() {
@@ -200,8 +233,10 @@ impl Client {
     /// most `call_timeout` (capped by the remaining overall deadline, if
     /// one is set); retryable failures re-attempt after a jittered
     /// backoff, re-establishing the connection when the previous attempt
-    /// broke it. Non-retryable errors, exhausted attempts, and an
-    /// exhausted deadline fail the call (counted in
+    /// broke it. Every attempt re-sends the *same* sequence number (with
+    /// an incremented `retry_attempt`), so the server can recognize and
+    /// deduplicate the retry. Non-retryable errors, exhausted attempts,
+    /// and an exhausted deadline fail the call (counted in
     /// [`MetricsRegistry::counters`]).
     pub fn call_raw<Req>(
         &self,
@@ -215,8 +250,11 @@ impl Client {
     {
         let policy = self.inner.cfg.retry.clone();
         let start = Instant::now();
+        // One sequence number for the whole logical call, retries
+        // included — this is what at-most-once keys on.
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
         // Decorrelates this call's backoff jitter from concurrent calls'.
-        let entropy = self.inner.next_call.load(Ordering::Relaxed) as u64;
+        let entropy = seq as u64;
         let mut attempt = 0u32;
         let err = loop {
             attempt += 1;
@@ -228,7 +266,15 @@ impl Client {
                 }
                 attempt_timeout = attempt_timeout.min(remaining);
             }
-            match self.try_call(server, protocol, method, request, attempt_timeout) {
+            match self.try_call(
+                server,
+                protocol,
+                method,
+                request,
+                attempt_timeout,
+                seq,
+                attempt - 1,
+            ) {
                 Ok(payload) => return Ok(payload),
                 Err(e) => {
                     let exhausted = attempt >= policy.max_attempts
@@ -255,6 +301,7 @@ impl Client {
         Err(err)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn try_call<Req>(
         &self,
         server: SimAddr,
@@ -262,6 +309,8 @@ impl Client {
         method: &str,
         request: &Req,
         attempt_timeout: Duration,
+        seq: i64,
+        retry_attempt: u32,
     ) -> RpcResult<Payload>
     where
         Req: Writable,
@@ -270,10 +319,10 @@ impl Client {
             return Err(RpcError::ConnectionClosed);
         }
         let connection = self.get_connection(server)?;
-        let call_id = self.inner.next_call.fetch_add(1, Ordering::Relaxed);
+        let client_id = self.inner.client_id;
         let (tx, rx) = bounded(1);
         connection.pending.lock().insert(
-            call_id,
+            seq,
             PendingCall {
                 tx,
                 protocol: protocol.to_owned(),
@@ -282,11 +331,19 @@ impl Client {
         );
 
         let profile = match connection.conn.send_msg(protocol, method, &mut |out| {
-            write_request(out, call_id, protocol, method, request)
+            write_request(
+                out,
+                client_id,
+                seq,
+                retry_attempt,
+                protocol,
+                method,
+                request,
+            )
         }) {
             Ok(p) => p,
             Err(e) => {
-                connection.pending.lock().remove(&call_id);
+                connection.pending.lock().remove(&seq);
                 if e.invalidates_connection() {
                     self.inner.invalidate(&connection);
                     connection.fail_all(e.clone());
@@ -306,7 +363,17 @@ impl Client {
         );
 
         match rx.recv_timeout(attempt_timeout) {
-            Ok(Ok(payload)) => Ok(payload),
+            Ok(Ok(payload)) => {
+                // Peek at the status: a busy rejection means the server
+                // refused admission and the call never executed — surface
+                // it as a retryable error so the retry loop backs off.
+                let header = read_response_header(&mut payload.reader())
+                    .map_err(|e| RpcError::Protocol(e.to_string()))?;
+                if header.status == ResponseStatus::Busy {
+                    return Err(RpcError::ServerBusy);
+                }
+                Ok(payload)
+            }
             Ok(Err(e)) => {
                 // Delivered by the Connection thread's fail_all: the
                 // connection itself is gone; make sure it is also evicted
@@ -319,7 +386,7 @@ impl Client {
             Err(_) => {
                 // No response in time. The connection may be fine (slow
                 // server), so it stays cached; only this call gives up.
-                connection.pending.lock().remove(&call_id);
+                connection.pending.lock().remove(&seq);
                 Err(RpcError::Timeout)
             }
         }
@@ -347,6 +414,9 @@ impl Client {
             }
         }
         let stream = SimStream::connect(&self.inner.fabric, self.inner.node, server)?;
+        // Identity/version handshake precedes everything else on the
+        // stream (including the RPCoIB endpoint exchange).
+        handshake::client_hello(&stream, self.inner.client_id)?;
         let conn: Arc<dyn Conn> = match &self.inner.ib {
             Some(ctx) => Arc::new(RdmaConn::bootstrap(&stream, ctx, &self.inner.cfg)?),
             None => Arc::new(SocketConn::new(stream, wire::buffer::INITIAL_CAPACITY)),
@@ -435,7 +505,7 @@ fn connection_loop(inner: std::sync::Weak<ClientInner>, connection: Arc<ClientCo
                 return;
             }
         };
-        let pending = connection.pending.lock().remove(&header.call_id);
+        let pending = connection.pending.lock().remove(&header.seq);
         if let Some(call) = pending {
             inner.metrics.record_recv(
                 &call.protocol,
@@ -447,7 +517,11 @@ fn connection_loop(inner: std::sync::Weak<ClientInner>, connection: Arc<ClientCo
                 },
             );
             let _ = call.tx.send(Ok(payload));
+        } else {
+            // The caller timed out and went away (or a parked duplicate's
+            // answer raced the original's). The response is dropped, the
+            // connection stays healthy — but the event is visible.
+            inner.metrics.inc_late_responses();
         }
-        // else: the caller timed out and went away; drop the response.
     }
 }

@@ -30,6 +30,15 @@ pub struct RpcConfig {
     /// The default performs one transparent immediate retry — enough to
     /// heal a cached connection to a restarted server.
     pub retry: RetryPolicy,
+    /// How long a completed call's response stays replayable in the
+    /// server's retry cache. Must comfortably exceed the worst-case
+    /// client retry horizon (attempts × call_timeout + backoff), or a
+    /// late retry re-executes.
+    pub retry_cache_ttl: Duration,
+    /// Maximum completed responses the server's retry cache holds; the
+    /// oldest completed entry is evicted first. `0` disables at-most-once
+    /// caching entirely (every retry re-executes, pre-V2 behavior).
+    pub retry_cache_capacity: usize,
     /// Whether the shadow pool uses `<protocol, method>` size history
     /// (disabled only by the ablation).
     pub use_size_history: bool,
@@ -61,6 +70,8 @@ impl Default for RpcConfig {
             call_queue_len: 4096,
             call_timeout: Duration::from_secs(30),
             retry: RetryPolicy::default(),
+            retry_cache_ttl: Duration::from_secs(120),
+            retry_cache_capacity: 8192,
             use_size_history: true,
             prefill_per_class: 4,
             recv_buf_bytes: 64 * 1024,
@@ -92,6 +103,9 @@ impl RpcConfig {
             return Err("handlers must be >= 1".into());
         }
         self.retry.validate()?;
+        if self.retry_cache_capacity > 0 && self.retry_cache_ttl.is_zero() {
+            return Err("retry_cache_ttl must be > 0 when the retry cache is enabled".into());
+        }
         if self.ib_enabled {
             if self.rdma_threshold > self.recv_buf_bytes {
                 return Err(format!(
@@ -143,6 +157,22 @@ mod tests {
             ..RpcConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_ttl_with_enabled_cache_rejected() {
+        let cfg = RpcConfig {
+            retry_cache_ttl: Duration::ZERO,
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        // A disabled cache (capacity 0) does not care about the TTL.
+        let cfg = RpcConfig {
+            retry_cache_ttl: Duration::ZERO,
+            retry_cache_capacity: 0,
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -13,6 +13,10 @@ pub enum RpcError {
     Remote(String),
     /// No response within the configured call timeout.
     Timeout,
+    /// The server refused admission because its call queue is full. The
+    /// call was never executed; backing off and retrying is safe even for
+    /// non-idempotent operations.
+    ServerBusy,
     /// The connection closed while the call was pending.
     ConnectionClosed,
     /// The server has no service registered for the protocol.
@@ -34,7 +38,10 @@ impl RpcError {
     /// burns the deadline.
     pub fn is_retryable(&self) -> bool {
         match self {
-            RpcError::Timeout | RpcError::ConnectionClosed | RpcError::Io(_) => true,
+            RpcError::Timeout
+            | RpcError::ServerBusy
+            | RpcError::ConnectionClosed
+            | RpcError::Io(_) => true,
             RpcError::Verbs(e) => match e {
                 // Transient fabric states.
                 VerbsError::PeerDown
@@ -72,6 +79,7 @@ impl std::fmt::Display for RpcError {
             RpcError::Verbs(e) => write!(f, "verbs error: {e}"),
             RpcError::Remote(m) => write!(f, "remote exception: {m}"),
             RpcError::Timeout => write!(f, "rpc timeout"),
+            RpcError::ServerBusy => write!(f, "server too busy: call queue full"),
             RpcError::ConnectionClosed => write!(f, "connection closed"),
             RpcError::UnknownProtocol(p) => write!(f, "unknown protocol: {p}"),
             RpcError::Protocol(m) => write!(f, "protocol error: {m}"),

@@ -1,7 +1,23 @@
 //! Frame layout shared by both transports.
 //!
-//! Request payload: `[i32 call_id][Text protocol][Text method][param …]`
-//! Response payload: `[i32 call_id][u8 status][value … | Text error]`
+//! Two frame versions coexist. **V2** (current) carries the at-most-once
+//! identity triple — a per-client id, a wrap-safe `i64` sequence number,
+//! and the retry attempt — so the server's retry cache can recognize a
+//! re-sent call:
+//!
+//! * request: `[i32 V2_SENTINEL][u64 client_id][i64 seq][vint retry_attempt]
+//!   [Text protocol][Text method][param …]`
+//! * response: `[i32 V2_SENTINEL][i64 seq][u8 status][value … | Text error]`
+//!
+//! **V1** (previous release) is still *decoded* for one release so an old
+//! peer keeps working, and the server answers a V1 request with a V1
+//! response:
+//!
+//! * request: `[i32 call_id][Text protocol][Text method][param …]`
+//! * response: `[i32 call_id][u8 status][value … | Text error]`
+//!
+//! The version marker is an `i32` sentinel (`-2`) in the position where V1
+//! kept its non-negative `call_id`, so one 4-byte read disambiguates.
 //!
 //! On the socket transport each payload is preceded by a 4-byte big-endian
 //! length (Hadoop's `out.writeInt(dataLength)`); on the RDMA transport the
@@ -17,17 +33,60 @@ use wire::{DataInput, DataOutput, Writable};
 pub const STATUS_OK: u8 = 0;
 /// Response status byte: the server reports an error string.
 pub const STATUS_ERROR: u8 = 1;
+/// Response status byte: the server's call queue is full; the call was
+/// never executed and is safe to retry (V2 only).
+pub const STATUS_BUSY: u8 = 2;
+
+/// Marker in the leading `i32` slot distinguishing a V2 frame from a V1
+/// frame (whose call ids are non-negative).
+pub const V2_SENTINEL: i32 = -2;
+
+/// Frame wire version, detected per message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameVersion {
+    /// `[i32 call_id]`-headed frames from the previous release.
+    V1,
+    /// Current frames carrying the at-most-once identity triple.
+    V2,
+}
 
 /// Parsed request header.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestHeader {
-    pub call_id: i32,
+    pub version: FrameVersion,
+    /// Stable per-client identity (0 for V1 peers, which get no caching).
+    pub client_id: u64,
+    /// Client-assigned sequence number; retries of one logical call
+    /// re-send the same value. For V1 frames this is the old `call_id`.
+    pub seq: i64,
+    /// 0 on the first transmission, incremented per re-send.
+    pub retry_attempt: u32,
     pub protocol: String,
     pub method: String,
 }
 
-/// Serialize a request frame body (everything after the length prefix).
+/// Serialize a V2 request frame body (everything after the length prefix).
 pub fn write_request(
+    out: &mut dyn DataOutput,
+    client_id: u64,
+    seq: i64,
+    retry_attempt: u32,
+    protocol: &str,
+    method: &str,
+    param: &dyn Writable,
+) -> io::Result<()> {
+    out.write_i32(V2_SENTINEL)?;
+    out.write_u64(client_id)?;
+    out.write_i64(seq)?;
+    out.write_vint(retry_attempt as i32)?;
+    out.write_string(protocol)?;
+    out.write_string(method)?;
+    param.write(out)
+}
+
+/// Serialize a V1 request frame body. Kept (for one release) so the
+/// old-peer decode path stays exercised; new code writes V2.
+pub fn write_request_v1(
     out: &mut dyn DataOutput,
     call_id: i32,
     protocol: &str,
@@ -40,22 +99,49 @@ pub fn write_request(
     param.write(out)
 }
 
-/// Parse the header of a request frame; the param bytes follow in `input`.
+/// Parse the header of a request frame (either version); the param bytes
+/// follow in `input`.
 pub fn read_request_header(input: &mut dyn DataInput) -> io::Result<RequestHeader> {
-    Ok(RequestHeader {
-        call_id: input.read_i32()?,
-        protocol: input.read_string()?,
-        method: input.read_string()?,
-    })
+    let lead = input.read_i32()?;
+    if lead == V2_SENTINEL {
+        let client_id = input.read_u64()?;
+        let seq = input.read_i64()?;
+        let retry_attempt = input.read_vint()?;
+        if retry_attempt < 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("negative retry_attempt {retry_attempt}"),
+            ));
+        }
+        Ok(RequestHeader {
+            version: FrameVersion::V2,
+            client_id,
+            seq,
+            retry_attempt: retry_attempt as u32,
+            protocol: input.read_string()?,
+            method: input.read_string()?,
+        })
+    } else {
+        Ok(RequestHeader {
+            version: FrameVersion::V1,
+            client_id: 0,
+            seq: lead as i64,
+            retry_attempt: 0,
+            protocol: input.read_string()?,
+            method: input.read_string()?,
+        })
+    }
 }
 
-/// Serialize a response frame body.
+/// Serialize a response frame body in `version`'s layout (a server
+/// answers each request in the version it arrived in).
 pub fn write_response(
     out: &mut dyn DataOutput,
-    call_id: i32,
+    version: FrameVersion,
+    seq: i64,
     result: Result<&dyn Writable, &str>,
 ) -> io::Result<()> {
-    out.write_i32(call_id)?;
+    write_response_lead(out, version, seq)?;
     match result {
         Ok(value) => {
             out.write_u8(STATUS_OK)?;
@@ -68,25 +154,98 @@ pub fn write_response(
     }
 }
 
+/// Serialize a busy-rejection response: the server refused admission, the
+/// call never executed, and the client should back off and retry. V2-only
+/// (a V1 peer cannot parse status 2 — it gets the old blocking behavior's
+/// moral equivalent, an error string).
+pub fn write_busy_response(
+    out: &mut dyn DataOutput,
+    version: FrameVersion,
+    seq: i64,
+) -> io::Result<()> {
+    match version {
+        FrameVersion::V2 => {
+            write_response_lead(out, version, seq)?;
+            out.write_u8(STATUS_BUSY)
+        }
+        FrameVersion::V1 => {
+            write_response_lead(out, version, seq)?;
+            out.write_u8(STATUS_ERROR)?;
+            out.write_string("server too busy: call queue full")
+        }
+    }
+}
+
+fn write_response_lead(
+    out: &mut dyn DataOutput,
+    version: FrameVersion,
+    seq: i64,
+) -> io::Result<()> {
+    match version {
+        FrameVersion::V2 => {
+            out.write_i32(V2_SENTINEL)?;
+            out.write_i64(seq)
+        }
+        FrameVersion::V1 => {
+            debug_assert!(
+                (0..=i32::MAX as i64).contains(&seq),
+                "V1 call ids are non-negative i32s"
+            );
+            out.write_i32(seq as i32)
+        }
+    }
+}
+
+/// Response disposition carried by the status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseStatus {
+    /// The value follows.
+    Ok,
+    /// A `Text` error message follows.
+    Error,
+    /// The server refused admission; nothing follows. Retryable.
+    Busy,
+}
+
 /// Parsed response header; the value (or error string) follows in `input`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResponseHeader {
-    pub call_id: i32,
-    pub ok: bool,
+    pub version: FrameVersion,
+    pub seq: i64,
+    pub status: ResponseStatus,
 }
 
-/// Parse a response frame header.
-pub fn read_response_header(input: &mut dyn DataInput) -> io::Result<ResponseHeader> {
-    let call_id = input.read_i32()?;
-    let status = input.read_u8()?;
-    match status {
-        STATUS_OK => Ok(ResponseHeader { call_id, ok: true }),
-        STATUS_ERROR => Ok(ResponseHeader { call_id, ok: false }),
-        other => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unknown response status {other}"),
-        )),
+impl ResponseHeader {
+    /// Convenience for the success case.
+    pub fn ok(&self) -> bool {
+        self.status == ResponseStatus::Ok
     }
+}
+
+/// Parse a response frame header (either version).
+pub fn read_response_header(input: &mut dyn DataInput) -> io::Result<ResponseHeader> {
+    let lead = input.read_i32()?;
+    let (version, seq) = if lead == V2_SENTINEL {
+        (FrameVersion::V2, input.read_i64()?)
+    } else {
+        (FrameVersion::V1, lead as i64)
+    };
+    let status = match input.read_u8()? {
+        STATUS_OK => ResponseStatus::Ok,
+        STATUS_ERROR => ResponseStatus::Error,
+        STATUS_BUSY => ResponseStatus::Busy,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown response status {other}"),
+            ))
+        }
+    };
+    Ok(ResponseHeader {
+        version,
+        seq,
+        status,
+    })
 }
 
 /// A received frame payload: heap bytes on the socket path (Listing 2
@@ -213,9 +372,35 @@ mod tests {
     use wire::{IntWritable, Text};
 
     #[test]
-    fn request_roundtrip() {
+    fn v2_request_roundtrip() {
         let mut buf: Vec<u8> = Vec::new();
         write_request(
+            &mut buf,
+            0xdead_beef,
+            (i32::MAX as i64) + 17,
+            3,
+            "hdfs.ClientProtocol",
+            "getFileInfo",
+            &Text::from("/a/b"),
+        )
+        .unwrap();
+        let mut input = buf.as_slice();
+        let header = read_request_header(&mut input).unwrap();
+        assert_eq!(header.version, FrameVersion::V2);
+        assert_eq!(header.client_id, 0xdead_beef);
+        assert_eq!(header.seq, (i32::MAX as i64) + 17);
+        assert_eq!(header.retry_attempt, 3);
+        assert_eq!(header.protocol, "hdfs.ClientProtocol");
+        assert_eq!(header.method, "getFileInfo");
+        let mut param = Text::default();
+        param.read_fields(&mut input).unwrap();
+        assert_eq!(param.0, "/a/b");
+    }
+
+    #[test]
+    fn v1_request_still_decodes() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_request_v1(
             &mut buf,
             17,
             "hdfs.ClientProtocol",
@@ -225,7 +410,10 @@ mod tests {
         .unwrap();
         let mut input = buf.as_slice();
         let header = read_request_header(&mut input).unwrap();
-        assert_eq!(header.call_id, 17);
+        assert_eq!(header.version, FrameVersion::V1);
+        assert_eq!(header.client_id, 0, "V1 peers have no client identity");
+        assert_eq!(header.seq, 17);
+        assert_eq!(header.retry_attempt, 0);
         assert_eq!(header.protocol, "hdfs.ClientProtocol");
         assert_eq!(header.method, "getFileInfo");
         let mut param = Text::default();
@@ -234,28 +422,59 @@ mod tests {
     }
 
     #[test]
-    fn ok_response_roundtrip() {
+    fn ok_response_roundtrip_both_versions() {
+        for version in [FrameVersion::V1, FrameVersion::V2] {
+            let mut buf: Vec<u8> = Vec::new();
+            write_response(&mut buf, version, 5, Ok(&IntWritable(99))).unwrap();
+            let mut input = buf.as_slice();
+            let header = read_response_header(&mut input).unwrap();
+            assert!(header.ok());
+            assert_eq!(header.version, version);
+            assert_eq!(header.seq, 5);
+            let mut v = IntWritable::default();
+            v.read_fields(&mut input).unwrap();
+            assert_eq!(v.0, 99);
+        }
+    }
+
+    #[test]
+    fn v2_response_carries_i64_seq() {
+        let seq = (i32::MAX as i64) + 1;
         let mut buf: Vec<u8> = Vec::new();
-        write_response(&mut buf, 5, Ok(&IntWritable(99))).unwrap();
+        write_response(&mut buf, FrameVersion::V2, seq, Ok(&IntWritable(1))).unwrap();
         let mut input = buf.as_slice();
-        let header = read_response_header(&mut input).unwrap();
-        assert!(header.ok);
-        assert_eq!(header.call_id, 5);
-        let mut v = IntWritable::default();
-        v.read_fields(&mut input).unwrap();
-        assert_eq!(v.0, 99);
+        assert_eq!(read_response_header(&mut input).unwrap().seq, seq);
     }
 
     #[test]
     fn error_response_roundtrip() {
         let mut buf: Vec<u8> = Vec::new();
-        write_response(&mut buf, 6, Err("file not found")).unwrap();
+        write_response(&mut buf, FrameVersion::V2, 6, Err("file not found")).unwrap();
         let mut input = buf.as_slice();
         let header = read_response_header(&mut input).unwrap();
-        assert!(!header.ok);
+        assert_eq!(header.status, ResponseStatus::Error);
         let mut msg = String::new();
         msg.read_fields(&mut input).unwrap();
         assert_eq!(msg, "file not found");
+    }
+
+    #[test]
+    fn busy_response_roundtrip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_busy_response(&mut buf, FrameVersion::V2, 9).unwrap();
+        let mut input = buf.as_slice();
+        let header = read_response_header(&mut input).unwrap();
+        assert_eq!(header.status, ResponseStatus::Busy);
+        assert_eq!(header.seq, 9);
+        assert_eq!(input.len(), 0, "busy responses carry no body");
+
+        // A V1 peer gets the rejection as an ordinary error string.
+        let mut buf: Vec<u8> = Vec::new();
+        write_busy_response(&mut buf, FrameVersion::V1, 9).unwrap();
+        let mut input = buf.as_slice();
+        let header = read_response_header(&mut input).unwrap();
+        assert_eq!(header.version, FrameVersion::V1);
+        assert_eq!(header.status, ResponseStatus::Error);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Connect-time handshake: version negotiation and client identity.
+//!
+//! Before any RPC frame (and, in RPCoIB mode, before the verbs end-point
+//! exchange) the client sends a 13-byte hello over the freshly connected
+//! stream — magic, frame version, and its `client_id` — and the server
+//! answers with a 9-byte ack confirming the version and the identity the
+//! connection will speak under.
+//!
+//! The `client_id` keys the server's retry cache, so it must be stable
+//! across reconnects of one client and unique among all clients a server
+//! ever sees. A client normally mints its own random id at construction
+//! and presents it on every connect; a client that presents `0` is handed
+//! a server-assigned id in the ack ("handed out at connect handshake"),
+//! which it must re-present on subsequent connects.
+//!
+//! A peer that opens the connection with anything but the magic is not
+//! speaking this protocol (or predates the handshake): the connection is
+//! refused and counted as a frame error.
+
+use std::io::Write;
+
+use simnet::SimStream;
+
+use crate::error::{RpcError, RpcResult};
+
+/// `b"RPCB"` — first bytes on every connection.
+pub const MAGIC: u32 = 0x5250_4342;
+
+/// Current frame/wire version (see [`crate::frame`]).
+pub const VERSION: u8 = 2;
+
+/// Client side: present `client_id` (0 = please assign one), return the
+/// id the server confirmed or assigned.
+pub fn client_hello(stream: &SimStream, client_id: u64) -> RpcResult<u64> {
+    let mut hello = [0u8; 13];
+    hello[..4].copy_from_slice(&MAGIC.to_be_bytes());
+    hello[4] = VERSION;
+    hello[5..].copy_from_slice(&client_id.to_be_bytes());
+    (&*stream)
+        .write_all(&hello)
+        .map_err(|e| RpcError::Io(e.to_string()))?;
+
+    let mut ack = [0u8; 9];
+    stream
+        .read_exact_at(&mut ack)
+        .map_err(|e| RpcError::Io(e.to_string()))?;
+    if ack[0] != VERSION {
+        return Err(RpcError::Protocol(format!(
+            "server speaks frame version {}, this client speaks {VERSION}",
+            ack[0]
+        )));
+    }
+    let confirmed = u64::from_be_bytes(ack[1..9].try_into().unwrap());
+    if confirmed == 0 {
+        return Err(RpcError::Protocol("server confirmed client_id 0".into()));
+    }
+    Ok(confirmed)
+}
+
+/// Server side: read the hello, assign an id if the client asked for one
+/// (via `assign`), ack, and return the connection's client id.
+///
+/// Errors distinguish a wrong-protocol peer (`Protocol` — count it) from
+/// a peer that vanished mid-handshake (`Io` — routine churn).
+pub fn server_accept(stream: &SimStream, assign: impl FnOnce() -> u64) -> RpcResult<u64> {
+    let mut hello = [0u8; 13];
+    stream
+        .read_exact_at(&mut hello)
+        .map_err(|e| RpcError::Io(e.to_string()))?;
+    let magic = u32::from_be_bytes(hello[..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(RpcError::Protocol(format!(
+            "bad handshake magic {magic:#010x}"
+        )));
+    }
+    let peer_version = hello[4];
+    if peer_version < VERSION {
+        // V1 frames are still decoded, but the handshake itself only
+        // exists since V2 — a peer that sends it speaks at least V2.
+        return Err(RpcError::Protocol(format!(
+            "unsupported peer frame version {peer_version}"
+        )));
+    }
+    let presented = u64::from_be_bytes(hello[5..13].try_into().unwrap());
+    let client_id = if presented == 0 { assign() } else { presented };
+
+    let mut ack = [0u8; 9];
+    ack[0] = VERSION;
+    ack[1..].copy_from_slice(&client_id.to_be_bytes());
+    (&*stream)
+        .write_all(&ack)
+        .map_err(|e| RpcError::Io(e.to_string()))?;
+    Ok(client_id)
+}
+
+/// Mint a random, non-zero client id. Mixes wall-clock entropy, the
+/// caller-supplied salt (e.g. an address), and a process-wide counter
+/// through splitmix64, so two clients created in the same nanosecond on
+/// different nodes still diverge.
+pub fn mint_client_id(salt: u64) -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5eed);
+    let raw = nanos ^ salt.rotate_left(17) ^ COUNTER.fetch_add(0x9e37_79b9, Ordering::Relaxed);
+    let mut z = raw.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    z.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{model, Fabric, SimAddr, SimListener};
+    use std::thread;
+
+    fn stream_pair() -> (SimStream, SimStream) {
+        let fabric = Fabric::new(model::IPOIB_QDR);
+        let server = fabric.add_node();
+        let client = fabric.add_node();
+        let addr = SimAddr::new(server, 9100);
+        let listener = SimListener::bind(&fabric, addr).unwrap();
+        let f2 = fabric.clone();
+        let h = thread::spawn(move || SimStream::connect(&f2, client, addr).unwrap());
+        let (srv, _) = listener.accept().unwrap();
+        (h.join().unwrap(), srv)
+    }
+
+    #[test]
+    fn presented_id_is_confirmed() {
+        let (cli, srv) = stream_pair();
+        let h = thread::spawn(move || client_hello(&cli, 0xfeed).unwrap());
+        let seen = server_accept(&srv, || panic!("must not assign")).unwrap();
+        assert_eq!(seen, 0xfeed);
+        assert_eq!(h.join().unwrap(), 0xfeed);
+    }
+
+    #[test]
+    fn zero_id_gets_assigned() {
+        let (cli, srv) = stream_pair();
+        let h = thread::spawn(move || client_hello(&cli, 0).unwrap());
+        let seen = server_accept(&srv, || 777).unwrap();
+        assert_eq!(seen, 777);
+        assert_eq!(h.join().unwrap(), 777, "assigned id travels back");
+    }
+
+    #[test]
+    fn garbage_hello_is_a_protocol_error() {
+        let (cli, srv) = stream_pair();
+        let h = thread::spawn(move || {
+            use std::io::Write;
+            (&cli).write_all(&[0xff; 13]).unwrap();
+        });
+        let err = server_accept(&srv, || 1).unwrap_err();
+        assert!(matches!(err, RpcError::Protocol(_)), "{err}");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            let id = mint_client_id(i % 3);
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "collision at iteration {i}");
+        }
+    }
+}

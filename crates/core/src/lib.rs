@@ -64,8 +64,10 @@ pub mod client;
 pub mod config;
 pub mod error;
 pub mod frame;
+pub mod handshake;
 pub mod metrics;
 pub mod retry;
+pub mod retry_cache;
 pub mod server;
 pub mod service;
 pub mod stream;
@@ -74,9 +76,10 @@ pub mod transport;
 pub use client::Client;
 pub use config::RpcConfig;
 pub use error::{RpcError, RpcResult};
-pub use frame::Payload;
+pub use frame::{FrameVersion, Payload, ResponseStatus};
 pub use metrics::{CallProfile, EngineCounters, MethodStats, MetricsRegistry, RecvProfile};
 pub use retry::RetryPolicy;
+pub use retry_cache::{Admission, RetryCache};
 pub use server::Server;
 pub use service::{RpcService, ServiceRegistry};
 pub use stream::{RdmaInputStream, RdmaOutputStream, RegionReader};

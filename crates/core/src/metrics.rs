@@ -121,6 +121,23 @@ pub struct EngineCounters {
     /// Responses the server could not transmit because the connection
     /// broke; the connection is closed in response.
     pub broken_sends: u64,
+    /// Responses that arrived after their caller had already timed out
+    /// and deregistered (client side). The connection survives; the
+    /// payload is dropped.
+    pub late_responses: u64,
+    /// Calls refused admission because the server's call queue was full
+    /// (answered with a retryable busy rejection, never executed).
+    pub busy_rejections: u64,
+    /// Retried calls answered from the server's retry cache instead of
+    /// being re-executed.
+    pub retry_cache_hits: u64,
+    /// Duplicate attempts that arrived while the first attempt was still
+    /// executing and were parked until it finished.
+    pub retry_cache_parked: u64,
+    /// Completed retry-cache entries discarded to stay within capacity.
+    pub retry_cache_evictions: u64,
+    /// Completed retry-cache entries discarded because their TTL passed.
+    pub retry_cache_expired: u64,
 }
 
 /// Registry of per-call-kind statistics. Cheap to clone and share.
@@ -138,6 +155,12 @@ struct MetricsInner {
     failed_calls: AtomicU64,
     frame_errors: AtomicU64,
     broken_sends: AtomicU64,
+    late_responses: AtomicU64,
+    busy_rejections: AtomicU64,
+    retry_cache_hits: AtomicU64,
+    retry_cache_parked: AtomicU64,
+    retry_cache_evictions: AtomicU64,
+    retry_cache_expired: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -211,6 +234,36 @@ impl MetricsRegistry {
         self.inner.broken_sends.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn inc_late_responses(&self) {
+        self.inner.late_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_busy_rejections(&self) {
+        self.inner.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_retry_cache_hits(&self) {
+        self.inner.retry_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_retry_cache_parked(&self) {
+        self.inner
+            .retry_cache_parked
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_retry_cache_evictions(&self) {
+        self.inner
+            .retry_cache_evictions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_retry_cache_expired(&self) {
+        self.inner
+            .retry_cache_expired
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the resilience counters.
     pub fn counters(&self) -> EngineCounters {
         EngineCounters {
@@ -219,6 +272,12 @@ impl MetricsRegistry {
             failed_calls: self.inner.failed_calls.load(Ordering::Relaxed),
             frame_errors: self.inner.frame_errors.load(Ordering::Relaxed),
             broken_sends: self.inner.broken_sends.load(Ordering::Relaxed),
+            late_responses: self.inner.late_responses.load(Ordering::Relaxed),
+            busy_rejections: self.inner.busy_rejections.load(Ordering::Relaxed),
+            retry_cache_hits: self.inner.retry_cache_hits.load(Ordering::Relaxed),
+            retry_cache_parked: self.inner.retry_cache_parked.load(Ordering::Relaxed),
+            retry_cache_evictions: self.inner.retry_cache_evictions.load(Ordering::Relaxed),
+            retry_cache_expired: self.inner.retry_cache_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -230,6 +289,12 @@ impl MetricsRegistry {
         self.inner.failed_calls.store(0, Ordering::Relaxed);
         self.inner.frame_errors.store(0, Ordering::Relaxed);
         self.inner.broken_sends.store(0, Ordering::Relaxed);
+        self.inner.late_responses.store(0, Ordering::Relaxed);
+        self.inner.busy_rejections.store(0, Ordering::Relaxed);
+        self.inner.retry_cache_hits.store(0, Ordering::Relaxed);
+        self.inner.retry_cache_parked.store(0, Ordering::Relaxed);
+        self.inner.retry_cache_evictions.store(0, Ordering::Relaxed);
+        self.inner.retry_cache_expired.store(0, Ordering::Relaxed);
     }
 }
 
@@ -327,12 +392,24 @@ mod tests {
         reg.inc_failed_calls();
         reg.inc_frame_errors();
         reg.inc_broken_sends();
+        reg.inc_late_responses();
+        reg.inc_busy_rejections();
+        reg.inc_retry_cache_hits();
+        reg.inc_retry_cache_parked();
+        reg.inc_retry_cache_evictions();
+        reg.inc_retry_cache_expired();
         let c = reg.counters();
         assert_eq!(c.retries, 2);
         assert_eq!(c.reconnects, 1);
         assert_eq!(c.failed_calls, 1);
         assert_eq!(c.frame_errors, 1);
         assert_eq!(c.broken_sends, 1);
+        assert_eq!(c.late_responses, 1);
+        assert_eq!(c.busy_rejections, 1);
+        assert_eq!(c.retry_cache_hits, 1);
+        assert_eq!(c.retry_cache_parked, 1);
+        assert_eq!(c.retry_cache_evictions, 1);
+        assert_eq!(c.retry_cache_expired, 1);
         reg.reset();
         assert_eq!(reg.counters(), EngineCounters::default());
     }

@@ -2,26 +2,39 @@
 //!
 //! * a **Listener** thread accepts connections (and, in RPCoIB mode, runs
 //!   the end-point exchange on each);
-//! * one **Reader** thread per connection receives frames and pushes
-//!   decoded calls onto the bounded call queue;
+//! * one **Reader** thread per connection receives frames, consults the
+//!   [`RetryCache`] for at-most-once admission, and pushes admitted calls
+//!   onto the bounded call queue — *without blocking*: an overflowing
+//!   queue answers with a retryable busy rejection instead of stalling
+//!   every other call multiplexed on the same connection;
 //! * a pool of **Handler** threads pops calls, dispatches into the
-//!   registered services, and hands results to the responder;
-//! * a single **Responder** thread serializes and transmits responses.
+//!   registered services, serializes the response once, and hands the
+//!   bytes (to the caller *and* any parked duplicate attempts) to the
+//!   responder;
+//! * a single **Responder** thread transmits responses.
+//!
+//! Shutdown comes in two flavors: [`Server::stop`] (abrupt — close
+//! everything now) and [`Server::drain`] (graceful — stop accepting,
+//! finish queued calls, flush responses, then join).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use simnet::{Fabric, NodeId, SimAddr, SimListener};
 use wire::Writable;
 
 use crate::config::RpcConfig;
 use crate::error::{RpcError, RpcResult};
-use crate::frame::{read_request_header, write_response, Payload, RequestHeader};
+use crate::frame::{
+    read_request_header, write_busy_response, write_response, FrameVersion, Payload, RequestHeader,
+};
+use crate::handshake;
 use crate::metrics::{MetricsRegistry, RecvProfile as MetricsRecv};
+use crate::retry_cache::{Admission, CallKey, RetryCache};
 use crate::service::ServiceRegistry;
 use crate::transport::rdma::{IbContext, RdmaConn};
 use crate::transport::socket::SocketConn;
@@ -29,6 +42,9 @@ use crate::transport::Conn;
 
 /// How long blocking queue pops wait before re-checking for shutdown.
 const IDLE_SLICE: Duration = Duration::from_millis(100);
+
+/// Poll interval of [`Server::drain`]'s quiescence checks.
+const DRAIN_POLL: Duration = Duration::from_millis(2);
 
 struct RawCall {
     conn: Arc<dyn Conn>,
@@ -38,12 +54,20 @@ struct RawCall {
     body_offset: usize,
 }
 
-struct OutboundResponse {
+/// Where one serialized response must be delivered. The retry cache parks
+/// these for duplicate attempts; completion fans the same bytes out to
+/// every route.
+struct RespRoute {
     conn: Arc<dyn Conn>,
     protocol: String,
     method: String,
-    call_id: i32,
-    result: Result<Box<dyn Writable + Send>, RpcError>,
+}
+
+struct OutboundResponse {
+    route: RespRoute,
+    /// The fully serialized response frame body (shared when a completed
+    /// call also releases parked duplicates).
+    bytes: Arc<Vec<u8>>,
 }
 
 struct ServerInner {
@@ -51,7 +75,26 @@ struct ServerInner {
     registry: ServiceRegistry,
     addr: SimAddr,
     stop: AtomicBool,
+    /// Graceful-shutdown mode: stop accepting and reading, but let queued
+    /// calls finish and their responses flush (see [`Server::drain`]).
+    draining: AtomicBool,
+    /// Set by the Listener on its way out; `drain` waits on it before
+    /// trusting the Reader count (no new Readers spawn after this).
+    listener_done: AtomicBool,
+    /// Readers alive or about to be spawned (incremented by the Listener
+    /// *before* the spawn, so `drain` never sees a gap).
+    live_readers: AtomicUsize,
+    /// Admitted calls whose responses have not yet been transmitted.
+    /// Incremented by the Reader before enqueueing a call (and for each
+    /// standalone response it enqueues), decremented by the Responder
+    /// after the send attempt — so "no open work" really means no call or
+    /// response is anywhere in the pipeline.
+    open_work: AtomicUsize,
     metrics: MetricsRegistry,
+    retry_cache: RetryCache<RespRoute>,
+    /// Source of server-assigned client ids for peers that present 0 at
+    /// the handshake.
+    next_client_id: AtomicU64,
     call_tx: Sender<RawCall>,
     call_rx: Receiver<RawCall>,
     resp_tx: Sender<OutboundResponse>,
@@ -67,6 +110,56 @@ struct ServerInner {
     /// Reader thread handles awaiting reaping. Finished ones are joined
     /// by the Listener on every accept-loop pass; the rest at `stop()`.
     reader_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ServerInner {
+    fn assign_client_id(&self) -> u64 {
+        // The counter is seeded randomly per server; skip an (unlikely)
+        // wrap through 0, which the handshake reserves for "assign me".
+        loop {
+            let id = self.next_client_id.fetch_add(1, Ordering::Relaxed);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Enqueue a response without blocking (Reader-side replay and busy
+    /// paths). Dropping on a full queue is safe: the client retries, and
+    /// for replays the cache still holds the bytes.
+    fn try_enqueue_response(&self, route: RespRoute, bytes: Arc<Vec<u8>>) {
+        self.open_work.fetch_add(1, Ordering::AcqRel);
+        if self
+            .resp_tx
+            .try_send(OutboundResponse { route, bytes })
+            .is_err()
+        {
+            self.open_work.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Enqueue a response, blocking if the Responder is behind (Handler
+    /// side — a computed response must not be dropped).
+    fn enqueue_response(&self, route: RespRoute, bytes: Arc<Vec<u8>>) {
+        self.open_work.fetch_add(1, Ordering::AcqRel);
+        if self
+            .resp_tx
+            .send(OutboundResponse { route, bytes })
+            .is_err()
+        {
+            self.open_work.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Decrements a counter on drop, so Reader exits (normal, panic, early
+/// return) all release their slot.
+struct CountGuard<'a>(&'a AtomicUsize);
+
+impl Drop for CountGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// A running RPC server.
@@ -96,12 +189,25 @@ impl Server {
 
         let (call_tx, call_rx) = bounded(cfg.call_queue_len);
         let (resp_tx, resp_rx) = bounded(cfg.call_queue_len);
+        let metrics = MetricsRegistry::new(false);
+        let retry_cache = RetryCache::new(
+            cfg.retry_cache_ttl,
+            cfg.retry_cache_capacity,
+            metrics.clone(),
+        );
+        let id_seed = handshake::mint_client_id((u64::from(node.0) << 16) ^ u64::from(port));
         let inner = Arc::new(ServerInner {
             cfg,
             registry,
             addr,
             stop: AtomicBool::new(false),
-            metrics: MetricsRegistry::new(false),
+            draining: AtomicBool::new(false),
+            listener_done: AtomicBool::new(false),
+            live_readers: AtomicUsize::new(0),
+            open_work: AtomicUsize::new(0),
+            metrics,
+            retry_cache,
+            next_client_id: AtomicU64::new(id_seed),
             call_tx,
             call_rx,
             resp_tx,
@@ -173,19 +279,84 @@ impl Server {
         self.inner.accepted.load(Ordering::Relaxed)
     }
 
+    /// Live entries in the at-most-once retry cache (for tests and
+    /// observability).
+    pub fn retry_cache_len(&self) -> usize {
+        self.inner.retry_cache.len()
+    }
+
+    /// Graceful shutdown: stop accepting connections and reading new
+    /// calls, let every already-admitted call execute and its response
+    /// flush, then stop all threads. Returns `true` if the server fully
+    /// quiesced within `timeout`; on `false` the deadline passed and the
+    /// remaining work was cut off by an abrupt [`Server::stop`].
+    pub fn drain(&self, timeout: Duration) -> bool {
+        if self.inner.stop.load(Ordering::Acquire) {
+            return true;
+        }
+        self.inner.draining.store(true, Ordering::Release);
+        let deadline = Instant::now() + timeout;
+
+        // Phase 1: the Listener exits — no new Readers after this.
+        while !self.inner.listener_done.load(Ordering::Acquire) {
+            if Instant::now() >= deadline {
+                self.shutdown(false);
+                return false;
+            }
+            std::thread::sleep(DRAIN_POLL);
+        }
+        // Phase 2: Readers exit — no new calls enter the pipeline.
+        while self.inner.live_readers.load(Ordering::Acquire) > 0 {
+            if Instant::now() >= deadline {
+                self.shutdown(false);
+                return false;
+            }
+            std::thread::sleep(DRAIN_POLL);
+        }
+        // Phase 3: the pipeline empties. `open_work` covers a call from
+        // Reader admission until its response transmission, so zero means
+        // nothing is queued, executing, or awaiting send.
+        while self.inner.open_work.load(Ordering::Acquire) > 0 {
+            if Instant::now() >= deadline {
+                self.shutdown(false);
+                return false;
+            }
+            std::thread::sleep(DRAIN_POLL);
+        }
+        self.stop();
+        true
+    }
+
     /// Stop all threads and close all connections. Idempotent.
     pub fn stop(&self) {
+        self.shutdown(true);
+    }
+
+    /// `wait = false` is the expired-drain path: the threads may be stuck
+    /// in a long handler dispatch, and a drain whose deadline has passed
+    /// must return *now* — the joins happen on a detached reaper thread.
+    fn shutdown(&self, wait: bool) {
         if self.inner.stop.swap(true, Ordering::AcqRel) {
             return;
         }
         for conn in self.inner.conns.lock().values() {
             conn.close();
         }
-        for t in self.threads.lock().drain(..) {
-            let _ = t.join();
-        }
-        for t in self.inner.reader_threads.lock().drain(..) {
-            let _ = t.join();
+        let mut threads: Vec<_> = self.threads.lock().drain(..).collect();
+        threads.extend(self.inner.reader_threads.lock().drain(..));
+        if wait {
+            for t in threads {
+                let _ = t.join();
+            }
+        } else {
+            std::thread::Builder::new()
+                .name("rpc-stop-reaper".into())
+                .spawn(move || {
+                    for t in threads {
+                        let _ = t.join();
+                    }
+                })
+                .expect("spawn stop reaper");
         }
     }
 }
@@ -206,7 +377,7 @@ impl std::fmt::Debug for Server {
 }
 
 fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbContext>) {
-    while !inner.stop.load(Ordering::Acquire) {
+    while !inner.stop.load(Ordering::Acquire) && !inner.draining.load(Ordering::Acquire) {
         // Reap Readers whose connections have since died. Without this,
         // a server that lives through N transient clients holds N parked
         // JoinHandles (and their stacks) forever.
@@ -227,19 +398,36 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbCo
         match listener.try_accept() {
             Ok(Some((stream, _peer))) => {
                 inner.accepted.fetch_add(1, Ordering::Relaxed);
+                // Counted before the spawn so `drain` can never observe
+                // "listener done, zero readers" while one is in flight.
+                inner.live_readers.fetch_add(1, Ordering::AcqRel);
                 let inner2 = Arc::clone(&inner);
                 let ib2 = ib.clone();
-                // Connection setup (which may block on the RDMA endpoint
-                // exchange) and the per-connection Reader run on their own
-                // thread, keeping the accept loop responsive.
+                // Connection setup (handshake, and in RPCoIB mode the
+                // blocking endpoint exchange) and the per-connection
+                // Reader run on their own thread, keeping the accept loop
+                // responsive.
                 let handle = std::thread::Builder::new()
                     .name("rpc-reader".into())
                     .spawn(move || {
+                        let _slot = CountGuard(&inner2.live_readers);
+                        // Identity/version handshake first, on the raw
+                        // stream. A wrong-magic peer is indistinguishable
+                        // from a pre-V2 frame blasted at the socket:
+                        // refuse the connection and count a frame error.
+                        match handshake::server_accept(&stream, || inner2.assign_client_id()) {
+                            Ok(_client_id) => {}
+                            Err(RpcError::Protocol(_)) => {
+                                inner2.metrics.inc_frame_errors();
+                                return;
+                            }
+                            Err(_) => return, // peer vanished mid-handshake
+                        }
                         let conn: Arc<dyn Conn> = match &ib2 {
                             Some(ctx) => {
                                 match RdmaConn::bootstrap(&stream, ctx, &inner2.cfg) {
                                     Ok(c) => Arc::new(c),
-                                    Err(_) => return, // peer vanished mid-handshake
+                                    Err(_) => return, // peer vanished mid-exchange
                                 }
                             }
                             None => {
@@ -248,12 +436,17 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbCo
                         };
                         let conn_id = inner2.next_conn_id.fetch_add(1, Ordering::Relaxed);
                         inner2.conns.lock().insert(conn_id, Arc::clone(&conn));
-                        reader_loop(&inner2, &conn);
-                        // The Reader owns the connection's lifetime: on any
-                        // exit (peer gone, corrupt frame, server stop) the
+                        let shutdown_exit = reader_loop(&inner2, &conn);
+                        // The Reader owns the connection's lifetime: when
+                        // the peer is gone or sent a corrupt frame, the
                         // transport is closed and the table entry freed.
-                        conn.close();
-                        inner2.conns.lock().remove(&conn_id);
+                        // On a stop/drain exit the connection stays open —
+                        // a draining server still owes it responses, and
+                        // `stop()` closes the whole table itself.
+                        if !shutdown_exit {
+                            conn.close();
+                            inner2.conns.lock().remove(&conn_id);
+                        }
                     })
                     .expect("spawn reader");
                 inner.reader_threads.lock().push(handle);
@@ -262,14 +455,18 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbCo
             Err(_) => break, // listener evicted (node killed)
         }
     }
+    inner.listener_done.store(true, Ordering::Release);
 }
 
-fn reader_loop(inner: &Arc<ServerInner>, conn: &Arc<dyn Conn>) {
-    while !inner.stop.load(Ordering::Acquire) {
+/// Returns `true` when the exit was shutdown-initiated (stop or drain —
+/// the connection itself is healthy), `false` when the connection is
+/// forfeit (peer gone, corrupt frame).
+fn reader_loop(inner: &Arc<ServerInner>, conn: &Arc<dyn Conn>) -> bool {
+    while !inner.stop.load(Ordering::Acquire) && !inner.draining.load(Ordering::Acquire) {
         let (payload, recv) = match conn.recv_msg(IDLE_SLICE) {
             Ok(v) => v,
             Err(RpcError::Timeout) => continue,
-            Err(_) => break,
+            Err(_) => return false,
         };
         let mut reader = payload.reader();
         let header = match read_request_header(&mut reader) {
@@ -279,7 +476,7 @@ fn reader_loop(inner: &Arc<ServerInner>, conn: &Arc<dyn Conn>) {
                 // re-synchronized, so the whole connection is forfeit
                 // (closed by the caller). Counted for observability.
                 inner.metrics.inc_frame_errors();
-                break;
+                return false;
             }
         };
         let body_offset = reader.position();
@@ -292,16 +489,83 @@ fn reader_loop(inner: &Arc<ServerInner>, conn: &Arc<dyn Conn>) {
                 size: recv.size,
             },
         );
+        // At-most-once admission. V1 peers (and clients with caching
+        // disabled, client_id 0) skip the cache but still get the
+        // non-blocking queue admission below.
+        let cache_key: Option<CallKey> = match (header.version, header.client_id) {
+            (FrameVersion::V2, id) if id != 0 => Some((id, header.seq)),
+            _ => None,
+        };
+        if let Some(key) = cache_key {
+            match inner.retry_cache.begin(key, || RespRoute {
+                conn: Arc::clone(conn),
+                protocol: header.protocol.clone(),
+                method: header.method.clone(),
+            }) {
+                Admission::Execute => {}
+                Admission::Parked => continue,
+                Admission::Replay(bytes) => {
+                    // Completed earlier: answer from the cache, never
+                    // touching the handler pool.
+                    let route = RespRoute {
+                        conn: Arc::clone(conn),
+                        protocol: header.protocol.clone(),
+                        method: header.method.clone(),
+                    };
+                    inner.try_enqueue_response(route, bytes);
+                    continue;
+                }
+            }
+        }
+        let version = header.version;
+        let seq = header.seq;
+        let route = RespRoute {
+            conn: Arc::clone(conn),
+            protocol: header.protocol.clone(),
+            method: header.method.clone(),
+        };
         let call = RawCall {
             conn: Arc::clone(conn),
             header,
             payload,
             body_offset,
         };
-        if inner.call_tx.send(call).is_err() {
-            break;
+        inner.open_work.fetch_add(1, Ordering::AcqRel);
+        match inner.call_tx.try_send(call) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // Overload: reject instead of blocking the Reader (which
+                // would stall every call multiplexed on this connection
+                // and, transitively, the client's whole pipeline). The
+                // call never executed, so the rejection is retryable.
+                inner.open_work.fetch_sub(1, Ordering::AcqRel);
+                inner.metrics.inc_busy_rejections();
+                let mut routes = vec![route];
+                if let Some(key) = cache_key {
+                    // Duplicates that parked in the begin/try_send window
+                    // (another connection of the same client) get the
+                    // same busy answer; the entry is gone so a retry can
+                    // execute.
+                    routes.extend(inner.retry_cache.abort(key));
+                }
+                let mut body = Vec::new();
+                write_busy_response(&mut body, version, seq)
+                    .expect("serializing to Vec cannot fail");
+                let bytes = Arc::new(body);
+                for r in routes {
+                    inner.try_enqueue_response(r, Arc::clone(&bytes));
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                inner.open_work.fetch_sub(1, Ordering::AcqRel);
+                if let Some(key) = cache_key {
+                    inner.retry_cache.abort(key);
+                }
+                return true; // the server is going away, not this conn
+            }
         }
     }
+    true
 }
 
 fn handler_loop(inner: Arc<ServerInner>) {
@@ -315,16 +579,43 @@ fn handler_loop(inner: Arc<ServerInner>) {
                     &call.header.method,
                     &mut reader,
                 );
-                let out = OutboundResponse {
+                // Serialize once, on the handler thread; the Responder
+                // (and any parked duplicate) just transmits bytes.
+                let error_text;
+                let result_ref: Result<&dyn Writable, &str> = match &result {
+                    Ok(value) => Ok(value.as_ref()),
+                    Err(e) => {
+                        // Application errors travel as their bare
+                        // message; engine errors keep their category
+                        // prefix.
+                        error_text = match e {
+                            RpcError::Remote(m) => m.clone(),
+                            other => other.to_string(),
+                        };
+                        Err(&error_text)
+                    }
+                };
+                let mut body = Vec::new();
+                write_response(&mut body, call.header.version, call.header.seq, result_ref)
+                    .expect("serializing to Vec cannot fail");
+                let bytes = Arc::new(body);
+
+                let mut routes = vec![RespRoute {
                     conn: call.conn,
                     protocol: call.header.protocol,
                     method: call.header.method,
-                    call_id: call.header.call_id,
-                    result,
-                };
-                if inner.resp_tx.send(out).is_err() {
-                    return;
+                }];
+                if call.header.version == FrameVersion::V2 && call.header.client_id != 0 {
+                    let key = (call.header.client_id, call.header.seq);
+                    routes.extend(inner.retry_cache.complete(key, Arc::clone(&bytes)));
                 }
+                for route in routes {
+                    inner.enqueue_response(route, Arc::clone(&bytes));
+                }
+                // The call's own open_work slot transfers to the response
+                // entries enqueued above; release it only now so `drain`
+                // never sees a gap between "popped" and "response queued".
+                inner.open_work.fetch_sub(1, Ordering::AcqRel);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if inner.stop.load(Ordering::Acquire) {
@@ -343,31 +634,22 @@ fn responder_loop(inner: Arc<ServerInner>) {
                 // The response's buffer-size history is keyed separately
                 // from the request's (responses of a method have their own
                 // stable size).
-                let resp_key = format!("{}#resp", out.method);
-                let error_text;
-                let result: Result<&dyn Writable, &str> = match &out.result {
-                    Ok(value) => Ok(value.as_ref()),
-                    Err(e) => {
-                        // Application errors travel as their bare message;
-                        // engine errors keep their category prefix.
-                        error_text = match e {
-                            RpcError::Remote(m) => m.clone(),
-                            other => other.to_string(),
-                        };
-                        Err(&error_text)
-                    }
-                };
+                let resp_key = format!("{}#resp", out.route.method);
                 // A failed send only affects that one connection — but it
                 // does mean the connection is broken: close it so its
                 // Reader stops pulling requests whose responses could
                 // never be delivered, and count the event.
-                let send_result = out.conn.send_msg(&out.protocol, &resp_key, &mut |o| {
-                    write_response(o, out.call_id, result)
-                });
+                let send_result =
+                    out.route
+                        .conn
+                        .send_msg(&out.route.protocol, &resp_key, &mut |o| {
+                            o.write_bytes(&out.bytes)
+                        });
                 if send_result.is_err() {
                     inner.metrics.inc_broken_sends();
-                    out.conn.close();
+                    out.route.conn.close();
                 }
+                inner.open_work.fetch_sub(1, Ordering::AcqRel);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if inner.stop.load(Ordering::Acquire) {

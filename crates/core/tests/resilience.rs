@@ -1,13 +1,61 @@
 //! Resilience tests: retry/backoff/deadline behavior under injected
-//! faults, server tolerance of connection churn, and clean failure modes
-//! when a server dies mid-call.
+//! faults, at-most-once semantics under drops and duplicate retries,
+//! overload rejection, graceful drain, server tolerance of connection
+//! churn, and clean failure modes when a server dies mid-call.
+//!
+//! The tests that are transport-agnostic pick their fabric from the
+//! `RPC_TRANSPORT` environment variable (`verbs` → RPCoIB, anything else
+//! → the socket baseline), so CI runs the whole suite once per transport.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rpcoib::{Client, RetryPolicy, RpcConfig, RpcError, RpcService, Server, ServiceRegistry};
 use simnet::{model, Fabric, FaultSpec, NodeId};
-use wire::{BytesWritable, DataInput, Text, Writable};
+use wire::{BytesWritable, DataInput, LongWritable, Text, Writable};
+
+/// Fabric + matching config for the transport selected by
+/// `RPC_TRANSPORT` (CI runs the suite under both values).
+fn env_transport() -> (Fabric, RpcConfig) {
+    if std::env::var("RPC_TRANSPORT").as_deref() == Ok("verbs") {
+        (Fabric::new(model::IB_QDR_VERBS), RpcConfig::rpcoib())
+    } else {
+        (Fabric::new(model::IPOIB_QDR), RpcConfig::socket())
+    }
+}
+
+/// Aborts the whole test process (with a pointed message) if the guard is
+/// still alive after `limit` — so a deadlocked drain or a stuck queue
+/// fails fast instead of hanging the suite until the harness timeout.
+struct Watchdog {
+    done: Arc<AtomicBool>,
+}
+
+fn watchdog(name: &'static str, limit: Duration) -> Watchdog {
+    let done = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&done);
+    std::thread::spawn(move || {
+        let deadline = Instant::now() + limit;
+        while Instant::now() < deadline {
+            if flag.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        if !flag.load(Ordering::Acquire) {
+            eprintln!("watchdog: test {name} exceeded {limit:?}, aborting");
+            std::process::abort();
+        }
+    });
+    Watchdog { done }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
 
 struct EchoService;
 
@@ -391,6 +439,390 @@ fn remote_errors_are_not_retried() {
     let counters = client.metrics().counters();
     assert_eq!(counters.retries, 0);
     assert_eq!(counters.failed_calls, 1);
+    client.shutdown();
+    server.stop();
+}
+
+/// A deliberately *non-idempotent* service: every executed `incr` bumps
+/// the counter, so duplicate executions are directly observable. `slow*`
+/// methods stall in the handler for `delay` first.
+struct CounterService {
+    applied: Arc<AtomicU64>,
+    delay: Duration,
+}
+
+impl RpcService for CounterService {
+    fn protocol(&self) -> &'static str {
+        "test.CounterProtocol"
+    }
+    fn call(
+        &self,
+        method: &str,
+        _param: &mut dyn DataInput,
+    ) -> Result<Box<dyn Writable + Send>, String> {
+        match method {
+            "incr" => {
+                let now = self.applied.fetch_add(1, Ordering::AcqRel) + 1;
+                Ok(Box::new(LongWritable(now as i64)))
+            }
+            "slow_incr" => {
+                std::thread::sleep(self.delay);
+                let now = self.applied.fetch_add(1, Ordering::AcqRel) + 1;
+                Ok(Box::new(LongWritable(now as i64)))
+            }
+            "slow" => {
+                std::thread::sleep(self.delay);
+                Ok(Box::new(LongWritable(0)))
+            }
+            "get" => Ok(Box::new(LongWritable(
+                self.applied.load(Ordering::Acquire) as i64
+            ))),
+            other => Err(format!("no such method {other}")),
+        }
+    }
+}
+
+fn start_counter_server(
+    fabric: &Fabric,
+    node: NodeId,
+    cfg: &RpcConfig,
+    delay: Duration,
+) -> (Server, Arc<AtomicU64>) {
+    let applied = Arc::new(AtomicU64::new(0));
+    let mut registry = ServiceRegistry::new();
+    registry.register(Arc::new(CounterService {
+        applied: Arc::clone(&applied),
+        delay,
+    }));
+    let server = Server::start(fabric, node, 8020, cfg.clone(), registry).unwrap();
+    (server, applied)
+}
+
+fn counter_call(client: &Client, server: &Server, method: &str) -> Result<LongWritable, RpcError> {
+    client.call(
+        server.addr(),
+        "test.CounterProtocol",
+        method,
+        &LongWritable(1),
+    )
+}
+
+/// The at-most-once acceptance scenario: a lossy link forces retries of a
+/// non-idempotent call, and the retry cache must ensure each logical call
+/// is applied **exactly once** — the drops cost latency, never double
+/// execution.
+fn exactly_once_under_drops(fabric: Fabric, base: RpcConfig) {
+    let _wd = watchdog("exactly_once_under_drops", Duration::from_secs(120));
+    fabric.set_fault_seed(42);
+    let server_node = fabric.add_node();
+    let client_node = fabric.add_node();
+    let cfg = RpcConfig {
+        call_timeout: Duration::from_millis(250),
+        retry: RetryPolicy::exponential(10, Duration::from_millis(10)),
+        ..base
+    };
+    let (server, applied) = start_counter_server(&fabric, server_node, &cfg, Duration::ZERO);
+    let client = Client::new(&fabric, client_node, cfg).unwrap();
+
+    // Warm the connection over a clean link, then make it lossy in both
+    // directions: requests, responses, reconnect handshakes — anything
+    // can vanish.
+    counter_call(&client, &server, "get").unwrap();
+    fabric.set_link_fault(client_node, server_node, FaultSpec::lossy(0.3));
+    fabric.set_link_fault(server_node, client_node, FaultSpec::lossy(0.3));
+
+    const CALLS: u64 = 20;
+    for i in 0..CALLS {
+        let resp = counter_call(&client, &server, "incr")
+            .unwrap_or_else(|e| panic!("incr #{i} exhausted retries: {e:?}"));
+        assert!(resp.0 >= 1);
+    }
+
+    // Heal the link and audit the server-side ground truth.
+    fabric.set_link_fault(client_node, server_node, FaultSpec::lossy(0.0));
+    fabric.set_link_fault(server_node, client_node, FaultSpec::lossy(0.0));
+    let seen = counter_call(&client, &server, "get").unwrap();
+    assert_eq!(
+        applied.load(Ordering::Acquire),
+        CALLS,
+        "every incr must execute exactly once despite drops and retries"
+    );
+    assert_eq!(seen.0 as u64, CALLS);
+
+    let client_counters = client.metrics().counters();
+    let server_counters = server.metrics().counters();
+    assert!(
+        client_counters.retries > 0,
+        "the lossy link should have forced at least one retry"
+    );
+    assert!(
+        server_counters.retry_cache_hits + server_counters.retry_cache_parked > 0
+            || client_counters.reconnects > 0,
+        "duplicate suppression (or reconnects) should be visible in the counters"
+    );
+    client.shutdown();
+    server.stop();
+}
+
+#[test]
+fn exactly_once_under_drops_socket() {
+    exactly_once_under_drops(Fabric::new(model::IPOIB_QDR), RpcConfig::socket());
+}
+
+#[test]
+fn exactly_once_under_drops_verbs() {
+    exactly_once_under_drops(Fabric::new(model::IB_QDR_VERBS), RpcConfig::rpcoib());
+}
+
+/// A retry that lands while the first attempt is still executing must be
+/// *parked*, not re-executed: the handler runs once and its response is
+/// fanned out to the duplicate.
+#[test]
+fn duplicate_of_inflight_call_parks_instead_of_reexecuting() {
+    let _wd = watchdog("duplicate_parks", Duration::from_secs(60));
+    let (fabric, base) = env_transport();
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig {
+        // The handler takes 400 ms; the first attempt gives up at 300 ms
+        // and the retry arrives while the call is still executing.
+        call_timeout: Duration::from_millis(300),
+        retry: RetryPolicy::exponential(3, Duration::from_millis(10)),
+        ..base
+    };
+    let (server, applied) =
+        start_counter_server(&fabric, server_node, &cfg, Duration::from_millis(400));
+    let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+
+    let resp = counter_call(&client, &server, "slow_incr")
+        .expect("the retry should collect the first attempt's response");
+    assert_eq!(resp.0, 1);
+    assert_eq!(
+        applied.load(Ordering::Acquire),
+        1,
+        "the duplicate attempt must not re-execute the increment"
+    );
+    assert!(
+        server.metrics().counters().retry_cache_parked >= 1,
+        "the duplicate should have parked behind the in-flight call"
+    );
+    client.shutdown();
+    server.stop();
+}
+
+/// A response that arrives after its caller timed out is not an error:
+/// it is counted (`late_responses`) and the connection keeps working —
+/// no reconnect, no corruption of later calls.
+#[test]
+fn late_response_is_counted_and_connection_survives() {
+    let _wd = watchdog("late_response", Duration::from_secs(60));
+    let (fabric, base) = env_transport();
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig {
+        call_timeout: Duration::from_millis(150),
+        retry: RetryPolicy::none(),
+        ..base
+    };
+    let (server, _applied) =
+        start_counter_server(&fabric, server_node, &cfg, Duration::from_millis(400));
+    let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+
+    let err = counter_call(&client, &server, "slow").unwrap_err();
+    assert!(matches!(err, RpcError::Timeout), "got {err:?}");
+
+    // The server finishes at ~400 ms and the response lands on a pending
+    // table with no matching entry.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while client.metrics().counters().late_responses == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(client.metrics().counters().late_responses, 1);
+
+    // Same connection, next call: works.
+    let resp = counter_call(&client, &server, "get").unwrap();
+    assert_eq!(resp.0, 0);
+    assert_eq!(
+        client.metrics().counters().reconnects,
+        0,
+        "a late response must not cost the connection"
+    );
+    client.shutdown();
+    server.stop();
+}
+
+/// Overload: with one handler and a one-slot call queue, a third
+/// concurrent call must be *rejected* as retryable `ServerBusy` — fast,
+/// because the Reader refuses admission instead of blocking on the full
+/// queue — while the two admitted calls complete normally.
+#[test]
+fn queue_overflow_rejects_with_server_busy() {
+    let _wd = watchdog("server_busy", Duration::from_secs(60));
+    let (fabric, base) = env_transport();
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig {
+        handlers: 1,
+        call_queue_len: 1,
+        call_timeout: Duration::from_secs(5),
+        retry: RetryPolicy::none(),
+        ..base
+    };
+    let (server, applied) =
+        start_counter_server(&fabric, server_node, &cfg, Duration::from_millis(500));
+    let client = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+
+    // A occupies the single handler; B occupies the single queue slot.
+    let spawn_slow = |delay_ms: u64| {
+        let client = client.clone();
+        let addr = server.addr();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+            client.call::<_, LongWritable>(
+                addr,
+                "test.CounterProtocol",
+                "slow_incr",
+                &LongWritable(1),
+            )
+        })
+    };
+    let a = spawn_slow(0);
+    let b = spawn_slow(100);
+
+    // C: a separate client (fresh connection, same overloaded queue)
+    // must be turned away promptly — the Reader is not allowed to block.
+    std::thread::sleep(Duration::from_millis(250));
+    let busy_client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+    let start = Instant::now();
+    let err = counter_call(&busy_client, &server, "incr").unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(matches!(err, RpcError::ServerBusy), "got {err:?}");
+    assert!(
+        err.is_retryable(),
+        "a busy rejection never executed and must be retryable"
+    );
+    assert!(
+        elapsed < Duration::from_millis(400),
+        "busy rejection must be immediate, took {elapsed:?}"
+    );
+
+    assert!(a.join().unwrap().is_ok(), "admitted call A must complete");
+    assert!(b.join().unwrap().is_ok(), "queued call B must complete");
+    assert_eq!(
+        applied.load(Ordering::Acquire),
+        2,
+        "the rejected call must never have executed"
+    );
+    assert!(server.metrics().counters().busy_rejections >= 1);
+    client.shutdown();
+    busy_client.shutdown();
+    server.stop();
+}
+
+/// Graceful drain: calls already admitted (executing or queued) complete
+/// and their responses are delivered; only then does the server stop.
+/// New work after the drain is refused.
+#[test]
+fn drain_completes_queued_calls() {
+    let _wd = watchdog("drain_completes", Duration::from_secs(60));
+    let (fabric, base) = env_transport();
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig {
+        handlers: 2,
+        call_timeout: Duration::from_secs(10),
+        retry: RetryPolicy::none(),
+        ..base
+    };
+    let (server, applied) =
+        start_counter_server(&fabric, server_node, &cfg, Duration::from_millis(150));
+    let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+
+    // Six slow calls against two handlers: three waves, ~450 ms of queued
+    // work at drain time.
+    let callers: Vec<_> = (0..6)
+        .map(|_| {
+            let client = client.clone();
+            let addr = server.addr();
+            std::thread::spawn(move || {
+                client.call::<_, LongWritable>(
+                    addr,
+                    "test.CounterProtocol",
+                    "slow_incr",
+                    &LongWritable(1),
+                )
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(100));
+    let drained = server.drain(Duration::from_secs(10));
+    assert!(drained, "all admitted work fits well inside the deadline");
+
+    for (i, t) in callers.into_iter().enumerate() {
+        let resp = t.join().unwrap();
+        assert!(resp.is_ok(), "queued call {i} must survive drain: {resp:?}");
+    }
+    assert_eq!(applied.load(Ordering::Acquire), 6);
+
+    // The drained server accepts nothing new.
+    assert!(counter_call(&client, &server, "get").is_err());
+    client.shutdown();
+}
+
+/// A drain deadline shorter than the queued work cuts over to an abrupt
+/// stop and reports the truncation.
+#[test]
+fn drain_deadline_cuts_off_stuck_work() {
+    let _wd = watchdog("drain_deadline", Duration::from_secs(60));
+    let (fabric, base) = env_transport();
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig {
+        handlers: 1,
+        call_timeout: Duration::from_secs(5),
+        retry: RetryPolicy::none(),
+        ..base
+    };
+    let (server, _applied) =
+        start_counter_server(&fabric, server_node, &cfg, Duration::from_secs(2));
+    let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+
+    let slow = {
+        let client = client.clone();
+        let addr = server.addr();
+        std::thread::spawn(move || {
+            client.call::<_, LongWritable>(addr, "test.CounterProtocol", "slow", &LongWritable(1))
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    let start = Instant::now();
+    let drained = server.drain(Duration::from_millis(200));
+    assert!(!drained, "a 2 s handler cannot drain in 200 ms");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "an expired drain must not wait for the stuck handler"
+    );
+    let _ = slow.join().unwrap(); // cut off by the abrupt stop: any error is fine
+    client.shutdown();
+}
+
+/// Regression for the old `i32` call-id counter, which wrapped negative
+/// after 2³¹ calls and collided with the V2 sentinel space: sequence
+/// numbers are `i64` now, and calls crossing the old boundary just work.
+#[test]
+fn sequence_numbers_survive_i32_wraparound() {
+    let _wd = watchdog("seq_wrap", Duration::from_secs(60));
+    let (fabric, cfg) = env_transport();
+    let server_node = fabric.add_node();
+    let (server, applied) = start_counter_server(&fabric, server_node, &cfg, Duration::ZERO);
+    let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+    assert_ne!(client.client_id(), 0);
+
+    client.force_next_seq(i64::from(i32::MAX) - 2);
+    for i in 0..5 {
+        let resp = counter_call(&client, &server, "incr")
+            .unwrap_or_else(|e| panic!("call {i} across the i32 boundary failed: {e:?}"));
+        assert_eq!(resp.0, i + 1);
+    }
+    assert_eq!(applied.load(Ordering::Acquire), 5);
+    assert_eq!(client.metrics().counters().failed_calls, 0);
     client.shutdown();
     server.stop();
 }

@@ -44,6 +44,10 @@ pub trait DataOutput {
         self.write_bytes(&v.to_be_bytes())
     }
 
+    fn write_u64(&mut self, v: u64) -> io::Result<()> {
+        self.write_bytes(&v.to_be_bytes())
+    }
+
     fn write_f32(&mut self, v: f32) -> io::Result<()> {
         self.write_bytes(&v.to_bits().to_be_bytes())
     }
@@ -130,6 +134,12 @@ pub trait DataInput {
         let mut b = [0u8; 8];
         self.read_bytes(&mut b)?;
         Ok(i64::from_be_bytes(b))
+    }
+
+    fn read_u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_bytes(&mut b)?;
+        Ok(u64::from_be_bytes(b))
     }
 
     fn read_f32(&mut self) -> io::Result<f32> {

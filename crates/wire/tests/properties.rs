@@ -6,6 +6,18 @@ use wire::varint::{read_vlong, vlong_size, write_vlong};
 use wire::{from_bytes, to_bytes, BytesWritable, DataOutputBuffer, Text, VLongWritable};
 
 proptest! {
+    /// u64 fixed-width values (frame-v2 client ids) roundtrip and always
+    /// occupy exactly 8 big-endian bytes.
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        use wire::{DataInput, DataOutput};
+        let mut buf = Vec::new();
+        buf.write_u64(v).unwrap();
+        prop_assert_eq!(buf.len(), 8);
+        let mut cursor = buf.as_slice();
+        prop_assert_eq!(cursor.read_u64().unwrap(), v);
+    }
+
     /// Every i64 survives the Hadoop vint codec, and the size function
     /// agrees with the encoder.
     #[test]

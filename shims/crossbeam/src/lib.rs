@@ -31,6 +31,13 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`]: the channel was full or
+    /// every receiver is gone. Carries the rejected value back.
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum RecvTimeoutError {
         Timeout,
@@ -67,7 +74,26 @@ pub mod channel {
         }
     }
 
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
     impl<T> std::error::Error for SendError<T> {}
+    impl<T> std::error::Error for TrySendError<T> {}
     impl std::error::Error for RecvError {}
     impl std::error::Error for TryRecvError {}
     impl std::error::Error for RecvTimeoutError {}
@@ -148,6 +174,24 @@ pub mod channel {
                             .unwrap_or_else(|e| e.into_inner());
                     }
                     _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Deliver `value` only if it fits right now: a full bounded
+        /// channel returns [`TrySendError::Full`] instead of blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = lock(&self.inner);
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.inner.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
                 }
             }
             state.queue.push_back(value);
@@ -301,6 +345,17 @@ pub mod channel {
                 assert_eq!(rx.recv().unwrap(), i);
             }
             assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn try_send_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
         }
 
         #[test]
