@@ -15,7 +15,7 @@
 //! can deduplicate re-executions.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,7 +64,9 @@ struct ClientInner {
     ib: Option<IbContext>,
     /// Stable identity presented in every connect handshake; keys the
     /// server's retry cache together with the per-call sequence number.
-    client_id: u64,
+    /// Atomic because a client that presents `0` adopts the id the server
+    /// assigns in the handshake ack and re-presents it from then on.
+    client_id: AtomicU64,
     conns: Mutex<HashMap<SimAddr, Arc<ClientConnection>>>,
     /// Serializes connection establishment: concurrent first callers must
     /// not each bootstrap a connection (an RPCoIB bootstrap registers a
@@ -137,7 +139,7 @@ impl Client {
                 node,
                 cfg,
                 ib,
-                client_id: handshake::mint_client_id(u64::from(node.0)),
+                client_id: AtomicU64::new(handshake::mint_client_id(u64::from(node.0))),
                 conns: Mutex::new(HashMap::new()),
                 connect_lock: Mutex::new(()),
                 next_seq: AtomicI64::new(1),
@@ -156,7 +158,15 @@ impl Client {
     /// The stable identity this client presents at every connect
     /// handshake (and in every V2 request frame).
     pub fn client_id(&self) -> u64 {
-        self.inner.client_id
+        self.inner.client_id.load(Ordering::Acquire)
+    }
+
+    /// Overwrite the client identity (regression-testing the handshake's
+    /// assign-on-zero path). Calls made before the next connect keep the
+    /// old id; normal code never needs this.
+    #[doc(hidden)]
+    pub fn force_client_id(&self, id: u64) {
+        self.inner.client_id.store(id, Ordering::Release);
     }
 
     /// Client-side metrics (Table I and Figure 3 read these).
@@ -319,7 +329,7 @@ impl Client {
             return Err(RpcError::ConnectionClosed);
         }
         let connection = self.get_connection(server)?;
-        let client_id = self.inner.client_id;
+        let client_id = self.inner.client_id.load(Ordering::Acquire);
         let (tx, rx) = bounded(1);
         connection.pending.lock().insert(
             seq,
@@ -415,8 +425,12 @@ impl Client {
         }
         let stream = SimStream::connect(&self.inner.fabric, self.inner.node, server)?;
         // Identity/version handshake precedes everything else on the
-        // stream (including the RPCoIB endpoint exchange).
-        handshake::client_hello(&stream, self.inner.client_id)?;
+        // stream (including the RPCoIB endpoint exchange). Adopt the id
+        // the server confirmed: for a client that presented 0 this is the
+        // server-assigned identity it must re-present from now on.
+        let confirmed =
+            handshake::client_hello(&stream, self.inner.client_id.load(Ordering::Acquire))?;
+        self.inner.client_id.store(confirmed, Ordering::Release);
         let conn: Arc<dyn Conn> = match &self.inner.ib {
             Some(ctx) => Arc::new(RdmaConn::bootstrap(&stream, ctx, &self.inner.cfg)?),
             None => Arc::new(SocketConn::new(stream, wire::buffer::INITIAL_CAPACITY)),

@@ -10,7 +10,9 @@
 //! * response: `[i32 V2_SENTINEL][i64 seq][u8 status][value … | Text error]`
 //!
 //! **V1** (previous release) is still *decoded* for one release so an old
-//! peer keeps working, and the server answers a V1 request with a V1
+//! peer keeps working — the server's connect-time magic sniff (see
+//! [`crate::handshake`]) lets a pre-handshake peer straight through to
+//! this framing layer — and the server answers a V1 request with a V1
 //! response:
 //!
 //! * request: `[i32 call_id][Text protocol][Text method][param …]`
@@ -122,6 +124,15 @@ pub fn read_request_header(input: &mut dyn DataInput) -> io::Result<RequestHeade
             method: input.read_string()?,
         })
     } else {
+        if lead < 0 {
+            // V1 call ids are non-negative; any other negative lead is
+            // garbage (and would be unanswerable — the V1 response path
+            // rejects out-of-range ids).
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid V1 call id {lead}"),
+            ));
+        }
         Ok(RequestHeader {
             version: FrameVersion::V1,
             client_id: 0,
@@ -187,11 +198,19 @@ fn write_response_lead(
             out.write_i64(seq)
         }
         FrameVersion::V1 => {
-            debug_assert!(
-                (0..=i32::MAX as i64).contains(&seq),
-                "V1 call ids are non-negative i32s"
-            );
-            out.write_i32(seq as i32)
+            // V1 call ids are non-negative i32s; request decode enforces
+            // this, but a silent `as i32` truncation here would corrupt
+            // the call id if that invariant ever broke.
+            let id = i32::try_from(seq)
+                .ok()
+                .filter(|id| *id >= 0)
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("seq {seq} does not fit a V1 call id"),
+                    )
+                })?;
+            out.write_i32(id)
         }
     }
 }
@@ -475,6 +494,24 @@ mod tests {
         let header = read_response_header(&mut input).unwrap();
         assert_eq!(header.version, FrameVersion::V1);
         assert_eq!(header.status, ResponseStatus::Error);
+    }
+
+    #[test]
+    fn negative_v1_call_id_is_invalid_data() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_request_v1(&mut buf, -1, "p", "m", &IntWritable(0)).unwrap();
+        let mut input = buf.as_slice();
+        assert!(read_request_header(&mut input).is_err());
+    }
+
+    #[test]
+    fn v1_response_rejects_out_of_range_seq() {
+        for seq in [-1i64, (i32::MAX as i64) + 1] {
+            let mut buf: Vec<u8> = Vec::new();
+            let err =
+                write_response(&mut buf, FrameVersion::V1, seq, Ok(&IntWritable(1))).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "seq {seq}");
+        }
     }
 
     #[test]

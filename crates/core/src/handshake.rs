@@ -11,11 +11,21 @@
 //! ever sees. A client normally mints its own random id at construction
 //! and presents it on every connect; a client that presents `0` is handed
 //! a server-assigned id in the ack ("handed out at connect handshake"),
-//! which it must re-present on subsequent connects.
+//! which it adopts and re-presents on subsequent connects.
 //!
-//! A peer that opens the connection with anything but the magic is not
-//! speaking this protocol (or predates the handshake): the connection is
-//! refused and counted as a frame error.
+//! **Legacy (pre-handshake) peers.** The handshake only exists since
+//! frame V2, so the server *sniffs* rather than demands it: it peeks at
+//! the connection's first four bytes, and anything but the magic is
+//! pushed back onto the stream and the connection proceeds exactly as in
+//! the previous release — straight to the frame (socket) or verbs
+//! endpoint exchange (RPCoIB), with no client identity and therefore no
+//! retry caching. That keeps an old client working against a new server
+//! for one release; the reverse direction (new client, old server) is
+//! not supported, because an old server would read the hello as frame
+//! bytes. A truly garbage peer passes the sniff as "legacy" and is then
+//! rejected one layer down, when its bytes fail to parse as a frame.
+//! (The sniff is ambiguous only if a legacy frame's length prefix equals
+//! the magic — a 1.3 GB frame, far beyond any real call.)
 
 use std::io::Write;
 
@@ -57,31 +67,50 @@ pub fn client_hello(stream: &SimStream, client_id: u64) -> RpcResult<u64> {
     Ok(confirmed)
 }
 
-/// Server side: read the hello, assign an id if the client asked for one
-/// (via `assign`), ack, and return the connection's client id.
+/// What the server learned from a freshly accepted connection's opening
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerHello {
+    /// The peer spoke the handshake; the connection operates under this
+    /// client id.
+    V2 { client_id: u64 },
+    /// The peer's first bytes were not the magic: a pre-handshake (V1)
+    /// peer. The sniffed bytes were pushed back onto the stream, which is
+    /// positioned exactly as the previous release expects — no ack was
+    /// sent, no identity exists, and the retry cache stays out of play.
+    Legacy,
+}
+
+/// Server side: sniff the connection's first four bytes. On the magic,
+/// finish the handshake (assigning an id via `assign` if the client
+/// presented 0), ack, and return the connection's client id; on anything
+/// else, push the bytes back and report a legacy peer.
 ///
-/// Errors distinguish a wrong-protocol peer (`Protocol` — count it) from
-/// a peer that vanished mid-handshake (`Io` — routine churn).
-pub fn server_accept(stream: &SimStream, assign: impl FnOnce() -> u64) -> RpcResult<u64> {
-    let mut hello = [0u8; 13];
+/// `Protocol` errors mean the peer spoke the magic but an unsupportable
+/// version (count it); `Io` means the peer vanished mid-handshake
+/// (routine churn).
+pub fn server_accept(stream: &SimStream, assign: impl FnOnce() -> u64) -> RpcResult<ServerHello> {
+    let mut lead = [0u8; 4];
     stream
-        .read_exact_at(&mut hello)
+        .read_exact_at(&mut lead)
         .map_err(|e| RpcError::Io(e.to_string()))?;
-    let magic = u32::from_be_bytes(hello[..4].try_into().unwrap());
-    if magic != MAGIC {
-        return Err(RpcError::Protocol(format!(
-            "bad handshake magic {magic:#010x}"
-        )));
+    if u32::from_be_bytes(lead) != MAGIC {
+        stream.unread(&lead);
+        return Ok(ServerHello::Legacy);
     }
-    let peer_version = hello[4];
+    let mut rest = [0u8; 9];
+    stream
+        .read_exact_at(&mut rest)
+        .map_err(|e| RpcError::Io(e.to_string()))?;
+    let peer_version = rest[0];
     if peer_version < VERSION {
-        // V1 frames are still decoded, but the handshake itself only
-        // exists since V2 — a peer that sends it speaks at least V2.
+        // The handshake itself only exists since V2 — a peer that sends
+        // it speaks at least V2 (pre-V2 peers take the Legacy path).
         return Err(RpcError::Protocol(format!(
             "unsupported peer frame version {peer_version}"
         )));
     }
-    let presented = u64::from_be_bytes(hello[5..13].try_into().unwrap());
+    let presented = u64::from_be_bytes(rest[1..9].try_into().unwrap());
     let client_id = if presented == 0 { assign() } else { presented };
 
     let mut ack = [0u8; 9];
@@ -90,7 +119,7 @@ pub fn server_accept(stream: &SimStream, assign: impl FnOnce() -> u64) -> RpcRes
     (&*stream)
         .write_all(&ack)
         .map_err(|e| RpcError::Io(e.to_string()))?;
-    Ok(client_id)
+    Ok(ServerHello::V2 { client_id })
 }
 
 /// Mint a random, non-zero client id. Mixes wall-clock entropy, the
@@ -135,7 +164,7 @@ mod tests {
         let (cli, srv) = stream_pair();
         let h = thread::spawn(move || client_hello(&cli, 0xfeed).unwrap());
         let seen = server_accept(&srv, || panic!("must not assign")).unwrap();
-        assert_eq!(seen, 0xfeed);
+        assert_eq!(seen, ServerHello::V2 { client_id: 0xfeed });
         assert_eq!(h.join().unwrap(), 0xfeed);
     }
 
@@ -144,16 +173,37 @@ mod tests {
         let (cli, srv) = stream_pair();
         let h = thread::spawn(move || client_hello(&cli, 0).unwrap());
         let seen = server_accept(&srv, || 777).unwrap();
-        assert_eq!(seen, 777);
+        assert_eq!(seen, ServerHello::V2 { client_id: 777 });
         assert_eq!(h.join().unwrap(), 777, "assigned id travels back");
     }
 
     #[test]
-    fn garbage_hello_is_a_protocol_error() {
+    fn non_magic_peer_is_legacy_with_bytes_preserved() {
         let (cli, srv) = stream_pair();
         let h = thread::spawn(move || {
             use std::io::Write;
-            (&cli).write_all(&[0xff; 13]).unwrap();
+            // A pre-handshake peer's first bytes: a frame length prefix.
+            (&cli).write_all(&[0, 0, 0, 64, 0xab, 0xcd]).unwrap();
+        });
+        let seen = server_accept(&srv, || panic!("must not assign")).unwrap();
+        assert_eq!(seen, ServerHello::Legacy);
+        // The sniffed bytes were pushed back: the stream reads from the
+        // very beginning, as the legacy framing layer expects.
+        let mut first = [0u8; 6];
+        srv.read_exact_at(&mut first).unwrap();
+        assert_eq!(first, [0, 0, 0, 64, 0xab, 0xcd]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn magic_with_unsupported_version_is_a_protocol_error() {
+        let (cli, srv) = stream_pair();
+        let h = thread::spawn(move || {
+            use std::io::Write;
+            let mut hello = [0u8; 13];
+            hello[..4].copy_from_slice(&MAGIC.to_be_bytes());
+            hello[4] = 1; // claims a version predating the handshake
+            (&cli).write_all(&hello).unwrap();
         });
         let err = server_accept(&srv, || 1).unwrap_err();
         assert!(matches!(err, RpcError::Protocol(_)), "{err}");

@@ -45,8 +45,17 @@ pub enum Admission {
 }
 
 enum Entry<W> {
-    InFlight { waiters: Vec<W> },
-    Done { response: Arc<Vec<u8>> },
+    InFlight {
+        waiters: Vec<W>,
+    },
+    Done {
+        response: Arc<Vec<u8>>,
+        /// Which `order` record owns this entry. A re-completed key
+        /// leaves its old order record behind as a stale duplicate; the
+        /// generation lets the TTL/capacity scans tell the stale record
+        /// (skip) from the live one (expire/evict).
+        gen: u64,
+    },
 }
 
 struct CacheInner<W> {
@@ -54,7 +63,10 @@ struct CacheInner<W> {
     /// Completion order of Done entries; the TTL/capacity scans walk it
     /// front-to-back. (In-flight entries are not listed — they cannot be
     /// expired or evicted.)
-    order: VecDeque<(CallKey, Instant)>,
+    order: VecDeque<(CallKey, u64, Instant)>,
+    /// Monotonic completion counter stamping `order` records and `Done`
+    /// entries.
+    next_gen: u64,
 }
 
 /// See module docs. Cheap interior mutability; shared by Readers and
@@ -73,6 +85,7 @@ impl<W> RetryCache<W> {
             inner: Mutex::new(CacheInner {
                 entries: HashMap::new(),
                 order: VecDeque::new(),
+                next_gen: 0,
             }),
             ttl,
             capacity,
@@ -95,7 +108,7 @@ impl<W> RetryCache<W> {
                 self.metrics.inc_retry_cache_parked();
                 Admission::Parked
             }
-            Some(Entry::Done { response }) => {
+            Some(Entry::Done { response, .. }) => {
                 self.metrics.inc_retry_cache_hits();
                 Admission::Replay(Arc::clone(response))
             }
@@ -120,22 +133,30 @@ impl<W> RetryCache<W> {
         }
         let now = Instant::now();
         let mut inner = self.inner.lock();
+        let gen = inner.next_gen;
+        inner.next_gen += 1;
         let waiters = match inner.entries.insert(
             key,
             Entry::Done {
                 response: Arc::clone(&response),
+                gen,
             },
         ) {
             Some(Entry::InFlight { waiters }) => waiters,
             // Re-completion (should not happen) or a racing abort: keep
-            // the fresher response, nobody is parked.
+            // the fresher response, nobody is parked. The displaced Done
+            // entry's order record goes stale; the generation stamp keeps
+            // it from ever expiring this fresh one.
             _ => Vec::new(),
         };
-        inner.order.push_back((key, now));
+        inner.order.push_back((key, gen, now));
         // Capacity eviction: drop the oldest completed entries.
         while inner.order.len() > self.capacity {
-            if let Some((old_key, _)) = inner.order.pop_front() {
-                if matches!(inner.entries.get(&old_key), Some(Entry::Done { .. })) {
+            if let Some((old_key, old_gen, _)) = inner.order.pop_front() {
+                if matches!(
+                    inner.entries.get(&old_key),
+                    Some(Entry::Done { gen, .. }) if *gen == old_gen
+                ) {
                     inner.entries.remove(&old_key);
                     self.metrics.inc_retry_cache_evictions();
                 }
@@ -174,15 +195,18 @@ impl<W> RetryCache<W> {
     }
 
     fn expire_locked(&self, inner: &mut CacheInner<W>, now: Instant) {
-        while let Some(&(key, completed_at)) = inner.order.front() {
+        while let Some(&(key, order_gen, completed_at)) = inner.order.front() {
             if now.duration_since(completed_at) < self.ttl {
                 break;
             }
             inner.order.pop_front();
-            // The order queue can hold stale keys for entries that were
-            // re-completed or capacity-evicted; only a still-Done entry
-            // counts as an expiration.
-            if matches!(inner.entries.get(&key), Some(Entry::Done { .. })) {
+            // The order queue can hold stale records for entries that
+            // were re-completed or capacity-evicted; only the entry this
+            // record stamped (generations match) counts as an expiration.
+            if matches!(
+                inner.entries.get(&key),
+                Some(Entry::Done { gen, .. }) if *gen == order_gen
+            ) {
                 inner.entries.remove(&key);
                 self.metrics.inc_retry_cache_expired();
             }
@@ -281,6 +305,46 @@ mod tests {
             Admission::Replay(bytes) => assert_eq!(*bytes, vec![2]),
             other => panic!("expected replay, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn recompleted_entry_survives_its_stale_order_record_on_eviction() {
+        let (cache, metrics) = cache(Duration::from_secs(60), 2);
+        let key = (1, 1);
+        assert!(matches!(cache.begin(key, || 0), Admission::Execute));
+        cache.complete(key, resp(1));
+        // Re-completion (racing-abort shape): the fresh response displaces
+        // the old one and leaves a stale order record behind.
+        cache.complete(key, resp(2));
+        // A third completion overflows capacity; the scan pops the stale
+        // record, which must NOT take the fresh response with it.
+        let other = (1, 2);
+        assert!(matches!(cache.begin(other, || 0), Admission::Execute));
+        cache.complete(other, resp(3));
+        match cache.begin(key, || 0) {
+            Admission::Replay(bytes) => assert_eq!(*bytes, vec![2], "fresh response survives"),
+            other => panic!("expected replay, got {other:?}"),
+        }
+        assert_eq!(metrics.counters().retry_cache_evictions, 0);
+    }
+
+    #[test]
+    fn recompleted_entry_survives_its_stale_order_record_on_ttl() {
+        let (cache, metrics) = cache(Duration::from_millis(60), 16);
+        let key = (1, 1);
+        assert!(matches!(cache.begin(key, || 0), Admission::Execute));
+        cache.complete(key, resp(1));
+        std::thread::sleep(Duration::from_millis(35));
+        cache.complete(key, resp(2));
+        std::thread::sleep(Duration::from_millis(35));
+        // The first completion's order record is past the TTL but points
+        // at the re-completed entry: it must be skipped, not expire the
+        // fresh response early.
+        match cache.begin(key, || 0) {
+            Admission::Replay(bytes) => assert_eq!(*bytes, vec![2]),
+            other => panic!("expected replay, got {other:?}"),
+        }
+        assert_eq!(metrics.counters().retry_cache_expired, 0);
     }
 
     #[test]

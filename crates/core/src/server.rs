@@ -412,12 +412,19 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbCo
                     .spawn(move || {
                         let _slot = CountGuard(&inner2.live_readers);
                         // Identity/version handshake first, on the raw
-                        // stream. A wrong-magic peer is indistinguishable
-                        // from a pre-V2 frame blasted at the socket:
-                        // refuse the connection and count a frame error.
+                        // stream. A peer that opens with anything but the
+                        // magic is a pre-handshake (V1) peer: the sniffed
+                        // bytes are pushed back and the connection runs
+                        // the previous release's protocol — no identity,
+                        // no retry caching, V1 frames answered in V1. A
+                        // garbage peer takes the same path and is weeded
+                        // out when its bytes fail to parse as a frame.
                         match handshake::server_accept(&stream, || inner2.assign_client_id()) {
-                            Ok(_client_id) => {}
+                            Ok(handshake::ServerHello::V2 { .. })
+                            | Ok(handshake::ServerHello::Legacy) => {}
                             Err(RpcError::Protocol(_)) => {
+                                // Spoke the magic but an unsupportable
+                                // version: refuse and count it.
                                 inner2.metrics.inc_frame_errors();
                                 return;
                             }
@@ -466,6 +473,13 @@ fn reader_loop(inner: &Arc<ServerInner>, conn: &Arc<dyn Conn>) -> bool {
         let (payload, recv) = match conn.recv_msg(IDLE_SLICE) {
             Ok(v) => v,
             Err(RpcError::Timeout) => continue,
+            Err(RpcError::Protocol(_)) => {
+                // Unframeable bytes (e.g. a garbage peer that passed the
+                // legacy handshake sniff): count it like any corrupt
+                // frame before forfeiting the connection.
+                inner.metrics.inc_frame_errors();
+                return false;
+            }
             Err(_) => return false,
         };
         let mut reader = payload.reader();

@@ -803,6 +803,87 @@ fn drain_deadline_cuts_off_stuck_work() {
     client.shutdown();
 }
 
+/// A pre-handshake (V1) peer — no hello, straight to length-prefixed V1
+/// frames — is sniffed as legacy and served: its call executes and the
+/// answer comes back in V1 framing. This keeps the "V1 decoded for one
+/// release" promise honest over the wire, not just at the codec layer.
+#[test]
+fn legacy_v1_peer_is_served_without_handshake() {
+    use rpcoib::frame::{self, FrameVersion, ResponseStatus};
+    use std::io::Write;
+
+    let _wd = watchdog("legacy_v1_peer", Duration::from_secs(60));
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig::socket();
+    let (server, applied) = start_counter_server(&fabric, server_node, &cfg, Duration::ZERO);
+
+    let legacy_node = fabric.add_node();
+    let stream = simnet::SimStream::connect(&fabric, legacy_node, server.addr()).unwrap();
+
+    // A V1 request frame, exactly as the previous release put it on the
+    // wire: 4-byte length prefix, then `[i32 call_id][proto][method][param]`.
+    let mut body: Vec<u8> = Vec::new();
+    frame::write_request_v1(
+        &mut body,
+        7,
+        "test.CounterProtocol",
+        "incr",
+        &LongWritable(1),
+    )
+    .unwrap();
+    let mut framed = (body.len() as i32).to_be_bytes().to_vec();
+    framed.extend_from_slice(&body);
+    (&stream).write_all(&framed).unwrap();
+
+    // The answer comes back length-prefixed in V1 framing.
+    let mut len = [0u8; 4];
+    stream.read_exact_at(&mut len).unwrap();
+    let mut resp = vec![0u8; i32::from_be_bytes(len) as usize];
+    stream.read_exact_at(&mut resp).unwrap();
+    let mut input = resp.as_slice();
+    let header = frame::read_response_header(&mut input).unwrap();
+    assert_eq!(header.version, FrameVersion::V1);
+    assert_eq!(header.seq, 7, "V1 response echoes the call id");
+    assert_eq!(header.status, ResponseStatus::Ok);
+    let mut value = LongWritable::default();
+    value.read_fields(&mut input).unwrap();
+    assert_eq!(value.0, 1);
+    assert_eq!(applied.load(Ordering::Acquire), 1);
+
+    // A modern (handshaking) client coexists on the same server.
+    let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+    assert_eq!(counter_call(&client, &server, "incr").unwrap().0, 2);
+    client.shutdown();
+    server.stop();
+}
+
+/// The handshake's assign-on-zero path: a client that presents id 0 is
+/// handed a server-minted identity in the ack and must *adopt* it — the
+/// frames it then sends carry the assigned id, so retry caching engages.
+#[test]
+fn server_assigned_client_id_is_adopted() {
+    let _wd = watchdog("assigned_id", Duration::from_secs(60));
+    let (fabric, cfg) = env_transport();
+    let server_node = fabric.add_node();
+    let (server, applied) = start_counter_server(&fabric, server_node, &cfg, Duration::ZERO);
+    let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+    client.force_client_id(0);
+
+    assert_eq!(counter_call(&client, &server, "incr").unwrap().0, 1);
+    let adopted = client.client_id();
+    assert_ne!(adopted, 0, "client must adopt the server-assigned id");
+    assert!(
+        server.retry_cache_len() >= 1,
+        "calls under the adopted id must be retry-cached"
+    );
+    assert_eq!(counter_call(&client, &server, "incr").unwrap().0, 2);
+    assert_eq!(client.client_id(), adopted, "id is stable once adopted");
+    assert_eq!(applied.load(Ordering::Acquire), 2);
+    client.shutdown();
+    server.stop();
+}
+
 /// Regression for the old `i32` call-id counter, which wrapped negative
 /// after 2³¹ calls and collided with the V2 sentinel space: sequence
 /// numbers are `i64` now, and calls crossing the old boundary just work.
