@@ -1,0 +1,366 @@
+//! Paper-figure sweeps for the regression harness (`src/bin/bench.rs`).
+//!
+//! Every number that lands in a `BENCH_*.json` file is derived from the
+//! simnet **modeled-time ledger** ([`Fabric::modeled_ns`]), not from
+//! wall-clock measurement: per call, the sweep reads the client node's
+//! accumulated modeled nanoseconds before and after, and the delta is the
+//! network/stack/registration cost the calibrated model *intended* to
+//! charge. Combined with the seeded fault RNG (jitter draws replay
+//! exactly under sequential calls), two runs with the same seed produce
+//! byte-identical files — which is what lets CI diff against a committed
+//! baseline with a tight tolerance.
+//!
+//! Wall-clock numbers (actual throughput, scheduler effects) are printed
+//! to stdout for humans but deliberately never serialized.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpcoib::{Client, Server, ServiceRegistry};
+use simnet::{Fabric, FaultSpec, NodeId, SimAddr};
+use wire::BytesWritable;
+
+use crate::json::Json;
+use crate::pingpong::{BenchConfig, EchoService};
+
+/// Jitter bound injected on the client↔server link so latency percentiles
+/// are non-degenerate (a uniform draw per message, from the seeded RNG).
+const JITTER: Duration = Duration::from_micros(20);
+
+/// Payload sweep of the paper's ping-pong latency figures: 1 B to 2 MB.
+pub const PINGPONG_PAYLOADS: &[usize] = &[1, 64, 512, 4096, 32768, 262144, 2097152];
+
+/// Knobs shared by every sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// CI-sized iteration counts.
+    pub quick: bool,
+    /// Seed for the fabric's fault RNG (jitter draws).
+    pub seed: u64,
+}
+
+impl RunOpts {
+    fn iters(&self, quick: usize, normal: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            normal
+        }
+    }
+}
+
+/// The two transports every figure compares, as `(label, config)`.
+/// Both ride the same QDR InfiniBand card: sockets over IPoIB versus
+/// native verbs (the paper's central comparison).
+fn transports() -> Vec<(&'static str, BenchConfig)> {
+    vec![
+        ("socket", BenchConfig::rpc_ipoib()),
+        ("verbs", BenchConfig::rpcoib()),
+    ]
+}
+
+struct Env {
+    fabric: Fabric,
+    _server: Server,
+    addr: SimAddr,
+    client: Client,
+    client_node: NodeId,
+}
+
+/// Boot one server + one client on a fresh fabric, with the fault RNG
+/// seeded *before* any traffic so connection setup replays too.
+fn boot(cfg: &BenchConfig, seed: u64, jitter: Option<Duration>) -> Env {
+    let fabric = Fabric::new(cfg.model);
+    fabric.set_fault_seed(seed);
+    let server_node = fabric.add_node();
+    let client_node = fabric.add_node();
+    if let Some(j) = jitter {
+        fabric.set_link_fault(
+            server_node,
+            client_node,
+            FaultSpec::default().with_jitter(j),
+        );
+    }
+    let mut registry = ServiceRegistry::new();
+    registry.register(Arc::new(EchoService));
+    let server =
+        Server::start(&fabric, server_node, 9999, cfg.rpc.clone(), registry).expect("start server");
+    let addr = server.addr();
+    let client = Client::new(&fabric, client_node, cfg.rpc.clone()).expect("client");
+    // Pre-register two buffers per class up to the large region (RPCoIB
+    // only; no-op on sockets). Without this, the first large response's
+    // drain on the connection thread can race the caller's send-buffer
+    // return: whichever loses the race registers a fresh region, and that
+    // scheduling-dependent registration charge would leak into exactly
+    // one sample. Registration paid here lands outside every measurement
+    // window.
+    client.prewarm_pool(cfg.rpc.large_region_bytes, 2);
+    Env {
+        fabric,
+        _server: server,
+        addr,
+        client,
+        client_node,
+    }
+}
+
+fn ping(env: &Env, body: &BytesWritable) {
+    let _: BytesWritable = env
+        .client
+        .call(env.addr, "bench.PingPongProtocol", "pingpong", body)
+        .expect("pingpong call");
+}
+
+/// Issue `warmup + iters` sequential ping-pongs of `payload` bytes and
+/// return the per-call modeled-ns delta of the client node for the
+/// measured calls. Every client-node ledger charge of a sequential call
+/// (sends, response ingress, pool registrations, credit handling) lands
+/// before the call returns, so the deltas are exact and replayable.
+fn modeled_samples(env: &Env, payload: usize, warmup: usize, iters: usize) -> Vec<u64> {
+    let body = BytesWritable(vec![0x5a; payload]);
+    for _ in 0..warmup {
+        ping(env, &body);
+    }
+    (0..iters)
+        .map(|_| {
+            let before = env.fabric.modeled_ns(env.client_node);
+            ping(env, &body);
+            env.fabric.modeled_ns(env.client_node) - before
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile over sorted samples.
+fn percentile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The percentile block every figure row shares.
+fn percentile_fields(row: Json, samples: &mut [u64]) -> Json {
+    samples.sort_unstable();
+    let sum: u64 = samples.iter().sum();
+    let count = samples.len() as u64;
+    row.field("calls", count)
+        .field("p50_ns", percentile_ns(samples, 0.50))
+        .field("p95_ns", percentile_ns(samples, 0.95))
+        .field("p99_ns", percentile_ns(samples, 0.99))
+        .field("max_ns", samples.last().copied().unwrap_or(0))
+        .field("mean_ns", sum.checked_div(count).unwrap_or(0))
+}
+
+fn header(figure: &str, opts: &RunOpts, git_rev: &str) -> Json {
+    Json::obj()
+        .field("figure", figure)
+        .field("seed", opts.seed)
+        .field("quick", opts.quick)
+        .field("jitter_ns", JITTER.as_nanos() as u64)
+        .field("git_rev", git_rev)
+}
+
+/// Figure: ping-pong latency vs payload size, socket vs verbs (the
+/// paper's Fig. 5(a)/(b) shape). One fresh fabric per row so payload
+/// ordering cannot leak pool history across rows.
+pub fn run_pingpong(opts: &RunOpts, git_rev: &str) -> Json {
+    let warmup = opts.iters(5, 20);
+    let iters = opts.iters(40, 200);
+    let mut rows = Vec::new();
+    for (label, cfg) in transports() {
+        for &payload in PINGPONG_PAYLOADS {
+            let env = boot(&cfg, opts.seed, Some(JITTER));
+            let mut samples = modeled_samples(&env, payload, warmup, iters);
+            let snap = env.client.metrics_snapshot();
+            let row = Json::obj()
+                .field("transport", label)
+                .field("payload", payload);
+            let row = percentile_fields(row, &mut samples)
+                .field("retries", snap.counters.retries)
+                .field("failed_calls", snap.counters.failed_calls)
+                .field("busy_rejections", snap.counters.busy_rejections);
+            rows.push(row);
+            env.client.shutdown();
+        }
+    }
+    header("pingpong", opts, git_rev).field("rows", Json::Arr(rows))
+}
+
+/// The workload mixes of the buffer-pool figure: each is a repeating
+/// payload-size sequence the shadow pool's `<protocol, method>` history
+/// must track. Steady sizes should hit; alternating sizes defeat the
+/// one-slot history; ramps force grows.
+fn bufpool_mixes() -> Vec<(&'static str, Vec<usize>)> {
+    vec![
+        ("steady_512", vec![512]),
+        ("steady_32k", vec![32768]),
+        ("bimodal_512_64k", vec![512, 65536]),
+        (
+            "ramp_1k_to_64k",
+            vec![1024, 2048, 4096, 8192, 16384, 32768, 65536],
+        ),
+    ]
+}
+
+/// Figure: buffer-pool hit rate vs workload mix (paper §V.C / Fig. 3
+/// shape), with the same modeled-latency percentiles so the cost of
+/// mispredictions is visible. Pool counters come from the client's
+/// RPCoIB context; the socket transport has no pool, so its `pool`
+/// field is `null` — it rides along as the latency baseline.
+pub fn run_bufpool(opts: &RunOpts, git_rev: &str) -> Json {
+    let calls = opts.iters(60, 300);
+    let mut rows = Vec::new();
+    for (label, cfg) in transports() {
+        for (mix, sizes) in bufpool_mixes() {
+            let env = boot(&cfg, opts.seed, Some(JITTER));
+            // Warm up the connection (not the pool history: cold starts
+            // and the convergence grows are exactly what this figure
+            // counts).
+            ping(&env, &BytesWritable(vec![0u8; sizes[0]]));
+            let mut samples = Vec::with_capacity(calls);
+            for i in 0..calls {
+                let body = BytesWritable(vec![0x77; sizes[i % sizes.len()]]);
+                let before = env.fabric.modeled_ns(env.client_node);
+                ping(&env, &body);
+                samples.push(env.fabric.modeled_ns(env.client_node) - before);
+            }
+            let snap = env.client.metrics_snapshot();
+            let row = Json::obj().field("transport", label).field("mix", mix);
+            let mut row = percentile_fields(row, &mut samples);
+            row = match snap.pool {
+                Some(pool) => {
+                    let lookups = pool.history_hits + pool.grows + pool.shrinks + pool.cold;
+                    row.field(
+                        "pool",
+                        Json::obj()
+                            .field("history_hits", pool.history_hits)
+                            .field("grows", pool.grows)
+                            .field("shrinks", pool.shrinks)
+                            .field("cold", pool.cold)
+                            .field("native_hits", pool.native_hits)
+                            .field("native_misses", pool.native_misses)
+                            .field("native_returns", pool.native_returns)
+                            .field("oversize", pool.oversize),
+                    )
+                    .field("hit_rate_bp", pool.history_hits * 10_000 / lookups.max(1))
+                }
+                None => row
+                    .field("pool", Json::Null)
+                    .field("hit_rate_bp", Json::Null),
+            };
+            rows.push(row);
+            env.client.shutdown();
+        }
+    }
+    header("bufpool", opts, git_rev).field("rows", Json::Arr(rows))
+}
+
+/// Figure: handler-count scaling (the paper's server-side concurrency
+/// knob). `clients` concurrent callers — each on its own fabric node so
+/// its ledger deltas stay private — hammer a server configured with a
+/// varying handler pool. The JSON records the modeled per-call costs
+/// (deterministic; identical across handler counts by construction,
+/// since queue wait is a scheduler effect the model does not charge);
+/// measured wall-clock throughput per handler count goes to stdout.
+pub fn run_handlers(opts: &RunOpts, git_rev: &str) -> Json {
+    let handler_counts: &[usize] = if opts.quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    let clients = 6usize;
+    let calls_per_client = opts.iters(30, 120);
+    let payload = 4096usize;
+    let mut rows = Vec::new();
+    for (label, cfg) in transports() {
+        for &handlers in handler_counts {
+            let mut cfg = cfg.clone();
+            cfg.rpc.handlers = handlers;
+            // No link faults: concurrent clients would race for the RNG,
+            // making draw order (and thus every sample) scheduling-
+            // dependent. Without faults nothing draws, and each client's
+            // deltas depend only on its own sequential traffic.
+            let fabric = Fabric::new(cfg.model);
+            fabric.set_fault_seed(opts.seed);
+            let server_node = fabric.add_node();
+            let mut registry = ServiceRegistry::new();
+            registry.register(Arc::new(EchoService));
+            let server = Server::start(&fabric, server_node, 9999, cfg.rpc.clone(), registry)
+                .expect("start server");
+            let addr = server.addr();
+
+            let start = std::time::Instant::now();
+            let mut threads = Vec::new();
+            for _ in 0..clients {
+                let fabric = fabric.clone();
+                let rpc = cfg.rpc.clone();
+                let node = fabric.add_node();
+                threads.push(std::thread::spawn(move || {
+                    let client = Client::new(&fabric, node, rpc).expect("client");
+                    let body = BytesWritable(vec![0x33; payload]);
+                    let mut deltas = Vec::with_capacity(calls_per_client);
+                    for _ in 0..calls_per_client {
+                        let before = fabric.modeled_ns(node);
+                        let _: BytesWritable = client
+                            .call(addr, "bench.PingPongProtocol", "pingpong", &body)
+                            .expect("call");
+                        deltas.push(fabric.modeled_ns(node) - before);
+                    }
+                    client.shutdown();
+                    deltas
+                }));
+            }
+            let mut samples: Vec<u64> = Vec::new();
+            for t in threads {
+                samples.extend(t.join().expect("client thread"));
+            }
+            let wall = start.elapsed();
+            let total_calls = samples.len();
+            println!(
+                "handlers {label:>6} h={handlers:<2} wall {:>8.1} ms  {:>7.1} calls/s (wall-clock, not serialized)",
+                wall.as_secs_f64() * 1e3,
+                total_calls as f64 / wall.as_secs_f64()
+            );
+            server.stop();
+
+            let row = Json::obj()
+                .field("transport", label)
+                .field("handlers", handlers)
+                .field("clients", clients);
+            let row = percentile_fields(row, &mut samples)
+                .field("modeled_total_ns", samples.iter().sum::<u64>());
+            rows.push(row);
+        }
+    }
+    header("handlers", opts, git_rev).field("rows", Json::Arr(rows))
+}
+
+/// Best-effort `git rev-parse HEAD` (the files record provenance; two
+/// runs from the same checkout still diff byte-identical).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&sorted, 0.50), 50);
+        assert_eq!(percentile_ns(&sorted, 0.95), 95);
+        assert_eq!(percentile_ns(&sorted, 0.99), 99);
+        assert_eq!(percentile_ns(&sorted, 1.0), 100);
+        assert_eq!(percentile_ns(&[], 0.5), 0);
+        assert_eq!(percentile_ns(&[7], 0.01), 7);
+    }
+}

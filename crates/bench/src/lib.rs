@@ -7,8 +7,11 @@
 //! Hadoop RPC micro-benchmark suite, WBDB'13), table printing, and scale
 //! handling (`--quick` / `--full`).
 
+pub mod figures;
 pub mod harness;
+pub mod json;
 pub mod pingpong;
+pub mod regress;
 
 pub use harness::{percentile, print_table, BenchScale};
 pub use pingpong::{setup_pingpong, EchoService, PingPongEnv};

@@ -1,0 +1,72 @@
+//! The acceptance property of the bench harness: two runs with the same
+//! seed serialize byte-identically (the committed baselines — and CI's
+//! `bench --check` — depend on it). Latency numbers come from the
+//! modeled-time ledger, and jitter comes from the seeded fault RNG, so
+//! nothing in the files depends on wall clock or scheduling.
+
+use rpcoib_bench::figures::{run_bufpool, run_pingpong, RunOpts};
+use rpcoib_bench::regress::check_regression;
+
+const OPTS: RunOpts = RunOpts {
+    quick: true,
+    seed: 42,
+};
+
+fn enable_fast_forward() {
+    // Process-global; modeled charges are unaffected, only the busy-wait
+    // spins are skipped, so this cannot change the serialized output.
+    simnet::set_fast_forward(true);
+}
+
+#[test]
+fn pingpong_runs_are_byte_identical() {
+    enable_fast_forward();
+    let a = run_pingpong(&OPTS, "test-rev").pretty();
+    let b = run_pingpong(&OPTS, "test-rev").pretty();
+    assert_eq!(a, b, "same seed must produce byte-identical pingpong JSON");
+
+    // And a different seed draws different jitter (the percentiles are
+    // really fed by the RNG, not constants).
+    let c = run_pingpong(
+        &RunOpts {
+            quick: true,
+            seed: 1337,
+        },
+        "test-rev",
+    )
+    .pretty();
+    assert_ne!(a, c, "different seed must perturb the samples");
+}
+
+#[test]
+fn bufpool_runs_are_byte_identical_and_pass_self_check() {
+    enable_fast_forward();
+    let a = run_bufpool(&OPTS, "test-rev");
+    let b = run_bufpool(&OPTS, "test-rev");
+    assert_eq!(a.pretty(), b.pretty());
+
+    // A run always passes a zero-tolerance check against itself.
+    let outcome = check_regression(&a, &b, 0).expect("comparable");
+    assert!(outcome.passed(), "{:?}", outcome.failures);
+    assert!(
+        outcome.compared >= 8,
+        "both transports x all mixes compared"
+    );
+
+    // The verbs rows carry pool counters that actually counted.
+    let rows = a.get("rows").unwrap().as_arr().unwrap();
+    let verbs_lookups: u64 = rows
+        .iter()
+        .filter(|r| r.get("transport").and_then(|t| t.as_str()) == Some("verbs"))
+        .filter_map(|r| r.get("pool"))
+        .filter_map(|p| {
+            Some(
+                p.get("history_hits")?.as_u64()?
+                    + p.get("grows")?.as_u64()?
+                    + p.get("shrinks")?.as_u64()?
+                    + p.get("cold")?.as_u64()?,
+            )
+        })
+        .sum();
+    assert!(verbs_lookups > 0, "verbs rows must surface pool activity");
+}

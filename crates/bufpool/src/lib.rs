@@ -51,4 +51,4 @@ pub mod shadow;
 pub use classes::{class_capacity, class_for, SizeClasses};
 pub use mem::{HeapMem, PoolMem, RdmaMemFactory};
 pub use native::{NativePool, PoolStats, PooledBuf};
-pub use shadow::{ShadowPool, ShadowStats};
+pub use shadow::{ShadowPool, ShadowStats, SHRINK_HYSTERESIS};

@@ -8,6 +8,15 @@
 //! buffer was over-provisioned — so, thanks to message size locality, the
 //! *next* call of the same kind almost always gets a right-sized buffer on
 //! the first try.
+//!
+//! Growth applies immediately (an undersized prediction costs a doubling
+//! re-acquire *on the call path*, the exact cost Section III-C removes),
+//! but shrinking waits for [`SHRINK_HYSTERESIS`] consecutive smaller
+//! observations: an over-provisioned buffer only wastes capacity, and
+//! shrinking on a single small call would make a workload that alternates
+//! between two sizes bounce between classes forever — every call a
+//! mispredict in one direction or the other. With hysteresis the record
+//! parks at the larger class and stays there.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,10 +52,23 @@ impl ShadowStats {
     }
 }
 
+/// Consecutive over-provisioned observations before the history shrinks.
+pub const SHRINK_HYSTERESIS: u32 = 2;
+
+/// One `<protocol, method>` history slot.
+struct HistoryEntry {
+    /// The class acquisitions of this kind are served at.
+    class: usize,
+    /// Consecutive records that landed below `class`. Reset by any record
+    /// at (or grown past) `class`; shrink fires when it reaches
+    /// [`SHRINK_HYSTERESIS`].
+    overshoots: u32,
+}
+
 struct ShadowInner<M: PoolMem> {
     native: NativePool<M>,
-    /// protocol -> method -> recorded class index.
-    history: Mutex<HashMap<String, HashMap<String, usize>>>,
+    /// protocol -> method -> recorded size-class history.
+    history: Mutex<HashMap<String, HashMap<String, HistoryEntry>>>,
     use_history: bool,
     stats: ShadowStats,
 }
@@ -92,7 +114,7 @@ impl<M: PoolMem> ShadowPool<M> {
             history
                 .get(protocol)
                 .and_then(|methods| methods.get(method))
-                .copied()
+                .map(|entry| entry.class)
         } else {
             None
         };
@@ -126,8 +148,9 @@ impl<M: PoolMem> ShadowPool<M> {
         bigger
     }
 
-    /// Report the final serialized size of a call so the history converges
-    /// (grow on undershoot, shrink on overshoot).
+    /// Report the final serialized size of a call so the history converges:
+    /// grow immediately on undershoot, shrink only after
+    /// [`SHRINK_HYSTERESIS`] consecutive overshoots (see the module doc).
     pub fn record(&self, protocol: &str, method: &str, used: usize) {
         if !self.inner.use_history {
             return;
@@ -137,23 +160,35 @@ impl<M: PoolMem> ShadowPool<M> {
         let mut history = self.inner.history.lock();
         let methods = history.entry(protocol.to_owned()).or_default();
         match methods.get_mut(method) {
-            Some(existing) => {
-                match class.cmp(existing) {
-                    std::cmp::Ordering::Equal => {
-                        self.inner
-                            .stats
-                            .history_hits
-                            .fetch_add(1, Ordering::Relaxed);
-                    }
-                    std::cmp::Ordering::Less => {
+            Some(entry) => match class.cmp(&entry.class) {
+                std::cmp::Ordering::Equal => {
+                    self.inner
+                        .stats
+                        .history_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    entry.overshoots = 0;
+                }
+                std::cmp::Ordering::Greater => {
+                    entry.class = class;
+                    entry.overshoots = 0;
+                }
+                std::cmp::Ordering::Less => {
+                    entry.overshoots += 1;
+                    if entry.overshoots >= SHRINK_HYSTERESIS {
+                        entry.class = class;
+                        entry.overshoots = 0;
                         self.inner.stats.shrinks.fetch_add(1, Ordering::Relaxed);
                     }
-                    std::cmp::Ordering::Greater => {}
                 }
-                *existing = class;
-            }
+            },
             None => {
-                methods.insert(method.to_owned(), class);
+                methods.insert(
+                    method.to_owned(),
+                    HistoryEntry {
+                        class,
+                        overshoots: 0,
+                    },
+                );
             }
         }
     }
@@ -165,7 +200,7 @@ impl<M: PoolMem> ShadowPool<M> {
             .lock()
             .get(protocol)
             .and_then(|m| m.get(method))
-            .copied()
+            .map(|entry| entry.class)
     }
 
     /// History effectiveness counters.
@@ -222,14 +257,46 @@ mod tests {
     }
 
     #[test]
-    fn history_shrinks_on_overshoot() {
+    fn history_shrinks_only_after_consecutive_overshoots() {
         let p = pool(true);
         p.record("p", "m", 4000); // class 5 (4096)
         assert_eq!(p.recorded_class("p", "m"), Some(5));
-        p.record("p", "m", 100); // class 0
+        p.record("p", "m", 100); // class 0: first overshoot — hold
+        assert_eq!(p.recorded_class("p", "m"), Some(5));
+        let (_, _, shrinks, _) = p.stats().snapshot();
+        assert_eq!(shrinks, 0, "one small call must not shrink the record");
+        p.record("p", "m", 100); // second consecutive — now shrink
         assert_eq!(p.recorded_class("p", "m"), Some(0));
         let (_, _, shrinks, _) = p.stats().snapshot();
         assert_eq!(shrinks, 1);
+    }
+
+    #[test]
+    fn intervening_hit_resets_the_shrink_countdown() {
+        let p = pool(true);
+        p.record("p", "m", 4000); // class 5
+        p.record("p", "m", 100); // overshoot 1
+        p.record("p", "m", 4000); // hit: countdown resets
+        p.record("p", "m", 100); // overshoot 1 again, not 2
+        assert_eq!(p.recorded_class("p", "m"), Some(5));
+        let (_, _, shrinks, _) = p.stats().snapshot();
+        assert_eq!(shrinks, 0);
+    }
+
+    #[test]
+    fn alternating_sizes_park_at_the_larger_class() {
+        let p = pool(true);
+        for _ in 0..20 {
+            p.record("p", "m", 300); // class 2 (512)
+            p.record("p", "m", 3000); // class 5 (4096)
+        }
+        assert_eq!(
+            p.recorded_class("p", "m"),
+            Some(5),
+            "strict alternation must not oscillate"
+        );
+        let (_, _, shrinks, _) = p.stats().snapshot();
+        assert_eq!(shrinks, 0, "no shrink ever fires under alternation");
     }
 
     #[test]

@@ -28,7 +28,9 @@ use crate::config::RpcConfig;
 use crate::error::{RpcError, RpcResult};
 use crate::frame::{read_response_header, write_request, Payload, ResponseStatus};
 use crate::handshake;
-use crate::metrics::{CallProfile, MetricsRegistry, RecvProfile as MetricsRecv};
+use crate::metrics::{
+    CallProfile, MetricsRegistry, MetricsSnapshot, Phase, RecvProfile as MetricsRecv,
+};
 use crate::transport::rdma::{IbContext, RdmaConn};
 use crate::transport::socket::SocketConn;
 use crate::transport::Conn;
@@ -180,6 +182,25 @@ impl Client {
         self.inner.ib.as_ref().map(|ib| ib.pool_stats())
     }
 
+    /// Pre-register `per_class` buffers in every pool class up to
+    /// `max_bytes` (see [`IbContext::prewarm`]); no-op on the socket
+    /// transport. Callers that know their payload sizes use this to move
+    /// jumbo-class registration costs out of the first large call.
+    pub fn prewarm_pool(&self, max_bytes: usize, per_class: usize) {
+        if let Some(ib) = &self.inner.ib {
+            ib.prewarm(max_bytes, per_class);
+        }
+    }
+
+    /// Unified observability snapshot: per-method aggregates, per-phase
+    /// latency histograms, engine counters, and (in RPCoIB mode) the
+    /// buffer pool's shadow + native counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner
+            .metrics
+            .full_snapshot(self.inner.ib.as_ref().map(|ib| ib.pool_counters()))
+    }
+
     /// Number of cached (possibly broken) server connections.
     pub fn connection_count(&self) -> usize {
         self.inner.conns.lock().len()
@@ -205,6 +226,7 @@ impl Client {
         Resp: Writable + Default,
     {
         let payload = self.call_raw(server, protocol, method, request)?;
+        let deser_start = Instant::now();
         let result = (|| {
             let mut reader = payload.reader();
             let header =
@@ -228,6 +250,12 @@ impl Client {
                 ResponseStatus::Busy => Err(RpcError::ServerBusy),
             }
         })();
+        self.inner.metrics.record_phase(
+            protocol,
+            method,
+            Phase::Deserialize,
+            deser_start.elapsed().as_nanos() as u64,
+        );
         if result.is_err() {
             // A remote exception (or unparseable response) is as
             // definitive a failure as exhausted retries: count it.
@@ -432,8 +460,14 @@ impl Client {
             handshake::client_hello(&stream, self.inner.client_id.load(Ordering::Acquire))?;
         self.inner.client_id.store(confirmed, Ordering::Release);
         let conn: Arc<dyn Conn> = match &self.inner.ib {
-            Some(ctx) => Arc::new(RdmaConn::bootstrap(&stream, ctx, &self.inner.cfg)?),
-            None => Arc::new(SocketConn::new(stream, wire::buffer::INITIAL_CAPACITY)),
+            Some(ctx) => Arc::new(
+                RdmaConn::bootstrap(&stream, ctx, &self.inner.cfg)?
+                    .with_metrics(self.inner.metrics.clone()),
+            ),
+            None => Arc::new(
+                SocketConn::new(stream, wire::buffer::INITIAL_CAPACITY)
+                    .with_metrics(self.inner.metrics.clone()),
+            ),
         };
         let connection = Arc::new(ClientConnection {
             conn,

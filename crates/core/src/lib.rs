@@ -77,7 +77,10 @@ pub use client::Client;
 pub use config::RpcConfig;
 pub use error::{RpcError, RpcResult};
 pub use frame::{FrameVersion, Payload, ResponseStatus};
-pub use metrics::{CallProfile, EngineCounters, MethodStats, MetricsRegistry, RecvProfile};
+pub use metrics::{
+    CallProfile, EngineCounters, HistogramSnapshot, LatencyHistogram, MethodStats, MetricsRegistry,
+    MetricsSnapshot, Phase, PhaseHistograms, PhaseSnapshot, PoolCounters, RecvProfile,
+};
 pub use retry::RetryPolicy;
 pub use retry_cache::{Admission, RetryCache};
 pub use server::Server;

@@ -5,6 +5,14 @@
 //! Figure 1 reports the ratio of receive-side buffer-allocation time to
 //! total call-receive time. Figure 3 needs the serialized size of every
 //! call in sequence. This module collects all of those.
+//!
+//! On top of the averages, every `<protocol, method>` key also gets a set
+//! of [`LatencyHistogram`]s — one per call [`Phase`] (serialize, wire,
+//! server queue, handler, deserialize) — so the latency *distribution*
+//! (p50/p95/p99/max) is observable, not just the mean. The histograms are
+//! lock-light: the registry mutex is held only long enough to look up the
+//! per-key `Arc`; the recording itself is a couple of relaxed atomic adds
+//! into log2-spaced buckets, cheap enough for the per-call hot path.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,6 +108,259 @@ impl MethodStats {
     }
 }
 
+/// A phase of an RPC call's life, as seen by the instrumented engine.
+///
+/// Client-observed phases: `Serialize` and `Wire` (recorded by the
+/// transport as it sends), and `Deserialize` (response parse). Server-
+/// observed phases: `ServerQueue` (reader admission → handler pickup) and
+/// `Handler` (dispatch + response serialization); the server's transports
+/// also record `Serialize`/`Wire` for the responses they send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Writing the request (or response) into the transport's buffer.
+    Serialize,
+    /// Handing the serialized frame to the wire: staging copies, stack
+    /// traversal and egress serialization as modeled by the transport.
+    Wire,
+    /// Time a request spent parked in the server's bounded call queue.
+    ServerQueue,
+    /// Service dispatch plus response serialization on the server.
+    Handler,
+    /// Parsing a received response back into caller-visible fields.
+    Deserialize,
+}
+
+/// Number of [`Phase`] variants.
+pub const PHASE_COUNT: usize = 5;
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Serialize,
+        Phase::Wire,
+        Phase::ServerQueue,
+        Phase::Handler,
+        Phase::Deserialize,
+    ];
+
+    /// Stable snake_case name (used as the JSON key in bench artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Serialize => "serialize",
+            Phase::Wire => "wire",
+            Phase::ServerQueue => "server_queue",
+            Phase::Handler => "handler",
+            Phase::Deserialize => "deserialize",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Serialize => 0,
+            Phase::Wire => 1,
+            Phase::ServerQueue => 2,
+            Phase::Handler => 3,
+            Phase::Deserialize => 4,
+        }
+    }
+}
+
+/// Number of log2 buckets. Bucket `i` holds samples in `[2^(i-1), 2^i)`
+/// nanoseconds (bucket 0 holds zeros); 40 buckets reach ~9 minutes,
+/// far beyond any per-call phase this engine can produce.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A lock-free log2-bucketed latency histogram.
+///
+/// Recording is three relaxed atomic RMWs (bucket, count+sum, max); there
+/// is no lock and no allocation, so it is safe to call from reader,
+/// handler and responder hot paths.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_index(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            ((64 - ns.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Record one sample of `ns` nanoseconds.
+    pub fn record(&self, ns: u64) {
+        let idx = Self::bucket_index(ns);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`] sample.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Consistent-enough copy of the current state (relaxed loads; exact
+    /// once recording has quiesced).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+    /// Per-bucket sample counts; bucket `i` covers `[2^(i-1), 2^i)` ns.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Value at or below which `q` (0.0–1.0) of samples fall, reported as
+    /// the upper bound of the containing log2 bucket (the histogram's
+    /// resolution). The top bucket reports the observed max instead, so a
+    /// handful of outliers cannot inflate to "9 minutes".
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else if i == self.buckets.len() - 1 {
+                    self.max_ns
+                } else {
+                    (1u64 << i) - 1
+                };
+            }
+        }
+        self.max_ns
+    }
+
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// One [`LatencyHistogram`] per [`Phase`], for one `<protocol, method>`.
+pub struct PhaseHistograms {
+    phases: [LatencyHistogram; PHASE_COUNT],
+}
+
+impl Default for PhaseHistograms {
+    fn default() -> Self {
+        PhaseHistograms {
+            phases: std::array::from_fn(|_| LatencyHistogram::default()),
+        }
+    }
+}
+
+impl PhaseHistograms {
+    /// Record `ns` into the given phase's histogram.
+    pub fn record(&self, phase: Phase, ns: u64) {
+        self.phases[phase.index()].record(ns);
+    }
+
+    /// The histogram backing one phase.
+    pub fn get(&self, phase: Phase) -> &LatencyHistogram {
+        &self.phases[phase.index()]
+    }
+
+    /// Snapshot all five phases.
+    pub fn snapshot(&self) -> PhaseSnapshot {
+        PhaseSnapshot {
+            phases: std::array::from_fn(|i| self.phases[i].snapshot()),
+        }
+    }
+}
+
+/// Point-in-time copy of all five phase histograms for one key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    phases: [HistogramSnapshot; PHASE_COUNT],
+}
+
+impl PhaseSnapshot {
+    pub fn get(&self, phase: Phase) -> &HistogramSnapshot {
+        &self.phases[phase.index()]
+    }
+
+    /// Iterate `(phase, histogram)` pairs in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, &HistogramSnapshot)> {
+        Phase::ALL.iter().map(|&p| (p, &self.phases[p.index()]))
+    }
+}
+
+/// Buffer-pool counters surfaced into the unified metrics snapshot: the
+/// shadow pool's size-history behaviour (paper §V.C) plus the native
+/// registered-buffer pool underneath it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Size-history predictions that fit (no adjustment needed).
+    pub history_hits: u64,
+    /// History entries that had to grow to a larger class.
+    pub grows: u64,
+    /// History entries that shrank to a smaller class.
+    pub shrinks: u64,
+    /// First-touch acquisitions with no history to consult.
+    pub cold: u64,
+    /// Native pool: acquisitions served from a pooled buffer.
+    pub native_hits: u64,
+    /// Native pool: acquisitions that registered fresh memory.
+    pub native_misses: u64,
+    /// Native pool: buffers handed back for reuse.
+    pub native_returns: u64,
+    /// Native pool: requests larger than the largest pooled class.
+    pub oversize: u64,
+}
+
 /// Resilience-event totals for one engine instance (client or server).
 ///
 /// Clients count `retries`, `reconnects`, and `failed_calls`; servers
@@ -146,9 +407,36 @@ pub struct MetricsRegistry {
     inner: Arc<MetricsInner>,
 }
 
+/// Unified point-in-time view of everything the registry tracks: the
+/// Table-I style per-method averages, the per-phase latency histograms,
+/// the engine resilience counters, and (when the engine runs the RPCoIB
+/// transport) the buffer-pool counters.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Per-`<protocol, method>` aggregates, sorted by key.
+    pub methods: Vec<((String, String), MethodStats)>,
+    /// Per-`<protocol, method>` phase histograms, sorted by key.
+    pub phases: Vec<((String, String), PhaseSnapshot)>,
+    /// Engine resilience counters.
+    pub counters: EngineCounters,
+    /// Buffer-pool counters; `None` on transports without a pool.
+    pub pool: Option<PoolCounters>,
+}
+
+impl MetricsSnapshot {
+    /// Phase histograms for one key, if present.
+    pub fn phase(&self, protocol: &str, method: &str) -> Option<&PhaseSnapshot> {
+        self.phases
+            .iter()
+            .find(|((p, m), _)| p == protocol && m == method)
+            .map(|(_, s)| s)
+    }
+}
+
 #[derive(Default)]
 struct MetricsInner {
     stats: Mutex<HashMap<(String, String), MethodStats>>,
+    histograms: Mutex<HashMap<(String, String), Arc<PhaseHistograms>>>,
     trace_sizes: Mutex<bool>,
     retries: AtomicU64,
     reconnects: AtomicU64,
@@ -203,6 +491,40 @@ impl MetricsRegistry {
         let mut out: Vec<_> = stats.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    /// The phase-histogram set for a key, creating it on first use. The
+    /// returned `Arc` can be cached by hot-path callers so subsequent
+    /// records skip the registry lock entirely.
+    pub fn phase_histograms(&self, protocol: &str, method: &str) -> Arc<PhaseHistograms> {
+        let mut map = self.inner.histograms.lock();
+        map.entry((protocol.to_owned(), method.to_owned()))
+            .or_default()
+            .clone()
+    }
+
+    /// Record one sample of `ns` into `phase` for `<protocol, method>`.
+    pub fn record_phase(&self, protocol: &str, method: &str, phase: Phase, ns: u64) {
+        self.phase_histograms(protocol, method).record(phase, ns);
+    }
+
+    /// Snapshot of every key's phase histograms, sorted by key.
+    pub fn phase_snapshot(&self) -> Vec<((String, String), PhaseSnapshot)> {
+        let map = self.inner.histograms.lock();
+        let mut out: Vec<_> = map.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Unified snapshot: method aggregates, phase histograms, engine
+    /// counters, and (if the caller's transport has one) pool counters.
+    pub fn full_snapshot(&self, pool: Option<PoolCounters>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            methods: self.snapshot(),
+            phases: self.phase_snapshot(),
+            counters: self.counters(),
+            pool,
+        }
     }
 
     /// Statistics for a single key, if present.
@@ -284,6 +606,7 @@ impl MetricsRegistry {
     /// Drop all recorded data (between benchmark phases).
     pub fn reset(&self) {
         self.inner.stats.lock().clear();
+        self.inner.histograms.lock().clear();
         self.inner.retries.store(0, Ordering::Relaxed);
         self.inner.reconnects.store(0, Ordering::Relaxed);
         self.inner.failed_calls.store(0, Ordering::Relaxed);
@@ -381,6 +704,88 @@ mod tests {
         assert_eq!(reg.snapshot().len(), 2);
         reg.reset();
         assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(1); // [1,1] -> bucket 1
+        h.record(900); // [512,1023] -> bucket 10
+        h.record(1023);
+        h.record(1024); // bucket 11
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max_ns, 1024);
+        assert_eq!(s.sum_ns, 1 + 1 + 900 + 1023 + 1024);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[10], 2);
+        assert_eq!(s.buckets[11], 1);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = LatencyHistogram::default();
+        for _ in 0..98 {
+            h.record(100); // bucket 7: [64,127]
+        }
+        h.record(5_000); // bucket 13
+        h.record(1 << 35); // top-ish sample
+        let s = h.snapshot();
+        assert_eq!(s.p50_ns(), 127);
+        assert_eq!(s.p95_ns(), 127);
+        assert_eq!(s.quantile_ns(0.99), 8191);
+        assert_eq!(s.quantile_ns(1.0), (1u64 << 36) - 1);
+        let empty = LatencyHistogram::default().snapshot();
+        assert_eq!(empty.p99_ns(), 0);
+        assert_eq!(empty.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn huge_samples_saturate_into_top_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.p99_ns(), u64::MAX, "top bucket reports observed max");
+    }
+
+    #[test]
+    fn phase_histograms_key_by_protocol_method() {
+        let reg = MetricsRegistry::new(false);
+        reg.record_phase("p", "m", Phase::Serialize, 10);
+        reg.record_phase("p", "m", Phase::Serialize, 20);
+        reg.record_phase("p", "m", Phase::Wire, 1000);
+        reg.record_phase("p", "other", Phase::Handler, 5);
+        let phases = reg.phase_snapshot();
+        assert_eq!(phases.len(), 2);
+        let pm = reg
+            .full_snapshot(None)
+            .phase("p", "m")
+            .cloned()
+            .expect("key recorded");
+        assert_eq!(pm.get(Phase::Serialize).count, 2);
+        assert_eq!(pm.get(Phase::Wire).count, 1);
+        assert_eq!(pm.get(Phase::Deserialize).count, 0);
+        assert_eq!(pm.iter().count(), PHASE_COUNT);
+        reg.reset();
+        assert!(reg.phase_snapshot().is_empty());
+    }
+
+    #[test]
+    fn full_snapshot_carries_pool_counters() {
+        let reg = MetricsRegistry::new(false);
+        let snap = reg.full_snapshot(Some(PoolCounters {
+            history_hits: 3,
+            cold: 1,
+            ..Default::default()
+        }));
+        let pool = snap.pool.expect("pool attached");
+        assert_eq!(pool.history_hits, 3);
+        assert_eq!(pool.cold, 1);
+        assert!(reg.full_snapshot(None).pool.is_none());
     }
 
     #[test]

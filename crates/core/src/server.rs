@@ -33,7 +33,7 @@ use crate::frame::{
     read_request_header, write_busy_response, write_response, FrameVersion, Payload, RequestHeader,
 };
 use crate::handshake;
-use crate::metrics::{MetricsRegistry, RecvProfile as MetricsRecv};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, Phase, RecvProfile as MetricsRecv};
 use crate::retry_cache::{Admission, CallKey, RetryCache};
 use crate::service::ServiceRegistry;
 use crate::transport::rdma::{IbContext, RdmaConn};
@@ -52,6 +52,9 @@ struct RawCall {
     payload: Payload,
     /// Offset of the parameter bytes within the payload.
     body_offset: usize,
+    /// When the Reader admitted the call — the handler's pop time minus
+    /// this is the `server_queue` phase of the latency histogram.
+    admitted_at: Instant,
 }
 
 /// Where one serialized response must be delivered. The retry cache parks
@@ -91,6 +94,9 @@ struct ServerInner {
     /// response is anywhere in the pipeline.
     open_work: AtomicUsize,
     metrics: MetricsRegistry,
+    /// Present in RPCoIB mode; kept here so metrics snapshots can read
+    /// the registered buffer pool's counters.
+    ib: Option<IbContext>,
     retry_cache: RetryCache<RespRoute>,
     /// Source of server-assigned client ids for peers that present 0 at
     /// the handshake.
@@ -206,6 +212,7 @@ impl Server {
             live_readers: AtomicUsize::new(0),
             open_work: AtomicUsize::new(0),
             metrics,
+            ib,
             retry_cache,
             next_client_id: AtomicU64::new(id_seed),
             call_tx,
@@ -226,7 +233,7 @@ impl Server {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("rpc-listener-{addr}"))
-                    .spawn(move || listener_loop(inner, listener, ib))
+                    .spawn(move || listener_loop(inner, listener))
                     .expect("spawn listener"),
             );
         }
@@ -265,6 +272,15 @@ impl Server {
     /// Server-side metrics (receive profiles feed the Figure 1 harness).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.inner.metrics
+    }
+
+    /// Full observability snapshot: engine counters, per-method stats,
+    /// per-`<protocol, method>` phase histograms, and (in RPCoIB mode)
+    /// the registered buffer pool's counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner
+            .metrics
+            .full_snapshot(self.inner.ib.as_ref().map(|ib| ib.pool_counters()))
     }
 
     /// Number of connections currently alive (accepted and not yet torn
@@ -376,7 +392,7 @@ impl std::fmt::Debug for Server {
     }
 }
 
-fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbContext>) {
+fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
     while !inner.stop.load(Ordering::Acquire) && !inner.draining.load(Ordering::Acquire) {
         // Reap Readers whose connections have since died. Without this,
         // a server that lives through N transient clients holds N parked
@@ -402,7 +418,6 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbCo
                 // "listener done, zero readers" while one is in flight.
                 inner.live_readers.fetch_add(1, Ordering::AcqRel);
                 let inner2 = Arc::clone(&inner);
-                let ib2 = ib.clone();
                 // Connection setup (handshake, and in RPCoIB mode the
                 // blocking endpoint exchange) and the per-connection
                 // Reader run on their own thread, keeping the accept loop
@@ -430,16 +445,17 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener, ib: Option<IbCo
                             }
                             Err(_) => return, // peer vanished mid-handshake
                         }
-                        let conn: Arc<dyn Conn> = match &ib2 {
+                        let conn: Arc<dyn Conn> = match &inner2.ib {
                             Some(ctx) => {
                                 match RdmaConn::bootstrap(&stream, ctx, &inner2.cfg) {
-                                    Ok(c) => Arc::new(c),
+                                    Ok(c) => Arc::new(c.with_metrics(inner2.metrics.clone())),
                                     Err(_) => return, // peer vanished mid-exchange
                                 }
                             }
-                            None => {
-                                Arc::new(SocketConn::new(stream, inner2.cfg.server_buffer_init))
-                            }
+                            None => Arc::new(
+                                SocketConn::new(stream, inner2.cfg.server_buffer_init)
+                                    .with_metrics(inner2.metrics.clone()),
+                            ),
                         };
                         let conn_id = inner2.next_conn_id.fetch_add(1, Ordering::Relaxed);
                         inner2.conns.lock().insert(conn_id, Arc::clone(&conn));
@@ -543,6 +559,7 @@ fn reader_loop(inner: &Arc<ServerInner>, conn: &Arc<dyn Conn>) -> bool {
             header,
             payload,
             body_offset,
+            admitted_at: Instant::now(),
         };
         inner.open_work.fetch_add(1, Ordering::AcqRel);
         match inner.call_tx.try_send(call) {
@@ -586,6 +603,13 @@ fn handler_loop(inner: Arc<ServerInner>) {
     loop {
         match inner.call_rx.recv_timeout(IDLE_SLICE) {
             Ok(call) => {
+                inner.metrics.record_phase(
+                    &call.header.protocol,
+                    &call.header.method,
+                    Phase::ServerQueue,
+                    call.admitted_at.elapsed().as_nanos() as u64,
+                );
+                let handler_start = Instant::now();
                 let mut reader = call.payload.reader();
                 reader.skip(call.body_offset);
                 let result = inner.registry.dispatch(
@@ -613,6 +637,12 @@ fn handler_loop(inner: Arc<ServerInner>) {
                 write_response(&mut body, call.header.version, call.header.seq, result_ref)
                     .expect("serializing to Vec cannot fail");
                 let bytes = Arc::new(body);
+                inner.metrics.record_phase(
+                    &call.header.protocol,
+                    &call.header.method,
+                    Phase::Handler,
+                    handler_start.elapsed().as_nanos() as u64,
+                );
 
                 let mut routes = vec![RespRoute {
                     conn: call.conn,

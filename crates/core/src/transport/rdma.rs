@@ -35,6 +35,7 @@ use wire::DataOutput;
 use crate::config::RpcConfig;
 use crate::error::{RpcError, RpcResult};
 use crate::frame::Payload;
+use crate::metrics::{MetricsRegistry, Phase, PoolCounters};
 use crate::stream::RdmaOutputStream;
 use crate::transport::{Conn, RecvProfile, SendProfile};
 
@@ -110,6 +111,22 @@ impl IbContext {
         &self.pool
     }
 
+    /// Pre-register `per_class` extra buffers in every class up to
+    /// `max_bytes`, jumbo classes included. `IbContext::new` prefills the
+    /// small per-call classes; a workload that knows it will move large
+    /// frames can call this to take the one-time registration cost at
+    /// load time instead of on the first large call — Section III-B's
+    /// "pre-allocated and pre-registered when the RPCoIB library loads",
+    /// extended to the large ladder.
+    pub fn prewarm(&self, max_bytes: usize, per_class: usize) {
+        let ladder = self.pool.native().classes();
+        for idx in 0..ladder.count {
+            if ladder.capacity(idx) <= max_bytes {
+                self.pool.native().prefill_class(idx, per_class);
+            }
+        }
+    }
+
     /// The underlying device.
     pub fn device(&self) -> &RdmaDevice {
         &self.device
@@ -118,6 +135,25 @@ impl IbContext {
     /// (hits, misses, returns, oversize) of the native pool.
     pub fn pool_stats(&self) -> (u64, u64, u64, u64) {
         self.pool.native().stats().snapshot()
+    }
+
+    /// Both pool levels' counters in the shape the unified metrics
+    /// snapshot carries: the shadow pool's size-history behaviour plus the
+    /// native registered-buffer pool underneath.
+    pub fn pool_counters(&self) -> PoolCounters {
+        let (history_hits, grows, shrinks, cold) = self.pool.stats().snapshot();
+        let (native_hits, native_misses, native_returns, oversize) =
+            self.pool.native().stats().snapshot();
+        PoolCounters {
+            history_hits,
+            grows,
+            shrinks,
+            cold,
+            native_hits,
+            native_misses,
+            native_returns,
+            oversize,
+        }
     }
 }
 
@@ -174,6 +210,9 @@ pub struct RdmaConn {
     large_credits: CreditGate,
     closed: AtomicBool,
     peer_desc: String,
+    /// When attached, every send feeds the per-`<protocol, method>`
+    /// serialize/wire phase histograms.
+    metrics: Option<MetricsRegistry>,
 }
 
 impl RdmaConn {
@@ -219,12 +258,20 @@ impl RdmaConn {
             large_credits: CreditGate::new(1),
             closed: AtomicBool::new(false),
             peer_desc: format!("rdma:{}", peer_ep.node),
+            metrics: None,
         };
         // Pre-post the receive ring before the peer can possibly send.
         for _ in 0..cfg.posted_recvs {
             conn.post_one_recv();
         }
         Ok(conn)
+    }
+
+    /// Attach a metrics registry; subsequent sends record their serialize
+    /// and wire times into its phase histograms.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     fn post_one_recv(&self) {
@@ -298,6 +345,11 @@ impl Conn for RdmaConn {
             }
         }
         let send_ns = send_start.elapsed().as_nanos() as u64;
+
+        if let Some(m) = &self.metrics {
+            m.record_phase(protocol, method, Phase::Serialize, serialize_ns);
+            m.record_phase(protocol, method, Phase::Wire, send_ns);
+        }
 
         Ok(SendProfile {
             serialize_ns,

@@ -26,6 +26,7 @@ use wire::{DataOutput, DataOutputBuffer};
 
 use crate::error::{RpcError, RpcResult};
 use crate::frame::Payload;
+use crate::metrics::{MetricsRegistry, Phase};
 use crate::transport::{Conn, RecvProfile, SendProfile};
 
 /// Size of the temporary chunk used for the native→heap copy on receive
@@ -43,6 +44,9 @@ pub struct SocketConn {
     /// Initial capacity of fresh serialization buffers (32 B client-side,
     /// 10 KB server-side in Hadoop).
     init_buf: usize,
+    /// When attached, every send feeds the per-`<protocol, method>`
+    /// serialize/wire phase histograms.
+    metrics: Option<MetricsRegistry>,
 }
 
 struct SendState {
@@ -69,7 +73,15 @@ impl SocketConn {
             }),
             closed: AtomicBool::new(false),
             init_buf,
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry; subsequent sends record their serialize
+    /// and wire times into its phase histograms.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     fn check_open(&self) -> RpcResult<()> {
@@ -119,8 +131,8 @@ impl SocketConn {
 impl Conn for SocketConn {
     fn send_msg(
         &self,
-        _protocol: &str,
-        _method: &str,
+        protocol: &str,
+        method: &str,
         write: &mut dyn FnMut(&mut dyn DataOutput) -> io::Result<()>,
     ) -> RpcResult<SendProfile> {
         self.check_open()?;
@@ -155,6 +167,11 @@ impl Conn for SocketConn {
             })?;
         drop(state);
         let send_ns = send_start.elapsed().as_nanos() as u64;
+
+        if let Some(m) = &self.metrics {
+            m.record_phase(protocol, method, Phase::Serialize, serialize_ns);
+            m.record_phase(protocol, method, Phase::Wire, send_ns);
+        }
 
         Ok(SendProfile {
             serialize_ns,

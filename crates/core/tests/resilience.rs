@@ -907,3 +907,154 @@ fn sequence_numbers_survive_i32_wraparound() {
     client.shutdown();
     server.stop();
 }
+
+// ---------------------------------------------------------------------------
+// Retry-cache generation safety under contention. Duplicate calls race the
+// original's completion, capacity eviction, and TTL expiry; whatever wins,
+// a Replay must never surface a response generation older than the last
+// completion the duplicate could already have observed.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn retry_cache_never_replays_stale_generation_under_contention() {
+    use rpcoib::{Admission, MetricsRegistry, RetryCache};
+
+    let _guard = watchdog(
+        "retry_cache_never_replays_stale_generation_under_contention",
+        Duration::from_secs(60),
+    );
+
+    // More keys than capacity so completed entries are constantly evicted
+    // oldest-first while duplicates for them are still arriving.
+    const KEYS: usize = 16;
+    const CAPACITY: usize = 8;
+    const THREADS: u64 = 4;
+    const ITERS: u64 = 400;
+
+    let cache = Arc::new(RetryCache::<u32>::new(
+        Duration::from_millis(25),
+        CAPACITY,
+        MetricsRegistry::new(false),
+    ));
+    // Per-key generation source and high-water mark of completed
+    // generations. `last_done` only ever lags the cache's own state, so
+    // reading it *before* begin() gives a sound lower bound for what a
+    // replay is allowed to return.
+    let gens: Arc<Vec<AtomicU64>> = Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
+    let last_done: Arc<Vec<AtomicU64>> = Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
+    let parked = Arc::new(AtomicU64::new(0));
+    let replayed = Arc::new(AtomicU64::new(0));
+    let delivered = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let gens = Arc::clone(&gens);
+            let last_done = Arc::clone(&last_done);
+            let parked = Arc::clone(&parked);
+            let replayed = Arc::clone(&replayed);
+            let delivered = Arc::clone(&delivered);
+            std::thread::spawn(move || {
+                let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ (t + 1);
+                for _ in 0..ITERS {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let k = (rng % KEYS as u64) as usize;
+                    let key = (0u64, k as i64);
+                    let low = last_done[k].load(Ordering::SeqCst);
+                    match cache.begin(key, || t as u32) {
+                        Admission::Execute => {
+                            // Execute windows for one key are mutually
+                            // exclusive (duplicates park), so generations
+                            // are completed in increasing order per key.
+                            let tag = gens[k].fetch_add(1, Ordering::SeqCst) + 1;
+                            if tag.is_multiple_of(13) {
+                                let waiters = cache.abort(key);
+                                delivered.fetch_add(waiters.len() as u64, Ordering::SeqCst);
+                            } else {
+                                if tag.is_multiple_of(7) {
+                                    // Widen the in-flight window so
+                                    // duplicates actually park on it.
+                                    std::thread::sleep(Duration::from_micros(200));
+                                }
+                                let waiters =
+                                    cache.complete(key, Arc::new(tag.to_be_bytes().to_vec()));
+                                last_done[k].fetch_max(tag, Ordering::SeqCst);
+                                delivered.fetch_add(waiters.len() as u64, Ordering::SeqCst);
+                            }
+                        }
+                        Admission::Parked => {
+                            parked.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Admission::Replay(bytes) => {
+                            let tag = u64::from_be_bytes(
+                                bytes.as_slice().try_into().expect("8-byte generation tag"),
+                            );
+                            assert!(
+                                tag >= low,
+                                "key {k}: replayed generation {tag} is older than \
+                                 generation {low} already completed before this \
+                                 duplicate began"
+                            );
+                            replayed.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    // Every execute window was resolved, so nothing is in flight and the
+    // eviction order keeps the cache bounded by its capacity.
+    assert!(
+        cache.len() <= CAPACITY,
+        "cache holds {} entries, capacity is {CAPACITY}",
+        cache.len()
+    );
+    // Every parked waiter must have been handed back by exactly one
+    // complete() or abort() — none lost, none duplicated.
+    assert_eq!(
+        delivered.load(Ordering::SeqCst),
+        parked.load(Ordering::SeqCst),
+        "parked waiters were dropped or double-delivered"
+    );
+    // The schedule actually exercised the interesting paths.
+    assert!(
+        replayed.load(Ordering::SeqCst) > 0,
+        "no duplicate ever hit a cached response"
+    );
+    assert!(
+        parked.load(Ordering::SeqCst) > 0,
+        "no duplicate ever parked on an in-flight call"
+    );
+}
+
+#[test]
+fn retry_cache_ttl_expiry_reexecutes_instead_of_replaying_stale() {
+    use rpcoib::{Admission, MetricsRegistry, RetryCache};
+
+    let cache = RetryCache::<u32>::new(Duration::from_millis(10), 4, MetricsRegistry::new(false));
+    let key = (7u64, 1i64);
+
+    assert!(matches!(cache.begin(key, || 0), Admission::Execute));
+    cache.complete(key, Arc::new(vec![1]));
+    match cache.begin(key, || 0) {
+        Admission::Replay(bytes) => assert_eq!(*bytes, vec![1]),
+        other => panic!("within TTL the duplicate must replay, got {other:?}"),
+    }
+
+    std::thread::sleep(Duration::from_millis(25));
+
+    // Past the TTL the cached generation is gone: the duplicate
+    // re-executes, and from then on only the fresh generation replays.
+    assert!(matches!(cache.begin(key, || 0), Admission::Execute));
+    cache.complete(key, Arc::new(vec![2]));
+    match cache.begin(key, || 0) {
+        Admission::Replay(bytes) => assert_eq!(*bytes, vec![2]),
+        other => panic!("fresh generation must replay after re-execution, got {other:?}"),
+    }
+}

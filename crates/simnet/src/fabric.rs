@@ -78,6 +78,12 @@ impl LinkClock {
 pub(crate) struct NodeLinks {
     pub(crate) egress: LinkClock,
     pub(crate) ingress: LinkClock,
+    /// Modeled nanoseconds charged to this node by the cost model (stack
+    /// traversals, wire occupancy, propagation, registration, injected
+    /// fault delay). Unlike wall-clock measurements these are a pure
+    /// function of the traffic and the fault-RNG seed, so benchmark
+    /// artifacts built from them replay byte-identically.
+    pub(crate) modeled_ns: AtomicU64,
 }
 
 /// Aggregate transfer counters, exposed for benchmark sanity checks.
@@ -87,6 +93,9 @@ pub struct FabricStats {
     pub bytes: AtomicU64,
     pub rdma_writes: AtomicU64,
     pub registrations: AtomicU64,
+    /// Total modeled nanoseconds charged across all nodes. See
+    /// [`Fabric::modeled_ns`].
+    pub modeled_ns: AtomicU64,
 }
 
 impl FabricStats {
@@ -167,6 +176,7 @@ impl Fabric {
             Arc::new(NodeLinks {
                 egress: LinkClock::new(),
                 ingress: LinkClock::new(),
+                modeled_ns: AtomicU64::new(0),
             }),
         );
         id
@@ -334,6 +344,36 @@ impl Fabric {
     /// Aggregate transfer counters.
     pub fn stats(&self) -> &FabricStats {
         &self.inner.stats
+    }
+
+    /// Charge `ns` of modeled time against `node`'s ledger. Called from
+    /// every site that injects a cost-model delay (stream writes/reads,
+    /// verbs sends/receives, registration, connect setup) with the
+    /// *intended* duration, right where the real delay is spun out.
+    pub(crate) fn charge_modeled(&self, node: NodeId, ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        if let Some(links) = self.links(node) {
+            links.modeled_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+        self.inner.stats.modeled_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Modeled nanoseconds charged to `node` so far. Deterministic for a
+    /// given traffic pattern and fault seed: the ledger accumulates the
+    /// durations the cost model *intended*, not the wall time the busy-wait
+    /// implementation happened to burn. The bench harness reads deltas of
+    /// this ledger so its `BENCH_*.json` artifacts replay byte-identically.
+    pub fn modeled_ns(&self, node: NodeId) -> u64 {
+        self.links(node)
+            .map(|l| l.modeled_ns.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Total modeled nanoseconds charged across all nodes.
+    pub fn modeled_total_ns(&self) -> u64 {
+        self.inner.stats.modeled_ns.load(Ordering::Relaxed)
     }
 
     pub(crate) fn fresh_id(&self) -> u64 {

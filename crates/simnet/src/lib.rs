@@ -70,6 +70,7 @@ pub use fabric::{Fabric, FabricStats, NodeId, SimAddr};
 pub use faults::FaultSpec;
 pub use model::NetworkModel;
 pub use stream::{SimListener, SimStream};
+pub use time::{fast_forward, set_fast_forward};
 pub use topology::{Cluster, Host};
 pub use verbs::{
     Completion, CompletionKind, MemoryRegion, QpEndpoint, QueuePair, RdmaDevice, RemoteKey,

@@ -120,7 +120,9 @@ impl SimStream {
 
         let model = *fabric.model();
         // Handshake: one round trip plus a stack operation on each side.
-        crate::time::spin_ns(2 * model.base_latency_ns + 2 * model.stack_overhead_ns);
+        let handshake_ns = 2 * model.base_latency_ns + 2 * model.stack_overhead_ns;
+        fabric.charge_modeled(local_node, handshake_ns);
+        crate::time::spin_ns(handshake_ns);
 
         let local = SimAddr::new(local_node, ephemeral_port(fabric));
         let (c2s_tx, c2s_rx) = unbounded();
@@ -205,8 +207,15 @@ impl SimStream {
         let model = *fabric.model();
 
         // Protocol stack processing on the sender (one syscall's worth,
-        // plus the per-KB skb cost of the whole buffer).
+        // plus the per-KB skb cost of the whole buffer). The modeled-time
+        // ledger is charged with the sender-side one-way costs here (stack,
+        // propagation, injected fault delay); per-segment wire time is
+        // charged below as each segment reserves the egress link.
         crate::time::spin_ns(model.stack_ns(buf.len()));
+        fabric.charge_modeled(
+            inner.local.node,
+            model.stack_ns(buf.len()) + model.base_latency_ns + fault_delay.as_nanos() as u64,
+        );
 
         let tx = inner
             .tx
@@ -225,6 +234,7 @@ impl SimStream {
                 Some(links) => links.egress.reserve_from(Instant::now(), wire),
                 None => Instant::now() + wire,
             };
+            fabric.charge_modeled(inner.local.node, wire.as_nanos() as u64);
             spin_until(egress_end);
             let arrive_start =
                 egress_end - wire + Duration::from_nanos(model.base_latency_ns) + fault_delay;
@@ -293,10 +303,15 @@ impl SimStream {
         };
 
         // Wait for the bytes to finish arriving, gated by our ingress link.
+        // The receiver's ledger is charged the ingress serialization time of
+        // each fresh segment (leftover re-reads cost nothing, as above).
         let ingress_end = match inner.fabric.links(inner.local.node) {
             Some(links) => links.ingress.reserve_from(seg.arrive_start, seg.wire),
             None => seg.arrive_start + seg.wire,
         };
+        inner
+            .fabric
+            .charge_modeled(inner.local.node, seg.wire.as_nanos() as u64);
         spin_until(ingress_end);
 
         let mut data = seg.data;

@@ -7,7 +7,26 @@
 //! job-scale benchmarks do not burn whole cores while "transferring" large
 //! blocks.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// When set, modeled delays are *accounted but not waited*: `spin_until`,
+/// `spin_sleep`, and `spin_ns` return immediately. The per-node modeled-time
+/// ledger (`Fabric::modeled_ns`) is charged at the same call sites either
+/// way, so latency figures derived from the ledger are unchanged — only the
+/// wall-clock realism disappears. Benchmarks use this to run large sweeps in
+/// CI without burning minutes of busy-wait.
+static FAST_FORWARD: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable fast-forward mode (process-wide). See [`FAST_FORWARD`].
+pub fn set_fast_forward(enabled: bool) {
+    FAST_FORWARD.store(enabled, Ordering::Release);
+}
+
+/// Whether modeled delays are currently being skipped.
+pub fn fast_forward() -> bool {
+    FAST_FORWARD.load(Ordering::Acquire)
+}
 
 /// Above this threshold we coarse-sleep most of the delay before spinning
 /// out the remainder. 200 µs keeps the spin portion (and thus CPU waste)
@@ -32,6 +51,9 @@ const YIELD_THRESHOLD: Duration = Duration::from_micros(10);
 ///
 /// Returns immediately if the deadline has already passed.
 pub fn spin_until(deadline: Instant) {
+    if fast_forward() {
+        return;
+    }
     let now = Instant::now();
     if now >= deadline {
         return;

@@ -64,7 +64,9 @@ impl RdmaDevice {
     /// Pays the model's registration cost — this is the cost RPCoIB's
     /// pre-registered pool amortizes away from the per-call path.
     pub fn register(&self, len: usize) -> MemoryRegion {
-        spin_ns(self.fabric.model().registration_ns(len));
+        let reg_ns = self.fabric.model().registration_ns(len);
+        self.fabric.charge_modeled(self.node, reg_ns);
+        spin_ns(reg_ns);
         self.fabric
             .stats()
             .registrations
@@ -344,9 +346,17 @@ impl QueuePair {
             None => Instant::now() + wire,
         };
         spin_until(egress_end);
-        let arrive_start = egress_end - wire
-            + Duration::from_nanos(model.base_latency_ns)
-            + self.fabric.fault_delay(self.node, remote);
+        let fault = self.fabric.fault_delay(self.node, remote);
+        // Ledger: sender-side one-way costs (verbs overhead, wire
+        // serialization, propagation, injected fault delay).
+        self.fabric.charge_modeled(
+            self.node,
+            model.stack_ns(len)
+                + wire.as_nanos() as u64
+                + model.base_latency_ns
+                + fault.as_nanos() as u64,
+        );
+        let arrive_start = egress_end - wire + Duration::from_nanos(model.base_latency_ns) + fault;
         (arrive_start, wire)
     }
 
@@ -492,6 +502,9 @@ impl QueuePair {
             Some(links) => links.ingress.reserve_from(arrive_start, wire),
             None => arrive_start + wire,
         };
+        // Ledger: receiver-side ingress serialization of the message.
+        self.fabric
+            .charge_modeled(self.node, wire.as_nanos() as u64);
         spin_until(ingress_end);
 
         match msg {

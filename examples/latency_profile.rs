@@ -1,0 +1,142 @@
+//! Latency profile: where does a call's time go? Drives an echo service
+//! over both transports and prints the per-phase latency histograms —
+//! serialize / wire / server queue / handler / deserialize — that both
+//! engines record for every `<protocol, method>`, plus the RDMA buffer
+//! pool's history counters from the same snapshot.
+//!
+//! ```sh
+//! cargo run --release --example latency_profile
+//! ```
+
+use std::sync::Arc;
+
+use rpcoib_suite::rpcoib::{
+    Client, MetricsSnapshot, Phase, RpcConfig, RpcService, Server, ServiceRegistry,
+};
+use rpcoib_suite::simnet::{model, Fabric, NetworkModel};
+use rpcoib_suite::wire::{BytesWritable, DataInput, Writable};
+
+struct EchoService;
+
+impl RpcService for EchoService {
+    fn protocol(&self) -> &'static str {
+        "demo.EchoProtocol"
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        param: &mut dyn DataInput,
+    ) -> Result<Box<dyn Writable + Send>, String> {
+        match method {
+            "echo" => {
+                let mut payload = BytesWritable::default();
+                payload.read_fields(param).map_err(|e| e.to_string())?;
+                Ok(Box::new(payload))
+            }
+            other => Err(format!("unknown method {other}")),
+        }
+    }
+}
+
+fn phase_line(snap: &MetricsSnapshot, method: &str, phase: Phase) -> String {
+    let hist = snap
+        .phases
+        .iter()
+        .find(|((_, m), _)| m == method)
+        .map(|(_, ps)| ps.get(phase));
+    match hist {
+        Some(h) if h.count > 0 => format!(
+            "{:>12?}  n={:<4} p50 {:>8} ns   p99 {:>8} ns   max {:>8} ns",
+            phase,
+            h.count,
+            h.quantile_ns(0.50),
+            h.quantile_ns(0.99),
+            h.max_ns
+        ),
+        _ => format!("{phase:>12?}  (not recorded on this side)"),
+    }
+}
+
+fn profile(name: &str, net: NetworkModel, cfg: RpcConfig) {
+    let fabric = Fabric::new(net);
+    let mut registry = ServiceRegistry::new();
+    registry.register(Arc::new(EchoService));
+    let server = Server::start(&fabric, fabric.add_node(), 8020, cfg.clone(), registry).unwrap();
+    let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+
+    for _ in 0..200 {
+        let _: BytesWritable = client
+            .call(
+                server.addr(),
+                "demo.EchoProtocol",
+                "echo",
+                &BytesWritable(vec![0xAB; 4096]),
+            )
+            .unwrap();
+    }
+
+    let cli = client.metrics_snapshot();
+    let srv = server.metrics_snapshot();
+
+    println!("== {name}: demo.EchoProtocol/echo, 200 calls of 4 KB ==");
+    println!("client:");
+    for phase in [Phase::Serialize, Phase::Wire, Phase::Deserialize] {
+        println!("  {}", phase_line(&cli, "echo", phase));
+    }
+    println!("server:");
+    for phase in [Phase::ServerQueue, Phase::Handler] {
+        println!("  {}", phase_line(&srv, "echo", phase));
+    }
+    for phase in [Phase::Serialize, Phase::Wire] {
+        println!("  {} (response)", phase_line(&srv, "echo#resp", phase));
+    }
+    if let Some(pool) = cli.pool {
+        let lookups = pool.history_hits + pool.grows + pool.shrinks + pool.cold;
+        println!(
+            "client pool: {} lookups, {:.1}% history hits, {} grows, {} shrinks, {} cold",
+            lookups,
+            100.0 * pool.history_hits as f64 / lookups.max(1) as f64,
+            pool.grows,
+            pool.shrinks,
+            pool.cold
+        );
+    } else {
+        println!("client pool: none (socket transport serializes into plain heap buffers)");
+    }
+    println!();
+
+    // The snapshot is the contract the bench harness and tests build on:
+    // every pipeline phase of a completed call must have been observed.
+    for (snap, method, phases) in [
+        (
+            &cli,
+            "echo",
+            &[Phase::Serialize, Phase::Wire, Phase::Deserialize][..],
+        ),
+        (&srv, "echo", &[Phase::ServerQueue, Phase::Handler][..]),
+        (&srv, "echo#resp", &[Phase::Serialize, Phase::Wire][..]),
+    ] {
+        for &phase in phases {
+            let count = snap
+                .phases
+                .iter()
+                .find(|((_, m), _)| m == method)
+                .map(|(_, ps)| ps.get(phase).count)
+                .unwrap_or(0);
+            assert_eq!(count, 200, "{name}: {method} {phase:?} missing samples");
+        }
+    }
+
+    client.shutdown();
+    server.stop();
+}
+
+fn main() {
+    profile("Hadoop RPC / IPoIB", model::IPOIB_QDR, RpcConfig::socket());
+    profile(
+        "RPCoIB / IB verbs",
+        model::IB_QDR_VERBS,
+        RpcConfig::rpcoib(),
+    );
+}
