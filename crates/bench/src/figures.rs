@@ -336,6 +336,144 @@ pub fn run_handlers(opts: &RunOpts, git_rev: &str) -> Json {
     header("handlers", opts, git_rev).field("rows", Json::Arr(rows))
 }
 
+/// Connection counts of the shard-scaling sweep.
+const SHARD_CLIENTS: &[usize] = &[1, 4, 16, 64, 256];
+
+/// Shard counts swept (applied to readers and responders alike; `1` is
+/// the paper's single-Responder baseline).
+const SHARD_COUNTS: &[usize] = &[1, 2, 4];
+
+/// Figure: connection scaling versus reader/responder shard count. Every
+/// connection drives an identical sequential call stream from its own
+/// fabric node, so each per-call ledger delta is deterministic, and —
+/// because connections are dealt onto shards round-robin by accept-order
+/// id — the per-shard load split is `ceil(C/M)` connections on the
+/// busiest shard no matter which client won which accept slot.
+///
+/// The serialized throughput figure is *derived* from the ledger with a
+/// pipeline model: a responder shard transmits its connections' response
+/// streams serially, shards run in parallel, so the modeled makespan is
+/// `ceil(C/M) × per_conn_ns` and modeled throughput is total calls over
+/// that. At 64+ connections this is where responder sharding pays:
+/// `M = 4` cuts the bottleneck shard's stream to a quarter. Wall-clock
+/// throughput (scheduler-dependent) goes to stdout only.
+pub fn run_shards(opts: &RunOpts, git_rev: &str) -> Json {
+    let warmup = 2usize;
+    let calls_per_conn = opts.iters(6, 24);
+    let payload = 512usize;
+    let mut rows = Vec::new();
+    for (label, cfg) in transports() {
+        for &clients in SHARD_CLIENTS {
+            for &shards in SHARD_COUNTS {
+                let mut cfg = cfg.clone();
+                cfg.rpc.reader_shards = shards;
+                cfg.rpc.responder_shards = shards;
+                // Trim per-connection buffer footprints: at 256
+                // connections the default 4 MB large region plus a
+                // 32-deep 64 KB recv ring would cost gigabytes; the
+                // 512 B payloads here only ever ride the small path.
+                cfg.rpc.rdma_threshold = 16 * 1024;
+                cfg.rpc.recv_buf_bytes = 16 * 1024;
+                cfg.rpc.posted_recvs = 8;
+                cfg.rpc.large_region_bytes = 64 * 1024;
+                cfg.rpc.prefill_per_class = 2;
+                // No link faults: concurrent clients would race for the
+                // RNG (see run_handlers).
+                let fabric = Fabric::new(cfg.model);
+                fabric.set_fault_seed(opts.seed);
+                let server_node = fabric.add_node();
+                let mut registry = ServiceRegistry::new();
+                registry.register(Arc::new(EchoService));
+                let server = Server::start(&fabric, server_node, 9999, cfg.rpc.clone(), registry)
+                    .expect("start server");
+                let addr = server.addr();
+
+                let start = std::time::Instant::now();
+                let mut threads = Vec::new();
+                for _ in 0..clients {
+                    let fabric = fabric.clone();
+                    let rpc = cfg.rpc.clone();
+                    let node = fabric.add_node();
+                    threads.push(std::thread::spawn(move || {
+                        let client = Client::new(&fabric, node, rpc).expect("client");
+                        let body = BytesWritable(vec![0x44; payload]);
+                        for _ in 0..warmup {
+                            let _: BytesWritable = client
+                                .call(addr, "bench.PingPongProtocol", "pingpong", &body)
+                                .expect("warmup call");
+                        }
+                        let mut deltas = Vec::with_capacity(calls_per_conn);
+                        for _ in 0..calls_per_conn {
+                            let before = fabric.modeled_ns(node);
+                            let _: BytesWritable = client
+                                .call(addr, "bench.PingPongProtocol", "pingpong", &body)
+                                .expect("call");
+                            deltas.push(fabric.modeled_ns(node) - before);
+                        }
+                        client.shutdown();
+                        deltas
+                    }));
+                }
+                let mut samples: Vec<u64> = Vec::new();
+                let mut per_conn_ns: u64 = 0;
+                for t in threads {
+                    let deltas = t.join().expect("client thread");
+                    per_conn_ns = per_conn_ns.max(deltas.iter().sum());
+                    samples.extend(deltas);
+                }
+                let wall = start.elapsed();
+                let total_calls = samples.len() as u64;
+                println!(
+                    "shards {label:>6} c={clients:<3} s={shards} wall {:>8.1} ms  {:>8.1} calls/s (wall-clock, not serialized)",
+                    wall.as_secs_f64() * 1e3,
+                    total_calls as f64 / wall.as_secs_f64()
+                );
+
+                // Per-shard processed counts: which connection landed on
+                // which shard is an accept race, but the *sorted* counts
+                // are fixed by the round-robin deal. Snapshot only after
+                // `stop` has joined the shard threads — a responder bumps
+                // its counter *after* transmitting, so a pre-join read
+                // could miss the final response's increment.
+                server.stop();
+                let snap = server.metrics_snapshot();
+                let shard_counts = |role: &str| {
+                    let mut counts: Vec<u64> = snap
+                        .shards
+                        .iter()
+                        .filter(|s| s.role.name() == role)
+                        .map(|s| s.processed)
+                        .collect();
+                    counts.sort_unstable_by(|a, b| b.cmp(a));
+                    Json::Arr(counts.into_iter().map(Json::U64).collect())
+                };
+                let reader_processed = shard_counts("reader");
+                let responder_processed = shard_counts("responder");
+
+                let bottleneck_conns = clients.div_ceil(shards);
+                let makespan_ns = bottleneck_conns as u64 * per_conn_ns;
+                let modeled_calls_per_sec = (total_calls * 1_000_000_000)
+                    .checked_div(makespan_ns)
+                    .unwrap_or(0);
+                let row = Json::obj()
+                    .field("transport", label)
+                    .field("point", format!("c{clients}_s{shards}"))
+                    .field("clients", clients as u64)
+                    .field("shards", shards as u64);
+                let row = percentile_fields(row, &mut samples)
+                    .field("per_conn_modeled_ns", per_conn_ns)
+                    .field("bottleneck_conns", bottleneck_conns as u64)
+                    .field("modeled_makespan_ns", makespan_ns)
+                    .field("modeled_calls_per_sec", modeled_calls_per_sec)
+                    .field("reader_processed", reader_processed)
+                    .field("responder_processed", responder_processed);
+                rows.push(row);
+            }
+        }
+    }
+    header("shards", opts, git_rev).field("rows", Json::Arr(rows))
+}
+
 /// Best-effort `git rev-parse HEAD` (the files record provenance; two
 /// runs from the same checkout still diff byte-identical).
 pub fn git_rev() -> String {

@@ -2,9 +2,10 @@
 //! beyond a configurable tolerance.
 //!
 //! Rows are matched by a composite key (`transport` plus whichever sweep
-//! axis the figure uses — `payload`, `mix`, or `handlers`), so adding new
-//! rows to a sweep never breaks an old baseline; only rows the baseline
-//! *has* must still exist and stay within tolerance.
+//! axis the figure uses — `payload`, `mix`, `handlers`, or the shard
+//! sweep's `point`), so adding new rows to a sweep never breaks an old
+//! baseline; only rows the baseline *has* must still exist and stay
+//! within tolerance.
 
 use crate::json::Json;
 
@@ -26,7 +27,7 @@ impl CheckOutcome {
 /// The identity of a row within its figure: transport + sweep axis.
 fn row_key(row: &Json) -> Option<String> {
     let transport = row.get("transport")?.as_str()?;
-    for axis in ["payload", "mix", "handlers"] {
+    for axis in ["payload", "mix", "handlers", "point"] {
         if let Some(v) = row.get(axis) {
             let v = match v {
                 Json::U64(n) => n.to_string(),

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use simnet::{Fabric, NodeId, SimAddr, SimStream};
 use wire::Writable;
 
@@ -80,6 +80,11 @@ struct ClientInner {
     next_seq: AtomicI64,
     metrics: MetricsRegistry,
     stopped: AtomicBool,
+    /// Makes retry backoffs interruptible: `shutdown` flips `stopped` and
+    /// notifies under this lock, so a caller parked between attempts wakes
+    /// immediately instead of sleeping out the full pause.
+    stop_lock: Mutex<()>,
+    stop_cv: Condvar,
     /// Servers this client has connected to at least once; a later
     /// establishment to one of them is a *re*connect (counted).
     ever_connected: Mutex<HashSet<SimAddr>>,
@@ -102,6 +107,22 @@ impl ClientInner {
     fn invalidate(&self, connection: &Arc<ClientConnection>) {
         connection.broken.store(true, Ordering::Release);
         self.forget_connection(connection);
+    }
+}
+
+/// Removes one call's pending-table entry on drop, so *every* exit from
+/// [`Client::try_call`] — response delivered, timeout, send failure,
+/// busy rejection, even a panic while parked — leaves the table clean.
+/// On paths where the Connection thread already removed the entry
+/// (response delivery, `fail_all`) the drop is a no-op.
+struct PendingGuard<'a> {
+    connection: &'a ClientConnection,
+    seq: i64,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.connection.pending.lock().remove(&self.seq);
     }
 }
 
@@ -147,6 +168,8 @@ impl Client {
                 next_seq: AtomicI64::new(1),
                 metrics: MetricsRegistry::new(trace),
                 stopped: AtomicBool::new(false),
+                stop_lock: Mutex::new(()),
+                stop_cv: Condvar::new(),
                 ever_connected: Mutex::new(HashSet::new()),
             }),
         })
@@ -204,6 +227,19 @@ impl Client {
     /// Number of cached (possibly broken) server connections.
     pub fn connection_count(&self) -> usize {
         self.inner.conns.lock().len()
+    }
+
+    /// Calls currently awaiting a response, summed over every cached
+    /// connection. Regression hook for the pending-table lifecycle: once
+    /// no calls are in flight this must be 0 — any other value is a leaked
+    /// entry whose caller has already given up.
+    pub fn pending_calls(&self) -> usize {
+        self.inner
+            .conns
+            .lock()
+            .values()
+            .map(|c| c.pending.lock().len())
+            .sum()
     }
 
     /// Jump the sequence counter (regression-testing wraparound paths).
@@ -330,7 +366,17 @@ impl Client {
                     }
                     self.inner.metrics.inc_retries();
                     if !pause.is_zero() {
-                        std::thread::sleep(pause);
+                        // Interruptible backoff: `shutdown` notifies the
+                        // condvar, so a stopped client abandons the pause
+                        // (and the call) immediately instead of sleeping
+                        // it out and burning further attempts.
+                        let mut guard = self.inner.stop_lock.lock();
+                        if !self.inner.stopped.load(Ordering::Acquire) {
+                            self.inner.stop_cv.wait_for(&mut guard, pause);
+                        }
+                    }
+                    if self.inner.stopped.load(Ordering::Acquire) {
+                        break RpcError::ConnectionClosed;
                     }
                 }
             }
@@ -367,6 +413,12 @@ impl Client {
                 method: method.to_owned(),
             },
         );
+        // From here on the guard owns cleanup: no exit path below needs
+        // (or is trusted) to remove the entry by hand.
+        let _pending = PendingGuard {
+            connection: &connection,
+            seq,
+        };
 
         let profile = match connection.conn.send_msg(protocol, method, &mut |out| {
             write_request(
@@ -381,7 +433,6 @@ impl Client {
         }) {
             Ok(p) => p,
             Err(e) => {
-                connection.pending.lock().remove(&seq);
                 if e.invalidates_connection() {
                     self.inner.invalidate(&connection);
                     connection.fail_all(e.clone());
@@ -423,8 +474,8 @@ impl Client {
             }
             Err(_) => {
                 // No response in time. The connection may be fine (slow
-                // server), so it stays cached; only this call gives up.
-                connection.pending.lock().remove(&seq);
+                // server), so it stays cached; only this call gives up
+                // (the guard unregisters it).
                 Err(RpcError::Timeout)
             }
         }
@@ -497,10 +548,18 @@ impl Client {
         Ok(connection)
     }
 
-    /// Close all connections; subsequent calls fail.
+    /// Close all connections; subsequent calls fail. Callers parked in a
+    /// retry backoff are woken and fail with `ConnectionClosed` promptly
+    /// rather than sleeping out their pause.
     pub fn shutdown(&self) {
         if self.inner.stopped.swap(true, Ordering::AcqRel) {
             return;
+        }
+        {
+            // Taking the lock orders this notify after any in-progress
+            // stopped-check inside the backoff, so no sleeper misses it.
+            let _guard = self.inner.stop_lock.lock();
+            self.inner.stop_cv.notify_all();
         }
         for (_, conn) in self.inner.conns.lock().drain() {
             conn.conn.close();

@@ -59,7 +59,27 @@ pub struct RpcConfig {
     /// Server-side initial serialization buffer for the socket baseline
     /// (Hadoop uses 10 KB on the server, 32 B on the client).
     pub server_buffer_init: usize,
+    /// Reader shard count. Connections are hashed onto shards at accept
+    /// time and each shard runs an event loop over its connections
+    /// (replacing the paper's one-Reader-thread-per-connection model).
+    /// `0` = auto (currently 4).
+    pub reader_shards: usize,
+    /// Responder shard count. Responses are routed to a shard by
+    /// connection id, preserving per-connection ordering. `0` = auto
+    /// (currently 1, the paper's single-Responder behaviour).
+    pub responder_shards: usize,
 }
+
+/// Upper bound on explicit shard counts — far above any sane
+/// configuration; catches arithmetic mistakes (e.g. `usize::MAX`).
+pub(crate) const MAX_SHARDS: usize = 1024;
+
+/// Reader shard count used when `reader_shards` is `0` (auto).
+pub(crate) const AUTO_READER_SHARDS: usize = 4;
+
+/// Responder shard count used when `responder_shards` is `0` (auto):
+/// one, matching the paper's single Responder thread.
+pub(crate) const AUTO_RESPONDER_SHARDS: usize = 1;
 
 impl Default for RpcConfig {
     fn default() -> Self {
@@ -79,6 +99,8 @@ impl Default for RpcConfig {
             large_region_bytes: 4 * 1024 * 1024,
             trace_sizes: false,
             server_buffer_init: 10 * 1024,
+            reader_shards: 0,
+            responder_shards: 0,
         }
     }
 }
@@ -97,10 +119,40 @@ impl RpcConfig {
         }
     }
 
+    /// The effective reader shard count (resolving `0` = auto).
+    pub fn effective_reader_shards(&self) -> usize {
+        if self.reader_shards == 0 {
+            AUTO_READER_SHARDS
+        } else {
+            self.reader_shards
+        }
+    }
+
+    /// The effective responder shard count (resolving `0` = auto).
+    pub fn effective_responder_shards(&self) -> usize {
+        if self.responder_shards == 0 {
+            AUTO_RESPONDER_SHARDS
+        } else {
+            self.responder_shards
+        }
+    }
+
     /// Validate internal consistency; called by client/server construction.
     pub fn validate(&self) -> Result<(), String> {
         if self.handlers == 0 {
             return Err("handlers must be >= 1".into());
+        }
+        if self.reader_shards > MAX_SHARDS {
+            return Err(format!(
+                "reader_shards ({}) exceeds the sanity cap ({MAX_SHARDS})",
+                self.reader_shards
+            ));
+        }
+        if self.responder_shards > MAX_SHARDS {
+            return Err(format!(
+                "responder_shards ({}) exceeds the sanity cap ({MAX_SHARDS})",
+                self.responder_shards
+            ));
         }
         self.retry.validate()?;
         if self.retry_cache_capacity > 0 && self.retry_cache_ttl.is_zero() {
@@ -173,6 +225,38 @@ mod tests {
             ..RpcConfig::default()
         };
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn shard_defaults_resolve_to_paper_shape() {
+        let cfg = RpcConfig::default();
+        assert_eq!(cfg.reader_shards, 0);
+        assert_eq!(cfg.responder_shards, 0);
+        assert_eq!(cfg.effective_reader_shards(), AUTO_READER_SHARDS);
+        // Auto keeps the paper's single-Responder behaviour.
+        assert_eq!(cfg.effective_responder_shards(), 1);
+        let cfg = RpcConfig {
+            reader_shards: 2,
+            responder_shards: 8,
+            ..RpcConfig::default()
+        };
+        cfg.validate().unwrap();
+        assert_eq!(cfg.effective_reader_shards(), 2);
+        assert_eq!(cfg.effective_responder_shards(), 8);
+    }
+
+    #[test]
+    fn absurd_shard_counts_rejected() {
+        let cfg = RpcConfig {
+            reader_shards: MAX_SHARDS + 1,
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = RpcConfig {
+            responder_shards: usize::MAX,
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -18,10 +18,15 @@
 //!   messages, one-sided RDMA writes (+ credit flow control) for large
 //!   ones.
 //!
-//! The engine keeps Hadoop's thread architecture — caller + Connection
-//! thread on the client; Listener, Readers, Handlers, Responder on the
-//! server — and both transports expose the same [`transport::Conn`]
-//! interface, mirroring the paper's stream-interface-compatibility design.
+//! The engine keeps the shape of Hadoop's thread architecture — caller +
+//! Connection thread on the client; Listener, Readers, Handlers,
+//! Responders on the server — but shards the server's read and write
+//! sides: reader *shards* each run an event loop over the connections
+//! hashed onto them, and responder *shards* split transmissions by
+//! connection (see [`server`] and `RpcConfig::{reader_shards,
+//! responder_shards}`). Both transports expose the same
+//! [`transport::Conn`] interface, mirroring the paper's
+//! stream-interface-compatibility design.
 //!
 //! ```
 //! use rpcoib::{Client, RpcConfig, RpcService, Server, ServiceRegistry};
@@ -79,7 +84,8 @@ pub use error::{RpcError, RpcResult};
 pub use frame::{FrameVersion, Payload, ResponseStatus};
 pub use metrics::{
     CallProfile, EngineCounters, HistogramSnapshot, LatencyHistogram, MethodStats, MetricsRegistry,
-    MetricsSnapshot, Phase, PhaseHistograms, PhaseSnapshot, PoolCounters, RecvProfile,
+    MetricsSnapshot, Phase, PhaseHistograms, PhaseSnapshot, PoolCounters, RecvProfile, ShardRole,
+    ShardSnapshot,
 };
 pub use retry::RetryPolicy;
 pub use retry_cache::{Admission, RetryCache};

@@ -361,6 +361,92 @@ pub struct PoolCounters {
     pub oversize: u64,
 }
 
+/// Which half of the sharded server pipeline a shard belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShardRole {
+    /// An event-loop shard receiving frames from its assigned connections.
+    Reader,
+    /// A shard transmitting serialized responses for its connections.
+    Responder,
+}
+
+impl ShardRole {
+    /// Stable snake_case name (the JSON key in bench artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardRole::Reader => "reader",
+            ShardRole::Responder => "responder",
+        }
+    }
+}
+
+/// Live counters for one reader or responder shard. Registered with the
+/// [`MetricsRegistry`] at server start; the owning shard thread updates
+/// them with relaxed atomics on its hot path.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Connections currently assigned to this shard (reader shards; a
+    /// gauge — incremented at registration, decremented at teardown).
+    connections: AtomicU64,
+    /// Work items currently queued for this shard (responder shards: the
+    /// outbound response queue).
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth` over the shard's lifetime.
+    queue_depth_max: AtomicU64,
+    /// Work items this shard has completed (reader shards: frames read;
+    /// responder shards: response transmissions attempted).
+    processed: AtomicU64,
+    /// Busy rejections this shard issued (reader shards).
+    busy_rejections: AtomicU64,
+}
+
+impl ShardStats {
+    pub fn conn_added(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn conn_removed(&self) {
+        self.connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One item entered this shard's queue: bump the depth gauge and fold
+    /// it into the high-water mark. Call *before* the item becomes
+    /// visible to the consumer, or the matching [`ShardStats::dequeued`]
+    /// can race ahead and underflow the gauge.
+    pub fn enqueued(&self) {
+        let depth = self
+            .queue_depth
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_add(1);
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// One item left this shard's queue (whether or not the send worked).
+    pub fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_processed(&self) {
+        self.processed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_busy(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one shard's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    pub role: ShardRole,
+    pub index: usize,
+    pub connections: u64,
+    pub queue_depth: u64,
+    pub queue_depth_max: u64,
+    pub processed: u64,
+    pub busy_rejections: u64,
+}
+
 /// Resilience-event totals for one engine instance (client or server).
 ///
 /// Clients count `retries`, `reconnects`, and `failed_calls`; servers
@@ -421,6 +507,9 @@ pub struct MetricsSnapshot {
     pub counters: EngineCounters,
     /// Buffer-pool counters; `None` on transports without a pool.
     pub pool: Option<PoolCounters>,
+    /// Per-shard pipeline counters, sorted by (role, index). Empty on
+    /// clients (only servers register shards).
+    pub shards: Vec<ShardSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -437,6 +526,7 @@ impl MetricsSnapshot {
 struct MetricsInner {
     stats: Mutex<HashMap<(String, String), MethodStats>>,
     histograms: Mutex<HashMap<(String, String), Arc<PhaseHistograms>>>,
+    shards: Mutex<Vec<(ShardRole, usize, Arc<ShardStats>)>>,
     trace_sizes: Mutex<bool>,
     retries: AtomicU64,
     reconnects: AtomicU64,
@@ -516,6 +606,37 @@ impl MetricsRegistry {
         out
     }
 
+    /// Register one pipeline shard's counter block. Called by server
+    /// construction; the returned `Arc` is owned by the shard thread.
+    pub fn register_shard(&self, role: ShardRole, index: usize) -> Arc<ShardStats> {
+        let stats = Arc::new(ShardStats::default());
+        self.inner
+            .shards
+            .lock()
+            .push((role, index, Arc::clone(&stats)));
+        stats
+    }
+
+    /// Snapshot of every registered shard's counters, sorted by
+    /// (role, index).
+    pub fn shard_snapshot(&self) -> Vec<ShardSnapshot> {
+        let shards = self.inner.shards.lock();
+        let mut out: Vec<_> = shards
+            .iter()
+            .map(|(role, index, s)| ShardSnapshot {
+                role: *role,
+                index: *index,
+                connections: s.connections.load(Ordering::Relaxed),
+                queue_depth: s.queue_depth.load(Ordering::Relaxed),
+                queue_depth_max: s.queue_depth_max.load(Ordering::Relaxed),
+                processed: s.processed.load(Ordering::Relaxed),
+                busy_rejections: s.busy_rejections.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by_key(|s| (s.role, s.index));
+        out
+    }
+
     /// Unified snapshot: method aggregates, phase histograms, engine
     /// counters, and (if the caller's transport has one) pool counters.
     pub fn full_snapshot(&self, pool: Option<PoolCounters>) -> MetricsSnapshot {
@@ -524,6 +645,7 @@ impl MetricsRegistry {
             phases: self.phase_snapshot(),
             counters: self.counters(),
             pool,
+            shards: self.shard_snapshot(),
         }
     }
 
@@ -603,10 +725,18 @@ impl MetricsRegistry {
         }
     }
 
-    /// Drop all recorded data (between benchmark phases).
+    /// Drop all recorded data (between benchmark phases). Shard counters
+    /// are zeroed but stay registered — their threads hold the `Arc`s.
     pub fn reset(&self) {
         self.inner.stats.lock().clear();
         self.inner.histograms.lock().clear();
+        for (_, _, s) in self.inner.shards.lock().iter() {
+            s.connections.store(0, Ordering::Relaxed);
+            s.queue_depth.store(0, Ordering::Relaxed);
+            s.queue_depth_max.store(0, Ordering::Relaxed);
+            s.processed.store(0, Ordering::Relaxed);
+            s.busy_rejections.store(0, Ordering::Relaxed);
+        }
         self.inner.retries.store(0, Ordering::Relaxed);
         self.inner.reconnects.store(0, Ordering::Relaxed);
         self.inner.failed_calls.store(0, Ordering::Relaxed);
@@ -786,6 +916,41 @@ mod tests {
         assert_eq!(pool.history_hits, 3);
         assert_eq!(pool.cold, 1);
         assert!(reg.full_snapshot(None).pool.is_none());
+    }
+
+    #[test]
+    fn shard_stats_snapshot_sorted_and_resettable() {
+        let reg = MetricsRegistry::new(false);
+        let resp = reg.register_shard(ShardRole::Responder, 0);
+        let r1 = reg.register_shard(ShardRole::Reader, 1);
+        let r0 = reg.register_shard(ShardRole::Reader, 0);
+        r0.conn_added();
+        r0.conn_added();
+        r0.conn_removed();
+        r0.inc_processed();
+        r1.inc_busy();
+        resp.enqueued();
+        resp.enqueued();
+        resp.dequeued();
+        let snap = reg.shard_snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap.iter().map(|s| (s.role, s.index)).collect::<Vec<_>>(),
+            vec![
+                (ShardRole::Reader, 0),
+                (ShardRole::Reader, 1),
+                (ShardRole::Responder, 0)
+            ]
+        );
+        assert_eq!(snap[0].connections, 1);
+        assert_eq!(snap[0].processed, 1);
+        assert_eq!(snap[1].busy_rejections, 1);
+        assert_eq!(snap[2].queue_depth, 1);
+        assert_eq!(snap[2].queue_depth_max, 2);
+        reg.reset();
+        let snap = reg.shard_snapshot();
+        assert_eq!(snap.len(), 3, "registration survives reset");
+        assert!(snap.iter().all(|s| s.queue_depth_max == 0));
     }
 
     #[test]

@@ -1,28 +1,54 @@
-//! The RPC server, with Hadoop's thread architecture (Section III-D):
+//! The RPC server: the paper's Section III-D pipeline, with both ends
+//! sharded.
 //!
-//! * a **Listener** thread accepts connections (and, in RPCoIB mode, runs
-//!   the end-point exchange on each);
-//! * one **Reader** thread per connection receives frames, consults the
-//!   [`RetryCache`] for at-most-once admission, and pushes admitted calls
+//! Hadoop's 0.20.x architecture — reproduced faithfully up to PR 3 —
+//! dedicates one **Reader** thread to every connection and funnels every
+//! transmission through a *single* **Responder** thread. That is exactly
+//! right for the paper's 8–16 node runs and exactly wrong at scale:
+//! thread explosion on the read side, a serialization point on the write
+//! side. Following the Ibdxnet design (dedicated, sharded send/recv
+//! threads with explicit per-connection ordering), the pipeline is now:
+//!
+//! * a **Listener** thread accepts connections, assigns each a
+//!   monotonically increasing connection id, and hands the stream to a
+//!   transient setup thread (handshake and, in RPCoIB mode, the blocking
+//!   end-point exchange) which registers the finished connection with
+//!   its reader shard;
+//! * **N reader shards** (`RpcConfig::reader_shards`; connections hashed
+//!   by `conn_id % N` at accept time), each running an event loop over
+//!   its assigned connections: poll readiness ([`Conn::poll_ready`]),
+//!   receive one frame from each ready connection per sweep, consult the
+//!   [`RetryCache`] for at-most-once admission, and push admitted calls
 //!   onto the bounded call queue — *without blocking*: an overflowing
 //!   queue answers with a retryable busy rejection instead of stalling
-//!   every other call multiplexed on the same connection;
+//!   every other call on the shard;
 //! * a pool of **Handler** threads pops calls, dispatches into the
 //!   registered services, serializes the response once, and hands the
 //!   bytes (to the caller *and* any parked duplicate attempts) to the
-//!   responder;
-//! * a single **Responder** thread transmits responses.
+//!   responder shards;
+//! * **M responder shards** (`RpcConfig::responder_shards`) transmit
+//!   responses. A response is routed to shard `conn_id % M`, so all
+//!   responses of one connection flow through one shard in enqueue
+//!   order — per-connection ordering is preserved no matter how many
+//!   shards exist, and a parked duplicate on a *different* connection is
+//!   delivered by *its* connection's shard.
+//!
+//! With `reader_shards = 1, responder_shards = 1` this degenerates to
+//! "one Reader event loop + the paper's single Responder"; the `0`/auto
+//! defaults keep the single-responder behaviour while giving the read
+//! side a small fixed shard pool.
 //!
 //! Shutdown comes in two flavors: [`Server::stop`] (abrupt — close
 //! everything now) and [`Server::drain`] (graceful — stop accepting,
-//! finish queued calls, flush responses, then join).
+//! quiesce the reader shards, finish queued calls, flush responses, then
+//! join).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use simnet::{Fabric, NodeId, SimAddr, SimListener};
 use wire::Writable;
@@ -33,7 +59,9 @@ use crate::frame::{
     read_request_header, write_busy_response, write_response, FrameVersion, Payload, RequestHeader,
 };
 use crate::handshake;
-use crate::metrics::{MetricsRegistry, MetricsSnapshot, Phase, RecvProfile as MetricsRecv};
+use crate::metrics::{
+    MetricsRegistry, MetricsSnapshot, Phase, RecvProfile as MetricsRecv, ShardRole, ShardStats,
+};
 use crate::retry_cache::{Admission, CallKey, RetryCache};
 use crate::service::ServiceRegistry;
 use crate::transport::rdma::{IbContext, RdmaConn};
@@ -43,10 +71,23 @@ use crate::transport::Conn;
 /// How long blocking queue pops wait before re-checking for shutdown.
 const IDLE_SLICE: Duration = Duration::from_millis(100);
 
+/// Bound on one `recv_msg` once a connection has signalled readiness. A
+/// ready socket connection returns instantly; on the verbs path the
+/// pending completion may be a flow-control credit rather than a
+/// message, in which case the credit is consumed and the shard waits at
+/// most this long for a message riding behind it.
+const READ_SLICE: Duration = Duration::from_millis(1);
+
+/// How long an idle reader shard parks on its registration channel
+/// before re-sweeping its connections for readiness. Small, because it
+/// bounds the added first-byte latency of every quiet connection.
+const SWEEP_IDLE: Duration = Duration::from_micros(200);
+
 /// Poll interval of [`Server::drain`]'s quiescence checks.
 const DRAIN_POLL: Duration = Duration::from_millis(2);
 
 struct RawCall {
+    conn_id: u64,
     conn: Arc<dyn Conn>,
     header: RequestHeader,
     payload: Payload,
@@ -59,8 +100,10 @@ struct RawCall {
 
 /// Where one serialized response must be delivered. The retry cache parks
 /// these for duplicate attempts; completion fans the same bytes out to
-/// every route.
+/// every route. `conn_id` picks the responder shard, so every response of
+/// a connection flows through the same shard in order.
 struct RespRoute {
+    conn_id: u64,
     conn: Arc<dyn Conn>,
     protocol: String,
     method: String,
@@ -73,6 +116,21 @@ struct OutboundResponse {
     bytes: Arc<Vec<u8>>,
 }
 
+/// A connection handed from the accept path to its reader shard.
+struct ShardConn {
+    conn_id: u64,
+    conn: Arc<dyn Conn>,
+}
+
+/// One responder shard's queue and counters. The receiving end is also
+/// held here (not moved into the thread) so `Server::start` can spawn the
+/// shard thread after `ServerInner` is built.
+struct RespShard {
+    tx: Sender<OutboundResponse>,
+    rx: Receiver<OutboundResponse>,
+    stats: Arc<ShardStats>,
+}
+
 struct ServerInner {
     cfg: RpcConfig,
     registry: ServiceRegistry,
@@ -82,16 +140,18 @@ struct ServerInner {
     /// calls finish and their responses flush (see [`Server::drain`]).
     draining: AtomicBool,
     /// Set by the Listener on its way out; `drain` waits on it before
-    /// trusting the Reader count (no new Readers spawn after this).
+    /// trusting the reader count (no new setup threads spawn after this).
     listener_done: AtomicBool,
-    /// Readers alive or about to be spawned (incremented by the Listener
-    /// *before* the spawn, so `drain` never sees a gap).
+    /// Read-side threads that can still admit calls: every reader shard
+    /// for the server's lifetime, plus each in-flight connection-setup
+    /// thread (incremented by the Listener *before* the spawn, so `drain`
+    /// never sees a gap).
     live_readers: AtomicUsize,
     /// Admitted calls whose responses have not yet been transmitted.
-    /// Incremented by the Reader before enqueueing a call (and for each
-    /// standalone response it enqueues), decremented by the Responder
-    /// after the send attempt — so "no open work" really means no call or
-    /// response is anywhere in the pipeline.
+    /// Incremented by a reader shard before enqueueing a call (and for
+    /// each standalone response it enqueues), decremented by a responder
+    /// shard after the send attempt — so "no open work" really means no
+    /// call or response is anywhere in the pipeline.
     open_work: AtomicUsize,
     metrics: MetricsRegistry,
     /// Present in RPCoIB mode; kept here so metrics snapshots can read
@@ -103,19 +163,24 @@ struct ServerInner {
     next_client_id: AtomicU64,
     call_tx: Sender<RawCall>,
     call_rx: Receiver<RawCall>,
-    resp_tx: Sender<OutboundResponse>,
-    resp_rx: Receiver<OutboundResponse>,
+    /// Registration channels into the reader shards, indexed by
+    /// `conn_id % reader_shards`.
+    reader_regs: Vec<Sender<ShardConn>>,
+    /// Responder shards, indexed by `conn_id % responder_shards`.
+    responders: Vec<RespShard>,
     /// Live connections, keyed by accept order. Entries are removed by
-    /// the owning Reader thread on its way out, so connection churn does
-    /// not accumulate dead `Arc<dyn Conn>`s (and, in RPCoIB mode, their
-    /// registered buffers) for the life of the server.
+    /// the owning reader shard when a connection is forfeited, so
+    /// connection churn does not accumulate dead `Arc<dyn Conn>`s (and,
+    /// in RPCoIB mode, their registered buffers) for the life of the
+    /// server.
     conns: Mutex<HashMap<u64, Arc<dyn Conn>>>,
     next_conn_id: AtomicU64,
     /// Connections accepted over the server's lifetime.
     accepted: AtomicU64,
-    /// Reader thread handles awaiting reaping. Finished ones are joined
-    /// by the Listener on every accept-loop pass; the rest at `stop()`.
-    reader_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Connection-setup thread handles awaiting reaping. Finished ones
+    /// are joined by the Listener on every accept-loop pass; the rest at
+    /// `stop()`.
+    setup_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl ServerInner {
@@ -130,36 +195,44 @@ impl ServerInner {
         }
     }
 
-    /// Enqueue a response without blocking (Reader-side replay and busy
+    fn responder_for(&self, conn_id: u64) -> &RespShard {
+        &self.responders[(conn_id % self.responders.len() as u64) as usize]
+    }
+
+    /// Enqueue a response without blocking (reader-side replay and busy
     /// paths). Dropping on a full queue is safe: the client retries, and
     /// for replays the cache still holds the bytes.
     fn try_enqueue_response(&self, route: RespRoute, bytes: Arc<Vec<u8>>) {
         self.open_work.fetch_add(1, Ordering::AcqRel);
-        if self
-            .resp_tx
+        let shard = self.responder_for(route.conn_id);
+        // Depth is bumped before the item is visible to the shard thread,
+        // so the matching dequeue can never race ahead of it.
+        shard.stats.enqueued();
+        if shard
+            .tx
             .try_send(OutboundResponse { route, bytes })
             .is_err()
         {
+            shard.stats.dequeued();
             self.open_work.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
-    /// Enqueue a response, blocking if the Responder is behind (Handler
-    /// side — a computed response must not be dropped).
+    /// Enqueue a response, blocking if the responder shard is behind
+    /// (Handler side — a computed response must not be dropped).
     fn enqueue_response(&self, route: RespRoute, bytes: Arc<Vec<u8>>) {
         self.open_work.fetch_add(1, Ordering::AcqRel);
-        if self
-            .resp_tx
-            .send(OutboundResponse { route, bytes })
-            .is_err()
-        {
+        let shard = self.responder_for(route.conn_id);
+        shard.stats.enqueued();
+        if shard.tx.send(OutboundResponse { route, bytes }).is_err() {
+            shard.stats.dequeued();
             self.open_work.fetch_sub(1, Ordering::AcqRel);
         }
     }
 }
 
-/// Decrements a counter on drop, so Reader exits (normal, panic, early
-/// return) all release their slot.
+/// Decrements a counter on drop, so read-side thread exits (normal,
+/// panic, early return) all release their slot.
 struct CountGuard<'a>(&'a AtomicUsize);
 
 impl Drop for CountGuard<'_> {
@@ -193,14 +266,35 @@ impl Server {
             None
         };
 
+        let n_readers = cfg.effective_reader_shards();
+        let n_responders = cfg.effective_responder_shards();
         let (call_tx, call_rx) = bounded(cfg.call_queue_len);
-        let (resp_tx, resp_rx) = bounded(cfg.call_queue_len);
         let metrics = MetricsRegistry::new(false);
         let retry_cache = RetryCache::new(
             cfg.retry_cache_ttl,
             cfg.retry_cache_capacity,
             metrics.clone(),
         );
+
+        let mut reader_regs = Vec::with_capacity(n_readers);
+        let mut reader_rxs = Vec::with_capacity(n_readers);
+        let mut reader_stats = Vec::with_capacity(n_readers);
+        for i in 0..n_readers {
+            let (tx, rx) = unbounded();
+            reader_regs.push(tx);
+            reader_rxs.push(rx);
+            reader_stats.push(metrics.register_shard(ShardRole::Reader, i));
+        }
+        let mut responders = Vec::with_capacity(n_responders);
+        for i in 0..n_responders {
+            let (tx, rx) = bounded(cfg.call_queue_len);
+            responders.push(RespShard {
+                tx,
+                rx,
+                stats: metrics.register_shard(ShardRole::Responder, i),
+            });
+        }
+
         let id_seed = handshake::mint_client_id((u64::from(node.0) << 16) ^ u64::from(port));
         let inner = Arc::new(ServerInner {
             cfg,
@@ -217,12 +311,12 @@ impl Server {
             next_client_id: AtomicU64::new(id_seed),
             call_tx,
             call_rx,
-            resp_tx,
-            resp_rx,
+            reader_regs,
+            responders,
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
-            reader_threads: Mutex::new(Vec::new()),
+            setup_threads: Mutex::new(Vec::new()),
         });
 
         let mut threads = Vec::new();
@@ -237,6 +331,21 @@ impl Server {
                     .expect("spawn listener"),
             );
         }
+        // Reader shards (counted in live_readers for their whole life;
+        // `drain` waits for them to observe the draining flag and exit).
+        for (i, (reg_rx, stats)) in reader_rxs.into_iter().zip(reader_stats).enumerate() {
+            inner.live_readers.fetch_add(1, Ordering::AcqRel);
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rpc-reader-{i}"))
+                    .spawn(move || {
+                        let _slot = CountGuard(&inner.live_readers);
+                        reader_shard_loop(&inner, reg_rx, &stats);
+                    })
+                    .expect("spawn reader shard"),
+            );
+        }
         // Handler pool.
         for h in 0..inner.cfg.handlers {
             let inner = Arc::clone(&inner);
@@ -247,13 +356,15 @@ impl Server {
                     .expect("spawn handler"),
             );
         }
-        // Responder thread.
-        {
-            let inner = Arc::clone(&inner);
+        // Responder shards.
+        for i in 0..n_responders {
+            let inner2 = Arc::clone(&inner);
+            let rx = inner.responders[i].rx.clone();
+            let stats = Arc::clone(&inner.responders[i].stats);
             threads.push(
                 std::thread::Builder::new()
-                    .name("rpc-responder".into())
-                    .spawn(move || responder_loop(inner))
+                    .name(format!("rpc-responder-{i}"))
+                    .spawn(move || responder_loop(inner2, rx, stats))
                     .expect("spawn responder"),
             );
         }
@@ -275,8 +386,9 @@ impl Server {
     }
 
     /// Full observability snapshot: engine counters, per-method stats,
-    /// per-`<protocol, method>` phase histograms, and (in RPCoIB mode)
-    /// the registered buffer pool's counters.
+    /// per-`<protocol, method>` phase histograms, per-shard pipeline
+    /// counters, and (in RPCoIB mode) the registered buffer pool's
+    /// counters.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.inner
             .metrics
@@ -285,7 +397,7 @@ impl Server {
 
     /// Number of connections currently alive (accepted and not yet torn
     /// down). Under churn this returns to zero once departed clients'
-    /// Readers notice the close.
+    /// reader shards notice the close.
     pub fn connection_count(&self) -> usize {
         self.inner.conns.lock().len()
     }
@@ -313,7 +425,7 @@ impl Server {
         self.inner.draining.store(true, Ordering::Release);
         let deadline = Instant::now() + timeout;
 
-        // Phase 1: the Listener exits — no new Readers after this.
+        // Phase 1: the Listener exits — no new setup threads after this.
         while !self.inner.listener_done.load(Ordering::Acquire) {
             if Instant::now() >= deadline {
                 self.shutdown(false);
@@ -321,7 +433,9 @@ impl Server {
             }
             std::thread::sleep(DRAIN_POLL);
         }
-        // Phase 2: Readers exit — no new calls enter the pipeline.
+        // Phase 2: the read side quiesces — every reader shard observes
+        // the draining flag and exits, and in-flight connection setups
+        // finish. No new calls enter the pipeline after this.
         while self.inner.live_readers.load(Ordering::Acquire) > 0 {
             if Instant::now() >= deadline {
                 self.shutdown(false);
@@ -330,7 +444,7 @@ impl Server {
             std::thread::sleep(DRAIN_POLL);
         }
         // Phase 3: the pipeline empties. `open_work` covers a call from
-        // Reader admission until its response transmission, so zero means
+        // reader admission until its response transmission, so zero means
         // nothing is queued, executing, or awaiting send.
         while self.inner.open_work.load(Ordering::Acquire) > 0 {
             if Instant::now() >= deadline {
@@ -355,11 +469,21 @@ impl Server {
         if self.inner.stop.swap(true, Ordering::AcqRel) {
             return;
         }
-        for conn in self.inner.conns.lock().values() {
-            conn.close();
+        {
+            // Close *and drop* every connection. Releasing the `Arc`s here
+            // (rather than when the `Server` value itself is dropped)
+            // deregisters server-side transport state — RPCoIB queue pairs
+            // in particular — so a client holding a stale connection sees
+            // its next send fail fast and reconnects, instead of writing
+            // into a zombie queue pair and timing out.
+            let mut conns = self.inner.conns.lock();
+            for conn in conns.values() {
+                conn.close();
+            }
+            conns.clear();
         }
         let mut threads: Vec<_> = self.threads.lock().drain(..).collect();
-        threads.extend(self.inner.reader_threads.lock().drain(..));
+        threads.extend(self.inner.setup_threads.lock().drain(..));
         if wait {
             for t in threads {
                 let _ = t.join();
@@ -394,11 +518,11 @@ impl std::fmt::Debug for Server {
 
 fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
     while !inner.stop.load(Ordering::Acquire) && !inner.draining.load(Ordering::Acquire) {
-        // Reap Readers whose connections have since died. Without this,
-        // a server that lives through N transient clients holds N parked
-        // JoinHandles (and their stacks) forever.
+        // Reap setup threads whose connections have finished (or failed)
+        // bootstrap. Without this, a server that lives through N transient
+        // clients holds N parked JoinHandles (and their stacks) forever.
         {
-            let mut threads = inner.reader_threads.lock();
+            let mut threads = inner.setup_threads.lock();
             if threads.iter().any(|t| t.is_finished()) {
                 let mut live = Vec::with_capacity(threads.len());
                 for t in threads.drain(..) {
@@ -414,16 +538,21 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
         match listener.try_accept() {
             Ok(Some((stream, _peer))) => {
                 inner.accepted.fetch_add(1, Ordering::Relaxed);
+                // The id decides the connection's reader and responder
+                // shards; assigned here, in accept order, so shard
+                // placement does not depend on setup-thread scheduling.
+                let conn_id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 // Counted before the spawn so `drain` can never observe
-                // "listener done, zero readers" while one is in flight.
+                // "listener done, read side quiesced" while a setup is in
+                // flight.
                 inner.live_readers.fetch_add(1, Ordering::AcqRel);
                 let inner2 = Arc::clone(&inner);
                 // Connection setup (handshake, and in RPCoIB mode the
-                // blocking endpoint exchange) and the per-connection
-                // Reader run on their own thread, keeping the accept loop
-                // responsive.
+                // blocking endpoint exchange) runs on its own transient
+                // thread, keeping the accept loop responsive; the
+                // finished connection is handed to its reader shard.
                 let handle = std::thread::Builder::new()
-                    .name("rpc-reader".into())
+                    .name("rpc-conn-setup".into())
                     .spawn(move || {
                         let _slot = CountGuard(&inner2.live_readers);
                         // Identity/version handshake first, on the raw
@@ -457,22 +586,18 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
                                     .with_metrics(inner2.metrics.clone()),
                             ),
                         };
-                        let conn_id = inner2.next_conn_id.fetch_add(1, Ordering::Relaxed);
                         inner2.conns.lock().insert(conn_id, Arc::clone(&conn));
-                        let shutdown_exit = reader_loop(&inner2, &conn);
-                        // The Reader owns the connection's lifetime: when
-                        // the peer is gone or sent a corrupt frame, the
-                        // transport is closed and the table entry freed.
-                        // On a stop/drain exit the connection stays open —
-                        // a draining server still owes it responses, and
-                        // `stop()` closes the whole table itself.
-                        if !shutdown_exit {
-                            conn.close();
-                            inner2.conns.lock().remove(&conn_id);
+                        let shard = (conn_id % inner2.reader_regs.len() as u64) as usize;
+                        if inner2.reader_regs[shard]
+                            .send(ShardConn { conn_id, conn })
+                            .is_err()
+                        {
+                            // Shard gone (server stopping): the table
+                            // entry is closed by `stop()`.
                         }
                     })
-                    .expect("spawn reader");
-                inner.reader_threads.lock().push(handle);
+                    .expect("spawn conn setup");
+                inner.setup_threads.lock().push(handle);
             }
             Ok(None) => std::thread::sleep(Duration::from_millis(1)),
             Err(_) => break, // listener evicted (node killed)
@@ -481,122 +606,194 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
     inner.listener_done.store(true, Ordering::Release);
 }
 
-/// Returns `true` when the exit was shutdown-initiated (stop or drain —
-/// the connection itself is healthy), `false` when the connection is
-/// forfeit (peer gone, corrupt frame).
-fn reader_loop(inner: &Arc<ServerInner>, conn: &Arc<dyn Conn>) -> bool {
-    while !inner.stop.load(Ordering::Acquire) && !inner.draining.load(Ordering::Acquire) {
-        let (payload, recv) = match conn.recv_msg(IDLE_SLICE) {
-            Ok(v) => v,
-            Err(RpcError::Timeout) => continue,
-            Err(RpcError::Protocol(_)) => {
-                // Unframeable bytes (e.g. a garbage peer that passed the
-                // legacy handshake sniff): count it like any corrupt
-                // frame before forfeiting the connection.
-                inner.metrics.inc_frame_errors();
-                return false;
+/// What one bounded receive attempt on a ready connection produced.
+enum ReadOutcome {
+    /// A frame was consumed (admitted, replayed, or rejected busy).
+    Frame,
+    /// Nothing usable within [`READ_SLICE`] (e.g. only a flow-control
+    /// credit was pending); the connection stays assigned.
+    Idle,
+    /// The connection is forfeit (peer gone, corrupt frame): close it and
+    /// free its table entry.
+    Forfeit,
+    /// The server is going away (call queue disconnected); the shard
+    /// should exit.
+    Shutdown,
+}
+
+/// The event loop of one reader shard: adopt newly accepted connections,
+/// sweep the assigned set for readiness, and receive one frame per ready
+/// connection per sweep (round-robin fairness — one chatty peer cannot
+/// starve the rest of the shard).
+fn reader_shard_loop(inner: &Arc<ServerInner>, reg_rx: Receiver<ShardConn>, stats: &ShardStats) {
+    let mut conns: Vec<ShardConn> = Vec::new();
+    'outer: while !inner.stop.load(Ordering::Acquire) && !inner.draining.load(Ordering::Acquire) {
+        while let Ok(sc) = reg_rx.try_recv() {
+            stats.conn_added();
+            conns.push(sc);
+        }
+        let mut progress = false;
+        let mut i = 0;
+        while i < conns.len() {
+            if inner.stop.load(Ordering::Acquire) || inner.draining.load(Ordering::Acquire) {
+                break 'outer;
             }
-            Err(_) => return false,
-        };
-        let mut reader = payload.reader();
-        let header = match read_request_header(&mut reader) {
-            Ok(h) => h,
-            Err(_) => {
-                // Corrupt frame: past this point the stream cannot be
-                // re-synchronized, so the whole connection is forfeit
-                // (closed by the caller). Counted for observability.
-                inner.metrics.inc_frame_errors();
-                return false;
+            if !conns[i].conn.poll_ready() {
+                i += 1;
+                continue;
             }
-        };
-        let body_offset = reader.position();
-        inner.metrics.record_recv(
-            &header.protocol,
-            &header.method,
-            MetricsRecv {
-                alloc_ns: recv.alloc_ns,
-                total_ns: recv.total_ns,
-                size: recv.size,
-            },
-        );
-        // At-most-once admission. V1 peers (and clients with caching
-        // disabled, client_id 0) skip the cache but still get the
-        // non-blocking queue admission below.
-        let cache_key: Option<CallKey> = match (header.version, header.client_id) {
-            (FrameVersion::V2, id) if id != 0 => Some((id, header.seq)),
-            _ => None,
-        };
-        if let Some(key) = cache_key {
-            match inner.retry_cache.begin(key, || RespRoute {
-                conn: Arc::clone(conn),
-                protocol: header.protocol.clone(),
-                method: header.method.clone(),
-            }) {
-                Admission::Execute => {}
-                Admission::Parked => continue,
-                Admission::Replay(bytes) => {
-                    // Completed earlier: answer from the cache, never
-                    // touching the handler pool.
-                    let route = RespRoute {
-                        conn: Arc::clone(conn),
-                        protocol: header.protocol.clone(),
-                        method: header.method.clone(),
-                    };
-                    inner.try_enqueue_response(route, bytes);
-                    continue;
+            match read_one(inner, &conns[i], stats) {
+                ReadOutcome::Frame => {
+                    progress = true;
+                    i += 1;
                 }
+                ReadOutcome::Idle => i += 1,
+                ReadOutcome::Forfeit => {
+                    let sc = conns.swap_remove(i);
+                    sc.conn.close();
+                    inner.conns.lock().remove(&sc.conn_id);
+                    stats.conn_removed();
+                    progress = true;
+                }
+                ReadOutcome::Shutdown => break 'outer,
             }
         }
-        let version = header.version;
-        let seq = header.seq;
-        let route = RespRoute {
-            conn: Arc::clone(conn),
-            protocol: header.protocol.clone(),
-            method: header.method.clone(),
-        };
-        let call = RawCall {
-            conn: Arc::clone(conn),
-            header,
-            payload,
-            body_offset,
-            admitted_at: Instant::now(),
-        };
-        inner.open_work.fetch_add(1, Ordering::AcqRel);
-        match inner.call_tx.try_send(call) {
-            Ok(()) => {}
-            Err(TrySendError::Full(_)) => {
-                // Overload: reject instead of blocking the Reader (which
-                // would stall every call multiplexed on this connection
-                // and, transitively, the client's whole pipeline). The
-                // call never executed, so the rejection is retryable.
-                inner.open_work.fetch_sub(1, Ordering::AcqRel);
-                inner.metrics.inc_busy_rejections();
-                let mut routes = vec![route];
-                if let Some(key) = cache_key {
-                    // Duplicates that parked in the begin/try_send window
-                    // (another connection of the same client) get the
-                    // same busy answer; the entry is gone so a retry can
-                    // execute.
-                    routes.extend(inner.retry_cache.abort(key));
+        if !progress {
+            // Idle: park on the registration channel so the sleep doubles
+            // as the new-connection wake-up.
+            match reg_rx.recv_timeout(SWEEP_IDLE) {
+                Ok(sc) => {
+                    stats.conn_added();
+                    conns.push(sc);
                 }
-                let mut body = Vec::new();
-                write_busy_response(&mut body, version, seq)
-                    .expect("serializing to Vec cannot fail");
-                let bytes = Arc::new(body);
-                for r in routes {
-                    inner.try_enqueue_response(r, Arc::clone(&bytes));
-                }
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                inner.open_work.fetch_sub(1, Ordering::AcqRel);
-                if let Some(key) = cache_key {
-                    inner.retry_cache.abort(key);
-                }
-                return true; // the server is going away, not this conn
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
     }
-    true
+    // On stop or drain the assigned connections stay open and in the
+    // table — a draining server still owes them responses, and `stop()`
+    // closes the whole table itself.
+}
+
+/// Receive and admit one frame from a ready connection. This is the body
+/// the per-connection Reader thread used to run, minus the blocking idle
+/// wait (the shard only calls it after `poll_ready`).
+fn read_one(inner: &Arc<ServerInner>, sc: &ShardConn, stats: &ShardStats) -> ReadOutcome {
+    let conn = &sc.conn;
+    let (payload, recv) = match conn.recv_msg(READ_SLICE) {
+        Ok(v) => v,
+        Err(RpcError::Timeout) => return ReadOutcome::Idle,
+        Err(RpcError::Protocol(_)) => {
+            // Unframeable bytes (e.g. a garbage peer that passed the
+            // legacy handshake sniff): count it like any corrupt frame
+            // before forfeiting the connection.
+            inner.metrics.inc_frame_errors();
+            return ReadOutcome::Forfeit;
+        }
+        Err(_) => return ReadOutcome::Forfeit,
+    };
+    let mut reader = payload.reader();
+    let header = match read_request_header(&mut reader) {
+        Ok(h) => h,
+        Err(_) => {
+            // Corrupt frame: past this point the stream cannot be
+            // re-synchronized, so the whole connection is forfeit.
+            // Counted for observability.
+            inner.metrics.inc_frame_errors();
+            return ReadOutcome::Forfeit;
+        }
+    };
+    stats.inc_processed();
+    let body_offset = reader.position();
+    inner.metrics.record_recv(
+        &header.protocol,
+        &header.method,
+        MetricsRecv {
+            alloc_ns: recv.alloc_ns,
+            total_ns: recv.total_ns,
+            size: recv.size,
+        },
+    );
+    // At-most-once admission. V1 peers (and clients with caching
+    // disabled, client_id 0) skip the cache but still get the
+    // non-blocking queue admission below.
+    let cache_key: Option<CallKey> = match (header.version, header.client_id) {
+        (FrameVersion::V2, id) if id != 0 => Some((id, header.seq)),
+        _ => None,
+    };
+    if let Some(key) = cache_key {
+        match inner.retry_cache.begin(key, || RespRoute {
+            conn_id: sc.conn_id,
+            conn: Arc::clone(conn),
+            protocol: header.protocol.clone(),
+            method: header.method.clone(),
+        }) {
+            Admission::Execute => {}
+            Admission::Parked => return ReadOutcome::Frame,
+            Admission::Replay(bytes) => {
+                // Completed earlier: answer from the cache, never
+                // touching the handler pool.
+                let route = RespRoute {
+                    conn_id: sc.conn_id,
+                    conn: Arc::clone(conn),
+                    protocol: header.protocol.clone(),
+                    method: header.method.clone(),
+                };
+                inner.try_enqueue_response(route, bytes);
+                return ReadOutcome::Frame;
+            }
+        }
+    }
+    let version = header.version;
+    let seq = header.seq;
+    let route = RespRoute {
+        conn_id: sc.conn_id,
+        conn: Arc::clone(conn),
+        protocol: header.protocol.clone(),
+        method: header.method.clone(),
+    };
+    let call = RawCall {
+        conn_id: sc.conn_id,
+        conn: Arc::clone(conn),
+        header,
+        payload,
+        body_offset,
+        admitted_at: Instant::now(),
+    };
+    inner.open_work.fetch_add(1, Ordering::AcqRel);
+    match inner.call_tx.try_send(call) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            // Overload: reject instead of blocking the shard (which would
+            // stall every connection assigned to it). The call never
+            // executed, so the rejection is retryable.
+            inner.open_work.fetch_sub(1, Ordering::AcqRel);
+            inner.metrics.inc_busy_rejections();
+            stats.inc_busy();
+            let mut routes = vec![route];
+            if let Some(key) = cache_key {
+                // Duplicates that parked in the begin/try_send window
+                // (another connection of the same client) get the same
+                // busy answer; the entry is gone so a retry can execute.
+                routes.extend(inner.retry_cache.abort(key));
+            }
+            let mut body = Vec::new();
+            write_busy_response(&mut body, version, seq).expect("serializing to Vec cannot fail");
+            let bytes = Arc::new(body);
+            for r in routes {
+                inner.try_enqueue_response(r, Arc::clone(&bytes));
+            }
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            inner.open_work.fetch_sub(1, Ordering::AcqRel);
+            if let Some(key) = cache_key {
+                inner.retry_cache.abort(key);
+            }
+            return ReadOutcome::Shutdown; // the server is going away
+        }
+    }
+    ReadOutcome::Frame
 }
 
 fn handler_loop(inner: Arc<ServerInner>) {
@@ -617,8 +814,8 @@ fn handler_loop(inner: Arc<ServerInner>) {
                     &call.header.method,
                     &mut reader,
                 );
-                // Serialize once, on the handler thread; the Responder
-                // (and any parked duplicate) just transmits bytes.
+                // Serialize once, on the handler thread; the responder
+                // shard (and any parked duplicate) just transmits bytes.
                 let error_text;
                 let result_ref: Result<&dyn Writable, &str> = match &result {
                     Ok(value) => Ok(value.as_ref()),
@@ -645,6 +842,7 @@ fn handler_loop(inner: Arc<ServerInner>) {
                 );
 
                 let mut routes = vec![RespRoute {
+                    conn_id: call.conn_id,
                     conn: call.conn,
                     protocol: call.header.protocol,
                     method: call.header.method,
@@ -671,18 +869,19 @@ fn handler_loop(inner: Arc<ServerInner>) {
     }
 }
 
-fn responder_loop(inner: Arc<ServerInner>) {
+fn responder_loop(inner: Arc<ServerInner>, rx: Receiver<OutboundResponse>, stats: Arc<ShardStats>) {
     loop {
-        match inner.resp_rx.recv_timeout(IDLE_SLICE) {
+        match rx.recv_timeout(IDLE_SLICE) {
             Ok(out) => {
+                stats.dequeued();
                 // The response's buffer-size history is keyed separately
                 // from the request's (responses of a method have their own
                 // stable size).
                 let resp_key = format!("{}#resp", out.route.method);
                 // A failed send only affects that one connection — but it
                 // does mean the connection is broken: close it so its
-                // Reader stops pulling requests whose responses could
-                // never be delivered, and count the event.
+                // reader shard stops pulling requests whose responses
+                // could never be delivered, and count the event.
                 let send_result =
                     out.route
                         .conn
@@ -693,6 +892,7 @@ fn responder_loop(inner: Arc<ServerInner>) {
                     inner.metrics.inc_broken_sends();
                     out.route.conn.close();
                 }
+                stats.inc_processed();
                 inner.open_work.fetch_sub(1, Ordering::AcqRel);
             }
             Err(RecvTimeoutError::Timeout) => {

@@ -35,8 +35,11 @@ pub struct RecvProfile {
 /// A bidirectional, message-oriented RPC connection.
 ///
 /// `send_msg` may be called from any thread (internally serialized);
-/// `recv_msg` must be driven by a single reader thread per connection —
-/// the client's Connection thread or the server's Reader thread.
+/// `recv_msg` must be driven by a single receiving thread at a time —
+/// the client's Connection thread, or the server reader *shard* that the
+/// connection was hashed onto at accept time. A shard multiplexes many
+/// connections by polling `poll_ready` and only then calling `recv_msg`,
+/// so no connection's idle wait can block another's traffic.
 pub trait Conn: Send + Sync {
     /// Serialize one message via `write` (which receives this transport's
     /// preferred `DataOutput`) and transmit it. `protocol`/`method` key
@@ -52,6 +55,15 @@ pub trait Conn: Send + Sync {
     /// nothing arrives within `timeout` (the caller decides whether to
     /// retry), [`crate::RpcError::ConnectionClosed`] on orderly EOF.
     fn recv_msg(&self, timeout: Duration) -> RpcResult<(Payload, RecvProfile)>;
+
+    /// Whether a `recv_msg` would make progress right now without an idle
+    /// wait: data (or EOF, or a local close) is observable. May stage data
+    /// internally but consumes nothing; `true` does not guarantee a full
+    /// frame is buffered — only that the transport has *something* for the
+    /// receiving thread, which may still briefly block assembling the rest
+    /// of a frame already in flight. Event-loop shards use this to skip
+    /// idle connections.
+    fn poll_ready(&self) -> bool;
 
     /// Tear down the connection; pending and future operations fail.
     fn close(&self);

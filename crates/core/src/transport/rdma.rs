@@ -437,6 +437,14 @@ impl Conn for RdmaConn {
         }
     }
 
+    fn poll_ready(&self) -> bool {
+        // Closed counts as ready (the next recv_msg surfaces
+        // ConnectionClosed). A pending completion may be a credit rather
+        // than a message — the shard's bounded recv_msg then consumes the
+        // credit and times out, which is still progress.
+        self.closed.load(Ordering::Acquire) || self.qp.recv_pending()
+    }
+
     fn close(&self) {
         self.closed.store(true, Ordering::Release);
     }

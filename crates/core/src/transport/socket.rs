@@ -230,6 +230,12 @@ impl Conn for SocketConn {
         ))
     }
 
+    fn poll_ready(&self) -> bool {
+        // A closed connection is "ready" so the shard's next recv_msg
+        // observes ConnectionClosed instead of skipping the conn forever.
+        self.closed.load(Ordering::Acquire) || self.stream.readable()
+    }
+
     fn close(&self) {
         self.closed.store(true, Ordering::Release);
         self.stream.shutdown_write();
@@ -316,6 +322,26 @@ mod tests {
         let (_cli, srv) = conn_pair();
         let err = srv.recv_msg(Duration::from_millis(30)).unwrap_err();
         assert_eq!(err, RpcError::Timeout);
+    }
+
+    #[test]
+    fn poll_ready_tracks_data_eof_and_close() {
+        let (cli, srv) = conn_pair();
+        assert!(!srv.poll_ready(), "idle conn must not be ready");
+        cli.send_msg("p", "m", &mut |out| out.write_u8(9)).unwrap();
+        assert!(srv.poll_ready());
+        let (payload, _) = srv.recv_msg(Duration::from_secs(1)).unwrap();
+        assert_eq!(payload.len(), 1);
+        assert!(!srv.poll_ready(), "drained conn must not be ready");
+        drop(cli);
+        assert!(srv.poll_ready(), "EOF counts as ready");
+        assert_eq!(
+            srv.recv_msg(Duration::from_secs(1)).unwrap_err(),
+            RpcError::ConnectionClosed
+        );
+        let (_cli2, srv2) = conn_pair();
+        srv2.close();
+        assert!(srv2.poll_ready(), "locally closed conn must be ready");
     }
 
     #[test]

@@ -254,18 +254,33 @@ fn client_reconnects_to_restarted_server() {
 
 #[test]
 fn call_timeout_fires_when_server_node_hangs() {
-    let cfg = RpcConfig {
-        call_timeout: Duration::from_millis(300),
-        ..RpcConfig::socket()
-    };
-    let (fabric, server, client, _) = setup(model::IPOIB_QDR, cfg);
+    // Warm-up goes through a client with the default (generous) timeout so
+    // a descheduled test thread can never flake the successful calls; the
+    // dead-node claims are then checked against simnet's modeled-time
+    // ledger, which is schedule-independent.
+    let (fabric, server, client, client_node) = setup(model::IPOIB_QDR, RpcConfig::socket());
     let addr = server.addr();
     let _: Text = client
         .call(addr, "test.EchoProtocol", "upper", &Text::from("warm"))
         .unwrap();
+    let warm_ns = fabric.modeled_ns(client_node);
+    assert!(warm_ns > 0, "a successful call must charge modeled time");
+
+    // A second client carries the tight timeout; only its doomed call is
+    // governed by it.
+    let cfg = RpcConfig {
+        call_timeout: Duration::from_millis(300),
+        ..RpcConfig::socket()
+    };
+    let probe = Client::new(&fabric, client_node, cfg).unwrap();
+    let _: Text = probe
+        .call(addr, "test.EchoProtocol", "upper", &Text::from("warm"))
+        .unwrap();
+
     // Kill the server node abruptly: requests go nowhere.
+    let before_ns = fabric.modeled_ns(client_node);
     fabric.kill_node(addr.node);
-    let err = client
+    let err = probe
         .call::<Text, Text>(addr, "test.EchoProtocol", "upper", &Text::from("x"))
         .err()
         .unwrap();
@@ -276,6 +291,16 @@ fn call_timeout_fires_when_server_node_hangs() {
         ),
         "{err:?}"
     );
+    // A dead node delivers no bytes: the failed attempt (retries included)
+    // must charge far less modeled time than the whole warm-up sequence —
+    // the failure came from the fabric, not from slow wall-clock luck.
+    let failed_ns = fabric.modeled_ns(client_node) - before_ns;
+    assert!(
+        failed_ns < warm_ns,
+        "failed call charged {failed_ns}ns modeled, warm-up charged {warm_ns}ns"
+    );
+    probe.shutdown();
+    client.shutdown();
 }
 
 #[test]
@@ -330,9 +355,12 @@ fn rpcoib_metrics_show_no_adjustments_after_warmup() {
 #[test]
 fn rpcoib_latency_beats_socket_baseline() {
     // The headline claim, in miniature: median ping-pong latency of
-    // RPCoIB must be well below default RPC over IPoIB.
-    fn median_latency(cfg: RpcConfig, model: simnet::NetworkModel) -> Duration {
-        let (_f, server, client, _) = setup(model, cfg);
+    // RPCoIB must be well below default RPC over IPoIB. Measured on
+    // simnet's modeled-time ledger (per-call `Fabric::modeled_ns` deltas
+    // on the client's link), not wall-clock, so a CPU-starved test runner
+    // cannot perturb the comparison.
+    fn median_latency_ns(cfg: RpcConfig, model: simnet::NetworkModel) -> u64 {
+        let (fabric, server, client, client_node) = setup(model, cfg);
         let addr = server.addr();
         let payload = BytesWritable(vec![7u8; 512]);
         // Warmup.
@@ -341,22 +369,25 @@ fn rpcoib_latency_beats_socket_baseline() {
                 .call(addr, "test.EchoProtocol", "pingpong", &payload)
                 .unwrap();
         }
-        let mut samples: Vec<Duration> = (0..50)
+        let mut samples: Vec<u64> = (0..50)
             .map(|_| {
-                let start = std::time::Instant::now();
+                let before = fabric.modeled_ns(client_node);
                 let _: BytesWritable = client
                     .call(addr, "test.EchoProtocol", "pingpong", &payload)
                     .unwrap();
-                start.elapsed()
+                fabric.modeled_ns(client_node) - before
             })
             .collect();
-        samples.sort();
-        samples[samples.len() / 2]
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        client.shutdown();
+        server.stop();
+        median
     }
-    let ipoib = median_latency(RpcConfig::socket(), model::IPOIB_QDR);
-    let rpcoib = median_latency(RpcConfig::rpcoib(), model::IB_QDR_VERBS);
+    let ipoib = median_latency_ns(RpcConfig::socket(), model::IPOIB_QDR);
+    let rpcoib = median_latency_ns(RpcConfig::rpcoib(), model::IB_QDR_VERBS);
     assert!(
         rpcoib < ipoib,
-        "RPCoIB ({rpcoib:?}) must beat socket RPC over IPoIB ({ipoib:?})"
+        "RPCoIB ({rpcoib}ns) must beat socket RPC over IPoIB ({ipoib}ns)"
     );
 }

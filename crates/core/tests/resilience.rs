@@ -16,13 +16,26 @@ use simnet::{model, Fabric, FaultSpec, NodeId};
 use wire::{BytesWritable, DataInput, LongWritable, Text, Writable};
 
 /// Fabric + matching config for the transport selected by
-/// `RPC_TRANSPORT` (CI runs the suite under both values).
+/// `RPC_TRANSPORT` (CI runs the suite under both values), with the
+/// server pipeline shape from `RPC_SHARDS` (pins both reader and
+/// responder shard counts; unset or 0 keeps the config defaults). CI's
+/// resilience matrix crosses both variables, so every scenario here runs
+/// single-sharded *and* at 4×4.
 fn env_transport() -> (Fabric, RpcConfig) {
-    if std::env::var("RPC_TRANSPORT").as_deref() == Ok("verbs") {
+    let (fabric, mut cfg) = if std::env::var("RPC_TRANSPORT").as_deref() == Ok("verbs") {
         (Fabric::new(model::IB_QDR_VERBS), RpcConfig::rpcoib())
     } else {
         (Fabric::new(model::IPOIB_QDR), RpcConfig::socket())
+    };
+    if let Some(n) = std::env::var("RPC_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        cfg.reader_shards = n;
+        cfg.responder_shards = n;
     }
+    (fabric, cfg)
 }
 
 /// Aborts the whole test process (with a pointed message) if the guard is
@@ -1057,4 +1070,145 @@ fn retry_cache_ttl_expiry_reexecutes_instead_of_replaying_stale() {
         Admission::Replay(bytes) => assert_eq!(*bytes, vec![2]),
         other => panic!("fresh generation must replay after re-execution, got {other:?}"),
     }
+}
+
+/// The sharded pipeline's correctness contract, cross-shard: with two
+/// reader and two responder shards, two connections land on *different*
+/// shards (conn ids are assigned in accept order and routed `id % N`),
+/// and
+///
+/// * a parked duplicate on one connection still fans out exactly once;
+/// * a non-idempotent workload split across both connections applies
+///   exactly once per logical call under seeded link faults;
+/// * concurrent callers multiplexed on one connection always get *their
+///   own* response back — the per-connection responder routing never
+///   lets two shards interleave writes on a single connection.
+#[test]
+fn cross_shard_ordering_and_at_most_once() {
+    let _wd = watchdog("cross_shard", Duration::from_secs(120));
+    let (fabric, base) = env_transport();
+    fabric.set_fault_seed(7);
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig {
+        reader_shards: 2,
+        responder_shards: 2,
+        // The slow_incr handler takes 400 ms: the first attempt times out
+        // and its retry parks behind the in-flight execution.
+        call_timeout: Duration::from_millis(300),
+        retry: RetryPolicy::exponential(10, Duration::from_millis(10)),
+        ..base
+    };
+    let applied = Arc::new(AtomicU64::new(0));
+    let mut registry = ServiceRegistry::new();
+    registry.register(Arc::new(CounterService {
+        applied: Arc::clone(&applied),
+        delay: Duration::from_millis(400),
+    }));
+    registry.register(Arc::new(EchoService));
+    let server = Server::start(&fabric, server_node, 8020, cfg.clone(), registry).unwrap();
+
+    // Two clients = two connections; sequential warm-ups pin the accept
+    // order, so conn 0 and conn 1 sit on different shards of both kinds.
+    let client_a = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+    counter_call(&client_a, &server, "get").unwrap();
+    let client_b = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+    counter_call(&client_b, &server, "get").unwrap();
+
+    // Parked duplicate on connection A while connection B (on the other
+    // responder shard) keeps working.
+    let resp = counter_call(&client_a, &server, "slow_incr")
+        .expect("the retry should collect the first attempt's response");
+    assert_eq!(resp.0, 1);
+    assert_eq!(
+        applied.load(Ordering::Acquire),
+        1,
+        "the parked duplicate must not re-execute"
+    );
+    assert!(
+        server.metrics().counters().retry_cache_parked >= 1,
+        "the duplicate should have parked behind the in-flight call"
+    );
+
+    // Seeded faults on both links; each connection drives a sequential
+    // stream of non-idempotent calls from its own thread.
+    for &node in &[client_a.node(), client_b.node()] {
+        fabric.set_link_fault(node, server_node, FaultSpec::lossy(0.2));
+        fabric.set_link_fault(server_node, node, FaultSpec::lossy(0.2));
+    }
+    const CALLS_PER_CONN: u64 = 10;
+    let workers: Vec<_> = [client_a.clone(), client_b.clone()]
+        .into_iter()
+        .map(|client| {
+            let server_addr = server.addr();
+            std::thread::spawn(move || {
+                for i in 0..CALLS_PER_CONN {
+                    let resp: LongWritable = client
+                        .call(
+                            server_addr,
+                            "test.CounterProtocol",
+                            "incr",
+                            &LongWritable(1),
+                        )
+                        .unwrap_or_else(|e| panic!("incr #{i} exhausted retries: {e:?}"));
+                    assert!(resp.0 >= 1);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    for &node in &[client_a.node(), client_b.node()] {
+        fabric.set_link_fault(node, server_node, FaultSpec::lossy(0.0));
+        fabric.set_link_fault(server_node, node, FaultSpec::lossy(0.0));
+    }
+    assert_eq!(
+        applied.load(Ordering::Acquire),
+        1 + 2 * CALLS_PER_CONN,
+        "every incr must apply exactly once across both shard pairs"
+    );
+
+    // Clean links again: hammer one connection with concurrent callers.
+    // If responder routing ever let two shards write one connection,
+    // interleaved frames would corrupt these echoes.
+    let hammers: Vec<_> = (0..4)
+        .map(|t| {
+            let client = client_a.clone();
+            let server_addr = server.addr();
+            std::thread::spawn(move || {
+                for i in 0..10u8 {
+                    let payload: Vec<u8> = vec![t as u8 * 16 + i; 64 + i as usize];
+                    let resp: BytesWritable = client
+                        .call(
+                            server_addr,
+                            "test.EchoProtocol",
+                            "pingpong",
+                            &BytesWritable(payload.clone()),
+                        )
+                        .unwrap();
+                    assert_eq!(resp.0, payload, "response routed to the wrong caller");
+                }
+            })
+        })
+        .collect();
+    for h in hammers {
+        h.join().unwrap();
+    }
+
+    // Both shards of each kind must actually have seen work.
+    let shards = server.metrics_snapshot().shards;
+    for role in ["reader", "responder"] {
+        let busy: Vec<_> = shards
+            .iter()
+            .filter(|s| s.role.name() == role && s.processed > 0)
+            .collect();
+        assert!(
+            busy.len() >= 2,
+            "{role} work was not spread across shards: {shards:?}"
+        );
+    }
+
+    client_a.shutdown();
+    client_b.shutdown();
+    server.stop();
 }

@@ -59,6 +59,13 @@ struct RxState {
     rx: Receiver<Segment>,
     /// Bytes from a previously delivered segment not yet read out.
     leftover: VecDeque<Bytes>,
+    /// A segment pulled off the channel by [`SimStream::readable`] but not
+    /// yet consumed by a read. Ingress/ledger charging happens only at
+    /// consumption time, so peeking never perturbs the modeled clock.
+    peeked: Option<Segment>,
+    /// Set once the channel reports `Disconnected`: the stream is at EOF
+    /// and stays readable forever (reads return `Ok(0)`).
+    eof: bool,
 }
 
 struct StreamInner {
@@ -144,6 +151,8 @@ impl SimStream {
                 rx: Mutex::new(RxState {
                     rx: s2c_rx,
                     leftover: VecDeque::new(),
+                    peeked: None,
+                    eof: false,
                 }),
                 read_timeout: Mutex::new(None),
             }),
@@ -168,6 +177,30 @@ impl SimStream {
     /// Close the write half; the peer will observe EOF after draining.
     pub fn shutdown_write(&self) {
         self.inner.tx.lock().take();
+    }
+
+    /// Whether a read would make progress right now without blocking:
+    /// buffered bytes, an in-flight segment, or EOF (all senders gone —
+    /// a read would return `Ok(0)` immediately). Nothing is charged to
+    /// the modeled-time ledger; a segment surfaced here is stashed and
+    /// consumed — and charged — by the next read. This is the `select()`
+    /// readiness primitive event-loop readers poll.
+    pub fn readable(&self) -> bool {
+        let mut rx = self.inner.rx.lock();
+        if !rx.leftover.is_empty() || rx.peeked.is_some() || rx.eof {
+            return true;
+        }
+        match rx.rx.try_recv() {
+            Ok(seg) => {
+                rx.peeked = Some(seg);
+                true
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => false,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                rx.eof = true;
+                true
+            }
+        }
     }
 
     fn write_impl(&self, buf: &[u8]) -> io::Result<usize> {
@@ -270,35 +303,47 @@ impl SimStream {
         }
 
         let deadline = inner.read_timeout.lock().map(|t| Instant::now() + t);
-        let seg = loop {
-            if inner.fabric.is_dead(inner.local.node) {
-                return Err(io::Error::new(
-                    io::ErrorKind::ConnectionReset,
-                    "local node is down",
-                ));
-            }
-            let wait = match deadline {
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        return Err(io::Error::new(io::ErrorKind::TimedOut, "read timeout"));
-                    }
-                    FAILURE_POLL.min(d - now)
+        let seg = if let Some(seg) = rx.peeked.take() {
+            // A segment staged by `readable()`: consume it before touching
+            // the channel so delivery order is preserved. Its ingress and
+            // ledger charges happen below, exactly as for a fresh recv.
+            seg
+        } else if rx.eof {
+            return Ok(0);
+        } else {
+            loop {
+                if inner.fabric.is_dead(inner.local.node) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "local node is down",
+                    ));
                 }
-                None => FAILURE_POLL,
-            };
-            match rx.rx.recv_timeout(wait) {
-                Ok(seg) => break seg,
-                Err(RecvTimeoutError::Timeout) => {
-                    if inner.fabric.is_dead(inner.peer.node) {
-                        return Err(io::Error::new(
-                            io::ErrorKind::ConnectionReset,
-                            "peer node is down",
-                        ));
+                let wait = match deadline {
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(io::Error::new(io::ErrorKind::TimedOut, "read timeout"));
+                        }
+                        FAILURE_POLL.min(d - now)
+                    }
+                    None => FAILURE_POLL,
+                };
+                match rx.rx.recv_timeout(wait) {
+                    Ok(seg) => break seg,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if inner.fabric.is_dead(inner.peer.node) {
+                            return Err(io::Error::new(
+                                io::ErrorKind::ConnectionReset,
+                                "peer node is down",
+                            ));
+                        }
+                    }
+                    // All senders gone: orderly EOF.
+                    Err(RecvTimeoutError::Disconnected) => {
+                        rx.eof = true;
+                        return Ok(0);
                     }
                 }
-                // All senders gone: orderly EOF.
-                Err(RecvTimeoutError::Disconnected) => return Ok(0),
             }
         };
 
@@ -457,6 +502,8 @@ impl SimListener {
                             rx: Mutex::new(RxState {
                                 rx: pending.from_peer,
                                 leftover: VecDeque::new(),
+                                peeked: None,
+                                eof: false,
                             }),
                             read_timeout: Mutex::new(None),
                         }),
@@ -492,6 +539,8 @@ impl SimListener {
                         rx: Mutex::new(RxState {
                             rx: pending.from_peer,
                             leftover: VecDeque::new(),
+                            peeked: None,
+                            eof: false,
                         }),
                         read_timeout: Mutex::new(None),
                     }),
@@ -695,6 +744,45 @@ mod tests {
             elapsed >= Duration::from_millis(7),
             "too fast for 1GigE: {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn readable_reflects_pending_data_and_eof() {
+        let (f, cli, mut srv) = pair(IPOIB_QDR);
+        assert!(!srv.readable(), "idle stream must not be readable");
+        cli.write_impl(b"ping").unwrap();
+        // The segment is on the channel immediately (delivery gating
+        // happens at read time), so readiness flips without blocking.
+        assert!(srv.readable());
+        // Peeking must not charge the receiver's modeled ledger; the
+        // charge lands when the bytes are actually consumed.
+        let before = f.modeled_ns(srv.local_addr().node);
+        assert!(srv.readable());
+        assert_eq!(f.modeled_ns(srv.local_addr().node), before);
+        let mut buf = [0u8; 4];
+        srv.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        assert!(
+            f.modeled_ns(srv.local_addr().node) > before,
+            "consuming the peeked segment must charge ingress wire time"
+        );
+        assert!(!srv.readable(), "drained stream must not be readable");
+        // EOF counts as readable: a read would return Ok(0) immediately.
+        drop(cli);
+        assert!(srv.readable());
+        assert_eq!(srv.read(&mut buf).unwrap(), 0);
+        assert!(srv.readable(), "EOF readiness is sticky");
+    }
+
+    #[test]
+    fn peeked_segment_preserves_order_and_partial_reads() {
+        let (_f, cli, mut srv) = pair(IPOIB_QDR);
+        cli.write_impl(b"first").unwrap();
+        assert!(srv.readable());
+        cli.write_impl(b"second").unwrap();
+        let mut out = vec![0u8; 11];
+        srv.read_exact(&mut out).unwrap();
+        assert_eq!(&out, b"firstsecond");
     }
 
     #[test]

@@ -469,6 +469,17 @@ impl QueuePair {
         Ok(())
     }
 
+    /// Whether a completion is waiting in this queue pair's completion
+    /// channel right now — a `poll_recv` would return without blocking.
+    /// Nothing is consumed or charged; this is the readiness primitive
+    /// event-loop receivers poll across many queue pairs. Also reports
+    /// ready when the local node is dead or the fabric evicted the inbox,
+    /// so a poller observes the `PeerDown` promptly instead of skipping
+    /// the queue pair forever.
+    pub fn recv_pending(&self) -> bool {
+        !self.inbox.is_empty() || self.fabric.is_dead(self.node)
+    }
+
     /// Block until a receive completion is available (or `timeout` passes).
     ///
     /// For `Send` messages the payload is placed into the oldest posted
