@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! bench [--quick|--full] [--seed N] [--out DIR] [--fast]
-//!       [--figure pingpong|bufpool|handlers|shards|all]
+//!       [--figure pingpong|bufpool|handlers|shards|smallcall|all]
 //!       [--check BASELINE.json] [--tolerance PCT]
 //! ```
 //!
@@ -70,7 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--quick|--full] [--seed N] [--out DIR] [--fast] \
-                     [--figure pingpong|bufpool|handlers|shards|all] \
+                     [--figure pingpong|bufpool|handlers|shards|smallcall|all] \
                      [--check BASELINE.json] [--tolerance PCT]"
                 );
                 std::process::exit(0);
@@ -128,11 +128,13 @@ fn main() -> ExitCode {
         "bufpool" => vec![("bufpool", figures::run_bufpool)],
         "handlers" => vec![("handlers", figures::run_handlers)],
         "shards" => vec![("shards", figures::run_shards)],
+        "smallcall" => vec![("smallcall", figures::run_smallcall)],
         "all" => vec![
             ("pingpong", figures::run_pingpong),
             ("bufpool", figures::run_bufpool),
             ("handlers", figures::run_handlers),
             ("shards", figures::run_shards),
+            ("smallcall", figures::run_smallcall),
         ],
         other => {
             eprintln!("bench: unknown figure {other}");

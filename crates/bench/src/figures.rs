@@ -474,6 +474,66 @@ pub fn run_shards(opts: &RunOpts, git_rev: &str) -> Json {
     header("shards", opts, git_rev).field("rows", Json::Arr(rows))
 }
 
+/// Payloads of the small-call sweep: the ≤128 B regime where Hadoop RPC
+/// time is dominated by per-call metadata work, not bytes on the wire
+/// (Table I's heartbeat/getFileInfo class of calls).
+pub const SMALLCALL_PAYLOADS: &[usize] = &[1, 16, 64, 128];
+
+/// Figure: small-call latency with and without the interned hot path.
+///
+/// Every `(transport, payload)` cell runs twice: `legacy` re-enacts the
+/// pre-interning per-call metadata work and charges
+/// [`rpcoib::hostcost::legacy_call_ns`] to the client's ledger per call
+/// (the modeled cost of its owned key strings, fresh reply channel, and
+/// global-map lock rounds); `interned` is the shipped allocation-free
+/// path, which charges nothing. Calls repeat one payload size per cell —
+/// the Figure-3 locality regime, where the shadow pool's size history
+/// hits every time — so the delta isolates metadata cost. No link
+/// jitter: both modes then charge fully deterministic, directly
+/// comparable ledgers, and `improvement_bp` (basis points of the legacy
+/// p50 saved by interning) is exact.
+pub fn run_smallcall(opts: &RunOpts, git_rev: &str) -> Json {
+    let warmup = opts.iters(10, 40);
+    let iters = opts.iters(50, 250);
+    let mut rows = Vec::new();
+    for (label, cfg) in transports() {
+        for &payload in SMALLCALL_PAYLOADS {
+            let mut legacy_p50 = 0u64;
+            for mode in ["legacy", "interned"] {
+                let mut cfg = cfg.clone();
+                cfg.rpc.legacy_metadata = mode == "legacy";
+                let env = boot(&cfg, opts.seed, None);
+                let mut samples = modeled_samples(&env, payload, warmup, iters);
+                samples.sort_unstable();
+                let p50 = percentile_ns(&samples, 0.50);
+                let row = Json::obj()
+                    .field("transport", format!("{label}_{mode}"))
+                    .field("payload", payload)
+                    .field("mode", mode);
+                let mut row = percentile_fields(row, &mut samples);
+                if mode == "legacy" {
+                    legacy_p50 = p50;
+                } else {
+                    let saved = legacy_p50.saturating_sub(p50);
+                    row = row
+                        .field("legacy_p50_ns", legacy_p50)
+                        .field("improvement_bp", saved * 10_000 / legacy_p50.max(1));
+                }
+                rows.push(row);
+                env.client.shutdown();
+            }
+        }
+    }
+    Json::obj()
+        .field("figure", "smallcall")
+        .field("seed", opts.seed)
+        .field("quick", opts.quick)
+        .field("jitter_ns", 0u64)
+        .field("legacy_call_ns", rpcoib::hostcost::legacy_call_ns())
+        .field("git_rev", git_rev)
+        .field("rows", Json::Arr(rows))
+}
+
 /// Best-effort `git rev-parse HEAD` (the files record provenance; two
 /// runs from the same checkout still diff byte-identical).
 pub fn git_rev() -> String {

@@ -158,7 +158,12 @@ impl<M: PoolMem> ShadowPool<M> {
         let ladder = self.inner.native.classes();
         let class = class_for(used).min(ladder.count - 1);
         let mut history = self.inner.history.lock();
-        let methods = history.entry(protocol.to_owned()).or_default();
+        // Steady state is a double lookup hit: `entry(to_owned())` would
+        // clone the protocol key on every record of every call.
+        if !history.contains_key(protocol) {
+            history.insert(protocol.to_owned(), HashMap::new());
+        }
+        let methods = history.get_mut(protocol).expect("just ensured");
         match methods.get_mut(method) {
             Some(entry) => match class.cmp(&entry.class) {
                 std::cmp::Ordering::Equal => {

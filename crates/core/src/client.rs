@@ -7,6 +7,14 @@
 //! Connection thread — which owns the receive side — routes the response
 //! back.
 //!
+//! Steady-state calls are allocation-free and lock-light on this side:
+//! the `<protocol, method>` pair is resolved once to an interned
+//! [`MethodKey`] (a `Copy` pointer), the pending table is sharded by
+//! sequence number so concurrent callers rarely contend, the caller
+//! parks on a pooled, reusable [`CallSlot`] instead of a fresh one-shot
+//! channel, and metrics land as relaxed atomic adds on the key's cached
+//! entry.
+//!
 //! At-most-once plumbing: every client mints a stable random `client_id`
 //! at construction and presents it in the connect handshake; every
 //! logical call draws one wrap-safe `i64` sequence number, and *all*
@@ -19,7 +27,6 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use simnet::{Fabric, NodeId, SimAddr, SimStream};
 use wire::Writable;
@@ -28,6 +35,8 @@ use crate::config::RpcConfig;
 use crate::error::{RpcError, RpcResult};
 use crate::frame::{read_response_header, write_request, Payload, ResponseStatus};
 use crate::handshake;
+use crate::hostcost;
+use crate::intern::{self, MethodKey};
 use crate::metrics::{
     CallProfile, MetricsRegistry, MetricsSnapshot, Phase, RecvProfile as MetricsRecv,
 };
@@ -37,24 +46,150 @@ use crate::transport::Conn;
 
 const IDLE_SLICE: Duration = Duration::from_millis(100);
 
+/// Pending-table shard count (power of two; sequence numbers are dense,
+/// so masking the low bits spreads concurrent callers evenly).
+const PENDING_SHARDS: usize = 8;
+
+/// Cap on the dropped-connection reconnect-tracking set. Beyond this many
+/// *concurrently dropped* distinct servers, further reconnects may be
+/// undercounted — a metrics blemish, accepted so the set stays bounded
+/// (its predecessor grew by one entry per server, forever).
+const RECONNECT_TRACK_CAP: usize = 256;
+
+/// A reusable rendezvous cell one parked caller waits on.
+///
+/// Replaces the per-call one-shot channel (whose construction allocated a
+/// channel block and queue node on every call): connections keep a
+/// freelist of retired slots, and a generation counter distinguishes the
+/// call a result belongs to, so a late response delivered to a recycled
+/// slot is recognized and dropped instead of leaking into the next call.
+struct CallSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+struct SlotState {
+    gen: u64,
+    result: Option<RpcResult<Payload>>,
+}
+
+impl CallSlot {
+    fn new() -> Arc<CallSlot> {
+        Arc::new(CallSlot {
+            state: Mutex::new(SlotState {
+                gen: 0,
+                result: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The generation the next `wait` call will accept results for.
+    fn generation(&self) -> u64 {
+        self.state.lock().gen
+    }
+
+    /// Deliver `result` if the slot is still on generation `gen`;
+    /// returns `false` (result dropped) when the caller already retired
+    /// the slot — the delivery was late.
+    fn deliver(&self, gen: u64, result: RpcResult<Payload>) -> bool {
+        let mut st = self.state.lock();
+        if st.gen != gen {
+            return false;
+        }
+        st.result = Some(result);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Park until a generation-`gen` result arrives or `timeout` passes.
+    fn wait(&self, timeout: Duration) -> Option<RpcResult<Payload>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(result) = st.result.take() {
+                return Some(result);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            self.cv.wait_until(&mut st, deadline);
+        }
+    }
+
+    /// Advance the generation (invalidating any in-flight delivery) and
+    /// clear a result that raced in; called before the slot returns to
+    /// the freelist.
+    fn retire(&self) {
+        let mut st = self.state.lock();
+        st.gen = st.gen.wrapping_add(1);
+        st.result = None;
+    }
+}
+
 struct PendingCall {
-    tx: Sender<RpcResult<Payload>>,
-    protocol: String,
-    method: String,
+    slot: Arc<CallSlot>,
+    gen: u64,
+    key: MethodKey,
+}
+
+/// The in-flight call table, sharded by sequence number so the caller's
+/// insert/remove and the Connection thread's response lookup contend
+/// only when they touch the same shard.
+struct PendingTable {
+    shards: [Mutex<HashMap<i64, PendingCall>>; PENDING_SHARDS],
+}
+
+impl PendingTable {
+    fn new() -> PendingTable {
+        PendingTable {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, seq: i64) -> &Mutex<HashMap<i64, PendingCall>> {
+        &self.shards[(seq as u64 as usize) & (PENDING_SHARDS - 1)]
+    }
+
+    fn insert(&self, seq: i64, call: PendingCall) {
+        self.shard(seq).lock().insert(seq, call);
+    }
+
+    fn remove(&self, seq: i64) -> Option<PendingCall> {
+        self.shard(seq).lock().remove(&seq)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
 }
 
 struct ClientConnection {
     conn: Arc<dyn Conn>,
     server: SimAddr,
-    pending: Mutex<HashMap<i64, PendingCall>>,
+    pending: PendingTable,
+    /// Retired call slots awaiting reuse; bounded by this connection's
+    /// peak caller concurrency.
+    slots: Mutex<Vec<Arc<CallSlot>>>,
     broken: AtomicBool,
 }
 
 impl ClientConnection {
+    fn acquire_slot(&self) -> Arc<CallSlot> {
+        self.slots.lock().pop().unwrap_or_else(CallSlot::new)
+    }
+
+    fn release_slot(&self, slot: Arc<CallSlot>) {
+        slot.retire();
+        self.slots.lock().push(slot);
+    }
+
     fn fail_all(&self, err: RpcError) {
         self.broken.store(true, Ordering::Release);
-        for (_, call) in self.pending.lock().drain() {
-            let _ = call.tx.send(Err(err.clone()));
+        for shard in &self.pending.shards {
+            for (_, call) in shard.lock().drain() {
+                call.slot.deliver(call.gen, Err(err.clone()));
+            }
         }
     }
 }
@@ -85,9 +220,11 @@ struct ClientInner {
     /// immediately instead of sleeping out the full pause.
     stop_lock: Mutex<()>,
     stop_cv: Condvar,
-    /// Servers this client has connected to at least once; a later
-    /// establishment to one of them is a *re*connect (counted).
-    ever_connected: Mutex<HashSet<SimAddr>>,
+    /// Servers whose connection has been dropped from `conns`: a later
+    /// establishment to one of them is a *re*connect (counted, and the
+    /// entry removed). Unlike the ever-connected set it replaces, this is
+    /// empty in steady state and bounded by [`RECONNECT_TRACK_CAP`].
+    reconnectable: Mutex<HashSet<SimAddr>>,
 }
 
 impl ClientInner {
@@ -95,10 +232,20 @@ impl ClientInner {
     /// cached entry. A concurrent caller may already have replaced it
     /// with a fresh, healthy connection that must not be torn down.
     fn forget_connection(&self, connection: &Arc<ClientConnection>) {
-        let mut conns = self.conns.lock();
-        if let Some(current) = conns.get(&connection.server) {
-            if Arc::ptr_eq(current, connection) {
-                conns.remove(&connection.server);
+        let removed = {
+            let mut conns = self.conns.lock();
+            match conns.get(&connection.server) {
+                Some(current) if Arc::ptr_eq(current, connection) => {
+                    conns.remove(&connection.server);
+                    true
+                }
+                _ => false,
+            }
+        };
+        if removed {
+            let mut tracked = self.reconnectable.lock();
+            if tracked.len() < RECONNECT_TRACK_CAP || tracked.contains(&connection.server) {
+                tracked.insert(connection.server);
             }
         }
     }
@@ -110,19 +257,26 @@ impl ClientInner {
     }
 }
 
-/// Removes one call's pending-table entry on drop, so *every* exit from
+/// Removes one call's pending-table entry on drop and returns its slot
+/// to the connection's freelist, so *every* exit from
 /// [`Client::try_call`] — response delivered, timeout, send failure,
 /// busy rejection, even a panic while parked — leaves the table clean.
-/// On paths where the Connection thread already removed the entry
-/// (response delivery, `fail_all`) the drop is a no-op.
+/// The entry removal is a no-op on paths where the Connection thread
+/// already removed it (response delivery, `fail_all`); retiring the slot
+/// advances its generation so any still-in-flight delivery is dropped as
+/// late rather than leaking into the slot's next call.
 struct PendingGuard<'a> {
     connection: &'a ClientConnection,
     seq: i64,
+    slot: Option<Arc<CallSlot>>,
 }
 
 impl Drop for PendingGuard<'_> {
     fn drop(&mut self) {
-        self.connection.pending.lock().remove(&self.seq);
+        self.connection.pending.remove(self.seq);
+        if let Some(slot) = self.slot.take() {
+            self.connection.release_slot(slot);
+        }
     }
 }
 
@@ -170,7 +324,7 @@ impl Client {
                 stopped: AtomicBool::new(false),
                 stop_lock: Mutex::new(()),
                 stop_cv: Condvar::new(),
-                ever_connected: Mutex::new(HashSet::new()),
+                reconnectable: Mutex::new(HashSet::new()),
             }),
         })
     }
@@ -238,8 +392,17 @@ impl Client {
             .conns
             .lock()
             .values()
-            .map(|c| c.pending.lock().len())
+            .map(|c| c.pending.len())
             .sum()
+    }
+
+    /// Servers currently tracked as dropped-and-reconnectable.
+    /// Regression hook for the tracking set's boundedness: it must
+    /// return to 0 once every dropped server has been reconnected to
+    /// (or never exceed [`RECONNECT_TRACK_CAP`] regardless of churn).
+    #[doc(hidden)]
+    pub fn reconnect_tracking_len(&self) -> usize {
+        self.inner.reconnectable.lock().len()
     }
 
     /// Jump the sequence counter (regression-testing wraparound paths).
@@ -261,7 +424,8 @@ impl Client {
         Req: Writable,
         Resp: Writable + Default,
     {
-        let payload = self.call_raw(server, protocol, method, request)?;
+        let key = intern::method_key(protocol, method);
+        let payload = self.call_raw_keyed(server, key, request)?;
         let deser_start = Instant::now();
         let result = (|| {
             let mut reader = payload.reader();
@@ -286,12 +450,10 @@ impl Client {
                 ResponseStatus::Busy => Err(RpcError::ServerBusy),
             }
         })();
-        self.inner.metrics.record_phase(
-            protocol,
-            method,
-            Phase::Deserialize,
-            deser_start.elapsed().as_nanos() as u64,
-        );
+        self.inner
+            .metrics
+            .entry(key)
+            .record_phase(Phase::Deserialize, deser_start.elapsed().as_nanos() as u64);
         if result.is_err() {
             // A remote exception (or unparseable response) is as
             // definitive a failure as exhausted retries: count it.
@@ -322,6 +484,18 @@ impl Client {
     where
         Req: Writable,
     {
+        self.call_raw_keyed(server, intern::method_key(protocol, method), request)
+    }
+
+    fn call_raw_keyed<Req>(
+        &self,
+        server: SimAddr,
+        key: MethodKey,
+        request: &Req,
+    ) -> RpcResult<Payload>
+    where
+        Req: Writable,
+    {
         let policy = self.inner.cfg.retry.clone();
         let start = Instant::now();
         // One sequence number for the whole logical call, retries
@@ -340,15 +514,7 @@ impl Client {
                 }
                 attempt_timeout = attempt_timeout.min(remaining);
             }
-            match self.try_call(
-                server,
-                protocol,
-                method,
-                request,
-                attempt_timeout,
-                seq,
-                attempt - 1,
-            ) {
+            match self.try_call(server, key, request, attempt_timeout, seq, attempt - 1) {
                 Ok(payload) => return Ok(payload),
                 Err(e) => {
                     let exhausted = attempt >= policy.max_attempts
@@ -385,12 +551,10 @@ impl Client {
         Err(err)
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn try_call<Req>(
         &self,
         server: SimAddr,
-        protocol: &str,
-        method: &str,
+        key: MethodKey,
         request: &Req,
         attempt_timeout: Duration,
         seq: i64,
@@ -404,30 +568,41 @@ impl Client {
         }
         let connection = self.get_connection(server)?;
         let client_id = self.inner.client_id.load(Ordering::Acquire);
-        let (tx, rx) = bounded(1);
-        connection.pending.lock().insert(
+        if self.inner.cfg.legacy_metadata {
+            // Ablation baseline: do the pre-interning metadata work for
+            // real (so allocation harnesses see it) and charge its
+            // modeled host cost to this node's ledger.
+            std::hint::black_box(hostcost::reenact_legacy_call(key.protocol(), key.method()));
+            self.inner
+                .fabric
+                .charge_host_ns(self.inner.node, hostcost::legacy_call_ns());
+        }
+        let slot = connection.acquire_slot();
+        let gen = slot.generation();
+        connection.pending.insert(
             seq,
             PendingCall {
-                tx,
-                protocol: protocol.to_owned(),
-                method: method.to_owned(),
+                slot: Arc::clone(&slot),
+                gen,
+                key,
             },
         );
         // From here on the guard owns cleanup: no exit path below needs
-        // (or is trusted) to remove the entry by hand.
+        // (or is trusted) to remove the entry or recycle the slot by hand.
         let _pending = PendingGuard {
             connection: &connection,
             seq,
+            slot: Some(Arc::clone(&slot)),
         };
 
-        let profile = match connection.conn.send_msg(protocol, method, &mut |out| {
+        let profile = match connection.conn.send_msg(key, &mut |out| {
             write_request(
                 out,
                 client_id,
                 seq,
                 retry_attempt,
-                protocol,
-                method,
+                key.protocol(),
+                key.method(),
                 request,
             )
         }) {
@@ -440,19 +615,15 @@ impl Client {
                 return Err(e);
             }
         };
-        self.inner.metrics.record_call(
-            protocol,
-            method,
-            CallProfile {
-                serialize_ns: profile.serialize_ns,
-                send_ns: profile.send_ns,
-                adjustments: profile.adjustments,
-                size: profile.size,
-            },
-        );
+        self.inner.metrics.entry(key).record_call(CallProfile {
+            serialize_ns: profile.serialize_ns,
+            send_ns: profile.send_ns,
+            adjustments: profile.adjustments,
+            size: profile.size,
+        });
 
-        match rx.recv_timeout(attempt_timeout) {
-            Ok(Ok(payload)) => {
+        match slot.wait(attempt_timeout) {
+            Some(Ok(payload)) => {
                 // Peek at the status: a busy rejection means the server
                 // refused admission and the call never executed — surface
                 // it as a retryable error so the retry loop backs off.
@@ -463,7 +634,7 @@ impl Client {
                 }
                 Ok(payload)
             }
-            Ok(Err(e)) => {
+            Some(Err(e)) => {
                 // Delivered by the Connection thread's fail_all: the
                 // connection itself is gone; make sure it is also evicted
                 // before a retry reconnects.
@@ -472,10 +643,11 @@ impl Client {
                 }
                 Err(e)
             }
-            Err(_) => {
+            None => {
                 // No response in time. The connection may be fine (slow
                 // server), so it stays cached; only this call gives up
-                // (the guard unregisters it).
+                // (the guard unregisters it and retires the slot, so a
+                // response that still arrives is dropped as late).
                 Err(RpcError::Timeout)
             }
         }
@@ -523,17 +695,24 @@ impl Client {
         let connection = Arc::new(ClientConnection {
             conn,
             server,
-            pending: Mutex::new(HashMap::new()),
+            pending: PendingTable::new(),
+            slots: Mutex::new(Vec::new()),
             broken: AtomicBool::new(false),
         });
-        if !self.inner.ever_connected.lock().insert(server) {
-            // Not this client's first connection to `server`: a recovery.
-            self.inner.metrics.inc_reconnects();
-        }
-        self.inner
+        // A reconnect is an establishment to a server whose previous
+        // connection was dropped: either it is still cached (broken, and
+        // replaced by the insert below) or its eviction recorded the
+        // server in the reconnectable set.
+        let replaced = self
+            .inner
             .conns
             .lock()
-            .insert(server, Arc::clone(&connection));
+            .insert(server, Arc::clone(&connection))
+            .is_some();
+        let was_dropped = self.inner.reconnectable.lock().remove(&server);
+        if replaced || was_dropped {
+            self.inner.metrics.inc_reconnects();
+        }
 
         // The Connection thread: owns the receive side for this server.
         // It holds only a Weak reference to the client, so dropping the
@@ -612,18 +791,18 @@ fn connection_loop(inner: std::sync::Weak<ClientInner>, connection: Arc<ClientCo
                 return;
             }
         };
-        let pending = connection.pending.lock().remove(&header.seq);
-        if let Some(call) = pending {
-            inner.metrics.record_recv(
-                &call.protocol,
-                &call.method,
-                MetricsRecv {
-                    alloc_ns: recv.alloc_ns,
-                    total_ns: recv.total_ns,
-                    size: recv.size,
-                },
-            );
-            let _ = call.tx.send(Ok(payload));
+        if let Some(call) = connection.pending.remove(header.seq) {
+            inner.metrics.entry(call.key).record_recv(MetricsRecv {
+                alloc_ns: recv.alloc_ns,
+                total_ns: recv.total_ns,
+                size: recv.size,
+            });
+            if !call.slot.deliver(call.gen, Ok(payload)) {
+                // The caller retired the slot between our pending-table
+                // removal and the delivery: it gave up; same outcome as
+                // not finding the entry at all.
+                inner.metrics.inc_late_responses();
+            }
         } else {
             // The caller timed out and went away (or a parked duplicate's
             // answer raced the original's). The response is dropped, the

@@ -68,6 +68,13 @@ pub struct RpcConfig {
     /// connection id, preserving per-connection ordering. `0` = auto
     /// (currently 1, the paper's single-Responder behaviour).
     pub responder_shards: usize,
+    /// Ablation baseline for the interned hot path: when `true` the
+    /// client re-enacts the pre-interning per-call metadata work (owned
+    /// key strings, a fresh reply channel) for real and charges
+    /// [`crate::hostcost::legacy_call_ns`] to its node's modeled-time
+    /// ledger on every attempt. Off by default — the normal path is
+    /// allocation-free and charges nothing.
+    pub legacy_metadata: bool,
 }
 
 /// Upper bound on explicit shard counts — far above any sane
@@ -101,6 +108,7 @@ impl Default for RpcConfig {
             server_buffer_init: 10 * 1024,
             reader_shards: 0,
             responder_shards: 0,
+            legacy_metadata: false,
         }
     }
 }

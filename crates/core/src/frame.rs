@@ -31,6 +31,8 @@ use bufpool::{PoolMem, PooledBuf};
 use simnet::MemoryRegion;
 use wire::{DataInput, DataOutput, Writable};
 
+use crate::intern::{self, MethodKey};
+
 /// Response status byte: success.
 pub const STATUS_OK: u8 = 0;
 /// Response status byte: the server reports an error string.
@@ -53,7 +55,7 @@ pub enum FrameVersion {
 }
 
 /// Parsed request header.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestHeader {
     pub version: FrameVersion,
     /// Stable per-client identity (0 for V1 peers, which get no caching).
@@ -63,8 +65,22 @@ pub struct RequestHeader {
     pub seq: i64,
     /// 0 on the first transmission, incremented per re-send.
     pub retry_attempt: u32,
-    pub protocol: String,
-    pub method: String,
+    /// Interned `<protocol, method>` key: the wire strings resolve to an
+    /// id once per frame, and everything downstream carries this `Copy`
+    /// handle instead of owned `String`s.
+    pub key: MethodKey,
+}
+
+impl RequestHeader {
+    /// Protocol half of the interned key.
+    pub fn protocol(&self) -> &'static str {
+        self.key.protocol()
+    }
+
+    /// Method half of the interned key.
+    pub fn method(&self) -> &'static str {
+        self.key.method()
+    }
 }
 
 /// Serialize a V2 request frame body (everything after the length prefix).
@@ -101,6 +117,48 @@ pub fn write_request_v1(
     param.write(out)
 }
 
+/// Stack window for decoding key strings: real `<protocol, method>` names
+/// are short, so steady-state decode never touches the heap; a longer name
+/// spills to a one-off heap read.
+const KEY_STACK: usize = 192;
+
+/// Read one Hadoop `Text` string into the caller's buffers and hand back a
+/// borrowed `&str` (no allocation unless the name overflows `KEY_STACK`).
+fn read_key_text<'a>(
+    input: &mut dyn DataInput,
+    stack: &'a mut [u8; KEY_STACK],
+    heap: &'a mut Vec<u8>,
+) -> io::Result<&'a str> {
+    let len = input.read_vint()?;
+    if len < 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "negative string length",
+        ));
+    }
+    let len = len as usize;
+    let bytes: &mut [u8] = if len <= KEY_STACK {
+        &mut stack[..len]
+    } else {
+        heap.resize(len, 0);
+        &mut heap[..]
+    };
+    input.read_bytes(bytes)?;
+    std::str::from_utf8(bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad utf8: {e}")))
+}
+
+/// Read the `[Text protocol][Text method]` pair and resolve it to the
+/// process-wide interned key — once per frame, lock-free after the pair's
+/// first appearance.
+fn read_method_key(input: &mut dyn DataInput) -> io::Result<MethodKey> {
+    let (mut pstack, mut pheap) = ([0u8; KEY_STACK], Vec::new());
+    let (mut mstack, mut mheap) = ([0u8; KEY_STACK], Vec::new());
+    let protocol = read_key_text(input, &mut pstack, &mut pheap)?;
+    let method = read_key_text(input, &mut mstack, &mut mheap)?;
+    Ok(intern::method_key(protocol, method))
+}
+
 /// Parse the header of a request frame (either version); the param bytes
 /// follow in `input`.
 pub fn read_request_header(input: &mut dyn DataInput) -> io::Result<RequestHeader> {
@@ -120,8 +178,7 @@ pub fn read_request_header(input: &mut dyn DataInput) -> io::Result<RequestHeade
             client_id,
             seq,
             retry_attempt: retry_attempt as u32,
-            protocol: input.read_string()?,
-            method: input.read_string()?,
+            key: read_method_key(input)?,
         })
     } else {
         if lead < 0 {
@@ -138,8 +195,7 @@ pub fn read_request_header(input: &mut dyn DataInput) -> io::Result<RequestHeade
             client_id: 0,
             seq: lead as i64,
             retry_attempt: 0,
-            protocol: input.read_string()?,
-            method: input.read_string()?,
+            key: read_method_key(input)?,
         })
     }
 }
@@ -409,8 +465,13 @@ mod tests {
         assert_eq!(header.client_id, 0xdead_beef);
         assert_eq!(header.seq, (i32::MAX as i64) + 17);
         assert_eq!(header.retry_attempt, 3);
-        assert_eq!(header.protocol, "hdfs.ClientProtocol");
-        assert_eq!(header.method, "getFileInfo");
+        assert_eq!(header.protocol(), "hdfs.ClientProtocol");
+        assert_eq!(header.method(), "getFileInfo");
+        assert_eq!(
+            header.key,
+            crate::intern::method_key("hdfs.ClientProtocol", "getFileInfo"),
+            "decode resolves to the process-wide interned key"
+        );
         let mut param = Text::default();
         param.read_fields(&mut input).unwrap();
         assert_eq!(param.0, "/a/b");
@@ -433,8 +494,8 @@ mod tests {
         assert_eq!(header.client_id, 0, "V1 peers have no client identity");
         assert_eq!(header.seq, 17);
         assert_eq!(header.retry_attempt, 0);
-        assert_eq!(header.protocol, "hdfs.ClientProtocol");
-        assert_eq!(header.method, "getFileInfo");
+        assert_eq!(header.protocol(), "hdfs.ClientProtocol");
+        assert_eq!(header.method(), "getFileInfo");
         let mut param = Text::default();
         param.read_fields(&mut input).unwrap();
         assert_eq!(param.0, "/a/b");

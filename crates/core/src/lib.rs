@@ -70,6 +70,8 @@ pub mod config;
 pub mod error;
 pub mod frame;
 pub mod handshake;
+pub mod hostcost;
+pub mod intern;
 pub mod metrics;
 pub mod retry;
 pub mod retry_cache;
@@ -82,10 +84,11 @@ pub use client::Client;
 pub use config::RpcConfig;
 pub use error::{RpcError, RpcResult};
 pub use frame::{FrameVersion, Payload, ResponseStatus};
+pub use intern::{MethodId, MethodKey};
 pub use metrics::{
-    CallProfile, EngineCounters, HistogramSnapshot, LatencyHistogram, MethodStats, MetricsRegistry,
-    MetricsSnapshot, Phase, PhaseHistograms, PhaseSnapshot, PoolCounters, RecvProfile, ShardRole,
-    ShardSnapshot,
+    CallProfile, EngineCounters, HistogramSnapshot, LatencyHistogram, MethodEntry, MethodStats,
+    MetricsRegistry, MetricsSnapshot, Phase, PhaseHistograms, PhaseSnapshot, PoolCounters,
+    RecvProfile, ShardRole, ShardSnapshot,
 };
 pub use retry::RetryPolicy;
 pub use retry_cache::{Admission, RetryCache};

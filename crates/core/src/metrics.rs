@@ -9,17 +9,24 @@
 //! On top of the averages, every `<protocol, method>` key also gets a set
 //! of [`LatencyHistogram`]s — one per call [`Phase`] (serialize, wire,
 //! server queue, handler, deserialize) — so the latency *distribution*
-//! (p50/p95/p99/max) is observable, not just the mean. The histograms are
-//! lock-light: the registry mutex is held only long enough to look up the
-//! per-key `Arc`; the recording itself is a couple of relaxed atomic adds
-//! into log2-spaced buckets, cheap enough for the per-call hot path.
+//! (p50/p95/p99/max) is observable, not just the mean.
+//!
+//! The registry is keyed by interned [`MethodId`]s ([`crate::intern`]):
+//! each key's counters live in a [`MethodEntry`] reached through a
+//! lock-free id-indexed pointer table, and recording a sample — stats or
+//! histogram — is only relaxed atomic adds. Hot-path callers resolve the
+//! `Arc<MethodEntry>` handle once ([`MetricsRegistry::entry`]) and record
+//! through it with no map lock and no `to_owned()`; the `&str` APIs
+//! remain for tests and tools, riding the interner.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+
+use crate::intern::{self, MethodKey};
 
 /// One client-side call observation.
 #[derive(Debug, Clone, Copy, Default)]
@@ -230,6 +237,15 @@ impl LatencyHistogram {
                 .collect(),
         }
     }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Point-in-time copy of a [`LatencyHistogram`].
@@ -317,6 +333,12 @@ impl PhaseHistograms {
     pub fn snapshot(&self) -> PhaseSnapshot {
         PhaseSnapshot {
             phases: std::array::from_fn(|i| self.phases[i].snapshot()),
+        }
+    }
+
+    fn reset(&self) {
+        for h in &self.phases {
+            h.reset();
         }
     }
 }
@@ -513,21 +535,146 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Phase histograms for one key, if present.
+    /// Phase histograms for one key, if present. Allocation-free: binary
+    /// search over the key-sorted snapshot, comparing `&str` halves
+    /// directly.
     pub fn phase(&self, protocol: &str, method: &str) -> Option<&PhaseSnapshot> {
         self.phases
-            .iter()
-            .find(|((p, m), _)| p == protocol && m == method)
-            .map(|(_, s)| s)
+            .binary_search_by(|((p, m), _)| (p.as_str(), m.as_str()).cmp(&(protocol, method)))
+            .ok()
+            .map(|i| &self.phases[i].1)
     }
 }
 
-#[derive(Default)]
+/// Live counters for one interned `<protocol, method>` key.
+///
+/// Hot-path callers hold the `Arc<MethodEntry>` returned by
+/// [`MetricsRegistry::entry`] (cached per connection / per call), so a
+/// sample record is only relaxed atomic adds: no registry lock, no key
+/// allocation. Size tracing (a `Vec` append under a per-entry mutex) is
+/// the one exception, and only when the registry was built with
+/// `trace_sizes` — benches and the steady-state path run without it.
+pub struct MethodEntry {
+    key: MethodKey,
+    trace: bool,
+    calls: AtomicU64,
+    serialize_ns: AtomicU64,
+    send_ns: AtomicU64,
+    adjustments: AtomicU64,
+    recvs: AtomicU64,
+    recv_alloc_ns: AtomicU64,
+    recv_total_ns: AtomicU64,
+    sizes: Mutex<Vec<u32>>,
+    /// Whether this key's phase histograms were ever exposed/recorded
+    /// (keeps `phase_snapshot` listing only keys that opted in, matching
+    /// the pre-interning map semantics).
+    phases_touched: AtomicBool,
+    phases: Arc<PhaseHistograms>,
+}
+
+impl MethodEntry {
+    fn new(key: MethodKey, trace: bool) -> Self {
+        MethodEntry {
+            key,
+            trace,
+            calls: AtomicU64::new(0),
+            serialize_ns: AtomicU64::new(0),
+            send_ns: AtomicU64::new(0),
+            adjustments: AtomicU64::new(0),
+            recvs: AtomicU64::new(0),
+            recv_alloc_ns: AtomicU64::new(0),
+            recv_total_ns: AtomicU64::new(0),
+            sizes: Mutex::new(Vec::new()),
+            phases_touched: AtomicBool::new(false),
+            phases: Arc::new(PhaseHistograms::default()),
+        }
+    }
+
+    /// The interned key this entry aggregates.
+    pub fn key(&self) -> MethodKey {
+        self.key
+    }
+
+    /// Record a client-side send profile (relaxed atomic adds).
+    pub fn record_call(&self, profile: CallProfile) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.serialize_ns
+            .fetch_add(profile.serialize_ns, Ordering::Relaxed);
+        self.send_ns.fetch_add(profile.send_ns, Ordering::Relaxed);
+        self.adjustments
+            .fetch_add(profile.adjustments, Ordering::Relaxed);
+        if self.trace {
+            self.sizes.lock().push(profile.size as u32);
+        }
+    }
+
+    /// Record a receive-side profile (relaxed atomic adds).
+    pub fn record_recv(&self, profile: RecvProfile) {
+        self.recvs.fetch_add(1, Ordering::Relaxed);
+        self.recv_alloc_ns
+            .fetch_add(profile.alloc_ns, Ordering::Relaxed);
+        self.recv_total_ns
+            .fetch_add(profile.total_ns, Ordering::Relaxed);
+    }
+
+    /// Record one phase sample (relaxed atomic adds into the log2
+    /// histogram).
+    pub fn record_phase(&self, phase: Phase, ns: u64) {
+        self.phases_touched.store(true, Ordering::Relaxed);
+        self.phases.record(phase, ns);
+    }
+
+    /// The phase-histogram block, for callers that batch several records.
+    pub fn phase_histograms(&self) -> Arc<PhaseHistograms> {
+        self.phases_touched.store(true, Ordering::Relaxed);
+        Arc::clone(&self.phases)
+    }
+
+    fn has_stats(&self) -> bool {
+        self.calls.load(Ordering::Relaxed) > 0 || self.recvs.load(Ordering::Relaxed) > 0
+    }
+
+    fn stats(&self) -> MethodStats {
+        MethodStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            serialize_ns: self.serialize_ns.load(Ordering::Relaxed),
+            send_ns: self.send_ns.load(Ordering::Relaxed),
+            adjustments: self.adjustments.load(Ordering::Relaxed),
+            recvs: self.recvs.load(Ordering::Relaxed),
+            recv_alloc_ns: self.recv_alloc_ns.load(Ordering::Relaxed),
+            recv_total_ns: self.recv_total_ns.load(Ordering::Relaxed),
+            sizes: self.sizes.lock().clone(),
+        }
+    }
+
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.serialize_ns.store(0, Ordering::Relaxed);
+        self.send_ns.store(0, Ordering::Relaxed);
+        self.adjustments.store(0, Ordering::Relaxed);
+        self.recvs.store(0, Ordering::Relaxed);
+        self.recv_alloc_ns.store(0, Ordering::Relaxed);
+        self.recv_total_ns.store(0, Ordering::Relaxed);
+        self.sizes.lock().clear();
+        self.phases_touched.store(false, Ordering::Relaxed);
+        self.phases.reset();
+    }
+}
+
+/// Ids below this resolve through the lock-free per-registry pointer
+/// table; later ids (a workload with thousands of distinct keys) fall
+/// back to a mutex-guarded map, correct but not lock-free.
+const FAST_ENTRIES: usize = 4096;
+
 struct MetricsInner {
-    stats: Mutex<HashMap<(String, String), MethodStats>>,
-    histograms: Mutex<HashMap<(String, String), Arc<PhaseHistograms>>>,
+    /// id-indexed entry table. A slot is written once (under the
+    /// `overflow` mutex) and never replaced or freed while the registry
+    /// lives, which is what makes the lock-free read safe.
+    entries: Box<[AtomicPtr<MethodEntry>; FAST_ENTRIES]>,
+    /// Entries for ids beyond the fast table.
+    overflow: Mutex<HashMap<u32, Arc<MethodEntry>>>,
     shards: Mutex<Vec<(ShardRole, usize, Arc<ShardStats>)>>,
-    trace_sizes: Mutex<bool>,
+    trace_sizes: AtomicBool,
     retries: AtomicU64,
     reconnects: AtomicU64,
     failed_calls: AtomicU64,
@@ -541,67 +688,173 @@ struct MetricsInner {
     retry_cache_expired: AtomicU64,
 }
 
+impl Default for MetricsInner {
+    fn default() -> Self {
+        MetricsInner {
+            entries: Box::new(std::array::from_fn(
+                |_| AtomicPtr::new(std::ptr::null_mut()),
+            )),
+            overflow: Mutex::new(HashMap::new()),
+            shards: Mutex::new(Vec::new()),
+            trace_sizes: AtomicBool::new(false),
+            retries: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            failed_calls: AtomicU64::new(0),
+            frame_errors: AtomicU64::new(0),
+            broken_sends: AtomicU64::new(0),
+            late_responses: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            retry_cache_hits: AtomicU64::new(0),
+            retry_cache_parked: AtomicU64::new(0),
+            retry_cache_evictions: AtomicU64::new(0),
+            retry_cache_expired: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Drop for MetricsInner {
+    fn drop(&mut self) {
+        // Reclaim the `Arc` strong count parked in each fast slot. No
+        // reader can be concurrent with drop of the last registry handle.
+        for slot in self.entries.iter() {
+            let ptr = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !ptr.is_null() {
+                drop(unsafe { Arc::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+impl MetricsInner {
+    /// The entry for an interned key if it exists in this registry;
+    /// lock-free for fast-table ids, never creates.
+    fn entry_if_present(&self, key: MethodKey) -> Option<Arc<MethodEntry>> {
+        let id = key.id().0 as usize;
+        if id < FAST_ENTRIES {
+            let ptr = self.entries[id].load(Ordering::Acquire);
+            if ptr.is_null() {
+                return None;
+            }
+            // Safe: the slot is written once and freed only when the
+            // registry itself drops, so `ptr` outlives this call.
+            unsafe {
+                Arc::increment_strong_count(ptr);
+                return Some(Arc::from_raw(ptr));
+            }
+        }
+        self.overflow.lock().get(&key.id().0).cloned()
+    }
+
+    /// Iterate every live entry (fast table + overflow).
+    fn for_each_entry(&self, mut f: impl FnMut(&MethodEntry)) {
+        for slot in self.entries.iter() {
+            let ptr = slot.load(Ordering::Acquire);
+            if !ptr.is_null() {
+                f(unsafe { &*ptr });
+            }
+        }
+        for e in self.overflow.lock().values() {
+            f(e);
+        }
+    }
+}
+
 impl MetricsRegistry {
     pub fn new(trace_sizes: bool) -> Self {
         let reg = MetricsRegistry::default();
-        *reg.inner.trace_sizes.lock() = trace_sizes;
+        reg.inner.trace_sizes.store(trace_sizes, Ordering::Relaxed);
         reg
     }
 
-    /// Record a client-side send profile.
-    pub fn record_call(&self, protocol: &str, method: &str, profile: CallProfile) {
-        let trace = *self.inner.trace_sizes.lock();
-        let mut stats = self.inner.stats.lock();
-        let entry = stats
-            .entry((protocol.to_owned(), method.to_owned()))
-            .or_default();
-        entry.calls += 1;
-        entry.serialize_ns += profile.serialize_ns;
-        entry.send_ns += profile.send_ns;
-        entry.adjustments += profile.adjustments;
-        if trace {
-            entry.sizes.push(profile.size as u32);
+    /// The counter block for an interned key, created on first use.
+    /// Steady state is one atomic load plus an `Arc` bump — no map lock.
+    /// Hot-path callers cache the returned handle and record through it.
+    pub fn entry(&self, key: MethodKey) -> Arc<MethodEntry> {
+        if let Some(e) = self.inner.entry_if_present(key) {
+            return e;
         }
+        let id = key.id().0 as usize;
+        let mut overflow = self.inner.overflow.lock();
+        // Re-check under the creation lock.
+        if id < FAST_ENTRIES {
+            let ptr = self.inner.entries[id].load(Ordering::Acquire);
+            if !ptr.is_null() {
+                unsafe {
+                    Arc::increment_strong_count(ptr);
+                    return Arc::from_raw(ptr);
+                }
+            }
+            let entry = Arc::new(MethodEntry::new(
+                key,
+                self.inner.trace_sizes.load(Ordering::Relaxed),
+            ));
+            let raw = Arc::into_raw(Arc::clone(&entry));
+            self.inner.entries[id].store(raw as *mut MethodEntry, Ordering::Release);
+            return entry;
+        }
+        Arc::clone(overflow.entry(key.id().0).or_insert_with(|| {
+            Arc::new(MethodEntry::new(
+                key,
+                self.inner.trace_sizes.load(Ordering::Relaxed),
+            ))
+        }))
     }
 
-    /// Record a receive-side profile.
+    /// Record a client-side send profile (`&str` convenience; resolves
+    /// through the interner).
+    pub fn record_call(&self, protocol: &str, method: &str, profile: CallProfile) {
+        self.entry(intern::method_key(protocol, method))
+            .record_call(profile);
+    }
+
+    /// Record a receive-side profile (`&str` convenience).
     pub fn record_recv(&self, protocol: &str, method: &str, profile: RecvProfile) {
-        let mut stats = self.inner.stats.lock();
-        let entry = stats
-            .entry((protocol.to_owned(), method.to_owned()))
-            .or_default();
-        entry.recvs += 1;
-        entry.recv_alloc_ns += profile.alloc_ns;
-        entry.recv_total_ns += profile.total_ns;
+        self.entry(intern::method_key(protocol, method))
+            .record_recv(profile);
     }
 
     /// Snapshot of every tracked key, sorted by (protocol, method).
     pub fn snapshot(&self) -> Vec<((String, String), MethodStats)> {
-        let stats = self.inner.stats.lock();
-        let mut out: Vec<_> = stats.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let mut out = Vec::new();
+        self.inner.for_each_entry(|e| {
+            if e.has_stats() {
+                let key = e.key();
+                out.push((
+                    (key.protocol().to_owned(), key.method().to_owned()),
+                    e.stats(),
+                ));
+            }
+        });
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
 
     /// The phase-histogram set for a key, creating it on first use. The
     /// returned `Arc` can be cached by hot-path callers so subsequent
-    /// records skip the registry lock entirely.
+    /// records skip the registry entirely.
     pub fn phase_histograms(&self, protocol: &str, method: &str) -> Arc<PhaseHistograms> {
-        let mut map = self.inner.histograms.lock();
-        map.entry((protocol.to_owned(), method.to_owned()))
-            .or_default()
-            .clone()
+        self.entry(intern::method_key(protocol, method))
+            .phase_histograms()
     }
 
     /// Record one sample of `ns` into `phase` for `<protocol, method>`.
     pub fn record_phase(&self, protocol: &str, method: &str, phase: Phase, ns: u64) {
-        self.phase_histograms(protocol, method).record(phase, ns);
+        self.entry(intern::method_key(protocol, method))
+            .record_phase(phase, ns);
     }
 
     /// Snapshot of every key's phase histograms, sorted by key.
     pub fn phase_snapshot(&self) -> Vec<((String, String), PhaseSnapshot)> {
-        let map = self.inner.histograms.lock();
-        let mut out: Vec<_> = map.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect();
+        let mut out = Vec::new();
+        self.inner.for_each_entry(|e| {
+            if e.phases_touched.load(Ordering::Relaxed) {
+                let key = e.key();
+                out.push((
+                    (key.protocol().to_owned(), key.method().to_owned()),
+                    e.phases.snapshot(),
+                ));
+            }
+        });
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -649,13 +902,17 @@ impl MetricsRegistry {
         }
     }
 
-    /// Statistics for a single key, if present.
+    /// Statistics for a single key, if present. Allocation-free lookup:
+    /// the `&str` pair resolves through the interner's lock-free table,
+    /// never cloning the key halves (the returned stats are a copy).
     pub fn get(&self, protocol: &str, method: &str) -> Option<MethodStats> {
-        self.inner
-            .stats
-            .lock()
-            .get(&(protocol.to_owned(), method.to_owned()))
-            .cloned()
+        let key = intern::lookup(protocol, method)?;
+        let entry = self.inner.entry_if_present(key)?;
+        if entry.has_stats() {
+            Some(entry.stats())
+        } else {
+            None
+        }
     }
 
     pub fn inc_retries(&self) {
@@ -725,11 +982,12 @@ impl MetricsRegistry {
         }
     }
 
-    /// Drop all recorded data (between benchmark phases). Shard counters
-    /// are zeroed but stay registered — their threads hold the `Arc`s.
+    /// Drop all recorded data (between benchmark phases). Method entries
+    /// are zeroed in place (cached hot-path handles stay valid); shard
+    /// counters are zeroed but stay registered — their threads hold the
+    /// `Arc`s.
     pub fn reset(&self) {
-        self.inner.stats.lock().clear();
-        self.inner.histograms.lock().clear();
+        self.inner.for_each_entry(|e| e.reset());
         for (_, _, s) in self.inner.shards.lock().iter() {
             s.connections.store(0, Ordering::Relaxed);
             s.queue_depth.store(0, Ordering::Relaxed);

@@ -59,6 +59,7 @@ use crate::frame::{
     read_request_header, write_busy_response, write_response, FrameVersion, Payload, RequestHeader,
 };
 use crate::handshake;
+use crate::intern::MethodKey;
 use crate::metrics::{
     MetricsRegistry, MetricsSnapshot, Phase, RecvProfile as MetricsRecv, ShardRole, ShardStats,
 };
@@ -105,8 +106,9 @@ struct RawCall {
 struct RespRoute {
     conn_id: u64,
     conn: Arc<dyn Conn>,
-    protocol: String,
-    method: String,
+    /// The request's interned key; the responder derives the response's
+    /// buffer-history key from it (`key.response_key()`).
+    key: MethodKey,
 }
 
 struct OutboundResponse {
@@ -706,15 +708,11 @@ fn read_one(inner: &Arc<ServerInner>, sc: &ShardConn, stats: &ShardStats) -> Rea
     };
     stats.inc_processed();
     let body_offset = reader.position();
-    inner.metrics.record_recv(
-        &header.protocol,
-        &header.method,
-        MetricsRecv {
-            alloc_ns: recv.alloc_ns,
-            total_ns: recv.total_ns,
-            size: recv.size,
-        },
-    );
+    inner.metrics.entry(header.key).record_recv(MetricsRecv {
+        alloc_ns: recv.alloc_ns,
+        total_ns: recv.total_ns,
+        size: recv.size,
+    });
     // At-most-once admission. V1 peers (and clients with caching
     // disabled, client_id 0) skip the cache but still get the
     // non-blocking queue admission below.
@@ -726,8 +724,7 @@ fn read_one(inner: &Arc<ServerInner>, sc: &ShardConn, stats: &ShardStats) -> Rea
         match inner.retry_cache.begin(key, || RespRoute {
             conn_id: sc.conn_id,
             conn: Arc::clone(conn),
-            protocol: header.protocol.clone(),
-            method: header.method.clone(),
+            key: header.key,
         }) {
             Admission::Execute => {}
             Admission::Parked => return ReadOutcome::Frame,
@@ -737,8 +734,7 @@ fn read_one(inner: &Arc<ServerInner>, sc: &ShardConn, stats: &ShardStats) -> Rea
                 let route = RespRoute {
                     conn_id: sc.conn_id,
                     conn: Arc::clone(conn),
-                    protocol: header.protocol.clone(),
-                    method: header.method.clone(),
+                    key: header.key,
                 };
                 inner.try_enqueue_response(route, bytes);
                 return ReadOutcome::Frame;
@@ -750,8 +746,7 @@ fn read_one(inner: &Arc<ServerInner>, sc: &ShardConn, stats: &ShardStats) -> Rea
     let route = RespRoute {
         conn_id: sc.conn_id,
         conn: Arc::clone(conn),
-        protocol: header.protocol.clone(),
-        method: header.method.clone(),
+        key: header.key,
     };
     let call = RawCall {
         conn_id: sc.conn_id,
@@ -800,9 +795,8 @@ fn handler_loop(inner: Arc<ServerInner>) {
     loop {
         match inner.call_rx.recv_timeout(IDLE_SLICE) {
             Ok(call) => {
-                inner.metrics.record_phase(
-                    &call.header.protocol,
-                    &call.header.method,
+                let entry = inner.metrics.entry(call.header.key);
+                entry.record_phase(
                     Phase::ServerQueue,
                     call.admitted_at.elapsed().as_nanos() as u64,
                 );
@@ -810,8 +804,8 @@ fn handler_loop(inner: Arc<ServerInner>) {
                 let mut reader = call.payload.reader();
                 reader.skip(call.body_offset);
                 let result = inner.registry.dispatch(
-                    &call.header.protocol,
-                    &call.header.method,
+                    call.header.protocol(),
+                    call.header.method(),
                     &mut reader,
                 );
                 // Serialize once, on the handler thread; the responder
@@ -834,18 +828,12 @@ fn handler_loop(inner: Arc<ServerInner>) {
                 write_response(&mut body, call.header.version, call.header.seq, result_ref)
                     .expect("serializing to Vec cannot fail");
                 let bytes = Arc::new(body);
-                inner.metrics.record_phase(
-                    &call.header.protocol,
-                    &call.header.method,
-                    Phase::Handler,
-                    handler_start.elapsed().as_nanos() as u64,
-                );
+                entry.record_phase(Phase::Handler, handler_start.elapsed().as_nanos() as u64);
 
                 let mut routes = vec![RespRoute {
                     conn_id: call.conn_id,
                     conn: call.conn,
-                    protocol: call.header.protocol,
-                    method: call.header.method,
+                    key: call.header.key,
                 }];
                 if call.header.version == FrameVersion::V2 && call.header.client_id != 0 {
                     let key = (call.header.client_id, call.header.seq);
@@ -876,18 +864,17 @@ fn responder_loop(inner: Arc<ServerInner>, rx: Receiver<OutboundResponse>, stats
                 stats.dequeued();
                 // The response's buffer-size history is keyed separately
                 // from the request's (responses of a method have their own
-                // stable size).
-                let resp_key = format!("{}#resp", out.route.method);
+                // stable size); the interned response key is derived once
+                // per process, not formatted per response.
+                let resp_key = out.route.key.response_key();
                 // A failed send only affects that one connection — but it
                 // does mean the connection is broken: close it so its
                 // reader shard stops pulling requests whose responses
                 // could never be delivered, and count the event.
-                let send_result =
-                    out.route
-                        .conn
-                        .send_msg(&out.route.protocol, &resp_key, &mut |o| {
-                            o.write_bytes(&out.bytes)
-                        });
+                let send_result = out
+                    .route
+                    .conn
+                    .send_msg(resp_key, &mut |o| o.write_bytes(&out.bytes));
                 if send_result.is_err() {
                     inner.metrics.inc_broken_sends();
                     out.route.conn.close();

@@ -17,6 +17,8 @@ use std::io::{self, Read, Write};
 use bufpool::{PoolMem, PooledBuf, ShadowPool};
 use simnet::MemoryRegion;
 
+use crate::intern::MethodKey;
+
 /// Size of the inline write-combining stage. `Writable` serialization
 /// emits many 1–8 byte fields; batching them before touching the (locked)
 /// region keeps the per-field cost at memcpy speed — the same reason real
@@ -31,14 +33,15 @@ pub struct RdmaOutputStream {
     grows: u64,
     stage: [u8; STAGE_BYTES],
     stage_len: usize,
-    protocol: String,
-    method: String,
+    key: MethodKey,
 }
 
 impl RdmaOutputStream {
-    /// Acquire a history-sized buffer for a call of the given kind.
-    pub fn new(pool: &ShadowPool<MemoryRegion>, protocol: &str, method: &str) -> Self {
-        let buf = pool.acquire(protocol, method);
+    /// Acquire a history-sized buffer for a call of the given kind. The
+    /// interned key is a `Copy` handle, so opening a stream allocates
+    /// nothing beyond the pooled buffer itself.
+    pub fn new(pool: &ShadowPool<MemoryRegion>, key: MethodKey) -> Self {
+        let buf = pool.acquire(key.protocol(), key.method());
         RdmaOutputStream {
             pool: pool.clone(),
             buf: Some(buf),
@@ -46,8 +49,7 @@ impl RdmaOutputStream {
             grows: 0,
             stage: [0u8; STAGE_BYTES],
             stage_len: 0,
-            protocol: protocol.to_owned(),
-            method: method.to_owned(),
+            key,
         }
     }
 
@@ -100,7 +102,7 @@ impl RdmaOutputStream {
     pub fn finish(mut self) -> (PooledBuf<MemoryRegion>, usize, u64) {
         self.flush_stage();
         self.pool
-            .record(&self.protocol, &self.method, self.pos.max(1));
+            .record(self.key.protocol(), self.key.method(), self.pos.max(1));
         (
             self.buf.take().expect("stream already finished"),
             self.pos,
@@ -242,7 +244,7 @@ mod tests {
     #[test]
     fn serialize_into_registered_memory() {
         let pool = rdma_pool();
-        let mut out = RdmaOutputStream::new(&pool, "p", "m");
+        let mut out = RdmaOutputStream::new(&pool, crate::intern::method_key("p", "m"));
         out.write_i32(7).unwrap();
         out.write_string("direct to the HCA").unwrap();
         let (buf, len, grows) = out.finish();
@@ -256,7 +258,7 @@ mod tests {
     #[test]
     fn growth_is_doubling_and_recorded() {
         let pool = rdma_pool();
-        let mut out = RdmaOutputStream::new(&pool, "p", "big");
+        let mut out = RdmaOutputStream::new(&pool, crate::intern::method_key("p", "big"));
         let payload = vec![0x5au8; 1000];
         out.write_all(&payload).unwrap();
         // 128 -> 256 -> 512 -> 1024: three grows.
@@ -267,7 +269,7 @@ mod tests {
         drop(buf);
 
         // Next stream of the same kind starts at the learned class.
-        let out2 = RdmaOutputStream::new(&pool, "p", "big");
+        let out2 = RdmaOutputStream::new(&pool, crate::intern::method_key("p", "big"));
         assert_eq!(out2.buf().capacity(), 1024);
     }
 
@@ -275,7 +277,8 @@ mod tests {
     fn history_predicts_after_first_call() {
         let pool = rdma_pool();
         for round in 0..3 {
-            let mut out = RdmaOutputStream::new(&pool, "proto", "statusUpdate");
+            let mut out =
+                RdmaOutputStream::new(&pool, crate::intern::method_key("proto", "statusUpdate"));
             out.write_all(&[0u8; 700]).unwrap();
             let expected_grows = if round == 0 { 3 } else { 0 };
             assert_eq!(out.grows(), expected_grows, "round {round}");

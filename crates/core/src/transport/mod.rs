@@ -13,6 +13,7 @@ use wire::DataOutput;
 
 use crate::error::RpcResult;
 use crate::frame::Payload;
+use crate::intern::MethodKey;
 
 /// Profile of one outgoing message (feeds Table I columns).
 #[derive(Debug, Clone, Copy, Default)]
@@ -42,12 +43,12 @@ pub struct RecvProfile {
 /// so no connection's idle wait can block another's traffic.
 pub trait Conn: Send + Sync {
     /// Serialize one message via `write` (which receives this transport's
-    /// preferred `DataOutput`) and transmit it. `protocol`/`method` key
-    /// the RPCoIB buffer-size history; the socket path ignores them.
+    /// preferred `DataOutput`) and transmit it. `key` indexes the RPCoIB
+    /// buffer-size history; the socket path ignores it. Passing the
+    /// interned `Copy` key keeps this call allocation-free.
     fn send_msg(
         &self,
-        protocol: &str,
-        method: &str,
+        key: MethodKey,
         write: &mut dyn FnMut(&mut dyn DataOutput) -> io::Result<()>,
     ) -> RpcResult<SendProfile>;
 

@@ -35,6 +35,7 @@ use wire::DataOutput;
 use crate::config::RpcConfig;
 use crate::error::{RpcError, RpcResult};
 use crate::frame::Payload;
+use crate::intern::MethodKey;
 use crate::metrics::{MetricsRegistry, Phase, PoolCounters};
 use crate::stream::RdmaOutputStream;
 use crate::transport::{Conn, RecvProfile, SendProfile};
@@ -300,8 +301,7 @@ impl RdmaConn {
 impl Conn for RdmaConn {
     fn send_msg(
         &self,
-        protocol: &str,
-        method: &str,
+        key: MethodKey,
         write: &mut dyn FnMut(&mut dyn DataOutput) -> io::Result<()>,
     ) -> RpcResult<SendProfile> {
         if self.closed.load(Ordering::Acquire) {
@@ -310,7 +310,7 @@ impl Conn for RdmaConn {
 
         // --- Serialization: straight into pooled registered memory. ---
         let ser_start = Instant::now();
-        let mut out = RdmaOutputStream::new(&self.ctx.pool, protocol, method);
+        let mut out = RdmaOutputStream::new(&self.ctx.pool, key);
         write(&mut out)?;
         let (buf, len, grows) = out.finish();
         let serialize_ns = ser_start.elapsed().as_nanos() as u64;
@@ -347,8 +347,9 @@ impl Conn for RdmaConn {
         let send_ns = send_start.elapsed().as_nanos() as u64;
 
         if let Some(m) = &self.metrics {
-            m.record_phase(protocol, method, Phase::Serialize, serialize_ns);
-            m.record_phase(protocol, method, Phase::Wire, send_ns);
+            let entry = m.entry(key);
+            entry.record_phase(Phase::Serialize, serialize_ns);
+            entry.record_phase(Phase::Wire, send_ns);
         }
 
         Ok(SendProfile {
@@ -496,7 +497,7 @@ mod tests {
         let (cli, srv) = conn_pair(&cfg);
         for round in 0..3 {
             let profile = cli
-                .send_msg("p", "m", &mut |out| {
+                .send_msg(crate::intern::method_key("p", "m"), &mut |out| {
                     out.write_string("rpcoib")?;
                     out.write_bytes(&[9u8; 400])
                 })
@@ -518,8 +519,10 @@ mod tests {
         let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
         let p2 = payload.clone();
         let h = thread::spawn(move || {
-            cli.send_msg("p", "big", &mut |out| out.write_bytes(&p2))
-                .unwrap()
+            cli.send_msg(crate::intern::method_key("p", "big"), &mut |out| {
+                out.write_bytes(&p2)
+            })
+            .unwrap()
         });
         let (got, _) = srv.recv_msg(Duration::from_secs(5)).unwrap();
         let profile = h.join().unwrap();
@@ -558,8 +561,10 @@ mod tests {
         });
         for k in 1..=4usize {
             let body: Vec<u8> = (0..k * 50_000).map(|i| (i % 256) as u8).collect();
-            cli.send_msg("p", "big", &mut |out| out.write_len_bytes(&body))
-                .unwrap();
+            cli.send_msg(crate::intern::method_key("p", "big"), &mut |out| {
+                out.write_len_bytes(&body)
+            })
+            .unwrap();
         }
         let sizes = reader.join().unwrap();
         assert_eq!(sizes, vec![50_000, 100_000, 150_000, 200_000]);
@@ -577,8 +582,10 @@ mod tests {
         let srv2 = Arc::clone(&srv);
         let t1 = thread::spawn(move || {
             for _ in 0..3 {
-                cli2.send_msg("p", "up", &mut |out| out.write_len_bytes(&b2))
-                    .unwrap();
+                cli2.send_msg(crate::intern::method_key("p", "up"), &mut |out| {
+                    out.write_len_bytes(&b2)
+                })
+                .unwrap();
                 let (payload, _) = cli2.recv_msg(Duration::from_secs(10)).unwrap();
                 assert_eq!(payload.reader().read_len_bytes().unwrap().len(), 100_000);
             }
@@ -588,8 +595,10 @@ mod tests {
             for _ in 0..3 {
                 let (payload, _) = srv2.recv_msg(Duration::from_secs(10)).unwrap();
                 assert_eq!(payload.reader().read_len_bytes().unwrap().len(), 100_000);
-                srv2.send_msg("p", "down", &mut |out| out.write_len_bytes(&b3))
-                    .unwrap();
+                srv2.send_msg(crate::intern::method_key("p", "down"), &mut |out| {
+                    out.write_len_bytes(&b3)
+                })
+                .unwrap();
             }
         });
         t1.join().unwrap();
@@ -605,7 +614,9 @@ mod tests {
         let (cli, _srv) = conn_pair(&cfg);
         let body = vec![0u8; 256 * 1024];
         let err = cli
-            .send_msg("p", "m", &mut |out| out.write_bytes(&body))
+            .send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+                out.write_bytes(&body)
+            })
             .unwrap_err();
         assert!(matches!(err, RpcError::Protocol(_)), "{err}");
     }
@@ -634,8 +645,10 @@ mod tests {
         let (cli, srv) = conn_pair(&cfg);
         // Warm the path.
         for _ in 0..10 {
-            cli.send_msg("p", "m", &mut |out| out.write_bytes(&[1u8; 200]))
-                .unwrap();
+            cli.send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+                out.write_bytes(&[1u8; 200])
+            })
+            .unwrap();
             let _ = srv.recv_msg(Duration::from_secs(1)).unwrap();
         }
         let (_hits, misses, _ret, _over) = cli.ctx.pool.native().stats().snapshot();

@@ -5,10 +5,11 @@
 //!
 //! **Send (Listing 1):** serialize into a fresh 32-byte
 //! [`wire::DataOutputBuffer`] that grows by Algorithm 1 (instrumented);
-//! copy the serialized bytes into the `BufferedOutputStream`'s internal
-//! buffer (a real copy); then write to the socket — whose own write path
-//! (in `simnet`) performs the user→kernel staging copy and charges the
-//! TCP/IP stack cost.
+//! then hand `[len prefix][payload]` to the socket as one *gathering*
+//! write — the socket's own write path (in `simnet`) still performs the
+//! user→kernel staging copy and charges the TCP/IP stack cost, but the
+//! former user-space `BufferedOutputStream` re-copy is gone (it modeled
+//! a copy the vectored syscall never needed).
 //!
 //! **Receive (Listing 2):** read the 4-byte length, allocate a fresh
 //! heap buffer *per call* (timed — this is Figure 1's numerator), then
@@ -16,7 +17,7 @@
 //! emulating the JDK's hidden direct-buffer hop for channel reads into
 //! heap `ByteBuffer`s.
 
-use std::io::{self, Write};
+use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -26,6 +27,7 @@ use wire::{DataOutput, DataOutputBuffer};
 
 use crate::error::{RpcError, RpcResult};
 use crate::frame::Payload;
+use crate::intern::MethodKey;
 use crate::metrics::{MetricsRegistry, Phase};
 use crate::transport::{Conn, RecvProfile, SendProfile};
 
@@ -36,9 +38,9 @@ const TEMP_CHUNK: usize = 8 * 1024;
 /// Socket-based RPC connection.
 pub struct SocketConn {
     stream: SimStream,
-    /// Serialization state reused across calls on this connection (the
-    /// buffer grows and is `reset()`, like a long-lived Java object pair).
-    send: Mutex<SendState>,
+    /// Serializes concurrent senders so frames cannot interleave on the
+    /// stream (the gathering write below is two logical slices).
+    send: Mutex<()>,
     recv: Mutex<RecvState>,
     closed: AtomicBool,
     /// Initial capacity of fresh serialization buffers (32 B client-side,
@@ -47,11 +49,6 @@ pub struct SocketConn {
     /// When attached, every send feeds the per-`<protocol, method>`
     /// serialize/wire phase histograms.
     metrics: Option<MetricsRegistry>,
-}
-
-struct SendState {
-    /// The `BufferedOutputStream` internal buffer (reused, like Java's).
-    staging: Vec<u8>,
 }
 
 struct RecvState {
@@ -65,9 +62,7 @@ impl SocketConn {
     pub fn new(stream: SimStream, init_buf: usize) -> Self {
         SocketConn {
             stream,
-            send: Mutex::new(SendState {
-                staging: Vec::new(),
-            }),
+            send: Mutex::new(()),
             recv: Mutex::new(RecvState {
                 temp: vec![0u8; TEMP_CHUNK].into_boxed_slice(),
             }),
@@ -131,8 +126,7 @@ impl SocketConn {
 impl Conn for SocketConn {
     fn send_msg(
         &self,
-        protocol: &str,
-        method: &str,
+        key: MethodKey,
         write: &mut dyn FnMut(&mut dyn DataOutput) -> io::Result<()>,
     ) -> RpcResult<SendProfile> {
         self.check_open()?;
@@ -145,32 +139,28 @@ impl Conn for SocketConn {
         let adjustments = d.adjustments();
         let size = d.len();
 
-        // --- Sending (Listing 1 lines 9-13) ---
+        // --- Sending (Listing 1 lines 9-13, vectored) ---
         let send_start = Instant::now();
-        let mut state = self.send.lock();
-        // BufferedOutputStream copy: frame length + data into the stream's
-        // internal buffer.
-        state.staging.clear();
-        state
-            .staging
-            .extend_from_slice(&(size as i32).to_be_bytes());
-        state.staging.extend_from_slice(d.data());
-        // flush(): one socket write (which itself performs the
-        // user→kernel staging copy and pays the stack + wire costs).
-        (&self.stream)
-            .write_all(&state.staging)
+        let guard = self.send.lock();
+        // One gathering socket write of [len prefix][payload]: the stream
+        // still performs the user→kernel staging copy and pays the stack +
+        // wire costs, but nothing re-copies the frame in user space.
+        let len_prefix = (size as i32).to_be_bytes();
+        self.stream
+            .write_gather(&[&len_prefix, d.data()])
             .map_err(|e| match e.kind() {
                 io::ErrorKind::BrokenPipe | io::ErrorKind::NotConnected => {
                     RpcError::ConnectionClosed
                 }
                 _ => RpcError::Io(e.to_string()),
             })?;
-        drop(state);
+        drop(guard);
         let send_ns = send_start.elapsed().as_nanos() as u64;
 
         if let Some(m) = &self.metrics {
-            m.record_phase(protocol, method, Phase::Serialize, serialize_ns);
-            m.record_phase(protocol, method, Phase::Wire, send_ns);
+            let entry = m.entry(key);
+            entry.record_phase(Phase::Serialize, serialize_ns);
+            entry.record_phase(Phase::Wire, send_ns);
         }
 
         Ok(SendProfile {
@@ -274,7 +264,7 @@ mod tests {
     fn message_roundtrip_with_profiles() {
         let (cli, srv) = conn_pair();
         let profile = cli
-            .send_msg("p", "m", &mut |out| {
+            .send_msg(crate::intern::method_key("p", "m"), &mut |out| {
                 out.write_string("hello")?;
                 out.write_i64(12345)
             })
@@ -295,7 +285,9 @@ mod tests {
     fn algorithm1_adjustments_show_up_in_profile() {
         let (cli, srv) = conn_pair();
         let profile = cli
-            .send_msg("p", "m", &mut |out| out.write_bytes(&[7u8; 1000]))
+            .send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+                out.write_bytes(&[7u8; 1000])
+            })
             .unwrap();
         assert!(
             profile.adjustments >= 1,
@@ -312,7 +304,9 @@ mod tests {
         // Server-side responses start from a 10KB buffer (Hadoop default):
         // a 5KB response needs no adjustment.
         let profile = srv
-            .send_msg("p", "m", &mut |out| out.write_bytes(&[1u8; 5000]))
+            .send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+                out.write_bytes(&[1u8; 5000])
+            })
             .unwrap();
         assert_eq!(profile.adjustments, 0);
     }
@@ -328,7 +322,10 @@ mod tests {
     fn poll_ready_tracks_data_eof_and_close() {
         let (cli, srv) = conn_pair();
         assert!(!srv.poll_ready(), "idle conn must not be ready");
-        cli.send_msg("p", "m", &mut |out| out.write_u8(9)).unwrap();
+        cli.send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+            out.write_u8(9)
+        })
+        .unwrap();
         assert!(srv.poll_ready());
         let (payload, _) = srv.recv_msg(Duration::from_secs(1)).unwrap();
         assert_eq!(payload.len(), 1);
@@ -357,7 +354,9 @@ mod tests {
         let (cli, _srv) = conn_pair();
         cli.close();
         let err = cli
-            .send_msg("p", "m", &mut |out| out.write_u8(1))
+            .send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+                out.write_u8(1)
+            })
             .unwrap_err();
         assert_eq!(err, RpcError::ConnectionClosed);
     }
@@ -368,8 +367,10 @@ mod tests {
         let payload: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
         let p2 = payload.clone();
         let h = thread::spawn(move || {
-            cli.send_msg("p", "m", &mut |out| out.write_bytes(&p2))
-                .unwrap();
+            cli.send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+                out.write_bytes(&p2)
+            })
+            .unwrap();
         });
         let (got, _) = srv.recv_msg(Duration::from_secs(5)).unwrap();
         h.join().unwrap();
@@ -387,7 +388,7 @@ mod tests {
             let cli = Arc::clone(&cli);
             handles.push(thread::spawn(move || {
                 for _ in 0..10 {
-                    cli.send_msg("p", "m", &mut |out| {
+                    cli.send_msg(crate::intern::method_key("p", "m"), &mut |out| {
                         out.write_u8(t)?;
                         out.write_bytes(&[t; 499])
                     })

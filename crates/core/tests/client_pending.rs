@@ -3,9 +3,9 @@
 //! Every exit path out of a call attempt — response delivered, timeout,
 //! send failure, busy rejection, connection breakage, corrupt response —
 //! must leave the pending table empty once the call returns. A leaked
-//! entry keeps its response channel (and the protocol/method strings)
-//! alive for the life of the connection and makes a later wrap of the
-//! sequence space deliver a response to the wrong caller.
+//! entry keeps its reply slot alive for the life of the connection and
+//! makes a later wrap of the sequence space deliver a response to the
+//! wrong caller.
 //!
 //! The transport-agnostic tests run on both transports in-process; the
 //! corrupt-response test drives a hand-rolled frame through a raw
@@ -83,10 +83,18 @@ impl RpcService for GatedService {
 }
 
 fn start_gated(fabric: &Fabric, cfg: &RpcConfig) -> (Server, Arc<(Mutex<bool>, Condvar)>) {
+    start_gated_at(fabric, cfg, SimAddr::new(fabric.add_node(), 8020))
+}
+
+fn start_gated_at(
+    fabric: &Fabric,
+    cfg: &RpcConfig,
+    addr: SimAddr,
+) -> (Server, Arc<(Mutex<bool>, Condvar)>) {
     let (gate, svc) = GatedService::new();
     let mut registry = ServiceRegistry::new();
     registry.register(Arc::new(svc));
-    let server = Server::start(fabric, fabric.add_node(), 8020, cfg.clone(), registry).unwrap();
+    let server = Server::start(fabric, addr.node, addr.port, cfg.clone(), registry).unwrap();
     (server, gate)
 }
 
@@ -265,6 +273,48 @@ fn pending_cleared_on_corrupt_response() {
     );
     fake.join().unwrap();
     client.shutdown();
+}
+
+/// The dropped-connection tracking set (which decides whether a fresh
+/// establishment counts as a reconnect) must stay bounded: empty while
+/// connections are healthy, one entry per dropped server, and emptied
+/// again by the reconnect that consumes it — repeated break/reconnect
+/// churn against one server never accumulates entries. Its unbounded
+/// predecessor kept every server ever contacted, forever.
+#[test]
+fn reconnect_tracking_is_bounded_by_churn() {
+    for (name, fabric, cfg) in transports() {
+        let client = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+        // Every round restarts "the same server": same node, same port,
+        // so the client sees one logical peer across the churn.
+        let addr = SimAddr::new(fabric.add_node(), 8020);
+        for round in 0..3 {
+            let (server, _gate) = start_gated_at(&fabric, &cfg, addr);
+            // The default retry policy heals the stale connection left by
+            // the previous round's stop; that reconnect must consume the
+            // tracked entry, leaving the set empty while healthy.
+            echo(&client, addr, "hi").unwrap();
+            assert_eq!(
+                client.reconnect_tracking_len(),
+                0,
+                "{name} round {round}: healthy connection must not be tracked"
+            );
+            server.stop();
+            // Whether the Connection thread has already noticed the stop
+            // or the next round's call will discover it, at most this one
+            // dropped server is ever remembered.
+            assert!(
+                client.reconnect_tracking_len() <= 1,
+                "{name} round {round}: tracking set grew past the one dropped server"
+            );
+        }
+        // Rounds 1 and 2 each healed a stale connection.
+        assert!(
+            client.metrics().counters().reconnects >= 2,
+            "{name}: reconnects were not counted"
+        );
+        client.shutdown();
+    }
 }
 
 /// `shutdown` must interrupt a retry backoff: a caller parked between

@@ -167,38 +167,46 @@ pub fn send_write_header(
     block: u64,
     targets: &[DatanodeInfo],
 ) -> RpcResult<()> {
-    conn.send_msg("hdfs.data", "write", &mut |out| {
-        out.write_u8(OP_WRITE)?;
-        out.write_i64(block as i64)?;
-        out.write_vint(targets.len() as i32)?;
-        for t in targets {
-            wire::Writable::write(t, out)?;
-        }
-        Ok(())
-    })
+    conn.send_msg(
+        rpcoib::intern::method_key("hdfs.data", "write"),
+        &mut |out| {
+            out.write_u8(OP_WRITE)?;
+            out.write_i64(block as i64)?;
+            out.write_vint(targets.len() as i32)?;
+            for t in targets {
+                wire::Writable::write(t, out)?;
+            }
+            Ok(())
+        },
+    )
     .map(|_| ())
 }
 
 /// Send one data chunk, protected by a CRC-32 of its bytes.
 pub fn send_chunk(conn: &Arc<dyn Conn>, chunk: &[u8]) -> RpcResult<()> {
     let crc = wire::crc32(chunk);
-    conn.send_msg("hdfs.data", "chunk", &mut |out| {
-        out.write_u8(OP_DATA)?;
-        out.write_i32(crc as i32)?;
-        out.write_len_bytes(chunk)
-    })
+    conn.send_msg(
+        rpcoib::intern::method_key("hdfs.data", "chunk"),
+        &mut |out| {
+            out.write_u8(OP_DATA)?;
+            out.write_i32(crc as i32)?;
+            out.write_len_bytes(chunk)
+        },
+    )
     .map(|_| ())
 }
 
 /// Send the end-of-block marker.
 pub fn send_end(conn: &Arc<dyn Conn>) -> RpcResult<()> {
-    conn.send_msg("hdfs.data", "end", &mut |out| out.write_u8(OP_END))
-        .map(|_| ())
+    conn.send_msg(rpcoib::intern::method_key("hdfs.data", "end"), &mut |out| {
+        out.write_u8(OP_END)
+    })
+    .map(|_| ())
 }
 
 /// Send an `ACK` with `status`.
 pub fn send_ack(conn: &Arc<dyn Conn>, status: u8) -> RpcResult<()> {
-    conn.send_msg("hdfs.data", "ack", &mut |out| {
+    conn.send_msg(rpcoib::intern::method_key("hdfs.data", "ack"), &mut |out| {
         out.write_u8(OP_ACK)?;
         out.write_u8(status)
     })
@@ -208,21 +216,27 @@ pub fn send_ack(conn: &Arc<dyn Conn>, status: u8) -> RpcResult<()> {
 /// Send a `READ` request for `[offset, offset+len)` of `block`
 /// (`len == u64::MAX` means "to the end of the block").
 pub fn send_read(conn: &Arc<dyn Conn>, block: u64, offset: u64, len: u64) -> RpcResult<()> {
-    conn.send_msg("hdfs.data", "read", &mut |out| {
-        out.write_u8(OP_READ)?;
-        out.write_i64(block as i64)?;
-        out.write_vlong(offset as i64)?;
-        out.write_i64(len as i64)
-    })
+    conn.send_msg(
+        rpcoib::intern::method_key("hdfs.data", "read"),
+        &mut |out| {
+            out.write_u8(OP_READ)?;
+            out.write_i64(block as i64)?;
+            out.write_vlong(offset as i64)?;
+            out.write_i64(len as i64)
+        },
+    )
     .map(|_| ())
 }
 
 /// Send the `SIZE` response header of a read.
 pub fn send_size(conn: &Arc<dyn Conn>, size: u64) -> RpcResult<()> {
-    conn.send_msg("hdfs.data", "size", &mut |out| {
-        out.write_u8(OP_SIZE)?;
-        out.write_i64(size as i64)
-    })
+    conn.send_msg(
+        rpcoib::intern::method_key("hdfs.data", "size"),
+        &mut |out| {
+            out.write_u8(OP_SIZE)?;
+            out.write_i64(size as i64)
+        },
+    )
     .map(|_| ())
 }
 

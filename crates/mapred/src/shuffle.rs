@@ -98,9 +98,10 @@ pub fn serve_connection(conn: &Arc<dyn Conn>, store: &MapOutputStore, stop: impl
         let result = match store.get(job, map_idx, reduce) {
             Some(data) => send_found(conn, &data),
             None => conn
-                .send_msg("mapred.shuffle", "missing", &mut |out| {
-                    out.write_u8(OP_MISSING)
-                })
+                .send_msg(
+                    rpcoib::intern::method_key("mapred.shuffle", "missing"),
+                    &mut |out| out.write_u8(OP_MISSING),
+                )
                 .map(|_| ()),
         };
         if result.is_err() {
@@ -110,17 +111,26 @@ pub fn serve_connection(conn: &Arc<dyn Conn>, store: &MapOutputStore, stop: impl
 }
 
 fn send_found(conn: &Arc<dyn Conn>, data: &[u8]) -> RpcResult<()> {
-    conn.send_msg("mapred.shuffle", "found", &mut |out| {
-        out.write_u8(OP_FOUND)?;
-        out.write_vlong(data.len() as i64)
-    })?;
+    conn.send_msg(
+        rpcoib::intern::method_key("mapred.shuffle", "found"),
+        &mut |out| {
+            out.write_u8(OP_FOUND)?;
+            out.write_vlong(data.len() as i64)
+        },
+    )?;
     for chunk in data.chunks(SHUFFLE_CHUNK) {
-        conn.send_msg("mapred.shuffle", "chunk", &mut |out| {
-            out.write_u8(OP_CHUNK)?;
-            out.write_len_bytes(chunk)
-        })?;
+        conn.send_msg(
+            rpcoib::intern::method_key("mapred.shuffle", "chunk"),
+            &mut |out| {
+                out.write_u8(OP_CHUNK)?;
+                out.write_len_bytes(chunk)
+            },
+        )?;
     }
-    conn.send_msg("mapred.shuffle", "done", &mut |out| out.write_u8(OP_DONE))?;
+    conn.send_msg(
+        rpcoib::intern::method_key("mapred.shuffle", "done"),
+        &mut |out| out.write_u8(OP_DONE),
+    )?;
     Ok(())
 }
 
@@ -135,13 +145,15 @@ pub fn fetch(
 ) -> RpcResult<Option<Vec<u8>>> {
     let mut conn = pool.checkout(addr)?;
     let run = (|| -> RpcResult<Option<Vec<u8>>> {
-        conn.conn()
-            .send_msg("mapred.shuffle", "fetch", &mut |out| {
+        conn.conn().send_msg(
+            rpcoib::intern::method_key("mapred.shuffle", "fetch"),
+            &mut |out| {
                 out.write_u8(OP_FETCH)?;
                 out.write_vint(job as i32)?;
                 out.write_vint(map_idx as i32)?;
                 out.write_vint(reduce as i32)
-            })?;
+            },
+        )?;
         let (payload, _) = conn.conn().recv_msg(FETCH_TIMEOUT)?;
         let mut reader = payload.reader();
         let op = reader

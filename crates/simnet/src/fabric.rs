@@ -360,6 +360,15 @@ impl Fabric {
         self.inner.stats.modeled_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Charge `ns` of modeled *host-side* time against `node`'s ledger.
+    /// The fabric charges network costs itself; upper layers use this to
+    /// account software costs their cost models own (e.g. the RPC
+    /// engine's legacy metadata-churn charge), so figure harnesses that
+    /// read ledger deltas see them alongside the network time.
+    pub fn charge_host_ns(&self, node: NodeId, ns: u64) {
+        self.charge_modeled(node, ns);
+    }
+
     /// Modeled nanoseconds charged to `node` so far. Deterministic for a
     /// given traffic pattern and fault seed: the ledger accumulates the
     /// durations the cost model *intended*, not the wall time the busy-wait

@@ -1,0 +1,55 @@
+//! Hardware-work scoping for allocation accounting.
+//!
+//! Some heap allocations inside simnet *model hardware or kernel work*:
+//! the user→kernel staging copy a socket write performs, the DMA staging
+//! a verbs `post_send` performs. On real hardware those bytes land in a
+//! kernel socket buffer or the HCA's DMA engine — they are not
+//! application heap traffic, and an allocation-regression harness that
+//! counts application allocations must not attribute them to the RPC hot
+//! path. Code modeling such work wraps itself in [`hw_scope`]; the test
+//! harness's global allocator checks [`in_hw_scope`] and skips counting.
+//!
+//! The scope is thread-local and re-entrant, and compiles to a single
+//! TLS counter — negligible next to the spin-waits these paths already
+//! perform.
+
+use std::cell::Cell;
+
+thread_local! {
+    static HW_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// True while the current thread is inside a [`hw_scope`] call — i.e.
+/// any allocation happening now models kernel/NIC work, not application
+/// heap traffic.
+pub fn in_hw_scope() -> bool {
+    HW_DEPTH.with(|d| d.get()) > 0
+}
+
+/// Run `f` with the current thread marked as doing modeled hardware
+/// work. Re-entrant.
+pub fn hw_scope<R>(f: impl FnOnce() -> R) -> R {
+    HW_DEPTH.with(|d| d.set(d.get() + 1));
+    let out = f();
+    HW_DEPTH.with(|d| d.set(d.get() - 1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_is_reentrant_and_thread_local() {
+        assert!(!in_hw_scope());
+        hw_scope(|| {
+            assert!(in_hw_scope());
+            hw_scope(|| assert!(in_hw_scope()));
+            assert!(in_hw_scope());
+            std::thread::spawn(|| assert!(!in_hw_scope()))
+                .join()
+                .unwrap();
+        });
+        assert!(!in_hw_scope());
+    }
+}

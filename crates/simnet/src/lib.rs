@@ -60,6 +60,7 @@
 
 pub mod fabric;
 pub mod faults;
+pub mod hw;
 pub mod model;
 pub mod stream;
 pub mod time;
@@ -68,6 +69,7 @@ pub mod verbs;
 
 pub use fabric::{Fabric, FabricStats, NodeId, SimAddr};
 pub use faults::FaultSpec;
+pub use hw::{hw_scope, in_hw_scope};
 pub use model::NetworkModel;
 pub use stream::{SimListener, SimStream};
 pub use time::{fast_forward, set_fast_forward};

@@ -204,7 +204,18 @@ impl SimStream {
     }
 
     fn write_impl(&self, buf: &[u8]) -> io::Result<usize> {
-        if buf.is_empty() {
+        self.write_gather(&[buf])
+    }
+
+    /// Gathering write: transmit the concatenation of `bufs` exactly as if
+    /// it were one contiguous `write` — same stack charge, same 16 KB wire
+    /// segmentation (segments span slice boundaries), same single message
+    /// count — but with **no user-space concatenation copy**. This is the
+    /// simulated `writev`: callers hand `[len prefix][payload]` as two
+    /// slices instead of staging them into one buffer first.
+    pub fn write_gather(&self, bufs: &[&[u8]]) -> io::Result<usize> {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        if total == 0 {
             return Ok(0);
         }
         let inner = &self.inner;
@@ -244,10 +255,10 @@ impl SimStream {
         // ledger is charged with the sender-side one-way costs here (stack,
         // propagation, injected fault delay); per-segment wire time is
         // charged below as each segment reserves the egress link.
-        crate::time::spin_ns(model.stack_ns(buf.len()));
+        crate::time::spin_ns(model.stack_ns(total));
         fabric.charge_modeled(
             inner.local.node,
-            model.stack_ns(buf.len()) + model.base_latency_ns + fault_delay.as_nanos() as u64,
+            model.stack_ns(total) + model.base_latency_ns + fault_delay.as_nanos() as u64,
         );
 
         let tx = inner
@@ -258,11 +269,40 @@ impl SimStream {
 
         // Segment like TCP: each wire segment pays its own bandwidth and
         // gets its own delivery window, so a receiver drains a large
-        // message at wire pace instead of all at once.
-        for chunk in buf.chunks(WIRE_SEGMENT) {
-            // Real staging copy: user buffer -> "kernel" segment.
-            let data = Bytes::copy_from_slice(chunk);
-            let wire = Duration::from_nanos(model.wire_ns(chunk.len()));
+        // message at wire pace instead of all at once. Segments are cut
+        // from the *concatenation* of the slices, so a gathered write is
+        // wire-identical to a contiguous one.
+        let (mut idx, mut off, mut sent) = (0usize, 0usize, 0usize);
+        while sent < total {
+            while off == bufs[idx].len() {
+                idx += 1;
+                off = 0;
+            }
+            let chunk_len = (total - sent).min(WIRE_SEGMENT);
+            // The staging copy user buffer -> "kernel" segment is real (a
+            // socket write always pays it) but models kernel work, hence
+            // the hw scope.
+            let data = crate::hw::hw_scope(|| {
+                if bufs[idx].len() - off >= chunk_len {
+                    let d = Bytes::copy_from_slice(&bufs[idx][off..off + chunk_len]);
+                    off += chunk_len;
+                    d
+                } else {
+                    let mut gathered = Vec::with_capacity(chunk_len);
+                    while gathered.len() < chunk_len {
+                        if off == bufs[idx].len() {
+                            idx += 1;
+                            off = 0;
+                            continue;
+                        }
+                        let take = (bufs[idx].len() - off).min(chunk_len - gathered.len());
+                        gathered.extend_from_slice(&bufs[idx][off..off + take]);
+                        off += take;
+                    }
+                    Bytes::from(gathered)
+                }
+            });
+            let wire = Duration::from_nanos(model.wire_ns(chunk_len));
             let egress_end = match fabric.links(inner.local.node) {
                 Some(links) => links.egress.reserve_from(Instant::now(), wire),
                 None => Instant::now() + wire,
@@ -277,11 +317,12 @@ impl SimStream {
                 data,
             })
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
+            sent += chunk_len;
         }
         let stats = fabric.stats();
         stats.messages.fetch_add(1, Ordering::Relaxed);
-        stats.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
-        Ok(buf.len())
+        stats.bytes.fetch_add(total as u64, Ordering::Relaxed);
+        Ok(total)
     }
 
     fn read_impl(&self, buf: &mut [u8]) -> io::Result<usize> {
@@ -783,6 +824,45 @@ mod tests {
         let mut out = vec![0u8; 11];
         srv.read_exact(&mut out).unwrap();
         assert_eq!(&out, b"firstsecond");
+    }
+
+    #[test]
+    fn gathered_write_is_wire_identical_to_contiguous() {
+        // Same payload, once contiguous and once as a gathered write cut at
+        // awkward offsets (including an empty slice and a cut straddling
+        // the 16KB wire-segment boundary): both must charge the sender's
+        // modeled ledger identically, count one message, and deliver the
+        // same bytes.
+        let payload: Vec<u8> = (0..40_000u32).map(|i| (i * 7) as u8).collect();
+
+        let (f1, cli1, mut srv1) = pair(IPOIB_QDR);
+        let (f2, cli2, mut srv2) = pair(IPOIB_QDR);
+        let before1 = f1.modeled_ns(cli1.local_addr().node);
+        let before2 = f2.modeled_ns(cli2.local_addr().node);
+
+        cli1.write_impl(&payload).unwrap();
+        cli2.write_gather(&[
+            &payload[..4],
+            &[],
+            &payload[4..WIRE_SEGMENT + 100],
+            &payload[WIRE_SEGMENT + 100..],
+        ])
+        .unwrap();
+
+        let charged1 = f1.modeled_ns(cli1.local_addr().node) - before1;
+        let charged2 = f2.modeled_ns(cli2.local_addr().node) - before2;
+        assert_eq!(charged1, charged2, "gather must charge like contiguous");
+
+        let (mut got1, mut got2) = (vec![0u8; payload.len()], vec![0u8; payload.len()]);
+        srv1.read_exact(&mut got1).unwrap();
+        srv2.read_exact(&mut got2).unwrap();
+        assert_eq!(got1, payload);
+        assert_eq!(got2, payload);
+
+        let (msgs1, bytes1, _, _) = f1.stats().snapshot();
+        let (msgs2, bytes2, _, _) = f2.stats().snapshot();
+        assert_eq!(msgs1, msgs2, "one message either way");
+        assert_eq!(bytes1, bytes2);
     }
 
     #[test]

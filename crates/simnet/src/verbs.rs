@@ -374,11 +374,12 @@ impl QueuePair {
             return Err(VerbsError::PeerDown);
         }
         let inbox = self.peer_inbox(remote)?;
-        // "DMA" out of registered memory.
+        // "DMA" out of registered memory — the HCA's work, so the staging
+        // allocation is excluded from application alloc accounting.
         let data = {
             let buf = mr.inner.buf.lock();
             bounds_check(offset, len, buf.len())?;
-            Bytes::copy_from_slice(&buf[offset..offset + len])
+            crate::hw::hw_scope(|| Bytes::copy_from_slice(&buf[offset..offset + len]))
         };
         let (arrive_start, wire) = self.charge_send(remote.node, len);
         // Injected loss: the post "completed" at the sender but the message

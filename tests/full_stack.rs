@@ -90,6 +90,10 @@ fn hbase_best_configuration_serves_ycsb() {
 
 /// The headline direction of the paper, asserted as a test: the same
 /// ping-pong is faster over RPCoIB than over socket RPC on IPoIB.
+/// Measured on simnet's modeled-time ledger (per-call `Fabric::modeled_ns`
+/// deltas on the client node), not wall-clock, so a CPU-starved parallel
+/// test run cannot perturb the comparison — the same port the end_to_end
+/// and hbase latency-contrast tests received.
 #[test]
 fn rpcoib_beats_ipoib_sockets() {
     struct Echo;
@@ -108,11 +112,7 @@ fn rpcoib_beats_ipoib_sockets() {
         }
     }
 
-    struct Env {
-        server: Server,
-        client: Client,
-    }
-    let setup = |net, rpc: RpcConfig| -> Env {
+    fn median_ns(net: simnet::NetworkModel, rpc: RpcConfig) -> u64 {
         let fabric = Fabric::new(net);
         let sn = fabric.add_node();
         let cn = fabric.add_node();
@@ -120,41 +120,31 @@ fn rpcoib_beats_ipoib_sockets() {
         registry.register(Arc::new(Echo));
         let server = Server::start(&fabric, sn, 1, rpc.clone(), registry).unwrap();
         let client = Client::new(&fabric, cn, rpc).unwrap();
-        Env { server, client }
-    };
-    let one_call = |env: &Env, body: &BytesWritable| -> Duration {
-        let t = std::time::Instant::now();
-        let _: BytesWritable = env
-            .client
-            .call(env.server.addr(), "suite.Echo", "x", body)
-            .unwrap();
-        t.elapsed()
-    };
+        let body = BytesWritable(vec![1u8; 512]);
+        let one_call = |body: &BytesWritable| {
+            let _: BytesWritable = client.call(server.addr(), "suite.Echo", "x", body).unwrap();
+        };
+        for _ in 0..10 {
+            one_call(&body);
+        }
+        let mut samples: Vec<u64> = (0..60)
+            .map(|_| {
+                let before = fabric.modeled_ns(cn);
+                one_call(&body);
+                fabric.modeled_ns(cn) - before
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        client.shutdown();
+        server.stop();
+        median
+    }
 
-    let ipoib_env = setup(model::IPOIB_QDR, RpcConfig::socket());
-    let rpcoib_env = setup(model::IB_QDR_VERBS, RpcConfig::rpcoib());
-    let body = BytesWritable(vec![1u8; 512]);
-    for _ in 0..10 {
-        one_call(&ipoib_env, &body);
-        one_call(&rpcoib_env, &body);
-    }
-    // Interleave the measured samples so ambient CPU load (other tests in
-    // this binary, parallel jobs) biases both configurations equally.
-    let mut ipoib_samples = Vec::new();
-    let mut rpcoib_samples = Vec::new();
-    for _ in 0..60 {
-        ipoib_samples.push(one_call(&ipoib_env, &body));
-        rpcoib_samples.push(one_call(&rpcoib_env, &body));
-    }
-    ipoib_samples.sort();
-    rpcoib_samples.sort();
-    let (ipoib, rpcoib) = (ipoib_samples[30], rpcoib_samples[30]);
-    ipoib_env.client.shutdown();
-    ipoib_env.server.stop();
-    rpcoib_env.client.shutdown();
-    rpcoib_env.server.stop();
+    let ipoib = median_ns(model::IPOIB_QDR, RpcConfig::socket());
+    let rpcoib = median_ns(model::IB_QDR_VERBS, RpcConfig::rpcoib());
     assert!(
         rpcoib < ipoib,
-        "paper's headline violated: rpcoib {rpcoib:?} vs ipoib {ipoib:?}"
+        "paper's headline violated: rpcoib {rpcoib}ns vs ipoib {ipoib}ns"
     );
 }
