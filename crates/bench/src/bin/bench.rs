@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! bench [--quick|--full] [--seed N] [--out DIR] [--fast]
-//!       [--figure pingpong|bufpool|handlers|shards|smallcall|all]
+//!       [--figure pingpong|bufpool|handlers|shards|smallcall|batching|all]
 //!       [--check BASELINE.json] [--tolerance PCT]
 //! ```
 //!
@@ -70,7 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--quick|--full] [--seed N] [--out DIR] [--fast] \
-                     [--figure pingpong|bufpool|handlers|shards|smallcall|all] \
+                     [--figure pingpong|bufpool|handlers|shards|smallcall|batching|all] \
                      [--check BASELINE.json] [--tolerance PCT]"
                 );
                 std::process::exit(0);
@@ -129,12 +129,14 @@ fn main() -> ExitCode {
         "handlers" => vec![("handlers", figures::run_handlers)],
         "shards" => vec![("shards", figures::run_shards)],
         "smallcall" => vec![("smallcall", figures::run_smallcall)],
+        "batching" => vec![("batching", figures::run_batching)],
         "all" => vec![
             ("pingpong", figures::run_pingpong),
             ("bufpool", figures::run_bufpool),
             ("handlers", figures::run_handlers),
             ("shards", figures::run_shards),
             ("smallcall", figures::run_smallcall),
+            ("batching", figures::run_batching),
         ],
         other => {
             eprintln!("bench: unknown figure {other}");

@@ -534,6 +534,203 @@ pub fn run_smallcall(opts: &RunOpts, git_rev: &str) -> Json {
         .field("rows", Json::Arr(rows))
 }
 
+/// Payloads of the batching sweep: the 1–128 B regime where per-frame
+/// overhead (stack charge + base latency per wire operation) dominates
+/// and coalescing pays.
+pub const BATCHING_PAYLOADS: &[usize] = &[1, 32, 128];
+
+/// Queue depth of the multi-client point: how many small frames are
+/// ready for one connection when the responder sweep (or the client's
+/// gathered flush) runs. Eight callers multiplexed on a connection is
+/// the shape of the paper's multi-client small-call experiments.
+const BATCH_DEPTH: usize = 8;
+
+/// Figure: adaptive wire batching — what coalescing K queued small
+/// frames into one wire operation saves, and proof it costs an idle
+/// connection nothing.
+///
+/// Two kinds of rows, keyed by `point` only (so the `--check` gate never
+/// collides arms that share a payload):
+///
+/// * `single_p{N}_{batch|nobatch}` — the Nagle-free guard: sequential
+///   single calls through the full engine with batching on vs off. A
+///   lone call never waits for company, so the two arms must charge the
+///   same ledger; the batch arm records the nobatch p50 and the delta in
+///   basis points (`p50_delta_bp`, expected 0).
+/// * `multi8_p{N}` — the multi-client point, measured at the transport
+///   conn layer where it is deterministic: [`BATCH_DEPTH`] frames ready
+///   at once (eight callers' worth) sent as K individual `send_msg`
+///   calls versus one `send_frames` gather, sender + receiver ledger
+///   deltas per burst. `speedup_bp` is the unbatched/batched modeled
+///   cost ratio in basis points; the acceptance bar is ≥ 2×
+///   (`speedup_bp >= 20000`) since coalescing pays the per-operation
+///   overhead once instead of K times.
+pub fn run_batching(opts: &RunOpts, git_rev: &str) -> Json {
+    let warmup = opts.iters(5, 20);
+    let iters = opts.iters(40, 200);
+    let bursts = opts.iters(12, 48);
+    let mut rows = Vec::new();
+
+    for (label, cfg) in transports() {
+        // Part A: the single-call latency guard. No jitter, so both arms
+        // charge fully deterministic, directly comparable ledgers.
+        for &payload in BATCHING_PAYLOADS {
+            let mut nobatch_p50 = 0u64;
+            for arm in ["nobatch", "batch"] {
+                let mut cfg = cfg.clone();
+                cfg.rpc.wire_batch = arm == "batch";
+                let env = boot(&cfg, opts.seed, None);
+                let mut samples = modeled_samples(&env, payload, warmup, iters);
+                samples.sort_unstable();
+                let p50 = percentile_ns(&samples, 0.50);
+                let row = Json::obj()
+                    .field("transport", label)
+                    .field("point", format!("single_p{payload}_{arm}"));
+                let mut row = percentile_fields(row, &mut samples);
+                if arm == "nobatch" {
+                    nobatch_p50 = p50;
+                } else {
+                    let delta = p50.abs_diff(nobatch_p50);
+                    row = row
+                        .field("nobatch_p50_ns", nobatch_p50)
+                        .field("p50_delta_bp", delta * 10_000 / nobatch_p50.max(1));
+                }
+                rows.push(row);
+                env.client.shutdown();
+            }
+        }
+
+        // Part B: the multi-client burst point. Engine-level coalescing
+        // depends on thread timing (how many callers pile up behind a
+        // flush), so the serialized numbers come from the deterministic
+        // conn-level equivalent: a burst of BATCH_DEPTH ready frames,
+        // transmitted frame-at-a-time versus as one gather.
+        for &payload in BATCHING_PAYLOADS {
+            let key = rpcoib::intern::method_key("bench.Batching", "burst");
+            let burst_totals = |batched: bool| -> Vec<u64> {
+                let (fabric, sender, receiver, cli, srv) = conn_pair(&cfg, opts.seed);
+                let frame = vec![0x6b_u8; payload];
+                let run_burst = || {
+                    if batched {
+                        cli.send_frames(key, vec![frame.clone(); BATCH_DEPTH])
+                            .expect("gathered burst");
+                    } else {
+                        for _ in 0..BATCH_DEPTH {
+                            cli.send_msg(key, &mut |out| out.write_bytes(&frame))
+                                .expect("per-frame burst");
+                        }
+                    }
+                    for _ in 0..BATCH_DEPTH {
+                        let (payload_in, _) =
+                            srv.recv_msg(Duration::from_secs(10)).expect("burst recv");
+                        assert_eq!(payload_in.len(), payload);
+                    }
+                };
+                for _ in 0..2 {
+                    run_burst(); // registration / pool warmup
+                }
+                (0..bursts)
+                    .map(|_| {
+                        let before = fabric.modeled_ns(sender) + fabric.modeled_ns(receiver);
+                        run_burst();
+                        fabric.modeled_ns(sender) + fabric.modeled_ns(receiver) - before
+                    })
+                    .collect()
+            };
+            let unbatched = burst_totals(false);
+            let mut batched = burst_totals(true);
+            let unbatched_ns: u64 = unbatched.iter().sum();
+            let batched_ns: u64 = batched.iter().sum::<u64>().max(1);
+            let frames = (BATCH_DEPTH * bursts) as u64;
+            let row = Json::obj()
+                .field("transport", label)
+                .field("point", format!("multi{BATCH_DEPTH}_p{payload}"));
+            let row = percentile_fields(row, &mut batched)
+                .field("frames", frames)
+                .field("unbatched_total_ns", unbatched_ns)
+                .field("batched_total_ns", batched_ns)
+                .field("unbatched_per_frame_ns", unbatched_ns / frames.max(1))
+                .field("batched_per_frame_ns", batched_ns / frames.max(1))
+                .field(
+                    "modeled_calls_per_sec_unbatched",
+                    (frames * 1_000_000_000)
+                        .checked_div(unbatched_ns)
+                        .unwrap_or(0),
+                )
+                .field(
+                    "modeled_calls_per_sec_batched",
+                    frames * 1_000_000_000 / batched_ns,
+                )
+                .field("speedup_bp", unbatched_ns * 10_000 / batched_ns);
+            rows.push(row);
+        }
+    }
+    header("batching", opts, git_rev).field("rows", Json::Arr(rows))
+}
+
+/// A raw transport conn pair on a fresh seeded fabric: the client end,
+/// the server end, and the two node ids whose ledgers the batching burst
+/// reads. Socket conns get the engine's framing buffer defaults; verbs
+/// conns bootstrap through the same stream exchange the engine uses.
+#[allow(clippy::type_complexity)]
+fn conn_pair(
+    cfg: &BenchConfig,
+    seed: u64,
+) -> (
+    Fabric,
+    NodeId,
+    NodeId,
+    Arc<dyn rpcoib::transport::Conn>,
+    Arc<dyn rpcoib::transport::Conn>,
+) {
+    use rpcoib::transport::rdma::RdmaConn;
+    use rpcoib::transport::socket::SocketConn;
+    use simnet::SimListener;
+
+    let fabric = Fabric::new(cfg.model);
+    fabric.set_fault_seed(seed);
+    let server_node = fabric.add_node();
+    let client_node = fabric.add_node();
+    let addr = SimAddr::new(server_node, 9700);
+    let listener = SimListener::bind(&fabric, addr).expect("bind");
+    let f2 = fabric.clone();
+    let connect =
+        std::thread::spawn(move || simnet::SimStream::connect(&f2, client_node, addr).unwrap());
+    let (srv_stream, _) = listener.accept().expect("accept");
+    let cli_stream = connect.join().expect("connect");
+    if cfg.rpc.ib_enabled {
+        let cli_ctx = rpcoib::IbContext::new(&fabric, client_node, &cfg.rpc).expect("client ctx");
+        let srv_ctx = rpcoib::IbContext::new(&fabric, server_node, &cfg.rpc).expect("server ctx");
+        let f3 = fabric.clone();
+        let rpc = cfg.rpc.clone();
+        let h = std::thread::spawn(move || {
+            let _ = &f3;
+            RdmaConn::bootstrap(&cli_stream, &cli_ctx, &rpc).unwrap()
+        });
+        let srv = RdmaConn::bootstrap(&srv_stream, &srv_ctx, &cfg.rpc).expect("server bootstrap");
+        let cli = h.join().expect("client bootstrap");
+        (
+            fabric,
+            client_node,
+            server_node,
+            Arc::new(cli),
+            Arc::new(srv),
+        )
+    } else {
+        let cli = SocketConn::new(cli_stream, wire::buffer::INITIAL_CAPACITY)
+            .with_batch(cfg.rpc.wire_batch);
+        let srv =
+            SocketConn::new(srv_stream, cfg.rpc.server_buffer_init).with_batch(cfg.rpc.wire_batch);
+        (
+            fabric,
+            client_node,
+            server_node,
+            Arc::new(cli),
+            Arc::new(srv),
+        )
+    }
+}
+
 /// Best-effort `git rev-parse HEAD` (the files record provenance; two
 /// runs from the same checkout still diff byte-identical).
 pub fn git_rev() -> String {

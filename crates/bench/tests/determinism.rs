@@ -4,7 +4,7 @@
 //! modeled-time ledger, and jitter comes from the seeded fault RNG, so
 //! nothing in the files depends on wall clock or scheduling.
 
-use rpcoib_bench::figures::{run_bufpool, run_pingpong, RunOpts};
+use rpcoib_bench::figures::{run_batching, run_bufpool, run_pingpong, RunOpts};
 use rpcoib_bench::regress::check_regression;
 
 const OPTS: RunOpts = RunOpts {
@@ -69,4 +69,48 @@ fn bufpool_runs_are_byte_identical_and_pass_self_check() {
         })
         .sum();
     assert!(verbs_lookups > 0, "verbs rows must surface pool activity");
+}
+
+/// The batching figure: byte-identical per seed, self-check clean, and
+/// the acceptance numbers hold — every multi-client burst point shows
+/// ≥ 2× modeled throughput from coalescing, and batching costs a lone
+/// sequential caller exactly nothing (`p50_delta_bp == 0`, not merely
+/// "within tolerance": the arms must charge identical ledgers).
+#[test]
+fn batching_runs_are_byte_identical_and_meet_the_bar() {
+    enable_fast_forward();
+    let a = run_batching(&OPTS, "test-rev");
+    let b = run_batching(&OPTS, "test-rev");
+    assert_eq!(
+        a.pretty(),
+        b.pretty(),
+        "same seed must produce byte-identical batching JSON"
+    );
+
+    let outcome = check_regression(&a, &b, 0).expect("comparable");
+    assert!(outcome.passed(), "{:?}", outcome.failures);
+
+    let rows = a.get("rows").unwrap().as_arr().unwrap();
+    let mut multi_points = 0;
+    let mut single_guards = 0;
+    for row in rows {
+        let point = row.get("point").and_then(|p| p.as_str()).unwrap();
+        if point.starts_with("multi") {
+            multi_points += 1;
+            let speedup = row.get("speedup_bp").and_then(|s| s.as_u64()).unwrap();
+            assert!(
+                speedup >= 20_000,
+                "{point}: coalescing must model ≥2× throughput, got {speedup} bp"
+            );
+        } else if let Some(delta) = row.get("p50_delta_bp") {
+            single_guards += 1;
+            assert_eq!(
+                delta.as_u64(),
+                Some(0),
+                "{point}: a lone call must not pay for batching"
+            );
+        }
+    }
+    assert_eq!(multi_points, 6, "both transports × three payloads");
+    assert_eq!(single_guards, 6, "a guard arm per (transport, payload)");
 }

@@ -33,7 +33,10 @@ use wire::Writable;
 
 use crate::config::RpcConfig;
 use crate::error::{RpcError, RpcResult};
-use crate::frame::{read_response_header, write_request, Payload, ResponseStatus};
+use crate::frame::{
+    read_response_header, write_request, Payload, ResponseHeader, ResponseStatus, V3Decoder,
+    V3Encoder,
+};
 use crate::handshake;
 use crate::hostcost;
 use crate::intern::{self, MethodKey};
@@ -56,6 +59,21 @@ const PENDING_SHARDS: usize = 8;
 /// (its predecessor grew by one entry per server, forever).
 const RECONNECT_TRACK_CAP: usize = 256;
 
+/// A response as the Connection thread hands it to a parked caller: the
+/// lead parsed exactly once (the Connection thread owns the connection's
+/// V3 decoder state, so under the compact header it is the only thread
+/// that *can* parse it), and the frame bytes with the body starting at
+/// `body_offset`.
+pub struct RawResponse {
+    /// The parsed response lead (sequence number and status).
+    pub header: ResponseHeader,
+    /// The whole response frame.
+    pub payload: Payload,
+    /// Offset of the response body within `payload` — skip this many
+    /// bytes before deserializing the value / error message.
+    pub body_offset: usize,
+}
+
 /// A reusable rendezvous cell one parked caller waits on.
 ///
 /// Replaces the per-call one-shot channel (whose construction allocated a
@@ -70,7 +88,7 @@ struct CallSlot {
 
 struct SlotState {
     gen: u64,
-    result: Option<RpcResult<Payload>>,
+    result: Option<RpcResult<RawResponse>>,
 }
 
 impl CallSlot {
@@ -92,7 +110,7 @@ impl CallSlot {
     /// Deliver `result` if the slot is still on generation `gen`;
     /// returns `false` (result dropped) when the caller already retired
     /// the slot — the delivery was late.
-    fn deliver(&self, gen: u64, result: RpcResult<Payload>) -> bool {
+    fn deliver(&self, gen: u64, result: RpcResult<RawResponse>) -> bool {
         let mut st = self.state.lock();
         if st.gen != gen {
             return false;
@@ -103,7 +121,7 @@ impl CallSlot {
     }
 
     /// Park until a generation-`gen` result arrives or `timeout` passes.
-    fn wait(&self, timeout: Duration) -> Option<RpcResult<Payload>> {
+    fn wait(&self, timeout: Duration) -> Option<RpcResult<RawResponse>> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
         loop {
@@ -167,6 +185,14 @@ impl PendingTable {
 struct ClientConnection {
     conn: Arc<dyn Conn>,
     server: SimAddr,
+    /// Frame version negotiated in the connect handshake; `>= 3` switches
+    /// both directions of this connection to the compact header.
+    version: u8,
+    /// V3 request-header encoder (delta seq + method table). Its state
+    /// advances at the transport's wire-ordering point — `send_msg_ordered`
+    /// runs the lead closure under the transport's own ordering lock — so
+    /// this mutex only ever guards one encode at a time.
+    enc: Mutex<V3Encoder>,
     pending: PendingTable,
     /// Retired call slots awaiting reuse; bounded by this connection's
     /// peak caller concurrency.
@@ -411,6 +437,13 @@ impl Client {
         self.inner.next_seq.store(seq, Ordering::Relaxed);
     }
 
+    /// Frame version the cached connection to `server` negotiated, or
+    /// `None` when no connection is cached (negotiation-matrix tests).
+    #[doc(hidden)]
+    pub fn negotiated_version(&self, server: SimAddr) -> Option<u8> {
+        self.inner.conns.lock().get(&server).map(|c| c.version)
+    }
+
     /// Invoke `protocol.method(request)` on the server at `server` and
     /// deserialize the response into `Resp`.
     pub fn call<Req, Resp>(
@@ -425,13 +458,14 @@ impl Client {
         Resp: Writable + Default,
     {
         let key = intern::method_key(protocol, method);
-        let payload = self.call_raw_keyed(server, key, request)?;
+        let resp = self.call_raw_keyed(server, key, request)?;
         let deser_start = Instant::now();
         let result = (|| {
-            let mut reader = payload.reader();
-            let header =
-                read_response_header(&mut reader).map_err(|e| RpcError::Protocol(e.to_string()))?;
-            match header.status {
+            let mut reader = resp.payload.reader();
+            // The Connection thread already parsed the lead (it owns the
+            // V3 decoder state); jump straight to the body.
+            reader.skip(resp.body_offset);
+            match resp.header.status {
                 ResponseStatus::Ok => {
                     let mut resp = Resp::default();
                     resp.read_fields(&mut reader)
@@ -462,8 +496,11 @@ impl Client {
         result
     }
 
-    /// Like [`Client::call`] but returns the raw response payload
-    /// (header included), for callers that parse responses themselves.
+    /// Like [`Client::call`] but returns the raw response — the parsed
+    /// lead plus the frame bytes — for callers that deserialize response
+    /// bodies themselves. (Before V3 this handed back unparsed frame
+    /// bytes; with the compact header only the Connection thread holds
+    /// the decoder state, so the lead comes pre-parsed.)
     ///
     /// Drives the configured [`crate::RetryPolicy`]: each attempt gets at
     /// most `call_timeout` (capped by the remaining overall deadline, if
@@ -480,7 +517,7 @@ impl Client {
         protocol: &str,
         method: &str,
         request: &Req,
-    ) -> RpcResult<Payload>
+    ) -> RpcResult<RawResponse>
     where
         Req: Writable,
     {
@@ -492,7 +529,7 @@ impl Client {
         server: SimAddr,
         key: MethodKey,
         request: &Req,
-    ) -> RpcResult<Payload>
+    ) -> RpcResult<RawResponse>
     where
         Req: Writable,
     {
@@ -559,7 +596,7 @@ impl Client {
         attempt_timeout: Duration,
         seq: i64,
         retry_attempt: u32,
-    ) -> RpcResult<Payload>
+    ) -> RpcResult<RawResponse>
     where
         Req: Writable,
     {
@@ -595,17 +632,36 @@ impl Client {
             slot: Some(Arc::clone(&slot)),
         };
 
-        let profile = match connection.conn.send_msg(key, &mut |out| {
-            write_request(
-                out,
-                client_id,
-                seq,
-                retry_attempt,
-                key.protocol(),
-                key.method(),
-                request,
+        // V3 splits the frame: the compact header is encoded by the
+        // connection's stateful encoder at the transport's wire-ordering
+        // point (so delta-seq/method-table state advances in exactly the
+        // order frames hit the wire), while the body serializes on this
+        // caller thread as before. V2 keeps the single-closure path.
+        let sent = if connection.version >= 3 {
+            connection.conn.send_msg_ordered(
+                key,
+                &mut |out| {
+                    connection
+                        .enc
+                        .lock()
+                        .write_request_header(out, seq, retry_attempt, key)
+                },
+                &mut |out| request.write(out),
             )
-        }) {
+        } else {
+            connection.conn.send_msg(key, &mut |out| {
+                write_request(
+                    out,
+                    client_id,
+                    seq,
+                    retry_attempt,
+                    key.protocol(),
+                    key.method(),
+                    request,
+                )
+            })
+        };
+        let profile = match sent {
             Ok(p) => p,
             Err(e) => {
                 if e.invalidates_connection() {
@@ -623,16 +679,15 @@ impl Client {
         });
 
         match slot.wait(attempt_timeout) {
-            Some(Ok(payload)) => {
-                // Peek at the status: a busy rejection means the server
-                // refused admission and the call never executed — surface
-                // it as a retryable error so the retry loop backs off.
-                let header = read_response_header(&mut payload.reader())
-                    .map_err(|e| RpcError::Protocol(e.to_string()))?;
-                if header.status == ResponseStatus::Busy {
+            Some(Ok(resp)) => {
+                // A busy rejection means the server refused admission and
+                // the call never executed — surface it as a retryable
+                // error so the retry loop backs off. (The lead was parsed
+                // by the Connection thread; no re-parse here.)
+                if resp.header.status == ResponseStatus::Busy {
                     return Err(RpcError::ServerBusy);
                 }
-                Ok(payload)
+                Ok(resp)
             }
             Some(Err(e)) => {
                 // Delivered by the Connection thread's fail_all: the
@@ -679,8 +734,11 @@ impl Client {
         // stream (including the RPCoIB endpoint exchange). Adopt the id
         // the server confirmed: for a client that presented 0 this is the
         // server-assigned identity it must re-present from now on.
-        let confirmed =
-            handshake::client_hello(&stream, self.inner.client_id.load(Ordering::Acquire))?;
+        let (version, confirmed) = handshake::client_hello(
+            &stream,
+            self.inner.client_id.load(Ordering::Acquire),
+            self.inner.cfg.max_wire_version,
+        )?;
         self.inner.client_id.store(confirmed, Ordering::Release);
         let conn: Arc<dyn Conn> = match &self.inner.ib {
             Some(ctx) => Arc::new(
@@ -689,12 +747,18 @@ impl Client {
             ),
             None => Arc::new(
                 SocketConn::new(stream, wire::buffer::INITIAL_CAPACITY)
+                    .with_batch(self.inner.cfg.wire_batch)
                     .with_metrics(self.inner.metrics.clone()),
             ),
         };
         let connection = Arc::new(ClientConnection {
             conn,
             server,
+            version,
+            // Verbs drops frames silently (they are charged and vanish),
+            // so V3 there is self-contained per frame; the socket path is
+            // reliable-ordered and uses the stateful delta encoding.
+            enc: Mutex::new(V3Encoder::new(!self.inner.cfg.ib_enabled)),
             pending: PendingTable::new(),
             slots: Mutex::new(Vec::new()),
             broken: AtomicBool::new(false),
@@ -757,6 +821,15 @@ impl std::fmt::Debug for Client {
 }
 
 fn connection_loop(inner: std::sync::Weak<ClientInner>, connection: Arc<ClientConnection>) {
+    // The response-side V3 decoder lives on this thread (never shared):
+    // this loop is the only reader, so lead parsing needs no lock.
+    let mut dec = {
+        let Some(strong) = inner.upgrade() else {
+            connection.fail_all(RpcError::ConnectionClosed);
+            return;
+        };
+        (connection.version >= 3).then(|| V3Decoder::new(!strong.cfg.ib_enabled))
+    };
     loop {
         // Upgrade per iteration: if every user-facing Client handle is
         // gone, stop polling and let the connection (and its registered
@@ -782,13 +855,20 @@ fn connection_loop(inner: std::sync::Weak<ClientInner>, connection: Arc<ClientCo
                 return;
             }
         };
-        let header = match read_response_header(&mut payload.reader()) {
-            Ok(h) => h,
-            Err(_) => {
-                inner.invalidate(&connection);
-                connection.conn.close();
-                connection.fail_all(RpcError::Protocol("corrupt response frame".into()));
-                return;
+        let (header, body_offset) = {
+            let mut reader = payload.reader();
+            let parsed = match dec.as_mut() {
+                Some(d) => d.read_response_header(&mut reader),
+                None => read_response_header(&mut reader),
+            };
+            match parsed {
+                Ok(h) => (h, reader.position()),
+                Err(_) => {
+                    inner.invalidate(&connection);
+                    connection.conn.close();
+                    connection.fail_all(RpcError::Protocol("corrupt response frame".into()));
+                    return;
+                }
             }
         };
         if let Some(call) = connection.pending.remove(header.seq) {
@@ -797,7 +877,12 @@ fn connection_loop(inner: std::sync::Weak<ClientInner>, connection: Arc<ClientCo
                 total_ns: recv.total_ns,
                 size: recv.size,
             });
-            if !call.slot.deliver(call.gen, Ok(payload)) {
+            let resp = RawResponse {
+                header,
+                payload,
+                body_offset,
+            };
+            if !call.slot.deliver(call.gen, Ok(resp)) {
                 // The caller retired the slot between our pending-table
                 // removal and the delivery: it gave up; same outcome as
                 // not finding the entry at all.

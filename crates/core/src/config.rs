@@ -68,6 +68,16 @@ pub struct RpcConfig {
     /// connection id, preserving per-connection ordering. `0` = auto
     /// (currently 1, the paper's single-Responder behaviour).
     pub responder_shards: usize,
+    /// Opportunistic wire batching (on by default). Socket: calls that
+    /// queue behind an in-flight flush leave as one gathered write;
+    /// verbs: the responder's ready responses are merged into shared
+    /// completions. `false` restores strict one-frame-per-wire-op — the
+    /// control arm for the `batching` benchmark and the CI matrix.
+    pub wire_batch: bool,
+    /// Highest frame version this endpoint offers in the connect
+    /// handshake (see [`crate::handshake`]). Default is the build's
+    /// maximum; pin to 2 to emulate a previous-release peer.
+    pub max_wire_version: u8,
     /// Ablation baseline for the interned hot path: when `true` the
     /// client re-enacts the pre-interning per-call metadata work (owned
     /// key strings, a fresh reply channel) for real and charges
@@ -108,6 +118,8 @@ impl Default for RpcConfig {
             server_buffer_init: 10 * 1024,
             reader_shards: 0,
             responder_shards: 0,
+            wire_batch: true,
+            max_wire_version: crate::handshake::MAX_VERSION,
             legacy_metadata: false,
         }
     }
@@ -160,6 +172,16 @@ impl RpcConfig {
             return Err(format!(
                 "responder_shards ({}) exceeds the sanity cap ({MAX_SHARDS})",
                 self.responder_shards
+            ));
+        }
+        if !(crate::handshake::MIN_VERSION..=crate::handshake::MAX_VERSION)
+            .contains(&self.max_wire_version)
+        {
+            return Err(format!(
+                "max_wire_version ({}) outside the supported range {}..={}",
+                self.max_wire_version,
+                crate::handshake::MIN_VERSION,
+                crate::handshake::MAX_VERSION
             ));
         }
         self.retry.validate()?;
@@ -265,6 +287,22 @@ mod tests {
             ..RpcConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn wire_version_bounds_enforced() {
+        for bad in [0u8, 1, crate::handshake::MAX_VERSION + 1] {
+            let cfg = RpcConfig {
+                max_wire_version: bad,
+                ..RpcConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "version {bad} must be rejected");
+        }
+        let cfg = RpcConfig {
+            max_wire_version: 2,
+            ..RpcConfig::default()
+        };
+        cfg.validate().unwrap();
     }
 
     #[test]

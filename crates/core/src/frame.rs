@@ -1,13 +1,33 @@
 //! Frame layout shared by both transports.
 //!
-//! Two frame versions coexist. **V2** (current) carries the at-most-once
+//! Three frame versions coexist. **V2** carries the at-most-once
 //! identity triple — a per-client id, a wrap-safe `i64` sequence number,
 //! and the retry attempt — so the server's retry cache can recognize a
 //! re-sent call:
 //!
-//! * request: `[i32 V2_SENTINEL][u64 client_id][i64 seq][vint retry_attempt]
+//! * request: `[i32 V2_SENTINEL][u64 client_id][i64 seq][vlong retry_attempt]
 //!   [Text protocol][Text method][param …]`
 //! * response: `[i32 V2_SENTINEL][i64 seq][u8 status][value … | Text error]`
+//!
+//! **V3** (current, handshake-negotiated) is the compact header the
+//! wire-batching layer rides on. It is *connection-scoped*: the
+//! handshake fixes the version for the whole connection, so frames carry
+//! no per-frame version marker, and the client id travels once in the
+//! handshake instead of in every request. Encode/decode state lives in a
+//! [`V3Encoder`]/[`V3Decoder`] pair per connection direction:
+//!
+//! * request: `[vlong seq_field][vlong retry_attempt][vlong method_ref]
+//!   ([Text protocol][Text method])?[param …]`
+//! * response: `[vlong seq_field][u8 status][value … | Text error]`
+//!
+//! In **stateful** mode (stream transports, where a lost byte kills the
+//! connection and its codec state with it) `seq_field` is the wrapping
+//! delta from the previous frame's seq — almost always the single byte
+//! `1` — and `method_ref` names the `<protocol, method>` pair by a small
+//! per-connection wire id after its first use. In **self-contained**
+//! mode (datagram-like verbs completions, where the fault model can drop
+//! a frame without killing the connection) every frame decodes alone:
+//! `seq_field` is the absolute seq and the method strings ride inline.
 //!
 //! **V1** (previous release) is still *decoded* for one release so an old
 //! peer keeps working — the server's connect-time magic sniff (see
@@ -45,13 +65,17 @@ pub const STATUS_BUSY: u8 = 2;
 /// frame (whose call ids are non-negative).
 pub const V2_SENTINEL: i32 = -2;
 
-/// Frame wire version, detected per message.
+/// Frame wire version. V1/V2 are detected per message from the leading
+/// `i32`; V3 is fixed per connection by the handshake (no in-band
+/// marker), so the transport layer tags V3 frames out of band.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameVersion {
     /// `[i32 call_id]`-headed frames from the previous release.
     V1,
-    /// Current frames carrying the at-most-once identity triple.
+    /// Frames carrying the at-most-once identity triple in-band.
     V2,
+    /// Compact connection-scoped headers (see [`V3Encoder`]).
+    V3,
 }
 
 /// Parsed request header.
@@ -96,7 +120,10 @@ pub fn write_request(
     out.write_i32(V2_SENTINEL)?;
     out.write_u64(client_id)?;
     out.write_i64(seq)?;
-    out.write_vint(retry_attempt as i32)?;
+    // vlong, not `as i32` vint: an attempt count above i32::MAX would
+    // silently go negative on the wire and round-trip to a different
+    // value. The encodings are byte-identical for in-range values.
+    out.write_vlong(i64::from(retry_attempt))?;
     out.write_string(protocol)?;
     out.write_string(method)?;
     param.write(out)
@@ -148,6 +175,19 @@ fn read_key_text<'a>(
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad utf8: {e}")))
 }
 
+/// Decode a retry attempt: vlong on the wire, rejected (like other
+/// malformed header fields) when it does not fit the `u32` the engine
+/// tracks attempts in.
+fn read_retry_attempt(input: &mut dyn DataInput) -> io::Result<u32> {
+    let raw = input.read_vlong()?;
+    u32::try_from(raw).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("retry_attempt {raw} out of range"),
+        )
+    })
+}
+
 /// Read the `[Text protocol][Text method]` pair and resolve it to the
 /// process-wide interned key — once per frame, lock-free after the pair's
 /// first appearance.
@@ -166,18 +206,12 @@ pub fn read_request_header(input: &mut dyn DataInput) -> io::Result<RequestHeade
     if lead == V2_SENTINEL {
         let client_id = input.read_u64()?;
         let seq = input.read_i64()?;
-        let retry_attempt = input.read_vint()?;
-        if retry_attempt < 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("negative retry_attempt {retry_attempt}"),
-            ));
-        }
+        let retry_attempt = read_retry_attempt(input)?;
         Ok(RequestHeader {
             version: FrameVersion::V2,
             client_id,
             seq,
-            retry_attempt: retry_attempt as u32,
+            retry_attempt,
             key: read_method_key(input)?,
         })
     } else {
@@ -200,15 +234,15 @@ pub fn read_request_header(input: &mut dyn DataInput) -> io::Result<RequestHeade
     }
 }
 
-/// Serialize a response frame body in `version`'s layout (a server
-/// answers each request in the version it arrived in).
-pub fn write_response(
+/// Serialize the version-neutral tail of a response:
+/// `[u8 status][value … | Text error]`. Every version's response frame is
+/// its lead followed by exactly these bytes, which is what lets the
+/// handler serialize a result once and the responder/retry-cache replay
+/// it under any negotiated version.
+pub fn write_response_body(
     out: &mut dyn DataOutput,
-    version: FrameVersion,
-    seq: i64,
     result: Result<&dyn Writable, &str>,
 ) -> io::Result<()> {
-    write_response_lead(out, version, seq)?;
     match result {
         Ok(value) => {
             out.write_u8(STATUS_OK)?;
@@ -221,29 +255,47 @@ pub fn write_response(
     }
 }
 
-/// Serialize a busy-rejection response: the server refused admission, the
-/// call never executed, and the client should back off and retry. V2-only
-/// (a V1 peer cannot parse status 2 — it gets the old blocking behavior's
-/// moral equivalent, an error string).
+/// The version-neutral body of a busy rejection. V2/V3 clients get the
+/// bare `STATUS_BUSY` byte (retryable, never executed); a V1 peer cannot
+/// parse status 2, so it gets an ordinary error string.
+pub fn busy_body(version: FrameVersion) -> Vec<u8> {
+    match version {
+        FrameVersion::V1 => {
+            let mut out = vec![STATUS_ERROR];
+            out.write_string("server too busy: call queue full")
+                .expect("vec write");
+            out
+        }
+        FrameVersion::V2 | FrameVersion::V3 => vec![STATUS_BUSY],
+    }
+}
+
+/// Serialize a full response frame in `version`'s layout (a server
+/// answers each request in the version it arrived in). V3 leads need the
+/// connection's [`V3Encoder`]; this stateless helper serves V1/V2.
+pub fn write_response(
+    out: &mut dyn DataOutput,
+    version: FrameVersion,
+    seq: i64,
+    result: Result<&dyn Writable, &str>,
+) -> io::Result<()> {
+    write_response_lead(out, version, seq)?;
+    write_response_body(out, result)
+}
+
+/// Serialize a busy-rejection response (stateless V1/V2 form).
 pub fn write_busy_response(
     out: &mut dyn DataOutput,
     version: FrameVersion,
     seq: i64,
 ) -> io::Result<()> {
-    match version {
-        FrameVersion::V2 => {
-            write_response_lead(out, version, seq)?;
-            out.write_u8(STATUS_BUSY)
-        }
-        FrameVersion::V1 => {
-            write_response_lead(out, version, seq)?;
-            out.write_u8(STATUS_ERROR)?;
-            out.write_string("server too busy: call queue full")
-        }
-    }
+    write_response_lead(out, version, seq)?;
+    out.write_bytes(&busy_body(version))
 }
 
-fn write_response_lead(
+/// The per-version bytes that precede a response's neutral body. V3 is
+/// stateful per connection and handled by [`V3Encoder::write_response_lead`].
+pub(crate) fn write_response_lead(
     out: &mut dyn DataOutput,
     version: FrameVersion,
     seq: i64,
@@ -268,6 +320,10 @@ fn write_response_lead(
                 })?;
             out.write_i32(id)
         }
+        FrameVersion::V3 => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "V3 response leads require the connection's V3Encoder",
+        )),
     }
 }
 
@@ -297,7 +353,20 @@ impl ResponseHeader {
     }
 }
 
-/// Parse a response frame header (either version).
+fn read_status(input: &mut dyn DataInput) -> io::Result<ResponseStatus> {
+    match input.read_u8()? {
+        STATUS_OK => Ok(ResponseStatus::Ok),
+        STATUS_ERROR => Ok(ResponseStatus::Error),
+        STATUS_BUSY => Ok(ResponseStatus::Busy),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown response status {other}"),
+        )),
+    }
+}
+
+/// Parse a response frame header (V1 or V2; V3 responses decode through
+/// the connection's [`V3Decoder`]).
 pub fn read_response_header(input: &mut dyn DataInput) -> io::Result<ResponseHeader> {
     let lead = input.read_i32()?;
     let (version, seq) = if lead == V2_SENTINEL {
@@ -305,22 +374,189 @@ pub fn read_response_header(input: &mut dyn DataInput) -> io::Result<ResponseHea
     } else {
         (FrameVersion::V1, lead as i64)
     };
-    let status = match input.read_u8()? {
-        STATUS_OK => ResponseStatus::Ok,
-        STATUS_ERROR => ResponseStatus::Error,
-        STATUS_BUSY => ResponseStatus::Busy,
-        other => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unknown response status {other}"),
-            ))
-        }
-    };
+    let status = read_status(input)?;
     Ok(ResponseHeader {
         version,
         seq,
         status,
     })
+}
+
+/// `method_ref` value marking inline `[Text protocol][Text method]`
+/// strings with no table interaction (every self-contained frame, and any
+/// stateful frame the encoder chooses not to table).
+const MREF_INLINE: i64 = -1;
+
+/// Encoder half of the V3 connection codec. One instance per connection
+/// direction (client requests, or server responses), fed frames in exact
+/// wire order.
+///
+/// `stateful` selects the compression level. Stream transports set it:
+/// deltas and the method-id table assume the peer decodes every frame we
+/// encode, in order — true on a reliable stream, where any loss kills the
+/// connection (and both codec halves with it). The verbs fault model can
+/// drop a completion while the connection lives on, so verbs connections
+/// run self-contained: absolute seqs, inline method strings, no
+/// inter-frame state at all.
+pub struct V3Encoder {
+    stateful: bool,
+    last_seq: i64,
+    /// `<protocol, method>` → per-connection wire id, assigned densely in
+    /// first-use order (stateful mode only).
+    ids: std::collections::HashMap<MethodKey, i64>,
+}
+
+impl V3Encoder {
+    pub fn new(stateful: bool) -> Self {
+        V3Encoder {
+            stateful,
+            last_seq: 0,
+            ids: std::collections::HashMap::new(),
+        }
+    }
+
+    fn seq_field(&mut self, seq: i64) -> i64 {
+        if self.stateful {
+            let delta = seq.wrapping_sub(self.last_seq);
+            self.last_seq = seq;
+            delta
+        } else {
+            seq
+        }
+    }
+
+    /// Serialize a V3 request header; the param bytes follow.
+    pub fn write_request_header(
+        &mut self,
+        out: &mut dyn DataOutput,
+        seq: i64,
+        retry_attempt: u32,
+        key: MethodKey,
+    ) -> io::Result<()> {
+        out.write_vlong(self.seq_field(seq))?;
+        out.write_vlong(i64::from(retry_attempt))?;
+        if !self.stateful {
+            out.write_vlong(MREF_INLINE)?;
+            out.write_string(key.protocol())?;
+            return out.write_string(key.method());
+        }
+        if let Some(&wid) = self.ids.get(&key) {
+            return out.write_vlong(wid);
+        }
+        // First use on this connection: announce wire id `len(ids)` (the
+        // decoder independently tracks the same dense assignment) and
+        // carry the strings inline this one time.
+        let wid = self.ids.len() as i64;
+        self.ids.insert(key, wid);
+        out.write_vlong(-wid - 2)?;
+        out.write_string(key.protocol())?;
+        out.write_string(key.method())
+    }
+
+    /// Serialize a V3 response lead (`[vlong seq_field]`); the neutral
+    /// `[status][body]` bytes follow.
+    pub fn write_response_lead(&mut self, out: &mut dyn DataOutput, seq: i64) -> io::Result<()> {
+        out.write_vlong(self.seq_field(seq))
+    }
+}
+
+/// Decoder half of the V3 connection codec; mirrors [`V3Encoder`] and
+/// fail-stops (`InvalidData`) on any inconsistency — the connection is
+/// forfeited rather than risking a misattributed frame.
+pub struct V3Decoder {
+    stateful: bool,
+    last_seq: i64,
+    /// Wire id → key, in announcement order (stateful mode only).
+    table: Vec<MethodKey>,
+}
+
+impl V3Decoder {
+    pub fn new(stateful: bool) -> Self {
+        V3Decoder {
+            stateful,
+            last_seq: 0,
+            table: Vec::new(),
+        }
+    }
+
+    fn seq(&mut self, field: i64) -> i64 {
+        if self.stateful {
+            let seq = self.last_seq.wrapping_add(field);
+            self.last_seq = seq;
+            seq
+        } else {
+            field
+        }
+    }
+
+    fn method_key(&mut self, input: &mut dyn DataInput, mref: i64) -> io::Result<MethodKey> {
+        if mref == MREF_INLINE {
+            return read_method_key(input);
+        }
+        if mref >= 0 {
+            return usize::try_from(mref)
+                .ok()
+                .and_then(|idx| self.table.get(idx).copied())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("V3 method ref {mref} not announced on this connection"),
+                    )
+                });
+        }
+        // Announcement: wire id (-mref)-2 must be the next dense slot.
+        let wid = mref
+            .checked_neg()
+            .and_then(|v| v.checked_sub(2))
+            .filter(|&wid| wid == self.table.len() as i64)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "V3 method announcement {mref} out of order (expected id {})",
+                        self.table.len()
+                    ),
+                )
+            })?;
+        let key = read_method_key(input)?;
+        debug_assert_eq!(wid, self.table.len() as i64);
+        self.table.push(key);
+        Ok(key)
+    }
+
+    /// Parse a V3 request header; `client_id` comes from the handshake
+    /// (it is not on the wire per-frame). The param bytes follow.
+    pub fn read_request_header(
+        &mut self,
+        input: &mut dyn DataInput,
+        client_id: u64,
+    ) -> io::Result<RequestHeader> {
+        let seq = self.seq(input.read_vlong()?);
+        let retry_attempt = read_retry_attempt(input)?;
+        let mref = input.read_vlong()?;
+        let key = self.method_key(input, mref)?;
+        Ok(RequestHeader {
+            version: FrameVersion::V3,
+            client_id,
+            seq,
+            retry_attempt,
+            key,
+        })
+    }
+
+    /// Parse a V3 response header; the value/error bytes follow.
+    pub fn read_response_header(
+        &mut self,
+        input: &mut dyn DataInput,
+    ) -> io::Result<ResponseHeader> {
+        let seq = self.seq(input.read_vlong()?);
+        let status = read_status(input)?;
+        Ok(ResponseHeader {
+            version: FrameVersion::V3,
+            seq,
+            status,
+        })
+    }
 }
 
 /// A received frame payload: heap bytes on the socket path (Listing 2
@@ -580,6 +816,162 @@ mod tests {
         let buf = [0, 0, 0, 1, 9];
         let mut input = buf.as_slice();
         assert!(read_response_header(&mut input).is_err());
+    }
+
+    #[test]
+    fn retry_attempt_roundtrips_across_the_i32_boundary() {
+        // Regression: `retry_attempt as i32` through the signed vint path
+        // flipped counts above i32::MAX negative on the wire.
+        for attempt in [0u32, 1, i32::MAX as u32, (i32::MAX as u32) + 1, u32::MAX] {
+            let mut buf: Vec<u8> = Vec::new();
+            write_request(&mut buf, 7, 1, attempt, "p", "m", &IntWritable(0)).unwrap();
+            let mut input = buf.as_slice();
+            let header = read_request_header(&mut input).unwrap();
+            assert_eq!(header.retry_attempt, attempt, "attempt {attempt}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_retry_attempt_is_invalid_data() {
+        for raw in [-1i64, i64::from(u32::MAX) + 1, i64::MIN] {
+            let mut buf: Vec<u8> = Vec::new();
+            buf.write_i32(V2_SENTINEL).unwrap();
+            buf.write_u64(7).unwrap();
+            buf.write_i64(1).unwrap();
+            buf.write_vlong(raw).unwrap();
+            buf.write_string("p").unwrap();
+            buf.write_string("m").unwrap();
+            let mut input = buf.as_slice();
+            let err = read_request_header(&mut input).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "raw {raw}");
+        }
+    }
+
+    #[test]
+    fn v3_request_roundtrip_stateful_uses_table_after_first_use() {
+        let mut enc = V3Encoder::new(true);
+        let mut dec = V3Decoder::new(true);
+        let key = crate::intern::method_key("v3.Proto", "ping");
+        let mut sizes = Vec::new();
+        for seq in 1..=3i64 {
+            let mut buf: Vec<u8> = Vec::new();
+            enc.write_request_header(&mut buf, seq, 0, key).unwrap();
+            sizes.push(buf.len());
+            let mut input = buf.as_slice();
+            let header = dec.read_request_header(&mut input, 42).unwrap();
+            assert_eq!(header.version, FrameVersion::V3);
+            assert_eq!(header.client_id, 42, "client id comes from the handshake");
+            assert_eq!(header.seq, seq);
+            assert_eq!(header.key, key);
+            assert!(input.is_empty());
+        }
+        assert!(
+            sizes[1] < sizes[0] && sizes[2] == sizes[1],
+            "interned form must drop the inline strings: {sizes:?}"
+        );
+        assert_eq!(sizes[1], 3, "delta-seq + retry + method ref, one byte each");
+    }
+
+    #[test]
+    fn v3_self_contained_frames_decode_independently() {
+        let mut enc = V3Encoder::new(false);
+        let key = crate::intern::method_key("v3.Proto", "solo");
+        let mut frames = Vec::new();
+        for seq in [10i64, 11, 12] {
+            let mut buf: Vec<u8> = Vec::new();
+            enc.write_request_header(&mut buf, seq, 2, key).unwrap();
+            frames.push(buf);
+        }
+        // Decode out of order with fresh decoders: no inter-frame state.
+        for (buf, seq) in frames.iter().zip([10i64, 11, 12]).rev() {
+            let mut dec = V3Decoder::new(false);
+            let mut input = buf.as_slice();
+            let header = dec.read_request_header(&mut input, 9).unwrap();
+            assert_eq!(header.seq, seq);
+            assert_eq!(header.retry_attempt, 2);
+            assert_eq!(header.key, key);
+        }
+    }
+
+    #[test]
+    fn v3_response_roundtrip_and_busy_body() {
+        let mut enc = V3Encoder::new(true);
+        let mut dec = V3Decoder::new(true);
+        for (seq, body) in [
+            (5i64, busy_body(FrameVersion::V3)),
+            (6, {
+                let mut b = Vec::new();
+                write_response_body(&mut b, Ok(&IntWritable(77))).unwrap();
+                b
+            }),
+        ] {
+            let mut buf: Vec<u8> = Vec::new();
+            enc.write_response_lead(&mut buf, seq).unwrap();
+            buf.extend_from_slice(&body);
+            let mut input = buf.as_slice();
+            let header = dec.read_response_header(&mut input).unwrap();
+            assert_eq!(header.version, FrameVersion::V3);
+            assert_eq!(header.seq, seq);
+            if seq == 5 {
+                assert_eq!(header.status, ResponseStatus::Busy);
+            } else {
+                let mut v = IntWritable::default();
+                v.read_fields(&mut input).unwrap();
+                assert_eq!(v.0, 77);
+            }
+        }
+    }
+
+    #[test]
+    fn v3_bad_method_refs_are_invalid_data() {
+        let mut dec = V3Decoder::new(true);
+        // Reference to a never-announced id.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.write_vlong(1).unwrap(); // seq delta
+        buf.write_vlong(0).unwrap(); // retry
+        buf.write_vlong(3).unwrap(); // ref id 3, table empty
+        let mut input = buf.as_slice();
+        assert!(dec.read_request_header(&mut input, 1).is_err());
+
+        // Out-of-order announcement (id 5 when 0 is expected).
+        let mut dec = V3Decoder::new(true);
+        let mut buf: Vec<u8> = Vec::new();
+        buf.write_vlong(1).unwrap();
+        buf.write_vlong(0).unwrap();
+        buf.write_vlong(-7).unwrap(); // announces wid 5
+        buf.write_string("p").unwrap();
+        buf.write_string("m").unwrap();
+        let mut input = buf.as_slice();
+        assert!(dec.read_request_header(&mut input, 1).is_err());
+
+        // i64::MIN must not overflow the announcement arithmetic.
+        let mut dec = V3Decoder::new(true);
+        let mut buf: Vec<u8> = Vec::new();
+        buf.write_vlong(1).unwrap();
+        buf.write_vlong(0).unwrap();
+        buf.write_vlong(i64::MIN).unwrap();
+        let mut input = buf.as_slice();
+        assert!(dec.read_request_header(&mut input, 1).is_err());
+    }
+
+    #[test]
+    fn v3_delta_seq_survives_wrapping() {
+        let mut enc = V3Encoder::new(true);
+        let mut dec = V3Decoder::new(true);
+        let key = crate::intern::method_key("v3.Proto", "wrap");
+        for seq in [i64::MAX - 1, i64::MAX, i64::MIN, i64::MIN + 1, 0] {
+            let mut buf: Vec<u8> = Vec::new();
+            enc.write_request_header(&mut buf, seq, 0, key).unwrap();
+            let mut input = buf.as_slice();
+            let header = dec.read_request_header(&mut input, 1).unwrap();
+            assert_eq!(header.seq, seq);
+        }
+    }
+
+    #[test]
+    fn stateless_lead_writer_refuses_v3() {
+        let mut buf: Vec<u8> = Vec::new();
+        assert!(write_response(&mut buf, FrameVersion::V3, 1, Ok(&IntWritable(1))).is_err());
     }
 
     #[test]

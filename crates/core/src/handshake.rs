@@ -2,9 +2,13 @@
 //!
 //! Before any RPC frame (and, in RPCoIB mode, before the verbs end-point
 //! exchange) the client sends a 13-byte hello over the freshly connected
-//! stream — magic, frame version, and its `client_id` — and the server
-//! answers with a 9-byte ack confirming the version and the identity the
-//! connection will speak under.
+//! stream — magic, the highest frame version it speaks, and its
+//! `client_id` — and the server answers with a 9-byte ack carrying the
+//! *negotiated* version (`min(peer, MAX_VERSION)`) and the identity the
+//! connection will speak under. Both sides then frame every message on
+//! that connection in the negotiated version, which is how the V3
+//! compact header gets turned on without any per-frame marker: a V2 peer
+//! offers 2, is acked 2, and never sees a V3 byte.
 //!
 //! The `client_id` keys the server's retry cache, so it must be stable
 //! across reconnects of one client and unique among all clients a server
@@ -36,15 +40,20 @@ use crate::error::{RpcError, RpcResult};
 /// `b"RPCB"` — first bytes on every connection.
 pub const MAGIC: u32 = 0x5250_4342;
 
-/// Current frame/wire version (see [`crate::frame`]).
-pub const VERSION: u8 = 2;
+/// Lowest version the handshake can negotiate (the handshake itself
+/// only exists since V2; pre-V2 peers take the Legacy sniff path).
+pub const MIN_VERSION: u8 = 2;
 
-/// Client side: present `client_id` (0 = please assign one), return the
-/// id the server confirmed or assigned.
-pub fn client_hello(stream: &SimStream, client_id: u64) -> RpcResult<u64> {
+/// Highest frame/wire version this build speaks (see [`crate::frame`]).
+pub const MAX_VERSION: u8 = 3;
+
+/// Client side: offer versions up to `max_version` and present
+/// `client_id` (0 = please assign one). Returns the negotiated version
+/// and the id the server confirmed or assigned.
+pub fn client_hello(stream: &SimStream, client_id: u64, max_version: u8) -> RpcResult<(u8, u64)> {
     let mut hello = [0u8; 13];
     hello[..4].copy_from_slice(&MAGIC.to_be_bytes());
-    hello[4] = VERSION;
+    hello[4] = max_version;
     hello[5..].copy_from_slice(&client_id.to_be_bytes());
     (&*stream)
         .write_all(&hello)
@@ -54,26 +63,26 @@ pub fn client_hello(stream: &SimStream, client_id: u64) -> RpcResult<u64> {
     stream
         .read_exact_at(&mut ack)
         .map_err(|e| RpcError::Io(e.to_string()))?;
-    if ack[0] != VERSION {
+    let version = ack[0];
+    if !(MIN_VERSION..=max_version).contains(&version) {
         return Err(RpcError::Protocol(format!(
-            "server speaks frame version {}, this client speaks {VERSION}",
-            ack[0]
+            "server negotiated frame version {version}, this client speaks {MIN_VERSION}..={max_version}"
         )));
     }
     let confirmed = u64::from_be_bytes(ack[1..9].try_into().unwrap());
     if confirmed == 0 {
         return Err(RpcError::Protocol("server confirmed client_id 0".into()));
     }
-    Ok(confirmed)
+    Ok((version, confirmed))
 }
 
 /// What the server learned from a freshly accepted connection's opening
 /// bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServerHello {
-    /// The peer spoke the handshake; the connection operates under this
-    /// client id.
-    V2 { client_id: u64 },
+    /// The peer spoke the handshake; the connection operates under the
+    /// negotiated frame version and this client id.
+    Modern { version: u8, client_id: u64 },
     /// The peer's first bytes were not the magic: a pre-handshake (V1)
     /// peer. The sniffed bytes were pushed back onto the stream, which is
     /// positioned exactly as the previous release expects — no ack was
@@ -83,8 +92,9 @@ pub enum ServerHello {
 
 /// Server side: sniff the connection's first four bytes. On the magic,
 /// finish the handshake (assigning an id via `assign` if the client
-/// presented 0), ack, and return the connection's client id; on anything
-/// else, push the bytes back and report a legacy peer.
+/// presented 0), ack the negotiated version, and return it with the
+/// connection's client id; on anything else, push the bytes back and
+/// report a legacy peer.
 ///
 /// `Protocol` errors mean the peer spoke the magic but an unsupportable
 /// version (count it); `Io` means the peer vanished mid-handshake
@@ -103,23 +113,24 @@ pub fn server_accept(stream: &SimStream, assign: impl FnOnce() -> u64) -> RpcRes
         .read_exact_at(&mut rest)
         .map_err(|e| RpcError::Io(e.to_string()))?;
     let peer_version = rest[0];
-    if peer_version < VERSION {
+    if peer_version < MIN_VERSION {
         // The handshake itself only exists since V2 — a peer that sends
         // it speaks at least V2 (pre-V2 peers take the Legacy path).
         return Err(RpcError::Protocol(format!(
             "unsupported peer frame version {peer_version}"
         )));
     }
+    let version = peer_version.min(MAX_VERSION);
     let presented = u64::from_be_bytes(rest[1..9].try_into().unwrap());
     let client_id = if presented == 0 { assign() } else { presented };
 
     let mut ack = [0u8; 9];
-    ack[0] = VERSION;
+    ack[0] = version;
     ack[1..].copy_from_slice(&client_id.to_be_bytes());
     (&*stream)
         .write_all(&ack)
         .map_err(|e| RpcError::Io(e.to_string()))?;
-    Ok(ServerHello::V2 { client_id })
+    Ok(ServerHello::Modern { version, client_id })
 }
 
 /// Mint a random, non-zero client id. Mixes wall-clock entropy, the
@@ -160,21 +171,78 @@ mod tests {
     }
 
     #[test]
-    fn presented_id_is_confirmed() {
+    fn presented_id_is_confirmed_at_max_version() {
         let (cli, srv) = stream_pair();
-        let h = thread::spawn(move || client_hello(&cli, 0xfeed).unwrap());
+        let h = thread::spawn(move || client_hello(&cli, 0xfeed, MAX_VERSION).unwrap());
         let seen = server_accept(&srv, || panic!("must not assign")).unwrap();
-        assert_eq!(seen, ServerHello::V2 { client_id: 0xfeed });
-        assert_eq!(h.join().unwrap(), 0xfeed);
+        assert_eq!(
+            seen,
+            ServerHello::Modern {
+                version: MAX_VERSION,
+                client_id: 0xfeed
+            }
+        );
+        assert_eq!(h.join().unwrap(), (MAX_VERSION, 0xfeed));
+    }
+
+    #[test]
+    fn v2_peer_negotiates_down_to_v2() {
+        let (cli, srv) = stream_pair();
+        let h = thread::spawn(move || client_hello(&cli, 0xfeed, 2).unwrap());
+        let seen = server_accept(&srv, || panic!("must not assign")).unwrap();
+        assert_eq!(
+            seen,
+            ServerHello::Modern {
+                version: 2,
+                client_id: 0xfeed
+            },
+            "the server must never ack a version above the peer's offer"
+        );
+        assert_eq!(h.join().unwrap(), (2, 0xfeed));
+    }
+
+    #[test]
+    fn future_peer_is_capped_at_our_max() {
+        let (cli, srv) = stream_pair();
+        let h = thread::spawn(move || {
+            use std::io::Write;
+            let mut hello = [0u8; 13];
+            hello[..4].copy_from_slice(&MAGIC.to_be_bytes());
+            hello[4] = MAX_VERSION + 5; // a build from the future
+            hello[5..].copy_from_slice(&0xbeefu64.to_be_bytes());
+            (&cli).write_all(&hello).unwrap();
+            let mut ack = [0u8; 9];
+            cli.read_exact_at(&mut ack).unwrap();
+            ack[0]
+        });
+        let seen = server_accept(&srv, || 1).unwrap();
+        assert_eq!(
+            seen,
+            ServerHello::Modern {
+                version: MAX_VERSION,
+                client_id: 0xbeef
+            }
+        );
+        assert_eq!(h.join().unwrap(), MAX_VERSION);
     }
 
     #[test]
     fn zero_id_gets_assigned() {
         let (cli, srv) = stream_pair();
-        let h = thread::spawn(move || client_hello(&cli, 0).unwrap());
+        let h = thread::spawn(move || client_hello(&cli, 0, MAX_VERSION).unwrap());
         let seen = server_accept(&srv, || 777).unwrap();
-        assert_eq!(seen, ServerHello::V2 { client_id: 777 });
-        assert_eq!(h.join().unwrap(), 777, "assigned id travels back");
+        assert_eq!(
+            seen,
+            ServerHello::Modern {
+                version: MAX_VERSION,
+                client_id: 777
+            }
+        );
+        assert_eq!(
+            h.join().unwrap(),
+            (MAX_VERSION, 777),
+            "assigned id travels back"
+        );
     }
 
     #[test]

@@ -80,10 +80,10 @@ pub mod service;
 pub mod stream;
 pub mod transport;
 
-pub use client::Client;
+pub use client::{Client, RawResponse};
 pub use config::RpcConfig;
 pub use error::{RpcError, RpcResult};
-pub use frame::{FrameVersion, Payload, ResponseStatus};
+pub use frame::{FrameVersion, Payload, ResponseStatus, V3Decoder, V3Encoder};
 pub use intern::{MethodId, MethodKey};
 pub use metrics::{
     CallProfile, EngineCounters, HistogramSnapshot, LatencyHistogram, MethodEntry, MethodStats,

@@ -31,7 +31,11 @@
 //!   responses of one connection flow through one shard in enqueue
 //!   order — per-connection ordering is preserved no matter how many
 //!   shards exist, and a parked duplicate on a *different* connection is
-//!   delivered by *its* connection's shard.
+//!   delivered by *its* connection's shard. Each sweep drains everything
+//!   already queued (when `RpcConfig::wire_batch` is on) and sends each
+//!   connection's ready responses as one gathered wire operation; the
+//!   shard also owns its connections' V3 response-lead encoders, since
+//!   sweep order *is* wire order.
 //!
 //! With `reader_shards = 1, responder_shards = 1` this degenerates to
 //! "one Reader event loop + the paper's single Responder"; the `0`/auto
@@ -56,7 +60,8 @@ use wire::Writable;
 use crate::config::RpcConfig;
 use crate::error::{RpcError, RpcResult};
 use crate::frame::{
-    read_request_header, write_busy_response, write_response, FrameVersion, Payload, RequestHeader,
+    busy_body, read_request_header, write_response_body, write_response_lead, FrameVersion,
+    Payload, RequestHeader, V3Decoder, V3Encoder,
 };
 use crate::handshake;
 use crate::intern::MethodKey;
@@ -109,12 +114,20 @@ struct RespRoute {
     /// The request's interned key; the responder derives the response's
     /// buffer-history key from it (`key.response_key()`).
     key: MethodKey,
+    /// The version *this route's request* arrived in — a parked duplicate
+    /// may sit on a connection speaking a different version than the
+    /// executing attempt's, so the lead is composed per route, not per
+    /// response. The responder shard owns the per-connection V3 lead
+    /// encoders.
+    version: FrameVersion,
+    seq: i64,
 }
 
 struct OutboundResponse {
     route: RespRoute,
-    /// The fully serialized response frame body (shared when a completed
-    /// call also releases parked duplicates).
+    /// The serialized *version-neutral* response body (`[status][value]`),
+    /// shared when a completed call also releases parked duplicates; each
+    /// route's responder shard prepends the per-version lead.
     bytes: Arc<Vec<u8>>,
 }
 
@@ -122,6 +135,13 @@ struct OutboundResponse {
 struct ShardConn {
     conn_id: u64,
     conn: Arc<dyn Conn>,
+    /// Frame version negotiated at the handshake (1 for legacy peers).
+    version: u8,
+    /// Identity from the handshake; V3 frames no longer carry it.
+    client_id: u64,
+    /// Request-header decoder for V3 connections. Owned by the one reader
+    /// shard the connection is hashed onto, so decoding needs no lock.
+    dec: V3Decoder,
 }
 
 /// One responder shard's queue and counters. The receiving end is also
@@ -565,17 +585,20 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
                         // no retry caching, V1 frames answered in V1. A
                         // garbage peer takes the same path and is weeded
                         // out when its bytes fail to parse as a frame.
-                        match handshake::server_accept(&stream, || inner2.assign_client_id()) {
-                            Ok(handshake::ServerHello::V2 { .. })
-                            | Ok(handshake::ServerHello::Legacy) => {}
-                            Err(RpcError::Protocol(_)) => {
-                                // Spoke the magic but an unsupportable
-                                // version: refuse and count it.
-                                inner2.metrics.inc_frame_errors();
-                                return;
-                            }
-                            Err(_) => return, // peer vanished mid-handshake
-                        }
+                        let (version, client_id) =
+                            match handshake::server_accept(&stream, || inner2.assign_client_id()) {
+                                Ok(handshake::ServerHello::Modern { version, client_id }) => {
+                                    (version, client_id)
+                                }
+                                Ok(handshake::ServerHello::Legacy) => (1, 0),
+                                Err(RpcError::Protocol(_)) => {
+                                    // Spoke the magic but an unsupportable
+                                    // version: refuse and count it.
+                                    inner2.metrics.inc_frame_errors();
+                                    return;
+                                }
+                                Err(_) => return, // peer vanished mid-handshake
+                            };
                         let conn: Arc<dyn Conn> = match &inner2.ib {
                             Some(ctx) => {
                                 match RdmaConn::bootstrap(&stream, ctx, &inner2.cfg) {
@@ -585,13 +608,20 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
                             }
                             None => Arc::new(
                                 SocketConn::new(stream, inner2.cfg.server_buffer_init)
+                                    .with_batch(inner2.cfg.wire_batch)
                                     .with_metrics(inner2.metrics.clone()),
                             ),
                         };
                         inner2.conns.lock().insert(conn_id, Arc::clone(&conn));
                         let shard = (conn_id % inner2.reader_regs.len() as u64) as usize;
                         if inner2.reader_regs[shard]
-                            .send(ShardConn { conn_id, conn })
+                            .send(ShardConn {
+                                conn_id,
+                                conn,
+                                version,
+                                client_id,
+                                dec: V3Decoder::new(!inner2.cfg.ib_enabled),
+                            })
                             .is_err()
                         {
                             // Shard gone (server stopping): the table
@@ -644,7 +674,7 @@ fn reader_shard_loop(inner: &Arc<ServerInner>, reg_rx: Receiver<ShardConn>, stat
                 i += 1;
                 continue;
             }
-            match read_one(inner, &conns[i], stats) {
+            match read_one(inner, &mut conns[i], stats) {
                 ReadOutcome::Frame => {
                     progress = true;
                     i += 1;
@@ -681,7 +711,7 @@ fn reader_shard_loop(inner: &Arc<ServerInner>, reg_rx: Receiver<ShardConn>, stat
 /// Receive and admit one frame from a ready connection. This is the body
 /// the per-connection Reader thread used to run, minus the blocking idle
 /// wait (the shard only calls it after `poll_ready`).
-fn read_one(inner: &Arc<ServerInner>, sc: &ShardConn, stats: &ShardStats) -> ReadOutcome {
+fn read_one(inner: &Arc<ServerInner>, sc: &mut ShardConn, stats: &ShardStats) -> ReadOutcome {
     let conn = &sc.conn;
     let (payload, recv) = match conn.recv_msg(READ_SLICE) {
         Ok(v) => v,
@@ -696,7 +726,14 @@ fn read_one(inner: &Arc<ServerInner>, sc: &ShardConn, stats: &ShardStats) -> Rea
         Err(_) => return ReadOutcome::Forfeit,
     };
     let mut reader = payload.reader();
-    let header = match read_request_header(&mut reader) {
+    let parsed = if sc.version >= 3 {
+        // The compact header: the negotiated version selects the codec,
+        // no per-frame marker exists to mis-sniff.
+        sc.dec.read_request_header(&mut reader, sc.client_id)
+    } else {
+        read_request_header(&mut reader)
+    };
+    let header = match parsed {
         Ok(h) => h,
         Err(_) => {
             // Corrupt frame: past this point the stream cannot be
@@ -715,16 +752,22 @@ fn read_one(inner: &Arc<ServerInner>, sc: &ShardConn, stats: &ShardStats) -> Rea
     });
     // At-most-once admission. V1 peers (and clients with caching
     // disabled, client_id 0) skip the cache but still get the
-    // non-blocking queue admission below.
-    let cache_key: Option<CallKey> = match (header.version, header.client_id) {
-        (FrameVersion::V2, id) if id != 0 => Some((id, header.seq)),
-        _ => None,
+    // non-blocking queue admission below. The cache stores *neutral*
+    // bodies, so V2 and V3 attempts of the same logical call share one
+    // entry — each route's lead is composed in its own version.
+    let cache_key: Option<CallKey> = if header.version != FrameVersion::V1 && header.client_id != 0
+    {
+        Some((header.client_id, header.seq))
+    } else {
+        None
     };
     if let Some(key) = cache_key {
         match inner.retry_cache.begin(key, || RespRoute {
             conn_id: sc.conn_id,
             conn: Arc::clone(conn),
             key: header.key,
+            version: header.version,
+            seq: header.seq,
         }) {
             Admission::Execute => {}
             Admission::Parked => return ReadOutcome::Frame,
@@ -735,18 +778,20 @@ fn read_one(inner: &Arc<ServerInner>, sc: &ShardConn, stats: &ShardStats) -> Rea
                     conn_id: sc.conn_id,
                     conn: Arc::clone(conn),
                     key: header.key,
+                    version: header.version,
+                    seq: header.seq,
                 };
                 inner.try_enqueue_response(route, bytes);
                 return ReadOutcome::Frame;
             }
         }
     }
-    let version = header.version;
-    let seq = header.seq;
     let route = RespRoute {
         conn_id: sc.conn_id,
         conn: Arc::clone(conn),
         key: header.key,
+        version: header.version,
+        seq: header.seq,
     };
     let call = RawCall {
         conn_id: sc.conn_id,
@@ -773,11 +818,11 @@ fn read_one(inner: &Arc<ServerInner>, sc: &ShardConn, stats: &ShardStats) -> Rea
                 // busy answer; the entry is gone so a retry can execute.
                 routes.extend(inner.retry_cache.abort(key));
             }
-            let mut body = Vec::new();
-            write_busy_response(&mut body, version, seq).expect("serializing to Vec cannot fail");
-            let bytes = Arc::new(body);
             for r in routes {
-                inner.try_enqueue_response(r, Arc::clone(&bytes));
+                // Per route, not shared: a V1 route needs the error-string
+                // body where modern routes get the bare busy status.
+                let bytes = Arc::new(busy_body(r.version));
+                inner.try_enqueue_response(r, bytes);
             }
         }
         Err(TrySendError::Disconnected(_)) => {
@@ -824,9 +869,12 @@ fn handler_loop(inner: Arc<ServerInner>) {
                         Err(&error_text)
                     }
                 };
+                // The body is serialized *version-neutral* (`[status]
+                // [value]`): the responder shard prepends each route's
+                // own lead, so a replay or parked duplicate arriving in a
+                // different frame version still shares these bytes.
                 let mut body = Vec::new();
-                write_response(&mut body, call.header.version, call.header.seq, result_ref)
-                    .expect("serializing to Vec cannot fail");
+                write_response_body(&mut body, result_ref).expect("serializing to Vec cannot fail");
                 let bytes = Arc::new(body);
                 entry.record_phase(Phase::Handler, handler_start.elapsed().as_nanos() as u64);
 
@@ -834,8 +882,10 @@ fn handler_loop(inner: Arc<ServerInner>) {
                     conn_id: call.conn_id,
                     conn: call.conn,
                     key: call.header.key,
+                    version: call.header.version,
+                    seq: call.header.seq,
                 }];
-                if call.header.version == FrameVersion::V2 && call.header.client_id != 0 {
+                if call.header.version != FrameVersion::V1 && call.header.client_id != 0 {
                     let key = (call.header.client_id, call.header.seq);
                     routes.extend(inner.retry_cache.complete(key, Arc::clone(&bytes)));
                 }
@@ -857,30 +907,104 @@ fn handler_loop(inner: Arc<ServerInner>) {
     }
 }
 
+/// Most responses one responder sweep drains before sending. Bounds the
+/// latency a response can pick up behind its batch; one sweep's worth of
+/// frames per connection goes out as a single gathered wire operation.
+const RESPONDER_SWEEP: usize = 64;
+
 fn responder_loop(inner: Arc<ServerInner>, rx: Receiver<OutboundResponse>, stats: Arc<ShardStats>) {
+    // Per-connection V3 response-lead encoders. They live here — all of a
+    // connection's responses flow through its one responder shard in
+    // enqueue order, which is exactly the wire order the client's decoder
+    // replays. Socket connections are stateful (reliable stream); verbs
+    // connections run the self-contained encoding.
+    let mut encs: HashMap<u64, V3Encoder> = HashMap::new();
+    let stateful = !inner.cfg.ib_enabled;
+    let sweep = if inner.cfg.wire_batch {
+        RESPONDER_SWEEP
+    } else {
+        1
+    };
+    let mut batch: Vec<OutboundResponse> = Vec::new();
     loop {
         match rx.recv_timeout(IDLE_SLICE) {
             Ok(out) => {
-                stats.dequeued();
-                // The response's buffer-size history is keyed separately
-                // from the request's (responses of a method have their own
-                // stable size); the interned response key is derived once
-                // per process, not formatted per response.
-                let resp_key = out.route.key.response_key();
-                // A failed send only affects that one connection — but it
-                // does mean the connection is broken: close it so its
-                // reader shard stops pulling requests whose responses
-                // could never be delivered, and count the event.
-                let send_result = out
-                    .route
-                    .conn
-                    .send_msg(resp_key, &mut |o| o.write_bytes(&out.bytes));
-                if send_result.is_err() {
-                    inner.metrics.inc_broken_sends();
-                    out.route.conn.close();
+                // Opportunistic drain: everything already queued behind
+                // the blocking pop rides in this sweep (up to the cap).
+                batch.push(out);
+                while batch.len() < sweep {
+                    match rx.try_recv() {
+                        Ok(more) => batch.push(more),
+                        Err(_) => break,
+                    }
                 }
-                stats.inc_processed();
-                inner.open_work.fetch_sub(1, Ordering::AcqRel);
+                stats_dequeued(&stats, batch.len());
+                // Group by connection, preserving pop order within and
+                // across groups (pop order == enqueue order == the order
+                // per-connection state was advanced in).
+                let mut groups: Vec<(u64, Vec<OutboundResponse>)> = Vec::new();
+                let mut index: HashMap<u64, usize> = HashMap::new();
+                for out in batch.drain(..) {
+                    match index.get(&out.route.conn_id) {
+                        Some(&i) => groups[i].1.push(out),
+                        None => {
+                            index.insert(out.route.conn_id, groups.len());
+                            groups.push((out.route.conn_id, vec![out]));
+                        }
+                    }
+                }
+                for (conn_id, group) in groups {
+                    let conn = Arc::clone(&group[0].route.conn);
+                    // The response's buffer-size history is keyed
+                    // separately from the request's; one key per batch is
+                    // enough — the gathered frames share a wire op anyway.
+                    let resp_key = group[0].route.key.response_key();
+                    let n = group.len();
+                    let mut frames: Vec<Vec<u8>> = Vec::with_capacity(n);
+                    for out in &group {
+                        let mut frame = Vec::with_capacity(out.bytes.len() + 16);
+                        let lead = match out.route.version {
+                            FrameVersion::V3 => encs
+                                .entry(conn_id)
+                                .or_insert_with(|| V3Encoder::new(stateful))
+                                .write_response_lead(&mut frame, out.route.seq),
+                            v => write_response_lead(&mut frame, v, out.route.seq),
+                        };
+                        if lead.is_err() {
+                            // Unrepresentable lead (a V1 seq outside i32):
+                            // drop this one response, keep the connection.
+                            inner.metrics.inc_frame_errors();
+                            continue;
+                        }
+                        frame.extend_from_slice(&out.bytes);
+                        frames.push(frame);
+                    }
+                    // A failed send only affects that one connection — but
+                    // it does mean the connection is broken: close it so
+                    // its reader shard stops pulling requests whose
+                    // responses could never be delivered, and count it.
+                    let send_result = if frames.is_empty() {
+                        Ok(())
+                    } else {
+                        conn.send_frames(resp_key, frames)
+                    };
+                    if send_result.is_err() {
+                        inner.metrics.inc_broken_sends();
+                        conn.close();
+                        encs.remove(&conn_id);
+                    }
+                    for _ in 0..n {
+                        stats.inc_processed();
+                        inner.open_work.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+                // Bound the encoder map under connection churn: dead
+                // connections never announce themselves to this shard, so
+                // prune against the live table once the map gets large.
+                if encs.len() >= 1024 {
+                    let live = inner.conns.lock();
+                    encs.retain(|id, _| live.contains_key(id));
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
                 if inner.stop.load(Ordering::Acquire) {
@@ -889,5 +1013,12 @@ fn responder_loop(inner: Arc<ServerInner>, rx: Receiver<OutboundResponse>, stats
             }
             Err(RecvTimeoutError::Disconnected) => return,
         }
+    }
+}
+
+/// Record `n` dequeues (the sweep pops in bulk).
+fn stats_dequeued(stats: &ShardStats, n: usize) {
+    for _ in 0..n {
+        stats.dequeued();
     }
 }

@@ -52,6 +52,42 @@ pub trait Conn: Send + Sync {
         write: &mut dyn FnMut(&mut dyn DataOutput) -> io::Result<()>,
     ) -> RpcResult<SendProfile>;
 
+    /// Like [`Conn::send_msg`], but the message is written in two parts
+    /// and `lead` runs at the transport's *wire-ordering point*: by the
+    /// time it executes, the relative order of this frame among all
+    /// frames on the connection is final. Stateful encoders (the V3
+    /// delta/method-table codec) hang their per-frame state off `lead`,
+    /// so concurrent senders can serialize their (large) bodies in
+    /// parallel while the (tiny) order-sensitive leads are encoded under
+    /// the transport's own ordering lock. The default implementation
+    /// simply concatenates the parts inside one `send_msg`, which is
+    /// correct for transports whose `send_msg` holds its ordering lock
+    /// for the whole serialize+send.
+    fn send_msg_ordered(
+        &self,
+        key: MethodKey,
+        lead: &mut dyn FnMut(&mut dyn DataOutput) -> io::Result<()>,
+        body: &mut dyn FnMut(&mut dyn DataOutput) -> io::Result<()>,
+    ) -> RpcResult<SendProfile> {
+        self.send_msg(key, &mut |out| {
+            lead(out)?;
+            body(out)
+        })
+    }
+
+    /// Transmit several already-serialized frames back-to-back, as few
+    /// wire operations as the transport can manage (one gathered write on
+    /// the socket path, merged completions on verbs). Frame boundaries
+    /// are preserved for the receiver; `frames[i]` is everything after
+    /// the transport's own framing (length prefix / completion length).
+    /// The default implementation degrades to one send per frame.
+    fn send_frames(&self, key: MethodKey, frames: Vec<Vec<u8>>) -> RpcResult<()> {
+        for frame in frames {
+            self.send_msg(key, &mut |out| out.write_bytes(&frame))?;
+        }
+        Ok(())
+    }
+
     /// Receive the next message. Returns [`crate::RpcError::Timeout`] if
     /// nothing arrives within `timeout` (the caller decides whether to
     /// retry), [`crate::RpcError::ConnectionClosed`] on orderly EOF.

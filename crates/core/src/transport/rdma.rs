@@ -46,6 +46,10 @@ const IMM_SMALL: u32 = 1;
 const IMM_LARGE: u32 = 2;
 /// Immediate tag: the receiver drained its large region (flow control).
 const IMM_CREDIT: u32 = 3;
+/// Immediate tag: the posted recv buffer holds several small frames
+/// back-to-back, each as `[vlong len][frame]` — the responder's batched
+/// sweep merged into one send (RDMAbox-style io-merging).
+const IMM_BATCH: u32 = 4;
 
 /// How finely blocked polls slice their waits to notice closure.
 const POLL_SLICE: Duration = Duration::from_millis(50);
@@ -206,6 +210,9 @@ pub struct RdmaConn {
     peer_large_size: usize,
     /// Receive buffers currently posted, by work-request id.
     posted: Mutex<HashMap<u64, PooledBuf<MemoryRegion>>>,
+    /// Frames unpacked from an [`IMM_BATCH`] completion beyond the first,
+    /// served by subsequent `recv_msg` calls before the wire is polled.
+    stash: Mutex<std::collections::VecDeque<Vec<u8>>>,
     next_wr: AtomicU64,
     send: Mutex<SendState>,
     large_credits: CreditGate,
@@ -252,6 +259,7 @@ impl RdmaConn {
             peer_rkey,
             peer_large_size,
             posted: Mutex::new(HashMap::new()),
+            stash: Mutex::new(std::collections::VecDeque::new()),
             next_wr: AtomicU64::new(1),
             send: Mutex::new(SendState {
                 credit_mr: ctx.device.register(128),
@@ -295,6 +303,24 @@ impl RdmaConn {
         self.qp
             .post_send(&state.credit_mr, 0, 1, IMM_CREDIT)
             .map_err(verbs_err)
+    }
+
+    /// Post the accumulated `[vlong len][frame]…` chunk as one
+    /// [`IMM_BATCH`] send from a pooled registered buffer.
+    fn flush_batch_chunk(&self, chunk: &mut Vec<u8>, frames_in_chunk: &mut usize) -> RpcResult<()> {
+        if *frames_in_chunk == 0 {
+            return Ok(());
+        }
+        let mut buf = self.ctx.pool.acquire_size(chunk.len());
+        buf.mem_mut().put(0, chunk);
+        let state = self.send.lock();
+        self.qp
+            .post_send(buf.mem(), 0, chunk.len(), IMM_BATCH)
+            .map_err(verbs_err)?;
+        drop(state);
+        chunk.clear();
+        *frames_in_chunk = 0;
+        Ok(())
     }
 }
 
@@ -360,11 +386,73 @@ impl Conn for RdmaConn {
         })
     }
 
+    fn send_frames(&self, key: MethodKey, frames: Vec<Vec<u8>>) -> RpcResult<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(RpcError::ConnectionClosed);
+        }
+        if !self.cfg.wire_batch || frames.len() == 1 {
+            for frame in frames {
+                self.send_msg(key, &mut |out| out.write_bytes(&frame))?;
+            }
+            return Ok(());
+        }
+        // Merge consecutive small frames into recv-ring-sized chunks (the
+        // chunk must land whole in one posted buffer); a frame that won't
+        // ride in a chunk flushes what's pending — order is preserved —
+        // and takes the ordinary small/large path by itself.
+        let cap = self.cfg.recv_buf_bytes;
+        let batch_start = Instant::now();
+        let mut chunk: Vec<u8> = Vec::new();
+        let mut in_chunk = 0usize;
+        let mut merged = 0u64;
+        for frame in &frames {
+            let prefixed = wire::varint::vlong_size(frame.len() as i64) + frame.len();
+            if frame.len() > self.cfg.rdma_threshold || prefixed > cap {
+                self.flush_batch_chunk(&mut chunk, &mut in_chunk)?;
+                self.send_msg(key, &mut |out| out.write_bytes(frame))?;
+                continue;
+            }
+            if chunk.len() + prefixed > cap {
+                self.flush_batch_chunk(&mut chunk, &mut in_chunk)?;
+            }
+            chunk.write_vlong(frame.len() as i64).expect("vec write");
+            chunk.extend_from_slice(frame);
+            in_chunk += 1;
+            merged += 1;
+        }
+        self.flush_batch_chunk(&mut chunk, &mut in_chunk)?;
+        if let Some(m) = &self.metrics {
+            // Frames that rode a merged chunk bypass `send_msg` (and its
+            // per-send accounting): give each its amortized share here,
+            // so phase sample counts still equal frame counts. Oversized
+            // frames recorded themselves above.
+            if let Some(per_frame) = (batch_start.elapsed().as_nanos() as u64).checked_div(merged) {
+                let entry = m.entry(key);
+                for _ in 0..merged {
+                    entry.record_phase(Phase::Serialize, 0);
+                    entry.record_phase(Phase::Wire, per_frame);
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn recv_msg(&self, timeout: Duration) -> RpcResult<(Payload, RecvProfile)> {
         let deadline = Instant::now() + timeout;
         loop {
             if self.closed.load(Ordering::Acquire) {
                 return Err(RpcError::ConnectionClosed);
+            }
+            if let Some(frame) = self.stash.lock().pop_front() {
+                let size = frame.len();
+                return Ok((
+                    Payload::Owned(frame),
+                    RecvProfile {
+                        alloc_ns: 0,
+                        total_ns: 1,
+                        size,
+                    },
+                ));
             }
             let now = Instant::now();
             if now >= deadline {
@@ -394,6 +482,50 @@ impl Conn for RdmaConn {
                             alloc_ns,
                             total_ns,
                             size: completion.len,
+                        },
+                    ));
+                }
+                (CompletionKind::Recv, IMM_BATCH) => {
+                    let buf = self.take_posted(completion.wr_id);
+                    let alloc_start = Instant::now();
+                    self.post_one_recv();
+                    let alloc_ns = alloc_start.elapsed().as_nanos() as u64;
+                    // Unpack on the receiving thread: copy the chunk out of
+                    // registered memory once, split it, serve the first
+                    // frame now and stash the rest for the next calls.
+                    let mut bytes = vec![0u8; completion.len];
+                    buf.mem().get(0, &mut bytes);
+                    drop(buf);
+                    let mut frames: Vec<Vec<u8>> = Vec::new();
+                    let mut rest: &[u8] = &bytes;
+                    while !rest.is_empty() {
+                        use wire::DataInput;
+                        let flen = rest
+                            .read_vlong()
+                            .ok()
+                            .and_then(|l| usize::try_from(l).ok())
+                            .filter(|&l| l <= rest.len())
+                            .ok_or_else(|| {
+                                RpcError::Protocol("malformed batch sub-frame length".into())
+                            })?;
+                        frames.push(rest[..flen].to_vec());
+                        rest = &rest[flen..];
+                    }
+                    if frames.is_empty() {
+                        return Err(RpcError::Protocol("empty batch completion".into()));
+                    }
+                    let first = frames.remove(0);
+                    if !frames.is_empty() {
+                        self.stash.lock().extend(frames);
+                    }
+                    let size = first.len();
+                    let total_ns = total_start.elapsed().as_nanos() as u64 + 1;
+                    return Ok((
+                        Payload::Owned(first),
+                        RecvProfile {
+                            alloc_ns,
+                            total_ns,
+                            size,
                         },
                     ));
                 }
@@ -443,7 +575,9 @@ impl Conn for RdmaConn {
         // ConnectionClosed). A pending completion may be a credit rather
         // than a message — the shard's bounded recv_msg then consumes the
         // credit and times out, which is still progress.
-        self.closed.load(Ordering::Acquire) || self.qp.recv_pending()
+        self.closed.load(Ordering::Acquire)
+            || !self.stash.lock().is_empty()
+            || self.qp.recv_pending()
     }
 
     fn close(&self) {
@@ -637,6 +771,62 @@ mod tests {
         let node = fabric.add_node();
         let err = IbContext::new(&fabric, node, &RpcConfig::rpcoib()).unwrap_err();
         assert!(matches!(err, RpcError::Config(_)));
+    }
+
+    #[test]
+    fn batched_frames_roundtrip_in_order() {
+        let cfg = RpcConfig::rpcoib();
+        let (cli, srv) = conn_pair(&cfg);
+        let frames: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 50 + i as usize]).collect();
+        cli.send_frames(crate::intern::method_key("p", "m"), frames.clone())
+            .unwrap();
+        for want in &frames {
+            assert!(srv.poll_ready() || want == &frames[0]);
+            let (payload, _) = srv.recv_msg(Duration::from_secs(1)).unwrap();
+            assert_eq!(payload.len(), want.len());
+            let mut got = vec![0u8; want.len()];
+            std::io::Read::read_exact(&mut payload.reader(), &mut got).unwrap();
+            assert_eq!(&got, want);
+        }
+        assert!(!srv.poll_ready(), "stash fully drained");
+    }
+
+    #[test]
+    fn batch_mixed_with_large_frame_keeps_order() {
+        let cfg = RpcConfig::rpcoib();
+        let (cli, srv) = conn_pair(&cfg);
+        let frames = vec![
+            vec![1u8; 64],
+            vec![2u8; 100_000], // over rdma_threshold: goes out alone
+            vec![3u8; 64],
+        ];
+        cli.send_frames(crate::intern::method_key("p", "m"), frames.clone())
+            .unwrap();
+        for want in &frames {
+            let (payload, _) = srv.recv_msg(Duration::from_secs(5)).unwrap();
+            assert_eq!(payload.len(), want.len());
+            let mut got = vec![0u8; want.len()];
+            std::io::Read::read_exact(&mut payload.reader(), &mut got).unwrap();
+            assert_eq!(&got, want, "ordering drifted around the large frame");
+        }
+    }
+
+    #[test]
+    fn batching_disabled_falls_back_to_per_frame_sends() {
+        let cfg = RpcConfig {
+            wire_batch: false,
+            ..RpcConfig::rpcoib()
+        };
+        let (cli, srv) = conn_pair(&cfg);
+        let frames: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 32]).collect();
+        cli.send_frames(crate::intern::method_key("p", "m"), frames.clone())
+            .unwrap();
+        for want in &frames {
+            let (payload, _) = srv.recv_msg(Duration::from_secs(1)).unwrap();
+            let mut got = vec![0u8; want.len()];
+            std::io::Read::read_exact(&mut payload.reader(), &mut got).unwrap();
+            assert_eq!(&got, want);
+        }
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! Property tests for the connect-time magic sniff: whatever bytes a
-//! peer opens with, `server_accept` must classify them exactly — V2
-//! handshake, legacy (pre-handshake) peer, unsupported version, or a
-//! vanished peer — without ever panicking, and a legacy peer's sniffed
-//! bytes must be replayed onto the stream byte-for-byte so the old
-//! framing path sees the connection exactly as the previous release did.
+//! peer opens with, `server_accept` must classify them exactly — modern
+//! handshake (with the version negotiated down to our maximum), legacy
+//! (pre-handshake) peer, unsupported version, or a vanished peer —
+//! without ever panicking, and a legacy peer's sniffed bytes must be
+//! replayed onto the stream byte-for-byte so the old framing path sees
+//! the connection exactly as the previous release did.
 
 use std::io::Write;
 use std::thread;
 
 use proptest::prelude::*;
-use rpcoib::handshake::{server_accept, ServerHello, MAGIC, VERSION};
+use rpcoib::handshake::{server_accept, ServerHello, MAGIC, MAX_VERSION, MIN_VERSION};
 use rpcoib::RpcError;
 use simnet::{model, Fabric, SimAddr, SimListener, SimStream};
 
@@ -37,8 +38,9 @@ enum Expect {
     Legacy,
     /// Magic with a pre-V2 version byte.
     BadVersion,
-    /// Well-formed hello; the connection speaks under this id.
-    V2(u64),
+    /// Well-formed hello; the connection speaks this negotiated version
+    /// under this id.
+    Modern(u8, u64),
 }
 
 fn oracle(data: &[u8]) -> Expect {
@@ -51,11 +53,14 @@ fn oracle(data: &[u8]) -> Expect {
     if data.len() < 13 {
         return Expect::Io;
     }
-    if data[4] < VERSION {
+    if data[4] < MIN_VERSION {
         return Expect::BadVersion;
     }
     let presented = u64::from_be_bytes(data[5..13].try_into().unwrap());
-    Expect::V2(if presented == 0 { ASSIGNED } else { presented })
+    Expect::Modern(
+        data[4].min(MAX_VERSION),
+        if presented == 0 { ASSIGNED } else { presented },
+    )
 }
 
 /// Run `server_accept` against a peer that writes `data` and then shuts
@@ -79,17 +84,20 @@ fn check(data: &[u8]) {
             "version {} must be rejected, got {out:?}",
             data[4]
         ),
-        Expect::V2(id) => {
+        Expect::Modern(version, id) => {
             prop_assert_eq!(
                 out.unwrap(),
-                ServerHello::V2 { client_id: id },
+                ServerHello::Modern {
+                    version,
+                    client_id: id
+                },
                 "hello bytes {:?}",
                 data
             );
-            // The ack must confirm the same identity to the peer.
+            // The ack must confirm the negotiated version and identity.
             let mut ack = [0u8; 9];
             cli.read_exact_at(&mut ack).unwrap();
-            prop_assert_eq!(ack[0], VERSION);
+            prop_assert_eq!(ack[0], version);
             prop_assert_eq!(u64::from_be_bytes(ack[1..9].try_into().unwrap()), id);
         }
         Expect::Legacy => {

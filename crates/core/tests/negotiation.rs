@@ -1,0 +1,179 @@
+//! The version-negotiation matrix, over the wire: clients capped at each
+//! supported frame version, on both transports, must land on exactly the
+//! expected negotiated version and complete real calls under it — and a
+//! pre-handshake (V1) peer arriving *mid-stream*, while modern
+//! connections are active, must be served without perturbing them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpcoib::{Client, RpcConfig, RpcService, Server, ServiceRegistry};
+use simnet::{model, Fabric};
+use wire::{DataInput, LongWritable, Writable};
+
+struct CountingEcho {
+    calls: Arc<AtomicU64>,
+}
+
+impl RpcService for CountingEcho {
+    fn protocol(&self) -> &'static str {
+        "nego.Echo"
+    }
+    fn call(
+        &self,
+        method: &str,
+        param: &mut dyn DataInput,
+    ) -> Result<Box<dyn Writable + Send>, String> {
+        match method {
+            "echo" => {
+                self.calls.fetch_add(1, Ordering::AcqRel);
+                let mut v = LongWritable::default();
+                v.read_fields(param).map_err(|e| e.to_string())?;
+                Ok(Box::new(v))
+            }
+            other => Err(format!("no such method {other}")),
+        }
+    }
+}
+
+fn start(fabric: &Fabric, cfg: &RpcConfig) -> (Server, Arc<AtomicU64>) {
+    let calls = Arc::new(AtomicU64::new(0));
+    let mut registry = ServiceRegistry::new();
+    registry.register(Arc::new(CountingEcho {
+        calls: Arc::clone(&calls),
+    }));
+    let server = Server::start(fabric, fabric.add_node(), 8020, cfg.clone(), registry).unwrap();
+    (server, calls)
+}
+
+fn echo(client: &Client, server: &Server, v: i64) -> i64 {
+    client
+        .call::<_, LongWritable>(server.addr(), "nego.Echo", "echo", &LongWritable(v))
+        .unwrap()
+        .0
+}
+
+/// Every `(transport, client max version)` cell: the negotiated version
+/// is exactly the client's cap (the server always offers its maximum),
+/// and calls round-trip under it.
+#[test]
+fn version_matrix_negotiates_and_serves() {
+    for ib in [false, true] {
+        let fabric = Fabric::new(if ib {
+            model::IB_QDR_VERBS
+        } else {
+            model::IPOIB_QDR
+        });
+        let base = if ib {
+            RpcConfig::rpcoib()
+        } else {
+            RpcConfig::socket()
+        };
+        let (server, calls) = start(&fabric, &base);
+        for client_max in [2u8, 3u8] {
+            let cfg = RpcConfig {
+                max_wire_version: client_max,
+                ..base.clone()
+            };
+            let client = Client::new(&fabric, fabric.add_node(), cfg).unwrap();
+            for i in 0..8 {
+                assert_eq!(echo(&client, &server, i), i, "ib={ib} max={client_max}");
+            }
+            assert_eq!(
+                client.negotiated_version(server.addr()),
+                Some(client_max),
+                "ib={ib}: server must ack exactly the client's cap"
+            );
+            client.shutdown();
+        }
+        assert_eq!(calls.load(Ordering::Acquire), 16);
+        server.stop();
+    }
+}
+
+/// V2-capped and V3 clients of the *same* server, interleaved: each
+/// connection frames in its own negotiated version and neither corrupts
+/// the other's state (the server keeps per-connection codecs).
+#[test]
+fn mixed_version_clients_interleave() {
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let base = RpcConfig::socket();
+    let (server, calls) = start(&fabric, &base);
+
+    let v3 = Client::new(&fabric, fabric.add_node(), base.clone()).unwrap();
+    let v2 = Client::new(
+        &fabric,
+        fabric.add_node(),
+        RpcConfig {
+            max_wire_version: 2,
+            ..base.clone()
+        },
+    )
+    .unwrap();
+
+    for i in 0..20 {
+        let (a, b) = if i % 2 == 0 { (&v3, &v2) } else { (&v2, &v3) };
+        assert_eq!(echo(a, &server, i), i);
+        assert_eq!(echo(b, &server, 100 + i), 100 + i);
+    }
+    assert_eq!(v3.negotiated_version(server.addr()), Some(3));
+    assert_eq!(v2.negotiated_version(server.addr()), Some(2));
+    assert_eq!(calls.load(Ordering::Acquire), 40);
+    v3.shutdown();
+    v2.shutdown();
+    server.stop();
+}
+
+/// A pre-handshake V1 peer speaking raw length-prefixed frames shows up
+/// while a V3 client is mid-conversation. The legacy exchange completes
+/// in V1 framing, and the V3 connection — whose compact header carries
+/// delta/table state across frames — continues unperturbed afterwards.
+#[test]
+fn legacy_peer_mid_stream_leaves_v3_connections_intact() {
+    use rpcoib::frame::{self, FrameVersion, ResponseStatus};
+    use std::io::Write;
+
+    let fabric = Fabric::new(model::IPOIB_QDR);
+    let base = RpcConfig::socket();
+    let (server, _calls) = start(&fabric, &base);
+
+    let v3 = Client::new(&fabric, fabric.add_node(), base.clone()).unwrap();
+    for i in 0..5 {
+        assert_eq!(echo(&v3, &server, i), i);
+    }
+    assert_eq!(v3.negotiated_version(server.addr()), Some(3));
+
+    // Mid-stream: the legacy peer, straight to V1 frames.
+    let stream = simnet::SimStream::connect(&fabric, fabric.add_node(), server.addr()).unwrap();
+    let mut body: Vec<u8> = Vec::new();
+    frame::write_request_v1(&mut body, 42, "nego.Echo", "echo", &LongWritable(7)).unwrap();
+    let mut framed = (body.len() as i32).to_be_bytes().to_vec();
+    framed.extend_from_slice(&body);
+    (&stream).write_all(&framed).unwrap();
+    let mut len = [0u8; 4];
+    stream.read_exact_at(&mut len).unwrap();
+    let mut resp = vec![0u8; i32::from_be_bytes(len) as usize];
+    stream.read_exact_at(&mut resp).unwrap();
+    let mut input = resp.as_slice();
+    let header = frame::read_response_header(&mut input).unwrap();
+    assert_eq!(header.version, FrameVersion::V1);
+    assert_eq!(header.seq, 42);
+    assert_eq!(header.status, ResponseStatus::Ok);
+    let mut value = LongWritable::default();
+    value.read_fields(&mut input).unwrap();
+    assert_eq!(value.0, 7);
+
+    // The V3 connection's stateful codec picks up exactly where it was.
+    for i in 5..10 {
+        assert_eq!(echo(&v3, &server, i), i);
+    }
+    assert_eq!(
+        server.metrics_snapshot().counters.frame_errors,
+        0,
+        "no connection saw a codec inconsistency"
+    );
+    drop(stream);
+    v3.shutdown();
+    server.drain(Duration::from_secs(5));
+}

@@ -159,6 +159,16 @@ impl DataOutputBuffer {
     pub fn bytes_copied(&self) -> u64 {
         self.bytes_copied
     }
+
+    /// Consume the buffer, returning the serialized bytes without copying
+    /// them again (the spare capacity beyond `len()` is released lazily by
+    /// `Vec`). Used by send paths that hand a finished frame to a writer
+    /// queue and must not pay a defensive copy per call.
+    pub fn into_vec(self) -> Vec<u8> {
+        let mut v: Vec<u8> = self.buf.into_vec();
+        v.truncate(self.count);
+        v
+    }
 }
 
 impl Default for DataOutputBuffer {
@@ -324,6 +334,14 @@ mod tests {
         let mut input = DataInputBuffer::new(vec![1, 2]);
         assert_eq!(input.read_u16().unwrap(), 0x0102);
         assert!(input.read_u8().is_err());
+    }
+
+    #[test]
+    fn into_vec_returns_exactly_the_written_bytes() {
+        let mut b = DataOutputBuffer::new();
+        b.append(&[9u8; 40]); // forces one adjustment, capacity 64
+        let v = b.into_vec();
+        assert_eq!(v, vec![9u8; 40]);
     }
 
     #[test]

@@ -178,6 +178,25 @@ impl Strategy for &str {
     }
 }
 
+// Tuples of strategies are themselves strategies, exactly as in the
+// real crate — each component generates independently.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+}
+
 pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
