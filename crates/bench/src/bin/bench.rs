@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! bench [--quick|--full] [--seed N] [--out DIR] [--fast]
-//!       [--figure pingpong|bufpool|handlers|shards|smallcall|batching|all]
+//!       [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|all]
 //!       [--check BASELINE.json] [--tolerance PCT]
 //! ```
 //!
@@ -70,7 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--quick|--full] [--seed N] [--out DIR] [--fast] \
-                     [--figure pingpong|bufpool|handlers|shards|smallcall|batching|all] \
+                     [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|all] \
                      [--check BASELINE.json] [--tolerance PCT]"
                 );
                 std::process::exit(0);
@@ -130,6 +130,7 @@ fn main() -> ExitCode {
         "shards" => vec![("shards", figures::run_shards)],
         "smallcall" => vec![("smallcall", figures::run_smallcall)],
         "batching" => vec![("batching", figures::run_batching)],
+        "qos" => vec![("qos", figures::run_qos)],
         "all" => vec![
             ("pingpong", figures::run_pingpong),
             ("bufpool", figures::run_bufpool),
@@ -137,6 +138,7 @@ fn main() -> ExitCode {
             ("shards", figures::run_shards),
             ("smallcall", figures::run_smallcall),
             ("batching", figures::run_batching),
+            ("qos", figures::run_qos),
         ],
         other => {
             eprintln!("bench: unknown figure {other}");

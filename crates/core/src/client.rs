@@ -479,9 +479,11 @@ impl Client {
                         .map_err(|e| RpcError::Protocol(e.to_string()))?;
                     Err(RpcError::Remote(message))
                 }
-                // try_call surfaces busy rejections as errors before the
-                // payload ever reaches here; kept for raw-payload safety.
+                // try_call surfaces busy and expired rejections as errors
+                // before the payload ever reaches here; kept for
+                // raw-payload safety.
                 ResponseStatus::Busy => Err(RpcError::ServerBusy),
+                ResponseStatus::Expired => Err(RpcError::DeadlineExpired),
             }
         })();
         self.inner
@@ -565,6 +567,13 @@ impl Client {
                         if remaining.is_zero() {
                             break e;
                         }
+                        // A busy backoff that would sleep out the whole
+                        // remaining budget cannot buy another attempt —
+                        // fail fast instead of burning the deadline's tail
+                        // parked in the backoff wait.
+                        if matches!(e, RpcError::ServerBusy) && pause >= remaining {
+                            break e;
+                        }
                         pause = pause.min(remaining);
                     }
                     self.inner.metrics.inc_retries();
@@ -638,13 +647,21 @@ impl Client {
         // order frames hit the wire), while the body serializes on this
         // caller thread as before. V2 keeps the single-closure path.
         let sent = if connection.version >= 3 {
+            // Deadline propagation: ship the attempt's remaining budget so
+            // the server can shed the call once it expires instead of
+            // executing work this client has already timed out on.
+            let budget = self
+                .inner
+                .cfg
+                .deadline_propagation
+                .then_some(attempt_timeout);
             connection.conn.send_msg_ordered(
                 key,
                 &mut |out| {
                     connection
                         .enc
                         .lock()
-                        .write_request_header(out, seq, retry_attempt, key)
+                        .write_request_header(out, seq, retry_attempt, budget, key)
                 },
                 &mut |out| request.write(out),
             )
@@ -686,6 +703,13 @@ impl Client {
                 // by the Connection thread; no re-parse here.)
                 if resp.header.status == ResponseStatus::Busy {
                     return Err(RpcError::ServerBusy);
+                }
+                // An expired rejection means the server shed the call
+                // before execution because its propagated deadline passed.
+                // Non-retryable by construction: a retry's budget would
+                // already be spent too.
+                if resp.header.status == ResponseStatus::Expired {
+                    return Err(RpcError::DeadlineExpired);
                 }
                 Ok(resp)
             }

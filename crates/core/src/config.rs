@@ -78,6 +78,24 @@ pub struct RpcConfig {
     /// handshake (see [`crate::handshake`]). Default is the build's
     /// maximum; pin to 2 to emulate a previous-release peer.
     pub max_wire_version: u8,
+    /// Per-tenant weights for the weighted-fair admission plane, keyed by
+    /// handshake `client_id`. A tenant absent from the list has weight 1;
+    /// a tenant with weight `w` is served up to `w` calls per fair round.
+    /// Non-empty weights enable weighted-fair scheduling in the server's
+    /// admission queue and shard sweeps. Empty (default) with
+    /// `tenant_quota == 0` keeps the plain FIFO call queue.
+    pub tenant_weights: Vec<(u64, u32)>,
+    /// Per-tenant outstanding-call quota (queued + executing), keyed by
+    /// handshake `client_id`. A tenant at its quota gets `STATUS_BUSY`
+    /// even while the global queue has room, so one flooder cannot own
+    /// the whole call queue. `0` (default) disables per-tenant quotas.
+    pub tenant_quota: usize,
+    /// Whether the client propagates its remaining per-attempt deadline
+    /// budget in V3 request headers and the server sheds queued calls
+    /// whose budget has expired (answered with `STATUS_EXPIRED`, never
+    /// executed). On by default; V2/V1 peers carry no budget and are
+    /// never shed regardless.
+    pub deadline_propagation: bool,
     /// Ablation baseline for the interned hot path: when `true` the
     /// client re-enacts the pre-interning per-call metadata work (owned
     /// key strings, a fresh reply channel) for real and charges
@@ -120,6 +138,9 @@ impl Default for RpcConfig {
             responder_shards: 0,
             wire_batch: true,
             max_wire_version: crate::handshake::MAX_VERSION,
+            tenant_weights: Vec::new(),
+            tenant_quota: 0,
+            deadline_propagation: true,
             legacy_metadata: false,
         }
     }
@@ -157,6 +178,12 @@ impl RpcConfig {
         }
     }
 
+    /// Whether any QoS feature (weights or quotas) asks the server for
+    /// weighted-fair admission instead of the plain FIFO call queue.
+    pub fn qos_enabled(&self) -> bool {
+        self.tenant_quota > 0 || !self.tenant_weights.is_empty()
+    }
+
     /// Validate internal consistency; called by client/server construction.
     pub fn validate(&self) -> Result<(), String> {
         if self.handlers == 0 {
@@ -185,6 +212,21 @@ impl RpcConfig {
             ));
         }
         self.retry.validate()?;
+        let mut seen_tenants = std::collections::HashSet::new();
+        for &(tenant, weight) in &self.tenant_weights {
+            if weight == 0 {
+                return Err(format!("tenant_weights: tenant {tenant} has weight 0"));
+            }
+            if !seen_tenants.insert(tenant) {
+                return Err(format!("tenant_weights: tenant {tenant} listed twice"));
+            }
+        }
+        if self.tenant_quota > self.call_queue_len {
+            return Err(format!(
+                "tenant_quota ({}) exceeds call_queue_len ({}): the quota could never bind",
+                self.tenant_quota, self.call_queue_len
+            ));
+        }
         if self.retry_cache_capacity > 0 && self.retry_cache_ttl.is_zero() {
             return Err("retry_cache_ttl must be > 0 when the retry cache is enabled".into());
         }
@@ -303,6 +345,43 @@ mod tests {
             ..RpcConfig::default()
         };
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn qos_knobs_validated() {
+        // Defaults: QoS off.
+        assert!(!RpcConfig::default().qos_enabled());
+        // Either knob flips it on.
+        let cfg = RpcConfig {
+            tenant_quota: 64,
+            ..RpcConfig::default()
+        };
+        cfg.validate().unwrap();
+        assert!(cfg.qos_enabled());
+        let cfg = RpcConfig {
+            tenant_weights: vec![(7, 4), (9, 1)],
+            ..RpcConfig::default()
+        };
+        cfg.validate().unwrap();
+        assert!(cfg.qos_enabled());
+        // Zero weights and duplicate tenants are config mistakes.
+        let cfg = RpcConfig {
+            tenant_weights: vec![(7, 0)],
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = RpcConfig {
+            tenant_weights: vec![(7, 1), (7, 2)],
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        // A quota wider than the whole queue could never bind.
+        let cfg = RpcConfig {
+            tenant_quota: 8192,
+            call_queue_len: 4096,
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

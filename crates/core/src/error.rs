@@ -17,6 +17,10 @@ pub enum RpcError {
     /// call was never executed; backing off and retrying is safe even for
     /// non-idempotent operations.
     ServerBusy,
+    /// The server shed the call because its propagated deadline budget
+    /// expired while it was queued. The call was never executed, but the
+    /// caller's deadline has already passed — retrying cannot help.
+    DeadlineExpired,
     /// The connection closed while the call was pending.
     ConnectionClosed,
     /// The server has no service registered for the protocol.
@@ -54,6 +58,7 @@ impl RpcError {
                 | VerbsError::BadRemoteKey => false,
             },
             RpcError::Remote(_)
+            | RpcError::DeadlineExpired
             | RpcError::UnknownProtocol(_)
             | RpcError::Protocol(_)
             | RpcError::Config(_) => false,
@@ -80,6 +85,9 @@ impl std::fmt::Display for RpcError {
             RpcError::Remote(m) => write!(f, "remote exception: {m}"),
             RpcError::Timeout => write!(f, "rpc timeout"),
             RpcError::ServerBusy => write!(f, "server too busy: call queue full"),
+            RpcError::DeadlineExpired => {
+                write!(f, "deadline expired before execution: call shed by server")
+            }
             RpcError::ConnectionClosed => write!(f, "connection closed"),
             RpcError::UnknownProtocol(p) => write!(f, "unknown protocol: {p}"),
             RpcError::Protocol(m) => write!(f, "protocol error: {m}"),

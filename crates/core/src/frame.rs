@@ -16,9 +16,15 @@
 //! handshake instead of in every request. Encode/decode state lives in a
 //! [`V3Encoder`]/[`V3Decoder`] pair per connection direction:
 //!
-//! * request: `[vlong seq_field][vlong retry_attempt][vlong method_ref]
-//!   ([Text protocol][Text method])?[param …]`
+//! * request: `[vlong seq_field][vlong retry_attempt][vlong deadline_µs]
+//!   [vlong method_ref]([Text protocol][Text method])?[param …]`
 //! * response: `[vlong seq_field][u8 status][value … | Text error]`
+//!
+//! `deadline_µs` is the caller's remaining per-attempt deadline budget in
+//! microseconds (`0` = none): the admission plane sheds a queued call
+//! once that budget has elapsed instead of executing it (see
+//! [`STATUS_EXPIRED`]). V2/V1 requests carry no budget and are never
+//! shed.
 //!
 //! In **stateful** mode (stream transports, where a lost byte kills the
 //! connection and its codec state with it) `seq_field` is the wrapping
@@ -46,6 +52,7 @@
 //! length travels in the completion, so no prefix is needed.
 
 use std::io::{self, Read};
+use std::time::Duration;
 
 use bufpool::{PoolMem, PooledBuf};
 use simnet::MemoryRegion;
@@ -60,6 +67,11 @@ pub const STATUS_ERROR: u8 = 1;
 /// Response status byte: the server's call queue is full; the call was
 /// never executed and is safe to retry (V2 only).
 pub const STATUS_BUSY: u8 = 2;
+/// Response status byte: the call's propagated deadline budget expired
+/// while it was queued, so the server shed it without executing it.
+/// Retrying is pointless — the caller's deadline has passed — so clients
+/// classify this as a non-retryable deadline failure (V2/V3 only).
+pub const STATUS_EXPIRED: u8 = 3;
 
 /// Marker in the leading `i32` slot distinguishing a V2 frame from a V1
 /// frame (whose call ids are non-negative).
@@ -93,6 +105,11 @@ pub struct RequestHeader {
     /// id once per frame, and everything downstream carries this `Copy`
     /// handle instead of owned `String`s.
     pub key: MethodKey,
+    /// Remaining per-attempt deadline budget propagated by the caller
+    /// (V3 only; `None` for V2/V1 peers and for callers with no
+    /// deadline). The admission plane sheds the call once this much time
+    /// has passed since admission.
+    pub deadline_budget: Option<Duration>,
 }
 
 impl RequestHeader {
@@ -188,6 +205,33 @@ fn read_retry_attempt(input: &mut dyn DataInput) -> io::Result<u32> {
     })
 }
 
+/// Deadline budgets travel as whole microseconds (`0` = no deadline): an
+/// RPC deadline is milliseconds-to-seconds scale, so sub-microsecond
+/// precision buys nothing and the vlong stays short. Rounding is *up* so
+/// a tiny-but-present budget never encodes as "none".
+fn encode_deadline_budget(budget: Option<Duration>) -> i64 {
+    match budget {
+        None => 0,
+        Some(d) => {
+            let micros = d.as_nanos().div_ceil(1000);
+            i64::try_from(micros).unwrap_or(i64::MAX).max(1)
+        }
+    }
+}
+
+/// Decode a deadline budget field; negative values are malformed.
+fn read_deadline_budget(input: &mut dyn DataInput) -> io::Result<Option<Duration>> {
+    let raw = input.read_vlong()?;
+    match raw {
+        0 => Ok(None),
+        micros if micros > 0 => Ok(Some(Duration::from_micros(micros as u64))),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("negative deadline budget {raw}"),
+        )),
+    }
+}
+
 /// Read the `[Text protocol][Text method]` pair and resolve it to the
 /// process-wide interned key — once per frame, lock-free after the pair's
 /// first appearance.
@@ -213,6 +257,7 @@ pub fn read_request_header(input: &mut dyn DataInput) -> io::Result<RequestHeade
             seq,
             retry_attempt,
             key: read_method_key(input)?,
+            deadline_budget: None,
         })
     } else {
         if lead < 0 {
@@ -230,6 +275,7 @@ pub fn read_request_header(input: &mut dyn DataInput) -> io::Result<RequestHeade
             seq: lead as i64,
             retry_attempt: 0,
             key: read_method_key(input)?,
+            deadline_budget: None,
         })
     }
 }
@@ -267,6 +313,24 @@ pub fn busy_body(version: FrameVersion) -> Vec<u8> {
             out
         }
         FrameVersion::V2 | FrameVersion::V3 => vec![STATUS_BUSY],
+    }
+}
+
+/// The version-neutral body of a deadline shed. Only V3 requests carry a
+/// budget, so only V3-capable clients can ever be shed — but a parked
+/// *duplicate* of a shed call may sit on a V2 connection, and a V1 peer
+/// can never reach this path at all (no client identity, no cache entry,
+/// no budget). V2/V3 clients both parse the bare `STATUS_EXPIRED` byte;
+/// the V1 arm exists for layout symmetry with [`busy_body`].
+pub fn expired_body(version: FrameVersion) -> Vec<u8> {
+    match version {
+        FrameVersion::V1 => {
+            let mut out = vec![STATUS_ERROR];
+            out.write_string("call deadline expired before execution")
+                .expect("vec write");
+            out
+        }
+        FrameVersion::V2 | FrameVersion::V3 => vec![STATUS_EXPIRED],
     }
 }
 
@@ -336,6 +400,10 @@ pub enum ResponseStatus {
     Error,
     /// The server refused admission; nothing follows. Retryable.
     Busy,
+    /// The call's deadline budget expired while queued and it was shed
+    /// without executing; nothing follows. Not retryable: the caller's
+    /// deadline has already passed.
+    Expired,
 }
 
 /// Parsed response header; the value (or error string) follows in `input`.
@@ -358,6 +426,7 @@ fn read_status(input: &mut dyn DataInput) -> io::Result<ResponseStatus> {
         STATUS_OK => Ok(ResponseStatus::Ok),
         STATUS_ERROR => Ok(ResponseStatus::Error),
         STATUS_BUSY => Ok(ResponseStatus::Busy),
+        STATUS_EXPIRED => Ok(ResponseStatus::Expired),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unknown response status {other}"),
@@ -426,15 +495,19 @@ impl V3Encoder {
     }
 
     /// Serialize a V3 request header; the param bytes follow.
+    /// `deadline_budget` is the caller's remaining per-attempt budget
+    /// (`None` encodes as `0`: no deadline, never shed).
     pub fn write_request_header(
         &mut self,
         out: &mut dyn DataOutput,
         seq: i64,
         retry_attempt: u32,
+        deadline_budget: Option<Duration>,
         key: MethodKey,
     ) -> io::Result<()> {
         out.write_vlong(self.seq_field(seq))?;
         out.write_vlong(i64::from(retry_attempt))?;
+        out.write_vlong(encode_deadline_budget(deadline_budget))?;
         if !self.stateful {
             out.write_vlong(MREF_INLINE)?;
             out.write_string(key.protocol())?;
@@ -533,6 +606,7 @@ impl V3Decoder {
     ) -> io::Result<RequestHeader> {
         let seq = self.seq(input.read_vlong()?);
         let retry_attempt = read_retry_attempt(input)?;
+        let deadline_budget = read_deadline_budget(input)?;
         let mref = input.read_vlong()?;
         let key = self.method_key(input, mref)?;
         Ok(RequestHeader {
@@ -541,6 +615,7 @@ impl V3Decoder {
             seq,
             retry_attempt,
             key,
+            deadline_budget,
         })
     }
 
@@ -855,7 +930,8 @@ mod tests {
         let mut sizes = Vec::new();
         for seq in 1..=3i64 {
             let mut buf: Vec<u8> = Vec::new();
-            enc.write_request_header(&mut buf, seq, 0, key).unwrap();
+            enc.write_request_header(&mut buf, seq, 0, None, key)
+                .unwrap();
             sizes.push(buf.len());
             let mut input = buf.as_slice();
             let header = dec.read_request_header(&mut input, 42).unwrap();
@@ -869,7 +945,10 @@ mod tests {
             sizes[1] < sizes[0] && sizes[2] == sizes[1],
             "interned form must drop the inline strings: {sizes:?}"
         );
-        assert_eq!(sizes[1], 3, "delta-seq + retry + method ref, one byte each");
+        assert_eq!(
+            sizes[1], 4,
+            "delta-seq + retry + deadline + method ref, one byte each"
+        );
     }
 
     #[test]
@@ -879,7 +958,8 @@ mod tests {
         let mut frames = Vec::new();
         for seq in [10i64, 11, 12] {
             let mut buf: Vec<u8> = Vec::new();
-            enc.write_request_header(&mut buf, seq, 2, key).unwrap();
+            enc.write_request_header(&mut buf, seq, 2, Some(Duration::from_millis(250)), key)
+                .unwrap();
             frames.push(buf);
         }
         // Decode out of order with fresh decoders: no inter-frame state.
@@ -890,6 +970,7 @@ mod tests {
             assert_eq!(header.seq, seq);
             assert_eq!(header.retry_attempt, 2);
             assert_eq!(header.key, key);
+            assert_eq!(header.deadline_budget, Some(Duration::from_millis(250)));
         }
     }
 
@@ -929,6 +1010,7 @@ mod tests {
         let mut buf: Vec<u8> = Vec::new();
         buf.write_vlong(1).unwrap(); // seq delta
         buf.write_vlong(0).unwrap(); // retry
+        buf.write_vlong(0).unwrap(); // no deadline
         buf.write_vlong(3).unwrap(); // ref id 3, table empty
         let mut input = buf.as_slice();
         assert!(dec.read_request_header(&mut input, 1).is_err());
@@ -937,6 +1019,7 @@ mod tests {
         let mut dec = V3Decoder::new(true);
         let mut buf: Vec<u8> = Vec::new();
         buf.write_vlong(1).unwrap();
+        buf.write_vlong(0).unwrap();
         buf.write_vlong(0).unwrap();
         buf.write_vlong(-7).unwrap(); // announces wid 5
         buf.write_string("p").unwrap();
@@ -949,9 +1032,82 @@ mod tests {
         let mut buf: Vec<u8> = Vec::new();
         buf.write_vlong(1).unwrap();
         buf.write_vlong(0).unwrap();
+        buf.write_vlong(0).unwrap();
         buf.write_vlong(i64::MIN).unwrap();
         let mut input = buf.as_slice();
         assert!(dec.read_request_header(&mut input, 1).is_err());
+    }
+
+    #[test]
+    fn v3_deadline_budget_roundtrips_and_rounds_up() {
+        let key = crate::intern::method_key("v3.Proto", "budget");
+        for (budget, expect) in [
+            (None, None),
+            // Sub-microsecond budgets round *up*, never to "none".
+            (
+                Some(Duration::from_nanos(1)),
+                Some(Duration::from_micros(1)),
+            ),
+            (
+                Some(Duration::from_micros(1500)),
+                Some(Duration::from_micros(1500)),
+            ),
+            (Some(Duration::from_secs(30)), Some(Duration::from_secs(30))),
+        ] {
+            let mut enc = V3Encoder::new(true);
+            let mut dec = V3Decoder::new(true);
+            let mut buf: Vec<u8> = Vec::new();
+            enc.write_request_header(&mut buf, 1, 0, budget, key)
+                .unwrap();
+            let mut input = buf.as_slice();
+            let header = dec.read_request_header(&mut input, 7).unwrap();
+            assert_eq!(header.deadline_budget, expect, "budget {budget:?}");
+        }
+    }
+
+    #[test]
+    fn negative_deadline_budget_is_invalid_data() {
+        let mut dec = V3Decoder::new(true);
+        let mut buf: Vec<u8> = Vec::new();
+        buf.write_vlong(1).unwrap(); // seq delta
+        buf.write_vlong(0).unwrap(); // retry
+        buf.write_vlong(-5).unwrap(); // malformed budget
+        let mut input = buf.as_slice();
+        let err = dec.read_request_header(&mut input, 1).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn expired_response_roundtrip() {
+        // V2 lead + neutral expired body: what a parked duplicate on a V2
+        // connection receives when the original call is shed.
+        let mut buf: Vec<u8> = Vec::new();
+        write_response_lead(&mut buf, FrameVersion::V2, 9).unwrap();
+        buf.extend_from_slice(&expired_body(FrameVersion::V2));
+        let mut input = buf.as_slice();
+        let header = read_response_header(&mut input).unwrap();
+        assert_eq!(header.status, ResponseStatus::Expired);
+        assert_eq!(header.seq, 9);
+        assert_eq!(input.len(), 0, "expired responses carry no body");
+
+        // V3 lead + the same neutral body.
+        let mut enc = V3Encoder::new(true);
+        let mut dec = V3Decoder::new(true);
+        let mut buf: Vec<u8> = Vec::new();
+        enc.write_response_lead(&mut buf, 5).unwrap();
+        buf.extend_from_slice(&expired_body(FrameVersion::V3));
+        let mut input = buf.as_slice();
+        let header = dec.read_response_header(&mut input).unwrap();
+        assert_eq!(header.status, ResponseStatus::Expired);
+        assert_eq!(header.seq, 5);
+
+        // A V1 peer would see an ordinary error string.
+        let mut buf: Vec<u8> = Vec::new();
+        write_response_lead(&mut buf, FrameVersion::V1, 3).unwrap();
+        buf.extend_from_slice(&expired_body(FrameVersion::V1));
+        let mut input = buf.as_slice();
+        let header = read_response_header(&mut input).unwrap();
+        assert_eq!(header.status, ResponseStatus::Error);
     }
 
     #[test]
@@ -961,7 +1117,8 @@ mod tests {
         let key = crate::intern::method_key("v3.Proto", "wrap");
         for seq in [i64::MAX - 1, i64::MAX, i64::MIN, i64::MIN + 1, 0] {
             let mut buf: Vec<u8> = Vec::new();
-            enc.write_request_header(&mut buf, seq, 0, key).unwrap();
+            enc.write_request_header(&mut buf, seq, 0, None, key)
+                .unwrap();
             let mut input = buf.as_slice();
             let header = dec.read_request_header(&mut input, 1).unwrap();
             assert_eq!(header.seq, seq);

@@ -65,6 +65,7 @@
 //! assert_eq!(sum.0, 42);
 //! ```
 
+pub mod admission;
 pub mod client;
 pub mod config;
 pub mod error;
@@ -80,6 +81,7 @@ pub mod service;
 pub mod stream;
 pub mod transport;
 
+pub use admission::{AdmissionQueue, AdmitError, CallMeta, Popped};
 pub use client::{Client, RawResponse};
 pub use config::RpcConfig;
 pub use error::{RpcError, RpcResult};
@@ -88,7 +90,7 @@ pub use intern::{MethodId, MethodKey};
 pub use metrics::{
     CallProfile, EngineCounters, HistogramSnapshot, LatencyHistogram, MethodEntry, MethodStats,
     MetricsRegistry, MetricsSnapshot, Phase, PhaseHistograms, PhaseSnapshot, PoolCounters,
-    RecvProfile, ShardRole, ShardSnapshot,
+    RecvProfile, ShardRole, ShardSnapshot, TenantSnapshot,
 };
 pub use retry::RetryPolicy;
 pub use retry_cache::{Admission, RetryCache};

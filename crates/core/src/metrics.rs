@@ -497,6 +497,10 @@ pub struct EngineCounters {
     /// Calls refused admission because the server's call queue was full
     /// (answered with a retryable busy rejection, never executed).
     pub busy_rejections: u64,
+    /// Queued calls dropped because their propagated deadline budget
+    /// expired before a handler picked them up; answered with
+    /// `STATUS_EXPIRED`, never executed.
+    pub deadline_sheds: u64,
     /// Retried calls answered from the server's retry cache instead of
     /// being re-executed.
     pub retry_cache_hits: u64,
@@ -532,6 +536,23 @@ pub struct MetricsSnapshot {
     /// Per-shard pipeline counters, sorted by (role, index). Empty on
     /// clients (only servers register shards).
     pub shards: Vec<ShardSnapshot>,
+    /// Per-tenant admission counters, sorted by `client_id`. A tenant
+    /// appears once it has been busy-rejected or shed at least once;
+    /// well-behaved tenants stay off the list.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+/// Point-in-time admission counters for one tenant (handshake
+/// `client_id`; V1 peers pool under id 0).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    pub client_id: u64,
+    /// Calls of this tenant refused admission (queue full or tenant over
+    /// quota).
+    pub busy_rejections: u64,
+    /// Calls of this tenant shed because their deadline budget expired
+    /// while queued.
+    pub deadline_sheds: u64,
 }
 
 impl MetricsSnapshot {
@@ -682,11 +703,27 @@ struct MetricsInner {
     broken_sends: AtomicU64,
     late_responses: AtomicU64,
     busy_rejections: AtomicU64,
+    deadline_sheds: AtomicU64,
     retry_cache_hits: AtomicU64,
     retry_cache_parked: AtomicU64,
     retry_cache_evictions: AtomicU64,
     retry_cache_expired: AtomicU64,
+    /// Per-tenant rejection/shed counters. Mutex-guarded: these paths run
+    /// only when a call is refused or shed, never on the per-call hot
+    /// path. Bounded at [`TENANT_TRACK_CAP`] distinct tenants.
+    tenants: Mutex<HashMap<u64, TenantCells>>,
 }
+
+/// Mutable per-tenant counter cell (see `MetricsInner::tenants`).
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantCells {
+    busy_rejections: u64,
+    deadline_sheds: u64,
+}
+
+/// Hard bound on distinct tenants tracked individually; beyond it, new
+/// tenants still count in the global totals but get no per-tenant row.
+const TENANT_TRACK_CAP: usize = 1024;
 
 impl Default for MetricsInner {
     fn default() -> Self {
@@ -704,10 +741,12 @@ impl Default for MetricsInner {
             broken_sends: AtomicU64::new(0),
             late_responses: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
+            deadline_sheds: AtomicU64::new(0),
             retry_cache_hits: AtomicU64::new(0),
             retry_cache_parked: AtomicU64::new(0),
             retry_cache_evictions: AtomicU64::new(0),
             retry_cache_expired: AtomicU64::new(0),
+            tenants: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -899,6 +938,7 @@ impl MetricsRegistry {
             counters: self.counters(),
             pool,
             shards: self.shard_snapshot(),
+            tenants: self.tenant_snapshot(),
         }
     }
 
@@ -943,6 +983,44 @@ impl MetricsRegistry {
         self.inner.busy_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one busy rejection, attributed to `tenant` (the handshake
+    /// `client_id`; V1 peers pool under 0). Bumps the global counter too.
+    pub fn inc_busy_rejections_for(&self, tenant: u64) {
+        self.inc_busy_rejections();
+        self.bump_tenant(tenant, |c| c.busy_rejections += 1);
+    }
+
+    /// Count one deadline shed, attributed to `tenant`.
+    pub fn inc_deadline_sheds_for(&self, tenant: u64) {
+        self.inner.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+        self.bump_tenant(tenant, |c| c.deadline_sheds += 1);
+    }
+
+    fn bump_tenant(&self, tenant: u64, f: impl FnOnce(&mut TenantCells)) {
+        let mut tenants = self.inner.tenants.lock();
+        if tenants.len() >= TENANT_TRACK_CAP && !tenants.contains_key(&tenant) {
+            return;
+        }
+        f(tenants.entry(tenant).or_default());
+    }
+
+    /// Per-tenant admission counters, sorted by `client_id`.
+    pub fn tenant_snapshot(&self) -> Vec<TenantSnapshot> {
+        let mut out: Vec<TenantSnapshot> = self
+            .inner
+            .tenants
+            .lock()
+            .iter()
+            .map(|(&client_id, cells)| TenantSnapshot {
+                client_id,
+                busy_rejections: cells.busy_rejections,
+                deadline_sheds: cells.deadline_sheds,
+            })
+            .collect();
+        out.sort_by_key(|t| t.client_id);
+        out
+    }
+
     pub fn inc_retry_cache_hits(&self) {
         self.inner.retry_cache_hits.fetch_add(1, Ordering::Relaxed);
     }
@@ -975,6 +1053,7 @@ impl MetricsRegistry {
             broken_sends: self.inner.broken_sends.load(Ordering::Relaxed),
             late_responses: self.inner.late_responses.load(Ordering::Relaxed),
             busy_rejections: self.inner.busy_rejections.load(Ordering::Relaxed),
+            deadline_sheds: self.inner.deadline_sheds.load(Ordering::Relaxed),
             retry_cache_hits: self.inner.retry_cache_hits.load(Ordering::Relaxed),
             retry_cache_parked: self.inner.retry_cache_parked.load(Ordering::Relaxed),
             retry_cache_evictions: self.inner.retry_cache_evictions.load(Ordering::Relaxed),
@@ -1002,6 +1081,8 @@ impl MetricsRegistry {
         self.inner.broken_sends.store(0, Ordering::Relaxed);
         self.inner.late_responses.store(0, Ordering::Relaxed);
         self.inner.busy_rejections.store(0, Ordering::Relaxed);
+        self.inner.deadline_sheds.store(0, Ordering::Relaxed);
+        self.inner.tenants.lock().clear();
         self.inner.retry_cache_hits.store(0, Ordering::Relaxed);
         self.inner.retry_cache_parked.store(0, Ordering::Relaxed);
         self.inner.retry_cache_evictions.store(0, Ordering::Relaxed);
@@ -1222,6 +1303,7 @@ mod tests {
         reg.inc_broken_sends();
         reg.inc_late_responses();
         reg.inc_busy_rejections();
+        reg.inc_deadline_sheds_for(7);
         reg.inc_retry_cache_hits();
         reg.inc_retry_cache_parked();
         reg.inc_retry_cache_evictions();
@@ -1234,11 +1316,51 @@ mod tests {
         assert_eq!(c.broken_sends, 1);
         assert_eq!(c.late_responses, 1);
         assert_eq!(c.busy_rejections, 1);
+        assert_eq!(c.deadline_sheds, 1);
         assert_eq!(c.retry_cache_hits, 1);
         assert_eq!(c.retry_cache_parked, 1);
         assert_eq!(c.retry_cache_evictions, 1);
         assert_eq!(c.retry_cache_expired, 1);
         reg.reset();
         assert_eq!(reg.counters(), EngineCounters::default());
+        assert!(reg.tenant_snapshot().is_empty(), "reset clears tenants");
+    }
+
+    #[test]
+    fn tenant_counters_attribute_and_bound() {
+        let reg = MetricsRegistry::new(false);
+        reg.inc_busy_rejections_for(9);
+        reg.inc_busy_rejections_for(9);
+        reg.inc_busy_rejections_for(3);
+        reg.inc_deadline_sheds_for(9);
+        let c = reg.counters();
+        assert_eq!(c.busy_rejections, 3, "per-tenant bumps count globally too");
+        assert_eq!(c.deadline_sheds, 1);
+        let tenants = reg.tenant_snapshot();
+        assert_eq!(
+            tenants,
+            vec![
+                TenantSnapshot {
+                    client_id: 3,
+                    busy_rejections: 1,
+                    deadline_sheds: 0,
+                },
+                TenantSnapshot {
+                    client_id: 9,
+                    busy_rejections: 2,
+                    deadline_sheds: 1,
+                },
+            ]
+        );
+        // The per-tenant table is bounded: tenants beyond the cap keep
+        // counting globally but get no individual row.
+        for t in 0..(TENANT_TRACK_CAP as u64 + 64) {
+            reg.inc_busy_rejections_for(t + 1000);
+        }
+        assert_eq!(reg.tenant_snapshot().len(), TENANT_TRACK_CAP);
+        assert_eq!(
+            reg.counters().busy_rejections,
+            3 + TENANT_TRACK_CAP as u64 + 64
+        );
     }
 }

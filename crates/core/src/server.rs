@@ -52,16 +52,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use simnet::{Fabric, NodeId, SimAddr, SimListener};
 use wire::Writable;
 
+use crate::admission::{AdmissionQueue, AdmitError, CallMeta};
 use crate::config::RpcConfig;
 use crate::error::{RpcError, RpcResult};
 use crate::frame::{
-    busy_body, read_request_header, write_response_body, write_response_lead, FrameVersion,
-    Payload, RequestHeader, V3Decoder, V3Encoder,
+    busy_body, expired_body, read_request_header, write_response_body, write_response_lead,
+    FrameVersion, Payload, RequestHeader, V3Decoder, V3Encoder,
 };
 use crate::handshake;
 use crate::intern::MethodKey;
@@ -120,6 +121,9 @@ struct RespRoute {
     /// response. The responder shard owns the per-connection V3 lead
     /// encoders.
     version: FrameVersion,
+    /// Tenant identity of the route's caller; the responder's
+    /// weighted-fair sweep budgets transmissions by it.
+    client_id: u64,
     seq: i64,
 }
 
@@ -183,8 +187,12 @@ struct ServerInner {
     /// Source of server-assigned client ids for peers that present 0 at
     /// the handshake.
     next_client_id: AtomicU64,
-    call_tx: Sender<RawCall>,
-    call_rx: Receiver<RawCall>,
+    /// The reader→handler admission plane: the seed's bounded FIFO
+    /// channel, now with per-tenant quotas, weighted-fair pop, and
+    /// deadline shedding (all off by default — see [`crate::admission`]).
+    admission: AdmissionQueue<RawCall>,
+    /// Base of the admission plane's monotonic `now_ns` timeline.
+    started: Instant,
     /// Registration channels into the reader shards, indexed by
     /// `conn_id % reader_shards`.
     reader_regs: Vec<Sender<ShardConn>>,
@@ -206,6 +214,13 @@ struct ServerInner {
 }
 
 impl ServerInner {
+    /// Monotonic nanoseconds since server start — the explicit clock the
+    /// admission queue runs on. (The `qos` benchmark drives the same
+    /// queue type with virtual time for deterministic shed decisions.)
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
     fn assign_client_id(&self) -> u64 {
         // The counter is seeded randomly per server; skip an (unlikely)
         // wrap through 0, which the handshake reserves for "assign me".
@@ -290,7 +305,8 @@ impl Server {
 
         let n_readers = cfg.effective_reader_shards();
         let n_responders = cfg.effective_responder_shards();
-        let (call_tx, call_rx) = bounded(cfg.call_queue_len);
+        let admission =
+            AdmissionQueue::new(cfg.call_queue_len, cfg.tenant_quota, &cfg.tenant_weights);
         let metrics = MetricsRegistry::new(false);
         let retry_cache = RetryCache::new(
             cfg.retry_cache_ttl,
@@ -331,8 +347,8 @@ impl Server {
             ib,
             retry_cache,
             next_client_id: AtomicU64::new(id_seed),
-            call_tx,
-            call_rx,
+            admission,
+            started: Instant::now(),
             reader_regs,
             responders,
             conns: Mutex::new(HashMap::new()),
@@ -491,6 +507,9 @@ impl Server {
         if self.inner.stop.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Wake handlers parked on the admission queue; anything still
+        // queued stays poppable, but handlers exit on the stop flag.
+        self.inner.admission.close();
         {
             // Close *and drop* every connection. Releasing the `Arc`s here
             // (rather than when the `Server` value itself is dropped)
@@ -659,10 +678,19 @@ enum ReadOutcome {
 /// starve the rest of the shard).
 fn reader_shard_loop(inner: &Arc<ServerInner>, reg_rx: Receiver<ShardConn>, stats: &ShardStats) {
     let mut conns: Vec<ShardConn> = Vec::new();
+    // Weighted-fair sweep budget (QoS mode only): frames read per tenant
+    // this sweep. A tenant over its weight is skipped until the next
+    // sweep, so a flooder's connections cannot monopolize the shard while
+    // light tenants' frames wait unread in their sockets.
+    let fair = inner.admission.fair();
+    let mut sweep_read: HashMap<u64, u32> = HashMap::new();
     'outer: while !inner.stop.load(Ordering::Acquire) && !inner.draining.load(Ordering::Acquire) {
         while let Ok(sc) = reg_rx.try_recv() {
             stats.conn_added();
             conns.push(sc);
+        }
+        if fair {
+            sweep_read.clear();
         }
         let mut progress = false;
         let mut i = 0;
@@ -670,12 +698,25 @@ fn reader_shard_loop(inner: &Arc<ServerInner>, reg_rx: Receiver<ShardConn>, stat
             if inner.stop.load(Ordering::Acquire) || inner.draining.load(Ordering::Acquire) {
                 break 'outer;
             }
+            if fair {
+                let used = sweep_read.entry(conns[i].client_id).or_insert(0);
+                if *used >= inner.admission.weight(conns[i].client_id) {
+                    // Budget spent: the connection stays ready and is
+                    // served next sweep.
+                    i += 1;
+                    continue;
+                }
+            }
             if !conns[i].conn.poll_ready() {
                 i += 1;
                 continue;
             }
+            let client_id = conns[i].client_id;
             match read_one(inner, &mut conns[i], stats) {
                 ReadOutcome::Frame => {
+                    if fair {
+                        *sweep_read.entry(client_id).or_insert(0) += 1;
+                    }
                     progress = true;
                     i += 1;
                 }
@@ -767,6 +808,7 @@ fn read_one(inner: &Arc<ServerInner>, sc: &mut ShardConn, stats: &ShardStats) ->
             conn: Arc::clone(conn),
             key: header.key,
             version: header.version,
+            client_id: header.client_id,
             seq: header.seq,
         }) {
             Admission::Execute => {}
@@ -779,6 +821,7 @@ fn read_one(inner: &Arc<ServerInner>, sc: &mut ShardConn, stats: &ShardStats) ->
                     conn: Arc::clone(conn),
                     key: header.key,
                     version: header.version,
+                    client_id: header.client_id,
                     seq: header.seq,
                 };
                 inner.try_enqueue_response(route, bytes);
@@ -791,6 +834,7 @@ fn read_one(inner: &Arc<ServerInner>, sc: &mut ShardConn, stats: &ShardStats) ->
         conn: Arc::clone(conn),
         key: header.key,
         version: header.version,
+        client_id: header.client_id,
         seq: header.seq,
     };
     let call = RawCall {
@@ -801,19 +845,31 @@ fn read_one(inner: &Arc<ServerInner>, sc: &mut ShardConn, stats: &ShardStats) ->
         body_offset,
         admitted_at: Instant::now(),
     };
+    // The shedding deadline in the server's own clock. Only V3 peers
+    // carry a budget; a zero-config server (deadline_propagation off)
+    // ignores it entirely.
+    let expires_at_ns = match (inner.cfg.deadline_propagation, header.deadline_budget) {
+        (true, Some(budget)) => Some(inner.now_ns().saturating_add(budget.as_nanos() as u64)),
+        _ => None,
+    };
+    let meta = CallMeta {
+        tenant: header.client_id,
+        expires_at_ns,
+    };
     inner.open_work.fetch_add(1, Ordering::AcqRel);
-    match inner.call_tx.try_send(call) {
+    match inner.admission.try_push(meta, call) {
         Ok(()) => {}
-        Err(TrySendError::Full(_)) => {
-            // Overload: reject instead of blocking the shard (which would
+        Err((AdmitError::QueueFull | AdmitError::TenantOverQuota, _call)) => {
+            // Overload (shared queue full, or this tenant over its
+            // quota): reject instead of blocking the shard (which would
             // stall every connection assigned to it). The call never
             // executed, so the rejection is retryable.
             inner.open_work.fetch_sub(1, Ordering::AcqRel);
-            inner.metrics.inc_busy_rejections();
+            inner.metrics.inc_busy_rejections_for(header.client_id);
             stats.inc_busy();
             let mut routes = vec![route];
             if let Some(key) = cache_key {
-                // Duplicates that parked in the begin/try_send window
+                // Duplicates that parked in the begin/try_push window
                 // (another connection of the same client) get the same
                 // busy answer; the entry is gone so a retry can execute.
                 routes.extend(inner.retry_cache.abort(key));
@@ -825,7 +881,7 @@ fn read_one(inner: &Arc<ServerInner>, sc: &mut ShardConn, stats: &ShardStats) ->
                 inner.try_enqueue_response(r, bytes);
             }
         }
-        Err(TrySendError::Disconnected(_)) => {
+        Err((AdmitError::Closed, _call)) => {
             inner.open_work.fetch_sub(1, Ordering::AcqRel);
             if let Some(key) = cache_key {
                 inner.retry_cache.abort(key);
@@ -838,8 +894,15 @@ fn read_one(inner: &Arc<ServerInner>, sc: &mut ShardConn, stats: &ShardStats) ->
 
 fn handler_loop(inner: Arc<ServerInner>) {
     loop {
-        match inner.call_rx.recv_timeout(IDLE_SLICE) {
-            Ok(call) => {
+        let popped = inner.admission.pop(inner.now_ns(), IDLE_SLICE);
+        // Expired heads are answered without execution — that is the whole
+        // point of deadline propagation: the client already gave up on
+        // these, so running them is pure wasted work.
+        for (meta, call) in popped.shed {
+            shed_call(&inner, meta, call);
+        }
+        match popped.run {
+            Some((meta, call)) => {
                 let entry = inner.metrics.entry(call.header.key);
                 entry.record_phase(
                     Phase::ServerQueue,
@@ -883,6 +946,7 @@ fn handler_loop(inner: Arc<ServerInner>) {
                     conn: call.conn,
                     key: call.header.key,
                     version: call.header.version,
+                    client_id: call.header.client_id,
                     seq: call.header.seq,
                 }];
                 if call.header.version != FrameVersion::V1 && call.header.client_id != 0 {
@@ -896,21 +960,53 @@ fn handler_loop(inner: Arc<ServerInner>) {
                 // entries enqueued above; release it only now so `drain`
                 // never sees a gap between "popped" and "response queued".
                 inner.open_work.fetch_sub(1, Ordering::AcqRel);
+                inner.admission.release(meta.tenant);
             }
-            Err(RecvTimeoutError::Timeout) => {
+            None => {
                 if inner.stop.load(Ordering::Acquire) {
                     return;
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
+}
+
+/// Answer a deadline-expired call with `STATUS_EXPIRED` without executing
+/// it. The retry cache is *completed* (not aborted) with the expired body,
+/// so any duplicate attempt — parked or future — replays the same verdict
+/// instead of re-executing a call the client already gave up on.
+fn shed_call(inner: &Arc<ServerInner>, meta: CallMeta, call: RawCall) {
+    inner.metrics.inc_deadline_sheds_for(meta.tenant);
+    let bytes = Arc::new(expired_body(call.header.version));
+    let mut routes = vec![RespRoute {
+        conn_id: call.conn_id,
+        conn: call.conn,
+        key: call.header.key,
+        version: call.header.version,
+        client_id: call.header.client_id,
+        seq: call.header.seq,
+    }];
+    if call.header.version != FrameVersion::V1 && call.header.client_id != 0 {
+        let key = (call.header.client_id, call.header.seq);
+        routes.extend(inner.retry_cache.complete(key, Arc::clone(&bytes)));
+    }
+    for route in routes {
+        inner.enqueue_response(route, Arc::clone(&bytes));
+    }
+    // The queue already returned the tenant's quota slot when it shed the
+    // call; only the open_work slot transfers to the responses above.
+    inner.open_work.fetch_sub(1, Ordering::AcqRel);
 }
 
 /// Most responses one responder sweep drains before sending. Bounds the
 /// latency a response can pick up behind its batch; one sweep's worth of
 /// frames per connection goes out as a single gathered wire operation.
 const RESPONDER_SWEEP: usize = 64;
+
+/// Responses one weight unit buys a tenant per responder sweep (QoS mode
+/// only). A flooder past `weight × quantum` has its excess carried to the
+/// next sweep so light tenants' responses are not queued behind it.
+const RESPONDER_FAIR_QUANTUM: u32 = 8;
 
 fn responder_loop(inner: Arc<ServerInner>, rx: Receiver<OutboundResponse>, stats: Arc<ShardStats>) {
     // Per-connection V3 response-lead encoders. They live here — all of a
@@ -925,100 +1021,133 @@ fn responder_loop(inner: Arc<ServerInner>, rx: Receiver<OutboundResponse>, stats
     } else {
         1
     };
+    let fair = inner.admission.fair();
     let mut batch: Vec<OutboundResponse> = Vec::new();
+    // Responses deferred by the fair partition below, in pop order; the
+    // next sweep leads with them so nothing is reordered within a tenant.
+    let mut carry: Vec<OutboundResponse> = Vec::new();
+    let mut sweep_used: HashMap<u64, u32> = HashMap::new();
     loop {
-        match rx.recv_timeout(IDLE_SLICE) {
-            Ok(out) => {
-                // Opportunistic drain: everything already queued behind
-                // the blocking pop rides in this sweep (up to the cap).
-                batch.push(out);
-                while batch.len() < sweep {
-                    match rx.try_recv() {
-                        Ok(more) => batch.push(more),
-                        Err(_) => break,
-                    }
+        if carry.is_empty() {
+            match rx.recv_timeout(IDLE_SLICE) {
+                Ok(out) => {
+                    stats.dequeued();
+                    batch.push(out);
                 }
-                stats_dequeued(&stats, batch.len());
-                // Group by connection, preserving pop order within and
-                // across groups (pop order == enqueue order == the order
-                // per-connection state was advanced in).
-                let mut groups: Vec<(u64, Vec<OutboundResponse>)> = Vec::new();
-                let mut index: HashMap<u64, usize> = HashMap::new();
-                for out in batch.drain(..) {
-                    match index.get(&out.route.conn_id) {
-                        Some(&i) => groups[i].1.push(out),
-                        None => {
-                            index.insert(out.route.conn_id, groups.len());
-                            groups.push((out.route.conn_id, vec![out]));
-                        }
+                Err(RecvTimeoutError::Timeout) => {
+                    if inner.stop.load(Ordering::Acquire) {
+                        return;
                     }
+                    continue;
                 }
-                for (conn_id, group) in groups {
-                    let conn = Arc::clone(&group[0].route.conn);
-                    // The response's buffer-size history is keyed
-                    // separately from the request's; one key per batch is
-                    // enough — the gathered frames share a wire op anyway.
-                    let resp_key = group[0].route.key.response_key();
-                    let n = group.len();
-                    let mut frames: Vec<Vec<u8>> = Vec::with_capacity(n);
-                    for out in &group {
-                        let mut frame = Vec::with_capacity(out.bytes.len() + 16);
-                        let lead = match out.route.version {
-                            FrameVersion::V3 => encs
-                                .entry(conn_id)
-                                .or_insert_with(|| V3Encoder::new(stateful))
-                                .write_response_lead(&mut frame, out.route.seq),
-                            v => write_response_lead(&mut frame, v, out.route.seq),
-                        };
-                        if lead.is_err() {
-                            // Unrepresentable lead (a V1 seq outside i32):
-                            // drop this one response, keep the connection.
-                            inner.metrics.inc_frame_errors();
-                            continue;
-                        }
-                        frame.extend_from_slice(&out.bytes);
-                        frames.push(frame);
-                    }
-                    // A failed send only affects that one connection — but
-                    // it does mean the connection is broken: close it so
-                    // its reader shard stops pulling requests whose
-                    // responses could never be delivered, and count it.
-                    let send_result = if frames.is_empty() {
-                        Ok(())
-                    } else {
-                        conn.send_frames(resp_key, frames)
-                    };
-                    if send_result.is_err() {
-                        inner.metrics.inc_broken_sends();
-                        conn.close();
-                        encs.remove(&conn_id);
-                    }
-                    for _ in 0..n {
-                        stats.inc_processed();
-                        inner.open_work.fetch_sub(1, Ordering::AcqRel);
-                    }
-                }
-                // Bound the encoder map under connection churn: dead
-                // connections never announce themselves to this shard, so
-                // prune against the live table once the map gets large.
-                if encs.len() >= 1024 {
-                    let live = inner.conns.lock();
-                    encs.retain(|id, _| live.contains_key(id));
-                }
+                Err(RecvTimeoutError::Disconnected) => return,
             }
-            Err(RecvTimeoutError::Timeout) => {
-                if inner.stop.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
+        } else {
+            std::mem::swap(&mut batch, &mut carry);
         }
-    }
-}
-
-/// Record `n` dequeues (the sweep pops in bulk).
-fn stats_dequeued(stats: &ShardStats, n: usize) {
-    for _ in 0..n {
-        stats.dequeued();
+        // Opportunistic drain: everything already queued behind the
+        // blocking pop rides in this sweep (up to the cap).
+        while batch.len() < sweep {
+            match rx.try_recv() {
+                Ok(more) => {
+                    stats.dequeued();
+                    batch.push(more);
+                }
+                Err(_) => break,
+            }
+        }
+        // Weighted-fair partition (QoS mode only): each tenant sends up
+        // to weight × quantum responses this sweep; the excess is carried
+        // — still in order — so a flooder's burst cannot head-of-line
+        // block light tenants' responses through the shared shard.
+        let send = if fair {
+            sweep_used.clear();
+            let mut send = Vec::new();
+            for out in batch.drain(..) {
+                let tenant = out.route.client_id;
+                let budget = inner
+                    .admission
+                    .weight(tenant)
+                    .saturating_mul(RESPONDER_FAIR_QUANTUM);
+                let used = sweep_used.entry(tenant).or_insert(0);
+                if *used >= budget {
+                    carry.push(out);
+                } else {
+                    *used += 1;
+                    send.push(out);
+                }
+            }
+            send
+        } else {
+            std::mem::take(&mut batch)
+        };
+        {
+            // Group by connection, preserving pop order within and
+            // across groups (pop order == enqueue order == the order
+            // per-connection state was advanced in).
+            let mut groups: Vec<(u64, Vec<OutboundResponse>)> = Vec::new();
+            let mut index: HashMap<u64, usize> = HashMap::new();
+            for out in send {
+                match index.get(&out.route.conn_id) {
+                    Some(&i) => groups[i].1.push(out),
+                    None => {
+                        index.insert(out.route.conn_id, groups.len());
+                        groups.push((out.route.conn_id, vec![out]));
+                    }
+                }
+            }
+            for (conn_id, group) in groups {
+                let conn = Arc::clone(&group[0].route.conn);
+                // The response's buffer-size history is keyed
+                // separately from the request's; one key per batch is
+                // enough — the gathered frames share a wire op anyway.
+                let resp_key = group[0].route.key.response_key();
+                let n = group.len();
+                let mut frames: Vec<Vec<u8>> = Vec::with_capacity(n);
+                for out in &group {
+                    let mut frame = Vec::with_capacity(out.bytes.len() + 16);
+                    let lead = match out.route.version {
+                        FrameVersion::V3 => encs
+                            .entry(conn_id)
+                            .or_insert_with(|| V3Encoder::new(stateful))
+                            .write_response_lead(&mut frame, out.route.seq),
+                        v => write_response_lead(&mut frame, v, out.route.seq),
+                    };
+                    if lead.is_err() {
+                        // Unrepresentable lead (a V1 seq outside i32):
+                        // drop this one response, keep the connection.
+                        inner.metrics.inc_frame_errors();
+                        continue;
+                    }
+                    frame.extend_from_slice(&out.bytes);
+                    frames.push(frame);
+                }
+                // A failed send only affects that one connection — but
+                // it does mean the connection is broken: close it so
+                // its reader shard stops pulling requests whose
+                // responses could never be delivered, and count it.
+                let send_result = if frames.is_empty() {
+                    Ok(())
+                } else {
+                    conn.send_frames(resp_key, frames)
+                };
+                if send_result.is_err() {
+                    inner.metrics.inc_broken_sends();
+                    conn.close();
+                    encs.remove(&conn_id);
+                }
+                for _ in 0..n {
+                    stats.inc_processed();
+                    inner.open_work.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            // Bound the encoder map under connection churn: dead
+            // connections never announce themselves to this shard, so
+            // prune against the live table once the map gets large.
+            if encs.len() >= 1024 {
+                let live = inner.conns.lock();
+                encs.retain(|id, _| live.contains_key(id));
+            }
+        }
     }
 }

@@ -821,6 +821,95 @@ fn drain_deadline_cuts_off_stuck_work() {
     client.shutdown();
 }
 
+/// Drain under active multi-tenant load: a flooder saturating its quota
+/// and a light tenant both have calls in flight when `drain` begins.
+/// Every call must reach a definite outcome — completed, busy-rejected,
+/// expired, timed out, or failed by the closing connection — never a
+/// silent drop, and the server-side applied count must equal exactly the
+/// light tenant's successes (at-most-once survives the drain).
+#[test]
+fn drain_under_multi_tenant_load_leaves_no_call_unanswered() {
+    let _wd = watchdog("drain_multi_tenant", Duration::from_secs(60));
+    let (fabric, base) = env_transport();
+    let server_node = fabric.add_node();
+    let cfg = RpcConfig {
+        handlers: 2,
+        call_queue_len: 16,
+        tenant_quota: 4,
+        call_timeout: Duration::from_secs(2),
+        retry: RetryPolicy::none(),
+        ..base
+    };
+    let (server, applied) =
+        start_counter_server(&fabric, server_node, &cfg, Duration::from_millis(50));
+
+    let flooder = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+    flooder.force_client_id(71);
+    let light = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+    light.force_client_id(81);
+
+    let stop_flag = Arc::new(AtomicBool::new(false));
+    let spawn_loop = |client: Client, method: &'static str| {
+        let addr = server.addr();
+        let stop_flag = Arc::clone(&stop_flag);
+        std::thread::spawn(move || {
+            let mut outcomes: Vec<Result<LongWritable, RpcError>> = Vec::new();
+            while !stop_flag.load(Ordering::Acquire) {
+                outcomes.push(client.call(addr, "test.CounterProtocol", method, &LongWritable(1)));
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            outcomes
+        })
+    };
+    let flood_threads: Vec<_> = (0..4)
+        .map(|_| spawn_loop(flooder.clone(), "slow"))
+        .collect();
+    let light_thread = spawn_loop(light.clone(), "incr");
+
+    // Both tenants have work executing and queued when the drain begins.
+    std::thread::sleep(Duration::from_millis(150));
+    let drained = server.drain(Duration::from_secs(10));
+    assert!(drained, "admitted work fits well inside the drain deadline");
+    stop_flag.store(true, Ordering::Release);
+
+    // Every issued call ended in a definite, explainable outcome.
+    let mut light_ok = 0u64;
+    let mut audit = |outcomes: Vec<Result<LongWritable, RpcError>>, is_light: bool| {
+        for r in outcomes {
+            match r {
+                Ok(_) => {
+                    if is_light {
+                        light_ok += 1;
+                    }
+                }
+                Err(
+                    RpcError::ServerBusy
+                    | RpcError::DeadlineExpired
+                    | RpcError::Timeout
+                    | RpcError::ConnectionClosed
+                    | RpcError::Io(_),
+                ) => {}
+                Err(e) => panic!("call ended in an unexplainable state: {e:?}"),
+            }
+        }
+    };
+    for t in flood_threads {
+        audit(t.join().unwrap(), false);
+    }
+    audit(light_thread.join().unwrap(), true);
+    assert!(
+        light_ok >= 1,
+        "the light tenant must have completed calls before and during drain"
+    );
+    assert_eq!(
+        applied.load(Ordering::Acquire),
+        light_ok,
+        "at-most-once must survive the drain: applied == light successes"
+    );
+    flooder.shutdown();
+    light.shutdown();
+}
+
 /// A pre-handshake (V1) peer — no hello, straight to length-prefixed V1
 /// frames — is sniffed as legacy and served: its call executes and the
 /// answer comes back in V1 framing. This keeps the "V1 decoded for one

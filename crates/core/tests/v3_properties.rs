@@ -9,6 +9,7 @@ use proptest::prelude::*;
 use rpcoib::frame::ResponseStatus;
 use rpcoib::intern::method_key;
 use rpcoib::{V3Decoder, V3Encoder};
+use std::time::Duration;
 
 /// A small pool of interned keys the generators draw from (interning is
 /// process-wide, so the pool is fixed up front).
@@ -28,23 +29,33 @@ proptest! {
     /// i64::MIN/MAX — and any order of method-key reuse.
     #[test]
     fn stateful_request_headers_roundtrip(
-        seq_steps in proptest::collection::vec((any::<i64>(), 0..5usize, any::<u32>()), 1..40)
+        seq_steps in proptest::collection::vec(
+            (
+                any::<i64>(),
+                0..5usize,
+                any::<u32>(),
+                proptest::option::of(1..86_400_000_000u64),
+            ),
+            1..40,
+        )
     ) {
         let pool = key_pool();
         let mut enc = V3Encoder::new(true);
         let mut dec = V3Decoder::new(true);
         let mut seq: i64 = 0;
-        for (step, key_idx, retry) in seq_steps {
+        for (step, key_idx, retry, budget_micros) in seq_steps {
             seq = seq.wrapping_add(step);
             let key = pool[key_idx];
+            let budget = budget_micros.map(Duration::from_micros);
             let mut buf: Vec<u8> = Vec::new();
-            enc.write_request_header(&mut buf, seq, retry, key).unwrap();
+            enc.write_request_header(&mut buf, seq, retry, budget, key).unwrap();
             let mut input = buf.as_slice();
             let header = dec.read_request_header(&mut input, 0xc11e).unwrap();
             prop_assert_eq!(header.seq, seq);
             prop_assert_eq!(header.retry_attempt, retry);
             prop_assert_eq!(header.key, key);
             prop_assert_eq!(header.client_id, 0xc11e);
+            prop_assert_eq!(header.deadline_budget, budget);
             prop_assert!(input.is_empty(), "header must consume exactly its bytes");
         }
     }
@@ -62,7 +73,7 @@ proptest! {
         for (seq, key_idx, keep) in frames {
             let key = pool[key_idx];
             let mut buf: Vec<u8> = Vec::new();
-            enc.write_request_header(&mut buf, seq, 1, key).unwrap();
+            enc.write_request_header(&mut buf, seq, 1, None, key).unwrap();
             if !keep {
                 continue; // the fabric ate it; the stream lives on
             }
@@ -107,17 +118,17 @@ proptest! {
         let key = pool[key_idx];
         let mut enc = V3Encoder::new(true);
         let mut first: Vec<u8> = Vec::new();
-        enc.write_request_header(&mut first, 1, 0, key).unwrap();
+        enc.write_request_header(&mut first, 1, 0, None, key).unwrap();
         for i in 0..reuses {
             let mut again: Vec<u8> = Vec::new();
-            enc.write_request_header(&mut again, 2 + i as i64, 0, key).unwrap();
+            enc.write_request_header(&mut again, 2 + i as i64, 0, None, key).unwrap();
             prop_assert!(
                 again.len() < first.len(),
                 "interned reuse ({}) must beat the announcement ({})",
                 again.len(),
                 first.len()
             );
-            prop_assert!(again.len() <= 3, "delta-seq interned header stays tiny");
+            prop_assert!(again.len() <= 4, "delta-seq interned header stays tiny");
         }
     }
 }

@@ -244,6 +244,30 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of(inner)` — `None` about a quarter of the
+    /// time (the real crate's default probability), `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
