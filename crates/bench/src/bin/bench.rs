@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! bench [--quick|--full] [--seed N] [--out DIR] [--fast]
-//!       [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|all]
+//!       [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|connections|all]
 //!       [--check BASELINE.json] [--tolerance PCT]
 //! ```
 //!
@@ -70,7 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--quick|--full] [--seed N] [--out DIR] [--fast] \
-                     [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|all] \
+                     [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|connections|all] \
                      [--check BASELINE.json] [--tolerance PCT]"
                 );
                 std::process::exit(0);
@@ -131,6 +131,7 @@ fn main() -> ExitCode {
         "smallcall" => vec![("smallcall", figures::run_smallcall)],
         "batching" => vec![("batching", figures::run_batching)],
         "qos" => vec![("qos", figures::run_qos)],
+        "connections" => vec![("connections", figures::run_connections)],
         "all" => vec![
             ("pingpong", figures::run_pingpong),
             ("bufpool", figures::run_bufpool),
@@ -139,6 +140,7 @@ fn main() -> ExitCode {
             ("smallcall", figures::run_smallcall),
             ("batching", figures::run_batching),
             ("qos", figures::run_qos),
+            ("connections", figures::run_connections),
         ],
         other => {
             eprintln!("bench: unknown figure {other}");

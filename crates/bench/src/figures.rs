@@ -961,6 +961,251 @@ pub fn run_qos(opts: &RunOpts, git_rev: &str) -> Json {
         .field("rows", Json::Arr(rows))
 }
 
+/// Active connections in the connections figure — the handful actually
+/// carrying traffic while the idle population sits parked.
+const CONN_ACTIVE: usize = 16;
+/// Idle-population sweep: 0 idle is the baseline arm every other arm's
+/// active-call latency must match under the event model.
+pub const CONN_IDLE_COUNTS: &[usize] = &[0, 1, 100, 1_000, 10_000, 20_000, 50_000];
+/// Frames a reader burst serves per pop before re-arming (level-trigger
+/// fairness budget, mirroring the server's per-pop burst).
+const CONN_BURST: usize = 4;
+/// Arrivals between reader drain points — batching several arrivals per
+/// drain is what exercises the wake token's dedup (many fires, one pop).
+const CONN_DRAIN_EVERY: usize = 4;
+/// Modeled sender-side cost of firing a ready hook (enqueue a token).
+const CONN_WAKE_NS: u64 = 400;
+/// Modeled reader cost of one ready-queue pop (mutex + condvar round).
+const CONN_POP_NS: u64 = 300;
+/// Modeled reader cost of reading + dispatching one frame.
+const CONN_FRAME_NS: u64 = 10_000;
+/// Modeled cost of one `poll_ready` probe in the sweep model — what the
+/// pre-event reader paid per connection per scan pass.
+const CONN_PROBE_NS: u64 = 150;
+
+/// Per-arm tally of the connections model.
+#[derive(Default)]
+struct ConnTally {
+    delivered: u64,
+    wakes: u64,
+    pops: u64,
+    rearms: u64,
+    passes: u64,
+    probes: u64,
+    host_ns: u64,
+    idle_cost_ns: u64,
+    queue_depth_max: u64,
+    sojourn_ns: Vec<u64>,
+}
+
+/// Figure: connection scaling of the reader's readiness model — 1 to 50k
+/// connections, [`CONN_ACTIVE`] of them active, the rest idle. Both arms
+/// drive the *same* seeded arrival stream (independent of the idle
+/// count) through a discrete-event model with an explicit virtual clock:
+///
+/// * `event_idle{N}` runs the engine's **real** [`ReadyQueue`] +
+///   [`WakeState`] (token dedup, `begin_poll` re-arm discipline, burst
+///   budget + level-trigger re-queue) and charges [`CONN_WAKE_NS`] per
+///   hook fire, [`CONN_POP_NS`] per pop, [`CONN_FRAME_NS`] per frame.
+///   Idle connections never fire, so they charge exactly nothing.
+/// * `sweep_idle{N}` replays the pre-event reader: every wake-up scans
+///   the whole slab, charging [`CONN_PROBE_NS`] × conns per pass before
+///   any frame is served.
+///
+/// All arithmetic is integer over the seeded splitmix64 stream, so the
+/// file is byte-identical per seed. The acceptance properties are
+/// asserted in-code: the event arms' active-call sojourns are *identical*
+/// across the whole idle sweep (per-idle-connection cost is zero, not
+/// merely small), every frame is delivered with the queue drained, and
+/// the sweep arms' idle cost grows with the population until it dwarfs
+/// the event model at 20k+ connections.
+pub fn run_connections(opts: &RunOpts, git_rev: &str) -> Json {
+    use rpcoib::readiness::{token, token_slot};
+    use std::collections::VecDeque;
+
+    let calls_per_conn = opts.iters(8, 32);
+
+    // One arrival stream per (seed), shared by every arm: per active
+    // conn, `calls_per_conn` frames 2–10 µs apart, merged by time (ties
+    // broken by conn index, so the order is fully deterministic).
+    let mut rng = opts.seed ^ 0xc0_4e_c7_10_4e_5d_u64;
+    let mut arrivals: Vec<(u64, usize)> = Vec::with_capacity(CONN_ACTIVE * calls_per_conn);
+    for conn in 0..CONN_ACTIVE {
+        let mut t = 0u64;
+        for _ in 0..calls_per_conn {
+            t += 2_000 + splitmix64(&mut rng) % 8_000;
+            arrivals.push((t, conn));
+        }
+    }
+    arrivals.sort_unstable();
+    let total_frames = arrivals.len() as u64;
+
+    let run_event = |idle: usize| -> ConnTally {
+        let queue = Arc::new(rpcoib::ReadyQueue::new(None));
+        // Idle conns occupy slots [0, idle); active conns sit above them,
+        // so a stale-slot bug would index into the idle population.
+        let wakes: Vec<rpcoib::WakeState> = (0..idle + CONN_ACTIVE)
+            .map(|slot| rpcoib::WakeState::new(token(slot, 0), Arc::clone(&queue)))
+            .collect();
+        let mut pending: Vec<VecDeque<u64>> = vec![VecDeque::new(); CONN_ACTIVE];
+        let mut tally = ConnTally::default();
+        let mut reader_free = 0u64;
+        let mut drain = |tally: &mut ConnTally, pending: &mut Vec<VecDeque<u64>>| {
+            while let Some(tok) = queue.try_pop() {
+                let k = token_slot(tok) - idle;
+                tally.pops += 1;
+                tally.host_ns += CONN_POP_NS;
+                wakes[idle + k].begin_poll();
+                let Some(&floor) = pending[k].front() else {
+                    continue; // spurious-free: token but no frame ⇒ re-armed race
+                };
+                reader_free = reader_free.max(floor) + CONN_POP_NS;
+                for _ in 0..CONN_BURST {
+                    let Some(arr) = pending[k].pop_front() else {
+                        break;
+                    };
+                    reader_free += CONN_FRAME_NS;
+                    tally.host_ns += CONN_FRAME_NS;
+                    tally.delivered += 1;
+                    tally.sojourn_ns.push(reader_free - arr);
+                }
+                if !pending[k].is_empty() {
+                    // Level-trigger re-arm: still readable, back of the line.
+                    tally.rearms += 1;
+                    wakes[idle + k].wake();
+                }
+            }
+        };
+        for (i, &(at, k)) in arrivals.iter().enumerate() {
+            pending[k].push_back(at);
+            tally.wakes += 1;
+            tally.host_ns += CONN_WAKE_NS;
+            wakes[idle + k].wake();
+            tally.queue_depth_max = tally.queue_depth_max.max(queue.len() as u64);
+            if i % CONN_DRAIN_EVERY == CONN_DRAIN_EVERY - 1 {
+                drain(&mut tally, &mut pending);
+            }
+        }
+        while tally.delivered < total_frames {
+            drain(&mut tally, &mut pending);
+        }
+        assert!(queue.is_empty(), "event model left tokens queued");
+        tally
+    };
+
+    let run_sweep = |idle: usize| -> ConnTally {
+        let total_conns = (idle + CONN_ACTIVE) as u64;
+        let mut pending: Vec<VecDeque<u64>> = vec![VecDeque::new(); CONN_ACTIVE];
+        let mut tally = ConnTally::default();
+        let mut reader_free = 0u64;
+        let mut drain = |tally: &mut ConnTally, pending: &mut Vec<VecDeque<u64>>| {
+            if pending.iter().all(VecDeque::is_empty) {
+                return;
+            }
+            // One scan pass probes every conn — idle ones included — and
+            // only then serves whatever the probes found ready.
+            let floor = pending
+                .iter()
+                .filter_map(|q| q.front().copied())
+                .min()
+                .unwrap();
+            tally.passes += 1;
+            tally.probes += total_conns;
+            tally.host_ns += total_conns * CONN_PROBE_NS;
+            tally.idle_cost_ns += idle as u64 * CONN_PROBE_NS;
+            reader_free = reader_free.max(floor) + total_conns * CONN_PROBE_NS;
+            for q in pending.iter_mut() {
+                while let Some(arr) = q.pop_front() {
+                    reader_free += CONN_FRAME_NS;
+                    tally.host_ns += CONN_FRAME_NS;
+                    tally.delivered += 1;
+                    tally.sojourn_ns.push(reader_free - arr);
+                }
+            }
+        };
+        for (i, &(at, k)) in arrivals.iter().enumerate() {
+            pending[k].push_back(at);
+            if i % CONN_DRAIN_EVERY == CONN_DRAIN_EVERY - 1 {
+                drain(&mut tally, &mut pending);
+            }
+        }
+        drain(&mut tally, &mut pending);
+        tally
+    };
+
+    let mut rows = Vec::new();
+    let mut event_p50 = Vec::new();
+    let mut sweep_idle_cost = Vec::new();
+    let mut sweep_p50 = Vec::new();
+    for &idle in CONN_IDLE_COUNTS {
+        for arm in ["event", "sweep"] {
+            let mut tally = if arm == "event" {
+                run_event(idle)
+            } else {
+                run_sweep(idle)
+            };
+            assert_eq!(
+                tally.delivered, total_frames,
+                "{arm}_idle{idle}: lost frames"
+            );
+            let row = Json::obj()
+                .field("transport", "model")
+                .field("point", format!("{arm}_idle{idle}"))
+                .field("idle_conns", idle as u64)
+                .field("active_conns", CONN_ACTIVE as u64)
+                .field("frames", tally.delivered)
+                .field("wakes", tally.wakes)
+                .field("pops", tally.pops)
+                .field("rearms", tally.rearms)
+                .field("sweep_passes", tally.passes)
+                .field("probes", tally.probes)
+                .field("host_ns", tally.host_ns)
+                .field("idle_cost_ns", tally.idle_cost_ns)
+                .field("queue_depth_max", tally.queue_depth_max);
+            let row = percentile_fields(row, &mut tally.sojourn_ns);
+            if arm == "event" {
+                assert_eq!(tally.idle_cost_ns, 0, "idle conns must charge nothing");
+                event_p50.push(tally.sojourn_ns[tally.sojourn_ns.len() / 2]);
+            } else {
+                sweep_idle_cost.push(tally.idle_cost_ns);
+                sweep_p50.push(tally.sojourn_ns[tally.sojourn_ns.len() / 2]);
+            }
+            rows.push(row);
+        }
+    }
+
+    // The acceptance properties this figure exists to hold. The event
+    // arms share one arrival stream and idle conns never fire, so the
+    // sojourn distribution must be *identical* across the idle sweep —
+    // flat per-idle-conn cost, exactly zero.
+    for (i, &p50) in event_p50.iter().enumerate() {
+        assert_eq!(
+            p50, event_p50[0],
+            "event-model p50 at idle={} diverged from the 0-idle arm",
+            CONN_IDLE_COUNTS[i]
+        );
+    }
+    for w in sweep_idle_cost.windows(2) {
+        assert!(
+            w[1] > w[0],
+            "sweep idle cost must grow with the idle population"
+        );
+    }
+    let last = CONN_IDLE_COUNTS.len() - 1;
+    assert!(
+        sweep_p50[last] > 10 * event_p50[last].max(1),
+        "at 50k conns the sweep's scan cost must dwarf the event model"
+    );
+
+    header("connections", opts, git_rev)
+        .field("active_conns", CONN_ACTIVE as u64)
+        .field("wake_ns", CONN_WAKE_NS)
+        .field("pop_ns", CONN_POP_NS)
+        .field("frame_ns", CONN_FRAME_NS)
+        .field("probe_ns", CONN_PROBE_NS)
+        .field("rows", Json::Arr(rows))
+}
+
 /// A raw transport conn pair on a fresh seeded fabric: the client end,
 /// the server end, and the two node ids whose ledgers the batching burst
 /// reads. Socket conns get the engine's framing buffer defaults; verbs

@@ -96,6 +96,17 @@ pub struct RpcConfig {
     /// executed). On by default; V2/V1 peers carry no budget and are
     /// never shed regardless.
     pub deadline_propagation: bool,
+    /// Maximum connections the server keeps alive (live + in setup);
+    /// connects past the limit are answered with the retryable busy
+    /// rejection instead of growing the conn table without bound. `0`
+    /// (default) = unlimited, the pre-PR-8 behaviour.
+    pub max_connections: usize,
+    /// Maximum connection setups (handshake + RPCoIB endpoint exchange)
+    /// in flight at once — the bounded accept queue. A connect storm
+    /// past this waits in the listener queue until setups drain (added
+    /// latency, not rejection), keeping the accept path's thread and
+    /// memory use bounded.
+    pub accept_backlog: usize,
     /// Ablation baseline for the interned hot path: when `true` the
     /// client re-enacts the pre-interning per-call metadata work (owned
     /// key strings, a fresh reply channel) for real and charges
@@ -141,6 +152,8 @@ impl Default for RpcConfig {
             tenant_weights: Vec::new(),
             tenant_quota: 0,
             deadline_propagation: true,
+            max_connections: 0,
+            accept_backlog: 64,
             legacy_metadata: false,
         }
     }
@@ -226,6 +239,9 @@ impl RpcConfig {
                 "tenant_quota ({}) exceeds call_queue_len ({}): the quota could never bind",
                 self.tenant_quota, self.call_queue_len
             ));
+        }
+        if self.accept_backlog == 0 {
+            return Err("accept_backlog must be >= 1 (no connection could ever set up)".into());
         }
         if self.retry_cache_capacity > 0 && self.retry_cache_ttl.is_zero() {
             return Err("retry_cache_ttl must be > 0 when the retry cache is enabled".into());
@@ -379,6 +395,26 @@ mod tests {
         let cfg = RpcConfig {
             tenant_quota: 8192,
             call_queue_len: 4096,
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn connection_limits_validated() {
+        // Defaults: unlimited conns, bounded setup backlog.
+        let cfg = RpcConfig::default();
+        assert_eq!(cfg.max_connections, 0);
+        assert_eq!(cfg.accept_backlog, 64);
+        // Any max_connections value is legal (0 = unlimited)...
+        let cfg = RpcConfig {
+            max_connections: 1,
+            ..RpcConfig::default()
+        };
+        cfg.validate().unwrap();
+        // ...but a zero accept backlog could never admit a connection.
+        let cfg = RpcConfig {
+            accept_backlog: 0,
             ..RpcConfig::default()
         };
         assert!(cfg.validate().is_err());

@@ -64,6 +64,12 @@ pub fn client_hello(stream: &SimStream, client_id: u64, max_version: u8) -> RpcR
         .read_exact_at(&mut ack)
         .map_err(|e| RpcError::Io(e.to_string()))?;
     let version = ack[0];
+    if version == 0 {
+        // Accept-path backpressure: the server is at `max_connections`
+        // (or its accept backlog) and refused this connection before any
+        // setup. Retryable — the client backs off and reconnects.
+        return Err(RpcError::ServerBusy);
+    }
     if !(MIN_VERSION..=max_version).contains(&version) {
         return Err(RpcError::Protocol(format!(
             "server negotiated frame version {version}, this client speaks {MIN_VERSION}..={max_version}"
@@ -261,6 +267,19 @@ mod tests {
         srv.read_exact_at(&mut first).unwrap();
         assert_eq!(first, [0, 0, 0, 64, 0xab, 0xcd]);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn busy_ack_maps_to_retryable_server_busy() {
+        let (cli, srv) = stream_pair();
+        let h = thread::spawn(move || client_hello(&cli, 0xfeed, MAX_VERSION));
+        // The listener's refusal: the 9-byte ack with version byte 0,
+        // written without reading the hello.
+        (&srv).write_all(&[0u8; 9]).unwrap();
+        let err = h.join().unwrap().unwrap_err();
+        drop(srv);
+        assert!(matches!(err, RpcError::ServerBusy), "{err}");
+        assert!(err.is_retryable(), "accept rejection must be retryable");
     }
 
     #[test]

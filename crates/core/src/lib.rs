@@ -74,6 +74,7 @@ pub mod handshake;
 pub mod hostcost;
 pub mod intern;
 pub mod metrics;
+pub mod readiness;
 pub mod retry;
 pub mod retry_cache;
 pub mod server;
@@ -92,6 +93,7 @@ pub use metrics::{
     MetricsRegistry, MetricsSnapshot, Phase, PhaseHistograms, PhaseSnapshot, PoolCounters,
     RecvProfile, ShardRole, ShardSnapshot, TenantSnapshot,
 };
+pub use readiness::{ReadyQueue, WakeState};
 pub use retry::RetryPolicy;
 pub use retry_cache::{Admission, RetryCache};
 pub use server::Server;

@@ -497,6 +497,11 @@ pub struct EngineCounters {
     /// Calls refused admission because the server's call queue was full
     /// (answered with a retryable busy rejection, never executed).
     pub busy_rejections: u64,
+    /// Connections the Listener refused before setup — past
+    /// `max_connections` — answered with the retryable busy ack and
+    /// dropped (server side). Backlog pressure is not counted here: it
+    /// defers accepting rather than refusing.
+    pub accept_rejections: u64,
     /// Queued calls dropped because their propagated deadline budget
     /// expired before a handler picked them up; answered with
     /// `STATUS_EXPIRED`, never executed.
@@ -540,6 +545,14 @@ pub struct MetricsSnapshot {
     /// appears once it has been busy-rejected or shed at least once;
     /// well-behaved tenants stay off the list.
     pub tenants: Vec<TenantSnapshot>,
+    /// Connections currently alive (accepted and not yet torn down).
+    /// Filled by `Server::metrics_snapshot` from the live conn table;
+    /// `0` in registry-only snapshots (clients).
+    pub connections: usize,
+    /// Bytes buffered inside live connections' transports awaiting
+    /// `recv_msg` — the per-connection memory the server currently
+    /// holds for peers. Filled by `Server::metrics_snapshot`.
+    pub conn_buffered_bytes: usize,
 }
 
 /// Point-in-time admission counters for one tenant (handshake
@@ -703,6 +716,7 @@ struct MetricsInner {
     broken_sends: AtomicU64,
     late_responses: AtomicU64,
     busy_rejections: AtomicU64,
+    accept_rejections: AtomicU64,
     deadline_sheds: AtomicU64,
     retry_cache_hits: AtomicU64,
     retry_cache_parked: AtomicU64,
@@ -741,6 +755,7 @@ impl Default for MetricsInner {
             broken_sends: AtomicU64::new(0),
             late_responses: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
+            accept_rejections: AtomicU64::new(0),
             deadline_sheds: AtomicU64::new(0),
             retry_cache_hits: AtomicU64::new(0),
             retry_cache_parked: AtomicU64::new(0),
@@ -939,6 +954,10 @@ impl MetricsRegistry {
             pool,
             shards: self.shard_snapshot(),
             tenants: self.tenant_snapshot(),
+            // Conn-table figures are the server's to fill; a bare
+            // registry has no connection view.
+            connections: 0,
+            conn_buffered_bytes: 0,
         }
     }
 
@@ -981,6 +1000,12 @@ impl MetricsRegistry {
 
     pub fn inc_busy_rejections(&self) {
         self.inner.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection refused at the accept path (connection-level
+    /// backpressure, as opposed to the per-call `busy_rejections`).
+    pub fn inc_accept_rejections(&self) {
+        self.inner.accept_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one busy rejection, attributed to `tenant` (the handshake
@@ -1053,6 +1078,7 @@ impl MetricsRegistry {
             broken_sends: self.inner.broken_sends.load(Ordering::Relaxed),
             late_responses: self.inner.late_responses.load(Ordering::Relaxed),
             busy_rejections: self.inner.busy_rejections.load(Ordering::Relaxed),
+            accept_rejections: self.inner.accept_rejections.load(Ordering::Relaxed),
             deadline_sheds: self.inner.deadline_sheds.load(Ordering::Relaxed),
             retry_cache_hits: self.inner.retry_cache_hits.load(Ordering::Relaxed),
             retry_cache_parked: self.inner.retry_cache_parked.load(Ordering::Relaxed),
@@ -1081,6 +1107,7 @@ impl MetricsRegistry {
         self.inner.broken_sends.store(0, Ordering::Relaxed);
         self.inner.late_responses.store(0, Ordering::Relaxed);
         self.inner.busy_rejections.store(0, Ordering::Relaxed);
+        self.inner.accept_rejections.store(0, Ordering::Relaxed);
         self.inner.deadline_sheds.store(0, Ordering::Relaxed);
         self.inner.tenants.lock().clear();
         self.inner.retry_cache_hits.store(0, Ordering::Relaxed);

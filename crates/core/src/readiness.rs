@@ -1,0 +1,336 @@
+//! The reader shards' epoll-style readiness plane.
+//!
+//! Up to PR 7 a reader shard *swept* its connection list, calling
+//! [`crate::transport::Conn::poll_ready`] on every connection per
+//! iteration — 50k mostly-idle connections cost 50k probes per sweep.
+//! This module inverts the dependency, the way `epoll` inverts `select`:
+//! each connection owns a [`WakeState`] whose hook the transport fires
+//! when input becomes observable (bytes arrive, EOF hits, a verbs recv
+//! completes, a local close), and the shard blocks on its [`ReadyQueue`]
+//! of *woken* connections. Idle connections are never visited, so the
+//! shard's steady-state cost is proportional to traffic, not population.
+//!
+//! ## The wake-list contract
+//!
+//! * **Level-triggered truth, edge-triggered delivery.** A wake is only
+//!   a hint; the shard re-checks `poll_ready` after every pop, so
+//!   duplicate, coalesced, or spurious wakes are harmless. Conversely,
+//!   the shard re-arms (re-enqueues) any connection that still has input
+//!   after a bounded read burst, so a single edge can never strand
+//!   residual bytes — the exact level-trigger re-arm discipline of an
+//!   epoll loop reading less than the full buffer.
+//! * **No lost wakeups.** [`WakeState::wake`] enqueues unless the token
+//!   is already queued (one dedup flag flip per edge); the shard clears
+//!   the flag *before* it starts reading ([`WakeState::begin_poll`]), so
+//!   an edge racing the read re-enqueues instead of vanishing. At
+//!   registration the shard arms the hook first and then probes
+//!   `poll_ready` once, catching input that arrived pre-arm.
+//! * **Stale tokens are inert.** Tokens are generation-stamped
+//!   ([`token`]): slot index in the low half, the slot's reuse
+//!   generation in the high half. When a connection is torn down its
+//!   slot's generation is bumped, so a token queued by a dying
+//!   connection's last gasp (its own `close()` fires the hook) can never
+//!   index a recycled slot.
+//! * **Wakes are charge-free and non-blocking.** Hooks run on the
+//!   *producer's* thread (the peer's writer, `simnet`'s completion
+//!   delivery); they flip an atomic and push onto a mutex-guarded queue,
+//!   never touch the modeled-time ledger, and never call back into the
+//!   transport.
+//!
+//! Shutdown is event-shaped too: [`ReadyQueue::close`] wakes every
+//! blocked pop immediately, so `Server::drain` does not wait out a poll
+//! timeout.
+//!
+//! The types are public so the `connections` bench figure and the
+//! readiness/sweep equivalence tests drive the *real* structures rather
+//! than a model of them.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::metrics::ShardStats;
+
+/// Pseudo-token the accept path pushes after handing a new connection to
+/// a shard's registration channel: "wake up and adopt". Never counted in
+/// queue-depth stats and never generation-checked.
+pub const TOKEN_REGISTER: u64 = u64::MAX;
+
+/// Compose a wake token from a shard-local slot index and that slot's
+/// reuse generation.
+pub fn token(slot: usize, gen: u32) -> u64 {
+    (slot as u64) | (u64::from(gen) << 32)
+}
+
+/// The slot index half of a token.
+pub fn token_slot(tok: u64) -> usize {
+    (tok & 0xFFFF_FFFF) as usize
+}
+
+/// The generation half of a token.
+pub fn token_gen(tok: u64) -> u32 {
+    (tok >> 32) as u32
+}
+
+/// Result of one [`ReadyQueue::pop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pop {
+    /// A wake token (or [`TOKEN_REGISTER`]).
+    Token(u64),
+    /// Nothing arrived within the timeout; the caller re-checks its
+    /// shutdown flags and pops again.
+    TimedOut,
+    /// The queue is closed and empty: the shard should exit. Queued
+    /// tokens are always drained before this is reported.
+    Closed,
+}
+
+struct QueueState {
+    queue: VecDeque<u64>,
+    closed: bool,
+}
+
+/// One reader shard's wake list: an MPSC queue of conn tokens, pushed by
+/// transport hooks (any thread) and popped by the owning shard.
+pub struct ReadyQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    /// When attached (the server's per-shard stats), real tokens feed the
+    /// shard's queue-depth gauge and high-water mark.
+    stats: Option<Arc<ShardStats>>,
+}
+
+impl ReadyQueue {
+    pub fn new(stats: Option<Arc<ShardStats>>) -> ReadyQueue {
+        ReadyQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            stats,
+        }
+    }
+
+    /// Enqueue a token and wake one blocked pop. Non-blocking, no modeled
+    /// charge — safe to call from a peer's writer thread.
+    pub fn push(&self, tok: u64) {
+        {
+            let mut st = self.state.lock();
+            st.queue.push_back(tok);
+        }
+        if tok != TOKEN_REGISTER {
+            if let Some(stats) = &self.stats {
+                stats.enqueued();
+            }
+        }
+        self.cv.notify_one();
+    }
+
+    /// Block for the next token, up to `timeout`. Tokens still queued at
+    /// close time are drained before [`Pop::Closed`] is reported.
+    pub fn pop(&self, timeout: Duration) -> Pop {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(tok) = st.queue.pop_front() {
+                drop(st);
+                self.count_dequeue(tok);
+                return Pop::Token(tok);
+            }
+            if st.closed {
+                return Pop::Closed;
+            }
+            if self.cv.wait_for(&mut st, timeout).timed_out() {
+                // One last look: a push may have slipped in as the wait
+                // expired.
+                if let Some(tok) = st.queue.pop_front() {
+                    drop(st);
+                    self.count_dequeue(tok);
+                    return Pop::Token(tok);
+                }
+                return if st.closed {
+                    Pop::Closed
+                } else {
+                    Pop::TimedOut
+                };
+            }
+        }
+    }
+
+    /// Non-blocking pop (the virtual-time bench harness's scheduler).
+    pub fn try_pop(&self) -> Option<u64> {
+        let tok = self.state.lock().queue.pop_front();
+        if let Some(tok) = tok {
+            self.count_dequeue(tok);
+        }
+        tok
+    }
+
+    /// Close the queue: every blocked and future pop drains what is
+    /// queued and then reports [`Pop::Closed`]. This is how `drain` and
+    /// `stop` wake shards promptly instead of waiting out a timeout.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Tokens currently queued (register pseudo-tokens included).
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn count_dequeue(&self, tok: u64) {
+        if tok != TOKEN_REGISTER {
+            if let Some(stats) = &self.stats {
+                stats.dequeued();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ReadyQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        write!(
+            f,
+            "ReadyQueue(len={}, closed={})",
+            st.queue.len(),
+            st.closed
+        )
+    }
+}
+
+/// Per-connection wake bookkeeping: the connection's token plus the
+/// dedup flag that collapses edge storms into at most one queued token.
+pub struct WakeState {
+    tok: u64,
+    /// True while the token sits in the queue (or the shard is between
+    /// popping it and `begin_poll`). Edges arriving in that window are
+    /// represented by the already-queued token.
+    queued: AtomicBool,
+    queue: Arc<ReadyQueue>,
+}
+
+impl WakeState {
+    pub fn new(tok: u64, queue: Arc<ReadyQueue>) -> WakeState {
+        WakeState {
+            tok,
+            queued: AtomicBool::new(false),
+            queue,
+        }
+    }
+
+    /// The readiness edge: enqueue this connection's token unless it is
+    /// already queued. Called from transport hooks (any thread) and from
+    /// the shard's own level-trigger re-arm.
+    pub fn wake(&self) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            self.queue.push(self.tok);
+        }
+    }
+
+    /// Called by the shard after popping this token, *before* it starts
+    /// reading: clears the dedup flag so an edge that fires mid-read
+    /// re-enqueues (the epoll discipline — consume the event before
+    /// consuming the data).
+    pub fn begin_poll(&self) {
+        self.queued.store(false, Ordering::Release);
+    }
+
+    pub fn token(&self) -> u64 {
+        self.tok
+    }
+}
+
+impl std::fmt::Debug for WakeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WakeState(token={:#x}, queued={})",
+            self.tok,
+            self.queued.load(Ordering::Relaxed)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Instant;
+
+    #[test]
+    fn tokens_roundtrip_slot_and_generation() {
+        let t = token(12345, 7);
+        assert_eq!(token_slot(t), 12345);
+        assert_eq!(token_gen(t), 7);
+        assert_ne!(token(3, 0), token(3, 1), "generations distinguish reuse");
+    }
+
+    #[test]
+    fn wake_dedups_until_begin_poll() {
+        let q = Arc::new(ReadyQueue::new(None));
+        let ws = WakeState::new(token(4, 0), Arc::clone(&q));
+        ws.wake();
+        ws.wake();
+        ws.wake();
+        assert_eq!(q.len(), 1, "an edge storm queues one token");
+        assert_eq!(q.try_pop(), Some(token(4, 0)));
+        // Not re-armed yet: further wakes are still absorbed.
+        ws.wake();
+        assert_eq!(q.len(), 0);
+        ws.begin_poll();
+        ws.wake();
+        assert_eq!(q.try_pop(), Some(token(4, 0)), "re-armed wake queues");
+    }
+
+    #[test]
+    fn pop_blocks_until_push_and_close_wakes_promptly() {
+        let q = Arc::new(ReadyQueue::new(None));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop(Duration::from_secs(30)));
+        thread::sleep(Duration::from_millis(20));
+        q.push(9);
+        assert_eq!(h.join().unwrap(), Pop::Token(9));
+
+        // Close wakes a blocked pop without waiting out its timeout.
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            let start = Instant::now();
+            let r = q2.pop(Duration::from_secs(30));
+            (r, start.elapsed())
+        });
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        let (r, waited) = h.join().unwrap();
+        assert_eq!(r, Pop::Closed);
+        assert!(
+            waited < Duration::from_secs(5),
+            "close must not wait out the timeout"
+        );
+    }
+
+    #[test]
+    fn close_drains_queued_tokens_first() {
+        let q = ReadyQueue::new(None);
+        q.push(1);
+        q.push(2);
+        q.close();
+        assert_eq!(q.pop(Duration::from_millis(1)), Pop::Token(1));
+        assert_eq!(q.pop(Duration::from_millis(1)), Pop::Token(2));
+        assert_eq!(q.pop(Duration::from_millis(1)), Pop::Closed);
+    }
+
+    #[test]
+    fn timeout_reports_timed_out() {
+        let q = ReadyQueue::new(None);
+        assert_eq!(q.pop(Duration::from_millis(5)), Pop::TimedOut);
+    }
+}

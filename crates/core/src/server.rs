@@ -13,15 +13,25 @@
 //!   monotonically increasing connection id, and hands the stream to a
 //!   transient setup thread (handshake and, in RPCoIB mode, the blocking
 //!   end-point exchange) which registers the finished connection with
-//!   its reader shard;
+//!   its reader shard. The accept path is *bounded*: at most
+//!   `RpcConfig::accept_backlog` setups run concurrently (further
+//!   connects wait in the listener queue), and once
+//!   `RpcConfig::max_connections` connections are live (or being set
+//!   up), further connects are answered with a retryable busy rejection
+//!   instead of growing the conn table without limit;
 //! * **N reader shards** (`RpcConfig::reader_shards`; connections hashed
-//!   by `conn_id % N` at accept time), each running an event loop over
-//!   its assigned connections: poll readiness ([`Conn::poll_ready`]),
-//!   receive one frame from each ready connection per sweep, consult the
-//!   [`RetryCache`] for at-most-once admission, and push admitted calls
-//!   onto the bounded call queue — *without blocking*: an overflowing
-//!   queue answers with a retryable busy rejection instead of stalling
-//!   every other call on the shard;
+//!   by `conn_id % N` at accept time), each blocking on its
+//!   [`ReadyQueue`] of woken connections (see [`crate::readiness`] for
+//!   the wake-list contract): transports enqueue a generation-stamped
+//!   conn token when input becomes observable, the shard pops it,
+//!   re-checks [`Conn::poll_ready`], receives a bounded burst of frames,
+//!   and re-arms the token if input remains — so idle connections cost
+//!   nothing per scheduling round, which is what makes a 50k-connection
+//!   front door affordable (ROADMAP item 1). Each admitted frame
+//!   consults the [`RetryCache`] for at-most-once admission and is
+//!   pushed onto the bounded call queue — *without blocking*: an
+//!   overflowing queue answers with a retryable busy rejection instead
+//!   of stalling every other call on the shard;
 //! * a pool of **Handler** threads pops calls, dispatches into the
 //!   registered services, serializes the response once, and hands the
 //!   bytes (to the caller *and* any parked duplicate attempts) to the
@@ -69,6 +79,7 @@ use crate::intern::MethodKey;
 use crate::metrics::{
     MetricsRegistry, MetricsSnapshot, Phase, RecvProfile as MetricsRecv, ShardRole, ShardStats,
 };
+use crate::readiness::{token, token_gen, token_slot, Pop, ReadyQueue, WakeState, TOKEN_REGISTER};
 use crate::retry_cache::{Admission, CallKey, RetryCache};
 use crate::service::ServiceRegistry;
 use crate::transport::rdma::{IbContext, RdmaConn};
@@ -78,17 +89,17 @@ use crate::transport::Conn;
 /// How long blocking queue pops wait before re-checking for shutdown.
 const IDLE_SLICE: Duration = Duration::from_millis(100);
 
+/// Cadence of the reader's liveness sweep — the fallback probe pass that
+/// catches the one readiness transition no hook can deliver: a peer node
+/// dying without closing its connections. See [`reader_shard_loop`].
+const LIVENESS_SWEEP: Duration = Duration::from_secs(1);
+
 /// Bound on one `recv_msg` once a connection has signalled readiness. A
 /// ready socket connection returns instantly; on the verbs path the
 /// pending completion may be a flow-control credit rather than a
 /// message, in which case the credit is consumed and the shard waits at
 /// most this long for a message riding behind it.
 const READ_SLICE: Duration = Duration::from_millis(1);
-
-/// How long an idle reader shard parks on its registration channel
-/// before re-sweeping its connections for readiness. Small, because it
-/// bounds the added first-byte latency of every quiet connection.
-const SWEEP_IDLE: Duration = Duration::from_micros(200);
 
 /// Poll interval of [`Server::drain`]'s quiescence checks.
 const DRAIN_POLL: Duration = Duration::from_millis(2);
@@ -196,6 +207,17 @@ struct ServerInner {
     /// Registration channels into the reader shards, indexed by
     /// `conn_id % reader_shards`.
     reader_regs: Vec<Sender<ShardConn>>,
+    /// The reader shards' wake lists, indexed like `reader_regs`. The
+    /// accept path pushes [`TOKEN_REGISTER`] after a registration so a
+    /// blocked shard adopts promptly; `drain`/`stop` close them so
+    /// blocked pops exit without waiting out a timeout.
+    reader_ready: Vec<Arc<ReadyQueue>>,
+    /// Connection setups currently in flight (accepted, handshake or
+    /// verbs bootstrap unfinished). Together with the conn table this
+    /// bounds the accept path: at `accept_backlog` the Listener pauses
+    /// accepting until a setup finishes; past `max_connections` it
+    /// answers busy instead of spawning.
+    setups_inflight: AtomicUsize,
     /// Responder shards, indexed by `conn_id % responder_shards`.
     responders: Vec<RespShard>,
     /// Live connections, keyed by accept order. Entries are removed by
@@ -317,11 +339,15 @@ impl Server {
         let mut reader_regs = Vec::with_capacity(n_readers);
         let mut reader_rxs = Vec::with_capacity(n_readers);
         let mut reader_stats = Vec::with_capacity(n_readers);
+        let mut reader_ready = Vec::with_capacity(n_readers);
         for i in 0..n_readers {
             let (tx, rx) = unbounded();
             reader_regs.push(tx);
             reader_rxs.push(rx);
-            reader_stats.push(metrics.register_shard(ShardRole::Reader, i));
+            let stats = metrics.register_shard(ShardRole::Reader, i);
+            // The shard's wake list feeds its queue-depth gauge.
+            reader_ready.push(Arc::new(ReadyQueue::new(Some(Arc::clone(&stats)))));
+            reader_stats.push(stats);
         }
         let mut responders = Vec::with_capacity(n_responders);
         for i in 0..n_responders {
@@ -350,6 +376,8 @@ impl Server {
             admission,
             started: Instant::now(),
             reader_regs,
+            reader_ready,
+            setups_inflight: AtomicUsize::new(0),
             responders,
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
@@ -373,13 +401,14 @@ impl Server {
         // `drain` waits for them to observe the draining flag and exit).
         for (i, (reg_rx, stats)) in reader_rxs.into_iter().zip(reader_stats).enumerate() {
             inner.live_readers.fetch_add(1, Ordering::AcqRel);
+            let ready = Arc::clone(&inner.reader_ready[i]);
             let inner = Arc::clone(&inner);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("rpc-reader-{i}"))
                     .spawn(move || {
                         let _slot = CountGuard(&inner.live_readers);
-                        reader_shard_loop(&inner, reg_rx, &stats);
+                        reader_shard_loop(&inner, reg_rx, ready, &stats);
                     })
                     .expect("spawn reader shard"),
             );
@@ -428,9 +457,16 @@ impl Server {
     /// counters, and (in RPCoIB mode) the registered buffer pool's
     /// counters.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.inner
+        let mut snap = self
+            .inner
             .metrics
-            .full_snapshot(self.inner.ib.as_ref().map(|ib| ib.pool_counters()))
+            .full_snapshot(self.inner.ib.as_ref().map(|ib| ib.pool_counters()));
+        // Per-connection memory accounting, read live from the conn
+        // table (per-shard ready-queue depth already rides in `shards`).
+        let conns = self.inner.conns.lock();
+        snap.connections = conns.len();
+        snap.conn_buffered_bytes = conns.values().map(|c| c.buffered_bytes()).sum();
+        snap
     }
 
     /// Number of connections currently alive (accepted and not yet torn
@@ -461,6 +497,11 @@ impl Server {
             return true;
         }
         self.inner.draining.store(true, Ordering::Release);
+        // Wake every reader shard blocked on its ready queue *now*: the
+        // draining flag alone would only be observed after a pop timeout.
+        for ready in &self.inner.reader_ready {
+            ready.close();
+        }
         let deadline = Instant::now() + timeout;
 
         // Phase 1: the Listener exits — no new setup threads after this.
@@ -510,6 +551,10 @@ impl Server {
         // Wake handlers parked on the admission queue; anything still
         // queued stays poppable, but handlers exit on the stop flag.
         self.inner.admission.close();
+        // And the reader shards blocked on their wake lists.
+        for ready in &self.inner.reader_ready {
+            ready.close();
+        }
         {
             // Close *and drop* every connection. Releasing the `Arc`s here
             // (rather than when the `Server` value itself is dropped)
@@ -576,8 +621,32 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
                 *threads = live;
             }
         }
+        // Backlog backpressure: with `accept_backlog` setups already in
+        // flight, stop accepting until one finishes. Pending connects
+        // queue in the listener (bounded latency, like a TCP SYN queue),
+        // so a legitimate burst is absorbed rather than refused.
+        if inner.setups_inflight.load(Ordering::Acquire) >= inner.cfg.accept_backlog {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
         match listener.try_accept() {
             Ok(Some((stream, _peer))) => {
+                // Hard admission cap, *before* any resource is
+                // committed: past `max_connections` (live + in setup),
+                // answer with the 9-byte busy ack (version byte 0) and
+                // drop the stream. A modern client maps it to the
+                // retryable `ServerBusy`; a legacy peer just sees its
+                // connection die, which its reconnect logic already
+                // handles.
+                let setups = inner.setups_inflight.load(Ordering::Acquire);
+                let over_cap = inner.cfg.max_connections != 0
+                    && inner.conns.lock().len() + setups >= inner.cfg.max_connections;
+                if over_cap {
+                    inner.metrics.inc_accept_rejections();
+                    use std::io::Write;
+                    let _ = (&stream).write_all(&[0u8; 9]);
+                    continue;
+                }
                 inner.accepted.fetch_add(1, Ordering::Relaxed);
                 // The id decides the connection's reader and responder
                 // shards; assigned here, in accept order, so shard
@@ -585,8 +654,9 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
                 let conn_id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 // Counted before the spawn so `drain` can never observe
                 // "listener done, read side quiesced" while a setup is in
-                // flight.
+                // flight; same for the backpressure gauge.
                 inner.live_readers.fetch_add(1, Ordering::AcqRel);
+                inner.setups_inflight.fetch_add(1, Ordering::AcqRel);
                 let inner2 = Arc::clone(&inner);
                 // Connection setup (handshake, and in RPCoIB mode the
                 // blocking endpoint exchange) runs on its own transient
@@ -596,6 +666,7 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
                     .name("rpc-conn-setup".into())
                     .spawn(move || {
                         let _slot = CountGuard(&inner2.live_readers);
+                        let _setup = CountGuard(&inner2.setups_inflight);
                         // Identity/version handshake first, on the raw
                         // stream. A peer that opens with anything but the
                         // magic is a pre-handshake (V1) peer: the sniffed
@@ -641,11 +712,15 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
                                 client_id,
                                 dec: V3Decoder::new(!inner2.cfg.ib_enabled),
                             })
-                            .is_err()
+                            .is_ok()
                         {
-                            // Shard gone (server stopping): the table
-                            // entry is closed by `stop()`.
+                            // Nudge a shard blocked on its wake list to
+                            // adopt the registration now.
+                            inner2.reader_ready[shard].push(TOKEN_REGISTER);
                         }
+                        // On send error the shard is gone (server
+                        // stopping): the table entry is closed by
+                        // `stop()`.
                     })
                     .expect("spawn conn setup");
                 inner.setup_threads.lock().push(handle);
@@ -658,6 +733,7 @@ fn listener_loop(inner: Arc<ServerInner>, listener: SimListener) {
 }
 
 /// What one bounded receive attempt on a ready connection produced.
+#[derive(Clone, Copy, PartialEq, Eq)]
 enum ReadOutcome {
     /// A frame was consumed (admitted, replayed, or rejected busy).
     Frame,
@@ -672,75 +748,151 @@ enum ReadOutcome {
     Shutdown,
 }
 
-/// The event loop of one reader shard: adopt newly accepted connections,
-/// sweep the assigned set for readiness, and receive one frame per ready
-/// connection per sweep (round-robin fairness — one chatty peer cannot
-/// starve the rest of the shard).
-fn reader_shard_loop(inner: &Arc<ServerInner>, reg_rx: Receiver<ShardConn>, stats: &ShardStats) {
-    let mut conns: Vec<ShardConn> = Vec::new();
-    // Weighted-fair sweep budget (QoS mode only): frames read per tenant
-    // this sweep. A tenant over its weight is skipped until the next
-    // sweep, so a flooder's connections cannot monopolize the shard while
-    // light tenants' frames wait unread in their sockets.
+/// A reader shard's slot for one assigned connection: the connection
+/// itself plus its wake bookkeeping. Slots are recycled through a free
+/// list; the matching entry in the shard's `gens` vector counts reuses so
+/// stale wake tokens are detectable.
+struct ReaderSlot {
+    sc: ShardConn,
+    wake: Arc<WakeState>,
+}
+
+/// Adopt every connection waiting on the registration channel: assign a
+/// slot, arm the transport's readiness hook, and deliver the no-lost-wake
+/// guarantee (probe `poll_ready` once *after* arming, catching input that
+/// arrived before the hook existed).
+fn adopt_registrations(
+    reg_rx: &Receiver<ShardConn>,
+    ready: &Arc<ReadyQueue>,
+    slots: &mut Vec<Option<ReaderSlot>>,
+    gens: &mut Vec<u32>,
+    free: &mut Vec<usize>,
+    stats: &ShardStats,
+) {
+    while let Ok(sc) = reg_rx.try_recv() {
+        stats.conn_added();
+        let idx = match free.pop() {
+            Some(idx) => idx,
+            None => {
+                slots.push(None);
+                gens.push(0);
+                slots.len() - 1
+            }
+        };
+        let wake = Arc::new(WakeState::new(token(idx, gens[idx]), Arc::clone(ready)));
+        let hook_state = Arc::clone(&wake);
+        sc.conn.set_ready_hook(Arc::new(move || hook_state.wake()));
+        let slot = ReaderSlot { sc, wake };
+        if slot.sc.conn.poll_ready() {
+            slot.wake.wake();
+        }
+        slots[idx] = Some(slot);
+    }
+}
+
+/// The event loop of one reader shard: block on the shard's wake list,
+/// re-check readiness on every pop (wakes are hints — see
+/// [`crate::readiness`]), receive a bounded burst of frames, and re-arm
+/// connections that still have input. One chatty peer cannot starve the
+/// shard: its burst is bounded and its re-armed token goes to the *back*
+/// of the queue, giving round-robin service among ready connections while
+/// idle ones cost nothing at all.
+fn reader_shard_loop(
+    inner: &Arc<ServerInner>,
+    reg_rx: Receiver<ShardConn>,
+    ready: Arc<ReadyQueue>,
+    stats: &ShardStats,
+) {
+    let mut slots: Vec<Option<ReaderSlot>> = Vec::new();
+    let mut gens: Vec<u32> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    // Weighted-fair burst budget (QoS mode only): a heavy tenant's
+    // connection reads up to its weight per wake, a light tenant's at
+    // least one — then both requeue behind whoever else is ready.
     let fair = inner.admission.fair();
-    let mut sweep_read: HashMap<u64, u32> = HashMap::new();
-    'outer: while !inner.stop.load(Ordering::Acquire) && !inner.draining.load(Ordering::Acquire) {
-        while let Ok(sc) = reg_rx.try_recv() {
-            stats.conn_added();
-            conns.push(sc);
-        }
-        if fair {
-            sweep_read.clear();
-        }
-        let mut progress = false;
-        let mut i = 0;
-        while i < conns.len() {
-            if inner.stop.load(Ordering::Acquire) || inner.draining.load(Ordering::Acquire) {
-                break 'outer;
-            }
-            if fair {
-                let used = sweep_read.entry(conns[i].client_id).or_insert(0);
-                if *used >= inner.admission.weight(conns[i].client_id) {
-                    // Budget spent: the connection stays ready and is
-                    // served next sweep.
-                    i += 1;
-                    continue;
+    let mut last_sweep = Instant::now();
+    while !inner.stop.load(Ordering::Acquire) && !inner.draining.load(Ordering::Acquire) {
+        // Low-frequency liveness sweep: a peer that dies without closing
+        // its stream (node failure) makes its conns readable without any
+        // edge ever firing — the one readiness transition a wake hook
+        // cannot deliver. Walk the slab once a second and `wake()` any
+        // ready conn; the dedup flag makes this a no-op for conns whose
+        // token is already queued, so steady-state traffic never pays
+        // for it and a truly idle shard pays one charge-free probe per
+        // conn per sweep (versus every `IDLE_SLICE` under the old
+        // sweep-only reader).
+        if last_sweep.elapsed() >= LIVENESS_SWEEP {
+            last_sweep = Instant::now();
+            for slot in slots.iter().flatten() {
+                if slot.sc.conn.poll_ready() {
+                    slot.wake.wake();
                 }
-            }
-            if !conns[i].conn.poll_ready() {
-                i += 1;
-                continue;
-            }
-            let client_id = conns[i].client_id;
-            match read_one(inner, &mut conns[i], stats) {
-                ReadOutcome::Frame => {
-                    if fair {
-                        *sweep_read.entry(client_id).or_insert(0) += 1;
-                    }
-                    progress = true;
-                    i += 1;
-                }
-                ReadOutcome::Idle => i += 1,
-                ReadOutcome::Forfeit => {
-                    let sc = conns.swap_remove(i);
-                    sc.conn.close();
-                    inner.conns.lock().remove(&sc.conn_id);
-                    stats.conn_removed();
-                    progress = true;
-                }
-                ReadOutcome::Shutdown => break 'outer,
             }
         }
-        if !progress {
-            // Idle: park on the registration channel so the sleep doubles
-            // as the new-connection wake-up.
-            match reg_rx.recv_timeout(SWEEP_IDLE) {
-                Ok(sc) => {
-                    stats.conn_added();
-                    conns.push(sc);
+        // The timeout is only a belt-and-suspenders re-check of the stop
+        // flags; `drain`/`stop` close the queue, which wakes this pop
+        // immediately.
+        let tok = match ready.pop(IDLE_SLICE) {
+            Pop::Token(tok) => tok,
+            Pop::TimedOut => continue,
+            Pop::Closed => break,
+        };
+        if tok == TOKEN_REGISTER {
+            adopt_registrations(&reg_rx, &ready, &mut slots, &mut gens, &mut free, stats);
+            continue;
+        }
+        let idx = token_slot(tok);
+        if idx >= slots.len() || gens[idx] != token_gen(tok) || slots[idx].is_none() {
+            // Stale token: its connection was torn down (and possibly the
+            // slot recycled) after the token was queued. The generation
+            // stamp makes it inert.
+            continue;
+        }
+        let outcome = {
+            let slot = slots[idx].as_mut().expect("checked above");
+            // Clear the dedup flag *before* reading, so an edge firing
+            // mid-burst re-enqueues instead of being lost.
+            slot.wake.begin_poll();
+            let budget = if fair {
+                inner.admission.weight(slot.sc.client_id).max(1)
+            } else {
+                1
+            };
+            let mut outcome = ReadOutcome::Idle;
+            for _ in 0..budget {
+                if !slot.sc.conn.poll_ready() {
+                    break;
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+                outcome = read_one(inner, &mut slot.sc, stats);
+                match outcome {
+                    ReadOutcome::Frame => {}
+                    ReadOutcome::Idle | ReadOutcome::Forfeit | ReadOutcome::Shutdown => break,
+                }
+            }
+            outcome
+        };
+        match outcome {
+            ReadOutcome::Forfeit => {
+                let slot = slots[idx].take().expect("checked above");
+                slot.sc.conn.close();
+                inner.conns.lock().remove(&slot.sc.conn_id);
+                stats.conn_removed();
+                // Reap the wake token: bump the generation first, so the
+                // token the `close()` above just (re-)queued — and any
+                // other stale one — can never index this slot's next
+                // tenant.
+                gens[idx] = gens[idx].wrapping_add(1);
+                free.push(idx);
+            }
+            ReadOutcome::Shutdown => break,
+            ReadOutcome::Frame | ReadOutcome::Idle => {
+                // Level-trigger re-arm: if input remains (a burst larger
+                // than the budget, a stashed verbs frame, sticky EOF),
+                // requeue at the back of the wake list.
+                let slot = slots[idx].as_ref().expect("checked above");
+                if slot.sc.conn.poll_ready() {
+                    slot.wake.wake();
+                }
             }
         }
     }

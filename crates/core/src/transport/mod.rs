@@ -39,8 +39,12 @@ pub struct RecvProfile {
 /// `recv_msg` must be driven by a single receiving thread at a time —
 /// the client's Connection thread, or the server reader *shard* that the
 /// connection was hashed onto at accept time. A shard multiplexes many
-/// connections by polling `poll_ready` and only then calling `recv_msg`,
-/// so no connection's idle wait can block another's traffic.
+/// connections event-style: each conn's [`Conn::set_ready_hook`] enqueues
+/// a wake token when input becomes observable, the shard blocks on its
+/// ready queue, and `poll_ready` stays the level-triggered truth the
+/// shard re-checks on every wake (so a spurious or duplicate wake is
+/// harmless, and a conn with residual input is re-armed). Idle
+/// connections therefore cost nothing per scheduling round.
 pub trait Conn: Send + Sync {
     /// Serialize one message via `write` (which receives this transport's
     /// preferred `DataOutput`) and transmit it. `key` indexes the RPCoIB
@@ -101,6 +105,22 @@ pub trait Conn: Send + Sync {
     /// of a frame already in flight. Event-loop shards use this to skip
     /// idle connections.
     fn poll_ready(&self) -> bool;
+
+    /// Arm the readiness notification: `hook` fires (possibly on the
+    /// peer's writer thread — it must be cheap, non-blocking, and must
+    /// not call back into this connection) whenever new input becomes
+    /// observable — bytes arrive, EOF hits, a verbs recv completes, or
+    /// [`Conn::close`] is called locally. Edges may coalesce and
+    /// duplicate; consumers re-check [`Conn::poll_ready`] on every fire.
+    /// The default is a no-op, which degrades consumers to polling.
+    fn set_ready_hook(&self, _hook: std::sync::Arc<dyn Fn() + Send + Sync>) {}
+
+    /// Bytes buffered inside the transport awaiting `recv_msg` (received
+    /// but unconsumed input). Feeds the server's per-connection memory
+    /// accounting; `0` when the transport doesn't track it.
+    fn buffered_bytes(&self) -> usize {
+        0
+    }
 
     /// Tear down the connection; pending and future operations fail.
     fn close(&self);

@@ -221,6 +221,9 @@ pub struct RdmaConn {
     /// When attached, every send feeds the per-`<protocol, method>`
     /// serialize/wire phase histograms.
     metrics: Option<MetricsRegistry>,
+    /// Copy of the armed readiness hook, so a local `close()` can deliver
+    /// its own wake (the QP only fires for peer-side completions).
+    ready_hook: Mutex<Option<std::sync::Arc<dyn Fn() + Send + Sync>>>,
 }
 
 impl RdmaConn {
@@ -268,6 +271,7 @@ impl RdmaConn {
             closed: AtomicBool::new(false),
             peer_desc: format!("rdma:{}", peer_ep.node),
             metrics: None,
+            ready_hook: Mutex::new(None),
         };
         // Pre-post the receive ring before the peer can possibly send.
         for _ in 0..cfg.posted_recvs {
@@ -580,8 +584,26 @@ impl Conn for RdmaConn {
             || self.qp.recv_pending()
     }
 
+    fn set_ready_hook(&self, hook: std::sync::Arc<dyn Fn() + Send + Sync>) {
+        *self.ready_hook.lock() = Some(hook.clone());
+        self.qp.set_recv_interest(hook);
+    }
+
+    fn buffered_bytes(&self) -> usize {
+        // Frames unpacked from a merged IMM_BATCH completion awaiting
+        // recv_msg; completions still in the QP's inbox are NIC-side and
+        // not yet host memory.
+        self.stash.lock().iter().map(Vec::len).sum()
+    }
+
     fn close(&self) {
         self.closed.store(true, Ordering::Release);
+        // Local close is a readiness edge: `poll_ready` is now permanently
+        // true, but no completion will arrive to announce it.
+        let hook = self.ready_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 
     fn peer(&self) -> String {

@@ -69,6 +69,9 @@ pub struct SocketConn {
     /// When attached, every send feeds the per-`<protocol, method>`
     /// serialize/wire phase histograms.
     metrics: Option<MetricsRegistry>,
+    /// Copy of the armed readiness hook, so a local `close()` can deliver
+    /// its own wake (the stream only fires for peer-side edges).
+    ready_hook: Mutex<Option<std::sync::Arc<dyn Fn() + Send + Sync>>>,
 }
 
 /// A serializer callback writing one frame part into the transport's
@@ -173,6 +176,7 @@ impl SocketConn {
             init_buf,
             batch: true,
             metrics: None,
+            ready_hook: Mutex::new(None),
         }
     }
 
@@ -539,6 +543,15 @@ impl Conn for SocketConn {
         self.closed.load(Ordering::Acquire) || self.stream.readable()
     }
 
+    fn set_ready_hook(&self, hook: std::sync::Arc<dyn Fn() + Send + Sync>) {
+        *self.ready_hook.lock() = Some(hook.clone());
+        self.stream.set_read_interest(hook);
+    }
+
+    fn buffered_bytes(&self) -> usize {
+        self.stream.buffered_bytes()
+    }
+
     fn close(&self) {
         self.closed.store(true, Ordering::Release);
         self.stream.shutdown_write();
@@ -550,6 +563,12 @@ impl Conn for SocketConn {
         }
         st.queue.clear();
         self.wq_cv.notify_all();
+        // A local close is a readiness edge too (`poll_ready` is now
+        // permanently true); the stream won't fire for it, so do it here.
+        let hook = self.ready_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 
     fn peer(&self) -> String {

@@ -11,8 +11,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rpcoib::{Client, RetryPolicy, RpcConfig, RpcError, RpcService, Server, ServiceRegistry};
-use simnet::{model, Fabric, FaultSpec, NodeId};
+use rpcoib::handshake::client_hello;
+use rpcoib::transport::rdma::RdmaConn;
+use rpcoib::{
+    Client, IbContext, RetryPolicy, RpcConfig, RpcError, RpcService, Server, ServiceRegistry,
+};
+use simnet::{model, Fabric, FaultSpec, NodeId, SimStream};
 use wire::{BytesWritable, DataInput, LongWritable, Text, Writable};
 
 /// Fabric + matching config for the transport selected by
@@ -1377,5 +1381,210 @@ fn cross_shard_ordering_and_at_most_once() {
 
     client_a.shutdown();
     client_b.shutdown();
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Connection-scale resilience: accept backpressure, churn soak, drain/restart.
+// These drive the accept path below the `Client` layer so they can park raw
+// connections, observe the busy ack directly, and count reader-side residue.
+// ---------------------------------------------------------------------------
+
+/// A raw parked connection held open against a server: a handshaken
+/// stream (socket) or a handshaken stream plus its bootstrapped verbs
+/// conn. Dropping it releases the client end. On the socket transport
+/// the server sees EOF immediately; on verbs there is no in-band
+/// teardown, so churn tests pair this with `Fabric::kill_node` and the
+/// reader's liveness sweep.
+struct ParkedConn {
+    _stream: SimStream,
+    _conn: Option<RdmaConn>,
+}
+
+fn park_conn(
+    fabric: &Fabric,
+    node: NodeId,
+    addr: simnet::SimAddr,
+    cfg: &RpcConfig,
+    ctx: Option<&IbContext>,
+) -> Result<ParkedConn, RpcError> {
+    let stream = SimStream::connect(fabric, node, addr).map_err(|e| RpcError::Io(e.to_string()))?;
+    client_hello(&stream, 0, 3)?;
+    let conn = match ctx {
+        Some(ctx) => Some(RdmaConn::bootstrap(&stream, ctx, cfg)?),
+        None => None,
+    };
+    Ok(ParkedConn {
+        _stream: stream,
+        _conn: conn,
+    })
+}
+
+fn wait_connection_count(server: &Server, want: usize, limit: Duration, what: &str) {
+    let deadline = Instant::now() + limit;
+    while server.connection_count() != want {
+        assert!(
+            Instant::now() < deadline,
+            "{what}: connection count stuck at {} (want {want})",
+            server.connection_count()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A connect storm past `max_connections` is answered with the
+/// retryable busy ack at the accept path — before any handshake work or
+/// conn registration — and the rejections are counted. Once the parked
+/// population goes away the freed capacity serves new peers again.
+#[test]
+fn accept_storm_past_max_connections_is_rejected_retryably() {
+    let _wd = watchdog("accept_storm", Duration::from_secs(120));
+    let (fabric, mut cfg) = env_transport();
+    cfg.max_connections = 8;
+    cfg.accept_backlog = 4;
+    let server_node = fabric.add_node();
+    let idle_node = fabric.add_node();
+    let server = start_server(&fabric, server_node, &cfg);
+    let ctx = cfg
+        .ib_enabled
+        .then(|| IbContext::new(&fabric, idle_node, &cfg).unwrap());
+
+    // Fill every admission slot with parked conns.
+    let parked: Vec<ParkedConn> = (0..8)
+        .map(|_| park_conn(&fabric, idle_node, server.addr(), &cfg, ctx.as_ref()).unwrap())
+        .collect();
+    wait_connection_count(&server, 8, Duration::from_secs(30), "fill");
+
+    // The storm: every further connect must get the busy ack, and it
+    // must be marked retryable (the peer did no work on our behalf).
+    for i in 0..5 {
+        match park_conn(&fabric, idle_node, server.addr(), &cfg, ctx.as_ref()) {
+            Err(e @ RpcError::ServerBusy) => {
+                assert!(e.is_retryable(), "busy ack must be retryable")
+            }
+            Err(other) => panic!("storm conn {i}: expected ServerBusy, got {other:?}"),
+            Ok(_) => panic!("storm conn {i} was admitted past max_connections"),
+        }
+    }
+    let rejected = server.metrics_snapshot().counters.accept_rejections;
+    assert!(rejected >= 5, "accept_rejections = {rejected}, want >= 5");
+    assert_eq!(
+        server.connection_count(),
+        8,
+        "rejected conns must not register"
+    );
+    assert_eq!(server.lifetime_connection_count(), 8);
+
+    // Release the population. Socket conns EOF on drop; verbs conns are
+    // only observable as dead via the fabric, through the liveness sweep.
+    drop(parked);
+    if cfg.ib_enabled {
+        fabric.kill_node(idle_node);
+    }
+    wait_connection_count(&server, 0, Duration::from_secs(30), "release");
+
+    // Freed capacity admits a real client.
+    let client = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+    assert_eq!(ping(&client, &server).unwrap().0, vec![1, 2, 3]);
+    client.shutdown();
+    server.stop();
+}
+
+/// Seeded connection-churn soak: thousands of conns each run the full
+/// accept path and then go away (EOF on socket, node death on verbs).
+/// The conn table, the reader slot tables, and the ready queues must
+/// all return to empty — no leaked entry, stale token, or gauge residue
+/// — and the server must still serve fresh traffic afterwards.
+#[test]
+fn connection_churn_soak_leaks_nothing() {
+    let _wd = watchdog("churn_soak", Duration::from_secs(300));
+    let (fabric, mut cfg) = env_transport();
+    if cfg.ib_enabled {
+        // Shrink per-conn buffer footprints so thousands of bootstraps
+        // stay cheap (same shape as the shards figure).
+        cfg.rdma_threshold = 2 * 1024;
+        cfg.recv_buf_bytes = 4 * 1024;
+        cfg.posted_recvs = 2;
+        cfg.large_region_bytes = 16 * 1024;
+        cfg.prefill_per_class = 1;
+    }
+    let server_node = fabric.add_node();
+    let server = start_server(&fabric, server_node, &cfg);
+
+    // Verbs conns can only be reaped via node death, so each batch gets
+    // its own client node that dies when the batch is done.
+    let (total, batch) = if cfg.ib_enabled {
+        (2_000, 100)
+    } else {
+        (5_000, 250)
+    };
+    for _ in 0..total / batch {
+        let node = fabric.add_node();
+        let ctx = cfg
+            .ib_enabled
+            .then(|| IbContext::new(&fabric, node, &cfg).unwrap());
+        let conns: Vec<ParkedConn> = (0..batch)
+            .map(|_| park_conn(&fabric, node, server.addr(), &cfg, ctx.as_ref()).unwrap())
+            .collect();
+        drop(conns);
+        if cfg.ib_enabled {
+            fabric.kill_node(node);
+        }
+    }
+    assert_eq!(server.lifetime_connection_count(), total as u64);
+    wait_connection_count(&server, 0, Duration::from_secs(60), "soak reap");
+
+    // No residue: every reader slot freed, every ready-queue token
+    // consumed, no buffered bytes pinned.
+    let snap = server.metrics_snapshot();
+    for shard in snap.shards.iter().filter(|s| s.role.name() == "reader") {
+        assert_eq!(shard.connections, 0, "reader slot leaked: {shard:?}");
+        assert_eq!(shard.queue_depth, 0, "ready-queue token leaked: {shard:?}");
+    }
+    assert_eq!(
+        snap.conn_buffered_bytes, 0,
+        "buffered bytes pinned after churn"
+    );
+
+    let client = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+    assert_eq!(ping(&client, &server).unwrap().0, vec![1, 2, 3]);
+    client.shutdown();
+    server.stop();
+}
+
+/// Draining an *idle* server completes promptly — the readers are woken
+/// out of their blocked pops rather than waiting out idle-slice
+/// timeouts — and a successor bound to the same address serves both
+/// fresh clients and survivors reconnecting over their stale conns.
+#[test]
+fn idle_drain_is_prompt_and_restart_serves_reconnects() {
+    let _wd = watchdog("idle_drain_restart", Duration::from_secs(60));
+    let (fabric, cfg) = env_transport();
+    let server_node = fabric.add_node();
+    let server = start_server(&fabric, server_node, &cfg);
+    let client = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+    assert_eq!(ping(&client, &server).unwrap().0, vec![1, 2, 3]);
+
+    let t0 = Instant::now();
+    assert!(
+        server.drain(Duration::from_secs(5)),
+        "idle drain must succeed"
+    );
+    server.stop();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "drain+stop of an idle server took {elapsed:?} — blocked pops were not woken"
+    );
+
+    let server = start_server(&fabric, server_node, &cfg);
+    let fresh = Client::new(&fabric, fabric.add_node(), cfg.clone()).unwrap();
+    assert_eq!(ping(&fresh, &server).unwrap().0, vec![1, 2, 3]);
+    // The survivor's cached conn died with the old server; the default
+    // policy reconnects it transparently.
+    assert_eq!(ping(&client, &server).unwrap().0, vec![1, 2, 3]);
+    assert!(client.metrics().counters().reconnects >= 1);
+    client.shutdown();
+    fresh.shutdown();
     server.stop();
 }

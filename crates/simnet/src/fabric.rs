@@ -18,7 +18,60 @@ use parking_lot::{Mutex, RwLock};
 use crate::faults::{next_unit, FaultSpec};
 use crate::model::NetworkModel;
 use crate::stream::PendingConn;
-use crate::verbs::{MrInner, QpMessage};
+use crate::verbs::{MrInner, QpSlot};
+
+/// An epoll-style readiness hook, shared between the producer and the
+/// consumer of one delivery channel (a stream direction, a queue pair's
+/// completion inbox). The consumer registers interest with [`WakeSlot::set`];
+/// the producer calls [`WakeSlot::fire`] after making new input observable
+/// (bytes sent, EOF, a completion posted). Firing is **charge-free**: it
+/// never touches the modeled-time ledger, so readiness notification costs
+/// nothing in simulated time — exactly the property that makes an idle
+/// connection free for an event-driven receiver.
+///
+/// The hook runs on the producer's thread, outside the slot's own lock, so
+/// it must be cheap and must not call back into the transport (the intended
+/// use is "push a token onto a ready queue and notify").
+/// The registered readiness callback: cheap, `Send + Sync`, shared with
+/// every producer that can make the endpoint readable.
+type WakeHook = Arc<dyn Fn() + Send + Sync>;
+
+#[derive(Clone, Default)]
+pub struct WakeSlot {
+    hook: Arc<Mutex<Option<WakeHook>>>,
+}
+
+impl WakeSlot {
+    pub fn new() -> Self {
+        WakeSlot::default()
+    }
+
+    /// Register (or replace) the readiness hook.
+    pub fn set(&self, hook: Arc<dyn Fn() + Send + Sync>) {
+        *self.hook.lock() = Some(hook);
+    }
+
+    /// Drop the registered hook, if any.
+    pub fn clear(&self) {
+        self.hook.lock().take();
+    }
+
+    /// Invoke the registered hook, if any. The hook `Arc` is cloned out of
+    /// the lock and called outside it, so a hook may itself call
+    /// [`WakeSlot::set`]/[`WakeSlot::clear`] without deadlocking.
+    pub fn fire(&self) {
+        let hook = self.hook.lock().clone();
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
+}
+
+impl std::fmt::Debug for WakeSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WakeSlot(set={})", self.hook.lock().is_some())
+    }
+}
 
 /// Identifier of a simulated cluster node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -126,7 +179,9 @@ pub(crate) struct FabricInner {
     /// State of the deterministic fault RNG (drop coins, jitter samples).
     pub(crate) fault_rng: Mutex<u64>,
     pub(crate) listeners: Mutex<HashMap<SimAddr, Sender<PendingConn>>>,
-    pub(crate) qps: Mutex<HashMap<u64, Sender<QpMessage>>>,
+    /// Each queue pair's completion inbox plus the wake slot its receiver
+    /// may have armed; senders fire the slot after posting a completion.
+    pub(crate) qps: Mutex<HashMap<u64, QpSlot>>,
     pub(crate) mrs: Mutex<HashMap<u64, Weak<MrInner>>>,
     next_node: AtomicU32,
     pub(crate) next_id: AtomicU64,

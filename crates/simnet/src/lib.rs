@@ -67,7 +67,7 @@ pub mod time;
 pub mod topology;
 pub mod verbs;
 
-pub use fabric::{Fabric, FabricStats, NodeId, SimAddr};
+pub use fabric::{Fabric, FabricStats, NodeId, SimAddr, WakeSlot};
 pub use faults::FaultSpec;
 pub use hw::{hw_scope, in_hw_scope};
 pub use model::NetworkModel;

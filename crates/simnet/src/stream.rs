@@ -26,7 +26,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
-use crate::fabric::{Fabric, NodeId, SimAddr};
+use crate::fabric::{Fabric, NodeId, SimAddr, WakeSlot};
 use crate::time::spin_until;
 
 /// How often blocked reads/accepts re-check for node failure.
@@ -48,11 +48,17 @@ pub(crate) struct Segment {
     data: Bytes,
 }
 
-/// A connection handed to a listener by a connecting peer.
+/// A connection handed to a listener by a connecting peer. Each direction
+/// carries a [`WakeSlot`]: `read_wake` is the accepted stream's own
+/// readiness slot (fired by the connector's writes and EOF), `peer_wake`
+/// is the connector's slot (fired by the accepted stream's writes and
+/// EOF).
 pub(crate) struct PendingConn {
     peer_addr: SimAddr,
     to_peer: Sender<Segment>,
     from_peer: Receiver<Segment>,
+    read_wake: WakeSlot,
+    peer_wake: WakeSlot,
 }
 
 struct RxState {
@@ -76,6 +82,20 @@ struct StreamInner {
     tx: Mutex<Option<Sender<Segment>>>,
     rx: Mutex<RxState>,
     read_timeout: Mutex<Option<Duration>>,
+    /// This end's readiness slot, armed via [`SimStream::set_read_interest`]
+    /// and fired by the peer's writes and EOF.
+    read_wake: WakeSlot,
+    /// The peer's readiness slot; fired after every local write, on
+    /// [`SimStream::shutdown_write`], and when this end drops (EOF).
+    peer_wake: WakeSlot,
+}
+
+impl Drop for StreamInner {
+    fn drop(&mut self) {
+        // Dropping this end drops its `Sender`, which the peer observes as
+        // EOF — deliver the readiness edge for it.
+        self.peer_wake.fire();
+    }
 }
 
 /// A simulated full-duplex byte stream.
@@ -134,11 +154,16 @@ impl SimStream {
         let local = SimAddr::new(local_node, ephemeral_port(fabric));
         let (c2s_tx, c2s_rx) = unbounded();
         let (s2c_tx, s2c_rx) = unbounded();
+        // One wake slot per direction, shared with the accepted end.
+        let connector_wake = WakeSlot::new();
+        let acceptor_wake = WakeSlot::new();
         accept_tx
             .send(PendingConn {
                 peer_addr: local,
                 to_peer: s2c_tx,
                 from_peer: c2s_rx,
+                read_wake: acceptor_wake.clone(),
+                peer_wake: connector_wake.clone(),
             })
             .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "listener closed"))?;
 
@@ -155,6 +180,8 @@ impl SimStream {
                     eof: false,
                 }),
                 read_timeout: Mutex::new(None),
+                read_wake: connector_wake,
+                peer_wake: acceptor_wake,
             }),
         })
     }
@@ -177,6 +204,28 @@ impl SimStream {
     /// Close the write half; the peer will observe EOF after draining.
     pub fn shutdown_write(&self) {
         self.inner.tx.lock().take();
+        // EOF is a readiness edge: a blocked event-driven peer must learn
+        // its next read would return `Ok(0)`.
+        self.inner.peer_wake.fire();
+    }
+
+    /// Arm this stream's readiness hook: it fires (charge-free, on the
+    /// writer's thread) whenever the peer makes new input observable —
+    /// bytes written or EOF (write-half shutdown or stream drop). The
+    /// level-triggered [`SimStream::readable`] stays authoritative; the
+    /// hook is the edge notification that makes polling it unnecessary.
+    pub fn set_read_interest(&self, hook: Arc<dyn Fn() + Send + Sync>) {
+        self.inner.read_wake.set(hook);
+    }
+
+    /// Bytes received from the wire and buffered for reading (delivered
+    /// segments not yet consumed, including one staged by
+    /// [`SimStream::readable`]). The per-connection memory-accounting
+    /// figure the server's metrics snapshot reports.
+    pub fn buffered_bytes(&self) -> usize {
+        let rx = self.inner.rx.lock();
+        rx.leftover.iter().map(Bytes::len).sum::<usize>()
+            + rx.peeked.as_ref().map_or(0, |seg| seg.data.len())
     }
 
     /// Whether a read would make progress right now without blocking:
@@ -319,6 +368,10 @@ impl SimStream {
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
             sent += chunk_len;
         }
+        // Readiness edge for an event-driven peer. Fired once per message
+        // (not per segment), after every segment is on the channel, and
+        // charge-free — notification is bookkeeping, not wire traffic.
+        inner.peer_wake.fire();
         let stats = fabric.stats();
         stats.messages.fetch_add(1, Ordering::Relaxed);
         stats.bytes.fetch_add(total as u64, Ordering::Relaxed);
@@ -547,6 +600,8 @@ impl SimListener {
                                 eof: false,
                             }),
                             read_timeout: Mutex::new(None),
+                            read_wake: pending.read_wake,
+                            peer_wake: pending.peer_wake,
                         }),
                     };
                     return Ok((stream, peer));
@@ -584,6 +639,8 @@ impl SimListener {
                             eof: false,
                         }),
                         read_timeout: Mutex::new(None),
+                        read_wake: pending.read_wake,
+                        peer_wake: pending.peer_wake,
                     }),
                 };
                 Ok(Some((stream, peer)))
@@ -863,6 +920,51 @@ mod tests {
         let (msgs2, bytes2, _, _) = f2.stats().snapshot();
         assert_eq!(msgs1, msgs2, "one message either way");
         assert_eq!(bytes1, bytes2);
+    }
+
+    #[test]
+    fn read_interest_fires_on_data_eof_and_drop() {
+        use std::sync::atomic::AtomicUsize;
+
+        let (f, cli, srv) = pair(IPOIB_QDR);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f2 = fired.clone();
+        srv.set_read_interest(Arc::new(move || {
+            f2.fetch_add(1, Ordering::SeqCst);
+        }));
+
+        // Data edge: one fire per message, regardless of segment count,
+        // and the notification itself charges no modeled time.
+        let before = f.modeled_ns(srv.local_addr().node);
+        cli.write_impl(&[0u8; 40_000]).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "one wake per message");
+        assert_eq!(
+            f.modeled_ns(srv.local_addr().node),
+            before,
+            "wake delivery is charge-free"
+        );
+        assert!(srv.readable());
+
+        // EOF edges: shutdown_write fires, and dropping the peer (which
+        // closes the channel) fires again. Double EOF fires are harmless —
+        // the reader re-checks `readable()` on every wake.
+        cli.shutdown_write();
+        assert_eq!(fired.load(Ordering::SeqCst), 2, "shutdown fires wake");
+        drop(cli);
+        assert_eq!(fired.load(Ordering::SeqCst), 3, "drop fires wake");
+
+        // Connector side is symmetric: the accepted stream's writes wake it.
+        let (_, cli2, srv2) = pair(IPOIB_QDR);
+        let fired2 = Arc::new(AtomicUsize::new(0));
+        let f3 = fired2.clone();
+        cli2.set_read_interest(Arc::new(move || {
+            f3.fetch_add(1, Ordering::SeqCst);
+        }));
+        srv2.write_impl(b"hi").unwrap();
+        assert_eq!(fired2.load(Ordering::SeqCst), 1);
+        assert_eq!(cli2.buffered_bytes(), 0, "nothing consumed or peeked yet");
+        assert!(cli2.readable());
+        assert_eq!(cli2.buffered_bytes(), 2, "peeked segment is accounted");
     }
 
     #[test]

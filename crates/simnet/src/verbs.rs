@@ -27,9 +27,19 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
-use crate::fabric::{Fabric, NodeId};
+use crate::fabric::{Fabric, NodeId, WakeSlot};
 use crate::time::{spin_ns, spin_until};
 use crate::VerbsError;
+
+/// A queue pair's fabric-side entry: its completion inbox plus the wake
+/// slot its owner may arm with [`QueuePair::set_recv_interest`]. Senders
+/// fire the slot right after posting a completion, so an event-driven
+/// receiver learns of pending work without polling [`QueuePair::recv_pending`].
+#[derive(Clone)]
+pub(crate) struct QpSlot {
+    pub(crate) tx: Sender<QpMessage>,
+    pub(crate) wake: WakeSlot,
+}
 
 /// How often blocked polls re-check for node failure.
 const FAILURE_POLL: Duration = Duration::from_millis(10);
@@ -92,12 +102,20 @@ impl RdmaDevice {
     pub fn create_qp(&self) -> QueuePair {
         let id = self.fabric.fresh_id();
         let (tx, rx) = unbounded();
-        self.fabric.inner.qps.lock().insert(id, tx);
+        let wake = WakeSlot::new();
+        self.fabric.inner.qps.lock().insert(
+            id,
+            QpSlot {
+                tx,
+                wake: wake.clone(),
+            },
+        );
         QueuePair {
             fabric: self.fabric.clone(),
             node: self.node,
             id,
             inbox: rx,
+            recv_wake: wake,
             remote: Mutex::new(None),
             recv_queue: Mutex::new(VecDeque::new()),
         }
@@ -290,6 +308,9 @@ pub struct QueuePair {
     node: NodeId,
     id: u64,
     inbox: Receiver<QpMessage>,
+    /// This QP's own wake slot (the same one registered in the fabric's
+    /// `qps` map); armed by [`QueuePair::set_recv_interest`].
+    recv_wake: WakeSlot,
     remote: Mutex<Option<QpEndpoint>>,
     recv_queue: Mutex<VecDeque<(u64, MemoryRegion)>>,
 }
@@ -324,7 +345,15 @@ impl QueuePair {
         self.recv_queue.lock().len()
     }
 
-    fn peer_inbox(&self, remote: QpEndpoint) -> Result<Sender<QpMessage>, VerbsError> {
+    /// Arm this queue pair's readiness hook: it fires (charge-free, on the
+    /// sender's thread) each time a peer posts a completion into this QP's
+    /// inbox — the event-driven alternative to polling
+    /// [`QueuePair::recv_pending`].
+    pub fn set_recv_interest(&self, hook: Arc<dyn Fn() + Send + Sync>) {
+        self.recv_wake.set(hook);
+    }
+
+    fn peer_inbox(&self, remote: QpEndpoint) -> Result<QpSlot, VerbsError> {
         if self.fabric.is_dead(remote.node) || self.fabric.is_partitioned(self.node, remote.node) {
             return Err(VerbsError::PeerDown);
         }
@@ -388,6 +417,7 @@ impl QueuePair {
             return Ok(());
         }
         inbox
+            .tx
             .send(QpMessage::Send {
                 arrive_start,
                 wire,
@@ -395,6 +425,10 @@ impl QueuePair {
                 imm,
             })
             .map_err(|_| VerbsError::PeerDown)?;
+        // Completion posted: wake the receiver if it armed a hook. An
+        // injected drop returned above without sending, so — like the
+        // polling model — a lost message produces no readiness signal.
+        inbox.wake.fire();
         let stats = self.fabric.stats();
         stats.messages.fetch_add(1, Ordering::Relaxed);
         stats.bytes.fetch_add(len as u64, Ordering::Relaxed);
@@ -459,6 +493,7 @@ impl QueuePair {
         if let Some(imm) = imm {
             let inbox = self.peer_inbox(remote)?;
             inbox
+                .tx
                 .send(QpMessage::WriteImm {
                     arrive_start,
                     wire,
@@ -466,6 +501,7 @@ impl QueuePair {
                     imm,
                 })
                 .map_err(|_| VerbsError::PeerDown)?;
+            inbox.wake.fire();
         }
         Ok(())
     }
@@ -474,11 +510,23 @@ impl QueuePair {
     /// channel right now — a `poll_recv` would return without blocking.
     /// Nothing is consumed or charged; this is the readiness primitive
     /// event-loop receivers poll across many queue pairs. Also reports
-    /// ready when the local node is dead or the fabric evicted the inbox,
-    /// so a poller observes the `PeerDown` promptly instead of skipping
-    /// the queue pair forever.
+    /// ready when either endpoint's node is dead — a connected peer that
+    /// died can never send again, so a poller must observe the
+    /// `PeerDown` instead of skipping the queue pair forever. (Real
+    /// verbs surfaces this as an async QP error event; the wake-slot
+    /// model has no out-of-band event channel, so death is exposed as
+    /// readiness and discovered by the receiver's liveness probe.)
     pub fn recv_pending(&self) -> bool {
-        !self.inbox.is_empty() || self.fabric.is_dead(self.node)
+        !self.inbox.is_empty() || self.fabric.is_dead(self.node) || self.remote_dead()
+    }
+
+    /// A connected remote endpoint whose node has been marked failed.
+    /// Not-yet-connected queue pairs have no peer to be dead.
+    fn remote_dead(&self) -> bool {
+        match *self.remote.lock() {
+            Some(ep) => self.fabric.is_dead(ep.node),
+            None => false,
+        }
     }
 
     /// Block until a receive completion is available (or `timeout` passes).
@@ -490,6 +538,11 @@ impl QueuePair {
         let deadline = Instant::now() + timeout;
         let msg = loop {
             if self.fabric.is_dead(self.node) {
+                return Err(VerbsError::PeerDown);
+            }
+            // Completions already delivered before the peer died are
+            // still consumable; only an empty channel surfaces the death.
+            if self.inbox.is_empty() && self.remote_dead() {
                 return Err(VerbsError::PeerDown);
             }
             let now = Instant::now();
