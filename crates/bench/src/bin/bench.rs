@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! bench [--quick|--full] [--seed N] [--out DIR] [--fast]
-//!       [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|connections|all]
+//!       [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|connections|bulk|all]
 //!       [--check BASELINE.json] [--tolerance PCT]
 //! ```
 //!
@@ -70,7 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--quick|--full] [--seed N] [--out DIR] [--fast] \
-                     [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|connections|all] \
+                     [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|connections|bulk|all] \
                      [--check BASELINE.json] [--tolerance PCT]"
                 );
                 std::process::exit(0);
@@ -132,6 +132,7 @@ fn main() -> ExitCode {
         "batching" => vec![("batching", figures::run_batching)],
         "qos" => vec![("qos", figures::run_qos)],
         "connections" => vec![("connections", figures::run_connections)],
+        "bulk" => vec![("bulk", figures::run_bulk)],
         "all" => vec![
             ("pingpong", figures::run_pingpong),
             ("bufpool", figures::run_bufpool),
@@ -141,6 +142,7 @@ fn main() -> ExitCode {
             ("batching", figures::run_batching),
             ("qos", figures::run_qos),
             ("connections", figures::run_connections),
+            ("bulk", figures::run_bulk),
         ],
         other => {
             eprintln!("bench: unknown figure {other}");

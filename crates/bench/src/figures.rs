@@ -1206,6 +1206,344 @@ pub fn run_connections(opts: &RunOpts, git_rev: &str) -> Json {
         .field("rows", Json::Arr(rows))
 }
 
+/// Bulk-plane payload sweep: large transfers, 64 KiB – 2 MiB.
+pub const BULK_PAYLOADS: &[usize] = &[65536, 262144, 1048576, 2097152];
+
+/// Part B pipeline-model geometry: a 16 MiB peer region carved as one
+/// slot (the paper's one-deep credit gate) versus sixteen 1 MiB slots,
+/// with 16 transfers issued by 4 sender threads.
+const BULK_PIPE_REGION: usize = 16 * 1024 * 1024;
+const BULK_PIPE_SLOTS: usize = 16;
+const BULK_PIPE_TRANSFERS: usize = 16;
+const BULK_PIPE_THREADS: usize = 4;
+/// Calls driven through the adaptive-crossover arm (Part C).
+const BULK_ADAPTIVE_CALLS: usize = 160;
+/// Small frame the adaptive arm learns about (log2 bucket 12, where the
+/// bulk path's flat surcharge over eager — the length-header write in
+/// the doorbell chain — clears the retune margin).
+const BULK_ADAPTIVE_LEN: usize = 5_000;
+/// Deliberately-wrong static threshold the adaptive arm starts from.
+const BULK_ADAPTIVE_START: usize = 2048;
+/// The bucket edge the controller must converge to for 5 kB frames.
+const BULK_ADAPTIVE_CONVERGED: usize = 8_191;
+
+/// Deterministic stage-pipeline makespan for [`BULK_PIPE_TRANSFERS`]
+/// large frames of `payload` bytes through a `slots`-slot ring over a
+/// [`BULK_PIPE_REGION`]-byte region — the same consumer-stage model shape
+/// as the QoS admission figure, driven by the calibrated network model.
+///
+/// Stages per frame: sender-thread CPU (stack cost of the header write
+/// plus each gather segment), a serialized sender egress (wire time of
+/// every write), message latency, then a serialized receiver drain (the
+/// payload's ingress wire time plus the modeled region→pool memcpy).
+/// Slot credits mirror the transport's ring arithmetic exactly — in-order
+/// allocation, wrap-skip-as-consume, full-drain reset — and each frame's
+/// consumed slots return one message latency after its drain completes.
+/// With one slot every frame waits out its predecessor's full
+/// drain-and-credit round trip; with sixteen, frames overlap until the
+/// slowest stage (egress or drain) saturates.
+fn bulk_makespan(m: &simnet::NetworkModel, slots: usize, payload: usize, seg_limit: usize) -> u64 {
+    let slot = BULK_PIPE_REGION / slots;
+    let footprint = payload + 8;
+    let k = footprint.div_ceil(slot);
+    assert!(k <= slots, "pipeline-model frame must fit the ring");
+
+    let mut stack_cpu = m.stack_ns(8);
+    let mut wire_total = m.wire_ns(8);
+    let mut remaining = payload;
+    while remaining > 0 {
+        let n = remaining.min(seg_limit);
+        stack_cpu += m.stack_ns(n);
+        wire_total += m.wire_ns(n);
+        remaining -= n;
+    }
+    let drain = m.wire_ns(payload) + rpcoib::hostcost::drain_ns(payload);
+    let lat = m.base_latency_ns;
+
+    let mut thread_free = [0u64; BULK_PIPE_THREADS];
+    let mut egress_free = 0u64;
+    let mut recv_free = 0u64;
+    // Free-at times of the ring's slots, oldest first. Each grant pushes
+    // its consumed slots back with their (future) credit-return time, so
+    // the queue always holds exactly `slots` entries, sorted.
+    let mut returns: std::collections::VecDeque<u64> = std::iter::repeat_n(0, slots).collect();
+    let mut ring_pos = 0usize;
+    let mut makespan = 0u64;
+    for i in 0..BULK_PIPE_TRANSFERS {
+        let tail = slots - ring_pos;
+        let (needed, consumed) = if k <= tail {
+            ring_pos = (ring_pos + k) % slots;
+            (k, k)
+        } else if tail + k <= slots {
+            // Wrap: the tail stub is consumed along with the frame.
+            ring_pos = k % slots;
+            (tail + k, tail + k)
+        } else {
+            // Full drain, then the cursor resets to slot 0.
+            ring_pos = k % slots;
+            (slots, k)
+        };
+        let credit_ready = returns[needed - 1];
+        for _ in 0..consumed.min(needed) {
+            returns.pop_front();
+        }
+        let tid = i % BULK_PIPE_THREADS;
+        let start = thread_free[tid].max(credit_ready);
+        let posted = (start + stack_cpu).max(egress_free);
+        thread_free[tid] = posted;
+        egress_free = posted + wire_total;
+        let done = recv_free.max(egress_free + lat) + drain;
+        recv_free = done;
+        let credit_at = done + lat;
+        for _ in 0..consumed {
+            returns.push_back(credit_at);
+        }
+        makespan = makespan.max(done);
+    }
+    makespan
+}
+
+/// The one-sided bulk data-plane figure (DESIGN.md §12).
+///
+/// * `lone_p{N}_slots{S}` — real-connection lone-transfer guard: one
+///   large call at a time through a 1-slot ring (the paper's one-deep
+///   gate) versus the default 4-slot ring. The arms must charge
+///   *identical* ledgers (`p50_delta_bp == 0` exactly): slot accounting
+///   is bookkeeping, not traffic. The measured window also asserts the
+///   registration-cache claim — zero new registrations, zero pool
+///   misses, zero oversize allocations at steady state, on both ends.
+/// * `pipe_p{N}` — the deterministic pipeline model: makespan of 16
+///   pipelined transfers, one-deep versus 16 slots ([`bulk_makespan`]).
+///   Acceptance: `speedup_bp >= 20000` (≥ 2×) on every payload.
+/// * `adaptive_crossover` — a live connection starting from a
+///   deliberately-wrong 2 KiB static threshold with
+///   `adaptive_rdma_threshold` on must relearn the eager/bulk switch
+///   point for 5 kB frames (the bucket edge 8191); the static control
+///   arm must not move at all.
+pub fn run_bulk(opts: &RunOpts, git_rev: &str) -> Json {
+    use rpcoib::transport::Conn;
+
+    let base = BenchConfig::rpcoib();
+    let warmup = opts.iters(3, 6);
+    let iters = opts.iters(12, 48);
+    let mut rows = Vec::new();
+
+    // Part A: lone-transfer latency and steady-state counters.
+    for &payload in BULK_PAYLOADS {
+        let mut one_deep_p50 = 0u64;
+        for &slots in &[1usize, 4] {
+            let mut rpc = base.rpc.clone();
+            rpc.large_slots = slots;
+            let (fabric, cli_node, srv_node, cli, srv, cli_ctx, srv_ctx) =
+                bulk_pair(base.model, &rpc, opts.seed);
+            let key = rpcoib::intern::method_key("bench.Bulk", "lone");
+            let body = vec![0x6b_u8; payload];
+            let transfer = || {
+                cli.send_msg(key, &mut |out| out.write_bytes(&body))
+                    .expect("bulk send");
+                let (got, _) = srv.recv_msg(Duration::from_secs(10)).expect("bulk recv");
+                assert_eq!(got.len(), payload);
+                // Absorb the credit return into the sender's ledger (a
+                // credit-only completion surfaces as a timeout).
+                match cli.recv_msg(Duration::from_millis(5)) {
+                    Err(rpcoib::RpcError::Timeout) => {}
+                    other => panic!("expected credit-only recv, got {other:?}"),
+                }
+            };
+            for _ in 0..warmup {
+                transfer();
+            }
+            let (_, _, _, regs_before) = fabric.stats().snapshot();
+            let (_, cli_miss_b, _, cli_over_b) = cli_ctx.pool_stats();
+            let (_, srv_miss_b, _, srv_over_b) = srv_ctx.pool_stats();
+            let mut samples: Vec<u64> = (0..iters)
+                .map(|_| {
+                    let before = fabric.modeled_ns(cli_node) + fabric.modeled_ns(srv_node);
+                    transfer();
+                    fabric.modeled_ns(cli_node) + fabric.modeled_ns(srv_node) - before
+                })
+                .collect();
+            let (_, _, _, regs_after) = fabric.stats().snapshot();
+            let (_, cli_miss_a, _, cli_over_a) = cli_ctx.pool_stats();
+            let (_, srv_miss_a, _, srv_over_a) = srv_ctx.pool_stats();
+            let new_regs = regs_after - regs_before;
+            let new_misses = (cli_miss_a - cli_miss_b) + (srv_miss_a - srv_miss_b);
+            let new_oversize = (cli_over_a - cli_over_b) + (srv_over_a - srv_over_b);
+            assert_eq!(
+                new_regs, 0,
+                "lone_p{payload}_slots{slots}: steady-state large calls registered memory"
+            );
+            assert_eq!(
+                new_misses, 0,
+                "lone_p{payload}_slots{slots}: steady-state large calls missed the pool"
+            );
+            assert_eq!(
+                new_oversize, 0,
+                "lone_p{payload}_slots{slots}: steady-state large calls allocated oversize"
+            );
+            samples.sort_unstable();
+            let p50 = percentile_ns(&samples, 0.50);
+            let row = Json::obj()
+                .field("transport", "verbs")
+                .field("point", format!("lone_p{payload}_slots{slots}"));
+            let mut row = percentile_fields(row, &mut samples)
+                .field("steady_registrations", new_regs)
+                .field("steady_pool_misses", new_misses)
+                .field("steady_oversize", new_oversize);
+            if slots == 1 {
+                one_deep_p50 = p50;
+            } else {
+                let delta = p50.abs_diff(one_deep_p50);
+                assert_eq!(
+                    delta, 0,
+                    "lone_p{payload}: multi-slot ring changed a lone transfer's ledger \
+                     ({one_deep_p50} vs {p50} ns)"
+                );
+                row = row
+                    .field("one_deep_p50_ns", one_deep_p50)
+                    .field("p50_delta_bp", delta * 10_000 / one_deep_p50.max(1));
+            }
+            rows.push(row);
+        }
+    }
+
+    // Part B: the pipelining claim, as a deterministic makespan model.
+    for &payload in BULK_PAYLOADS {
+        let one = bulk_makespan(&base.model, 1, payload, base.rpc.recv_buf_bytes);
+        let multi = bulk_makespan(
+            &base.model,
+            BULK_PIPE_SLOTS,
+            payload,
+            base.rpc.recv_buf_bytes,
+        );
+        let speedup = one * 10_000 / multi.max(1);
+        assert!(
+            speedup >= 20_000,
+            "pipe_p{payload}: multi-slot ring must model ≥2× pipelined throughput, \
+             got {speedup} bp ({one} vs {multi} ns)"
+        );
+        rows.push(
+            Json::obj()
+                .field("transport", "model")
+                .field("point", format!("pipe_p{payload}"))
+                .field("region_bytes", BULK_PIPE_REGION as u64)
+                .field("slots", BULK_PIPE_SLOTS as u64)
+                .field("transfers", BULK_PIPE_TRANSFERS as u64)
+                .field("sender_threads", BULK_PIPE_THREADS as u64)
+                .field("makespan_one_deep_ns", one)
+                .field("makespan_multi_slot_ns", multi)
+                .field("p99_ns", multi)
+                .field("speedup_bp", speedup),
+        );
+    }
+
+    // Part C: the adaptive crossover recovers from a wrong static knob.
+    {
+        let drive = |adaptive: bool, calls: usize| -> usize {
+            let mut rpc = base.rpc.clone();
+            rpc.rdma_threshold = BULK_ADAPTIVE_START;
+            rpc.adaptive_rdma_threshold = adaptive;
+            let (_fabric, _cn, _sn, cli, srv, _cctx, _sctx) =
+                bulk_pair(base.model, &rpc, opts.seed);
+            let key = rpcoib::intern::method_key("bench.Bulk", "adaptive");
+            let cli2 = Arc::clone(&cli);
+            let progress = std::thread::spawn(move || loop {
+                match cli2.recv_msg(Duration::from_millis(50)) {
+                    Err(rpcoib::RpcError::Timeout) => continue,
+                    _ => return,
+                }
+            });
+            let srv2 = Arc::clone(&srv);
+            let drain = std::thread::spawn(move || {
+                for _ in 0..calls {
+                    srv2.recv_msg(Duration::from_secs(10))
+                        .expect("adaptive drain");
+                }
+            });
+            let body = vec![0x6b_u8; BULK_ADAPTIVE_LEN];
+            for _ in 0..calls {
+                cli.send_msg(key, &mut |out| out.write_bytes(&body))
+                    .expect("adaptive send");
+            }
+            drain.join().expect("drain thread");
+            let threshold = cli.crossover_threshold();
+            cli.close();
+            progress.join().expect("progress thread");
+            threshold
+        };
+        let converged = drive(true, BULK_ADAPTIVE_CALLS);
+        assert_eq!(
+            converged, BULK_ADAPTIVE_CONVERGED,
+            "adaptive crossover failed to converge to the 5 kB bucket edge"
+        );
+        let control = drive(false, 48);
+        assert_eq!(
+            control, BULK_ADAPTIVE_START,
+            "static control arm must not move"
+        );
+        rows.push(
+            Json::obj()
+                .field("point", "adaptive_crossover")
+                .field("calls", BULK_ADAPTIVE_CALLS as u64)
+                .field("frame_bytes", BULK_ADAPTIVE_LEN as u64)
+                .field("start_threshold", BULK_ADAPTIVE_START as u64)
+                .field("converged_threshold", converged as u64)
+                .field("static_control_threshold", control as u64),
+        );
+    }
+
+    header("bulk", opts, git_rev).field("rows", Json::Arr(rows))
+}
+
+/// A raw verbs conn pair on a fresh seeded fabric, with both endpoints'
+/// [`rpcoib::IbContext`]s exposed so the bulk figure can read pool and
+/// registration counters. Geometry comes from `rpc` verbatim.
+#[allow(clippy::type_complexity)]
+fn bulk_pair(
+    net: simnet::NetworkModel,
+    rpc: &rpcoib::RpcConfig,
+    seed: u64,
+) -> (
+    Fabric,
+    NodeId,
+    NodeId,
+    Arc<rpcoib::transport::rdma::RdmaConn>,
+    Arc<rpcoib::transport::rdma::RdmaConn>,
+    rpcoib::IbContext,
+    rpcoib::IbContext,
+) {
+    use rpcoib::transport::rdma::RdmaConn;
+    use simnet::SimListener;
+
+    let fabric = Fabric::new(net);
+    fabric.set_fault_seed(seed);
+    let server_node = fabric.add_node();
+    let client_node = fabric.add_node();
+    let addr = SimAddr::new(server_node, 9701);
+    let listener = SimListener::bind(&fabric, addr).expect("bind");
+    let cli_ctx = rpcoib::IbContext::new(&fabric, client_node, rpc).expect("client ctx");
+    let srv_ctx = rpcoib::IbContext::new(&fabric, server_node, rpc).expect("server ctx");
+    let f2 = fabric.clone();
+    let ctx2 = cli_ctx.clone();
+    let rpc2 = rpc.clone();
+    let h = std::thread::spawn(move || {
+        let stream = simnet::SimStream::connect(&f2, client_node, addr).unwrap();
+        RdmaConn::bootstrap(&stream, &ctx2, &rpc2).unwrap()
+    });
+    let (srv_stream, _) = listener.accept().expect("accept");
+    let srv = RdmaConn::bootstrap(&srv_stream, &srv_ctx, rpc).expect("server bootstrap");
+    let cli = h.join().expect("client bootstrap");
+    (
+        fabric,
+        client_node,
+        server_node,
+        Arc::new(cli),
+        Arc::new(srv),
+        cli_ctx,
+        srv_ctx,
+    )
+}
+
 /// A raw transport conn pair on a fresh seeded fabric: the client end,
 /// the server end, and the two node ids whose ledgers the batching burst
 /// reads. Socket conns get the engine's framing buffer defaults; verbs

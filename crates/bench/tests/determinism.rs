@@ -4,7 +4,7 @@
 //! modeled-time ledger, and jitter comes from the seeded fault RNG, so
 //! nothing in the files depends on wall clock or scheduling.
 
-use rpcoib_bench::figures::{run_batching, run_bufpool, run_pingpong, RunOpts};
+use rpcoib_bench::figures::{run_batching, run_bufpool, run_bulk, run_pingpong, RunOpts};
 use rpcoib_bench::regress::check_regression;
 
 const OPTS: RunOpts = RunOpts {
@@ -113,4 +113,83 @@ fn batching_runs_are_byte_identical_and_meet_the_bar() {
     }
     assert_eq!(multi_points, 6, "both transports × three payloads");
     assert_eq!(single_guards, 6, "a guard arm per (transport, payload)");
+}
+
+/// The bulk figure: byte-identical per seed, self-check clean, and the
+/// acceptance numbers hold — every pipelined payload models ≥ 2×
+/// throughput from the multi-slot ring versus the one-deep gate, a lone
+/// transfer's ledger is *identical* across ring depths
+/// (`p50_delta_bp == 0` exactly), steady-state large calls register no
+/// memory and miss no pool, and the adaptive crossover relearns the
+/// 5 kB switch point from a deliberately-wrong static threshold.
+#[test]
+fn bulk_runs_are_byte_identical_and_meet_the_bar() {
+    enable_fast_forward();
+    let a = run_bulk(&OPTS, "test-rev");
+    let b = run_bulk(&OPTS, "test-rev");
+    assert_eq!(
+        a.pretty(),
+        b.pretty(),
+        "same seed must produce byte-identical bulk JSON"
+    );
+
+    let outcome = check_regression(&a, &b, 0).expect("comparable");
+    assert!(outcome.passed(), "{:?}", outcome.failures);
+    assert!(
+        outcome.compared >= 12,
+        "lone guards + pipeline points all gate on p99"
+    );
+
+    let rows = a.get("rows").unwrap().as_arr().unwrap();
+    let mut pipe_points = 0;
+    let mut lone_guards = 0;
+    let mut saw_adaptive = false;
+    for row in rows {
+        let point = row.get("point").and_then(|p| p.as_str()).unwrap();
+        if point.starts_with("pipe") {
+            pipe_points += 1;
+            let speedup = row.get("speedup_bp").and_then(|s| s.as_u64()).unwrap();
+            assert!(
+                speedup >= 20_000,
+                "{point}: multi-slot ring must model ≥2× pipelined throughput, got {speedup} bp"
+            );
+        } else if point.starts_with("lone") {
+            let regs = row
+                .get("steady_registrations")
+                .and_then(|r| r.as_u64())
+                .unwrap();
+            let misses = row
+                .get("steady_pool_misses")
+                .and_then(|m| m.as_u64())
+                .unwrap();
+            assert_eq!(regs, 0, "{point}: steady-state large calls registered");
+            assert_eq!(
+                misses, 0,
+                "{point}: steady-state large calls missed the pool"
+            );
+            if let Some(delta) = row.get("p50_delta_bp") {
+                lone_guards += 1;
+                assert_eq!(
+                    delta.as_u64(),
+                    Some(0),
+                    "{point}: a lone transfer must not pay for the multi-slot ring"
+                );
+            }
+        } else if point == "adaptive_crossover" {
+            saw_adaptive = true;
+            assert_eq!(
+                row.get("converged_threshold").and_then(|t| t.as_u64()),
+                Some(8_191),
+                "adaptive crossover must converge to the 5 kB bucket edge"
+            );
+            assert_eq!(
+                row.get("static_control_threshold").and_then(|t| t.as_u64()),
+                Some(2048),
+                "static control arm must not move"
+            );
+        }
+    }
+    assert_eq!(pipe_points, 4, "a pipeline point per payload");
+    assert_eq!(lone_guards, 4, "a lone-transfer guard per payload");
+    assert!(saw_adaptive, "the adaptive-crossover row must be present");
 }

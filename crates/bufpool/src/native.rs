@@ -25,6 +25,10 @@ pub struct PoolStats {
     pub returns: AtomicU64,
     /// One-off allocations beyond the class ladder.
     pub oversize: AtomicU64,
+    /// Jumbo buffers evicted by the retention policy (not re-shelved).
+    pub retired: AtomicU64,
+    /// Batched deregistration sweeps performed over retired buffers.
+    pub dereg_batches: AtomicU64,
 }
 
 impl PoolStats {
@@ -36,6 +40,24 @@ impl PoolStats {
             self.oversize.load(Ordering::Relaxed),
         )
     }
+
+    /// (retired, dereg_batches) of the jumbo retention policy.
+    pub fn retention_snapshot(&self) -> (u64, u64) {
+        (
+            self.retired.load(Ordering::Relaxed),
+            self.dereg_batches.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Bounded idle retention for jumbo classes: how many idle buffers a
+/// class above `boundary` may keep shelved, and how many evictees
+/// accumulate before they are dropped (deregistered) in one sweep.
+#[derive(Debug, Clone, Copy)]
+struct Retention {
+    boundary: usize,
+    keep: usize,
+    batch: usize,
 }
 
 struct PoolInner<M: PoolMem> {
@@ -43,6 +65,44 @@ struct PoolInner<M: PoolMem> {
     shelves: Vec<Mutex<Vec<M>>>,
     factory: Box<dyn Fn(usize) -> M + Send + Sync>,
     stats: PoolStats,
+    /// `None` (default) = unbounded retention in every class.
+    retention: Mutex<Option<Retention>>,
+    /// Evicted jumbo buffers awaiting the batched deregistration sweep.
+    retire: Mutex<Vec<M>>,
+}
+
+impl<M: PoolMem> PoolInner<M> {
+    /// Return a buffer to its shelf, or retire it when the jumbo
+    /// retention cap says the shelf is full enough. Retired buffers are
+    /// parked and dropped (for RDMA memory: deregistered) `batch` at a
+    /// time, so eviction cost is paid in rare sweeps, never per call.
+    fn release(&self, class: usize, mem: M) {
+        let policy = *self.retention.lock();
+        if let Some(r) = policy {
+            if self.classes.capacity(class) > r.boundary {
+                let mut shelf = self.shelves[class].lock();
+                if shelf.len() >= r.keep {
+                    drop(shelf);
+                    self.stats.retired.fetch_add(1, Ordering::Relaxed);
+                    let full_batch = {
+                        let mut retire = self.retire.lock();
+                        retire.push(mem);
+                        (retire.len() >= r.batch).then(|| std::mem::take(&mut *retire))
+                    };
+                    if let Some(batch) = full_batch {
+                        self.stats.dereg_batches.fetch_add(1, Ordering::Relaxed);
+                        drop(batch);
+                    }
+                    return;
+                }
+                self.stats.returns.fetch_add(1, Ordering::Relaxed);
+                shelf.push(mem);
+                return;
+            }
+        }
+        self.stats.returns.fetch_add(1, Ordering::Relaxed);
+        self.shelves[class].lock().push(mem);
+    }
 }
 
 /// A size-classed pool of reusable buffers.
@@ -73,8 +133,32 @@ impl<M: PoolMem> NativePool<M> {
                 shelves,
                 factory: Box::new(factory),
                 stats: PoolStats::default(),
+                retention: Mutex::new(None),
+                retire: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// Bound idle retention for jumbo classes (capacity > `boundary`):
+    /// keep at most `keep` idle buffers shelved per such class, and drop
+    /// evicted buffers in sweeps of `batch` — for an RDMA-backed pool
+    /// that drop *is* the deregistration, so steady-state large traffic
+    /// re-uses cached registrations while an idle burst's surplus is
+    /// released in a few batched sweeps instead of one dereg per buffer.
+    /// Classes at or below `boundary` stay unbounded (they are small and
+    /// prefilled). The default (no call) retains everything, the
+    /// historical behaviour.
+    pub fn set_jumbo_retention(&self, boundary: usize, keep: usize, batch: usize) {
+        *self.inner.retention.lock() = Some(Retention {
+            boundary,
+            keep,
+            batch: batch.max(1),
+        });
+    }
+
+    /// Retired jumbo buffers still awaiting their deregistration sweep.
+    pub fn pending_retire(&self) -> usize {
+        self.inner.retire.lock().len()
     }
 
     /// The class ladder this pool serves.
@@ -192,8 +276,7 @@ impl<M: PoolMem> PooledBuf<M> {
 impl<M: PoolMem> Drop for PooledBuf<M> {
     fn drop(&mut self) {
         if let (Some(mem), Some(class)) = (self.mem.take(), self.class) {
-            self.pool.stats.returns.fetch_add(1, Ordering::Relaxed);
-            self.pool.shelves[class].lock().push(mem);
+            self.pool.release(class, mem);
         }
         // Oversize buffers simply deallocate.
     }

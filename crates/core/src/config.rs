@@ -53,6 +53,16 @@ pub struct RpcConfig {
     /// Size of the per-connection region that large frames are
     /// RDMA-written into.
     pub large_region_bytes: usize,
+    /// Number of credit slots the large region is divided into. Each
+    /// large frame occupies one or more contiguous slots; the writer
+    /// consumes slot credits and the receiver returns them in batches, so
+    /// up to `large_slots` worth of frames can be in flight at once.
+    /// `1` reproduces the original one-deep credit gate exactly.
+    pub large_slots: usize,
+    /// Auto-tune the small/large crossover from live per-path cost
+    /// samples instead of the static `rdma_threshold` knob. Off by
+    /// default; `rdma_threshold` then seeds the adaptive starting point.
+    pub adaptive_rdma_threshold: bool,
     /// Record every call's serialized size in the metrics registry
     /// (needed by the Figure 3 harness; off by default — it allocates).
     pub trace_sizes: bool,
@@ -120,6 +130,10 @@ pub struct RpcConfig {
 /// configuration; catches arithmetic mistakes (e.g. `usize::MAX`).
 pub(crate) const MAX_SHARDS: usize = 1024;
 
+/// Upper bound on `large_slots`: the slot ring's start index and consumed
+/// count each ride a 12-bit field of the write-with-imm immediate.
+pub const MAX_LARGE_SLOTS: usize = 2048;
+
 /// Reader shard count used when `reader_shards` is `0` (auto).
 pub(crate) const AUTO_READER_SHARDS: usize = 4;
 
@@ -143,6 +157,8 @@ impl Default for RpcConfig {
             recv_buf_bytes: 64 * 1024,
             posted_recvs: 32,
             large_region_bytes: 4 * 1024 * 1024,
+            large_slots: 4,
+            adaptive_rdma_threshold: false,
             trace_sizes: false,
             server_buffer_init: 10 * 1024,
             reader_shards: 0,
@@ -260,6 +276,19 @@ impl RpcConfig {
             if self.large_region_bytes < self.recv_buf_bytes {
                 return Err("large_region_bytes must be >= recv_buf_bytes".into());
             }
+            if self.large_slots == 0 || self.large_slots > MAX_LARGE_SLOTS {
+                return Err(format!(
+                    "large_slots ({}) must be in 1..={MAX_LARGE_SLOTS} (the slot index and \
+                     consumed count must fit the write-with-imm encoding)",
+                    self.large_slots
+                ));
+            }
+            if !self.large_region_bytes.is_multiple_of(self.large_slots) {
+                return Err(format!(
+                    "large_region_bytes ({}) must be a multiple of large_slots ({})",
+                    self.large_region_bytes, self.large_slots
+                ));
+            }
         }
         Ok(())
     }
@@ -288,6 +317,39 @@ mod tests {
             ..RpcConfig::socket()
         };
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn bad_slot_counts_are_rejected() {
+        for bad in [0usize, MAX_LARGE_SLOTS + 1, usize::MAX] {
+            let cfg = RpcConfig {
+                large_slots: bad,
+                ..RpcConfig::rpcoib()
+            };
+            assert!(
+                cfg.validate().is_err(),
+                "large_slots={bad} must be rejected"
+            );
+        }
+        // The region must split evenly into slots.
+        let cfg = RpcConfig {
+            large_region_bytes: 4 * 1024 * 1024,
+            large_slots: 3,
+            ..RpcConfig::rpcoib()
+        };
+        assert!(cfg.validate().is_err());
+        // A one-deep ring (the legacy gate shape) stays valid.
+        let cfg = RpcConfig {
+            large_slots: 1,
+            ..RpcConfig::rpcoib()
+        };
+        cfg.validate().unwrap();
+        // Socket mode does not care.
+        let cfg = RpcConfig {
+            large_slots: 0,
+            ..RpcConfig::socket()
+        };
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub enum RpcError {
     DeadlineExpired,
     /// The connection closed while the call was pending.
     ConnectionClosed,
+    /// A large frame could not acquire slot credits over the peer's large
+    /// region within the timeout: the peer is alive but not draining (slow
+    /// reader, or in-flight credit returns lost to injected faults). The
+    /// connection itself is still healthy — backing off and retrying is
+    /// the right response.
+    CreditStarved,
     /// The server has no service registered for the protocol.
     UnknownProtocol(String),
     /// Malformed frame or failed deserialization.
@@ -45,6 +51,7 @@ impl RpcError {
             RpcError::Timeout
             | RpcError::ServerBusy
             | RpcError::ConnectionClosed
+            | RpcError::CreditStarved
             | RpcError::Io(_) => true,
             RpcError::Verbs(e) => match e {
                 // Transient fabric states.
@@ -89,6 +96,12 @@ impl std::fmt::Display for RpcError {
                 write!(f, "deadline expired before execution: call shed by server")
             }
             RpcError::ConnectionClosed => write!(f, "connection closed"),
+            RpcError::CreditStarved => {
+                write!(
+                    f,
+                    "large-frame credit starved: peer did not drain its region in time"
+                )
+            }
             RpcError::UnknownProtocol(p) => write!(f, "unknown protocol: {p}"),
             RpcError::Protocol(m) => write!(f, "protocol error: {m}"),
             RpcError::Config(m) => write!(f, "configuration error: {m}"),

@@ -42,6 +42,18 @@ pub const fn legacy_call_ns() -> u64 {
     LEGACY_ALLOCS_PER_CALL * MANAGED_ALLOC_NS + LEGACY_LOCKS_PER_CALL * LOCK_ROUND_NS
 }
 
+/// Modeled host memcpy bandwidth for draining a received large frame out
+/// of the registered region into a pooled buffer, ~10 GB/s (a single
+/// stream of rep-movs on the paper's Westmere hosts). The one-sided bulk
+/// plane charges this to the *receiver's* ledger per drained byte; the
+/// sender side is zero-copy and charges nothing beyond the wire.
+pub const DRAIN_BYTES_PER_NS: u64 = 10;
+
+/// Modeled cost of copying `len` bytes out of the large region.
+pub const fn drain_ns(len: usize) -> u64 {
+    (len as u64).div_ceil(DRAIN_BYTES_PER_NS)
+}
+
 /// Re-enact the pre-interning metadata heap traffic for real — exactly
 /// [`LEGACY_ALLOCS_PER_CALL`] boxed allocations of the call's key
 /// strings — so allocation-counting harnesses observe the legacy path's
@@ -65,5 +77,14 @@ mod tests {
     fn legacy_bundle_is_the_documented_sum() {
         assert_eq!(legacy_call_ns(), 8 * 110 + 6 * 45);
         assert_eq!(legacy_call_ns(), 1150);
+    }
+
+    #[test]
+    fn drain_cost_tracks_the_memcpy_model() {
+        assert_eq!(drain_ns(0), 0);
+        assert_eq!(drain_ns(1), 1);
+        assert_eq!(drain_ns(10), 1);
+        // 1 MiB at 10 GB/s ≈ 105 µs.
+        assert_eq!(drain_ns(1 << 20), 104_858);
     }
 }

@@ -146,6 +146,174 @@ impl std::fmt::Debug for RdmaOutputStream {
     }
 }
 
+/// Output stream serializing into a *chain* of pooled registered
+/// segments — the scatter/gather producer for the one-sided bulk plane.
+///
+/// Behaves byte-for-byte like [`RdmaOutputStream`] while the message fits
+/// one segment (same history-driven acquire, same doubling growth, same
+/// `record` on finish), so eager-path sends are unchanged. Once the
+/// current segment reaches `seg_limit` capacity and fills, it is *sealed*
+/// into the segment list and a fresh `seg_limit`-class buffer continues
+/// the stream. A multi-megabyte frame therefore occupies a handful of
+/// recv-buffer-sized pooled segments — all pre-registered, all recycled —
+/// instead of one jumbo staging buffer that would have to be allocated,
+/// registered and memcpy'd before the RDMA write. The transport writes
+/// the sealed segments into the peer's region back-to-back (gather), so
+/// no staging copy ever happens.
+pub struct RdmaGatherStream {
+    pool: ShadowPool<MemoryRegion>,
+    /// Sealed full segments, each holding exactly `seg_limit` bytes.
+    segs: Vec<PooledBuf<MemoryRegion>>,
+    buf: Option<PooledBuf<MemoryRegion>>,
+    /// Valid bytes in the open segment (never exceeds `seg_limit`).
+    pos: usize,
+    /// Total bytes across sealed segments.
+    sealed: usize,
+    grows: u64,
+    seg_limit: usize,
+    stage: [u8; STAGE_BYTES],
+    stage_len: usize,
+    key: MethodKey,
+}
+
+impl RdmaGatherStream {
+    /// Open a stream that seals segments at `seg_limit` bytes. `segs` is
+    /// the (empty) vector sealed segments are pushed into — callers pass
+    /// a recycled scratch vector so steady-state sends allocate nothing.
+    pub fn new(
+        pool: &ShadowPool<MemoryRegion>,
+        key: MethodKey,
+        seg_limit: usize,
+        segs: Vec<PooledBuf<MemoryRegion>>,
+    ) -> Self {
+        debug_assert!(segs.is_empty());
+        // History-driven acquire, capped at the segment class: a method
+        // whose history says "2 MB" must start at one segment, not pull a
+        // jumbo buffer off the shelf it will immediately outgrow-by-parts.
+        let buf = match pool.recorded_class(key.protocol(), key.method()) {
+            Some(c) if pool.native().classes().capacity(c) > seg_limit => {
+                pool.acquire_size(seg_limit)
+            }
+            _ => pool.acquire(key.protocol(), key.method()),
+        };
+        RdmaGatherStream {
+            pool: pool.clone(),
+            segs,
+            buf: Some(buf),
+            pos: 0,
+            sealed: 0,
+            grows: 0,
+            seg_limit,
+            stage: [0u8; STAGE_BYTES],
+            stage_len: 0,
+            key,
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn position(&self) -> usize {
+        self.sealed + self.pos + self.stage_len
+    }
+
+    /// Doubling re-acquires, as in [`RdmaOutputStream::grows`].
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    fn buf(&self) -> &PooledBuf<MemoryRegion> {
+        self.buf.as_ref().expect("stream already finished")
+    }
+
+    fn buf_mut(&mut self) -> &mut PooledBuf<MemoryRegion> {
+        self.buf.as_mut().expect("stream already finished")
+    }
+
+    /// Append bytes, growing within the open segment up to `seg_limit`
+    /// and sealing full segments as needed.
+    fn push_bytes(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            if self.pos >= self.seg_limit {
+                // Open segment is full: seal it, continue in a fresh one.
+                let full = self.buf.take().expect("stream already finished");
+                self.segs.push(full);
+                self.sealed += self.pos;
+                self.pos = 0;
+                self.buf = Some(self.pool.acquire_size(self.seg_limit));
+            }
+            let target = (self.pos + data.len()).min(self.seg_limit);
+            while self.buf().capacity() < target {
+                let used = self.pos;
+                let old = self.buf.take().expect("stream already finished");
+                self.buf = Some(self.pool.grow(old, used));
+                self.grows += 1;
+            }
+            let n = data
+                .len()
+                .min(self.buf().capacity().min(self.seg_limit) - self.pos);
+            let pos = self.pos;
+            self.buf_mut().mem_mut().put(pos, &data[..n]);
+            self.pos += n;
+            data = &data[n..];
+        }
+    }
+
+    fn flush_stage(&mut self) {
+        if self.stage_len == 0 {
+            return;
+        }
+        let len = self.stage_len;
+        let stage = self.stage;
+        self.stage_len = 0;
+        self.push_bytes(&stage[..len]);
+    }
+
+    /// Finish: record the *total* size in the history and return the
+    /// ordered segment chain plus total length and grow count. Every
+    /// segment but the last holds exactly `seg_limit` valid bytes; the
+    /// last holds the remainder.
+    pub fn finish(mut self) -> (Vec<PooledBuf<MemoryRegion>>, usize, u64) {
+        self.flush_stage();
+        let total = self.sealed + self.pos;
+        self.pool
+            .record(self.key.protocol(), self.key.method(), total.max(1));
+        let mut segs = std::mem::take(&mut self.segs);
+        segs.push(self.buf.take().expect("stream already finished"));
+        (segs, total, self.grows)
+    }
+}
+
+impl Write for RdmaGatherStream {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if data.len() >= STAGE_BYTES {
+            self.flush_stage();
+            self.push_bytes(data);
+        } else {
+            if self.stage_len + data.len() > STAGE_BYTES {
+                self.flush_stage();
+            }
+            self.stage[self.stage_len..self.stage_len + data.len()].copy_from_slice(data);
+            self.stage_len += data.len();
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_stage();
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for RdmaGatherStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RdmaGatherStream")
+            .field("sealed_segs", &self.segs.len())
+            .field("pos", &self.pos)
+            .field("seg_limit", &self.seg_limit)
+            .field("grows", &self.grows)
+            .finish()
+    }
+}
+
 /// Input stream reading directly from a pooled receive buffer.
 pub struct RdmaInputStream {
     buf: PooledBuf<MemoryRegion>,
@@ -285,6 +453,56 @@ mod tests {
             let (_buf, len, _) = out.finish();
             assert_eq!(len, 700);
         }
+    }
+
+    #[test]
+    fn gather_stream_is_single_segment_for_small_messages() {
+        let pool = rdma_pool();
+        let key = crate::intern::method_key("p", "small");
+        let mut out = RdmaGatherStream::new(&pool, key, 4096, Vec::new());
+        out.write_i32(7).unwrap();
+        out.write_string("direct to the HCA").unwrap();
+        let (segs, len, grows) = out.finish();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(grows, 0);
+        let mut input = RdmaInputStream::new(segs.into_iter().next().unwrap(), len);
+        assert_eq!(input.read_i32().unwrap(), 7);
+        assert_eq!(input.read_string().unwrap(), "direct to the HCA");
+    }
+
+    #[test]
+    fn gather_stream_seals_full_segments_in_order() {
+        let pool = rdma_pool();
+        let key = crate::intern::method_key("p", "bulk");
+        let mut out = RdmaGatherStream::new(&pool, key, 1024, Vec::new());
+        let payload: Vec<u8> = (0..2500u32).map(|i| (i % 251) as u8).collect();
+        out.write_all(&payload).unwrap();
+        let (segs, len, _) = out.finish();
+        assert_eq!(len, 2500);
+        assert_eq!(segs.len(), 3, "two sealed 1024B segments plus the tail");
+        let mut reassembled = Vec::new();
+        let mut remaining = len;
+        for seg in &segs {
+            let take = remaining.min(1024);
+            let mut chunk = vec![0u8; take];
+            seg.mem().get(0, &mut chunk);
+            reassembled.extend_from_slice(&chunk);
+            remaining -= take;
+        }
+        assert_eq!(reassembled, payload);
+    }
+
+    #[test]
+    fn gather_stream_caps_history_acquire_at_the_segment_class() {
+        let pool = rdma_pool();
+        let key = crate::intern::method_key("p", "huge");
+        // Teach the history that this method serializes to ~300KB.
+        pool.record(key.protocol(), key.method(), 300 * 1024);
+        let out = RdmaGatherStream::new(&pool, key, 4096, Vec::new());
+        assert!(
+            out.buf().capacity() <= 4096,
+            "history must not pull a jumbo buffer into the gather path"
+        );
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Adaptive small/large crossover for the RPCoIB transport.
+//!
+//! The paper picks the eager-vs-RDMA switch point with a static
+//! `rdma_threshold` knob tuned offline (§III-B). This module replaces the
+//! knob with a live controller fed by the same per-phase cost samples the
+//! PR 3 histograms record: every send reports the modeled nanoseconds it
+//! spent on whichever path it took, bucketed by log2(payload length).
+//! Once a bucket has seen enough traffic on *both* paths, the cheaper
+//! path claims it and the threshold moves to the bucket edge. To keep
+//! both columns of every contested bucket populated, one send out of
+//! every [`PROBE_PERIOD`] in the contested band is routed against the
+//! current threshold (an eager-sized frame goes RDMA, or vice versa).
+//!
+//! Everything here is deterministic for deterministic traffic: routing
+//! depends only on a relaxed call counter and the threshold, samples are
+//! modeled-ledger deltas (not wall clock), and retuning is a pure
+//! function of the accumulated sums. With the knob off (`enabled =
+//! false`, the default) routing is exactly the legacy static comparison
+//! and no counters advance.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Route one send out of every this-many in the contested band against
+/// the threshold, so the losing path keeps producing samples.
+const PROBE_PERIOD: u64 = 16;
+
+/// Samples required on *each* path of a bucket before it may retune.
+const MIN_SAMPLES: u64 = 4;
+
+/// Log2 buckets cover lengths up to 2^31; larger frames are clamped into
+/// the last bucket (they are far past any plausible crossover anyway).
+const BUCKETS: usize = 32;
+
+/// Which path a frame was (or should be) sent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Eager: copied into a send WR, received into a posted recv buffer.
+    Eager,
+    /// One-sided: RDMA-written into the peer's large region.
+    Bulk,
+}
+
+#[derive(Default)]
+struct Bucket {
+    eager_count: AtomicU64,
+    eager_sum: AtomicU64,
+    bulk_count: AtomicU64,
+    bulk_sum: AtomicU64,
+}
+
+impl Bucket {
+    fn reset(&self) {
+        self.eager_count.store(0, Ordering::Relaxed);
+        self.eager_sum.store(0, Ordering::Relaxed);
+        self.bulk_count.store(0, Ordering::Relaxed);
+        self.bulk_sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Live small/large crossover controller, one per connection.
+pub struct Crossover {
+    enabled: bool,
+    /// Current switch point: `len <= threshold` routes eager.
+    threshold: AtomicUsize,
+    /// The threshold never drops below this (tiny frames always eager).
+    floor: usize,
+    /// The threshold never rises above this: an eager frame must fit the
+    /// peer's posted receive buffers (`recv_buf_bytes`).
+    cap: usize,
+    calls: AtomicU64,
+    buckets: Vec<Bucket>,
+}
+
+impl Crossover {
+    /// `initial` is the configured static threshold; `cap` the largest
+    /// frame the eager path can carry (the peer's receive buffer size).
+    pub fn new(enabled: bool, initial: usize, cap: usize) -> Self {
+        let floor = 1024.min(cap);
+        Crossover {
+            enabled,
+            threshold: AtomicUsize::new(initial.clamp(floor, cap)),
+            floor,
+            cap,
+            calls: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| Bucket::default()).collect(),
+        }
+    }
+
+    /// The current switch point.
+    pub fn threshold(&self) -> usize {
+        self.threshold.load(Ordering::Relaxed)
+    }
+
+    fn bucket_of(len: usize) -> usize {
+        (usize::BITS - 1 - len.max(1).leading_zeros()).min(BUCKETS as u32 - 1) as usize
+    }
+
+    /// Pick the path for a frame of `len` bytes. With adaptation off this
+    /// is exactly the legacy static comparison.
+    pub fn route(&self, len: usize) -> Route {
+        let natural = if len <= self.threshold() {
+            Route::Eager
+        } else {
+            Route::Bulk
+        };
+        if !self.enabled {
+            return natural;
+        }
+        // Probe: inside the band where both paths are viable, sometimes
+        // take the other one so its column keeps accumulating samples.
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        if len >= self.floor && len <= self.cap && n % PROBE_PERIOD == PROBE_PERIOD - 1 {
+            return match natural {
+                Route::Eager => Route::Bulk,
+                Route::Bulk => Route::Eager,
+            };
+        }
+        natural
+    }
+
+    /// Report the modeled cost of a completed send and retune if the
+    /// frame's bucket now has a clear winner.
+    pub fn record(&self, len: usize, route: Route, modeled_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let b = Self::bucket_of(len);
+        let bucket = &self.buckets[b];
+        match route {
+            Route::Eager => {
+                bucket.eager_count.fetch_add(1, Ordering::Relaxed);
+                bucket.eager_sum.fetch_add(modeled_ns, Ordering::Relaxed);
+            }
+            Route::Bulk => {
+                bucket.bulk_count.fetch_add(1, Ordering::Relaxed);
+                bucket.bulk_sum.fetch_add(modeled_ns, Ordering::Relaxed);
+            }
+        }
+        self.maybe_retune(b);
+    }
+
+    fn maybe_retune(&self, b: usize) {
+        let bucket = &self.buckets[b];
+        let ec = bucket.eager_count.load(Ordering::Relaxed);
+        let bc = bucket.bulk_count.load(Ordering::Relaxed);
+        if ec < MIN_SAMPLES || bc < MIN_SAMPLES {
+            return;
+        }
+        let eager_mean = bucket.eager_sum.load(Ordering::Relaxed) / ec;
+        let bulk_mean = bucket.bulk_sum.load(Ordering::Relaxed) / bc;
+        let lo = 1usize << b;
+        let hi = if b + 1 >= usize::BITS as usize {
+            usize::MAX
+        } else {
+            (1usize << (b + 1)) - 1
+        };
+        let t = self.threshold();
+        // Require a >12.5% margin before moving, so ledger-equal paths
+        // (or noise from mixed traffic) cannot make the threshold flap.
+        let new = if eager_mean * 8 <= bulk_mean * 7 && t < hi.min(self.cap) {
+            // Eager clearly cheaper here: claim the whole bucket.
+            hi.min(self.cap)
+        } else if bulk_mean * 8 <= eager_mean * 7 && t >= lo {
+            // Bulk clearly cheaper: push the threshold below the bucket.
+            (lo - 1).max(self.floor)
+        } else {
+            return;
+        };
+        if new != t {
+            self.threshold.store(new, Ordering::Relaxed);
+            bucket.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_the_static_comparison() {
+        let c = Crossover::new(false, 16 * 1024, 64 * 1024);
+        assert_eq!(c.route(16 * 1024), Route::Eager);
+        assert_eq!(c.route(16 * 1024 + 1), Route::Bulk);
+        // Disabled controllers never learn, however lopsided the data.
+        for _ in 0..64 {
+            c.record(20_000, Route::Eager, 1);
+            c.record(20_000, Route::Bulk, 1_000_000);
+        }
+        assert_eq!(c.threshold(), 16 * 1024);
+    }
+
+    #[test]
+    fn probes_flip_the_route_periodically() {
+        let c = Crossover::new(true, 16 * 1024, 64 * 1024);
+        let flips = (0..PROBE_PERIOD)
+            .filter(|_| c.route(20_000) == Route::Eager)
+            .count();
+        assert_eq!(flips, 1, "exactly one probe per period");
+    }
+
+    #[test]
+    fn cheaper_eager_raises_threshold_to_the_bucket_edge() {
+        let c = Crossover::new(true, 16 * 1024, 64 * 1024);
+        for _ in 0..MIN_SAMPLES {
+            c.record(20_000, Route::Eager, 1_000);
+            c.record(20_000, Route::Bulk, 2_000);
+        }
+        // 20_000 lives in bucket 14: [16384, 32767].
+        assert_eq!(c.threshold(), 32_767);
+    }
+
+    #[test]
+    fn cheaper_bulk_lowers_threshold_below_the_bucket() {
+        let c = Crossover::new(true, 32 * 1024, 64 * 1024);
+        for _ in 0..MIN_SAMPLES {
+            c.record(20_000, Route::Eager, 2_000);
+            c.record(20_000, Route::Bulk, 1_000);
+        }
+        assert_eq!(c.threshold(), 16_383);
+    }
+
+    #[test]
+    fn threshold_is_clamped_to_the_eager_cap() {
+        let c = Crossover::new(true, 16 * 1024, 64 * 1024);
+        for _ in 0..MIN_SAMPLES {
+            c.record(65_536, Route::Eager, 1_000);
+            c.record(65_536, Route::Bulk, 2_000);
+        }
+        // Bucket 16's edge is 131071 but eager frames must fit recv_buf.
+        assert_eq!(c.threshold(), 64 * 1024);
+    }
+
+    #[test]
+    fn near_ties_do_not_move_the_threshold() {
+        let c = Crossover::new(true, 16 * 1024, 64 * 1024);
+        for _ in 0..16 {
+            c.record(20_000, Route::Eager, 1_000);
+            c.record(20_000, Route::Bulk, 1_050);
+        }
+        assert_eq!(c.threshold(), 16 * 1024);
+    }
+}

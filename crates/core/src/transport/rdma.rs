@@ -3,21 +3,34 @@
 //!
 //! Connection establishment follows Section III-D: the client connects to
 //! the server's ordinary socket address and the two sides exchange
-//! end-point information (queue-pair endpoint, large-region rkey and size)
-//! over that stream; all subsequent communication is native IB.
+//! end-point information (queue-pair endpoint, large-region rkey, region
+//! geometry) over that stream; all subsequent communication is native IB.
+//! The hello is versioned, length-checked and validated — a malformed or
+//! inconsistent peer is rejected with a protocol error, never a panic.
 //!
 //! Message paths:
 //!
-//! * **small** (≤ `rdma_threshold`): serialized directly into a pooled
-//!   registered buffer and `post_send`-ed from it; the receiver has a ring
-//!   of pre-posted pooled buffers, and deserialization reads straight out
-//!   of the one the message landed in. Zero copies beyond the (simulated)
-//!   DMA itself.
-//! * **large**: RDMA-written into the peer's pre-registered large region,
-//!   announced with an immediate. A one-deep credit protocol prevents the
-//!   writer from overwriting the region before the receiver has drained
-//!   it; the receiver copies the frame out into a pooled buffer and
-//!   returns the credit immediately.
+//! * **eager** (≤ the crossover threshold): serialized directly into a
+//!   pooled registered buffer and `post_send`-ed from it; the receiver has
+//!   a ring of pre-posted pooled buffers, and deserialization reads
+//!   straight out of the one the message landed in. Zero copies beyond
+//!   the (simulated) DMA itself.
+//! * **bulk**: the peer's large region is divided into a ring of
+//!   equal-size slots. A frame claims as many contiguous slots as it
+//!   needs from the [`SlotRing`], is RDMA-written into them *gather-style*
+//!   from the pooled registered segments the serializer produced (an
+//!   8-byte length header, then the payload segments back-to-back; no
+//!   staging copy, no jumbo buffer), and is announced with an immediate
+//!   carrying the slot offset and the slot count to credit back. The
+//!   receiver drains the frame into a pooled buffer and returns credits
+//!   in batches — so pipelined large transfers overlap in the region
+//!   instead of serializing on a one-deep handshake, while
+//!   `large_slots = 1` reproduces the paper's one-deep gate exactly.
+//!
+//! The eager/bulk switch point is the static `rdma_threshold` by default;
+//! with `adaptive_rdma_threshold` on, a per-connection
+//! [`Crossover`](crate::transport::crossover::Crossover) controller
+//! auto-tunes it from live modeled-cost samples.
 
 use std::collections::HashMap;
 use std::io::{self, Write};
@@ -32,19 +45,25 @@ use simnet::{
 };
 use wire::DataOutput;
 
-use crate::config::RpcConfig;
+use crate::config::{RpcConfig, MAX_LARGE_SLOTS};
 use crate::error::{RpcError, RpcResult};
 use crate::frame::Payload;
+use crate::hostcost;
 use crate::intern::MethodKey;
 use crate::metrics::{MetricsRegistry, Phase, PoolCounters};
-use crate::stream::RdmaOutputStream;
+use crate::stream::RdmaGatherStream;
+use crate::transport::crossover::{Crossover, Route};
 use crate::transport::{Conn, RecvProfile, SendProfile};
 
 /// Immediate tag: payload is a complete frame in the posted recv buffer.
 const IMM_SMALL: u32 = 1;
-/// Immediate tag: a frame was RDMA-written into the receiver's large region.
+/// Immediate tag: a frame was RDMA-written into the receiver's large
+/// region. Bits 8..20 carry the starting slot index, bits 20..32 the slot
+/// count to credit back (which can exceed the frame's own footprint when
+/// the grant wrapped past the end of the ring).
 const IMM_LARGE: u32 = 2;
-/// Immediate tag: the receiver drained its large region (flow control).
+/// Immediate tag: the receiver drained its large region; bits 8.. carry
+/// how many slots are being credited back (flow control).
 const IMM_CREDIT: u32 = 3;
 /// Immediate tag: the posted recv buffer holds several small frames
 /// back-to-back, each as `[vlong len][frame]` — the responder's batched
@@ -53,6 +72,17 @@ const IMM_BATCH: u32 = 4;
 
 /// How finely blocked polls slice their waits to notice closure.
 const POLL_SLICE: Duration = Duration::from_millis(50);
+
+/// Length prefix written ahead of a bulk frame in its first slot.
+const HEADER_BYTES: usize = 8;
+
+/// Bootstrap hello framing: magic, version, and fixed length.
+const HELLO_MAGIC: u32 = 0x5250_4942; // "RPIB"
+const HELLO_VERSION: u8 = 2;
+const HELLO_BYTES: usize = 48;
+
+/// No sane peer advertises a terabyte-scale pinned region.
+const MAX_SANE_REGION: u64 = 1 << 40;
 
 fn verbs_err(e: VerbsError) -> RpcError {
     match e {
@@ -94,12 +124,16 @@ impl IbContext {
             cfg.use_size_history,
         );
         // Pre-register the small classes (the ones per-call traffic uses);
-        // jumbo classes are registered lazily on first use.
+        // jumbo classes are registered lazily on first use — and once
+        // registered, the retention policy below caches a few idle ones
+        // per class so steady-state large traffic re-uses registrations,
+        // while a burst's surplus deregisters in batched sweeps.
         for idx in 0..ladder.count {
             if ladder.capacity(idx) <= cfg.recv_buf_bytes {
                 pool.native().prefill_class(idx, cfg.prefill_per_class);
             }
         }
+        pool.native().set_jumbo_retention(cfg.recv_buf_bytes, 4, 8);
         // The receive-ring class gets a full ring plus slack up front, so
         // connection bring-up and the first calls never register inline —
         // "pre-allocated and pre-registered when the RPCoIB library
@@ -162,41 +196,153 @@ impl IbContext {
     }
 }
 
-/// One-deep credit gate for the large-frame region.
-struct CreditGate {
-    credits: Mutex<usize>,
+/// A grant of `consumed` credits whose frame starts at slot `start`. The
+/// `ticket` orders the actual RDMA writes: grants must hit the wire in
+/// grant order or the receiver's FIFO drain would credit slots a later,
+/// still-unwritten frame already owns.
+struct Grant {
+    start: usize,
+    consumed: usize,
+    ticket: u64,
+}
+
+struct RingState {
+    /// Free slots. The free region is always contiguous — allocation
+    /// walks the ring in order and the receiver drains frames in arrival
+    /// order — so `credits >= k` means the next `k` slots are free.
+    credits: usize,
+    /// Next slot index to allocate.
+    ring_pos: usize,
+    /// Next ticket to issue / next ticket allowed to post.
+    next_ticket: u64,
+    turn: u64,
+    closed: bool,
+}
+
+/// Multi-slot credit ring over the peer's large region. `slots = 1`
+/// degenerates to the paper's one-deep credit gate.
+struct SlotRing {
+    slots: usize,
+    state: Mutex<RingState>,
     cv: Condvar,
 }
 
-impl CreditGate {
-    fn new(n: usize) -> CreditGate {
-        CreditGate {
-            credits: Mutex::new(n),
+impl SlotRing {
+    fn new(slots: usize) -> SlotRing {
+        SlotRing {
+            slots,
+            state: Mutex::new(RingState {
+                credits: slots,
+                ring_pos: 0,
+                next_ticket: 0,
+                turn: 0,
+                closed: false,
+            }),
             cv: Condvar::new(),
         }
     }
 
-    fn take(&self, timeout: Duration) -> bool {
-        let mut credits = self.credits.lock();
-        let deadline = Instant::now() + timeout;
-        while *credits == 0 {
-            if self.cv.wait_until(&mut credits, deadline).timed_out() {
-                return false;
+    /// Claim `k` contiguous slots, waiting up to `budget` (sliced, so a
+    /// concurrent close is noticed promptly). Exhausting the budget is
+    /// [`RpcError::CreditStarved`] — the peer is alive but not draining.
+    fn acquire(&self, k: usize, budget: Duration) -> RpcResult<Grant> {
+        debug_assert!(k >= 1 && k <= self.slots);
+        let mut remaining = budget;
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(RpcError::ConnectionClosed);
             }
+            let tail = self.slots - st.ring_pos;
+            let granted = if k <= tail {
+                // Contiguous from the cursor.
+                (st.credits >= k).then(|| {
+                    let start = st.ring_pos;
+                    st.ring_pos = (st.ring_pos + k) % self.slots;
+                    st.credits -= k;
+                    (start, k)
+                })
+            } else if tail + k <= self.slots {
+                // Wrap: skip the tail stub and start at slot 0. The
+                // skipped slots are *consumed* with the grant (and
+                // credited back by the receiver via the imm's count) —
+                // leaving them nominally free would let their credits pay
+                // for slots an earlier in-flight frame still occupies.
+                (st.credits >= tail + k).then(|| {
+                    st.ring_pos = k % self.slots;
+                    st.credits -= tail + k;
+                    (0, tail + k)
+                })
+            } else {
+                // The frame is too big to wrap-with-skip (tail + k would
+                // exceed the ring). Wait for a full drain: with nothing
+                // outstanding the ring is equivalent to a fresh one and
+                // the cursor can reset to 0.
+                (st.credits == self.slots).then(|| {
+                    st.ring_pos = k % self.slots;
+                    st.credits -= k;
+                    (0, k)
+                })
+            };
+            if let Some((start, consumed)) = granted {
+                let ticket = st.next_ticket;
+                st.next_ticket += 1;
+                return Ok(Grant {
+                    start,
+                    consumed,
+                    ticket,
+                });
+            }
+            if remaining.is_zero() {
+                return Err(RpcError::CreditStarved);
+            }
+            let slice = POLL_SLICE.min(remaining);
+            self.cv.wait_for(&mut st, slice);
+            remaining = remaining.saturating_sub(slice);
         }
-        *credits -= 1;
-        true
     }
 
-    fn put(&self) {
-        *self.credits.lock() += 1;
-        self.cv.notify_one();
+    /// Block until `ticket` may post its writes.
+    fn await_turn(&self, ticket: u64) -> RpcResult<()> {
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(RpcError::ConnectionClosed);
+            }
+            if st.turn == ticket {
+                return Ok(());
+            }
+            self.cv.wait_for(&mut st, POLL_SLICE);
+        }
+    }
+
+    /// Pass the turn to the next granted ticket. Must run exactly once
+    /// per successful [`SlotRing::acquire`], error paths included.
+    fn advance_turn(&self) {
+        let mut st = self.state.lock();
+        st.turn += 1;
+        self.cv.notify_all();
+    }
+
+    /// Return `n` drained slots announced by a peer credit message.
+    fn release(&self, n: usize) {
+        let mut st = self.state.lock();
+        st.credits = (st.credits + n).min(self.slots);
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
     }
 }
 
 struct SendState {
     /// Tiny dedicated region for credit messages.
     credit_mr: MemoryRegion,
+    /// Dedicated region the bulk path writes length headers from. Safe to
+    /// reuse per-frame: bulk posting is serialized by the ring turnstile.
+    header_mr: MemoryRegion,
 }
 
 /// An established RPCoIB connection.
@@ -206,8 +352,13 @@ pub struct RdmaConn {
     qp: QueuePair,
     /// Region the *peer* RDMA-writes large frames into.
     my_large: MemoryRegion,
+    /// Slot geometry of `my_large` (receiver side of the bulk plane).
+    my_slots: usize,
+    my_slot_size: usize,
     peer_rkey: RemoteKey,
-    peer_large_size: usize,
+    /// Slot geometry of the peer's region (sender side of the bulk plane).
+    peer_slots: usize,
+    peer_slot_size: usize,
     /// Receive buffers currently posted, by work-request id.
     posted: Mutex<HashMap<u64, PooledBuf<MemoryRegion>>>,
     /// Frames unpacked from an [`IMM_BATCH`] completion beyond the first,
@@ -215,7 +366,18 @@ pub struct RdmaConn {
     stash: Mutex<std::collections::VecDeque<Vec<u8>>>,
     next_wr: AtomicU64,
     send: Mutex<SendState>,
-    large_credits: CreditGate,
+    /// Credits over the *peer's* region, spent by our bulk sends.
+    ring: SlotRing,
+    /// Slots of *our* region drained but not yet credited back to the
+    /// peer; flushed in batches of `credit_batch` (or when the inbox goes
+    /// quiet, so a lone transfer is credited immediately).
+    pending_credits: Mutex<usize>,
+    credit_batch: usize,
+    /// Recycled storage for the gather serializer's segment list, so a
+    /// steady-state bulk send allocates nothing.
+    seg_scratch: Mutex<Vec<PooledBuf<MemoryRegion>>>,
+    /// Eager/bulk switch point (static, or adaptive when configured).
+    crossover: Crossover,
     closed: AtomicBool,
     peer_desc: String,
     /// When attached, every send feeds the per-`<protocol, method>`
@@ -226,6 +388,60 @@ pub struct RdmaConn {
     ready_hook: Mutex<Option<std::sync::Arc<dyn Fn() + Send + Sync>>>,
 }
 
+fn hello_field<const N: usize>(buf: &[u8], at: usize) -> RpcResult<[u8; N]> {
+    buf.get(at..at + N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or_else(|| RpcError::Protocol("truncated bootstrap hello".into()))
+}
+
+/// Parse and validate a peer hello. Every field is length-checked and
+/// range-checked before use — a garbage peer gets a clean protocol error.
+fn parse_hello(buf: &[u8], cfg: &RpcConfig) -> RpcResult<(QpEndpoint, RemoteKey, usize, usize)> {
+    let magic = u32::from_be_bytes(hello_field::<4>(buf, 0)?);
+    if magic != HELLO_MAGIC {
+        return Err(RpcError::Protocol(format!(
+            "bad bootstrap magic {magic:#010x}"
+        )));
+    }
+    let version = buf
+        .get(4)
+        .copied()
+        .ok_or_else(|| RpcError::Protocol("truncated bootstrap hello".into()))?;
+    if version != HELLO_VERSION {
+        return Err(RpcError::Protocol(format!(
+            "unsupported bootstrap version {version} (expected {HELLO_VERSION})"
+        )));
+    }
+    let peer_ep = QpEndpoint::from_bytes(hello_field::<12>(buf, 8)?);
+    let peer_rkey = RemoteKey::from_bytes(hello_field::<12>(buf, 20)?);
+    let large = u64::from_be_bytes(hello_field::<8>(buf, 32)?);
+    let slots = u32::from_be_bytes(hello_field::<4>(buf, 40)?) as usize;
+    if large == 0 || large > MAX_SANE_REGION {
+        return Err(RpcError::Protocol(format!(
+            "peer advertises an unusable {large}-byte large region"
+        )));
+    }
+    let large = large as usize;
+    if large < cfg.rdma_threshold {
+        return Err(RpcError::Protocol(format!(
+            "peer's {large}-byte large region is smaller than the {}-byte rdma_threshold: \
+             frames between the two would be unsendable",
+            cfg.rdma_threshold
+        )));
+    }
+    if slots == 0 || slots > MAX_LARGE_SLOTS {
+        return Err(RpcError::Protocol(format!(
+            "peer advertises {slots} large-region slots (valid: 1..={MAX_LARGE_SLOTS})"
+        )));
+    }
+    if !large.is_multiple_of(slots) {
+        return Err(RpcError::Protocol(format!(
+            "peer's {large}-byte large region is not divisible into {slots} slots"
+        )));
+    }
+    Ok((peer_ep, peer_rkey, large, slots))
+}
+
 impl RdmaConn {
     /// Run the end-point exchange over an established bootstrap stream and
     /// bring up the verbs connection. Symmetric: both the client and the
@@ -234,23 +450,25 @@ impl RdmaConn {
         let qp = ctx.device.create_qp();
         let my_large = ctx.device.register(cfg.large_region_bytes);
 
-        // Send our endpoint info: QP endpoint + large-region rkey + size.
-        let mut hello = Vec::with_capacity(32);
-        hello.extend_from_slice(&qp.endpoint().to_bytes());
-        hello.extend_from_slice(&my_large.remote_key().to_bytes());
-        hello.extend_from_slice(&(cfg.large_region_bytes as u64).to_be_bytes());
+        // Send our endpoint info: magic + version, QP endpoint, the
+        // large-region rkey and its slot geometry.
+        let mut hello = [0u8; HELLO_BYTES];
+        hello[0..4].copy_from_slice(&HELLO_MAGIC.to_be_bytes());
+        hello[4] = HELLO_VERSION;
+        hello[8..20].copy_from_slice(&qp.endpoint().to_bytes());
+        hello[20..32].copy_from_slice(&my_large.remote_key().to_bytes());
+        hello[32..40].copy_from_slice(&(cfg.large_region_bytes as u64).to_be_bytes());
+        hello[40..44].copy_from_slice(&(cfg.large_slots as u32).to_be_bytes());
         (&*stream)
             .write_all(&hello)
             .map_err(|e| RpcError::Io(e.to_string()))?;
 
-        // Receive theirs.
-        let mut peer = [0u8; 32];
+        // Receive and validate theirs.
+        let mut peer = [0u8; HELLO_BYTES];
         stream
             .read_exact_at(&mut peer)
             .map_err(|e| RpcError::Io(e.to_string()))?;
-        let peer_ep = QpEndpoint::from_bytes(peer[0..12].try_into().unwrap());
-        let peer_rkey = RemoteKey::from_bytes(peer[12..24].try_into().unwrap());
-        let peer_large_size = u64::from_be_bytes(peer[24..32].try_into().unwrap()) as usize;
+        let (peer_ep, peer_rkey, peer_large_size, peer_slots) = parse_hello(&peer, cfg)?;
 
         qp.connect(peer_ep);
 
@@ -259,15 +477,27 @@ impl RdmaConn {
             cfg: cfg.clone(),
             qp,
             my_large,
+            my_slots: cfg.large_slots,
+            my_slot_size: cfg.large_region_bytes / cfg.large_slots,
             peer_rkey,
-            peer_large_size,
+            peer_slots,
+            peer_slot_size: peer_large_size / peer_slots,
             posted: Mutex::new(HashMap::new()),
             stash: Mutex::new(std::collections::VecDeque::new()),
             next_wr: AtomicU64::new(1),
             send: Mutex::new(SendState {
                 credit_mr: ctx.device.register(128),
+                header_mr: ctx.device.register(64),
             }),
-            large_credits: CreditGate::new(1),
+            ring: SlotRing::new(peer_slots),
+            pending_credits: Mutex::new(0),
+            credit_batch: (cfg.large_slots / 2).max(1),
+            seg_scratch: Mutex::new(Vec::new()),
+            crossover: Crossover::new(
+                cfg.adaptive_rdma_threshold,
+                cfg.rdma_threshold,
+                cfg.recv_buf_bytes,
+            ),
             closed: AtomicBool::new(false),
             peer_desc: format!("rdma:{}", peer_ep.node),
             metrics: None,
@@ -287,6 +517,12 @@ impl RdmaConn {
         self
     }
 
+    /// The live eager/bulk switch point (equals `rdma_threshold` unless
+    /// the adaptive controller has moved it).
+    pub fn crossover_threshold(&self) -> usize {
+        self.crossover.threshold()
+    }
+
     fn post_one_recv(&self) {
         let wr = self.next_wr.fetch_add(1, Ordering::Relaxed);
         let buf = self.ctx.pool.acquire_size(self.cfg.recv_buf_bytes);
@@ -294,19 +530,143 @@ impl RdmaConn {
         self.posted.lock().insert(wr, buf);
     }
 
-    fn take_posted(&self, wr_id: u64) -> PooledBuf<MemoryRegion> {
-        self.posted
-            .lock()
-            .remove(&wr_id)
-            .expect("completion for a receive buffer we never posted")
+    /// A completion for a work-request id we never posted means the
+    /// connection's accounting is corrupt: count it, tear the connection
+    /// down, and surface a protocol error instead of killing the reader.
+    fn take_posted(&self, wr_id: u64) -> RpcResult<PooledBuf<MemoryRegion>> {
+        match self.posted.lock().remove(&wr_id) {
+            Some(buf) => Ok(buf),
+            None => {
+                Err(self
+                    .frame_corruption(format!("completion for unknown work-request id {wr_id}")))
+            }
+        }
     }
 
-    fn send_credit(&self) -> RpcResult<()> {
+    /// Record an unrecoverable framing-level fault: the connection's wire
+    /// state can no longer be trusted, so close it and hand back the
+    /// protocol error for the caller to surface.
+    fn frame_corruption(&self, msg: String) -> RpcError {
+        if let Some(m) = &self.metrics {
+            m.inc_frame_errors();
+        }
+        self.close();
+        RpcError::Protocol(msg)
+    }
+
+    fn send_credit(&self, count: usize) -> RpcResult<()> {
         let state = self.send.lock();
         state.credit_mr.write_at(0, &[0]).map_err(verbs_err)?;
         self.qp
-            .post_send(&state.credit_mr, 0, 1, IMM_CREDIT)
+            .post_send(&state.credit_mr, 0, 1, IMM_CREDIT | ((count as u32) << 8))
             .map_err(verbs_err)
+    }
+
+    /// Flush accumulated drain credits when the batch is full or the
+    /// inbox has gone quiet (so a lone transfer is credited immediately —
+    /// its latency is identical to the one-deep gate's).
+    fn maybe_flush_credits(&self) {
+        let count = {
+            let mut pending = self.pending_credits.lock();
+            if *pending == 0 {
+                return;
+            }
+            if *pending < self.credit_batch && self.qp.recv_pending() {
+                return;
+            }
+            std::mem::take(&mut *pending)
+        };
+        // Best-effort: if the peer has gone away the credits are moot.
+        let _ = self.send_credit(count);
+    }
+
+    /// Claim slots, wait for the posting turn, and gather-write one bulk
+    /// frame into the peer's region.
+    fn send_bulk(&self, segs: &[PooledBuf<MemoryRegion>], len: usize) -> RpcResult<()> {
+        debug_assert!(len > 0, "zero-length frames always route eager");
+        let footprint = len + HEADER_BYTES;
+        let k = footprint.div_ceil(self.peer_slot_size);
+        if k > self.peer_slots {
+            return Err(RpcError::Protocol(format!(
+                "frame of {len} bytes needs {k} slots but the peer's region has \
+                 {} slots of {} bytes",
+                self.peer_slots, self.peer_slot_size
+            )));
+        }
+        let grant = self.ring.acquire(k, self.cfg.call_timeout)?;
+        self.ring.await_turn(grant.ticket)?;
+        let result = self.post_bulk_writes(&grant, segs, len);
+        self.ring.advance_turn();
+        if let Err(e) = result {
+            // A failed write mid-frame breaks the ring's in-order
+            // crediting story (this grant's credits may never return);
+            // a verbs-level failure invalidates the connection anyway.
+            self.close();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn post_bulk_writes(
+        &self,
+        grant: &Grant,
+        segs: &[PooledBuf<MemoryRegion>],
+        len: usize,
+    ) -> RpcResult<()> {
+        let base = grant.start * self.peer_slot_size;
+        let imm = IMM_LARGE | ((grant.start as u32) << 8) | ((grant.consumed as u32) << 20);
+        let state = self.send.lock();
+        state
+            .header_mr
+            .write_at(0, &(len as u64).to_be_bytes())
+            .map_err(verbs_err)?;
+        // Header + segments go out as ONE doorbell-batched chain, so the
+        // whole frame pays a single propagation latency regardless of
+        // how many pooled segments the gather produced. The immediate
+        // rides the chain and announces only after its last byte. The
+        // chain is described computationally (every sealed segment holds
+        // exactly `recv_buf_bytes`, the last holds the remainder) so the
+        // send path stays allocation-free.
+        let seg_bytes = self.cfg.recv_buf_bytes;
+        let chain = std::iter::once((&state.header_mr, 0usize, HEADER_BYTES, base)).chain(
+            segs.iter()
+                .take(len.div_ceil(seg_bytes))
+                .enumerate()
+                .map(|(i, seg)| {
+                    let n = (len - i * seg_bytes).min(seg_bytes);
+                    (seg.mem(), 0usize, n, base + HEADER_BYTES + i * seg_bytes)
+                }),
+        );
+        self.qp
+            .rdma_write_vectored(chain, self.peer_rkey, Some(imm))
+            .map_err(verbs_err)?;
+        Ok(())
+    }
+
+    /// Validate an [`IMM_LARGE`] announcement against our region geometry
+    /// and read the frame's length header. Violations tear the
+    /// connection down — an out-of-contract peer write means the region
+    /// contents can't be trusted.
+    fn bulk_frame_len(&self, start: usize, consumed: usize) -> RpcResult<usize> {
+        if consumed == 0 || start + consumed > self.my_slots {
+            return Err(self.frame_corruption(format!(
+                "bulk announcement out of range: start={start} consumed={consumed} \
+                 with {} slots",
+                self.my_slots
+            )));
+        }
+        let base = start * self.my_slot_size;
+        let mut hdr = [0u8; HEADER_BYTES];
+        self.my_large.read_at(base, &mut hdr).map_err(verbs_err)?;
+        let len = u64::from_be_bytes(hdr) as usize;
+        if base + HEADER_BYTES + len > self.cfg.large_region_bytes {
+            return Err(self.frame_corruption(format!(
+                "bulk frame of {len} bytes at slot {start} overruns the \
+                 {}-byte region",
+                self.cfg.large_region_bytes
+            )));
+        }
+        Ok(len)
     }
 
     /// Post the accumulated `[vlong len][frame]…` chunk as one
@@ -338,43 +698,50 @@ impl Conn for RdmaConn {
             return Err(RpcError::ConnectionClosed);
         }
 
-        // --- Serialization: straight into pooled registered memory. ---
+        // --- Serialization: straight into pooled registered segments. ---
         let ser_start = Instant::now();
-        let mut out = RdmaOutputStream::new(&self.ctx.pool, key);
+        let scratch = self
+            .seg_scratch
+            .try_lock()
+            .map(|mut v| std::mem::take(&mut *v))
+            .unwrap_or_default();
+        let mut out = RdmaGatherStream::new(&self.ctx.pool, key, self.cfg.recv_buf_bytes, scratch);
         write(&mut out)?;
-        let (buf, len, grows) = out.finish();
+        let (mut segs, len, grows) = out.finish();
         let serialize_ns = ser_start.elapsed().as_nanos() as u64;
 
         // --- Transmission. ---
         let send_start = Instant::now();
-        if len <= self.cfg.rdma_threshold {
-            let state = self.send.lock();
-            self.qp
-                .post_send(buf.mem(), 0, len, IMM_SMALL)
-                .map_err(verbs_err)?;
-            drop(state);
-        } else {
-            if len > self.peer_large_size {
-                return Err(RpcError::Protocol(format!(
-                    "frame of {len} bytes exceeds the peer's {}-byte large region",
-                    self.peer_large_size
-                )));
+        let fabric = self.ctx.device.fabric();
+        let node = self.ctx.device.node();
+        let modeled_before = fabric.modeled_ns(node);
+        let mut route = self.crossover.route(len);
+        if route == Route::Eager && segs.len() > 1 {
+            // Can't happen while the controller caps its threshold at the
+            // segment size; routed defensively rather than asserted.
+            route = Route::Bulk;
+        }
+        match route {
+            Route::Eager => {
+                let state = self.send.lock();
+                self.qp
+                    .post_send(segs[0].mem(), 0, len, IMM_SMALL)
+                    .map_err(verbs_err)?;
+                drop(state);
             }
-            if !self.large_credits.take(self.cfg.call_timeout) {
-                return Err(RpcError::Timeout);
-            }
-            let state = self.send.lock();
-            let result = self
-                .qp
-                .rdma_write(buf.mem(), 0, len, self.peer_rkey, 0, Some(IMM_LARGE));
-            drop(state);
-            if let Err(e) = result {
-                // The write never happened; the region is still ours.
-                self.large_credits.put();
-                return Err(verbs_err(e));
+            Route::Bulk => self.send_bulk(&segs, len)?,
+        }
+        let modeled_delta = fabric.modeled_ns(node).saturating_sub(modeled_before);
+        self.crossover.record(len, route, modeled_delta);
+        let send_ns = send_start.elapsed().as_nanos() as u64;
+
+        // Segments return to the pool; their Vec storage is recycled.
+        segs.clear();
+        if let Some(mut slot) = self.seg_scratch.try_lock() {
+            if slot.capacity() < segs.capacity() {
+                *slot = segs;
             }
         }
-        let send_ns = send_start.elapsed().as_nanos() as u64;
 
         if let Some(m) = &self.metrics {
             let entry = m.entry(key);
@@ -403,15 +770,16 @@ impl Conn for RdmaConn {
         // Merge consecutive small frames into recv-ring-sized chunks (the
         // chunk must land whole in one posted buffer); a frame that won't
         // ride in a chunk flushes what's pending — order is preserved —
-        // and takes the ordinary small/large path by itself.
+        // and takes the ordinary eager/bulk path by itself.
         let cap = self.cfg.recv_buf_bytes;
+        let threshold = self.crossover.threshold();
         let batch_start = Instant::now();
         let mut chunk: Vec<u8> = Vec::new();
         let mut in_chunk = 0usize;
         let mut merged = 0u64;
         for frame in &frames {
             let prefixed = wire::varint::vlong_size(frame.len() as i64) + frame.len();
-            if frame.len() > self.cfg.rdma_threshold || prefixed > cap {
+            if frame.len() > threshold || prefixed > cap {
                 self.flush_batch_chunk(&mut chunk, &mut in_chunk)?;
                 self.send_msg(key, &mut |out| out.write_bytes(frame))?;
                 continue;
@@ -458,6 +826,9 @@ impl Conn for RdmaConn {
                     },
                 ));
             }
+            // Idle moments are when batched credits drain: if nothing else
+            // is inbound, whatever we owe the peer goes back now.
+            self.maybe_flush_credits();
             let now = Instant::now();
             if now >= deadline {
                 return Err(RpcError::Timeout);
@@ -468,9 +839,9 @@ impl Conn for RdmaConn {
                 Err(e) => return Err(verbs_err(e)),
             };
             let total_start = Instant::now();
-            match (completion.kind, completion.imm) {
+            match (completion.kind, completion.imm & 0xff) {
                 (CompletionKind::Recv, IMM_SMALL) => {
-                    let buf = self.take_posted(completion.wr_id);
+                    let buf = self.take_posted(completion.wr_id)?;
                     // Replenish the ring; with a warm pool this is a
                     // freelist pop — the "allocation" cost RPCoIB removes.
                     let alloc_start = Instant::now();
@@ -490,7 +861,7 @@ impl Conn for RdmaConn {
                     ));
                 }
                 (CompletionKind::Recv, IMM_BATCH) => {
-                    let buf = self.take_posted(completion.wr_id);
+                    let buf = self.take_posted(completion.wr_id)?;
                     let alloc_start = Instant::now();
                     self.post_one_recv();
                     let alloc_ns = alloc_start.elapsed().as_nanos() as u64;
@@ -534,27 +905,42 @@ impl Conn for RdmaConn {
                     ));
                 }
                 (CompletionKind::Recv, IMM_CREDIT) => {
-                    // Flow-control credit: recycle the consumed recv buffer
-                    // and wake a sender blocked on the large region.
-                    drop(self.take_posted(completion.wr_id));
+                    // Flow-control credits: recycle the consumed recv
+                    // buffer and wake senders blocked on the slot ring.
+                    drop(self.take_posted(completion.wr_id)?);
                     self.post_one_recv();
-                    self.large_credits.put();
+                    let count = (completion.imm >> 8) as usize;
+                    if count == 0 || count > self.peer_slots {
+                        return Err(self.frame_corruption(format!(
+                            "credit return of {count} slots (ring has {})",
+                            self.peer_slots
+                        )));
+                    }
+                    self.ring.release(count);
                     continue;
                 }
                 (CompletionKind::RecvRdmaWithImm, IMM_LARGE) => {
-                    drop(self.take_posted(completion.wr_id));
+                    drop(self.take_posted(completion.wr_id)?);
                     self.post_one_recv();
-                    let len = completion.len;
-                    // Drain the region into a pooled buffer so the credit
-                    // can be returned immediately.
+                    let start = ((completion.imm >> 8) & 0xfff) as usize;
+                    let consumed = ((completion.imm >> 20) & 0xfff) as usize;
+                    let len = self.bulk_frame_len(start, consumed)?;
+                    let base = start * self.my_slot_size + HEADER_BYTES;
+                    // Drain the region into a pooled buffer so the slots
+                    // can be credited back; the copy is charged to our
+                    // ledger (the sender side was zero-copy, this is the
+                    // one memcpy the design retains).
                     let alloc_start = Instant::now();
                     let mut buf = self.ctx.pool.acquire_size(len);
                     let alloc_ns = alloc_start.elapsed().as_nanos() as u64;
                     self.my_large
-                        .with(|region| buf.mem_mut().put(0, &region[..len]));
-                    // Best-effort: if the peer has already gone away the
-                    // credit is moot, but the payload in hand is still good.
-                    let _ = self.send_credit();
+                        .with(|region| buf.mem_mut().put(0, &region[base..base + len]));
+                    self.ctx
+                        .device
+                        .fabric()
+                        .charge_host_ns(self.ctx.device.node(), hostcost::drain_ns(len));
+                    *self.pending_credits.lock() += consumed;
+                    self.maybe_flush_credits();
                     let total_ns = total_start.elapsed().as_nanos() as u64 + 1;
                     return Ok((
                         Payload::Pooled { buf, len },
@@ -566,9 +952,9 @@ impl Conn for RdmaConn {
                     ));
                 }
                 (kind, imm) => {
-                    return Err(RpcError::Protocol(format!(
-                        "unexpected completion {kind:?} imm={imm}"
-                    )));
+                    return Err(
+                        self.frame_corruption(format!("unexpected completion {kind:?} imm={imm}"))
+                    );
                 }
             }
         }
@@ -598,6 +984,8 @@ impl Conn for RdmaConn {
 
     fn close(&self) {
         self.closed.store(true, Ordering::Release);
+        // Senders blocked on slot credits must observe the close.
+        self.ring.close();
         // Local close is a readiness edge: `poll_ready` is now permanently
         // true, but no completion will arrive to announce it.
         let hook = self.ready_hook.lock().clone();
@@ -615,6 +1003,7 @@ impl std::fmt::Debug for RdmaConn {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RdmaConn")
             .field("peer", &self.peer_desc)
+            .field("peer_slots", &self.peer_slots)
             .finish()
     }
 }
@@ -645,6 +1034,17 @@ mod tests {
         let srv_conn = RdmaConn::bootstrap(&srv_stream, &server_ctx, cfg).unwrap();
         let cli_conn = h.join().unwrap();
         (Arc::new(cli_conn), Arc::new(srv_conn))
+    }
+
+    /// Keep a client's receive path moving so credits (and echoes) flow,
+    /// as the engine's Connection thread does. Stops when the conn closes.
+    fn progress_thread(conn: Arc<RdmaConn>) -> thread::JoinHandle<()> {
+        thread::spawn(move || loop {
+            match conn.recv_msg(Duration::from_millis(100)) {
+                Err(RpcError::Timeout) => continue,
+                _ => return,
+            }
+        })
     }
 
     #[test]
@@ -696,13 +1096,7 @@ mod tests {
         let (cli, srv) = conn_pair(&cfg);
         // Credits come back through the client's receive path; in the real
         // engine the Connection thread polls it continuously — emulate it.
-        let cli_progress = Arc::clone(&cli);
-        let progress = thread::spawn(move || loop {
-            match cli_progress.recv_msg(Duration::from_millis(100)) {
-                Err(RpcError::Timeout) => continue,
-                _ => return,
-            }
-        });
+        let progress = progress_thread(Arc::clone(&cli));
         let srv2 = Arc::clone(&srv);
         let reader = thread::spawn(move || {
             let mut sizes = Vec::new();
@@ -724,6 +1118,36 @@ mod tests {
         }
         let sizes = reader.join().unwrap();
         assert_eq!(sizes, vec![50_000, 100_000, 150_000, 200_000]);
+        cli.close();
+        progress.join().unwrap();
+    }
+
+    #[test]
+    fn one_deep_ring_behaves_like_the_legacy_gate() {
+        // `large_slots = 1` is the paper's configuration: exactly one
+        // outstanding large frame, each blocked on the previous drain.
+        let cfg = RpcConfig {
+            large_slots: 1,
+            ..RpcConfig::rpcoib()
+        };
+        let (cli, srv) = conn_pair(&cfg);
+        let progress = progress_thread(Arc::clone(&cli));
+        let srv2 = Arc::clone(&srv);
+        let reader = thread::spawn(move || {
+            for want in 1..=4usize {
+                let (payload, _) = srv2.recv_msg(Duration::from_secs(10)).unwrap();
+                let body = payload.reader().read_len_bytes().unwrap();
+                assert_eq!(body.len(), want * 50_000);
+            }
+        });
+        for k in 1..=4usize {
+            let body = vec![3u8; k * 50_000];
+            cli.send_msg(crate::intern::method_key("p", "big"), &mut |out| {
+                out.write_len_bytes(&body)
+            })
+            .unwrap();
+        }
+        reader.join().unwrap();
         cli.close();
         progress.join().unwrap();
     }
@@ -775,6 +1199,203 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, RpcError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn credit_starvation_is_a_retryable_transport_error() {
+        // A peer that never drains: the sender must come back with
+        // CreditStarved (retryable, non-invalidating) — not a wall-clock
+        // Timeout, and never a deadlock.
+        let cfg = RpcConfig {
+            rdma_threshold: 2 * 1024,
+            recv_buf_bytes: 4 * 1024,
+            posted_recvs: 2,
+            prefill_per_class: 1,
+            large_region_bytes: 16 * 1024,
+            large_slots: 4,
+            call_timeout: Duration::from_millis(200),
+            ..RpcConfig::rpcoib()
+        };
+        let (cli, _srv) = conn_pair(&cfg);
+        let body = vec![1u8; 10_000]; // 3 of the 4 slots
+        cli.send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+            out.write_bytes(&body)
+        })
+        .unwrap();
+        let err = cli
+            .send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+                out.write_bytes(&body)
+            })
+            .unwrap_err();
+        assert_eq!(err, RpcError::CreditStarved);
+        assert!(err.is_retryable());
+        assert!(!err.invalidates_connection());
+    }
+
+    #[test]
+    fn close_unblocks_a_credit_starved_sender() {
+        let cfg = RpcConfig {
+            rdma_threshold: 2 * 1024,
+            recv_buf_bytes: 4 * 1024,
+            posted_recvs: 2,
+            prefill_per_class: 1,
+            large_region_bytes: 16 * 1024,
+            large_slots: 4,
+            call_timeout: Duration::from_secs(30),
+            ..RpcConfig::rpcoib()
+        };
+        let (cli, _srv) = conn_pair(&cfg);
+        let body = vec![1u8; 10_000];
+        cli.send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+            out.write_bytes(&body)
+        })
+        .unwrap();
+        let cli2 = Arc::clone(&cli);
+        let blocked = thread::spawn(move || {
+            cli2.send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+                out.write_bytes(&[1u8; 10_000])
+            })
+        });
+        thread::sleep(Duration::from_millis(50));
+        cli.close();
+        let err = blocked.join().unwrap().unwrap_err();
+        assert_eq!(
+            err,
+            RpcError::ConnectionClosed,
+            "close must beat the 30s budget"
+        );
+    }
+
+    #[test]
+    fn malformed_hellos_are_rejected_cleanly() {
+        fn bootstrap_against(hello: Vec<u8>) -> RpcError {
+            let cfg = RpcConfig::rpcoib();
+            let fabric = Fabric::new(model::IB_QDR_VERBS);
+            let server = fabric.add_node();
+            let client = fabric.add_node();
+            let ctx = IbContext::new(&fabric, server, &cfg).unwrap();
+            let addr = SimAddr::new(server, 9100);
+            let listener = SimListener::bind(&fabric, addr).unwrap();
+            let f2 = fabric.clone();
+            let h = thread::spawn(move || {
+                let stream = SimStream::connect(&f2, client, addr).unwrap();
+                (&stream).write_all(&hello).unwrap();
+                // Drain the server's (valid) hello so its write can't jam.
+                let mut theirs = [0u8; HELLO_BYTES];
+                let _ = stream.read_exact_at(&mut theirs);
+            });
+            let (srv_stream, _) = listener.accept().unwrap();
+            let err = RdmaConn::bootstrap(&srv_stream, &ctx, &cfg).unwrap_err();
+            h.join().unwrap();
+            err
+        }
+
+        fn hello_with(region: u64, slots: u32) -> Vec<u8> {
+            let mut h = vec![0u8; HELLO_BYTES];
+            h[0..4].copy_from_slice(&HELLO_MAGIC.to_be_bytes());
+            h[4] = HELLO_VERSION;
+            h[32..40].copy_from_slice(&region.to_be_bytes());
+            h[40..44].copy_from_slice(&slots.to_be_bytes());
+            h
+        }
+
+        // Garbage magic — the pre-hello panic class this replaces.
+        let err = bootstrap_against(vec![0xEEu8; HELLO_BYTES]);
+        assert!(matches!(err, RpcError::Protocol(_)), "{err}");
+        // Zero-size region.
+        let err = bootstrap_against(hello_with(0, 4));
+        assert!(matches!(err, RpcError::Protocol(_)), "{err}");
+        // Region smaller than the threshold: an unusable large path.
+        let err = bootstrap_against(hello_with(1024, 1));
+        assert!(matches!(err, RpcError::Protocol(_)), "{err}");
+        // Absurd region size.
+        let err = bootstrap_against(hello_with(u64::MAX, 4));
+        assert!(matches!(err, RpcError::Protocol(_)), "{err}");
+        // Zero slots.
+        let err = bootstrap_against(hello_with(4 << 20, 0));
+        assert!(matches!(err, RpcError::Protocol(_)), "{err}");
+        // Region not divisible into slots.
+        let err = bootstrap_against(hello_with(4 << 20, 3));
+        assert!(matches!(err, RpcError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_wr_id_completion_tears_down_gracefully() {
+        let cfg = RpcConfig::rpcoib();
+        let (cli, srv) = conn_pair(&cfg);
+        // Corrupt the server's accounting: the next completion will name a
+        // work-request id the posted-map no longer knows.
+        srv.posted.lock().clear();
+        cli.send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+            out.write_bytes(&[1u8; 64])
+        })
+        .unwrap();
+        let err = srv.recv_msg(Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err, RpcError::Protocol(_)), "{err}");
+        // Torn down, not panicked — and permanently closed.
+        assert_eq!(
+            srv.recv_msg(Duration::from_millis(10)).unwrap_err(),
+            RpcError::ConnectionClosed
+        );
+    }
+
+    #[test]
+    fn adaptive_crossover_learns_that_small_frames_prefer_eager() {
+        // On the modeled ledger the bulk path pays a flat surcharge over
+        // eager (the length-header write in the doorbell chain), so for
+        // small frames — where that surcharge clears the retune margin —
+        // bulk is the wrong route. Start from a deliberately-low static
+        // threshold that sends 5 kB frames down the bulk path; probe
+        // traffic must teach the controller to raise the threshold past
+        // them. (At mid sizes the surcharge is *inside* the margin, and
+        // staying put is the correct, churn-free behaviour — that case
+        // is `static_crossover_never_moves`' territory.)
+        let cfg = RpcConfig {
+            adaptive_rdma_threshold: true,
+            rdma_threshold: 2048,
+            ..RpcConfig::rpcoib()
+        };
+        let (cli, srv) = conn_pair(&cfg);
+        let progress = progress_thread(Arc::clone(&cli));
+        let srv2 = Arc::clone(&srv);
+        let drain = thread::spawn(move || {
+            let mut got = 0usize;
+            while got < 128 {
+                match srv2.recv_msg(Duration::from_secs(5)) {
+                    Ok(_) => got += 1,
+                    Err(e) => panic!("server drain failed after {got}: {e}"),
+                }
+            }
+        });
+        assert_eq!(cli.crossover_threshold(), cfg.rdma_threshold);
+        for _ in 0..128 {
+            cli.send_msg(crate::intern::method_key("p", "small"), &mut |out| {
+                out.write_bytes(&[5u8; 5_000])
+            })
+            .unwrap();
+        }
+        drain.join().unwrap();
+        assert!(
+            cli.crossover_threshold() > 5_000,
+            "threshold stuck at {} after 128 small bulk sends",
+            cli.crossover_threshold()
+        );
+        cli.close();
+        progress.join().unwrap();
+    }
+
+    #[test]
+    fn static_crossover_never_moves() {
+        let cfg = RpcConfig::rpcoib();
+        let (cli, srv) = conn_pair(&cfg);
+        for _ in 0..40 {
+            cli.send_msg(crate::intern::method_key("p", "m"), &mut |out| {
+                out.write_bytes(&[5u8; 8_000])
+            })
+            .unwrap();
+            let _ = srv.recv_msg(Duration::from_secs(1)).unwrap();
+        }
+        assert_eq!(cli.crossover_threshold(), cfg.rdma_threshold);
     }
 
     #[test]
@@ -869,5 +1490,50 @@ mod tests {
         let (hits2, _m2, _r2, _o2) = cli.ctx.pool.native().stats().snapshot();
         assert!(hits2 > 0, "pool must be serving from freelists");
         assert!(misses < 50, "unbounded registration leak");
+    }
+
+    #[test]
+    fn steady_state_bulk_sends_touch_no_new_registrations() {
+        let cfg = RpcConfig::rpcoib();
+        let (cli, srv) = conn_pair(&cfg);
+        let progress = progress_thread(Arc::clone(&cli));
+        let body = vec![9u8; 200_000];
+        let roundtrip = |n: usize| {
+            for _ in 0..n {
+                cli.send_msg(crate::intern::method_key("p", "bulk"), &mut |out| {
+                    out.write_bytes(&body)
+                })
+                .unwrap();
+                let _ = srv.recv_msg(Duration::from_secs(5)).unwrap();
+            }
+        };
+        roundtrip(3); // warm: segment + drain classes populate
+        let fabric = cli.ctx.device.fabric();
+        let (_, _, _, regs_before) = fabric.stats().snapshot();
+        let (_, misses_before, _, over_before) = cli.ctx.pool_stats();
+        let (_, srv_misses_before, _, srv_over_before) = srv.ctx.pool_stats();
+        roundtrip(10);
+        let (_, _, _, regs_after) = fabric.stats().snapshot();
+        let (_, misses_after, _, over_after) = cli.ctx.pool_stats();
+        let (_, srv_misses_after, _, srv_over_after) = srv.ctx.pool_stats();
+        assert_eq!(
+            regs_after - regs_before,
+            0,
+            "steady-state bulk sends must re-use cached registrations"
+        );
+        assert_eq!(misses_after - misses_before, 0, "sender pool misses");
+        assert_eq!(over_after - over_before, 0, "sender oversize allocations");
+        assert_eq!(
+            srv_misses_after - srv_misses_before,
+            0,
+            "receiver pool misses"
+        );
+        assert_eq!(
+            srv_over_after - srv_over_before,
+            0,
+            "receiver oversize allocations"
+        );
+        cli.close();
+        progress.join().unwrap();
     }
 }

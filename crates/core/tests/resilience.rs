@@ -24,9 +24,12 @@ use wire::{BytesWritable, DataInput, LongWritable, Text, Writable};
 /// server pipeline shape from `RPC_SHARDS` (pins both reader and
 /// responder shard counts; unset or 0 keeps the config defaults) and
 /// wire batching toggled by `RPC_BATCH` (`off` disables client gather
-/// coalescing and responder sweep batching). CI's resilience matrix
-/// crosses these variables, so every scenario here runs single-sharded
-/// *and* at 4×4, batched *and* per-frame.
+/// coalescing and responder sweep batching), and the adaptive eager/bulk
+/// crossover toggled by `RPC_ADAPTIVE` (`on` lets each verbs connection
+/// retune its `rdma_threshold` from live cost samples; a no-op on the
+/// socket transport). CI's resilience matrix crosses these variables, so
+/// every scenario here runs single-sharded *and* at 4×4, batched *and*
+/// per-frame, static *and* adaptive.
 fn env_transport() -> (Fabric, RpcConfig) {
     let (fabric, mut cfg) = if std::env::var("RPC_TRANSPORT").as_deref() == Ok("verbs") {
         (Fabric::new(model::IB_QDR_VERBS), RpcConfig::rpcoib())
@@ -43,6 +46,9 @@ fn env_transport() -> (Fabric, RpcConfig) {
     }
     if std::env::var("RPC_BATCH").as_deref() == Ok("off") {
         cfg.wire_batch = false;
+    }
+    if std::env::var("RPC_ADAPTIVE").as_deref() == Ok("on") {
+        cfg.adaptive_rdma_threshold = true;
     }
     (fabric, cfg)
 }

@@ -3,9 +3,11 @@
 //! Hadoop serves map outputs over HTTP from the TaskTracker; here the
 //! shuffle server speaks a two-frame protocol (`FETCH` → `CHUNK*`/`MISSING`)
 //! over the same pooled-connection machinery the HDFS data plane uses.
-//! The shuffle stays on the Ethernet rail in every configuration — the
-//! paper's RPCoIB changes RPC only, not the shuffle (that is the separate
-//! "Hadoop Acceleration" line of work it cites).
+//! The shuffle follows the RPC rail: on socket configurations it stays on
+//! Ethernet, and on RPCoIB configurations its 64 KiB chunks ride the
+//! verbs transport's one-sided bulk plane (slot ring + RDMA write), the
+//! shuffle-over-IB extension the paper's "Hadoop Acceleration" line of
+//! cited work pursues.
 
 use std::collections::HashMap;
 use std::sync::Arc;

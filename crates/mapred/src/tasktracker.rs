@@ -16,6 +16,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use mini_hdfs::dataxfer::DataConnPool;
 use mini_hdfs::{DfsClient, HostNet};
 use parking_lot::Mutex;
+use rpcoib::transport::rdma::RdmaConn;
 use rpcoib::transport::socket::SocketConn;
 use rpcoib::transport::Conn;
 use rpcoib::{Client, RpcConfig, RpcError, RpcResult, RpcService, Server, ServiceRegistry};
@@ -155,13 +156,16 @@ impl TaskTracker {
         nn: SimAddr,
         cfg: MrConfig,
     ) -> RpcResult<TaskTracker> {
-        // RPC rail (JT, umbilical) per cfg.rpc; shuffle stays on eth.
+        // RPC rail (JT, umbilical) per cfg.rpc. The shuffle follows the
+        // same rail: on RPCoIB configurations map outputs ride the verbs
+        // bulk data plane (64 KiB chunks go one-sided through the slot
+        // ring), otherwise they stay on the Ethernet sockets.
         let (rpc_fabric, rpc_node) = if cfg.rpc.ib_enabled {
             (cluster.ib().clone(), cluster.ib_node(host))
         } else {
             (cluster.eth().clone(), cluster.eth_node(host))
         };
-        let shuffle_node = cluster.eth_node(host);
+        let shuffle_node = rpc_node;
 
         let jt_client = Client::new(&rpc_fabric, rpc_node, cfg.rpc.clone())?;
         let me = TrackerInfo {
@@ -177,9 +181,14 @@ impl TaskTracker {
 
         let umb_addr = SimAddr::new(rpc_node, UMBILICAL_PORT);
         let umb_client = Client::new(&rpc_fabric, rpc_node, cfg.rpc.clone())?;
-        let shuffle_pool = DataConnPool::new(cluster.eth(), shuffle_node, RpcConfig::socket())?;
+        let shuffle_cfg = if cfg.rpc.ib_enabled {
+            cfg.rpc.clone()
+        } else {
+            RpcConfig::socket()
+        };
+        let shuffle_pool = DataConnPool::new(&rpc_fabric, shuffle_node, shuffle_cfg)?;
         let shuffle_listener =
-            SimListener::bind(cluster.eth(), SimAddr::new(shuffle_node, SHUFFLE_PORT))?;
+            SimListener::bind(&rpc_fabric, SimAddr::new(shuffle_node, SHUFFLE_PORT))?;
 
         let state = Arc::new(TtState {
             cfg: cfg.clone(),
@@ -636,7 +645,20 @@ fn shuffle_acceptor(state: Arc<TtState>, listener: SimListener) {
                     std::thread::Builder::new()
                         .name(format!("tt{}-shuffle-conn", state.id))
                         .spawn(move || {
-                            let conn: Arc<dyn Conn> = Arc::new(SocketConn::new(stream, 4096));
+                            // Same transport the fetch side's pool picked:
+                            // a verbs bootstrap when the shuffle rides IB,
+                            // a framed socket otherwise.
+                            let conn: Arc<dyn Conn> = match state2.shuffle_pool.ib_context() {
+                                Some(ctx) => {
+                                    match RdmaConn::bootstrap(&stream, ctx, &state2.cfg.rpc) {
+                                        Ok(conn) => Arc::new(conn),
+                                        // A peer that vanished mid-hello;
+                                        // nothing to serve.
+                                        Err(_) => return,
+                                    }
+                                }
+                                None => Arc::new(SocketConn::new(stream, 4096)),
+                            };
                             shuffle::serve_connection(&conn, &state2.store, || {
                                 state2.stop.load(Ordering::Acquire)
                             });

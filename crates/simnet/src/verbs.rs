@@ -69,6 +69,11 @@ impl RdmaDevice {
         self.node
     }
 
+    /// The fabric this device is attached to.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
     /// Register `len` bytes of fresh, zeroed memory with the HCA.
     ///
     /// Pays the model's registration cost — this is the cost RPCoIB's
@@ -367,9 +372,19 @@ impl QueuePair {
     }
 
     fn charge_send(&self, remote: NodeId, len: usize) -> (Instant, Duration) {
+        let stack = self.fabric.model().stack_ns(len);
+        self.charge_flow(remote, stack, len)
+    }
+
+    /// Charge one egress flow: `stack_ns` of host/verbs overhead, wire
+    /// serialization of `wire_bytes`, one propagation latency, and one
+    /// fault draw. `charge_send` is the single-message case; a vectored
+    /// write chain passes the summed per-segment stack cost with the
+    /// chain's total byte count.
+    fn charge_flow(&self, remote: NodeId, stack_ns: u64, wire_bytes: usize) -> (Instant, Duration) {
         let model = *self.fabric.model();
-        spin_ns(model.stack_ns(len));
-        let wire = Duration::from_nanos(model.wire_ns(len));
+        spin_ns(stack_ns);
+        let wire = Duration::from_nanos(model.wire_ns(wire_bytes));
         let egress_end = match self.fabric.links(self.node) {
             Some(links) => links.egress.reserve_from(Instant::now(), wire),
             None => Instant::now() + wire,
@@ -380,10 +395,7 @@ impl QueuePair {
         // serialization, propagation, injected fault delay).
         self.fabric.charge_modeled(
             self.node,
-            model.stack_ns(len)
-                + wire.as_nanos() as u64
-                + model.base_latency_ns
-                + fault.as_nanos() as u64,
+            stack_ns + wire.as_nanos() as u64 + model.base_latency_ns + fault.as_nanos() as u64,
         );
         let arrive_start = egress_end - wire + Duration::from_nanos(model.base_latency_ns) + fault;
         (arrive_start, wire)
@@ -502,6 +514,118 @@ impl QueuePair {
                 })
                 .map_err(|_| VerbsError::PeerDown)?;
             inbox.wake.fire();
+        } else {
+            // A silent write has no completion for `poll_recv` to account,
+            // but the bytes still serialize through the target's ingress
+            // link: reserve the window and charge the target's ledger here,
+            // mirroring what `poll_recv` does for announced messages. No
+            // receiver thread is involved — that is the point of one-sided.
+            if let Some(links) = self.fabric.links(rkey.node) {
+                let _ = links.ingress.reserve_from(arrive_start, wire);
+            }
+            self.fabric
+                .charge_modeled(rkey.node, wire.as_nanos() as u64);
+        }
+        Ok(())
+    }
+
+    /// A chain of one-sided writes posted back-to-back and rung with one
+    /// doorbell — the gather path's scatter list. Segments are
+    /// `(mr, offset, len, remote_offset)`. The chain is charged as ONE
+    /// flow: per-segment verbs/stack overhead (each work request is
+    /// posted and its source touched), wire serialization of the total
+    /// byte count, and a single propagation latency and fault draw —
+    /// back-to-back writes on one queue pair pipeline on the wire; they
+    /// do not propagate k times. With `imm`, one completion announces
+    /// the whole chain after its last byte; without it the chain is
+    /// silent and the target's ingress is charged here. An injected
+    /// drop loses the entire chain: charged at the sender, nothing
+    /// lands, no completion.
+    /// `segs` is consumed twice (validation, then placement), so it is a
+    /// cloneable iterator rather than a slice — callers with preexisting
+    /// segment lists pass `list.iter().copied()`, and hot paths can
+    /// describe the chain computationally without materializing it.
+    pub fn rdma_write_vectored<'a, I>(
+        &self,
+        segs: I,
+        rkey: RemoteKey,
+        imm: Option<u32>,
+    ) -> Result<(), VerbsError>
+    where
+        I: IntoIterator<Item = (&'a MemoryRegion, usize, usize, usize)> + Clone,
+    {
+        let remote = self.remote.lock().ok_or(VerbsError::NotConnected)?;
+        if self.fabric.is_dead(self.node)
+            || self.fabric.is_dead(rkey.node)
+            || self.fabric.is_partitioned(self.node, rkey.node)
+        {
+            return Err(VerbsError::PeerDown);
+        }
+        let target = self
+            .fabric
+            .inner
+            .mrs
+            .lock()
+            .get(&rkey.mr_id)
+            .and_then(Weak::upgrade)
+            .ok_or(VerbsError::BadRemoteKey)?;
+
+        // Validate every segment against both ends before any cost is
+        // charged or any byte lands: a bad chain is rejected whole.
+        let mut total = 0usize;
+        let mut stack = 0u64;
+        let mut nsegs = 0u64;
+        {
+            let model = self.fabric.model();
+            let dst_len = target.buf.lock().len();
+            for (mr, offset, len, remote_offset) in segs.clone() {
+                bounds_check(offset, len, mr.inner.buf.lock().len())?;
+                bounds_check(remote_offset, len, dst_len)?;
+                total += len;
+                stack += model.stack_ns(len);
+                nsegs += 1;
+            }
+        }
+
+        let (arrive_start, wire) = self.charge_flow(rkey.node, stack, total);
+        if self.fabric.fault_drops(self.node, rkey.node) {
+            return Ok(());
+        }
+        {
+            let mut dst = target.buf.lock();
+            for (mr, offset, len, remote_offset) in segs {
+                let src = mr.inner.buf.lock();
+                dst[remote_offset..remote_offset + len].copy_from_slice(&src[offset..offset + len]);
+            }
+        }
+
+        let stats = self.fabric.stats();
+        stats.rdma_writes.fetch_add(nsegs, Ordering::Relaxed);
+        stats.bytes.fetch_add(total as u64, Ordering::Relaxed);
+
+        match imm {
+            Some(imm) => {
+                let inbox = self.peer_inbox(remote)?;
+                inbox
+                    .tx
+                    .send(QpMessage::WriteImm {
+                        arrive_start,
+                        wire,
+                        len: total,
+                        imm,
+                    })
+                    .map_err(|_| VerbsError::PeerDown)?;
+                inbox.wake.fire();
+            }
+            None => {
+                // Mirror the silent single-write path: the bytes still
+                // serialize through the target's ingress link.
+                if let Some(links) = self.fabric.links(rkey.node) {
+                    let _ = links.ingress.reserve_from(arrive_start, wire);
+                }
+                self.fabric
+                    .charge_modeled(rkey.node, wire.as_nanos() as u64);
+            }
         }
         Ok(())
     }
@@ -730,6 +854,23 @@ mod tests {
         let mut out = [0u8; 5];
         dst.read_at(0, &mut out).unwrap();
         assert_eq!(&out, b"quiet");
+    }
+
+    #[test]
+    fn silent_rdma_write_charges_target_ingress() {
+        let fabric = Fabric::new(IB_QDR_VERBS);
+        let (qa, _qb, dev_a, dev_b) = connected_pair(&fabric);
+        let src = dev_a.register(8192);
+        let dst = dev_b.register(8192);
+        let before = fabric.modeled_ns(dev_b.node());
+        qa.rdma_write(&src, 0, 8000, dst.remote_key(), 0, None)
+            .unwrap();
+        let charged = fabric.modeled_ns(dev_b.node()) - before;
+        assert_eq!(
+            charged,
+            IB_QDR_VERBS.wire_ns(8000),
+            "silent write must charge the target's wire serialization"
+        );
     }
 
     #[test]

@@ -136,6 +136,86 @@ fn rdma_steady_state_call_is_allocation_free() {
     );
 }
 
+/// The bulk-plane claim: once pools, registration cache, and the gather
+/// serializer's scratch are warm, a *large* call's send path is also
+/// allocation-free on the caller thread — and registers no new memory.
+/// The frame is serialized into pooled registered segments (no staging
+/// buffer, no jumbo allocation) and RDMA-written straight out of them.
+#[test]
+#[ignore = "tier-2: allocator-sensitive, run with --ignored"]
+fn rdma_steady_state_large_call_is_allocation_and_registration_free() {
+    use rpcoib::intern::method_key;
+    use rpcoib::transport::rdma::RdmaConn;
+    use rpcoib::transport::Conn;
+    use rpcoib::{IbContext, RpcError};
+    use simnet::{SimAddr, SimListener, SimStream};
+    use std::time::Duration;
+
+    const WARMUP: usize = 12;
+
+    let cfg = RpcConfig::rpcoib();
+    let fabric = Fabric::new(model::IB_QDR_VERBS);
+    let server_node = fabric.add_node();
+    let client_node = fabric.add_node();
+    let cli_ctx = IbContext::new(&fabric, client_node, &cfg).unwrap();
+    let srv_ctx = IbContext::new(&fabric, server_node, &cfg).unwrap();
+    let addr = SimAddr::new(server_node, 8700);
+    let listener = SimListener::bind(&fabric, addr).unwrap();
+    let f2 = fabric.clone();
+    let cfg2 = cfg.clone();
+    let h = std::thread::spawn(move || {
+        let stream = SimStream::connect(&f2, client_node, addr).unwrap();
+        RdmaConn::bootstrap(&stream, &cli_ctx, &cfg2).unwrap()
+    });
+    let (srv_stream, _) = listener.accept().unwrap();
+    let srv = Arc::new(RdmaConn::bootstrap(&srv_stream, &srv_ctx, &cfg).unwrap());
+    let cli = Arc::new(h.join().unwrap());
+
+    // Credits return through the client's receive path.
+    let cli2 = Arc::clone(&cli);
+    let progress = std::thread::spawn(move || loop {
+        match cli2.recv_msg(Duration::from_millis(100)) {
+            Err(RpcError::Timeout) => continue,
+            _ => return,
+        }
+    });
+    let srv2 = Arc::clone(&srv);
+    let drain = std::thread::spawn(move || {
+        for _ in 0..WARMUP + MEASURED_CALLS as usize {
+            srv2.recv_msg(Duration::from_secs(30)).unwrap();
+        }
+    });
+
+    let key = method_key("test.AllocProtocol", "bulk");
+    let body = vec![7u8; 200_000]; // well past rdma_threshold
+    for _ in 0..WARMUP {
+        cli.send_msg(key, &mut |out| out.write_bytes(&body))
+            .unwrap();
+    }
+    let (_, _, _, regs_before) = fabric.stats().snapshot();
+    let (allocs, ()) = counted(|| {
+        for _ in 0..MEASURED_CALLS {
+            cli.send_msg(key, &mut |out| out.write_bytes(&body))
+                .unwrap();
+        }
+    });
+    drain.join().unwrap();
+    let (_, _, _, regs_after) = fabric.stats().snapshot();
+    cli.close();
+    progress.join().unwrap();
+
+    assert_eq!(
+        allocs / MEASURED_CALLS,
+        0,
+        "steady-state large call must not allocate (got {allocs} across {MEASURED_CALLS})"
+    );
+    assert_eq!(
+        regs_after - regs_before,
+        0,
+        "steady-state large calls must not register new memory"
+    );
+}
+
 /// The sockets baseline keeps its per-send staging buffer (a deliberate
 /// pathology of the IPoIB path the paper measures against), but must
 /// stay within a small fixed bound per call.
