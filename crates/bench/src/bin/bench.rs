@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! bench [--quick|--full] [--seed N] [--out DIR] [--fast]
-//!       [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|connections|bulk|all]
+//!       [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|connections|bulk|handlers_mn|all]
 //!       [--check BASELINE.json] [--tolerance PCT]
 //! ```
 //!
@@ -70,7 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--quick|--full] [--seed N] [--out DIR] [--fast] \
-                     [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|connections|bulk|all] \
+                     [--figure pingpong|bufpool|handlers|shards|smallcall|batching|qos|connections|bulk|handlers_mn|all] \
                      [--check BASELINE.json] [--tolerance PCT]"
                 );
                 std::process::exit(0);
@@ -133,6 +133,7 @@ fn main() -> ExitCode {
         "qos" => vec![("qos", figures::run_qos)],
         "connections" => vec![("connections", figures::run_connections)],
         "bulk" => vec![("bulk", figures::run_bulk)],
+        "handlers_mn" => vec![("handlers_mn", figures::run_handlers_mn)],
         "all" => vec![
             ("pingpong", figures::run_pingpong),
             ("bufpool", figures::run_bufpool),
@@ -143,6 +144,7 @@ fn main() -> ExitCode {
             ("qos", figures::run_qos),
             ("connections", figures::run_connections),
             ("bulk", figures::run_bulk),
+            ("handlers_mn", figures::run_handlers_mn),
         ],
         other => {
             eprintln!("bench: unknown figure {other}");

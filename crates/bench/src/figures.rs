@@ -894,6 +894,7 @@ pub fn run_qos(opts: &RunOpts, git_rev: &str) -> Json {
             let meta = CallMeta {
                 tenant: ev.tenant,
                 expires_at_ns,
+                class: Default::default(),
             };
             if queue.try_push(meta, (ev.tenant, ev.at_ns)).is_err() {
                 tally.busy += 1;
@@ -1609,6 +1610,217 @@ fn conn_pair(
 
 /// Best-effort `git rev-parse HEAD` (the files record provenance; two
 /// runs from the same checkout still diff byte-identical).
+/// OS workers driving the `handlers_mn` model arms (the figure's
+/// reference point: "100k parked calls on 4 workers").
+const MN_WORKERS: usize = 4;
+/// Modeled service cost of one fast call's single poll.
+const MN_FAST_SERVICE_NS: u64 = 4_000;
+/// Modeled cost of a poll that parks — or later retires — a suspended
+/// call frame (queue ops + one closure invocation; no stack switch).
+const MN_PARK_POLL_NS: u64 = 500;
+
+/// Figure: the M:N handler runtime (`handler_runtime = mn`) — parked
+/// calls cost bytes, not threads.
+///
+/// **Part A (real engine, both transports).** A lone sequential
+/// ping-pong under `threads` versus `mn`: the runtime choice must be
+/// invisible to the modeled ledger when nothing suspends. Asserted
+/// in-code: the p50 delta is *exactly* 0 bp on both transports (same
+/// seed ⇒ same jitter draws ⇒ identical samples).
+///
+/// **Part B (virtual time).** The *real* [`Sched`] — same queues, same
+/// wake cells, same timer heap the server mounts — driven
+/// single-threaded on a virtual clock: a `quiet` arm runs a seeded fast
+/// call stream alone; the `parked_flood` arm first parks ≥ 1000 call
+/// frames on 4 workers, runs the identical fast stream *over* them,
+/// then wakes and drains the lot. Asserted in-code: parked-peak ≥ 1000,
+/// fast-call p99 ≤ 2× the quiet baseline, every frame retired, zero
+/// residue after the drain. Integer arithmetic over splitmix64 keeps
+/// the file byte-identical per seed.
+pub fn run_handlers_mn(opts: &RunOpts, git_rev: &str) -> Json {
+    use rpcoib::metrics::{MetricsRegistry, ShardRole};
+    use rpcoib::{HandlerRuntime, Sched, Step};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    let mut rows = Vec::new();
+
+    // ---- Part A: lone-call equivalence on the real engine. ----
+    let warmup = opts.iters(5, 20);
+    let iters = opts.iters(40, 200);
+    for (label, cfg) in transports() {
+        let mut p50 = std::collections::HashMap::new();
+        for runtime in [HandlerRuntime::Threads, HandlerRuntime::Mn] {
+            let mut cfg = cfg.clone();
+            cfg.rpc.handler_runtime = runtime;
+            let env = boot(&cfg, opts.seed, Some(JITTER));
+            let mut samples = modeled_samples(&env, 512, warmup, iters);
+            let row = Json::obj()
+                .field("transport", label)
+                .field("point", format!("lone_{}", runtime.name()));
+            let row = percentile_fields(row, &mut samples);
+            p50.insert(runtime.name(), percentile_ns(&samples, 0.50));
+            rows.push(row);
+            env.client.shutdown();
+        }
+        let (threads, mn) = (p50["threads"], p50["mn"]);
+        assert_eq!(
+            threads, mn,
+            "{label}: a lone call must cost identically under threads and mn \
+             (threads p50 {threads} ns vs mn p50 {mn} ns; delta must be 0 bp)"
+        );
+    }
+
+    // ---- Part B: the runtime itself under a parked-call flood. ----
+    let parked_tasks = opts.iters(1_500, 20_000);
+    let fast_calls = opts.iters(3_000, 15_000);
+    let mut fast_p99: std::collections::HashMap<&'static str, u64> =
+        std::collections::HashMap::new();
+    for (arm, parked_n) in [("quiet", 0usize), ("parked_flood", parked_tasks)] {
+        let metrics = MetricsRegistry::new(false);
+        let stats: Vec<_> = (0..MN_WORKERS)
+            .map(|i| metrics.register_shard(ShardRole::Worker, i))
+            .collect();
+        let sched = Sched::new(MN_WORKERS, stats);
+        // The driver's clock reading at the current poll, visible to the
+        // task closures (they compute their own completion time), and
+        // the cost each closure charges for the poll that just ran.
+        let now = Arc::new(AtomicU64::new(0));
+        let poll_cost = Arc::new(AtomicU64::new(0));
+        let woken = Arc::new(AtomicU64::new(0));
+        let sojourns: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::with_capacity(fast_calls)));
+        let handles = Arc::new(Mutex::new(Vec::with_capacity(parked_n)));
+
+        // Park phase: `parked_n` calls spawn round-robin onto the worker
+        // queues (exercising local pops and steals), poll once, and
+        // suspend on their wake handles. Each frame now costs bytes.
+        for i in 0..parked_n {
+            let handles = Arc::clone(&handles);
+            let woken = Arc::clone(&woken);
+            let poll_cost = Arc::clone(&poll_cost);
+            sched.spawn(i % MN_WORKERS, move |cx| {
+                poll_cost.store(MN_PARK_POLL_NS, Ordering::Relaxed);
+                if cx.polls() == 0 {
+                    handles.lock().unwrap().push(cx.wake_handle());
+                    return Step::Park;
+                }
+                woken.fetch_add(1, Ordering::Relaxed);
+                Step::Done
+            });
+        }
+
+        // Virtual-time driver, mirroring `run_qos`: the next poll runs
+        // on the earliest-free worker at `max(free_at, floor)`; `floor`
+        // is the newest arrival, so an idle worker never polls a call
+        // before it exists.
+        let mut free_at = [0u64; MN_WORKERS];
+        let drain = |until: u64, floor: u64, free_at: &mut [u64; MN_WORKERS], sched: &Sched| loop {
+            let slot = (0..MN_WORKERS).min_by_key(|&i| free_at[i]).unwrap();
+            let t = free_at[slot].max(floor);
+            if t > until {
+                break;
+            }
+            sched.fire_timers(t);
+            let Some(task) = sched.next_task(slot) else {
+                break;
+            };
+            now.store(t, Ordering::Relaxed);
+            sched.run(slot, task, t);
+            free_at[slot] = t + poll_cost.load(Ordering::Relaxed);
+        };
+        drain(u64::MAX, 0, &mut free_at, &sched);
+        if parked_n > 0 {
+            assert!(
+                sched.parked() == parked_n,
+                "{arm}: {} of {parked_n} frames parked",
+                sched.parked()
+            );
+        }
+
+        // Fast stream: seeded arrivals (mean 6 µs apart), one-poll calls
+        // racing over the parked population.
+        let stream_base = *free_at.iter().max().unwrap();
+        let mut rng = opts.seed ^ 0x004d_4e50_5231_300a_u64;
+        let mut at = stream_base;
+        for _ in 0..fast_calls {
+            at += 2_000 + splitmix64(&mut rng) % 8_000;
+            drain(at, 0, &mut free_at, &sched);
+            let arrival = at;
+            let now = Arc::clone(&now);
+            let poll_cost = Arc::clone(&poll_cost);
+            let sojourns = Arc::clone(&sojourns);
+            sched.inject(move |_cx| {
+                poll_cost.store(MN_FAST_SERVICE_NS, Ordering::Relaxed);
+                let done = now.load(Ordering::Relaxed) + MN_FAST_SERVICE_NS;
+                sojourns.lock().unwrap().push(done - arrival);
+                Step::Done
+            });
+            drain(at, at, &mut free_at, &sched);
+        }
+        drain(u64::MAX, at, &mut free_at, &sched);
+
+        // Wake-and-drain: every parked frame retires; nothing survives.
+        let wake_at = free_at.iter().max().unwrap().max(&at) + 1;
+        for h in handles.lock().unwrap().drain(..) {
+            h.wake();
+        }
+        drain(u64::MAX, wake_at, &mut free_at, &sched);
+        assert_eq!(
+            woken.load(Ordering::Relaxed) as usize,
+            parked_n,
+            "{arm}: every parked frame must be woken and retired exactly once"
+        );
+        assert_eq!(
+            sched.residue(),
+            0,
+            "{arm}: no frame, slot, or timer survives"
+        );
+        if parked_n > 0 {
+            assert!(
+                sched.parked_peak() >= 1_000,
+                "{arm}: parked-peak {} never reached the figure's 1000-frame floor",
+                sched.parked_peak()
+            );
+        }
+
+        let mut fast = std::mem::take(&mut *sojourns.lock().unwrap());
+        assert_eq!(fast.len(), fast_calls, "{arm}: every fast call completed");
+        let shard_rows: Vec<Json> = metrics
+            .shard_snapshot()
+            .into_iter()
+            .map(|s| {
+                Json::obj()
+                    .field("worker", s.index as u64)
+                    .field("processed", s.processed)
+                    .field("steals", s.steals)
+                    .field("parks", s.parks)
+                    .field("wakes", s.wakes)
+            })
+            .collect();
+        let row = Json::obj()
+            .field("transport", "model")
+            .field("point", arm)
+            .field("workers", MN_WORKERS as u64)
+            .field("parked", parked_n as u64)
+            .field("parked_peak", sched.parked_peak() as u64);
+        let row = percentile_fields(row, &mut fast);
+        fast_p99.insert(arm, percentile_ns(&fast, 0.99));
+        rows.push(row.field("shards", Json::Arr(shard_rows)));
+    }
+
+    let quiet = fast_p99["quiet"].max(1);
+    let flooded = fast_p99["parked_flood"];
+    assert!(
+        flooded <= 2 * quiet,
+        "fast-call p99 over >=1000 parked frames ({flooded} ns) exceeds 2x \
+         the quiet baseline ({quiet} ns)"
+    );
+
+    header("handlers_mn", opts, git_rev)
+        .field("fast_p99_ratio_bp", flooded * 10_000 / quiet)
+        .field("rows", Json::Arr(rows))
+}
+
 pub fn git_rev() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "HEAD"])

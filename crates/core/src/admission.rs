@@ -52,6 +52,37 @@ pub enum AdmitError {
     Closed,
 }
 
+/// Priority class of one call within its tenant's DRR turn.
+///
+/// Classes partition each tenant's bucket, not the ring: a tenant's
+/// heartbeats jump its own bulk backlog but never another tenant's
+/// credits, so protocol priority composes with — instead of defeating —
+/// weighted fairness. With every call in the default [`Bulk`] class
+/// (i.e. `priority_protocols` unset) ordering is identical to the
+/// classless queue.
+///
+/// [`Bulk`]: CallClass::Bulk
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CallClass {
+    /// Heartbeat/control traffic (protocols listed in
+    /// `RpcConfig::priority_protocols`): dequeues ahead of bulk within
+    /// the tenant's turn.
+    Control,
+    /// Everything else (the default).
+    #[default]
+    Bulk,
+}
+
+impl CallClass {
+    /// Sub-queue index inside a bucket (control first).
+    fn index(self) -> usize {
+        match self {
+            CallClass::Control => 0,
+            CallClass::Bulk => 1,
+        }
+    }
+}
+
 /// Admission metadata for one call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CallMeta {
@@ -61,6 +92,8 @@ pub struct CallMeta {
     /// Absolute expiry on the queue's `now_ns` timeline; `None` = no
     /// deadline, never shed.
     pub expires_at_ns: Option<u64>,
+    /// Priority class within the tenant's turn (see [`CallClass`]).
+    pub class: CallClass,
 }
 
 /// Result of one pop sweep.
@@ -85,7 +118,9 @@ impl<T> Popped<T> {
 /// One tenant's bucket (in fair mode; FIFO mode keys every call under
 /// bucket 0).
 struct Bucket<T> {
-    queue: VecDeque<(CallMeta, T)>,
+    /// Class sub-queues, indexed by [`CallClass::index`]: control, then
+    /// bulk. Both FIFO; the pop takes the control head first.
+    queues: [VecDeque<(CallMeta, T)>; 2],
     /// Admitted calls not yet released: queued + executing. Quota
     /// accounting.
     outstanding: usize,
@@ -93,6 +128,12 @@ struct Bucket<T> {
     credits: u32,
     /// Whether the bucket currently sits in `ring`.
     in_ring: bool,
+}
+
+impl<T> Bucket<T> {
+    fn queued_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
 }
 
 struct State<T> {
@@ -167,7 +208,7 @@ impl<T> AdmissionQueue<T> {
         let key = self.bucket_key(meta.tenant);
         let weight = self.weight(key);
         let bucket = st.buckets.entry(key).or_insert_with(|| Bucket {
-            queue: VecDeque::new(),
+            queues: [VecDeque::new(), VecDeque::new()],
             outstanding: 0,
             credits: weight,
             in_ring: false,
@@ -176,7 +217,7 @@ impl<T> AdmissionQueue<T> {
             return Err((AdmitError::TenantOverQuota, item));
         }
         bucket.outstanding += 1;
-        bucket.queue.push_back((meta, item));
+        bucket.queues[meta.class.index()].push_back((meta, item));
         let newly_ready = !bucket.in_ring;
         if newly_ready {
             bucket.in_ring = true;
@@ -220,26 +261,34 @@ impl<T> AdmissionQueue<T> {
         let mut shed = Vec::new();
         while let Some(&key) = st.ring.front() {
             let bucket = st.buckets.get_mut(&key).expect("ringed bucket exists");
-            // Shed expired heads before considering the bucket's turn:
-            // they consume neither credits nor a handler.
-            while let Some((meta, _)) = bucket.queue.front() {
-                match meta.expires_at_ns {
-                    Some(expiry) if expiry <= now_ns => {
-                        let entry = bucket.queue.pop_front().expect("peeked head");
-                        bucket.outstanding -= 1;
-                        st.len -= 1;
-                        shed.push(entry);
+            // Shed expired heads of each class (control first) before
+            // considering the bucket's turn: they consume neither
+            // credits nor a handler.
+            for queue in bucket.queues.iter_mut() {
+                while let Some((meta, _)) = queue.front() {
+                    match meta.expires_at_ns {
+                        Some(expiry) if expiry <= now_ns => {
+                            let entry = queue.pop_front().expect("peeked head");
+                            bucket.outstanding -= 1;
+                            st.len -= 1;
+                            shed.push(entry);
+                        }
+                        _ => break,
                     }
-                    _ => break,
                 }
             }
-            match bucket.queue.pop_front() {
+            // Control head first, then bulk: the tenant's heartbeats
+            // jump its own backlog but still spend its credits.
+            let next = bucket.queues[0]
+                .pop_front()
+                .or_else(|| bucket.queues[1].pop_front());
+            match next {
                 Some(entry) => {
                     st.len -= 1;
                     // `outstanding` holds until release(): the call now
                     // executes.
                     bucket.credits = bucket.credits.saturating_sub(1);
-                    if bucket.queue.is_empty() {
+                    if bucket.queued_empty() {
                         bucket.in_ring = false;
                         st.ring.pop_front();
                     } else if bucket.credits == 0 {
@@ -274,7 +323,7 @@ impl<T> AdmissionQueue<T> {
         let mut st = self.state.lock();
         if let Some(bucket) = st.buckets.get_mut(&key) {
             bucket.outstanding = bucket.outstanding.saturating_sub(1);
-            if bucket.outstanding == 0 && bucket.queue.is_empty() && !bucket.in_ring {
+            if bucket.outstanding == 0 && bucket.queued_empty() && !bucket.in_ring {
                 st.buckets.remove(&key);
             }
         }
@@ -307,6 +356,7 @@ mod tests {
         CallMeta {
             tenant,
             expires_at_ns: None,
+            class: CallClass::Bulk,
         }
     }
 
@@ -314,6 +364,15 @@ mod tests {
         CallMeta {
             tenant,
             expires_at_ns: Some(expires_at_ns),
+            class: CallClass::Bulk,
+        }
+    }
+
+    fn meta_ctl(tenant: u64) -> CallMeta {
+        CallMeta {
+            tenant,
+            expires_at_ns: None,
+            class: CallClass::Control,
         }
     }
 
@@ -470,6 +529,77 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert!(popper.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn control_class_jumps_the_tenants_bulk_backlog() {
+        // A bulk flood is already queued when a heartbeat arrives: the
+        // heartbeat is the very next pop, not the 51st.
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(128, 0, &[]);
+        for i in 0..50u32 {
+            q.try_push(meta(1), i).unwrap();
+        }
+        q.try_push(meta_ctl(1), 999).unwrap();
+        assert_eq!(q.try_pop(0).run.unwrap().1, 999);
+        // Bulk order among itself is untouched.
+        assert_eq!(q.try_pop(0).run.unwrap().1, 0);
+        assert_eq!(q.try_pop(0).run.unwrap().1, 1);
+    }
+
+    #[test]
+    fn control_priority_stays_within_the_tenants_turn() {
+        // Tenant 1 floods bulk and sends heartbeats; tenant 2 has weight
+        // 1 of bulk. Tenant 1's heartbeats precede its own bulk but
+        // still consume its credits — tenant 2 keeps its round slot.
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(128, 0, &[(1, 2)]);
+        for i in 0..6u32 {
+            q.try_push(meta(1), i).unwrap();
+        }
+        q.try_push(meta_ctl(1), 100).unwrap();
+        q.try_push(meta_ctl(1), 101).unwrap();
+        for i in 200..203u32 {
+            q.try_push(meta(2), i).unwrap();
+        }
+        let order: Vec<u32> = (0..11)
+            .map(|_| q.try_pop(0).run.expect("queued").1)
+            .collect();
+        // Rounds of (2× tenant-1, 1× tenant-2): heartbeats first within
+        // tenant 1's turns, tenant 2 never displaced.
+        assert_eq!(order, vec![100, 101, 200, 0, 1, 201, 2, 3, 202, 4, 5]);
+    }
+
+    #[test]
+    fn expired_control_heads_are_shed_too() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(16, 0, &[]);
+        q.try_push(
+            CallMeta {
+                tenant: 1,
+                expires_at_ns: Some(10),
+                class: CallClass::Control,
+            },
+            0,
+        )
+        .unwrap();
+        q.try_push(meta(1), 1).unwrap();
+        let popped = q.try_pop(50);
+        assert_eq!(popped.shed.len(), 1);
+        assert_eq!(popped.shed[0].1, 0);
+        assert_eq!(popped.run.unwrap().1, 1);
+    }
+
+    #[test]
+    fn all_bulk_ordering_matches_the_classless_queue() {
+        // The default-class invariant the committed baselines rely on:
+        // with no Control calls anywhere, pop order is plain FIFO
+        // (non-fair mode) exactly as before classes existed.
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(64, 0, &[]);
+        for i in 0..20u32 {
+            q.try_push(meta(i as u64 % 3), i).unwrap();
+        }
+        let order: Vec<u32> = (0..20)
+            .map(|_| q.try_pop(0).run.expect("queued").1)
+            .collect();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
     }
 
     #[test]

@@ -9,6 +9,41 @@ use std::time::Duration;
 
 use crate::retry::RetryPolicy;
 
+/// Which execution engine runs server-side handlers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HandlerRuntime {
+    /// The paper's fixed pool: `cfg.handlers` OS threads, each blocking
+    /// on one call at a time. The default; byte-identical to the
+    /// pre-M:N engine (all committed bench baselines are recorded
+    /// under it).
+    #[default]
+    Threads,
+    /// The work-stealing M:N runtime (`core::sched`): lightweight call
+    /// tasks on `handler_workers` OS workers; a parked call costs bytes,
+    /// not a thread, so in-flight calls are bounded by
+    /// `max_inflight_calls`, not thread count.
+    Mn,
+}
+
+impl HandlerRuntime {
+    /// Stable lowercase name (config/env/JSON spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            HandlerRuntime::Threads => "threads",
+            HandlerRuntime::Mn => "mn",
+        }
+    }
+
+    /// Parse the config/env spelling (`"threads"` / `"mn"`).
+    pub fn parse(s: &str) -> Option<HandlerRuntime> {
+        match s {
+            "threads" => Some(HandlerRuntime::Threads),
+            "mn" => Some(HandlerRuntime::Mn),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration shared by [`crate::Client`] and [`crate::Server`].
 #[derive(Debug, Clone)]
 pub struct RpcConfig {
@@ -117,6 +152,32 @@ pub struct RpcConfig {
     /// latency, not rejection), keeping the accept path's thread and
     /// memory use bounded.
     pub accept_backlog: usize,
+    /// Which engine runs handlers: `Threads` (default, the paper's
+    /// fixed pool — byte-identical legacy behaviour) or `Mn` (the
+    /// work-stealing lightweight-task runtime in `core::sched`).
+    pub handler_runtime: HandlerRuntime,
+    /// OS worker threads driving the M:N runtime. `0` = auto
+    /// (currently 4). Ignored under `handler_runtime = Threads`, where
+    /// `handlers` sizes the pool as before.
+    pub handler_workers: usize,
+    /// Cap on concurrently in-flight lightweight call tasks (runnable +
+    /// running + parked) under the M:N runtime; workers stop popping
+    /// admission when at the cap, leaving calls queued (backpressure,
+    /// not rejection). `0` (default) = memory-bound, no cap. Ignored
+    /// under `Threads`.
+    pub max_inflight_calls: usize,
+    /// Reader-shard work-stealing: an idle reader shard steals a ready
+    /// token from a hot sibling's ready queue (per-connection order is
+    /// preserved — the stolen connection is serviced under its owner's
+    /// slot-table lock). Off by default; stealing shifts per-shard
+    /// `processed` attribution, so the committed baselines keep it off.
+    pub reader_steal: bool,
+    /// Protocol names treated as the control/heartbeat class by the
+    /// admission queue: within a tenant's DRR turn, calls to these
+    /// protocols dequeue ahead of bulk calls, so a flood of bulk work
+    /// cannot starve heartbeats. Empty (default) = single class,
+    /// seed-identical FIFO order.
+    pub priority_protocols: Vec<String>,
     /// Ablation baseline for the interned hot path: when `true` the
     /// client re-enacts the pre-interning per-call metadata work (owned
     /// key strings, a fresh reply channel) for real and charges
@@ -140,6 +201,10 @@ pub(crate) const AUTO_READER_SHARDS: usize = 4;
 /// Responder shard count used when `responder_shards` is `0` (auto):
 /// one, matching the paper's single Responder thread.
 pub(crate) const AUTO_RESPONDER_SHARDS: usize = 1;
+
+/// M:N worker count used when `handler_workers` is `0` (auto): four, the
+/// figure's reference point ("100k parked calls on 4 workers").
+pub(crate) const AUTO_HANDLER_WORKERS: usize = 4;
 
 impl Default for RpcConfig {
     fn default() -> Self {
@@ -170,6 +235,11 @@ impl Default for RpcConfig {
             deadline_propagation: true,
             max_connections: 0,
             accept_backlog: 64,
+            handler_runtime: HandlerRuntime::Threads,
+            handler_workers: 0,
+            max_inflight_calls: 0,
+            reader_steal: false,
+            priority_protocols: Vec::new(),
             legacy_metadata: false,
         }
     }
@@ -204,6 +274,15 @@ impl RpcConfig {
             AUTO_RESPONDER_SHARDS
         } else {
             self.responder_shards
+        }
+    }
+
+    /// The effective M:N worker count (resolving `0` = auto).
+    pub fn effective_handler_workers(&self) -> usize {
+        if self.handler_workers == 0 {
+            AUTO_HANDLER_WORKERS
+        } else {
+            self.handler_workers
         }
     }
 
@@ -258,6 +337,32 @@ impl RpcConfig {
         }
         if self.accept_backlog == 0 {
             return Err("accept_backlog must be >= 1 (no connection could ever set up)".into());
+        }
+        if self.handler_workers > MAX_SHARDS {
+            return Err(format!(
+                "handler_workers ({}) exceeds the sanity cap ({MAX_SHARDS})",
+                self.handler_workers
+            ));
+        }
+        if self.max_inflight_calls != 0
+            && self.max_inflight_calls < self.effective_handler_workers()
+        {
+            return Err(format!(
+                "max_inflight_calls ({}) below handler_workers ({}): workers could never all run",
+                self.max_inflight_calls,
+                self.effective_handler_workers()
+            ));
+        }
+        {
+            let mut seen = std::collections::HashSet::new();
+            for proto in &self.priority_protocols {
+                if proto.is_empty() {
+                    return Err("priority_protocols: empty protocol name".into());
+                }
+                if !seen.insert(proto.as_str()) {
+                    return Err(format!("priority_protocols: {proto:?} listed twice"));
+                }
+            }
         }
         if self.retry_cache_capacity > 0 && self.retry_cache_ttl.is_zero() {
             return Err("retry_cache_ttl must be > 0 when the retry cache is enabled".into());
@@ -477,6 +582,70 @@ mod tests {
         // ...but a zero accept backlog could never admit a connection.
         let cfg = RpcConfig {
             accept_backlog: 0,
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn handler_runtime_knobs_validated() {
+        // Defaults: legacy thread pool, auto worker count, no cap.
+        let cfg = RpcConfig::default();
+        assert_eq!(cfg.handler_runtime, HandlerRuntime::Threads);
+        assert_eq!(cfg.handler_workers, 0);
+        assert_eq!(cfg.effective_handler_workers(), AUTO_HANDLER_WORKERS);
+        assert_eq!(cfg.max_inflight_calls, 0);
+        assert!(!cfg.reader_steal);
+        assert!(cfg.priority_protocols.is_empty());
+        // Name/parse round-trips are the env/config spelling.
+        for rt in [HandlerRuntime::Threads, HandlerRuntime::Mn] {
+            assert_eq!(HandlerRuntime::parse(rt.name()), Some(rt));
+        }
+        assert_eq!(HandlerRuntime::parse("fibers"), None);
+        // A sane mn config validates.
+        let cfg = RpcConfig {
+            handler_runtime: HandlerRuntime::Mn,
+            handler_workers: 4,
+            max_inflight_calls: 100_000,
+            ..RpcConfig::default()
+        };
+        cfg.validate().unwrap();
+        // A cap below the worker count could never let them all run.
+        let cfg = RpcConfig {
+            handler_runtime: HandlerRuntime::Mn,
+            handler_workers: 8,
+            max_inflight_calls: 4,
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        // ...and the auto worker count participates in that check.
+        let cfg = RpcConfig {
+            max_inflight_calls: AUTO_HANDLER_WORKERS - 1,
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        // Absurd worker counts are caught like shard counts.
+        let cfg = RpcConfig {
+            handler_workers: MAX_SHARDS + 1,
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn priority_protocols_validated() {
+        let cfg = RpcConfig {
+            priority_protocols: vec!["hdfs.Heartbeat".into()],
+            ..RpcConfig::default()
+        };
+        cfg.validate().unwrap();
+        let cfg = RpcConfig {
+            priority_protocols: vec![String::new()],
+            ..RpcConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = RpcConfig {
+            priority_protocols: vec!["a".into(), "a".into()],
             ..RpcConfig::default()
         };
         assert!(cfg.validate().is_err());

@@ -77,14 +77,15 @@ pub mod metrics;
 pub mod readiness;
 pub mod retry;
 pub mod retry_cache;
+pub mod sched;
 pub mod server;
 pub mod service;
 pub mod stream;
 pub mod transport;
 
-pub use admission::{AdmissionQueue, AdmitError, CallMeta, Popped};
+pub use admission::{AdmissionQueue, AdmitError, CallClass, CallMeta, Popped};
 pub use client::{Client, RawResponse};
-pub use config::RpcConfig;
+pub use config::{HandlerRuntime, RpcConfig};
 pub use error::{RpcError, RpcResult};
 pub use frame::{FrameVersion, Payload, ResponseStatus, V3Decoder, V3Encoder};
 pub use intern::{MethodId, MethodKey};
@@ -96,6 +97,7 @@ pub use metrics::{
 pub use readiness::{ReadyQueue, WakeState};
 pub use retry::RetryPolicy;
 pub use retry_cache::{Admission, RetryCache};
+pub use sched::{CallPoll, HandlerCx, RunOutcome, Sched, Step, WakeHandle};
 pub use server::Server;
 pub use service::{RpcService, ServiceRegistry};
 pub use stream::{RdmaInputStream, RdmaOutputStream, RegionReader};

@@ -390,6 +390,10 @@ pub enum ShardRole {
     Reader,
     /// A shard transmitting serialized responses for its connections.
     Responder,
+    /// An M:N handler-runtime worker (`handler_runtime = mn`): pops the
+    /// admission queue, runs lightweight call tasks, steals from
+    /// siblings. Absent in `threads` mode.
+    Worker,
 }
 
 impl ShardRole {
@@ -398,6 +402,7 @@ impl ShardRole {
         match self {
             ShardRole::Reader => "reader",
             ShardRole::Responder => "responder",
+            ShardRole::Worker => "worker",
         }
     }
 }
@@ -416,10 +421,21 @@ pub struct ShardStats {
     /// High-water mark of `queue_depth` over the shard's lifetime.
     queue_depth_max: AtomicU64,
     /// Work items this shard has completed (reader shards: frames read;
-    /// responder shards: response transmissions attempted).
+    /// responder shards: response transmissions attempted; workers:
+    /// tasks completed).
     processed: AtomicU64,
     /// Busy rejections this shard issued (reader shards).
     busy_rejections: AtomicU64,
+    /// Work taken from a sibling: reader shards count ready tokens
+    /// stolen from a hot sibling's wake list; M:N workers count tasks
+    /// stolen from a sibling's run queue.
+    steals: AtomicU64,
+    /// Tasks this worker parked (suspended awaiting a wake). Reader and
+    /// responder shards never park work; always 0 for them.
+    parks: AtomicU64,
+    /// Parked tasks made runnable again, attributed to the worker that
+    /// parked them (timer expiry or an external wake handle).
+    wakes: AtomicU64,
 }
 
 impl ShardStats {
@@ -455,6 +471,18 @@ impl ShardStats {
     pub fn inc_busy(&self) {
         self.busy_rejections.fetch_add(1, Ordering::Relaxed);
     }
+
+    pub fn inc_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_wake(&self) {
+        self.wakes.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Point-in-time copy of one shard's counters.
@@ -467,6 +495,9 @@ pub struct ShardSnapshot {
     pub queue_depth_max: u64,
     pub processed: u64,
     pub busy_rejections: u64,
+    pub steals: u64,
+    pub parks: u64,
+    pub wakes: u64,
 }
 
 /// Resilience-event totals for one engine instance (client or server).
@@ -938,6 +969,9 @@ impl MetricsRegistry {
                 queue_depth_max: s.queue_depth_max.load(Ordering::Relaxed),
                 processed: s.processed.load(Ordering::Relaxed),
                 busy_rejections: s.busy_rejections.load(Ordering::Relaxed),
+                steals: s.steals.load(Ordering::Relaxed),
+                parks: s.parks.load(Ordering::Relaxed),
+                wakes: s.wakes.load(Ordering::Relaxed),
             })
             .collect();
         out.sort_by_key(|s| (s.role, s.index));
@@ -1099,6 +1133,9 @@ impl MetricsRegistry {
             s.queue_depth_max.store(0, Ordering::Relaxed);
             s.processed.store(0, Ordering::Relaxed);
             s.busy_rejections.store(0, Ordering::Relaxed);
+            s.steals.store(0, Ordering::Relaxed);
+            s.parks.store(0, Ordering::Relaxed);
+            s.wakes.store(0, Ordering::Relaxed);
         }
         self.inner.retries.store(0, Ordering::Relaxed);
         self.inner.reconnects.store(0, Ordering::Relaxed);

@@ -169,6 +169,26 @@ impl ReadyQueue {
         tok
     }
 
+    /// Work-stealing pop for a *sibling* shard: take the newest real
+    /// token from the **back** of this queue (the owner drains the
+    /// front, so contention on a hot queue is minimal and the owner's
+    /// FIFO view of the rest is untouched). [`TOKEN_REGISTER`] is never
+    /// stolen — adoption must happen on the owning shard, whose slot
+    /// table the registration targets — and is left in place. Returns
+    /// `None` when the queue is empty or holds only register
+    /// pseudo-tokens at the back.
+    pub fn steal(&self) -> Option<u64> {
+        let tok = {
+            let mut st = self.state.lock();
+            match st.queue.back() {
+                Some(&t) if t != TOKEN_REGISTER => st.queue.pop_back(),
+                _ => None,
+            }
+        }?;
+        self.count_dequeue(tok);
+        Some(tok)
+    }
+
     /// Close the queue: every blocked and future pop drains what is
     /// queued and then reports [`Pop::Closed`]. This is how `drain` and
     /// `stop` wake shards promptly instead of waiting out a timeout.
@@ -332,5 +352,44 @@ mod tests {
     fn timeout_reports_timed_out() {
         let q = ReadyQueue::new(None);
         assert_eq!(q.pop(Duration::from_millis(5)), Pop::TimedOut);
+    }
+
+    #[test]
+    fn steal_takes_newest_and_leaves_owner_fifo_intact() {
+        let q = ReadyQueue::new(None);
+        q.push(token(1, 0));
+        q.push(token(2, 0));
+        q.push(token(3, 0));
+        // The thief takes the back…
+        assert_eq!(q.steal(), Some(token(3, 0)));
+        // …and the owner still sees the remaining tokens in order.
+        assert_eq!(q.try_pop(), Some(token(1, 0)));
+        assert_eq!(q.try_pop(), Some(token(2, 0)));
+        assert_eq!(q.steal(), None, "empty queue yields nothing");
+    }
+
+    #[test]
+    fn steal_never_takes_register_tokens() {
+        let q = ReadyQueue::new(None);
+        q.push(TOKEN_REGISTER);
+        assert_eq!(q.steal(), None, "registration must stay on its owner");
+        assert_eq!(q.len(), 1, "the pseudo-token is left in place");
+        // A real token pushed after it is fair game…
+        q.push(token(5, 0));
+        assert_eq!(q.steal(), Some(token(5, 0)));
+        // …and the register token is still there for the owner.
+        assert_eq!(q.try_pop(), Some(TOKEN_REGISTER));
+    }
+
+    #[test]
+    fn steal_counts_against_depth_stats() {
+        let stats = Arc::new(ShardStats::default());
+        let q = ReadyQueue::new(Some(Arc::clone(&stats)));
+        q.push(token(1, 0));
+        q.push(token(2, 0));
+        assert_eq!(q.steal(), Some(token(2, 0)));
+        assert_eq!(q.try_pop(), Some(token(1, 0)));
+        // Depth gauge returns to zero: steals are proper dequeues.
+        assert_eq!(q.len(), 0);
     }
 }

@@ -57,7 +57,7 @@
 //! quiesce the reader shards, finish queued calls, flush responses, then
 //! join).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -67,8 +67,8 @@ use parking_lot::Mutex;
 use simnet::{Fabric, NodeId, SimAddr, SimListener};
 use wire::Writable;
 
-use crate::admission::{AdmissionQueue, AdmitError, CallMeta};
-use crate::config::RpcConfig;
+use crate::admission::{AdmissionQueue, AdmitError, CallClass, CallMeta};
+use crate::config::{HandlerRuntime, RpcConfig};
 use crate::error::{RpcError, RpcResult};
 use crate::frame::{
     busy_body, expired_body, read_request_header, write_response_body, write_response_lead,
@@ -81,6 +81,7 @@ use crate::metrics::{
 };
 use crate::readiness::{token, token_gen, token_slot, Pop, ReadyQueue, WakeState, TOKEN_REGISTER};
 use crate::retry_cache::{Admission, CallKey, RetryCache};
+use crate::sched::{CallPoll, HandlerCx, ParkRequest, Sched, Step};
 use crate::service::ServiceRegistry;
 use crate::transport::rdma::{IbContext, RdmaConn};
 use crate::transport::socket::SocketConn;
@@ -103,6 +104,19 @@ const READ_SLICE: Duration = Duration::from_millis(1);
 
 /// Poll interval of [`Server::drain`]'s quiescence checks.
 const DRAIN_POLL: Duration = Duration::from_millis(2);
+
+/// Frames one readiness pop may decode from a single connection before
+/// its token re-arms at the back of the queue (non-QoS mode; QoS mode
+/// budgets by tenant weight instead). A gathered V3 batch arrives as one
+/// wire op carrying many frames: draining them in one pop turns
+/// batch-of-32 service from 32 queue round-trips into one, while the
+/// bound keeps one chatty peer from starving its shard.
+const READ_BURST: usize = 32;
+
+/// Pop timeout of a reader shard with `reader_steal` on: short, so an
+/// idle shard visits its siblings' queues instead of blocking a full
+/// [`IDLE_SLICE`] while another shard runs hot.
+const STEAL_POLL: Duration = Duration::from_millis(1);
 
 struct RawCall {
     conn_id: u64,
@@ -212,6 +226,24 @@ struct ServerInner {
     /// blocked shard adopts promptly; `drain`/`stop` close them so
     /// blocked pops exit without waiting out a timeout.
     reader_ready: Vec<Arc<ReadyQueue>>,
+    /// Each reader shard's slot table, indexed like `reader_regs`.
+    /// Shared (rather than thread-local as before PR 10) so an idle
+    /// sibling can steal a ready token and service the connection under
+    /// the owner's table lock — which is also what keeps per-connection
+    /// frame order: whoever holds the lock is the only thread reading
+    /// that shard's connections. With `reader_steal` off only the owner
+    /// ever takes it, uncontended.
+    reader_state: Vec<Mutex<ReaderState>>,
+    /// Per reader-shard counters, indexed like `reader_regs`; a thief
+    /// books the stolen connection's lifecycle (conn gauge) against its
+    /// *owner* shard while counting the work on itself.
+    reader_stats: Vec<Arc<ShardStats>>,
+    /// The M:N handler runtime (`handler_runtime = mn`); `None` under
+    /// the legacy thread pool.
+    sched: Option<Arc<Sched>>,
+    /// Protocols of the control/heartbeat admission class
+    /// (`cfg.priority_protocols`); empty = single class.
+    priority: HashSet<String>,
     /// Connection setups currently in flight (accepted, handshake or
     /// verbs bootstrap unfinished). Together with the conn table this
     /// bounds the accept path: at `accept_backlog` the Listener pauses
@@ -340,6 +372,7 @@ impl Server {
         let mut reader_rxs = Vec::with_capacity(n_readers);
         let mut reader_stats = Vec::with_capacity(n_readers);
         let mut reader_ready = Vec::with_capacity(n_readers);
+        let mut reader_state = Vec::with_capacity(n_readers);
         for i in 0..n_readers {
             let (tx, rx) = unbounded();
             reader_regs.push(tx);
@@ -348,7 +381,20 @@ impl Server {
             // The shard's wake list feeds its queue-depth gauge.
             reader_ready.push(Arc::new(ReadyQueue::new(Some(Arc::clone(&stats)))));
             reader_stats.push(stats);
+            reader_state.push(Mutex::new(ReaderState::default()));
         }
+        // The M:N runtime and its per-worker counter blocks (absent —
+        // along with the `worker` shard rows — under the legacy pool).
+        let sched = match cfg.handler_runtime {
+            HandlerRuntime::Threads => None,
+            HandlerRuntime::Mn => {
+                let n = cfg.effective_handler_workers();
+                let stats: Vec<_> = (0..n)
+                    .map(|i| metrics.register_shard(ShardRole::Worker, i))
+                    .collect();
+                Some(Arc::new(Sched::new(n, stats)))
+            }
+        };
         let mut responders = Vec::with_capacity(n_responders);
         for i in 0..n_responders {
             let (tx, rx) = bounded(cfg.call_queue_len);
@@ -360,6 +406,7 @@ impl Server {
         }
 
         let id_seed = handshake::mint_client_id((u64::from(node.0) << 16) ^ u64::from(port));
+        let priority: HashSet<String> = cfg.priority_protocols.iter().cloned().collect();
         let inner = Arc::new(ServerInner {
             cfg,
             registry,
@@ -377,6 +424,10 @@ impl Server {
             started: Instant::now(),
             reader_regs,
             reader_ready,
+            reader_state,
+            reader_stats: reader_stats.clone(),
+            sched,
+            priority,
             setups_inflight: AtomicUsize::new(0),
             responders,
             conns: Mutex::new(HashMap::new()),
@@ -399,7 +450,7 @@ impl Server {
         }
         // Reader shards (counted in live_readers for their whole life;
         // `drain` waits for them to observe the draining flag and exit).
-        for (i, (reg_rx, stats)) in reader_rxs.into_iter().zip(reader_stats).enumerate() {
+        for (i, reg_rx) in reader_rxs.into_iter().enumerate() {
             inner.live_readers.fetch_add(1, Ordering::AcqRel);
             let ready = Arc::clone(&inner.reader_ready[i]);
             let inner = Arc::clone(&inner);
@@ -408,20 +459,37 @@ impl Server {
                     .name(format!("rpc-reader-{i}"))
                     .spawn(move || {
                         let _slot = CountGuard(&inner.live_readers);
-                        reader_shard_loop(&inner, reg_rx, ready, &stats);
+                        reader_shard_loop(&inner, i, reg_rx, ready);
                     })
                     .expect("spawn reader shard"),
             );
         }
-        // Handler pool.
-        for h in 0..inner.cfg.handlers {
-            let inner = Arc::clone(&inner);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("rpc-handler-{h}"))
-                    .spawn(move || handler_loop(inner))
-                    .expect("spawn handler"),
-            );
+        // The execution engine: the paper's fixed handler pool, or the
+        // M:N runtime's worker loops.
+        match inner.cfg.handler_runtime {
+            HandlerRuntime::Threads => {
+                for h in 0..inner.cfg.handlers {
+                    let inner = Arc::clone(&inner);
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("rpc-handler-{h}"))
+                            .spawn(move || handler_loop(inner))
+                            .expect("spawn handler"),
+                    );
+                }
+            }
+            HandlerRuntime::Mn => {
+                let workers = inner.cfg.effective_handler_workers();
+                for w in 0..workers {
+                    let inner = Arc::clone(&inner);
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("rpc-worker-{w}"))
+                            .spawn(move || mn_worker_loop(inner, w))
+                            .expect("spawn mn worker"),
+                    );
+                }
+            }
         }
         // Responder shards.
         for i in 0..n_responders {
@@ -551,9 +619,30 @@ impl Server {
         // Wake handlers parked on the admission queue; anything still
         // queued stays poppable, but handlers exit on the stop flag.
         self.inner.admission.close();
+        // And the M:N workers parked on the runtime's idle condvar.
+        if let Some(sched) = &self.inner.sched {
+            sched.close();
+        }
         // And the reader shards blocked on their wake lists.
         for ready in &self.inner.reader_ready {
             ready.close();
+        }
+        // Clear every shard's slot table. The slots hold the *other*
+        // `Arc<dyn Conn>` clones (the conn table below holds the first),
+        // and stale-connection fast-fail depends on the server-side
+        // transport state being released at stop — a `ReaderSlot`
+        // surviving in `ServerInner` would keep an RPCoIB queue pair
+        // registered and turn a restarted peer's fast reconnect into a
+        // full call timeout. (Before PR 10 these were reader-thread
+        // locals and died with the thread.)
+        for state in &self.inner.reader_state {
+            let mut state = state.lock();
+            for slot in state.slots.iter().flatten() {
+                slot.sc.conn.close();
+            }
+            state.slots.clear();
+            state.gens.clear();
+            state.free.clear();
         }
         {
             // Close *and drop* every connection. Releasing the `Arc`s here
@@ -757,6 +846,17 @@ struct ReaderSlot {
     wake: Arc<WakeState>,
 }
 
+/// One reader shard's connection table: slots, their reuse generations,
+/// and the free list. Held in [`ServerInner::reader_state`] behind a
+/// mutex so a stealing sibling can service this shard's connections; see
+/// the field's docs for the locking discipline.
+#[derive(Default)]
+struct ReaderState {
+    slots: Vec<Option<ReaderSlot>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+}
+
 /// Adopt every connection waiting on the registration channel: assign a
 /// slot, arm the transport's readiness hook, and deliver the no-lost-wake
 /// guarantee (probe `poll_ready` once *after* arming, catching input that
@@ -764,30 +864,110 @@ struct ReaderSlot {
 fn adopt_registrations(
     reg_rx: &Receiver<ShardConn>,
     ready: &Arc<ReadyQueue>,
-    slots: &mut Vec<Option<ReaderSlot>>,
-    gens: &mut Vec<u32>,
-    free: &mut Vec<usize>,
+    state: &mut ReaderState,
     stats: &ShardStats,
 ) {
     while let Ok(sc) = reg_rx.try_recv() {
         stats.conn_added();
-        let idx = match free.pop() {
+        let idx = match state.free.pop() {
             Some(idx) => idx,
             None => {
-                slots.push(None);
-                gens.push(0);
-                slots.len() - 1
+                state.slots.push(None);
+                state.gens.push(0);
+                state.slots.len() - 1
             }
         };
-        let wake = Arc::new(WakeState::new(token(idx, gens[idx]), Arc::clone(ready)));
+        let wake = Arc::new(WakeState::new(
+            token(idx, state.gens[idx]),
+            Arc::clone(ready),
+        ));
         let hook_state = Arc::clone(&wake);
         sc.conn.set_ready_hook(Arc::new(move || hook_state.wake()));
         let slot = ReaderSlot { sc, wake };
         if slot.sc.conn.poll_ready() {
             slot.wake.wake();
         }
-        slots[idx] = Some(slot);
+        state.slots[idx] = Some(slot);
     }
+}
+
+/// Service one popped (or stolen) wake token against shard `owner`'s
+/// connection table. The caller may be the owner or a stealing sibling;
+/// the table lock is held for the whole burst, which is what serializes
+/// reads per connection (and per shard) no matter who services it.
+///
+/// `actor_stats` books the work (frames processed, busy rejections) on
+/// whichever shard actually did it; connection lifecycle (the conn
+/// gauge) always lands on the *owner*, which adopted the connection.
+fn service_token(
+    inner: &Arc<ServerInner>,
+    owner: usize,
+    tok: u64,
+    actor_stats: &ShardStats,
+) -> ReadOutcome {
+    let fair = inner.admission.fair();
+    let mut state = inner.reader_state[owner].lock();
+    let idx = token_slot(tok);
+    if idx >= state.slots.len() || state.gens[idx] != token_gen(tok) || state.slots[idx].is_none() {
+        // Stale token: its connection was torn down (and possibly the
+        // slot recycled) after the token was queued. The generation
+        // stamp makes it inert.
+        return ReadOutcome::Idle;
+    }
+    let outcome = {
+        let slot = state.slots[idx].as_mut().expect("checked above");
+        // Clear the dedup flag *before* reading, so an edge firing
+        // mid-burst re-enqueues instead of being lost.
+        slot.wake.begin_poll();
+        // Burst budget: QoS mode reads up to the tenant's weight per
+        // wake (a light tenant's at least one); otherwise up to
+        // `READ_BURST` frames, so a gathered V3 batch decodes in one
+        // pop instead of one queue round-trip per frame. Per-connection
+        // order holds either way — it is one connection drained
+        // sequentially under the table lock.
+        let budget = if fair {
+            inner.admission.weight(slot.sc.client_id).max(1) as usize
+        } else {
+            READ_BURST
+        };
+        let mut outcome = ReadOutcome::Idle;
+        for _ in 0..budget {
+            if !slot.sc.conn.poll_ready() {
+                break;
+            }
+            outcome = read_one(inner, &mut slot.sc, actor_stats);
+            match outcome {
+                ReadOutcome::Frame => {}
+                ReadOutcome::Idle | ReadOutcome::Forfeit | ReadOutcome::Shutdown => break,
+            }
+        }
+        outcome
+    };
+    match outcome {
+        ReadOutcome::Forfeit => {
+            let slot = state.slots[idx].take().expect("checked above");
+            slot.sc.conn.close();
+            inner.conns.lock().remove(&slot.sc.conn_id);
+            inner.reader_stats[owner].conn_removed();
+            // Reap the wake token: bump the generation first, so the
+            // token the `close()` above just (re-)queued — and any
+            // other stale one — can never index this slot's next
+            // tenant.
+            state.gens[idx] = state.gens[idx].wrapping_add(1);
+            state.free.push(idx);
+        }
+        ReadOutcome::Shutdown => {}
+        ReadOutcome::Frame | ReadOutcome::Idle => {
+            // Level-trigger re-arm: if input remains (a burst larger
+            // than the budget, a stashed verbs frame, sticky EOF),
+            // requeue at the back of the wake list.
+            let slot = state.slots[idx].as_ref().expect("checked above");
+            if slot.sc.conn.poll_ready() {
+                slot.wake.wake();
+            }
+        }
+    }
+    outcome
 }
 
 /// The event loop of one reader shard: block on the shard's wake list,
@@ -797,19 +977,21 @@ fn adopt_registrations(
 /// shard: its burst is bounded and its re-armed token goes to the *back*
 /// of the queue, giving round-robin service among ready connections while
 /// idle ones cost nothing at all.
+///
+/// With `reader_steal` on, a shard that finds its own queue empty visits
+/// its siblings' queues and steals the *newest* ready token from the
+/// first non-empty one, servicing the stolen connection under its
+/// owner's table lock — so a hot shard's backlog drains at the speed of
+/// every idle shard, not just its own.
 fn reader_shard_loop(
     inner: &Arc<ServerInner>,
+    shard: usize,
     reg_rx: Receiver<ShardConn>,
     ready: Arc<ReadyQueue>,
-    stats: &ShardStats,
 ) {
-    let mut slots: Vec<Option<ReaderSlot>> = Vec::new();
-    let mut gens: Vec<u32> = Vec::new();
-    let mut free: Vec<usize> = Vec::new();
-    // Weighted-fair burst budget (QoS mode only): a heavy tenant's
-    // connection reads up to its weight per wake, a light tenant's at
-    // least one — then both requeue behind whoever else is ready.
-    let fair = inner.admission.fair();
+    let stats = Arc::clone(&inner.reader_stats[shard]);
+    let steal = inner.cfg.reader_steal && inner.reader_ready.len() > 1;
+    let pop_slice = if steal { STEAL_POLL } else { IDLE_SLICE };
     let mut last_sweep = Instant::now();
     while !inner.stop.load(Ordering::Acquire) && !inner.draining.load(Ordering::Acquire) {
         // Low-frequency liveness sweep: a peer that dies without closing
@@ -823,7 +1005,8 @@ fn reader_shard_loop(
         // sweep-only reader).
         if last_sweep.elapsed() >= LIVENESS_SWEEP {
             last_sweep = Instant::now();
-            for slot in slots.iter().flatten() {
+            let state = inner.reader_state[shard].lock();
+            for slot in state.slots.iter().flatten() {
                 if slot.sc.conn.poll_ready() {
                     slot.wake.wake();
                 }
@@ -832,68 +1015,35 @@ fn reader_shard_loop(
         // The timeout is only a belt-and-suspenders re-check of the stop
         // flags; `drain`/`stop` close the queue, which wakes this pop
         // immediately.
-        let tok = match ready.pop(IDLE_SLICE) {
+        let tok = match ready.pop(pop_slice) {
             Pop::Token(tok) => tok,
-            Pop::TimedOut => continue,
+            Pop::TimedOut => {
+                if steal {
+                    // Own queue idle: take the newest token off the
+                    // first hot sibling and service it in their stead.
+                    let n = inner.reader_ready.len();
+                    for off in 1..n {
+                        let victim = (shard + off) % n;
+                        if let Some(tok) = inner.reader_ready[victim].steal() {
+                            stats.inc_steal();
+                            if service_token(inner, victim, tok, &stats) == ReadOutcome::Shutdown {
+                                return;
+                            }
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
             Pop::Closed => break,
         };
         if tok == TOKEN_REGISTER {
-            adopt_registrations(&reg_rx, &ready, &mut slots, &mut gens, &mut free, stats);
+            let mut state = inner.reader_state[shard].lock();
+            adopt_registrations(&reg_rx, &ready, &mut state, &stats);
             continue;
         }
-        let idx = token_slot(tok);
-        if idx >= slots.len() || gens[idx] != token_gen(tok) || slots[idx].is_none() {
-            // Stale token: its connection was torn down (and possibly the
-            // slot recycled) after the token was queued. The generation
-            // stamp makes it inert.
-            continue;
-        }
-        let outcome = {
-            let slot = slots[idx].as_mut().expect("checked above");
-            // Clear the dedup flag *before* reading, so an edge firing
-            // mid-burst re-enqueues instead of being lost.
-            slot.wake.begin_poll();
-            let budget = if fair {
-                inner.admission.weight(slot.sc.client_id).max(1)
-            } else {
-                1
-            };
-            let mut outcome = ReadOutcome::Idle;
-            for _ in 0..budget {
-                if !slot.sc.conn.poll_ready() {
-                    break;
-                }
-                outcome = read_one(inner, &mut slot.sc, stats);
-                match outcome {
-                    ReadOutcome::Frame => {}
-                    ReadOutcome::Idle | ReadOutcome::Forfeit | ReadOutcome::Shutdown => break,
-                }
-            }
-            outcome
-        };
-        match outcome {
-            ReadOutcome::Forfeit => {
-                let slot = slots[idx].take().expect("checked above");
-                slot.sc.conn.close();
-                inner.conns.lock().remove(&slot.sc.conn_id);
-                stats.conn_removed();
-                // Reap the wake token: bump the generation first, so the
-                // token the `close()` above just (re-)queued — and any
-                // other stale one — can never index this slot's next
-                // tenant.
-                gens[idx] = gens[idx].wrapping_add(1);
-                free.push(idx);
-            }
-            ReadOutcome::Shutdown => break,
-            ReadOutcome::Frame | ReadOutcome::Idle => {
-                // Level-trigger re-arm: if input remains (a burst larger
-                // than the budget, a stashed verbs frame, sticky EOF),
-                // requeue at the back of the wake list.
-                let slot = slots[idx].as_ref().expect("checked above");
-                if slot.sc.conn.poll_ready() {
-                    slot.wake.wake();
-                }
-            }
+        if service_token(inner, shard, tok, &stats) == ReadOutcome::Shutdown {
+            break;
         }
     }
     // On stop or drain the assigned connections stay open and in the
@@ -1004,13 +1154,29 @@ fn read_one(inner: &Arc<ServerInner>, sc: &mut ShardConn, stats: &ShardStats) ->
         (true, Some(budget)) => Some(inner.now_ns().saturating_add(budget.as_nanos() as u64)),
         _ => None,
     };
+    // Protocol-priority class: calls to a listed control protocol jump
+    // their tenant's bulk backlog inside the admission queue. The
+    // default empty set marks everything Bulk — ordering identical to
+    // the classless queue.
+    let class = if !inner.priority.is_empty() && inner.priority.contains(header.protocol()) {
+        CallClass::Control
+    } else {
+        CallClass::Bulk
+    };
     let meta = CallMeta {
         tenant: header.client_id,
         expires_at_ns,
+        class,
     };
     inner.open_work.fetch_add(1, Ordering::AcqRel);
     match inner.admission.try_push(meta, call) {
-        Ok(()) => {}
+        Ok(()) => {
+            // Under the M:N runtime nothing blocks on the admission
+            // queue's condvar — nudge an idle worker instead.
+            if let Some(sched) = &inner.sched {
+                sched.notify();
+            }
+        }
         Err((AdmitError::QueueFull | AdmitError::TenantOverQuota, _call)) => {
             // Overload (shared queue full, or this tenant over its
             // quota): reject instead of blocking the shard (which would
@@ -1121,6 +1287,143 @@ fn handler_loop(inner: Arc<ServerInner>) {
             }
         }
     }
+}
+
+/// One M:N worker's loop (`handler_runtime = mn`): fire due timers,
+/// admit new calls from the admission queue (DRR pop order preserved —
+/// each call is injected into the runtime's global FIFO), and run the
+/// next task — own queue first, then the injector, then stealing. The
+/// admission step precedes the run step so a yield-spinning task can
+/// never starve new arrivals; the in-flight cap
+/// (`cfg.max_inflight_calls`) pauses admission — backpressure into the
+/// bounded queue, not rejection — while parked tasks pile up.
+fn mn_worker_loop(inner: Arc<ServerInner>, worker: usize) {
+    let sched = Arc::clone(inner.sched.as_ref().expect("mn mode"));
+    let cap = inner.cfg.max_inflight_calls;
+    loop {
+        let now = inner.now_ns();
+        sched.fire_timers(now);
+        if cap == 0 || sched.inflight() < cap {
+            let popped = inner.admission.try_pop(now);
+            for (meta, call) in popped.shed {
+                shed_call(&inner, meta, call);
+            }
+            if let Some((meta, call)) = popped.run {
+                spawn_call_task(&inner, &sched, meta, call);
+            }
+        }
+        if let Some(task) = sched.next_task(worker) {
+            sched.run(worker, task, inner.now_ns());
+            continue;
+        }
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Nothing runnable and nothing admitted: sleep until the next
+        // timer deadline (a parked `park_until` must not oversleep), a
+        // notify (new call, external wake), or the idle slice.
+        let timeout = match sched.next_timer_ns() {
+            Some(at) => {
+                Duration::from_nanos(at.saturating_sub(inner.now_ns()).max(1)).min(IDLE_SLICE)
+            }
+            None => IDLE_SLICE,
+        };
+        sched.idle_wait(timeout);
+    }
+}
+
+/// Turn one admitted call into a lightweight task on the M:N runtime.
+/// The task's frame *is* this closure's captures — the `RawCall`, the
+/// service's stash, and the accumulated handler time — a few hundred
+/// bytes on the heap, against the legacy pool's full OS thread per
+/// in-flight call.
+///
+/// A completed poll mirrors [`handler_loop`]'s tail exactly: serialize
+/// the version-neutral body once, fan out to the caller's route plus any
+/// parked duplicates, transfer the open-work slot to the responses, and
+/// release the tenant's admission quota.
+fn spawn_call_task(inner: &Arc<ServerInner>, sched: &Sched, meta: CallMeta, call: RawCall) {
+    let inner = Arc::clone(inner);
+    let mut call = Some(call);
+    let mut stash: Option<Box<dyn std::any::Any + Send>> = None;
+    // Handler-phase time is the sum of this task's *running* slices;
+    // parked time is charged to nobody — that is the point.
+    let mut handler_ns: u64 = 0;
+    sched.inject(move |cx| {
+        let c = call.as_mut().expect("task polled after completion");
+        let entry = inner.metrics.entry(c.header.key);
+        if cx.polls() == 0 {
+            entry.record_phase(
+                Phase::ServerQueue,
+                c.admitted_at.elapsed().as_nanos() as u64,
+            );
+        }
+        let poll_start = Instant::now();
+        let mut reader = c.payload.reader();
+        reader.skip(c.body_offset);
+        let mut hcx = HandlerCx::new(cx, &mut stash);
+        let dispatched = inner.registry.dispatch_mn(
+            c.header.protocol(),
+            c.header.method(),
+            &mut reader,
+            &mut hcx,
+        );
+        let request = hcx.request();
+        let result: RpcResult<Box<dyn Writable + Send>> = match dispatched {
+            Ok(CallPoll::Pending) => {
+                handler_ns += poll_start.elapsed().as_nanos() as u64;
+                return match request {
+                    ParkRequest::Yield => Step::Yield,
+                    ParkRequest::Handle => Step::Park,
+                    ParkRequest::Until(at_ns) => {
+                        cx.park_until_ns(at_ns);
+                        Step::Park
+                    }
+                };
+            }
+            Ok(CallPoll::Ready(Ok(value))) => Ok(value),
+            Ok(CallPoll::Ready(Err(msg))) => Err(RpcError::Remote(msg)),
+            Err(e) => Err(e),
+        };
+        let c = call.take().expect("taken once");
+        let error_text;
+        let result_ref: Result<&dyn Writable, &str> = match &result {
+            Ok(value) => Ok(value.as_ref()),
+            Err(e) => {
+                error_text = match e {
+                    RpcError::Remote(m) => m.clone(),
+                    other => other.to_string(),
+                };
+                Err(&error_text)
+            }
+        };
+        let mut body = Vec::new();
+        write_response_body(&mut body, result_ref).expect("serializing to Vec cannot fail");
+        let bytes = Arc::new(body);
+        handler_ns += poll_start.elapsed().as_nanos() as u64;
+        entry.record_phase(Phase::Handler, handler_ns);
+
+        let mut routes = vec![RespRoute {
+            conn_id: c.conn_id,
+            conn: c.conn,
+            key: c.header.key,
+            version: c.header.version,
+            client_id: c.header.client_id,
+            seq: c.header.seq,
+        }];
+        if c.header.version != FrameVersion::V1 && c.header.client_id != 0 {
+            let key = (c.header.client_id, c.header.seq);
+            routes.extend(inner.retry_cache.complete(key, Arc::clone(&bytes)));
+        }
+        for route in routes {
+            inner.enqueue_response(route, Arc::clone(&bytes));
+        }
+        // The call's open_work slot transfers to the responses above,
+        // exactly as in the thread pool.
+        inner.open_work.fetch_sub(1, Ordering::AcqRel);
+        inner.admission.release(meta.tenant);
+        Step::Done
+    });
 }
 
 /// Answer a deadline-expired call with `STATUS_EXPIRED` without executing

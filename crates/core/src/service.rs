@@ -12,6 +12,7 @@ use std::sync::Arc;
 use wire::{DataInput, Writable};
 
 use crate::error::{RpcError, RpcResult};
+use crate::sched::{CallPoll, HandlerCx};
 
 /// A protocol implementation hosted by a server.
 pub trait RpcService: Send + Sync {
@@ -27,6 +28,23 @@ pub trait RpcService: Send + Sync {
         method: &str,
         param: &mut dyn DataInput,
     ) -> Result<Box<dyn Writable + Send>, String>;
+
+    /// Poll `method` under the M:N runtime (`handler_runtime = mn`).
+    ///
+    /// Called once per task poll; a suspending service records a
+    /// yield/park request on `cx` (or nothing, meaning "park until my
+    /// [`WakeHandle`](crate::sched::WakeHandle) fires"), keeps per-call
+    /// state in [`HandlerCx::stash`], and returns [`CallPoll::Pending`];
+    /// it is polled again after the wake with `cx.polls()` advanced.
+    /// `param` is re-presented from the start of the parameter bytes on
+    /// every poll.
+    ///
+    /// The default completes synchronously via [`RpcService::call`], so
+    /// existing services run unmodified under either runtime.
+    fn call_mn(&self, method: &str, param: &mut dyn DataInput, cx: &mut HandlerCx<'_>) -> CallPoll {
+        let _ = cx;
+        CallPoll::Ready(self.call(method, param))
+    }
 }
 
 /// Immutable-after-build set of services, shared across handler threads.
@@ -63,6 +81,23 @@ impl ServiceRegistry {
             .get(protocol)
             .ok_or_else(|| RpcError::UnknownProtocol(protocol.to_owned()))?;
         service.call(method, param).map_err(RpcError::Remote)
+    }
+
+    /// Dispatch one poll of a call under the M:N runtime. Protocol
+    /// lookup errors are terminal ([`CallPoll::Ready`] with the error);
+    /// only the service itself can return [`CallPoll::Pending`].
+    pub fn dispatch_mn(
+        &self,
+        protocol: &str,
+        method: &str,
+        param: &mut dyn DataInput,
+        cx: &mut HandlerCx<'_>,
+    ) -> RpcResult<CallPoll> {
+        let service = self
+            .services
+            .get(protocol)
+            .ok_or_else(|| RpcError::UnknownProtocol(protocol.to_owned()))?;
+        Ok(service.call_mn(method, param, cx))
     }
 
     /// Registered protocol names (diagnostics).

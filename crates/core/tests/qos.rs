@@ -388,7 +388,11 @@ proptest! {
             let expires_at_ns = (idx < 3).then_some(now + BUDGET);
             match cache.begin((CLIENT, idx as i64), || idx) {
                 Admission::Execute => {
-                    let meta = CallMeta { tenant: idx as u64, expires_at_ns };
+                    let meta = CallMeta {
+                        tenant: idx as u64,
+                        expires_at_ns,
+                        class: Default::default(),
+                    };
                     if let Err((err, _)) = queue.try_push(meta, idx) {
                         prop_assert!(matches!(err, AdmitError::QueueFull));
                         cache.abort((CLIENT, idx as i64));
